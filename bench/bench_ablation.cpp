@@ -1,0 +1,86 @@
+// Ablation of the detector's design choices (DESIGN.md §5): the state-indexed
+// threshold LUT vs a single global threshold, the exceedance debounce, and
+// the low-speed evaluation gate — all evaluated on the LeadSlowdown GPU
+// permanent-fault campaign at td = 2, rw = 3.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/detector.h"
+
+namespace {
+
+using namespace dav;
+
+/// Collapse a LUT to a single global threshold by widening every bin axis to
+/// one bin (everything falls into the same cell).
+ThresholdLut train_global(const std::vector<std::vector<StepObservation>>& obs,
+                          std::size_t rw) {
+  LutConfig cfg;
+  cfg.speed.bins = 1;
+  cfg.accel.bins = 1;
+  cfg.yaw_rate.bins = 1;
+  cfg.yaw_accel.bins = 1;
+  return train_lut(obs, rw, cfg);
+}
+
+struct Variant {
+  const char* name;
+  ThresholdLut lut;
+  DetectorConfig det;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dav::bench;
+  print_header("Ablation — detector design choices (LSD, GPU permanent)",
+               "DiverseAV (DSN'22) §III-D design decisions");
+
+  CampaignManager mgr = make_manager();
+  const auto train = mgr.training_observations(AgentMode::kRoundRobin);
+  const GoldenSet g = golden_set(mgr, ScenarioId::kLeadSlowdown,
+                                 AgentMode::kRoundRobin,
+                                 mgr.scale().golden_runs);
+  const auto runs =
+      mgr.fi_campaign(ScenarioId::kLeadSlowdown, AgentMode::kRoundRobin,
+                      FaultDomain::kGpu, FaultModelKind::kPermanent);
+
+  DetectorConfig base;
+  DetectorConfig no_debounce = base;
+  no_debounce.debounce = 1;
+  DetectorConfig no_gate = base;
+  no_gate.min_eval_speed = 0.0;
+
+  std::vector<Variant> variants;
+  variants.push_back({"state-indexed LUT (paper design)", train_lut(train, 3),
+                      base});
+  variants.push_back({"single global threshold", train_global(train, 3), base});
+  variants.push_back({"no debounce (alarm on first exceedance)",
+                      train_lut(train, 3), no_debounce});
+  variants.push_back({"no low-speed gate", train_lut(train, 3), no_gate});
+
+  TextTable table({"Variant", "Precision", "Recall", "F1", "Golden FAs"});
+  for (const auto& v : variants) {
+    Confusion conf;
+    int golden_fa = 0;
+    for (const auto& run : runs) {
+      if (run.due && !run.collision) continue;
+      const bool positive = is_positive(run, g.baseline, 2.0);
+      ReplayResult rr = replay_detector(run.observations, v.lut, v.det);
+      const bool alarm = rr.alarmed || run.due;
+      conf.add(alarm, positive);
+    }
+    for (const auto& run : g.runs) {
+      golden_fa += replay_detector(run.observations, v.lut, v.det).alarmed;
+    }
+    table.add_row({v.name, TextTable::fmt(conf.precision()),
+                   TextTable::fmt(conf.recall()), TextTable::fmt(conf.f1()),
+                   std::to_string(golden_fa)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected: the LUT variant dominates — a global threshold must\n"
+              "sit above the worst-case fault-free divergence of ANY state,\n"
+              "losing recall; removing debounce or the gate costs precision\n"
+              "and golden-run cleanliness (availability).\n");
+  return 0;
+}

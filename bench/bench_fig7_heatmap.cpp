@@ -1,0 +1,94 @@
+// Fig 7: precision and recall heat maps of the DiverseAV error detector over
+// the trajectory-violation threshold td (1..5 m) and the rolling window size
+// rw (3..40). The detector is trained on the three long scenarios (fault-
+// free) and tested on GPU fault-injection runs of the three safety-critical
+// scenarios. Paper: robust for td >= 2, rw <= 30; best P = 0.87, R = 0.87 at
+// td = 2, rw = 3; zero alarms on golden runs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/detector.h"
+
+int main() {
+  using namespace dav;
+  using namespace dav::bench;
+  print_header("Fig 7 — detector precision/recall over (td, rw)",
+               "DiverseAV (DSN'22) §V-D, Fig 7a/7b");
+
+  CampaignManager mgr = make_manager();
+  const auto train = mgr.training_observations(AgentMode::kRoundRobin);
+
+  struct ScenarioData {
+    GoldenSet golden;
+    std::vector<RunResult> fi;
+  };
+  std::vector<ScenarioData> data;
+  for (ScenarioId scenario : safety_scenarios()) {
+    ScenarioData d;
+    d.golden = golden_set(mgr, scenario, AgentMode::kRoundRobin,
+                          mgr.scale().golden_runs);
+    auto perm = mgr.fi_campaign(scenario, AgentMode::kRoundRobin,
+                                FaultDomain::kGpu, FaultModelKind::kPermanent);
+    auto trans = mgr.fi_campaign(scenario, AgentMode::kRoundRobin,
+                                 FaultDomain::kGpu, FaultModelKind::kTransient);
+    d.fi = std::move(perm);
+    d.fi.insert(d.fi.end(), trans.begin(), trans.end());
+    data.push_back(std::move(d));
+  }
+
+  const std::vector<std::size_t> rws = {3, 5, 10, 15, 20, 30, 40};
+  const std::vector<double> tds = {1.0, 2.0, 3.0, 4.0, 5.0};
+
+  std::vector<std::vector<double>> precision(
+      tds.size(), std::vector<double>(rws.size(), 0.0));
+  std::vector<std::vector<double>> recall = precision;
+  std::vector<std::vector<double>> f1 = precision;
+  int golden_false_alarms_total = 0;
+
+  double best_f1 = -1.0;
+  double best_td = 0.0;
+  std::size_t best_rw = 0;
+  for (std::size_t ri = 0; ri < rws.size(); ++ri) {
+    const ThresholdLut lut = train_lut(train, rws[ri]);
+    for (std::size_t ti = 0; ti < tds.size(); ++ti) {
+      Confusion conf;
+      int golden_fa = 0;
+      for (const auto& d : data) {
+        const DetectionEval ev = evaluate_detection(
+            d.fi, d.golden.runs, d.golden.baseline, lut, rws[ri], tds[ti]);
+        conf.tp += ev.confusion.tp;
+        conf.fp += ev.confusion.fp;
+        conf.tn += ev.confusion.tn;
+        conf.fn += ev.confusion.fn;
+        golden_fa += ev.golden_false_alarms;
+      }
+      precision[ti][ri] = conf.precision();
+      recall[ti][ri] = conf.recall();
+      f1[ti][ri] = conf.f1();
+      if (ti == 1 && ri == 0) golden_false_alarms_total = golden_fa;
+      if (conf.f1() > best_f1) {
+        best_f1 = conf.f1();
+        best_td = tds[ti];
+        best_rw = rws[ri];
+      }
+    }
+  }
+
+  std::vector<std::string> col_labels;
+  for (auto rw : rws) col_labels.push_back("rw=" + std::to_string(rw));
+  std::vector<std::string> row_labels;
+  for (auto td : tds) row_labels.push_back("td=" + std::to_string(int(td)));
+
+  std::printf("%s\n", render_heatmap("Fig 7a — precision", row_labels,
+                                     col_labels, precision).c_str());
+  std::printf("%s\n", render_heatmap("Fig 7b — recall", row_labels,
+                                     col_labels, recall).c_str());
+  std::printf("%s\n", render_heatmap("F1 (selection metric, §III-D)",
+                                     row_labels, col_labels, f1).c_str());
+  std::printf("Best F1 = %.2f at td = %.0f m, rw = %zu"
+              "   [paper: P = 0.87, R = 0.87 at td = 2, rw = 3]\n",
+              best_f1, best_td, best_rw);
+  std::printf("Golden-run false alarms at (td=2, rw=3): %d  [paper: 0]\n",
+              golden_false_alarms_total);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Engineering microbenchmarks (google-benchmark): throughput of the
+// simulator, renderer, instrumented engines, agent pipeline and detector.
+#include <benchmark/benchmark.h>
+
+#include "campaign/driver.h"
+#include "core/ads_system.h"
+#include "core/detector.h"
+#include "sensors/sensor_rig.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace dav;
+
+void BM_WorldStep(benchmark::State& state) {
+  World world(make_scenario(ScenarioId::kLongRoute02));
+  for (auto _ : state) {
+    world.step({0.3, 0.0, 0.0}, 0.05);
+    benchmark::DoNotOptimize(world.ego());
+  }
+}
+BENCHMARK(BM_WorldStep);
+
+void BM_CameraRender(benchmark::State& state) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  CameraRenderer renderer(front_camera_rig()[1]);
+  Rng noise(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(renderer.render(world, noise));
+  }
+}
+BENCHMARK(BM_CameraRender);
+
+void BM_EngineExecClean(benchmark::State& state) {
+  GpuEngine eng;
+  eng.configure({}, 0);
+  float v = 1.0f;
+  for (auto _ : state) {
+    v = eng.exec(GpuOpcode::kFFma, v * 1.0000001f);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineExecClean);
+
+void BM_EngineExecArmedPermanent(benchmark::State& state) {
+  GpuEngine eng;
+  FaultPlan plan;
+  plan.kind = FaultModelKind::kPermanent;
+  plan.domain = FaultDomain::kGpu;
+  plan.target_opcode = static_cast<int>(GpuOpcode::kFAdd);  // not kFFma
+  eng.configure(plan, 1);
+  float v = 1.0f;
+  for (auto _ : state) {
+    v = eng.exec(GpuOpcode::kFFma, v * 1.0000001f);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineExecArmedPermanent);
+
+void BM_AgentStep(benchmark::State& state) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  const auto cams = front_camera_rig();
+  SensorRig rig(cams, 7);
+  GpuEngine gpu;
+  CpuEngine cpu;
+  gpu.configure({}, 0);
+  cpu.configure({}, 0);
+  AgentConfig cfg;
+  cfg.perception.center_cam = cams[1];
+  SensorimotorAgent agent("bench", cfg, gpu, cpu, &world.map());
+  const SensorFrame frame = rig.capture(world, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act(frame, 0.05));
+  }
+}
+BENCHMARK(BM_AgentStep);
+
+void BM_DetectorObserve(benchmark::State& state) {
+  ThresholdLut lut;
+  VehicleState s;
+  s.v = 10.0;
+  lut.observe(s, {0.1, 0.1, 0.1});
+  ErrorDetector det(lut, {});
+  StepObservation obs{0.0, s, {0.01, 0.01, 0.01}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.observe(obs));
+    obs.time += 0.05;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorObserve);
+
+void BM_GoldenRunLeadSlowdown(benchmark::State& state) {
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.scenario = ScenarioId::kLeadSlowdown;
+    cfg.mode = AgentMode::kRoundRobin;
+    cfg.run_seed = 5;
+    benchmark::DoNotOptimize(run_experiment(cfg));
+  }
+}
+BENCHMARK(BM_GoldenRunLeadSlowdown)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

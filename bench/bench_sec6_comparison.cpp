@@ -1,0 +1,65 @@
+// §VI-B / §VI-C: DiverseAV vs a loosely-coupled fully-duplicated ADS (FD-ADS)
+// vs a single-agent temporal-outlier detector, on the same GPU fault-
+// injection campaign structure. Each configuration trains its own detector
+// on fault-free long-scenario runs of the SAME configuration.
+//
+// Paper results:               precision  recall
+//   DiverseAV (td=2, rw=3)        0.87     0.87
+//   FD-ADS                        0.18     0.84   (over-sensitive -> low P)
+//   Single agent (temporal)       0.17     0.52
+// and zero golden-run false alarms for DiverseAV and FD.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/detector.h"
+
+int main() {
+  using namespace dav;
+  using namespace dav::bench;
+  print_header("§VI-B/C — DiverseAV vs FD-ADS vs single-agent detector",
+               "DiverseAV (DSN'22) §VI-B, §VI-C");
+
+  CampaignManager mgr = make_manager();
+
+  TextTable table({"Configuration", "Precision", "Recall", "F1",
+                   "Golden FAs"});
+
+  const auto evaluate_mode = [&](AgentMode mode, const char* label) {
+    const ThresholdLut lut = train_lut(mgr.training_observations(mode), 3);
+    Confusion conf;
+    int golden_fa = 0;
+    for (ScenarioId scenario : safety_scenarios()) {
+      const GoldenSet g =
+          golden_set(mgr, scenario, mode, mgr.scale().golden_runs);
+      for (FaultModelKind kind :
+           {FaultModelKind::kPermanent, FaultModelKind::kTransient}) {
+        const auto runs =
+            mgr.fi_campaign(scenario, mode, FaultDomain::kGpu, kind);
+        const DetectionEval ev =
+            evaluate_detection(runs, g.runs, g.baseline, lut, 3, 2.0);
+        conf.tp += ev.confusion.tp;
+        conf.fp += ev.confusion.fp;
+        conf.tn += ev.confusion.tn;
+        conf.fn += ev.confusion.fn;
+        if (kind == FaultModelKind::kPermanent) {
+          golden_fa += ev.golden_false_alarms;
+        }
+      }
+    }
+    table.add_row({label, TextTable::fmt(conf.precision()),
+                   TextTable::fmt(conf.recall()), TextTable::fmt(conf.f1()),
+                   std::to_string(golden_fa)});
+    return conf;
+  };
+
+  evaluate_mode(AgentMode::kRoundRobin, "DiverseAV (round-robin)");
+  evaluate_mode(AgentMode::kDuplicate, "FD-ADS (loosely coupled)");
+  evaluate_mode(AgentMode::kSingle, "Single agent (temporal outlier)");
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper: DiverseAV P=0.87 R=0.87; FD-ADS P=0.18 R=0.84; "
+              "single agent P=0.17 R=0.52.\n");
+  std::printf("Expected shape: DiverseAV dominates on precision; FD recall\n"
+              "close to DiverseAV's; the single agent trails on both.\n");
+  return 0;
+}

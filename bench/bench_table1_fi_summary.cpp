@@ -1,0 +1,104 @@
+// Table I: summary of the twelve fault-injection campaigns in DUAL agent
+// mode — {GPU, CPU} x {transient, permanent} x {LeadSlowdown, GhostCutIn,
+// FrontAccident}. Columns: #Active, #Hang/Crash, #Total, #Accidents,
+// #Trajectory violations (without accident, td = 2 m).
+//
+// Also prints the paper's headline fault-propagation rates (§V-C) and the
+// §VI-A missed-safety-hazard probability. Run counts are scaled (DAV_SCALE);
+// the campaign STRUCTURE matches the paper (transient: uniform dynamic-
+// instruction sampling; permanent: full ISA sweep with repeats).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/detector.h"
+
+int main() {
+  using namespace dav;
+  using namespace dav::bench;
+  print_header("Table I — fault-injection campaign summary (DUAL mode)",
+               "DiverseAV (DSN'22) §V-C, Table I");
+
+  CampaignManager mgr = make_manager();
+  constexpr double kTd = 2.0;
+
+  TextTable table({"FI Target", "DS", "#Active", "Hang/Crash", "Total",
+                   "#Acc.", "#TrajViol"});
+
+  struct Agg {
+    int total = 0, active = 0, due = 0, acc = 0, viol = 0;
+  };
+  Agg gpu_trans, gpu_perm, cpu_trans, cpu_perm;
+
+  // Detector stats for the §VI-A missed-hazard probability.
+  auto train = mgr.training_observations(AgentMode::kRoundRobin);
+  ThresholdLut lut = train_lut(train, /*rw=*/3);
+  int missed_hazards = 0;
+  int total_fi_runs = 0;
+
+  const auto run_campaign = [&](FaultDomain domain, FaultModelKind kind,
+                                Agg& agg, const char* label) {
+    for (ScenarioId scenario : safety_scenarios()) {
+      const GoldenSet g =
+          golden_set(mgr, scenario, AgentMode::kRoundRobin,
+                     mgr.scale().golden_runs);
+      const auto runs =
+          mgr.fi_campaign(scenario, AgentMode::kRoundRobin, domain, kind);
+      const CampaignSummary s = summarize_campaign(runs, g.baseline, kTd);
+      table.add_row({label, to_string(scenario),
+                     std::to_string(s.active), std::to_string(s.hang_crash),
+                     std::to_string(s.total), std::to_string(s.accidents),
+                     std::to_string(s.traj_violations)});
+      agg.total += s.total;
+      agg.active += s.active;
+      agg.due += s.hang_crash;
+      agg.acc += s.accidents;
+      agg.viol += s.traj_violations;
+      total_fi_runs += s.total;
+      for (const auto& r : runs) {
+        if (is_positive(r, g.baseline, kTd) &&
+            !detect_run(r, lut, 3).alarm) {
+          ++missed_hazards;
+        }
+      }
+    }
+  };
+
+  run_campaign(FaultDomain::kGpu, FaultModelKind::kPermanent, gpu_perm,
+               "GPU-permanent");
+  run_campaign(FaultDomain::kCpu, FaultModelKind::kPermanent, cpu_perm,
+               "CPU-permanent");
+  run_campaign(FaultDomain::kGpu, FaultModelKind::kTransient, gpu_trans,
+               "GPU-transient");
+  run_campaign(FaultDomain::kCpu, FaultModelKind::kTransient, cpu_trans,
+               "CPU-transient");
+
+  std::printf("%s\n", table.render().c_str());
+
+  const auto pct = [](int num, int den) {
+    return den > 0 ? 100.0 * num / den : 0.0;
+  };
+  std::printf("Fault propagation rates (activated runs):\n");
+  std::printf("  CPU transient hang/crash: %5.1f%%  [paper: 41.2%%]\n",
+              pct(cpu_trans.due, cpu_trans.active));
+  std::printf("  CPU permanent hang/crash: %5.1f%%  [paper: 72.9%%]\n",
+              pct(cpu_perm.due, cpu_perm.active));
+  std::printf("  GPU transient hang/crash: %5.1f%%  [paper:  8.3%%]\n",
+              pct(gpu_trans.due, gpu_trans.active));
+  std::printf("  GPU permanent hang/crash: %5.1f%%  [paper: 16.0%%]\n",
+              pct(gpu_perm.due, gpu_perm.active));
+  std::printf("  CPU accidents+violations: %d     [paper: 0]\n",
+              cpu_trans.acc + cpu_trans.viol + cpu_perm.acc + cpu_perm.viol);
+  std::printf("  GPU transient acc+viol:   %5.1f%%  [paper:  0.4%%]\n",
+              pct(gpu_trans.acc + gpu_trans.viol, gpu_trans.total));
+  std::printf("  GPU permanent accidents:  %5.1f%%  [paper:  1.1%%]\n",
+              pct(gpu_perm.acc, gpu_perm.total));
+  std::printf("  GPU permanent violations: %5.1f%%  [paper:  0.9%%]\n",
+              pct(gpu_perm.viol, gpu_perm.total));
+  std::printf("\n§VI-A missed safety hazards: %d / %d = %.4f "
+              "[paper: 4/3189 = 0.001]\n",
+              missed_hazards, total_fi_runs,
+              total_fi_runs ? static_cast<double>(missed_hazards) /
+                                  total_fi_runs
+                            : 0.0);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// §VIII extension: DiverseAV on a UAV (the paper's named future work).
+// Trains the rolling-window detector on fault-free training flights, then
+// sweeps permanent CPU faults over the full CPU ISA on the gusty mission and
+// reports detection quality — the same methodology as the car campaigns, on
+// a different dynamical system whose compute profile is CPU-dominated.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fi/plan_generator.h"
+#include "uav/uav.h"
+
+namespace {
+
+using namespace dav;
+using namespace dav::uav;
+
+double max_abs_alt_err(const UavRunResult& r) { return r.max_alt_error; }
+
+bool uav_positive(const UavRunResult& r) {
+  return r.crashed || r.max_alt_error > 8.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dav::bench;
+  print_header("UAV extension — DiverseAV on a quadrotor mission",
+               "DiverseAV (DSN'22) §VIII future work");
+
+  // Train on fault-free flights (seeded sensor noise is the nondeterminism).
+  std::vector<std::vector<StepObservation>> train;
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    UavRunConfig cfg;
+    cfg.run_seed = seed;
+    train.push_back(run_uav_experiment(cfg).observations);
+  }
+  const ThresholdLut lut = train_lut(train, /*rw=*/3);
+  std::printf("trained on %zu flights: %llu observations\n", train.size(),
+              static_cast<unsigned long long>(lut.observations()));
+
+  // Golden flights must not alarm.
+  int golden_fa = 0;
+  for (std::uint64_t seed = 200; seed < 206; ++seed) {
+    UavRunConfig cfg;
+    cfg.run_seed = seed;
+    const UavRunResult r = run_uav_experiment(cfg);
+    golden_fa += replay_detector(r.observations, lut, {3}).alarmed;
+  }
+  std::printf("golden flights false alarms: %d / 6\n", golden_fa);
+
+  // Permanent CPU fault sweep over the full ISA.
+  InjectionPlanGenerator gen(77);
+  const auto plans = gen.permanent_plans(FaultDomain::kCpu, 1);
+  Confusion conf;
+  int dues = 0;
+  int crashes = 0;
+  Accumulator alt_err;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    UavRunConfig cfg;
+    cfg.fault = plans[i];
+    cfg.run_seed = 300 + i;
+    const UavRunResult r = run_uav_experiment(cfg);
+    if (r.due) {
+      ++dues;
+      continue;  // platform-detected
+    }
+    crashes += r.crashed;
+    alt_err.add(max_abs_alt_err(r));
+    const bool alarm = replay_detector(r.observations, lut, {3}).alarmed;
+    conf.add(alarm, uav_positive(r));
+  }
+
+  TextTable table({"Metric", "Value"});
+  table.add_row({"ISA opcodes swept", std::to_string(plans.size())});
+  table.add_row({"platform DUEs (crash/hang/validator)", std::to_string(dues)});
+  table.add_row({"UAV crashes (ground impact)", std::to_string(crashes)});
+  table.add_row({"max altitude error (surviving runs, mean)",
+                 TextTable::fmt(alt_err.mean(), 2) + " m"});
+  table.add_row({"detector precision", TextTable::fmt(conf.precision())});
+  table.add_row({"detector recall", TextTable::fmt(conf.recall())});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Observed shape: as in the car campaigns, most CPU faults are\n"
+              "platform-detected DUEs; the few surviving violations corrupt\n"
+              "both time-multiplexed replicas near-identically (the PID\n"
+              "pipeline has single scalar bottlenecks), so actuation\n"
+              "comparison alone catches few of them — consistent with the\n"
+              "paper's note that proving coverage in other dynamical systems\n"
+              "is exactly the open question this extension probes (§VIII).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// LeadSlowdown walk-through: runs the scenario open-box, printing what the
+// agent perceives (obstacle distance) against ground truth (CVIP), together
+// with the actuation decisions — a window into the perception -> waypoints ->
+// PID pipeline on the instrumented engines.
+#include <cstdio>
+
+#include "core/ads_system.h"
+#include "sensors/sensor_rig.h"
+#include "sim/world.h"
+
+int main() {
+  using namespace dav;
+
+  Scenario scenario = make_scenario(ScenarioId::kLeadSlowdown);
+  World world(std::move(scenario));
+
+  const auto cams = front_camera_rig();
+  SensorRig rig(cams, /*noise_seed=*/7);
+
+  GpuEngine gpu;
+  CpuEngine cpu;
+  gpu.configure({}, 0);
+  cpu.configure({}, 0);
+
+  AgentConfig agent_cfg;
+  agent_cfg.perception.center_cam = cams[1];
+  agent_cfg.mission_speed = world.scenario().target_speed;
+
+  AdsSystem ads(AgentMode::kRoundRobin, agent_cfg, gpu, cpu, nullptr, nullptr,
+                &world.map());
+
+  const double dt = 0.05;
+  std::printf(" t[s]  v[m/s]  CVIP[m]  perceived[m]  lane_off  thr   brk\n");
+  int step = 0;
+  while (!world.done()) {
+    const SensorFrame frame = rig.capture(world, step);
+    const auto sr = ads.step(frame, dt);
+    if (step % 10 == 0) {
+      const auto& p = ads.agent(sr.acting_agent).last_perception();
+      std::printf("%5.1f  %6.2f  %7.2f  %12.2f  %+8.2f  %4.2f  %4.2f\n",
+                  world.time(), world.ego().v,
+                  world.cvip() > 150 ? 999.0 : world.cvip(),
+                  p.obstacle_distance > 150 ? 999.0 : p.obstacle_distance,
+                  p.lane_offset, sr.applied.throttle, sr.applied.brake);
+    }
+    world.step(sr.applied, dt);
+    ++step;
+  }
+  std::printf("\ncollision: %s   min distance kept: ok=%s\n",
+              world.flags().collision ? "YES" : "no",
+              world.flags().collision ? "no" : "yes");
+  std::printf("GPU dyn instructions: %llu   CPU: %llu\n",
+              static_cast<unsigned long long>(gpu.total_dyn_instructions()),
+              static_cast<unsigned long long>(cpu.total_dyn_instructions()));
+  return world.flags().collision ? 1 : 0;
+}

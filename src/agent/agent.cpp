@@ -1,0 +1,47 @@
+#include "agent/agent.h"
+
+#include "agent/warmup.h"
+
+namespace dav {
+
+SensorimotorAgent::SensorimotorAgent(std::string name, AgentConfig cfg,
+                                     GpuEngine& gpu, CpuEngine& cpu,
+                                     const RoadMap* map)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      gpu_(gpu),
+      cpu_(cpu),
+      perception_(gpu, cfg.perception),
+      planner_(cpu, map, cfg.mission_speed, cfg.route_start_s),
+      control_(cpu, cfg.control) {}
+
+void SensorimotorAgent::reset() {
+  perception_.reset();
+  planner_.reset(cfg_.route_start_s);
+  control_.reset();
+  last_perception_ = {};
+  last_waypoints_ = {};
+  steps_ = 0;
+}
+
+Actuation SensorimotorAgent::act(const SensorFrame& frame, double dt) {
+  const double v_meas = frame.gps_imu.speed;
+  // Live seed for the CPU housekeeping chain (noisy measurements differ at
+  // the bit level between the agents' frames).
+  const double cpu_gain = cpu_isa_warmup(
+      cpu_, v_meas + 0.173 * frame.gps_imu.gps_x + 0.031 * steps_);
+  const double cruise = planner_.plan_cruise(v_meas, dt);
+  last_perception_ = perception_.process(frame.cameras);
+  last_waypoints_ =
+      waypoint_head(gpu_, last_perception_, v_meas, cruise, cfg_.head);
+  const Actuation cmd =
+      control_.act(last_waypoints_, v_meas, dt, cpu_gain);
+  ++steps_;
+  return cmd;
+}
+
+std::size_t SensorimotorAgent::state_bytes() const {
+  return sizeof(*this) + perception_.state_bytes();
+}
+
+}  // namespace dav

@@ -1,0 +1,62 @@
+// The Sensorimotor agent facade (paper §IV-A): High-level Route Planner +
+// CNN perception/waypoint head (GPU engine) + Waypoint Tracker and PID
+// Control Unit (CPU engine). The agent is a black box to the rest of the
+// system: sensor frames in, actuation commands out — which is what makes
+// DiverseAV a plug-and-play wrapper (paper §III-A).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "agent/control.h"
+#include "agent/perception.h"
+#include "agent/waypoint_head.h"
+#include "sensors/sensor_rig.h"
+
+namespace dav {
+
+struct AgentConfig {
+  PerceptionConfig perception;
+  WaypointHeadConfig head;
+  ControlConfig control;
+  double mission_speed = 10.0;  // route cruise set-point
+  double route_start_s = 0.0;   // initial localization along the route
+};
+
+class SensorimotorAgent {
+ public:
+  /// The engines are the (possibly shared) compute fabric: DiverseAV
+  /// time-multiplexes both agents on the same engines; the FD baseline gives
+  /// each agent dedicated engines.
+  SensorimotorAgent(std::string name, AgentConfig cfg, GpuEngine& gpu,
+                    CpuEngine& cpu, const RoadMap* map);
+
+  /// One control step: frame in, actuation out. `dt` is the time since this
+  /// agent's previous frame (2x the world tick in round-robin mode).
+  /// Propagates CrashError / HangError from the engines.
+  Actuation act(const SensorFrame& frame, double dt);
+
+  void reset();
+  const std::string& name() const { return name_; }
+  const PerceptionOutput& last_perception() const { return last_perception_; }
+  const Waypoints& last_waypoints() const { return last_waypoints_; }
+  int steps_executed() const { return steps_; }
+
+  /// Private state footprint (resource accounting, Table II: DiverseAV and FD
+  /// double memory because each agent keeps independent state).
+  std::size_t state_bytes() const;
+
+ private:
+  std::string name_;
+  AgentConfig cfg_;
+  GpuEngine& gpu_;
+  CpuEngine& cpu_;
+  Perception perception_;
+  RoutePlanner planner_;
+  ControlUnit control_;
+  PerceptionOutput last_perception_;
+  Waypoints last_waypoints_;
+  int steps_ = 0;
+};
+
+}  // namespace dav

@@ -1,0 +1,115 @@
+// Scalar calculators that route every arithmetic operation through an
+// instrumented engine, with a realistic accompanying memory/control
+// instruction mix (so the injected-fault manifestation statistics match the
+// dynamic instruction profiles the paper's tools observed).
+#pragma once
+
+#include <cmath>
+
+#include "fi/engine.h"
+
+namespace dav {
+
+/// CPU-side calculator. Each data op is preceded by an operand load and every
+/// few ops issue a store, approximating a compiled x86 mix where roughly half
+/// the dynamic instructions touch memory.
+class CpuCalc {
+ public:
+  explicit CpuCalc(CpuEngine& eng) : eng_(eng) {}
+
+  double add(double a, double b) { return data(CpuOpcode::kAdd, a + b); }
+  double sub(double a, double b) { return data(CpuOpcode::kSub, a - b); }
+  double mul(double a, double b) { return data(CpuOpcode::kMul, a * b); }
+  double div(double a, double b) { return data(CpuOpcode::kDiv, a / b); }
+  double fma(double a, double b, double c) {
+    return data(CpuOpcode::kFma, a * b + c);
+  }
+  double min(double a, double b) { return data(CpuOpcode::kMin, a < b ? a : b); }
+  double max(double a, double b) { return data(CpuOpcode::kMax, a > b ? a : b); }
+  double abs(double a) { return data(CpuOpcode::kAbs, a < 0 ? -a : a); }
+  double sqrt(double a) {
+    return data(CpuOpcode::kSqrt, a > 0 ? std::sqrt(a) : 0.0);
+  }
+  double sin(double a) { return data(CpuOpcode::kSin, std::sin(a)); }
+  double cos(double a) { return data(CpuOpcode::kCos, std::cos(a)); }
+  double atan2(double y, double x) {
+    return data(CpuOpcode::kAtan2, std::atan2(y, x));
+  }
+  double neg(double a) { return data(CpuOpcode::kNeg, -a); }
+  double clamp(double v, double lo, double hi) {
+    return data(CpuOpcode::kClampOp, v < lo ? lo : (v > hi ? hi : v));
+  }
+  /// Comparison consumes a CMP and a conditional branch.
+  bool less(double a, double b) {
+    eng_.exec(CpuOpcode::kCmp, static_cast<float>(a - b));
+    eng_.mark(CpuOpcode::kJcc);
+    return a < b;
+  }
+  double select(bool c, double a, double b) {
+    return data(CpuOpcode::kSel, c ? a : b);
+  }
+  /// Load a value from agent state (memory-class; corruption can flip bits
+  /// of the loaded value or fault the address).
+  double load(double v) {
+    return static_cast<double>(eng_.exec(CpuOpcode::kLoad, static_cast<float>(v)));
+  }
+  void store() { eng_.mark(CpuOpcode::kStore); }
+  void call() { eng_.mark(CpuOpcode::kCall); }
+  void ret() { eng_.mark(CpuOpcode::kRet); }
+  void loop_iter() { eng_.mark(CpuOpcode::kLoopCnt); }
+
+  CpuEngine& engine() { return eng_; }
+
+ private:
+  double data(CpuOpcode op, double value) {
+    eng_.bulk(CpuOpcode::kLoad, 1);  // operand fetch
+    const auto r =
+        static_cast<double>(eng_.exec(op, static_cast<float>(value)));
+    if (++since_store_ >= 3) {
+      since_store_ = 0;
+      eng_.bulk(CpuOpcode::kStore, 1);  // spill/writeback
+    }
+    return r;
+  }
+
+  CpuEngine& eng_;
+  int since_store_ = 0;
+};
+
+/// GPU-side scalar calculator for the waypoint head.
+class GpuCalc {
+ public:
+  explicit GpuCalc(GpuEngine& eng) : eng_(eng) {}
+
+  float add(float a, float b) { return eng_.exec(GpuOpcode::kFAdd, a + b); }
+  float sub(float a, float b) { return eng_.exec(GpuOpcode::kFSub, a - b); }
+  float mul(float a, float b) { return eng_.exec(GpuOpcode::kFMul, a * b); }
+  float div(float a, float b) { return eng_.exec(GpuOpcode::kFDiv, a / b); }
+  float fma(float a, float b, float c) {
+    return eng_.exec(GpuOpcode::kFFma, a * b + c);
+  }
+  float min(float a, float b) { return eng_.exec(GpuOpcode::kFMin, a < b ? a : b); }
+  float max(float a, float b) { return eng_.exec(GpuOpcode::kFMax, a > b ? a : b); }
+  float sqrt(float a) {
+    return eng_.exec(GpuOpcode::kFSqrt, a > 0.0f ? std::sqrt(a) : 0.0f);
+  }
+  float relu(float a) { return eng_.exec(GpuOpcode::kFRelu, a > 0.0f ? a : 0.0f); }
+  float clamp(float v, float lo, float hi) {
+    v = eng_.exec(GpuOpcode::kFClampLo, v < lo ? lo : v);
+    return eng_.exec(GpuOpcode::kFClampHi, v > hi ? hi : v);
+  }
+  bool less(float a, float b) {
+    eng_.exec(GpuOpcode::kFCmpLt, a - b);
+    return a < b;
+  }
+  float select(bool c, float a, float b) {
+    return eng_.exec(GpuOpcode::kFSel, c ? a : b);
+  }
+
+  GpuEngine& engine() { return eng_; }
+
+ private:
+  GpuEngine& eng_;
+};
+
+}  // namespace dav

@@ -1,0 +1,358 @@
+#include "agent/perception.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agent/calc.h"
+#include "agent/warmup.h"
+
+namespace dav {
+
+Perception::Perception(GpuEngine& eng, PerceptionConfig cfg)
+    : eng_(eng), cfg_(std::move(cfg)) {}
+
+void Perception::reset() {
+  lane_offset_ema_ = 0.0f;
+  heading_ema_ = 0.0f;
+  obstacle_ema_ = 200.0f;
+  obstacle_hist_[0] = obstacle_hist_[1] = obstacle_hist_[2] = 200.0f;
+  hist_idx_ = 0;
+  ema_init_ = false;
+}
+
+std::size_t Perception::state_bytes() const {
+  return sizeof(*this) + scratch_bytes_;
+}
+
+Perception::Masks Perception::build_masks(const Image& img, float gain) {
+  const int h = img.height();
+  const int horizon = h / 2;
+  Tensor rgb = image_rows_to_tensor(eng_, img, horizon, h);
+  const int th = rgb.height();
+  const int w = rgb.width();
+
+  Tensor vehicle(1, th, w);
+  Tensor red(1, th, w);
+  Tensor white(1, th, w);
+  const float dark_t = static_cast<float>(cfg_.dark_thresh) * gain;
+  const float blue_t = static_cast<float>(cfg_.blue_thresh) * gain;
+  const float red_t = static_cast<float>(cfg_.red_thresh) * gain;
+  const float white_t = static_cast<float>(cfg_.white_thresh) * gain;
+  for (int y = 0; y < th; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float r = rgb.at(0, y, x);
+      const float g = rgb.at(1, y, x);
+      const float b = rgb.at(2, y, x);
+      const float bright =
+          eng_.exec(GpuOpcode::kFMacc, (r + g + b) * (1.0f / 3.0f));
+      const float dark = eng_.exec(
+          GpuOpcode::kFRelu, dark_t - bright > 0.0f ? dark_t - bright : 0.0f);
+      const float blue = eng_.exec(
+          GpuOpcode::kFRelu, b - r - blue_t > 0.0f ? b - r - blue_t : 0.0f);
+      vehicle.at(0, y, x) =
+          eng_.exec(GpuOpcode::kFFma,
+                    static_cast<float>(cfg_.dark_weight) * dark +
+                        static_cast<float>(cfg_.blue_weight) * blue);
+      const float rd = r - 0.5f * (g + b) - red_t;
+      red.at(0, y, x) = eng_.exec(GpuOpcode::kFRelu, rd > 0.0f ? rd : 0.0f);
+      // Lane markings are bright AND achromatic; the chroma penalty rejects
+      // bright-but-colored blobs (vehicle bodies, painted stop lines).
+      const float chroma = std::abs(r - g) + std::abs(g - b);
+      const float wt = bright - white_t - 3.0f * chroma;
+      white.at(0, y, x) = eng_.exec(GpuOpcode::kFRelu, wt > 0.0f ? wt : 0.0f);
+    }
+  }
+
+  // Above-horizon band: red traffic-light heads (ranged via their known
+  // mount height; the painted stop line on the ground foreshortens to less
+  // than a pixel beyond ~15 m, so the head is the long-range cue).
+  const int band = std::min(cfg_.upper_band_rows, horizon);
+  Tensor red_upper(1, band, w);
+  Tensor rgb_u = image_rows_to_tensor(eng_, img, horizon - band, horizon);
+  for (int y = 0; y < band; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float r = rgb_u.at(0, y, x);
+      const float g = rgb_u.at(1, y, x);
+      const float b = rgb_u.at(2, y, x);
+      const float rd = r - 0.5f * (g + b) - red_t;
+      red_upper.at(0, y, x) =
+          eng_.exec(GpuOpcode::kFRelu, rd > 0.0f ? rd : 0.0f);
+    }
+  }
+
+  // The CNN stage: a 3x3 box convolution of the vehicle mask. Ranging uses
+  // the RAW mask (the box filter would smear the ground-contact edge a full
+  // row, biasing the depth estimate); the smoothed mask serves as the
+  // detection confirmation gate, so conv-pipeline faults propagate into the
+  // obstacle decision.
+  static const std::vector<float> kBox(9, 1.0f / 9.0f);
+  Tensor smoothed = conv2d_plane(eng_, vehicle, kBox, 1);
+  Masks m{std::move(vehicle), std::move(smoothed), std::move(red),
+          std::move(white), std::move(red_upper)};
+  scratch_bytes_ = rgb.byte_size() + m.vehicle.byte_size() * 4 +
+                   rgb_u.byte_size() + m.red_upper.byte_size();
+  return m;
+}
+
+PerceptionOutput Perception::process(const std::vector<Image>& cams) {
+  const Image& center = cams.size() > 1 ? cams[1] : cams.front();
+  // Live, bit-diverse seed for the housekeeping chain: raw pixels plus the
+  // private filter state (see warmup.h for why this must not be constant).
+  const Rgb probe = center.get(center.width() / 2, center.height() - 1);
+  const float seed = (probe.r + 2.0f * probe.g + 3.0f * probe.b) *
+                         (0.37f / 255.0f) +
+                     0.11f * lane_offset_ema_;
+  const float gain = gpu_isa_warmup(eng_, seed);
+  PerceptionOutput out;
+  out.gain = gain;
+  Masks m = build_masks(center, gain);
+  const int th = m.vehicle.height();
+  const int w = m.vehicle.width();
+  const auto f = static_cast<float>(cfg_.center_cam.focal_px());
+  const auto mh = static_cast<float>(cfg_.center_cam.mount_height);
+  const float cx = w * 0.5f;
+
+  // --- Ground-plane ranging scan: nearest in-path obstacle. -----------------
+  // Tensor row ty corresponds to depth f*mh/(ty + 0.5); scanning from the
+  // bottom row upward finds the nearest mass above threshold.
+  const float prev_lane = ema_init_ ? lane_offset_ema_ : 0.0f;
+  double vehicle_dist = 200.0;
+  double red_dist = 200.0;
+  bool vehicle_found = false;
+  bool red_found = false;
+  GpuCalc c(eng_);
+  const float threshold = static_cast<float>(cfg_.row_mass_thresh) * gain;
+  // Subpixel edge: interpolate the threshold crossing between the hit row
+  // and the (sub-threshold) row below it, so the range estimate varies
+  // smoothly instead of jumping whole rows on noise.
+  const auto edge_depth = [&](int ty, float m_hit, float m_below) {
+    const float denom = c.max(m_hit - m_below, 1e-3f);
+    const float e = c.clamp(
+        static_cast<float>(ty) + c.div(c.sub(m_hit, threshold), denom),
+        static_cast<float>(ty), static_cast<float>(ty) + 1.0f);
+    return c.div(f * mh, c.add(e, 0.5f));
+  };
+  float prev_vehicle_mass = 0.0f;
+  float prev_red_mass = 0.0f;
+  for (int ty = th - 1; ty >= 1; --ty) {
+    const float depth = c.div(f * mh, static_cast<float>(ty) + 0.5f);
+    if (depth > static_cast<float>(cfg_.max_range_m)) break;
+    const float center_px = c.sub(cx, c.div(c.mul(f, prev_lane), depth));
+    const float half_px =
+        c.div(c.mul(f, static_cast<float>(cfg_.corridor_half_m)), depth);
+    const int c0 = std::max(0, static_cast<int>(center_px - half_px));
+    const int c1 = std::min(w, static_cast<int>(center_px + half_px) + 1);
+    if (c0 >= c1) continue;
+    eng_.mark(GpuOpcode::kBra);
+    if (!vehicle_found) {
+      const float mass = window_sum(eng_, m.vehicle, 0, ty, ty + 1, c0, c1);
+      if (c.less(threshold, mass)) {
+        // Confirmation gate on the smoothed (CNN) mask around the hit row.
+        const float confirm =
+            window_sum(eng_, m.vehicle_smooth, 0, std::max(0, ty - 1),
+                       std::min(th, ty + 2), c0, c1);
+        if (c.less(c.mul(0.25f, mass), confirm)) {
+          vehicle_found = true;
+          vehicle_dist = edge_depth(ty, mass, prev_vehicle_mass);
+        }
+      }
+      prev_vehicle_mass = mass;
+    }
+    if (!red_found) {
+      const float mass = window_sum(eng_, m.red, 0, ty, ty + 1, c0, c1);
+      if (c.less(threshold, mass)) {
+        red_found = true;
+        red_dist = edge_depth(ty, mass, prev_red_mass);
+      }
+      prev_red_mass = mass;
+    }
+    if (vehicle_found && red_found) break;
+  }
+
+  // --- Traffic-light head scan (above-horizon band). ------------------------
+  // Heads sit at a known mount height on the left roadside; an image row
+  // above the horizon maps to depth f * (head_h - cam_h) / (horizon - row).
+  // Scanning from the top of the band downward finds the nearest red head.
+  if (!red_found) {
+    const int band = m.red_upper.height();
+    const float rise =
+        f * static_cast<float>(cfg_.light_head_height -
+                               cfg_.center_cam.mount_height);
+    for (int ty = 0; ty < band; ++ty) {
+      const float drop = static_cast<float>(band - ty) - 0.5f;
+      const float depth = c.div(rise, drop);
+      if (depth < 6.0f) continue;
+      if (depth > static_cast<float>(cfg_.max_range_m)) break;
+      const int c0 =
+          std::max(0, static_cast<int>(cx - c.div(f * 9.0f, depth)));
+      const int c1 =
+          std::min(w, static_cast<int>(cx - c.div(f * 1.2f, depth)) + 1);
+      if (c0 >= c1) continue;
+      eng_.mark(GpuOpcode::kBra);
+      const float mass = window_sum(eng_, m.red_upper, 0, ty, ty + 1, c0, c1);
+      if (c.less(static_cast<float>(cfg_.head_mass_thresh) * gain, mass)) {
+        // Sub-row refinement: the head spans ~2 rows; weight with the row
+        // below so the range varies smoothly instead of sticking to the
+        // coarse row-quantized depths at long range.
+        float mass_below = 0.0f;
+        if (ty + 1 < band) {
+          mass_below =
+              window_sum(eng_, m.red_upper, 0, ty + 1, ty + 2, c0, c1);
+        }
+        const float row_frac =
+            c.div(mass_below, c.max(mass + mass_below, 1e-3f));
+        const float drop_refined =
+            c.max(static_cast<float>(band - ty) - 0.5f - row_frac, 0.5f);
+        red_found = true;
+        red_dist = c.div(rise, drop_refined);
+        break;
+      }
+    }
+  }
+
+  // --- Lane centering from the white-marking mask. ---------------------------
+  // Near band (depth ~3-6.5 m) gives lateral offset; far band (~10-22 m)
+  // gives the heading slope of the lane center.
+  const auto band_rows = [&](double d_far, double d_near) {
+    const int r0 = std::max(0, static_cast<int>(f * mh / d_far));
+    const int r1 = std::min(th, static_cast<int>(f * mh / d_near) + 1);
+    return std::pair<int, int>{r0, r1};
+  };
+  // The ego lane is bounded by markings at +-half_lane. The lane center is
+  // estimated from the boundary PAIR: centroids of the left and right halves
+  // of the search window. When only one boundary is visible (dash gap,
+  // occlusion), the center is reconstructed from it and the known half-lane
+  // width — this avoids the bias a single whole-window centroid would have
+  // toward the solid edge line.
+  constexpr float kHalfLane = 1.75f;
+  const auto band_center = [&](double d_far, double d_near, double search_half)
+      -> std::pair<bool, float> {
+    const auto [r0, r1] = band_rows(d_far, d_near);
+    if (r0 >= r1) return {false, 0.0f};
+    const double d_mid = 0.5 * (d_far + d_near);
+    const float prev_center_px =
+        c.sub(cx, c.div(c.mul(f, prev_lane), static_cast<float>(d_mid)));
+    const float half_px = c.div(
+        c.mul(f, static_cast<float>(search_half)), static_cast<float>(d_mid));
+    const int c0 = std::max(0, static_cast<int>(prev_center_px - half_px));
+    const int mid = std::clamp(static_cast<int>(prev_center_px), c0, w);
+    const int c1 = std::min(w, static_cast<int>(prev_center_px + half_px) + 1);
+    if (c0 >= c1) return {false, 0.0f};
+    const CentroidResult left = col_centroid(eng_, m.white, 0, r0, r1, c0, mid);
+    const CentroidResult right =
+        col_centroid(eng_, m.white, 0, r0, r1, mid, c1);
+    const auto to_lat = [&](float col) {
+      return c.mul(c.sub(cx, col), static_cast<float>(d_mid) / f);
+    };
+    const bool left_ok = left.mass > 0.4f;
+    const bool right_ok = right.mass > 0.4f;
+    if (left_ok && right_ok) {
+      return {true, c.mul(0.5f, c.add(to_lat(left.centroid),
+                                      to_lat(right.centroid)))};
+    }
+    if (right_ok) return {true, c.add(to_lat(right.centroid), kHalfLane)};
+    if (left_ok) return {true, c.sub(to_lat(left.centroid), kHalfLane)};
+    return {false, 0.0f};
+  };
+
+  const auto [near_ok, near_lat] = band_center(6.5, 3.0, 2.6);
+  const auto [far_ok, far_lat] = band_center(22.0, 10.0, 3.8);
+
+  float lane_now = prev_lane;
+  float heading_now = ema_init_ ? heading_ema_ : 0.0f;
+  if (near_ok) lane_now = near_lat;
+  if (near_ok && far_ok) {
+    heading_now = c.div(c.sub(far_lat, near_lat), 16.0f - 4.75f);
+  }
+  // Sanity clamps: the ego cannot plausibly be further than a lane width off
+  // center; reject estimates that would run the search window off the road.
+  lane_now = c.clamp(lane_now, -3.2f, 3.2f);
+  heading_now = c.clamp(heading_now, -0.5f, 0.5f);
+
+  // --- Side cameras: proximity warning + (mostly masked) compute load. ------
+  float side_mass = 0.0f;
+  if (cams.size() == 3) {
+    for (int side = 0; side < 3; side += 2) {
+      Tensor rgb = image_rows_to_tensor(
+          eng_, cams[static_cast<std::size_t>(side)],
+          cams[static_cast<std::size_t>(side)].height() / 2,
+          cams[static_cast<std::size_t>(side)].height());
+      Tensor pooled = avg_pool(eng_, rgb, 4);
+      float mass = 0.0f;
+      for (int y = 0; y < pooled.height(); ++y) {
+        for (int x = 0; x < pooled.width(); ++x) {
+          const float r = pooled.at(0, y, x);
+          const float g = pooled.at(1, y, x);
+          const float b = pooled.at(2, y, x);
+          const float bright =
+              eng_.exec(GpuOpcode::kFMacc, (r + g + b) * (1.0f / 3.0f));
+          const float dark = eng_.exec(GpuOpcode::kFRelu,
+                                       0.09f - bright > 0.0f ? 0.09f - bright
+                                                             : 0.0f);
+          const float blue = eng_.exec(GpuOpcode::kFRelu,
+                                       b - r - 0.1f > 0.0f ? b - r - 0.1f : 0.0f);
+          mass = eng_.exec(GpuOpcode::kFMacc, mass + 8.0f * dark + 2.0f * blue);
+        }
+      }
+      side_mass = c.max(side_mass, mass);
+    }
+  }
+  out.side_warning = side_mass > static_cast<float>(cfg_.side_mass_thresh) * gain;
+
+  // --- Scene clutter from the CNN-smoothed mask (live consumer of the conv
+  // output; see PerceptionOutput::scene_clutter).
+  out.scene_clutter = window_sum(eng_, m.vehicle_smooth, 0, 0, th, w / 4,
+                                 3 * w / 4);
+
+  // --- Patch-sum features for the waypoint head's FC refinement layer:
+  // a 2x4 grid, vehicle mask on the top half rows, lane mask on the bottom.
+  for (int i = 0; i < 4; ++i) {
+    const int c0 = i * w / 4;
+    const int c1 = (i + 1) * w / 4;
+    out.features[static_cast<std::size_t>(i)] =
+        window_sum(eng_, m.vehicle, 0, 0, th / 2, c0, c1);
+    out.features[static_cast<std::size_t>(4 + i)] =
+        window_sum(eng_, m.white, 0, th / 2, th, c0, c1);
+  }
+
+  // --- Temporal smoothing (persistent private state). ------------------------
+  const auto alpha = static_cast<float>(cfg_.ema_alpha);
+  // Median-of-3 prefilter: a single-frame phantom or dropout (sensor noise,
+  // one transiently corrupted reduction) cannot capture the estimate.
+  obstacle_hist_[hist_idx_] = static_cast<float>(std::min(vehicle_dist, red_dist));
+  hist_idx_ = (hist_idx_ + 1) % 3;
+  const float ma = obstacle_hist_[0];
+  const float mb = obstacle_hist_[1];
+  const float mc = obstacle_hist_[2];
+  const float med =
+      c.max(c.min(ma, mb), c.min(c.max(ma, mb), mc));  // median of three
+  const double obstacle_now = med;
+  const bool found_now = med < 150.0f;
+  if (!ema_init_) {
+    ema_init_ = true;
+    lane_offset_ema_ = lane_now;
+    heading_ema_ = heading_now;
+    obstacle_ema_ = static_cast<float>(obstacle_now);
+  } else {
+    lane_offset_ema_ =
+        c.fma(alpha, lane_now - lane_offset_ema_, lane_offset_ema_);
+    heading_ema_ = c.fma(static_cast<float>(cfg_.heading_alpha),
+                         heading_now - heading_ema_, heading_ema_);
+    // The obstacle estimate tracks fast on approach (danger) and relaxes
+    // slowly when the obstacle vanishes (dropout robustness).
+    const float target = static_cast<float>(found_now ? obstacle_now : 200.0);
+    // Approaching obstacles are adopted immediately (latency costs safety
+    // margin, and in round-robin mode each agent already samples at half
+    // rate); estimates only relax slowly when the obstacle vanishes.
+    const float rate = (target < obstacle_ema_) ? 1.0f : 0.25f;
+    obstacle_ema_ = c.fma(rate, target - obstacle_ema_, obstacle_ema_);
+  }
+
+  out.lane_offset = lane_offset_ema_;
+  out.heading_slope = heading_ema_;
+  out.obstacle_distance = obstacle_ema_;
+  out.obstacle_valid = obstacle_ema_ < 150.0f;
+  return out;
+}
+
+}  // namespace dav

@@ -1,0 +1,153 @@
+#include "agent/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dav {
+
+Tensor image_to_tensor(GpuEngine& eng, const Image& img) {
+  return image_rows_to_tensor(eng, img, 0, img.height());
+}
+
+Tensor image_rows_to_tensor(GpuEngine& eng, const Image& img, int y0, int y1) {
+  Tensor t(3, y1 - y0, img.width());
+  eng.bulk(GpuOpcode::kLdg, static_cast<std::uint64_t>(y1 - y0) *
+                                static_cast<std::uint64_t>(img.width()) * 3);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const Rgb c = img.get(x, y);
+      t.at(0, y - y0, x) = eng.exec(GpuOpcode::kFScale, c.r * (1.0f / 255.0f));
+      t.at(1, y - y0, x) = eng.exec(GpuOpcode::kFScale, c.g * (1.0f / 255.0f));
+      t.at(2, y - y0, x) = eng.exec(GpuOpcode::kFScale, c.b * (1.0f / 255.0f));
+    }
+  }
+  eng.bulk(GpuOpcode::kStg, t.size());
+  return t;
+}
+
+Tensor conv2d_plane(GpuEngine& eng, const Tensor& plane,
+                    const std::vector<float>& kernel, int radius) {
+  const int h = plane.height();
+  const int w = plane.width();
+  const int kdim = 2 * radius + 1;
+  Tensor out(1, h, w);
+  eng.bulk(GpuOpcode::kLdg, plane.size());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int ky = -radius; ky <= radius; ++ky) {
+        const int yy = y + ky;
+        if (yy < 0 || yy >= h) continue;
+        for (int kx = -radius; kx <= radius; ++kx) {
+          const int xx = x + kx;
+          if (xx < 0 || xx >= w) continue;
+          const float kv = kernel[static_cast<std::size_t>(
+              (ky + radius) * kdim + (kx + radius))];
+          acc = eng.exec(GpuOpcode::kFMacc, acc + kv * plane.at(0, yy, xx));
+        }
+      }
+      out.at(0, y, x) = eng.exec(GpuOpcode::kFFma, acc);
+    }
+  }
+  eng.bulk(GpuOpcode::kStg, out.size());
+  return out;
+}
+
+Tensor avg_pool(GpuEngine& eng, const Tensor& t, int k) {
+  const int oh = t.height() / k;
+  const int ow = t.width() / k;
+  Tensor out(t.channels(), oh, ow);
+  eng.bulk(GpuOpcode::kLdg, t.size());
+  const float inv = 1.0f / static_cast<float>(k * k);
+  for (int c = 0; c < t.channels(); ++c) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        // Every partial sum is an instrumented FADD: a permanent fault on
+        // the accumulate opcode corrupts each step of the reduction (the
+        // register-level semantics of the paper's injectors), which is what
+        // makes corrupted aggregates diverge between data-diverse agents.
+        float acc = 0.0f;
+        for (int dy = 0; dy < k; ++dy) {
+          for (int dx = 0; dx < k; ++dx) {
+            acc = eng.exec(GpuOpcode::kFAdd,
+                           acc + t.at(c, y * k + dy, x * k + dx));
+          }
+        }
+        out.at(c, y, x) = eng.exec(GpuOpcode::kRedAdd, acc * inv);
+      }
+    }
+  }
+  eng.bulk(GpuOpcode::kStg, out.size());
+  return out;
+}
+
+void relu_inplace(GpuEngine& eng, Tensor& t) {
+  for (auto& v : t.data()) {
+    v = eng.exec(GpuOpcode::kFRelu, v > 0.0f ? v : 0.0f);
+  }
+}
+
+float row_sum(GpuEngine& eng, const Tensor& t, int channel, int row) {
+  float acc = 0.0f;
+  for (int x = 0; x < t.width(); ++x) {
+    acc = eng.exec(GpuOpcode::kFAdd, acc + t.at(channel, row, x));
+  }
+  return eng.exec(GpuOpcode::kRedAdd, acc);
+}
+
+CentroidResult col_centroid(GpuEngine& eng, const Tensor& t, int channel,
+                            int row_begin, int row_end, int col_begin,
+                            int col_end) {
+  float mass = 0.0f;
+  float weighted = 0.0f;
+  for (int y = row_begin; y < row_end; ++y) {
+    for (int x = col_begin; x < col_end; ++x) {
+      const float v = t.at(channel, y, x);
+      mass = eng.exec(GpuOpcode::kFAdd, mass + v);
+      weighted =
+          eng.exec(GpuOpcode::kFMacc, weighted + v * static_cast<float>(x));
+    }
+  }
+  CentroidResult r;
+  r.mass = eng.exec(GpuOpcode::kRedAdd, mass);
+  if (r.mass > 1e-6f) {
+    r.centroid = eng.exec(GpuOpcode::kFDiv, weighted / r.mass);
+  } else {
+    r.centroid = eng.exec(GpuOpcode::kMovReg, -1.0f);
+  }
+  return r;
+}
+
+float window_sum(GpuEngine& eng, const Tensor& t, int channel, int row_begin,
+                 int row_end, int col_begin, int col_end) {
+  float acc = 0.0f;
+  for (int y = row_begin; y < row_end; ++y) {
+    for (int x = col_begin; x < col_end; ++x) {
+      acc = eng.exec(GpuOpcode::kFAdd, acc + t.at(channel, y, x));
+    }
+  }
+  return eng.exec(GpuOpcode::kRedAdd, acc);
+}
+
+std::vector<float> fully_connected(GpuEngine& eng, const std::vector<float>& in,
+                                   const std::vector<float>& weights,
+                                   const std::vector<float>& bias,
+                                   bool apply_relu) {
+  const std::size_t n = in.size();
+  const std::size_t m = bias.size();
+  std::vector<float> out(m, 0.0f);
+  eng.bulk(GpuOpcode::kLdg, n + weights.size());
+  for (std::size_t j = 0; j < m; ++j) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = eng.exec(GpuOpcode::kFMacc, acc + weights[j * n + i] * in[i]);
+    }
+    acc = eng.exec(GpuOpcode::kFBias, acc + bias[j]);
+    if (apply_relu) acc = eng.exec(GpuOpcode::kFRelu, acc > 0.0f ? acc : 0.0f);
+    out[j] = acc;
+  }
+  eng.bulk(GpuOpcode::kStg, m);
+  return out;
+}
+
+}  // namespace dav

@@ -1,0 +1,132 @@
+#include "agent/warmup.h"
+
+#include <cmath>
+
+namespace dav {
+
+namespace {
+
+/// The same arithmetic chain evaluated with and without instrumentation; the
+/// ratio is exactly 1.0 unless a fault corrupted the instrumented path.
+template <typename Exec>
+float gpu_chain(Exec&& x, float seed) {
+  float g = x(GpuOpcode::kMovReg, seed);
+  g = x(GpuOpcode::kFAdd, g + 0.5f);
+  g = x(GpuOpcode::kFSub, g - 0.5f);
+  g = x(GpuOpcode::kFMul, g * 2.0f);
+  g = x(GpuOpcode::kFFma, g * 0.5f + 0.25f);
+  g = x(GpuOpcode::kFBias, g - 0.25f);
+  g = x(GpuOpcode::kFDiv, g / 1.0f);
+  g = x(GpuOpcode::kFRcp, 1.0f / g);
+  g = x(GpuOpcode::kFSqrt, std::sqrt(std::fabs(g)));
+  g = x(GpuOpcode::kFRsqrt, 1.0f / std::sqrt(std::fabs(g) + 1e-12f));
+  g = x(GpuOpcode::kFMin, g < 2.0f ? g : 2.0f);
+  g = x(GpuOpcode::kFMax, g > 0.25f ? g : 0.25f);
+  g = x(GpuOpcode::kFAbs, std::fabs(g));
+  g = x(GpuOpcode::kFNeg, -g);
+  g = x(GpuOpcode::kFNeg, -g);
+  g = x(GpuOpcode::kFExp, std::exp(g - 1.0f));
+  g = x(GpuOpcode::kFLog, std::log(std::fabs(g) + 1e-12f) + 1.0f);
+  g = x(GpuOpcode::kFTanh, std::tanh(g));
+  g = x(GpuOpcode::kFSigmoid, 1.0f / (1.0f + std::exp(-g)));
+  g = x(GpuOpcode::kFScale, g * (1.0f / 0.67503753f));  // undo tanh+sigmoid
+  g = x(GpuOpcode::kFRelu, g > 0.0f ? g : 0.0f);
+  g = x(GpuOpcode::kFFloor, std::floor(g + 0.5f));
+  // Re-inject the live seed: floor quantizes, which would otherwise collapse
+  // the data diversity for the rest of the chain.
+  g = x(GpuOpcode::kFMul, g * seed);
+  g = x(GpuOpcode::kFClampLo, g < 0.1f ? 0.1f : g);
+  g = x(GpuOpcode::kFClampHi, g > 10.0f ? 10.0f : g);
+  x(GpuOpcode::kFCmpLt, g - 2.0f);
+  x(GpuOpcode::kFCmpGt, g - 0.5f);
+  g = x(GpuOpcode::kFSel, g > 0.5f ? g : 0.5f);
+  // The select can collapse to its constant arm; keep the live data flowing.
+  g = x(GpuOpcode::kFDot, g * (0.5f + 0.5f * seed));
+  g = x(GpuOpcode::kFMacc, g + 0.01f * seed);
+  g = x(GpuOpcode::kRedAdd, g);
+  g = x(GpuOpcode::kRedMax, g);
+  g = x(GpuOpcode::kRedMin, g);
+  const float i0 = x(GpuOpcode::kCvtF2I, std::trunc(g * 8.0f));
+  const float i1 = x(GpuOpcode::kIAdd, i0 + 8.0f);
+  const float i2 = x(GpuOpcode::kIMul, i1 * 2.0f);
+  const float i3 = x(GpuOpcode::kIMad, i2 * 1.0f + 0.0f);
+  g = x(GpuOpcode::kCvtI2F, i3 / 32.0f);
+  // Final seed blend: the integer stage truncates, re-diversify once more.
+  g = x(GpuOpcode::kFFma, g * seed + seed);
+  return g;
+}
+
+template <typename Exec>
+double cpu_chain(Exec&& x, double seed) {
+  double g = x(CpuOpcode::kMovReg, seed);
+  g = x(CpuOpcode::kAdd, g + 0.5);
+  g = x(CpuOpcode::kSub, g - 0.5);
+  g = x(CpuOpcode::kMul, g * 2.0);
+  g = x(CpuOpcode::kDiv, g / 2.0);
+  g = x(CpuOpcode::kFma, g * 1.0 + 0.0);
+  g = x(CpuOpcode::kMin, g < 2.0 ? g : 2.0);
+  g = x(CpuOpcode::kMax, g > 0.25 ? g : 0.25);
+  g = x(CpuOpcode::kAbs, std::fabs(g));
+  g = x(CpuOpcode::kSqrt, std::sqrt(std::fabs(g)));
+  const double s = x(CpuOpcode::kSin, std::sin(g));
+  const double c = x(CpuOpcode::kCos, std::cos(g));
+  g = x(CpuOpcode::kAtan2, std::atan2(s, c));  // == g for g in (-pi, pi)
+  x(CpuOpcode::kCmp, g - 1.0);
+  g = x(CpuOpcode::kSel, g > 0.0 ? g : 1.0);
+  g = x(CpuOpcode::kClampOp, g < 0.01 ? 0.01 : (g > 100.0 ? 100.0 : g));
+  g = x(CpuOpcode::kNeg, -g);
+  g = x(CpuOpcode::kNeg, -g);
+  g = x(CpuOpcode::kCvt, static_cast<double>(static_cast<float>(g)));
+  return g;
+}
+
+}  // namespace
+
+float gpu_isa_warmup(GpuEngine& eng, float seed) {
+  // Keep the chain's operating point benign regardless of the raw seed.
+  const float s = 1.0f + 0.25f * (seed - std::floor(seed));
+  const float instrumented =
+      gpu_chain([&](GpuOpcode op, float v) { return eng.exec(op, v); }, s);
+  const float expected =
+      gpu_chain([](GpuOpcode, float v) { return v; }, s);
+  // Touch the memory/control opcodes not covered by the value chain.
+  eng.bulk(GpuOpcode::kLdg, 8);
+  eng.bulk(GpuOpcode::kStg, 4);
+  eng.bulk(GpuOpcode::kShflIdx, 2);
+  eng.mark(GpuOpcode::kBra);
+  eng.mark(GpuOpcode::kBar);
+  if (expected == 0.0f) return 1.0f;
+  return instrumented / expected;
+}
+
+double cpu_isa_warmup(CpuEngine& eng, double seed) {
+  const double s = 1.0 + 0.25 * (seed - std::floor(seed));
+  const double instrumented = cpu_chain(
+      [&](CpuOpcode op, double v) {
+        return static_cast<double>(eng.exec(op, static_cast<float>(v)));
+      },
+      s);
+  const double expected = cpu_chain(
+      [](CpuOpcode, double v) {
+        return static_cast<double>(static_cast<float>(v));
+      },
+      s);
+  eng.bulk(CpuOpcode::kLea, 4);
+  eng.bulk(CpuOpcode::kLoad, 6);
+  eng.bulk(CpuOpcode::kStore, 3);
+  eng.bulk(CpuOpcode::kPush, 2);
+  eng.bulk(CpuOpcode::kPop, 2);
+  eng.bulk(CpuOpcode::kIndex, 2);
+  eng.bulk(CpuOpcode::kPtrAdd, 2);
+  eng.bulk(CpuOpcode::kMemCpy, 1);
+  eng.mark(CpuOpcode::kJmp);
+  eng.mark(CpuOpcode::kJcc);
+  eng.mark(CpuOpcode::kCall);
+  eng.mark(CpuOpcode::kRet);
+  eng.mark(CpuOpcode::kLoopCnt);
+  eng.mark(CpuOpcode::kSwitch);
+  if (expected == 0.0) return 1.0;
+  return instrumented / expected;
+}
+
+}  // namespace dav

@@ -1,0 +1,28 @@
+// Per-frame ISA coverage routines.
+//
+// The paper's permanent-fault campaigns sweep every opcode of the target ISA
+// and report every injection as activated (Table I: 513/513 GPU, 393/393
+// CPU), i.e. the workload executes the full instruction vocabulary each run.
+// Our perception/control pipelines exercise most — these warmup kernels
+// compute per-frame normalization constants using the remaining opcodes so
+// that a permanent fault in ANY opcode is activated and feeds (mildly) into
+// the live data path, exactly as miscellaneous housekeeping instructions do
+// in a real binary.
+#pragma once
+
+#include "fi/engine.h"
+
+namespace dav {
+
+/// Returns a gain factor that is exactly 1.0 fault-free; computed through
+/// every GPU opcode. `seed` must be live, frame-derived data (pixel values,
+/// filter state): real housekeeping instructions operate on live data, so a
+/// corrupted instruction produces agent-dependent garbage — which is what
+/// gives DiverseAV's data diversity its detection power. Seeding with a
+/// constant would make the corruption common-mode across the two agents.
+float gpu_isa_warmup(GpuEngine& eng, float seed);
+
+/// CPU counterpart; seed from live measurements (e.g. noisy wheel speed).
+double cpu_isa_warmup(CpuEngine& eng, double seed);
+
+}  // namespace dav

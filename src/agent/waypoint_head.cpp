@@ -1,0 +1,88 @@
+#include "agent/waypoint_head.h"
+
+#include "agent/calc.h"
+#include "agent/tensor.h"
+
+namespace dav {
+
+namespace {
+
+/// Fixed weights of the FC refinement layer (a pretrained network's weights
+/// are constants at inference time). Deterministic pseudo-random small
+/// values; two output units refine the lateral path, two the speed.
+struct FcWeights {
+  std::vector<float> w;
+  std::vector<float> b;
+  FcWeights() : b(4, 0.02f) {
+    std::uint32_t s = 0x5a17c3d1u;
+    for (int i = 0; i < 4 * 8; ++i) {
+      s = s * 1664525u + 1013904223u;
+      w.push_back(((s >> 8) & 0xFFFF) / 65535.0f * 0.04f - 0.02f);
+    }
+  }
+};
+
+}  // namespace
+
+Waypoints waypoint_head(GpuEngine& eng, const PerceptionOutput& p,
+                        double v_meas, double cruise,
+                        const WaypointHeadConfig& cfg) {
+  GpuCalc c(eng);
+  const auto obst = static_cast<float>(p.obstacle_distance);
+  const auto margin = static_cast<float>(cfg.stop_margin);
+
+  // Speed envelope: headway-limited and braking-limited approach speeds
+  // toward the nearest obstacle, capped by the cruise set-point.
+  const float gap = c.max(0.0f, c.sub(obst, margin));
+  const float v_headway = c.div(gap, static_cast<float>(cfg.headway));
+  const float v_brake =
+      c.sqrt(c.mul(2.0f * static_cast<float>(cfg.comfort_decel), gap));
+  // Curve slowdown is handled upstream by the route planner's map-based
+  // cornering envelope (deterministic across replicas); basing it on the
+  // noisy perceived slope here would add fault-free divergence.
+  float v_des = c.min(static_cast<float>(cruise), c.min(v_headway, v_brake));
+  // Continuous caution from the scene-clutter signal: saturates at 1.0 for
+  // ordinary scenes (no fault-free effect) and sheds speed smoothly when the
+  // forward view reads as heavily cluttered — which is also how a corrupted
+  // perception pipeline keeps influencing actuation rather than degrading to
+  // clean defaults.
+  const float clutter = c.max(static_cast<float>(p.scene_clutter), 0.0f);
+  const float caution =
+      c.clamp(1.1f - 0.0125f * c.sqrt(clutter), 0.55f, 1.0f);
+  v_des = c.mul(v_des, caution);
+
+  // FC refinement layer over the coarse mask features (the CNN's final
+  // fully-connected stage). Its fault-free contribution is a small, scene-
+  // consistent trim; under register-level corruption the MAC chains turn
+  // chaotic in the agent's bit-diverse input, so the refinement is where a
+  // "cleanly degraded" fault still shows up in the actuation.
+  static const FcWeights kFc;
+  const std::vector<float> feat(p.features.begin(), p.features.end());
+  const std::vector<float> fc = fully_connected(eng, feat, kFc.w, kFc.b);
+  const float lat_refine =
+      c.clamp(c.mul(0.05f, c.sub(fc[0], fc[1])), -0.4f, 0.4f);
+  const float v_factor =
+      c.clamp(c.fma(0.04f, fc[2] - fc[3], 1.0f), 0.8f, 1.2f);
+  v_des = c.mul(v_des, v_factor);
+  if (p.side_warning) {
+    // Something very close in a side camera: hold speed, do not accelerate.
+    v_des = c.min(v_des, static_cast<float>(v_meas));
+  }
+  v_des = c.clamp(v_des, 0.0f, static_cast<float>(cruise));
+
+  // Spacing encodes speed; lane geometry shapes the lateral profile.
+  const float spacing =
+      c.max(static_cast<float>(cfg.min_spacing),
+            c.mul(v_des, static_cast<float>(cfg.wp_dt)));
+  Waypoints wps;
+  for (int i = 0; i < 4; ++i) {
+    const float xi = c.mul(spacing, static_cast<float>(i + 1));
+    const float yi = c.add(c.fma(static_cast<float>(p.heading_slope), xi,
+                                 static_cast<float>(p.lane_offset)),
+                           lat_refine);
+    wps.pts[static_cast<std::size_t>(i)] = {xi, yi};
+  }
+  return wps;
+}
+
+}  // namespace dav

@@ -1,0 +1,33 @@
+// Waypoint head: the final stage of the GPU pipeline. From the perception
+// estimates it emits four local waypoints (the Sensorimotor agent's CNN
+// "predicts the path ... by outputting four local waypoints for each time
+// step"); their spacing encodes the desired speed, which the CPU-side
+// waypoint tracker decodes.
+#pragma once
+
+#include <array>
+
+#include "agent/perception.h"
+#include "fi/engine.h"
+#include "util/vec2.h"
+
+namespace dav {
+
+struct WaypointHeadConfig {
+  double comfort_decel = 3.6;  // m/s^2 used to derive the braking envelope
+  double stop_margin = 5.0;    // m, standstill gap behind an obstacle
+  double headway = 1.05;       // s, desired time gap
+  double wp_dt = 0.5;          // s between successive waypoints
+  double min_spacing = 0.12;   // m, spacing emitted at standstill
+};
+
+/// Four waypoints in the ego frame (x forward, y left).
+struct Waypoints {
+  std::array<Vec2, 4> pts;
+};
+
+Waypoints waypoint_head(GpuEngine& eng, const PerceptionOutput& p,
+                        double v_meas, double cruise,
+                        const WaypointHeadConfig& cfg);
+
+}  // namespace dav

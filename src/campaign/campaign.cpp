@@ -1,0 +1,124 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace dav {
+
+CampaignScale CampaignScale::from_env() {
+  CampaignScale s;
+  if (const char* env = std::getenv("DAV_SCALE")) {
+    const double k = std::atof(env);
+    if (k > 0.0) {
+      s.transient_runs = std::max(4, static_cast<int>(s.transient_runs * k));
+      s.permanent_repeats =
+          std::max(1, static_cast<int>(std::lround(s.permanent_repeats * k)));
+      s.golden_runs = std::max(3, static_cast<int>(s.golden_runs * k));
+      s.training_runs_per_scenario = std::max(
+          1, static_cast<int>(std::lround(s.training_runs_per_scenario * k)));
+    }
+  }
+  return s;
+}
+
+CampaignManager::CampaignManager(CampaignScale scale, std::uint64_t seed)
+    : scale_(scale), seed_(seed) {}
+
+std::uint64_t CampaignManager::run_seed(ScenarioId scenario, AgentMode mode,
+                                        int domain_tag, int kind_tag,
+                                        int index) const {
+  std::uint64_t s = seed_;
+  s = splitmix64(s) ^ (static_cast<std::uint64_t>(scenario) << 8);
+  s = splitmix64(s) ^ (static_cast<std::uint64_t>(mode) << 16);
+  s = splitmix64(s) ^ (static_cast<std::uint64_t>(domain_tag) << 24);
+  s = splitmix64(s) ^ (static_cast<std::uint64_t>(kind_tag) << 32);
+  s = splitmix64(s) ^ static_cast<std::uint64_t>(index);
+  return splitmix64(s);
+}
+
+RunConfig CampaignManager::base_config(ScenarioId scenario,
+                                       AgentMode mode) const {
+  RunConfig cfg;
+  cfg.scenario = scenario;
+  cfg.mode = mode;
+  cfg.scenario_opts = scale_.scenario_options();
+  return cfg;
+}
+
+std::vector<RunResult> CampaignManager::golden(ScenarioId scenario,
+                                               AgentMode mode, int count) {
+  std::vector<RunResult> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    RunConfig cfg = base_config(scenario, mode);
+    cfg.run_seed = run_seed(scenario, mode, /*domain_tag=*/9, /*kind_tag=*/0, i);
+    out.push_back(run_experiment(cfg));
+  }
+  return out;
+}
+
+ExecutionProfile CampaignManager::profile(ScenarioId scenario, AgentMode mode,
+                                          FaultDomain domain) {
+  RunConfig cfg = base_config(scenario, mode);
+  cfg.run_seed = run_seed(scenario, mode, /*domain_tag=*/8, /*kind_tag=*/0, 0);
+  const RunResult r = run_experiment(cfg);
+  ExecutionProfile p;
+  p.domain = domain;
+  p.total_dyn_instructions = domain == FaultDomain::kGpu
+                                 ? r.gpu_instructions
+                                 : r.cpu_instructions;
+  // In duplicate mode only engine set 0 is faulted; halve the span.
+  if (mode == AgentMode::kDuplicate) p.total_dyn_instructions /= 2;
+  return p;
+}
+
+std::vector<RunResult> CampaignManager::fi_campaign(ScenarioId scenario,
+                                                    AgentMode mode,
+                                                    FaultDomain domain,
+                                                    FaultModelKind kind) {
+  const int domain_tag = domain == FaultDomain::kGpu ? 0 : 1;
+  const int kind_tag = kind == FaultModelKind::kTransient ? 1 : 2;
+  InjectionPlanGenerator gen(
+      run_seed(scenario, mode, domain_tag, kind_tag, /*index=*/-1));
+
+  std::vector<FaultPlan> plans;
+  if (kind == FaultModelKind::kTransient) {
+    const ExecutionProfile prof = profile(scenario, mode, domain);
+    // GPU transient sites always land inside the execution (all 500 GPU
+    // injections in Table I activated); CPU sites oversample past the end so
+    // a realistic fraction never activates.
+    const double over = domain == FaultDomain::kGpu ? 0.95 : 1.3;
+    plans = gen.transient_plans(prof, scale_.transient_runs, over);
+  } else {
+    plans = gen.permanent_plans(domain, scale_.permanent_repeats);
+  }
+
+  std::vector<RunResult> out;
+  out.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    RunConfig cfg = base_config(scenario, mode);
+    cfg.fault = plans[i];
+    cfg.run_seed = run_seed(scenario, mode, domain_tag, kind_tag,
+                            static_cast<int>(i));
+    out.push_back(run_experiment(cfg));
+  }
+  return out;
+}
+
+std::vector<std::vector<StepObservation>>
+CampaignManager::training_observations(AgentMode mode) {
+  std::vector<std::vector<StepObservation>> out;
+  for (ScenarioId scenario : training_scenarios()) {
+    for (int i = 0; i < scale_.training_runs_per_scenario; ++i) {
+      RunConfig cfg = base_config(scenario, mode);
+      cfg.run_seed = run_seed(scenario, mode, /*domain_tag=*/7, /*kind_tag=*/0, i);
+      out.push_back(run_experiment(cfg).observations);
+    }
+  }
+  return out;
+}
+
+}  // namespace dav

@@ -1,0 +1,71 @@
+// Campaign Manager (paper Fig 3): reads the experiment configuration,
+// launches the Injection Plan Generator, and drives golden runs, fault
+// injection sweeps and detector training.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/driver.h"
+#include "fi/plan_generator.h"
+
+namespace dav {
+
+/// Campaign sizing. The paper's campaigns (500 transient sites, 3 permanent
+/// repeats per opcode, 50 golden runs, 10-15 min training routes) ran for
+/// weeks on a GPU testbed; the defaults here reproduce the same structure at
+/// simulation scale. Set DAV_SCALE=<float> to scale the counts.
+struct CampaignScale {
+  int transient_runs = 40;           // paper: 500
+  int permanent_repeats = 1;         // paper: 3
+  int golden_runs = 10;              // paper: 50
+  int training_runs_per_scenario = 2;
+  double safety_duration_sec = 30.0;
+  double long_route_duration_sec = 60.0;  // paper: 10-15 min
+
+  /// Reads DAV_SCALE (default 1.0) and multiplies the run counts.
+  static CampaignScale from_env();
+
+  ScenarioOptions scenario_options() const {
+    return {long_route_duration_sec, safety_duration_sec};
+  }
+};
+
+class CampaignManager {
+ public:
+  CampaignManager(CampaignScale scale, std::uint64_t seed = 2022);
+
+  const CampaignScale& scale() const { return scale_; }
+
+  /// Base configuration for one run of `scenario` in `mode`.
+  RunConfig base_config(ScenarioId scenario, AgentMode mode) const;
+
+  /// Golden (fault-free) runs; run-to-run variation comes from sensor noise.
+  std::vector<RunResult> golden(ScenarioId scenario, AgentMode mode,
+                                int count);
+
+  /// Profile run: counts dynamic instructions for transient site selection.
+  ExecutionProfile profile(ScenarioId scenario, AgentMode mode,
+                           FaultDomain domain);
+
+  /// One fault-injection campaign: `domain` x `kind` on `scenario` in `mode`.
+  /// Transient campaigns sample scale().transient_runs sites uniformly over
+  /// the profiled execution; permanent campaigns sweep the full ISA with
+  /// scale().permanent_repeats repeats.
+  std::vector<RunResult> fi_campaign(ScenarioId scenario, AgentMode mode,
+                                     FaultDomain domain, FaultModelKind kind);
+
+  /// Fault-free observation traces from the three long training scenarios
+  /// (input to train_lut; paper §III-D trains on long scenarios only).
+  std::vector<std::vector<StepObservation>> training_observations(
+      AgentMode mode);
+
+ private:
+  std::uint64_t run_seed(ScenarioId scenario, AgentMode mode, int domain_tag,
+                         int kind_tag, int index) const;
+
+  CampaignScale scale_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dav

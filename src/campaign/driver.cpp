@@ -1,0 +1,187 @@
+#include "campaign/driver.h"
+
+#include <cmath>
+
+#include "sensors/sensor_rig.h"
+#include "util/rng.h"
+
+namespace dav {
+
+namespace {
+
+bool actuation_finite(const Actuation& cmd) {
+  return std::isfinite(cmd.throttle) && std::isfinite(cmd.brake) &&
+         std::isfinite(cmd.steer);
+}
+
+AgentConfig make_agent_config(const RunConfig& cfg, const Scenario& scenario,
+                              const CameraModel& center_cam) {
+  AgentConfig ac;
+  ac.perception.center_cam = center_cam;
+  ac.mission_speed = scenario.target_speed;
+  ac.route_start_s = scenario.ego_start_s;
+  ac.control.wheelbase = scenario.ego_spec.wheelbase;
+  ac.control.max_steer_angle = scenario.ego_spec.max_steer_angle;
+  return ac;
+}
+
+}  // namespace
+
+RunResult run_experiment(const RunConfig& cfg) {
+  Scenario scenario =
+      make_scenario(cfg.scenario, cfg.scenario_seed, cfg.scenario_opts);
+  World world(std::move(scenario));
+
+  const auto rig_models =
+      front_camera_rig(cfg.cam_width, cfg.cam_height, cfg.camera_noise_sigma);
+  Rng seeder(cfg.run_seed);
+  SensorRig rig(rig_models, seeder.split(1)());
+
+  // Engine set 0 is the (potentially faulty) primary processor pair; the FD
+  // baseline adds a clean dedicated set for the replica.
+  GpuEngine gpu0;
+  CpuEngine cpu0;
+  GpuEngine gpu1;
+  CpuEngine cpu1;
+  const auto engine_seed = seeder.split(2)();
+  gpu0.configure(cfg.fault, engine_seed,
+                 CrashHangModel::for_model(FaultDomain::kGpu, cfg.fault.kind));
+  cpu0.configure(cfg.fault, engine_seed ^ 0xC0FFEE,
+                 CrashHangModel::for_model(FaultDomain::kCpu, cfg.fault.kind));
+  FaultPlan none;
+  gpu1.configure(none, 0);
+  cpu1.configure(none, 0);
+
+  const bool duplicate = cfg.mode == AgentMode::kDuplicate;
+  AdsSystem ads(cfg.mode,
+                make_agent_config(cfg, world.scenario(), rig_models[1]), gpu0,
+                cpu0, duplicate ? &gpu1 : nullptr,
+                duplicate ? &cpu1 : nullptr, &world.map(), cfg.overlap_ratio);
+
+  RunResult result;
+  result.scenario = cfg.scenario;
+  result.mode = cfg.mode;
+  result.fault = cfg.fault;
+  result.sensor_frame_bytes = rig.frame_bytes();
+
+  Actuation last_applied;
+  bool failing_back = false;  // platform failback engaged after a DUE
+  double stationary_sec = 0.0;
+  int step = 0;
+
+  const auto legitimately_stopped = [&]() {
+    if (world.cvip() < 12.0) return true;  // queued behind a vehicle
+    const auto light = world.map().next_light_after(world.ego_route_s());
+    return light && light->s - world.ego_route_s() < 15.0 &&
+           light->phase_at(world.time()) != TrafficLight::Phase::kGreen;
+  };
+
+  while (!world.done()) {
+    Actuation applied = last_applied;
+    if (failing_back) {
+      // Fail-back system: bring the vehicle to a safe stop (paper §I assumes
+      // a failback "that can be invoked on error to bring the vehicle to a
+      // safe state").
+      applied = Actuation{0.0, 0.45, 0.0};
+      if (world.ego().v < 0.05) break;
+    } else {
+      const SensorFrame frame = rig.capture(world, step);
+      try {
+        const AdsSystem::StepResult sr = ads.step(frame, cfg.dt);
+        // Output plausibility validation (ISO 26262-style): a non-finite
+        // actuation command is a platform-detected DUE — the ECU rejects it
+        // and engages the failback, exactly like a crashed agent process.
+        if (!actuation_finite(sr.applied)) {
+          result.due = true;
+          result.due_time = world.time();
+          result.outcome = FaultOutcome::kCrash;
+          failing_back = true;
+          continue;
+        }
+        applied = sr.applied.clamped();
+        if (sr.have_delta) {
+          result.observations.push_back(
+              StepObservation{world.time(), world.ego(), sr.delta});
+        }
+        if (cfg.record_traces) {
+          result.acting_agent_trace.push_back(sr.acting_agent);
+        }
+      } catch (const CrashError&) {
+        result.due = true;
+        result.due_time = world.time();
+        result.outcome = FaultOutcome::kCrash;
+        failing_back = true;
+        applied = last_applied;
+      } catch (const HangError&) {
+        // The agent stops responding; the vehicle coasts on the last command
+        // until the watchdog fires, then the failback engages.
+        result.due = true;
+        result.due_time = world.time() + cfg.watchdog_sec;
+        result.outcome = FaultOutcome::kHang;
+        const int coast_steps =
+            static_cast<int>(cfg.watchdog_sec / cfg.dt);
+        for (int i = 0; i < coast_steps && !world.done(); ++i) {
+          world.step(last_applied, cfg.dt);
+        }
+        failing_back = true;
+        applied = last_applied;
+      }
+    }
+
+    if (cfg.record_traces && !failing_back) {
+      result.time_trace.push_back(world.time());
+      result.throttle_trace.push_back(applied.throttle);
+      result.brake_trace.push_back(applied.brake);
+      result.steer_trace.push_back(applied.steer);
+      result.cvip_trace.push_back(world.cvip());
+    }
+
+    world.step(applied, cfg.dt);
+    last_applied = applied;
+    ++step;
+
+    // Stuck-vehicle watchdog (platform-level plausibility monitoring).
+    if (!failing_back && cfg.stuck_watchdog_sec > 0.0) {
+      if (world.ego().v < 0.3 && !legitimately_stopped()) {
+        stationary_sec += cfg.dt;
+        if (stationary_sec >= cfg.stuck_watchdog_sec) {
+          result.due = true;
+          result.due_time = world.time();
+          result.outcome = FaultOutcome::kHang;
+          failing_back = true;
+        }
+      } else {
+        stationary_sec = 0.0;
+      }
+    }
+  }
+
+  result.dt = cfg.dt;
+  result.collision = world.flags().collision;
+  result.collision_time = world.first_collision_time();
+  result.flags = world.flags();
+  result.trajectory = world.trajectory();
+  result.duration = world.time();
+  result.steps = world.step_count();
+  result.fault_activated = gpu0.fault_activated() || cpu0.fault_activated();
+  if (result.outcome != FaultOutcome::kCrash &&
+      result.outcome != FaultOutcome::kHang) {
+    if (!cfg.fault.active()) {
+      result.outcome = FaultOutcome::kMasked;  // golden run: nothing injected
+    } else if (!result.fault_activated) {
+      result.outcome = FaultOutcome::kNotActivated;
+    } else if (gpu0.corruption_count() + cpu0.corruption_count() > 0) {
+      result.outcome = FaultOutcome::kSdc;
+    } else {
+      result.outcome = FaultOutcome::kMasked;
+    }
+  }
+  result.gpu_instructions =
+      gpu0.total_dyn_instructions() + gpu1.total_dyn_instructions();
+  result.cpu_instructions =
+      cpu0.total_dyn_instructions() + cpu1.total_dyn_instructions();
+  result.agent_state_bytes = ads.state_bytes();
+  return result;
+}
+
+}  // namespace dav

@@ -1,0 +1,102 @@
+#include "campaign/metrics.h"
+
+#include <algorithm>
+
+namespace dav {
+
+Trajectory golden_baseline(const std::vector<RunResult>& golden_runs) {
+  std::vector<Trajectory> trajs;
+  trajs.reserve(golden_runs.size());
+  for (const auto& r : golden_runs) trajs.push_back(r.trajectory);
+  return mean_trajectory(trajs);
+}
+
+double run_divergence(const RunResult& run, const Trajectory& baseline) {
+  return max_divergence(run.trajectory, baseline);
+}
+
+bool is_positive(const RunResult& run, const Trajectory& baseline, double td) {
+  if (run.collision) return true;
+  // A DUE run stops under the failback system; its divergence from the
+  // baseline is the *intended* safe-stop, not a silent hazard.
+  if (run.due) return false;
+  return run_divergence(run, baseline) >= td;
+}
+
+double violation_onset_time(const RunResult& run, const Trajectory& baseline,
+                            double td) {
+  if (run.collision) return run.collision_time;
+  const std::size_t n = std::min(run.trajectory.size(), baseline.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (distance(run.trajectory.at(i), baseline.at(i)) >= td) {
+      return static_cast<double>(i) * run.dt;
+    }
+  }
+  return -1.0;
+}
+
+Detection detect_run(const RunResult& run, const ThresholdLut& lut,
+                     std::size_t rw) {
+  Detection d;
+  const ReplayResult rr = replay_detector(run.observations, lut, {rw});
+  if (rr.alarmed) {
+    d.alarm = true;
+    d.time = rr.alarm_time;
+  }
+  if (run.due && (!d.alarm || run.due_time < d.time)) {
+    d.alarm = true;
+    d.time = run.due_time;
+  }
+  return d;
+}
+
+DetectionEval evaluate_detection(const std::vector<RunResult>& fi_runs,
+                                 const std::vector<RunResult>& golden_runs,
+                                 const Trajectory& baseline,
+                                 const ThresholdLut& lut, std::size_t rw,
+                                 double td) {
+  DetectionEval eval;
+  for (const auto& run : fi_runs) {
+    // Hangs and crashes are platform-detected DUEs; the statistical detector
+    // is evaluated on the runs that survive (the paper's platform policy
+    // alarms on DUEs unconditionally, so they are neither its true nor its
+    // false positives). A DUE run that still ends in an accident counts as a
+    // detected positive (the platform alarm fired).
+    if (run.due && !run.collision) continue;
+    const bool positive = is_positive(run, baseline, td);
+    const Detection det = detect_run(run, lut, rw);
+    eval.confusion.add(det.alarm, positive);
+    if (det.alarm && positive && det.time >= 0.0) {
+      const double onset = violation_onset_time(run, baseline, td);
+      if (onset > det.time) {
+        eval.lead_times_sec.push_back(onset - det.time);
+      }
+    }
+  }
+  eval.golden_total = static_cast<int>(golden_runs.size());
+  for (const auto& run : golden_runs) {
+    if (detect_run(run, lut, rw).alarm) ++eval.golden_false_alarms;
+  }
+  return eval;
+}
+
+CampaignSummary summarize_campaign(const std::vector<RunResult>& fi_runs,
+                                   const Trajectory& baseline, double td) {
+  CampaignSummary s;
+  s.total = static_cast<int>(fi_runs.size());
+  for (const auto& run : fi_runs) {
+    if (run.fault_activated || run.due) ++s.active;
+    if (run.outcome == FaultOutcome::kCrash ||
+        run.outcome == FaultOutcome::kHang) {
+      ++s.hang_crash;
+    }
+    if (run.collision) {
+      ++s.accidents;
+    } else if (!run.due && run_divergence(run, baseline) >= td) {
+      ++s.traj_violations;
+    }
+  }
+  return s;
+}
+
+}  // namespace dav

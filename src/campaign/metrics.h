@@ -1,0 +1,69 @@
+// Safety and detection metrics (paper §V-C, §V-D).
+//
+// Ground truth per run: "positive" = accident (ego collision) or trajectory
+// violation (max divergence from the golden-mean baseline >= td meters).
+// Detection decision per run: statistical-detector alarm (offline replay at
+// the chosen rw) OR a platform-detected DUE (the paper's policy: raise an
+// alarm on hang/crash).
+#pragma once
+
+#include <vector>
+
+#include "campaign/driver.h"
+#include "core/detector.h"
+#include "util/stats.h"
+
+namespace dav {
+
+/// Mean trajectory of the golden runs — the paper's baseline trajectory.
+Trajectory golden_baseline(const std::vector<RunResult>& golden_runs);
+
+/// Max divergence of a run against the baseline (delta_pos^{E,B}).
+double run_divergence(const RunResult& run, const Trajectory& baseline);
+
+/// Ground-truth label.
+bool is_positive(const RunResult& run, const Trajectory& baseline, double td);
+
+/// Time of the safety-violation onset: the collision time if the run ended
+/// in an accident, otherwise the first instant the trajectory divergence
+/// exceeded td. Negative if neither occurred.
+double violation_onset_time(const RunResult& run, const Trajectory& baseline,
+                            double td);
+
+/// Detection decision + alarm time (the earlier of detector alarm and DUE).
+struct Detection {
+  bool alarm = false;
+  double time = -1.0;
+};
+Detection detect_run(const RunResult& run, const ThresholdLut& lut,
+                     std::size_t rw);
+
+/// Full evaluation of a detector configuration over FI runs + golden runs.
+struct DetectionEval {
+  Confusion confusion;           // over fault-injected runs only
+  int golden_false_alarms = 0;   // paper requires zero
+  int golden_total = 0;
+  std::vector<double> lead_times_sec;  // collision_time - alarm_time, for
+                                       // detected runs that ended in accident
+  double precision() const { return confusion.precision(); }
+  double recall() const { return confusion.recall(); }
+  double f1() const { return confusion.f1(); }
+};
+DetectionEval evaluate_detection(const std::vector<RunResult>& fi_runs,
+                                 const std::vector<RunResult>& golden_runs,
+                                 const Trajectory& baseline,
+                                 const ThresholdLut& lut, std::size_t rw,
+                                 double td);
+
+/// Row of the paper's Table I.
+struct CampaignSummary {
+  int total = 0;
+  int active = 0;
+  int hang_crash = 0;
+  int accidents = 0;
+  int traj_violations = 0;  // with violation but without accident
+};
+CampaignSummary summarize_campaign(const std::vector<RunResult>& fi_runs,
+                                   const Trajectory& baseline, double td);
+
+}  // namespace dav

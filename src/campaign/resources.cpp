@@ -1,0 +1,43 @@
+#include "campaign/resources.h"
+
+#include "core/distributor.h"
+
+namespace dav {
+
+ResourceUsage measure_resources(const RunResult& run,
+                                const RunResult& single_reference) {
+  ResourceUsage u;
+  u.config = to_string(run.mode);
+  u.processors = run.mode == AgentMode::kDuplicate ? 2 : 1;
+
+  const double dur = run.duration > 0.0 ? run.duration : 1.0;
+  const double ref_dur =
+      single_reference.duration > 0.0 ? single_reference.duration : 1.0;
+  const double ref_gpu_rate =
+      static_cast<double>(single_reference.gpu_instructions) / ref_dur;
+  const double ref_cpu_rate =
+      static_cast<double>(single_reference.cpu_instructions) / ref_dur;
+
+  // Per-processor rates: the FD system splits its instruction stream over
+  // two dedicated processor pairs.
+  const double gpu_rate =
+      static_cast<double>(run.gpu_instructions) / dur / u.processors;
+  const double cpu_rate =
+      static_cast<double>(run.cpu_instructions) / dur / u.processors;
+
+  u.gpu_util_pct =
+      ref_gpu_rate > 0.0 ? kNominalSingleGpuPct * gpu_rate / ref_gpu_rate : 0.0;
+  u.cpu_util_pct =
+      ref_cpu_rate > 0.0 ? kNominalSingleCpuPct * cpu_rate / ref_cpu_rate : 0.0;
+
+  // Memory: each agent keeps independent private state and GPU scratch;
+  // sensor frame buffers live in RAM.
+  const double agents = run.mode == AgentMode::kSingle ? 1.0 : 2.0;
+  u.vram_kb = static_cast<double>(run.agent_state_bytes) / 1024.0;
+  u.ram_kb = (static_cast<double>(run.sensor_frame_bytes) * agents +
+              static_cast<double>(run.agent_state_bytes)) /
+             1024.0;
+  return u;
+}
+
+}  // namespace dav

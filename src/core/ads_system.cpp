@@ -1,0 +1,108 @@
+#include "core/ads_system.h"
+
+#include <stdexcept>
+
+namespace dav {
+
+std::string to_string(AgentMode m) {
+  switch (m) {
+    case AgentMode::kSingle: return "single";
+    case AgentMode::kRoundRobin: return "diverseav";
+    case AgentMode::kDuplicate: return "fd";
+  }
+  return "?";
+}
+
+AdsSystem::AdsSystem(AgentMode mode, const AgentConfig& agent_cfg,
+                     GpuEngine& gpu0, CpuEngine& cpu0, GpuEngine* gpu1,
+                     CpuEngine* cpu1, const RoadMap* map, double overlap_ratio)
+    : distributor_(mode, overlap_ratio) {
+  agent0_ = std::make_unique<SensorimotorAgent>("agent0", agent_cfg, gpu0,
+                                                cpu0, map);
+  if (mode == AgentMode::kRoundRobin) {
+    // Time-multiplexed on the SAME engines: a permanent hardware fault
+    // affects both agents; a transient affects whichever agent executes the
+    // targeted dynamic instruction.
+    agent1_ = std::make_unique<SensorimotorAgent>("agent1", agent_cfg, gpu0,
+                                                  cpu0, map);
+  } else if (mode == AgentMode::kDuplicate) {
+    if (gpu1 == nullptr || cpu1 == nullptr) {
+      throw std::invalid_argument(
+          "AdsSystem: duplicate mode needs a second engine set");
+    }
+    agent1_ = std::make_unique<SensorimotorAgent>("agent1", agent_cfg, *gpu1,
+                                                  *cpu1, map);
+  }
+}
+
+void AdsSystem::reset() {
+  agent0_->reset();
+  if (agent1_) agent1_->reset();
+  prev_output_.reset();
+  step_ = 0;
+}
+
+const SensorimotorAgent& AdsSystem::agent(int i) const {
+  return i == 0 ? *agent0_ : *agent1_;
+}
+
+AdsSystem::StepResult AdsSystem::step(const SensorFrame& frame,
+                                      double world_dt) {
+  const auto dispatch = distributor_.dispatch(step_);
+  const double agent_dt = world_dt * distributor_.agent_period();
+  StepResult result;
+  result.acting_agent = dispatch.acting_agent;
+
+  switch (distributor_.mode()) {
+    case AgentMode::kSingle: {
+      result.applied = agent0_->act(frame, agent_dt);
+      if (prev_output_) {
+        result.have_delta = true;
+        result.delta = abs_delta(result.applied, *prev_output_);
+      }
+      prev_output_ = result.applied;
+      break;
+    }
+    case AgentMode::kRoundRobin: {
+      if (dispatch.to_agent0 && dispatch.to_agent1) {
+        // Overlap frame (partial duplication, footnote 5): both agents
+        // consume it; the scheduled owner drives and the same-step pair is
+        // directly comparable.
+        const Actuation u0 = agent0_->act(frame, agent_dt);
+        const Actuation u1 = agent1_->act(frame, agent_dt);
+        result.applied = dispatch.acting_agent == 0 ? u0 : u1;
+        result.have_delta = true;
+        result.delta = abs_delta(u0, u1);
+      } else {
+        SensorimotorAgent& acting =
+            dispatch.acting_agent == 0 ? *agent0_ : *agent1_;
+        result.applied = acting.act(frame, agent_dt);
+        if (prev_output_) {
+          // Adjacent outputs come from the two diverse agents.
+          result.have_delta = true;
+          result.delta = abs_delta(result.applied, *prev_output_);
+        }
+      }
+      prev_output_ = result.applied;
+      break;
+    }
+    case AgentMode::kDuplicate: {
+      const Actuation u0 = agent0_->act(frame, agent_dt);
+      const Actuation u1 = agent1_->act(frame, agent_dt);
+      result.applied = u0;  // the (faulty) primary drives; replica = reference
+      result.have_delta = true;
+      result.delta = abs_delta(u0, u1);
+      break;
+    }
+  }
+  ++step_;
+  return result;
+}
+
+std::size_t AdsSystem::state_bytes() const {
+  std::size_t bytes = agent0_->state_bytes();
+  if (agent1_) bytes += agent1_->state_bytes();
+  return bytes;
+}
+
+}  // namespace dav

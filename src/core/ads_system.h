@@ -1,0 +1,58 @@
+// The redundant ADS: agents + sensor data distributor + control fusion.
+//
+// Wires the black-box Sensorimotor agents into the three evaluated
+// configurations (paper Fig 2 / §VI):
+//   kRoundRobin  — DiverseAV: both agents time-multiplexed on ONE engine set
+//                  (shared processor); the agent that received the frame
+//                  drives; adjacent outputs (from alternating agents) form
+//                  the comparison stream.
+//   kDuplicate   — FD-ADS: each agent on its OWN engine set (dedicated
+//                  processors); agent 0 drives; same-step outputs compared.
+//   kSingle      — one agent; previous output is the comparison reference
+//                  (temporal-outlier baseline).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "agent/agent.h"
+#include "core/distributor.h"
+#include "core/divergence.h"
+
+namespace dav {
+
+class AdsSystem {
+ public:
+  /// `gpu1`/`cpu1` must be non-null iff mode == kDuplicate. `overlap_ratio`
+  /// sends a fraction of frames to both round-robin agents (paper footnote 5).
+  AdsSystem(AgentMode mode, const AgentConfig& agent_cfg, GpuEngine& gpu0,
+            CpuEngine& cpu0, GpuEngine* gpu1, CpuEngine* cpu1,
+            const RoadMap* map, double overlap_ratio = 0.0);
+
+  struct StepResult {
+    Actuation applied;          // the fused/selected actuation command
+    int acting_agent = 0;
+    bool have_delta = false;    // a comparison pair was available this step
+    ActuationDelta delta;
+  };
+
+  /// One synchronous tick. Propagates CrashError/HangError from the engines.
+  StepResult step(const SensorFrame& frame, double world_dt);
+
+  void reset();
+  AgentMode mode() const { return distributor_.mode(); }
+  int num_agents() const { return distributor_.num_agents(); }
+  const SensorimotorAgent& agent(int i) const;
+
+  /// Aggregate private state bytes across agents (Table II accounting).
+  std::size_t state_bytes() const;
+
+ private:
+  SensorDataDistributor distributor_;
+  std::unique_ptr<SensorimotorAgent> agent0_;
+  std::unique_ptr<SensorimotorAgent> agent1_;
+  std::optional<Actuation> prev_output_;  // previous comparison reference
+  int step_ = 0;
+};
+
+}  // namespace dav

@@ -1,0 +1,62 @@
+#include "core/detector.h"
+
+namespace dav {
+
+ErrorDetector::ErrorDetector(const ThresholdLut& lut, DetectorConfig cfg)
+    : lut_(lut), cfg_(cfg), signal_(cfg.rw) {}
+
+void ErrorDetector::reset() {
+  signal_.clear();
+  alarmed_ = false;
+  alarm_time_ = -1.0;
+  streak_ = 0;
+  streak_start_time_ = -1.0;
+}
+
+bool ErrorDetector::observe(const StepObservation& obs) {
+  if (alarmed_) return true;
+  if (obs.state.v < cfg_.min_eval_speed) return false;
+  signal_.push(obs.delta);
+  if (!signal_.full()) return false;  // warm-up: no decisions yet
+  const ActuationDelta smoothed = signal_.smoothed();
+  const ActuationDelta theta = lut_.thresholds(obs.state);
+  const bool exceeded = smoothed.throttle > theta.throttle ||
+                        smoothed.brake > theta.brake ||
+                        smoothed.steer > theta.steer;
+  if (exceeded) {
+    if (streak_ == 0) streak_start_time_ = obs.time;
+    if (++streak_ >= cfg_.debounce) {
+      alarmed_ = true;
+      alarm_time_ = streak_start_time_;
+    }
+  } else {
+    streak_ = 0;
+  }
+  return alarmed_;
+}
+
+ReplayResult replay_detector(const std::vector<StepObservation>& trace,
+                             const ThresholdLut& lut, DetectorConfig cfg) {
+  ErrorDetector det(lut, cfg);
+  for (const auto& obs : trace) {
+    if (det.observe(obs)) break;
+  }
+  return {det.alarmed(), det.first_alarm_time()};
+}
+
+ThresholdLut train_lut(const std::vector<std::vector<StepObservation>>& runs,
+                       std::size_t rw, LutConfig cfg) {
+  ThresholdLut lut(cfg);
+  const DetectorConfig det_cfg;  // keep the training gate == runtime gate
+  for (const auto& run : runs) {
+    DivergenceSignal signal(rw);
+    for (const auto& obs : run) {
+      if (obs.state.v < det_cfg.min_eval_speed) continue;
+      signal.push(obs.delta);
+      if (signal.full()) lut.observe(obs.state, signal.smoothed());
+    }
+  }
+  return lut;
+}
+
+}  // namespace dav

@@ -1,0 +1,66 @@
+// Rolling-window error detection engine (paper §III-D, Fig 2 (1)).
+//
+// Streams the per-step actuation deltas through rw-sized rolling windows and
+// raises an alarm when a smoothed channel exceeds the LUT threshold for the
+// current vehicle state. Also provided: an offline replay over recorded
+// observation traces (used to sweep rw and td for Fig 7 without re-simulating)
+// and the LUT training routine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/divergence.h"
+#include "core/threshold_lut.h"
+
+namespace dav {
+
+struct DetectorConfig {
+  std::size_t rw = 3;  // rolling window size (paper best: 3)
+  /// Below this speed the comparison is not evaluated: actuation divergence
+  /// at standstill (hold-brake wobble, stop-latch timing) is not safety
+  /// relevant, and evaluating it would trade availability for nothing.
+  double min_eval_speed = 0.5;
+  /// Consecutive threshold exceedances required before the alarm latches.
+  /// Fault-free mode-change blips exceed for a window or two; genuine fault
+  /// divergence persists (the corrupted agent carries the error in its
+  /// private state).
+  int debounce = 3;
+};
+
+class ErrorDetector {
+ public:
+  ErrorDetector(const ThresholdLut& lut, DetectorConfig cfg);
+
+  /// Feed one observation; returns true if this observation raises (or has
+  /// previously raised) the alarm. The alarm latches.
+  bool observe(const StepObservation& obs);
+
+  bool alarmed() const { return alarmed_; }
+  double first_alarm_time() const { return alarm_time_; }
+  void reset();
+
+ private:
+  const ThresholdLut& lut_;
+  DetectorConfig cfg_;
+  DivergenceSignal signal_;
+  bool alarmed_ = false;
+  double alarm_time_ = -1.0;
+  int streak_ = 0;
+  double streak_start_time_ = -1.0;
+};
+
+/// Offline replay of a recorded observation trace.
+struct ReplayResult {
+  bool alarmed = false;
+  double alarm_time = -1.0;
+};
+ReplayResult replay_detector(const std::vector<StepObservation>& trace,
+                             const ThresholdLut& lut, DetectorConfig cfg);
+
+/// Train a LUT from fault-free observation traces (one vector per run) using
+/// the same rw smoothing the detector will apply at runtime.
+ThresholdLut train_lut(const std::vector<std::vector<StepObservation>>& runs,
+                       std::size_t rw, LutConfig cfg = {});
+
+}  // namespace dav

@@ -1,0 +1,86 @@
+// Sensor data distributor (paper §III-D, Fig 2 (1)).
+//
+// Round-robins the sensor stream between the two redundant agents: agent 0
+// receives frames at even time steps, agent 1 at odd time steps, halving the
+// per-agent sensing frequency while keeping the two agents semantically
+// consistent and bit-level diverse. Also supports the baselines: duplicate
+// (both agents get every frame — the FD-ADS of §VI-B) and single agent.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace dav {
+
+/// Agent configuration of the ADS (paper §IV-B: "round-robin mode, duplicate
+/// mode, or single mode").
+enum class AgentMode : std::uint8_t {
+  kSingle,     // only agent 0 is active
+  kRoundRobin, // DiverseAV: alternate frames between agents
+  kDuplicate,  // FD-ADS: both agents receive all frames
+};
+
+std::string to_string(AgentMode m);
+
+class SensorDataDistributor {
+ public:
+  /// `overlap_ratio` implements the paper's footnote 5: "for an ADS with
+  /// lower engineering margins, the sensor data distribution can be adjusted
+  /// so that some input data is sent to both agents, thus resulting in a
+  /// input data rate reduction less than 50%, albeit at the expense of
+  /// greater performance overhead." A ratio r in [0,1] duplicates every
+  /// round(1/r)-th frame to both agents (0 = pure round-robin, 1 = full
+  /// duplication of the stream). Only meaningful in kRoundRobin mode.
+  explicit SensorDataDistributor(AgentMode mode, double overlap_ratio = 0.0)
+      : mode_(mode),
+        overlap_period_(overlap_ratio <= 0.0
+                            ? 0
+                            : std::max(1, static_cast<int>(
+                                              std::lround(1.0 / overlap_ratio)))) {}
+
+  AgentMode mode() const { return mode_; }
+  int num_agents() const { return mode_ == AgentMode::kSingle ? 1 : 2; }
+  double overlap_ratio() const {
+    return overlap_period_ > 0 ? 1.0 / overlap_period_ : 0.0;
+  }
+
+  /// Which agents receive the frame at time step `step`, and whose actuation
+  /// decision drives the vehicle (the control fusion engine's lockstep
+  /// selection: "DiverseAV can use the actuation decision of the agent that
+  /// received the sensor data").
+  struct Dispatch {
+    bool to_agent0 = true;
+    bool to_agent1 = false;
+    int acting_agent = 0;
+  };
+  Dispatch dispatch(int step) const {
+    switch (mode_) {
+      case AgentMode::kSingle:
+        return {true, false, 0};
+      case AgentMode::kRoundRobin: {
+        Dispatch d = step % 2 == 0 ? Dispatch{true, false, 0}
+                                   : Dispatch{false, true, 1};
+        if (overlap_period_ > 0 && step % overlap_period_ == 0) {
+          d.to_agent0 = d.to_agent1 = true;  // overlap frame: both consume
+        }
+        return d;
+      }
+      case AgentMode::kDuplicate:
+        // Both compute; the (potentially faulty) primary drives, the replica
+        // is the reference for comparison (paper §VI-B).
+        return {true, true, 0};
+    }
+    return {};
+  }
+
+  /// Per-agent sensing period in world ticks (2 in round-robin mode).
+  int agent_period() const { return mode_ == AgentMode::kRoundRobin ? 2 : 1; }
+
+ private:
+  AgentMode mode_;
+  int overlap_period_;  // duplicate every k-th frame; 0 = never
+};
+
+}  // namespace dav

@@ -1,0 +1,31 @@
+#include "core/divergence.h"
+
+#include <cmath>
+
+namespace dav {
+
+ActuationDelta abs_delta(const Actuation& a, const Actuation& b) {
+  return {std::abs(a.throttle - b.throttle), std::abs(a.brake - b.brake),
+          std::abs(a.steer - b.steer)};
+}
+
+DivergenceSignal::DivergenceSignal(std::size_t rw)
+    : throttle_(rw), brake_(rw), steer_(rw) {}
+
+void DivergenceSignal::push(const ActuationDelta& d) {
+  throttle_.push(d.throttle);
+  brake_.push(d.brake);
+  steer_.push(d.steer);
+}
+
+void DivergenceSignal::clear() {
+  throttle_.clear();
+  brake_.clear();
+  steer_.clear();
+}
+
+ActuationDelta DivergenceSignal::smoothed() const {
+  return {throttle_.mean(), brake_.mean(), steer_.mean()};
+}
+
+}  // namespace dav

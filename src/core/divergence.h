@@ -1,0 +1,52 @@
+// Actuation divergence signal (paper §III-C).
+//
+// The detection signal is the per-channel absolute difference between the
+// actuation commands of adjacent time steps, smoothed over a rolling window
+// of size rw. In round-robin mode adjacent outputs come from the two diverse
+// agents; in single mode from the same agent (the temporal-outlier baseline);
+// in duplicate mode the two agents' same-step outputs are compared directly.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/types.h"
+#include "util/stats.h"
+
+namespace dav {
+
+/// Per-channel absolute actuation difference.
+struct ActuationDelta {
+  double throttle = 0.0;
+  double brake = 0.0;
+  double steer = 0.0;
+};
+
+ActuationDelta abs_delta(const Actuation& a, const Actuation& b);
+
+/// One observation of the comparison stream: the delta plus the vehicle state
+/// under which it was produced (the detector's thresholds are state-indexed).
+struct StepObservation {
+  double time = 0.0;
+  VehicleState state;
+  ActuationDelta delta;
+};
+
+/// Three synchronized rolling windows, one per actuation channel.
+class DivergenceSignal {
+ public:
+  explicit DivergenceSignal(std::size_t rw);
+
+  void push(const ActuationDelta& d);
+  void clear();
+  bool full() const { return throttle_.full(); }
+
+  /// Rolling means per channel.
+  ActuationDelta smoothed() const;
+
+ private:
+  RollingWindow throttle_;
+  RollingWindow brake_;
+  RollingWindow steer_;
+};
+
+}  // namespace dav

@@ -1,0 +1,77 @@
+// State-indexed threshold lookup table (paper §III-D).
+//
+// theta_throttle(s) and theta_brake(s) are indexed by the discretized
+// <speed, acceleration> tuple; theta_steer(s) by <yaw rate, yaw accel>.
+// Training records the maximum smoothed divergence observed per bin across
+// fault-free executions of the reference (long) driving scenarios; at runtime
+// an alarm is raised when the smoothed divergence exceeds the learned
+// threshold (times a safety margin) for the current vehicle-state bin.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/divergence.h"
+
+namespace dav {
+
+/// Uniform discretization of one state variable.
+struct BinAxis {
+  double lo = 0.0;
+  double hi = 1.0;
+  int bins = 1;
+
+  int index(double v) const;
+};
+
+struct LutConfig {
+  BinAxis speed{0.0, 24.0, 12};        // v, m/s
+  BinAxis accel{-8.0, 4.0, 8};         // a, m/s^2
+  BinAxis yaw_rate{-0.6, 0.6, 8};      // omega, rad/s
+  BinAxis yaw_accel{-3.0, 3.0, 8};     // alpha, rad/s^2
+  double margin = 1.3;                 // multiplier on trained maxima
+  double floor_throttle = 0.12;        // absolute lower bounds on thresholds
+  double floor_brake = 0.15;           // (fault-free mode-change blips reach
+  double floor_steer = 0.10;           //  this level even in trained bins)
+};
+
+class ThresholdLut {
+ public:
+  explicit ThresholdLut(LutConfig cfg = {});
+
+  /// Record one smoothed fault-free observation (training).
+  void observe(const VehicleState& s, const ActuationDelta& smoothed);
+
+  /// Thresholds for the given state: margin * trained bin maximum, falling
+  /// back to the global maximum for unseen bins, floored per channel.
+  ActuationDelta thresholds(const VehicleState& s) const;
+
+  const LutConfig& config() const { return cfg_; }
+  std::size_t trained_bins() const;
+  std::uint64_t observations() const { return observations_; }
+
+  /// Serialize the trained table (a deployable artifact: train offline on
+  /// the long scenarios, ship the LUT to the vehicle). Text format.
+  void save(std::ostream& out) const;
+  /// Parse a table written by save(). Throws std::runtime_error on malformed
+  /// input.
+  static ThresholdLut load(std::istream& in);
+
+ private:
+  std::size_t lin_index(const BinAxis& a, const BinAxis& b, double va,
+                        double vb) const;
+
+  LutConfig cfg_;
+  // Per-bin maxima; negative = bin never observed.
+  std::vector<double> max_throttle_;
+  std::vector<double> max_brake_;
+  std::vector<double> max_steer_;
+  double global_throttle_ = 0.0;
+  double global_brake_ = 0.0;
+  double global_steer_ = 0.0;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace dav

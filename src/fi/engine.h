@@ -1,0 +1,187 @@
+// Instrumented compute engines — the fault-injection substrate.
+//
+// Every arithmetic operation the agent performs flows through an Engine,
+// which (a) counts dynamic instructions per opcode (the profile used to pick
+// transient injection sites uniformly, as NVBitFI/PinFI do), and (b) applies
+// the configured fault plan: XOR-corrupting the destination register of one
+// dynamic instruction (transient) or of all instances of one opcode
+// (permanent). Address/control-class corruptions resolve to crashes or hangs
+// per the CrashHangModel, mirroring the paper's observed DUE rates.
+//
+// DiverseAV time-multiplexes both agents on ONE engine (shared processor), so
+// a permanent fault corrupts both agents' streams while a transient corrupts
+// whichever agent is executing at that dynamic instruction. The FD baseline
+// uses two engines (dedicated processors) with the fault in one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fi/fault_model.h"
+#include "fi/opcodes.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace dav {
+
+template <typename OpcodeT, FaultDomain Domain>
+class Engine {
+ public:
+  static constexpr int kNumOpcodes = static_cast<int>(OpcodeT::kCount);
+  static constexpr FaultDomain kDomain = Domain;
+  using Opcode = OpcodeT;
+
+  Engine() { counts_.fill(0); }
+
+  /// Arm (or disarm, with a kNone plan) fault injection for the coming run.
+  /// `seed` drives the crash/hang outcome draws; `model` gives the per-class
+  /// manifestation probabilities.
+  void configure(const FaultPlan& plan, std::uint64_t seed,
+                 const CrashHangModel& model = CrashHangModel::for_domain(Domain)) {
+    plan_ = plan;
+    model_ = model;
+    rng_ = Rng(seed);
+    armed_ = plan.active() && plan.domain == Domain;
+    activated_ = false;
+    corruptions_ = 0;
+    permanent_outcome_decided_ = false;
+    permanent_lethal_ = false;
+  }
+
+  void reset_counts() {
+    counts_.fill(0);
+    total_ = 0;
+  }
+
+  /// Instrumented scalar operation: returns the (possibly corrupted) value.
+  /// The value passed in is the computed result, i.e. the contents of the
+  /// destination register before any fault effect.
+  float exec(OpcodeT op, float v) {
+    ++counts_[index(op)];
+    const std::uint64_t i = total_++;
+    if (!armed_) [[likely]] {
+      return v;
+    }
+    return faulty_exec(op, v, i);
+  }
+
+  /// Bulk accounting for memory / data-movement / control instructions that
+  /// accompany a tensor or loop operation (n dynamic instances at once).
+  /// Faults landing here resolve via the crash/hang model; survivors are
+  /// masked (a corrupted address that neither crashes nor hangs typically
+  /// loads a wrong-but-unused value).
+  void bulk(OpcodeT op, std::uint64_t n) {
+    counts_[index(op)] += n;
+    const std::uint64_t start = total_;
+    total_ += n;
+    if (!armed_) [[likely]] {
+      return;
+    }
+    faulty_bulk(op, start, n);
+  }
+
+  /// Single control-flow marker (branch, call, loop bound...).
+  void mark(OpcodeT op) { bulk(op, 1); }
+
+  std::uint64_t total_dyn_instructions() const { return total_; }
+  std::uint64_t op_count(OpcodeT op) const { return counts_[index(op)]; }
+  const std::array<std::uint64_t, kNumOpcodes>& op_counts() const {
+    return counts_;
+  }
+
+  /// True once the planned fault has corrupted at least one instruction.
+  bool fault_activated() const { return activated_; }
+  std::uint64_t corruption_count() const { return corruptions_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  static constexpr std::size_t index(OpcodeT op) {
+    return static_cast<std::size_t>(op);
+  }
+
+  /// Resolve a corruption event of class `cls` to crash / hang / propagate.
+  void resolve_manifestation(OpClass cls) {
+    double p_crash = model_.p_crash_data;
+    double p_hang = model_.p_hang_data;
+    if (cls == OpClass::kMemory) {
+      p_crash = model_.p_crash_mem;
+      p_hang = model_.p_hang_mem;
+    } else if (cls == OpClass::kControl) {
+      p_crash = model_.p_crash_ctrl;
+      p_hang = model_.p_hang_ctrl;
+    }
+    const double u = rng_.uniform();
+    if (u < p_crash) throw CrashError{};
+    if (u < p_crash + p_hang) throw HangError{};
+  }
+
+  float corrupt(float v) {
+    ++corruptions_;
+    return xor_float(v, plan_.mask());
+  }
+
+  float faulty_exec(OpcodeT op, float v, std::uint64_t i) {
+    if (plan_.kind == FaultModelKind::kTransient) {
+      if (i != plan_.target_dyn_index) return v;
+      activated_ = true;
+      resolve_manifestation(op_class(op));
+      return corrupt(v);
+    }
+    // Permanent: every dynamic instance of the target opcode.
+    if (index(op) != static_cast<std::size_t>(plan_.target_opcode)) return v;
+    activated_ = true;
+    decide_permanent_outcome(op_class(op));
+    return corrupt(v);
+  }
+
+  void faulty_bulk(OpcodeT op, std::uint64_t start, std::uint64_t n) {
+    if (plan_.kind == FaultModelKind::kTransient) {
+      if (plan_.target_dyn_index < start || plan_.target_dyn_index >= start + n)
+        return;
+      activated_ = true;
+      resolve_manifestation(op_class(op));
+      ++corruptions_;  // survived: wrong-but-unused value, masked downstream
+      return;
+    }
+    if (index(op) != static_cast<std::size_t>(plan_.target_opcode)) return;
+    activated_ = true;
+    decide_permanent_outcome(op_class(op));
+    corruptions_ += n;
+  }
+
+  /// For permanent faults the lethality draw happens once per run; a lethal
+  /// outcome (crash/hang) fires on the first corrupted instance.
+  void decide_permanent_outcome(OpClass cls) {
+    if (!permanent_outcome_decided_) {
+      permanent_outcome_decided_ = true;
+      try {
+        resolve_manifestation(cls);
+      } catch (...) {
+        permanent_lethal_ = true;
+        throw;
+      }
+    } else if (permanent_lethal_) {
+      // Unreachable in practice (the first instance already threw), but kept
+      // for safety if an exception was swallowed upstream.
+      throw CrashError{};
+    }
+  }
+
+  std::array<std::uint64_t, kNumOpcodes> counts_{};
+  std::uint64_t total_ = 0;
+  FaultPlan plan_;
+  CrashHangModel model_;
+  Rng rng_{0};
+  bool armed_ = false;
+  bool activated_ = false;
+  std::uint64_t corruptions_ = 0;
+  bool permanent_outcome_decided_ = false;
+  bool permanent_lethal_ = false;
+};
+
+/// The GPU engine: fp32 tensor arithmetic (perception pipeline).
+using GpuEngine = Engine<GpuOpcode, FaultDomain::kGpu>;
+/// The CPU engine: control-path arithmetic (planner, tracker, PID).
+using CpuEngine = Engine<CpuOpcode, FaultDomain::kCpu>;
+
+}  // namespace dav

@@ -1,0 +1,80 @@
+#include "fi/fault_model.h"
+
+namespace dav {
+
+std::string to_string(FaultDomain d) {
+  return d == FaultDomain::kGpu ? "GPU" : "CPU";
+}
+
+std::string to_string(FaultModelKind k) {
+  switch (k) {
+    case FaultModelKind::kNone: return "none";
+    case FaultModelKind::kTransient: return "transient";
+    case FaultModelKind::kPermanent: return "permanent";
+  }
+  return "?";
+}
+
+std::string to_string(FaultOutcome o) {
+  switch (o) {
+    case FaultOutcome::kNotActivated: return "not-activated";
+    case FaultOutcome::kMasked: return "masked";
+    case FaultOutcome::kSdc: return "SDC";
+    case FaultOutcome::kCrash: return "crash";
+    case FaultOutcome::kHang: return "hang";
+  }
+  return "?";
+}
+
+CrashHangModel CrashHangModel::for_model(FaultDomain d, FaultModelKind kind) {
+  CrashHangModel m = for_domain(d);
+  if (kind != FaultModelKind::kPermanent) return m;
+  if (d == FaultDomain::kCpu) {
+    // Corrupting every instance of an address/control opcode is a
+    // near-certain DUE; even data opcodes crash eventually in ~40% of runs
+    // (corrupted values reach indices, sizes, loop bounds).
+    m.p_crash_data = 0.42;
+    m.p_hang_data = 0.14;
+    m.p_crash_mem = 0.85;
+    m.p_hang_mem = 0.13;
+    m.p_crash_ctrl = 0.60;
+    m.p_hang_ctrl = 0.39;
+  } else {
+    m.p_crash_data = 0.015;
+    m.p_hang_data = 0.005;
+    m.p_crash_mem = 0.70;
+    m.p_hang_mem = 0.12;
+    m.p_crash_ctrl = 0.50;
+    m.p_hang_ctrl = 0.45;
+  }
+  return m;
+}
+
+CrashHangModel CrashHangModel::for_domain(FaultDomain d) {
+  CrashHangModel m;
+  if (d == FaultDomain::kCpu) {
+    // CPU corruptions of address/control state are near-certain DUEs
+    // (segfaults, broken pipes, wild jumps, infinite loops). Calibrated so
+    // the dynamic mix of the agent's control code reproduces the paper's
+    // hang/crash rates (~41% transient, ~73% permanent, §V-C).
+    m.p_crash_data = 0.02;
+    m.p_hang_data = 0.01;
+    m.p_crash_mem = 0.55;
+    m.p_hang_mem = 0.12;
+    m.p_crash_ctrl = 0.55;
+    m.p_hang_ctrl = 0.40;
+  } else {
+    // GPU corruptions are mostly in data-class fp ops; memory/control faults
+    // can kill the kernel or deadlock a barrier, but the data-dominated mix
+    // keeps the overall DUE rate low (~8% transient, ~16% permanent).
+    m.p_crash_data = 0.0;
+    m.p_hang_data = 0.0;
+    m.p_crash_mem = 0.17;
+    m.p_hang_mem = 0.05;
+    m.p_crash_ctrl = 0.45;
+    m.p_hang_ctrl = 0.45;
+  }
+  return m;
+}
+
+}  // namespace dav

@@ -1,0 +1,91 @@
+// Fault models (paper §II-B).
+//
+// Transient: the destination register of exactly one dynamic instruction is
+// corrupted by XOR-ing it with a selected mask. Permanent: the destination
+// register of EVERY dynamic instance of a selected opcode is corrupted with
+// the mask. We detect faults, we do not classify them (§II-B).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dav {
+
+enum class FaultDomain : std::uint8_t { kGpu, kCpu };
+enum class FaultModelKind : std::uint8_t { kNone, kTransient, kPermanent };
+
+std::string to_string(FaultDomain d);
+std::string to_string(FaultModelKind k);
+
+/// One planned injection, produced by the InjectionPlanGenerator.
+struct FaultPlan {
+  FaultModelKind kind = FaultModelKind::kNone;
+  FaultDomain domain = FaultDomain::kGpu;
+  /// Transient: global dynamic-instruction index to corrupt.
+  std::uint64_t target_dyn_index = 0;
+  /// Permanent: opcode index within the domain's ISA.
+  int target_opcode = 0;
+  /// Bit position to flip in the destination register (0..31). The register
+  /// width is 32 bits in both engines (fp32 GPU registers; the CPU engine
+  /// also corrupts via the 32-bit pattern of the value's float cast).
+  int bit = 0;
+
+  bool active() const { return kind != FaultModelKind::kNone; }
+  std::uint32_t mask() const { return 1u << bit; }
+};
+
+/// How corruptions of each opcode class manifest, given that a corruption
+/// occurred. Probabilities are evaluated once per corruption event for
+/// transient faults and once per run for permanent faults.
+struct CrashHangModel {
+  // P(crash | corruption) and P(hang | corruption) by class; the remainder
+  // propagates as a silent data corruption (or is masked downstream).
+  double p_crash_data = 0.0;
+  double p_hang_data = 0.0;
+  double p_crash_mem = 0.6;
+  double p_hang_mem = 0.15;
+  double p_crash_ctrl = 0.5;
+  double p_hang_ctrl = 0.35;
+
+  /// Defaults calibrated per domain: CPU instruction streams are dominated by
+  /// address/control work and corruptions there are near-certain DUEs
+  /// (paper §V-C: segmentation faults, broken pipes); GPU streams are mostly
+  /// data ops and memory corruptions less often kill the process.
+  static CrashHangModel for_domain(FaultDomain d);
+
+  /// Per-kind calibration: a permanent fault corrupts every dynamic instance
+  /// of its opcode, so the probability that at least one corruption is lethal
+  /// is much higher than for a single transient corruption (paper §V-C: CPU
+  /// DUE rate rises from ~41% transient to ~73% permanent; GPU from ~8% to
+  /// ~16%).
+  static CrashHangModel for_model(FaultDomain d, FaultModelKind kind);
+};
+
+/// Thrown by an engine when an injected corruption causes a process crash
+/// (segfault / broken pipe in the paper). Caught by the Driver, which records
+/// a platform-detected DUE.
+class CrashError : public std::runtime_error {
+ public:
+  CrashError() : std::runtime_error("injected fault caused a crash") {}
+};
+
+/// Thrown when an injected corruption causes the agent to stop responding.
+/// The Driver converts it into a watchdog-detected hang.
+class HangError : public std::runtime_error {
+ public:
+  HangError() : std::runtime_error("injected fault caused a hang") {}
+};
+
+/// Outcome classification of one fault-injection run (paper §II-C).
+enum class FaultOutcome : std::uint8_t {
+  kNotActivated,  // the planned dynamic instruction was never reached
+  kMasked,        // activated, but no observable effect
+  kSdc,           // activated and corrupted data silently
+  kCrash,         // platform-detected crash (DUE)
+  kHang,          // watchdog-detected hang (DUE)
+};
+
+std::string to_string(FaultOutcome o);
+
+}  // namespace dav

@@ -1,0 +1,130 @@
+#include "fi/opcodes.h"
+
+namespace dav {
+
+OpClass op_class(GpuOpcode op) {
+  switch (op) {
+    case GpuOpcode::kLdg:
+    case GpuOpcode::kStg:
+    case GpuOpcode::kMovReg:
+    case GpuOpcode::kShflIdx:
+      return OpClass::kMemory;
+    case GpuOpcode::kBra:
+    case GpuOpcode::kBar:
+      return OpClass::kControl;
+    default:
+      return OpClass::kData;
+  }
+}
+
+OpClass op_class(CpuOpcode op) {
+  switch (op) {
+    case CpuOpcode::kLea:
+    case CpuOpcode::kLoad:
+    case CpuOpcode::kStore:
+    case CpuOpcode::kPush:
+    case CpuOpcode::kPop:
+    case CpuOpcode::kIndex:
+    case CpuOpcode::kPtrAdd:
+    case CpuOpcode::kMemCpy:
+      return OpClass::kMemory;
+    case CpuOpcode::kJmp:
+    case CpuOpcode::kJcc:
+    case CpuOpcode::kCall:
+    case CpuOpcode::kRet:
+    case CpuOpcode::kLoopCnt:
+    case CpuOpcode::kSwitch:
+      return OpClass::kControl;
+    default:
+      return OpClass::kData;
+  }
+}
+
+std::string_view to_string(GpuOpcode op) {
+  switch (op) {
+    case GpuOpcode::kFAdd: return "FADD";
+    case GpuOpcode::kFSub: return "FSUB";
+    case GpuOpcode::kFMul: return "FMUL";
+    case GpuOpcode::kFFma: return "FFMA";
+    case GpuOpcode::kFDiv: return "FDIV";
+    case GpuOpcode::kFRcp: return "FRCP";
+    case GpuOpcode::kFSqrt: return "FSQRT";
+    case GpuOpcode::kFRsqrt: return "FRSQRT";
+    case GpuOpcode::kFMin: return "FMIN";
+    case GpuOpcode::kFMax: return "FMAX";
+    case GpuOpcode::kFAbs: return "FABS";
+    case GpuOpcode::kFNeg: return "FNEG";
+    case GpuOpcode::kFExp: return "FEXP";
+    case GpuOpcode::kFLog: return "FLOG";
+    case GpuOpcode::kFTanh: return "FTANH";
+    case GpuOpcode::kFSigmoid: return "FSIGMOID";
+    case GpuOpcode::kFRelu: return "FRELU";
+    case GpuOpcode::kFFloor: return "FFLOOR";
+    case GpuOpcode::kFClampLo: return "FCLAMPLO";
+    case GpuOpcode::kFClampHi: return "FCLAMPHI";
+    case GpuOpcode::kFSel: return "FSEL";
+    case GpuOpcode::kFCmpLt: return "FCMPLT";
+    case GpuOpcode::kFCmpGt: return "FCMPGT";
+    case GpuOpcode::kFDot: return "FDOT";
+    case GpuOpcode::kFMacc: return "FMACC";
+    case GpuOpcode::kRedAdd: return "REDADD";
+    case GpuOpcode::kRedMax: return "REDMAX";
+    case GpuOpcode::kRedMin: return "REDMIN";
+    case GpuOpcode::kFScale: return "FSCALE";
+    case GpuOpcode::kFBias: return "FBIAS";
+    case GpuOpcode::kIAdd: return "IADD";
+    case GpuOpcode::kIMul: return "IMUL";
+    case GpuOpcode::kIMad: return "IMAD";
+    case GpuOpcode::kCvtF2I: return "CVTF2I";
+    case GpuOpcode::kCvtI2F: return "CVTI2F";
+    case GpuOpcode::kLdg: return "LDG";
+    case GpuOpcode::kStg: return "STG";
+    case GpuOpcode::kMovReg: return "MOV";
+    case GpuOpcode::kShflIdx: return "SHFL";
+    case GpuOpcode::kBra: return "BRA";
+    case GpuOpcode::kBar: return "BAR";
+    case GpuOpcode::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(CpuOpcode op) {
+  switch (op) {
+    case CpuOpcode::kAdd: return "ADD";
+    case CpuOpcode::kSub: return "SUB";
+    case CpuOpcode::kMul: return "MUL";
+    case CpuOpcode::kDiv: return "DIV";
+    case CpuOpcode::kFma: return "FMA";
+    case CpuOpcode::kMin: return "MIN";
+    case CpuOpcode::kMax: return "MAX";
+    case CpuOpcode::kAbs: return "ABS";
+    case CpuOpcode::kSqrt: return "SQRT";
+    case CpuOpcode::kSin: return "SIN";
+    case CpuOpcode::kCos: return "COS";
+    case CpuOpcode::kAtan2: return "ATAN2";
+    case CpuOpcode::kCmp: return "CMP";
+    case CpuOpcode::kSel: return "SEL";
+    case CpuOpcode::kClampOp: return "CLAMP";
+    case CpuOpcode::kMovReg: return "MOV";
+    case CpuOpcode::kCvt: return "CVT";
+    case CpuOpcode::kNeg: return "NEG";
+    case CpuOpcode::kLea: return "LEA";
+    case CpuOpcode::kLoad: return "LOAD";
+    case CpuOpcode::kStore: return "STORE";
+    case CpuOpcode::kPush: return "PUSH";
+    case CpuOpcode::kPop: return "POP";
+    case CpuOpcode::kIndex: return "INDEX";
+    case CpuOpcode::kPtrAdd: return "PTRADD";
+    case CpuOpcode::kMemCpy: return "MEMCPY";
+    case CpuOpcode::kJmp: return "JMP";
+    case CpuOpcode::kJcc: return "JCC";
+    case CpuOpcode::kCall: return "CALL";
+    case CpuOpcode::kRet: return "RET";
+    case CpuOpcode::kLoopCnt: return "LOOPCNT";
+    case CpuOpcode::kSwitch: return "SWITCH";
+    case CpuOpcode::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace dav

@@ -1,0 +1,60 @@
+// Instruction-set definitions for the two fault-injection domains.
+//
+// The paper injects architectural faults at the instruction level: NVBitFI
+// targets the GPU SASS ISA (171 opcodes on the Titan Xp), PinFI targets the
+// agent's x86 instruction stream (131 opcodes used). We define the opcode
+// vocabularies our compute engines actually execute; the permanent-fault
+// campaigns sweep every opcode of each ISA exactly as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dav {
+
+/// GPU opcodes executed by the tensor pipeline (perception CNN).
+enum class GpuOpcode : std::uint8_t {
+  // Floating-point compute
+  kFAdd, kFSub, kFMul, kFFma, kFDiv, kFRcp, kFSqrt, kFRsqrt,
+  kFMin, kFMax, kFAbs, kFNeg, kFExp, kFLog, kFTanh, kFSigmoid,
+  kFRelu, kFFloor, kFClampLo, kFClampHi, kFSel, kFCmpLt, kFCmpGt,
+  kFDot, kFMacc, kRedAdd, kRedMax, kRedMin, kFScale, kFBias,
+  // Integer / conversion
+  kIAdd, kIMul, kIMad, kCvtF2I, kCvtI2F,
+  // Memory / data movement (counted in bulk)
+  kLdg, kStg, kMovReg, kShflIdx,
+  // Control
+  kBra, kBar,
+  kCount,
+};
+
+/// CPU opcodes executed by the control-path code (route planner, waypoint
+/// tracker, PID control unit, glue).
+enum class CpuOpcode : std::uint8_t {
+  // Data / arithmetic
+  kAdd, kSub, kMul, kDiv, kFma, kMin, kMax, kAbs, kSqrt,
+  kSin, kCos, kAtan2, kCmp, kSel, kClampOp, kMovReg, kCvt, kNeg,
+  // Address computation / memory
+  kLea, kLoad, kStore, kPush, kPop, kIndex, kPtrAdd, kMemCpy,
+  // Control flow
+  kJmp, kJcc, kCall, kRet, kLoopCnt, kSwitch,
+  kCount,
+};
+
+/// Architectural class of an opcode: determines how a corruption manifests.
+/// Data-class corruptions propagate numerically; address-class corruptions
+/// mostly cause segfaults/broken pipes (crashes); control-class corruptions
+/// cause wild branches (crashes) or infinite loops (hangs). This is the
+/// paper's observation (§V-C) that CPU FI is "very likely to corrupt the
+/// program control flow or memory addresses".
+enum class OpClass : std::uint8_t { kData, kMemory, kControl };
+
+constexpr int kNumGpuOpcodes = static_cast<int>(GpuOpcode::kCount);
+constexpr int kNumCpuOpcodes = static_cast<int>(CpuOpcode::kCount);
+
+OpClass op_class(GpuOpcode op);
+OpClass op_class(CpuOpcode op);
+std::string_view to_string(GpuOpcode op);
+std::string_view to_string(CpuOpcode op);
+
+}  // namespace dav

@@ -1,0 +1,46 @@
+#include "fi/plan_generator.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dav {
+
+std::vector<FaultPlan> InjectionPlanGenerator::transient_plans(
+    const ExecutionProfile& profile, int count, double over) const {
+  Rng rng(seed_ ^ 0x7261AD51EA7ULL);
+  std::vector<FaultPlan> plans;
+  plans.reserve(static_cast<std::size_t>(count));
+  const auto span = static_cast<std::uint64_t>(std::ceil(
+      static_cast<double>(profile.total_dyn_instructions) * over));
+  for (int i = 0; i < count; ++i) {
+    FaultPlan p;
+    p.kind = FaultModelKind::kTransient;
+    p.domain = profile.domain;
+    p.target_dyn_index = span > 0 ? rng.uniform_index(span) : 0;
+    p.bit = static_cast<int>(rng.uniform_index(32));
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+std::vector<FaultPlan> InjectionPlanGenerator::permanent_plans(
+    FaultDomain domain, int repeats) const {
+  Rng rng(seed_ ^ 0x9E2A4B5Cull);
+  std::vector<FaultPlan> plans;
+  const int n = num_opcodes(domain);
+  plans.reserve(static_cast<std::size_t>(n * repeats));
+  for (int opcode = 0; opcode < n; ++opcode) {
+    for (int r = 0; r < repeats; ++r) {
+      FaultPlan p;
+      p.kind = FaultModelKind::kPermanent;
+      p.domain = domain;
+      p.target_opcode = opcode;
+      p.bit = static_cast<int>(rng.uniform_index(32));
+      plans.push_back(p);
+    }
+  }
+  return plans;
+}
+
+}  // namespace dav

@@ -1,0 +1,47 @@
+// Injection plan generation (the paper's "Injection Plan Generator", Fig 3).
+//
+// Transient campaigns pick candidate dynamic instructions uniformly at random
+// from a profiled golden execution; permanent campaigns sweep every opcode of
+// the target ISA with repeated runs to capture nondeterminism (§IV-D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/fault_model.h"
+#include "fi/opcodes.h"
+
+namespace dav {
+
+/// Per-opcode dynamic-instruction profile of a golden run, used to sample
+/// transient sites uniformly over executed instructions.
+struct ExecutionProfile {
+  FaultDomain domain = FaultDomain::kGpu;
+  std::uint64_t total_dyn_instructions = 0;
+};
+
+class InjectionPlanGenerator {
+ public:
+  explicit InjectionPlanGenerator(std::uint64_t seed) : seed_(seed) {}
+
+  /// `count` transient plans with sites uniform over [0, ceil(total * over)).
+  /// `over` > 1 intentionally places some sites past the end of typical runs
+  /// so a fraction of injections is never activated — as observed for the
+  /// paper's CPU campaigns (e.g. 203 of 500 active for GhostCutIn).
+  std::vector<FaultPlan> transient_plans(const ExecutionProfile& profile,
+                                         int count, double over = 1.0) const;
+
+  /// Permanent plans: every opcode of the domain's ISA, `repeats` runs each
+  /// with independently drawn bit positions (paper: 171 GPU opcodes x 3, 131
+  /// CPU opcodes x 3).
+  std::vector<FaultPlan> permanent_plans(FaultDomain domain, int repeats) const;
+
+  static int num_opcodes(FaultDomain domain) {
+    return domain == FaultDomain::kGpu ? kNumGpuOpcodes : kNumCpuOpcodes;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dav

@@ -1,0 +1,65 @@
+// Pinhole camera model and software rasterizer.
+//
+// Renders the driving scene (sky, road corridor, lane markings, vehicles,
+// traffic-light gantries) from the ego vehicle's viewpoint, with per-pixel
+// photometric sensor noise. Three front-facing cameras (left / center /
+// right) feed the perception pipeline, as in the Sensorimotor agent.
+#pragma once
+
+#include <vector>
+
+#include "sensors/image.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace dav {
+
+struct CameraModel {
+  int width = 96;
+  int height = 72;
+  double fov_deg = 90.0;     // horizontal field of view
+  double yaw_offset = 0.0;   // mount yaw relative to vehicle heading
+  double mount_height = 1.4; // meters above ground
+  double noise_sigma = 2.0;  // photometric noise, 8-bit LSBs per channel
+
+  double focal_px() const;   // fx = fy, square pixels
+};
+
+/// Rectangle in image coordinates (used for ground-truth 2-D boxes).
+struct BBox2 {
+  double x_min = 0, y_min = 0, x_max = 0, y_max = 0;
+  double cx() const { return 0.5 * (x_min + x_max); }
+  double cy() const { return 0.5 * (y_min + y_max); }
+  bool valid() const { return x_max > x_min && y_max > y_min; }
+};
+
+class CameraRenderer {
+ public:
+  explicit CameraRenderer(CameraModel model) : model_(model) {}
+
+  const CameraModel& model() const { return model_; }
+
+  /// Render the world from the ego's current viewpoint. `noise` drives the
+  /// photometric noise (one independent stream per run).
+  Image render(const World& world, Rng& noise) const;
+
+  /// Ground-truth projected 2-D bounding box of an NPC in this camera
+  /// (invalid box if behind the camera or out of frame). Used by the
+  /// KITTI-like semantic-consistency analysis.
+  BBox2 project_npc(const World& world, const NpcVehicle& npc) const;
+
+  /// Extra high-frequency scene texture (0 = clean simulator look; higher
+  /// values emulate real-world imagery for the KITTI-like generator).
+  void set_texture_strength(double s) { texture_strength_ = s; }
+
+ private:
+  CameraModel model_;
+  double texture_strength_ = 0.0;
+};
+
+/// The standard three-camera rig of the Sensorimotor agent: left (-45 deg),
+/// center, right (+45 deg).
+std::vector<CameraModel> front_camera_rig(int width = 96, int height = 72,
+                                          double noise_sigma = 2.0);
+
+}  // namespace dav

@@ -1,0 +1,54 @@
+#include "sensors/diversity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bits.h"
+
+namespace dav {
+
+void accumulate_image_bit_diversity(const Image& a, const Image& b,
+                                    CountHistogram& hist) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("image_bit_diversity: size mismatch");
+  }
+  const auto& ba = a.bytes();
+  const auto& bb = b.bytes();
+  for (std::size_t i = 0; i + 2 < ba.size(); i += 3) {
+    const int bits = bit_diff(ba[i], bb[i]) + bit_diff(ba[i + 1], bb[i + 1]) +
+                     bit_diff(ba[i + 2], bb[i + 2]);
+    hist.add(static_cast<std::size_t>(bits));
+  }
+}
+
+CountHistogram image_bit_diversity(const Image& a, const Image& b) {
+  CountHistogram hist(25);  // 0..24 differing bits per 24-bit pixel
+  accumulate_image_bit_diversity(a, b, hist);
+  return hist;
+}
+
+void accumulate_float_bit_diversity(const std::vector<float>& a,
+                                    const std::vector<float>& b,
+                                    CountHistogram& hist) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("float_bit_diversity: size mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    hist.add(static_cast<std::size_t>(bit_diff(a[i], b[i])));
+  }
+}
+
+CountHistogram float_bit_diversity(const std::vector<float>& a,
+                                   const std::vector<float>& b) {
+  CountHistogram hist(33);  // 0..32 differing bits per float
+  accumulate_float_bit_diversity(a, b, hist);
+  return hist;
+}
+
+double bbox_center_shift(const BBox2& a, const BBox2& b) {
+  const double dx = a.cx() - b.cx();
+  const double dy = a.cy() - b.cy();
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace dav

@@ -1,0 +1,39 @@
+// Temporal data-diversity and semantic-consistency analysis (paper §V-A).
+//
+// Bit diversity: per pixel location, the number of differing bits between the
+// 24-bit RGB values of consecutive frames; for float sensors (IMU/GPS/LiDAR),
+// per element differing bits of the 32-bit IEEE representation.
+// Semantic consistency: per tracked object, the shift of its bounding-box
+// center (pixels) or its ego-frame center (meters) between consecutive frames.
+#pragma once
+
+#include <vector>
+
+#include "sensors/camera.h"
+#include "sensors/image.h"
+#include "util/stats.h"
+#include "util/vec2.h"
+
+namespace dav {
+
+/// Histogram (bins 0..24) of per-pixel-location bit differences between two
+/// equally sized RGB images. Requires matching dimensions.
+CountHistogram image_bit_diversity(const Image& a, const Image& b);
+
+/// Accumulate into an existing 25-bin histogram (for multi-frame sweeps).
+void accumulate_image_bit_diversity(const Image& a, const Image& b,
+                                    CountHistogram& hist);
+
+/// Histogram (bins 0..32) of per-element bit differences between two float
+/// vectors of equal length.
+CountHistogram float_bit_diversity(const std::vector<float>& a,
+                                   const std::vector<float>& b);
+
+void accumulate_float_bit_diversity(const std::vector<float>& a,
+                                    const std::vector<float>& b,
+                                    CountHistogram& hist);
+
+/// Center shift in pixels between two 2-D boxes (consecutive frames).
+double bbox_center_shift(const BBox2& a, const BBox2& b);
+
+}  // namespace dav

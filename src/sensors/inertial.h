@@ -1,0 +1,50 @@
+// GPS + IMU sensor model (32-bit floats, matching the paper's bit-diversity
+// analysis of IMU/GPS data) and a planar LiDAR.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace dav {
+
+/// One GPS+IMU sample. Stored as float32 on purpose: the paper measures
+/// bit diversity "using 32-bit floating points".
+struct GpsImuSample {
+  float gps_x = 0.0f;
+  float gps_y = 0.0f;
+  float speed = 0.0f;
+  float accel_long = 0.0f;
+  float yaw = 0.0f;
+  float yaw_rate = 0.0f;
+
+  std::array<float, 6> as_array() const {
+    return {gps_x, gps_y, speed, accel_long, yaw, yaw_rate};
+  }
+};
+
+struct GpsImuModel {
+  double gps_sigma = 0.15;      // m
+  double speed_sigma = 0.04;    // m/s
+  double accel_sigma = 0.05;    // m/s^2
+  double yaw_sigma = 0.004;     // rad
+  double yaw_rate_sigma = 0.01; // rad/s
+};
+
+GpsImuSample sample_gps_imu(const VehicleState& ego, const GpsImuModel& model,
+                            Rng& noise);
+
+/// Planar LiDAR: `beams` rays spread over 360 degrees, range-limited,
+/// returning per-beam range (float32). Rays hit NPC bounding boxes.
+struct LidarModel {
+  int beams = 72;
+  double max_range = 80.0;
+  double range_sigma = 0.03;  // m
+};
+
+std::vector<float> sample_lidar(const World& world, const LidarModel& model,
+                                Rng& noise);
+
+}  // namespace dav

@@ -1,0 +1,126 @@
+#include "sensors/kitti_synth.h"
+
+#include <cmath>
+
+#include "sensors/inertial.h"
+#include "sim/scenario.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace dav {
+
+namespace {
+
+/// A simple oracle driver (not the AI agent): proportional cruise control and
+/// lane centering, with emergency braking on short CVIP. Used only to move
+/// the recording platform through the synthetic world.
+Actuation oracle_drive(const World& world, double target_speed) {
+  Actuation cmd;
+  const double v_err = target_speed - world.ego().v;
+  if (world.cvip() < 12.0) {
+    cmd.brake = clamp(0.2 + (12.0 - world.cvip()) * 0.15, 0.0, 1.0);
+  } else if (v_err > 0.0) {
+    cmd.throttle = clamp(v_err * 0.4, 0.0, 0.8);
+  } else {
+    cmd.brake = clamp(-v_err * 0.25, 0.0, 0.6);
+  }
+  const double lat = world.ego_lateral();
+  const double head_err =
+      wrap_angle(world.map().heading_at(world.ego_route_s()) -
+                 world.ego().pose.yaw);
+  cmd.steer = clamp(-0.35 * lat + 1.2 * head_err, -1.0, 1.0);
+  return cmd;
+}
+
+}  // namespace
+
+KittiLikeSequence generate_kitti_like(const KittiLikeConfig& cfg) {
+  // A gently curving suburban road with mixed traffic: some vehicles move
+  // with the ego (small relative motion), one oncoming-ish fast vehicle.
+  Polyline route = RouteBuilder()
+                       .straight(150.0)
+                       .turn(M_PI / 10, 120.0)
+                       .straight(150.0)
+                       .turn(-M_PI / 12, 150.0)
+                       .straight(200.0)
+                       .build();
+  Scenario sc;
+  sc.id = ScenarioId::kLongRoute02;
+  sc.map = RoadMap(std::move(route), 3.7, 1, 0);
+  sc.ego_start_s = 5.0;
+  sc.ego_start_speed = cfg.ego_speed;
+  sc.target_speed = cfg.ego_speed;
+  sc.duration_sec = cfg.num_frames * cfg.dt + 5.0;
+
+  Rng traffic(cfg.seed);
+  IdmParams slow;
+  slow.desired_speed = cfg.ego_speed * 0.9;
+  sc.npcs.emplace_back(/*id=*/1, /*s=*/sc.ego_start_s + 18.0, /*lateral=*/0.0,
+                       slow.desired_speed, slow);
+  IdmParams mid;
+  mid.desired_speed = cfg.ego_speed * 1.15;
+  sc.npcs.emplace_back(/*id=*/2, /*s=*/sc.ego_start_s + 30.0, /*lateral=*/3.7,
+                       mid.desired_speed, mid);
+  IdmParams far_npc;
+  far_npc.desired_speed = cfg.ego_speed;
+  sc.npcs.emplace_back(/*id=*/3, /*s=*/sc.ego_start_s + 45.0, /*lateral=*/0.0,
+                       far_npc.desired_speed, far_npc);
+  // Parked vehicles on the shoulder: the ego passes them, so their apparent
+  // motion is large — real-world streets (and KITTI's urban sequences) are
+  // full of such high-relative-motion objects.
+  IdmParams parked;
+  parked.desired_speed = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double lateral =
+        (i % 2 == 0) ? -2.6 : 3.7 + traffic.uniform(0.0, 0.4);
+    sc.npcs.emplace_back(/*id=*/4 + i,
+                         /*s=*/sc.ego_start_s + 22.0 + 33.0 * i +
+                             traffic.uniform(-6.0, 6.0),
+                         lateral, 0.0, parked);
+  }
+
+  World world(std::move(sc));
+
+  CameraModel cam;
+  cam.width = cfg.width;
+  cam.height = cfg.height;
+  cam.fov_deg = 82.0;  // KITTI's color cameras are ~80-90 deg horizontal
+  cam.noise_sigma = cfg.noise_sigma;
+  CameraRenderer renderer(cam);
+  renderer.set_texture_strength(cfg.texture_strength);
+
+  GpsImuModel imu_model;
+  LidarModel lidar_model;
+  lidar_model.beams = 180;  // denser, Velodyne-like
+
+  Rng cam_noise = Rng(cfg.seed).split(11);
+  Rng imu_noise = Rng(cfg.seed).split(12);
+  Rng lidar_noise = Rng(cfg.seed).split(13);
+
+  KittiLikeSequence seq;
+  seq.tracks.resize(world.npcs().size());
+  for (std::size_t i = 0; i < world.npcs().size(); ++i) {
+    seq.tracks[i].id = world.npcs()[i].id();
+  }
+
+  for (int f = 0; f < cfg.num_frames; ++f) {
+    seq.frames.push_back(renderer.render(world, cam_noise));
+    const GpsImuSample imu = sample_gps_imu(world.ego(), imu_model, imu_noise);
+    const auto arr = imu.as_array();
+    seq.imu_gps.emplace_back(arr.begin(), arr.end());
+    seq.lidar.push_back(sample_lidar(world, lidar_model, lidar_noise));
+
+    for (std::size_t i = 0; i < world.npcs().size(); ++i) {
+      const auto& npc = world.npcs()[i];
+      seq.tracks[i].bboxes.push_back(renderer.project_npc(world, npc));
+      const Vec2 local =
+          world.ego().pose.to_local(npc.state(world.map()).pose.pos);
+      seq.tracks[i].ego_centers.push_back(local);
+    }
+
+    world.step(oracle_drive(world, cfg.ego_speed), cfg.dt);
+  }
+  return seq;
+}
+
+}  // namespace dav

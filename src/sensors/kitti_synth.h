@@ -1,0 +1,47 @@
+// KITTI-like synthetic trace generator.
+//
+// Substitution (see DESIGN.md): the paper measures bit diversity and semantic
+// consistency on the real-world KITTI dataset, which we cannot ship. This
+// generator produces sequences with the properties that analysis depends on:
+// 10 Hz wide-aspect camera frames with real-world-grade texture and
+// photometric noise, tracked objects with ground-truth 2-D boxes and ego-frame
+// centers, IMU/GPS float samples, and LiDAR returns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensors/camera.h"
+#include "sensors/image.h"
+
+namespace dav {
+
+struct KittiLikeConfig {
+  int num_frames = 60;
+  double dt = 0.1;              // 10 Hz, KITTI's sensing frequency
+  int width = 160;              // wide aspect, ~KITTI 1242x375 scaled
+  int height = 48;
+  double texture_strength = 1.0;  // real-world imagery is heavily textured
+  double noise_sigma = 2.6;       // and noisier than the simulator
+  double ego_speed = 8.0;         // m/s urban driving
+  std::uint64_t seed = 7;
+};
+
+/// Per-object ground truth across the sequence. Frames where the object is
+/// not visible have an invalid bbox.
+struct ObjectTrack {
+  int id = 0;
+  std::vector<BBox2> bboxes;       // 2-D box per frame (image coords)
+  std::vector<Vec2> ego_centers;   // object center in ego frame per frame (m)
+};
+
+struct KittiLikeSequence {
+  std::vector<Image> frames;                 // center camera
+  std::vector<std::vector<float>> imu_gps;   // 6 floats per frame
+  std::vector<std::vector<float>> lidar;     // ranges per frame
+  std::vector<ObjectTrack> tracks;
+};
+
+KittiLikeSequence generate_kitti_like(const KittiLikeConfig& cfg = {});
+
+}  // namespace dav

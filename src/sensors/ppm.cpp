@@ -1,0 +1,36 @@
+#include "sensors/ppm.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace dav {
+
+void write_ppm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  out << "P6\n" << img.width() << ' ' << img.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.bytes().data()),
+            static_cast<std::streamsize>(img.byte_size()));
+  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+Image read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  if (magic != "P6" || w <= 0 || h <= 0 || maxval != 255) {
+    throw std::runtime_error("read_ppm: unsupported header in " + path);
+  }
+  in.get();  // single whitespace after the header
+  Image img(w, h);
+  in.read(reinterpret_cast<char*>(img.bytes().data()),
+          static_cast<std::streamsize>(img.byte_size()));
+  if (in.gcount() != static_cast<std::streamsize>(img.byte_size())) {
+    throw std::runtime_error("read_ppm: truncated pixel data in " + path);
+  }
+  return img;
+}
+
+}  // namespace dav

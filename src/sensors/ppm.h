@@ -1,0 +1,19 @@
+// PPM (P6) image export — the debugging window into the software renderer
+// and the perception masks.
+#pragma once
+
+#include <string>
+
+#include "sensors/image.h"
+
+namespace dav {
+
+/// Write the image as binary PPM (P6). Throws std::runtime_error on I/O
+/// failure.
+void write_ppm(const Image& img, const std::string& path);
+
+/// Read a P6 PPM written by write_ppm (round-trip support for tests and
+/// offline tooling). Throws std::runtime_error on malformed input.
+Image read_ppm(const std::string& path);
+
+}  // namespace dav

@@ -1,0 +1,46 @@
+// Sensor frame aggregation: what the ADS receives each tick (paper Fig 3:
+// "all sensor data posted at 40 Hz" in synchronous mode).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensors/camera.h"
+#include "sensors/inertial.h"
+
+namespace dav {
+
+/// All sensor data for one time step.
+struct SensorFrame {
+  int step = 0;
+  double time = 0.0;
+  std::vector<Image> cameras;  // left, center, right
+  GpsImuSample gps_imu;
+  std::vector<float> lidar;    // empty when LiDAR capture is disabled
+};
+
+/// Captures sensor frames from the world with per-run noise streams.
+class SensorRig {
+ public:
+  /// `noise_seed` fixes this run's sensor noise (the only nondeterminism
+  /// between golden runs, mirroring the paper's run-to-run variation).
+  SensorRig(std::vector<CameraModel> cameras, std::uint64_t noise_seed,
+            bool enable_lidar = false);
+
+  SensorFrame capture(const World& world, int step);
+
+  const std::vector<CameraRenderer>& renderers() const { return renderers_; }
+  /// Total bytes of one frame's camera payload (resource accounting).
+  std::size_t frame_bytes() const;
+
+ private:
+  std::vector<CameraRenderer> renderers_;
+  Rng camera_noise_;
+  Rng imu_noise_;
+  Rng lidar_noise_;
+  GpsImuModel imu_model_;
+  LidarModel lidar_model_;
+  bool enable_lidar_;
+};
+
+}  // namespace dav

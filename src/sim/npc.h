@@ -1,0 +1,93 @@
+// Non-player-character vehicles: IDM car-following along the route, plus
+// scripted events that create the paper's safety-critical situations
+// (emergency braking, cut-in maneuvers, an NPC-NPC crash).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/road.h"
+#include "sim/types.h"
+
+namespace dav {
+
+/// Intelligent-Driver-Model parameters for background traffic.
+struct IdmParams {
+  double desired_speed = 11.0;   // v0, m/s
+  double max_accel = 2.5;        // a, m/s^2
+  double comfort_decel = 3.0;    // b, m/s^2
+  double min_gap = 2.5;          // s0, m
+  double headway = 1.3;          // T, s
+};
+
+/// A scripted behavior change. Events fire once, when their trigger is met.
+struct NpcEvent {
+  enum class Trigger : std::uint8_t {
+    kAtTime,    // fire at simulation time >= value (seconds)
+    kAtEgoGap,  // fire when signed gap (s_npc - s_ego) >= value (meters)
+  };
+  enum class Action : std::uint8_t {
+    kEmergencyBrake,  // param = deceleration (m/s^2), overrides IDM for good
+    kLaneChange,      // param = target lateral offset (m), duration = seconds
+    kSetSpeed,        // param = new desired speed (m/s)
+    kBrakePulse,      // param = deceleration, duration = seconds, then resume
+  };
+
+  Trigger trigger = Trigger::kAtTime;
+  double trigger_value = 0.0;
+  Action action = Action::kEmergencyBrake;
+  double param = 0.0;
+  double duration = 2.0;
+  bool fired = false;
+};
+
+/// An NPC vehicle. NPCs move along the shared route polyline at a lateral
+/// offset (meters, + = left of route direction); they are world actors, not
+/// agent-controlled, so a point-following model suffices.
+class NpcVehicle {
+ public:
+  NpcVehicle(int id, double s, double lateral, double speed, IdmParams idm,
+             VehicleSpec spec = {});
+
+  int id() const { return id_; }
+  double s() const { return s_; }
+  double lateral() const { return lateral_; }
+  double speed() const { return v_; }
+  const VehicleSpec& spec() const { return spec_; }
+  bool crashed() const { return crashed_; }
+
+  void add_event(NpcEvent ev) { events_.push_back(ev); }
+
+  /// World pose derived from (s, lateral) on the route.
+  VehicleState state(const RoadMap& map) const;
+
+  /// One step of behavior + motion. `lead_gap`/`lead_speed` describe the
+  /// nearest vehicle ahead in this NPC's lane corridor (gap = bumper distance,
+  /// +inf if none); `ego_gap` is the signed arc-length gap s_npc - s_ego
+  /// (positive when this NPC is ahead of the ego), used for kAtEgoGap.
+  void step(double t, double dt, double lead_gap, double lead_speed,
+            double ego_gap);
+
+  /// Mark as crashed: the vehicle brakes out at `decel` and jinks laterally.
+  void crash(double decel = 9.0, double lateral_jink = 0.4);
+
+ private:
+  double idm_accel(double lead_gap, double lead_speed) const;
+
+  int id_;
+  double s_;
+  double lateral_;
+  double target_lateral_;
+  double lane_change_rate_ = 0.0;  // m/s of lateral motion while changing
+  double v_;
+  VehicleSpec spec_;
+  IdmParams idm_;
+  std::vector<NpcEvent> events_;
+  bool braking_override_ = false;
+  double brake_decel_ = 0.0;
+  double brake_until_ = -1.0;  // pulse end time; negative = unbounded
+  bool crashed_ = false;
+};
+
+}  // namespace dav

@@ -1,0 +1,239 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dav {
+
+std::string to_string(ScenarioId id) {
+  switch (id) {
+    case ScenarioId::kLeadSlowdown: return "LeadSlowdown";
+    case ScenarioId::kGhostCutIn: return "GhostCutIn";
+    case ScenarioId::kFrontAccident: return "FrontAccident";
+    case ScenarioId::kLongRoute02: return "Town01-Route02";
+    case ScenarioId::kLongRoute15: return "Town03-Route15";
+    case ScenarioId::kLongRoute42: return "Town06-Route42";
+  }
+  return "Unknown";
+}
+
+bool is_safety_critical(ScenarioId id) {
+  return id == ScenarioId::kLeadSlowdown || id == ScenarioId::kGhostCutIn ||
+         id == ScenarioId::kFrontAccident;
+}
+
+std::vector<ScenarioId> safety_scenarios() {
+  return {ScenarioId::kLeadSlowdown, ScenarioId::kGhostCutIn,
+          ScenarioId::kFrontAccident};
+}
+
+std::vector<ScenarioId> training_scenarios() {
+  return {ScenarioId::kLongRoute02, ScenarioId::kLongRoute15,
+          ScenarioId::kLongRoute42};
+}
+
+namespace {
+
+RoadMap straight_road(double length, int left_lanes = 1) {
+  Polyline route = RouteBuilder({0.0, 0.0}, 0.0).straight(length).build();
+  return RoadMap(std::move(route), 3.5, left_lanes, 0);
+}
+
+Scenario lead_slowdown(const ScenarioOptions& opts) {
+  // Ego follows a lead NPC at 25 m; the NPC emergency-brakes at t = 8 s
+  // (paper Fig 4 left). High risk of rear-end collision.
+  Scenario sc;
+  sc.id = ScenarioId::kLeadSlowdown;
+  sc.map = straight_road(700.0);
+  sc.ego_start_s = 10.0;
+  sc.ego_start_speed = 10.0;
+  sc.target_speed = 10.0;
+  sc.duration_sec = opts.safety_duration_sec;
+
+  IdmParams lead_idm;
+  lead_idm.desired_speed = 10.0;
+  NpcVehicle lead(/*id=*/1, /*s=*/sc.ego_start_s + 25.0, /*lateral=*/0.0,
+                  /*speed=*/10.0, lead_idm);
+  lead.add_event({NpcEvent::Trigger::kAtTime, 8.0,
+                  NpcEvent::Action::kEmergencyBrake, /*param=*/7.0});
+  sc.npcs.push_back(lead);
+  return sc;
+}
+
+Scenario ghost_cut_in(const ScenarioOptions& opts) {
+  // An NPC approaches fast in the left lane and cuts in front of the ego with
+  // a small longitudinal margin (paper Fig 4 middle).
+  Scenario sc;
+  sc.id = ScenarioId::kGhostCutIn;
+  sc.map = straight_road(700.0);
+  sc.ego_start_s = 30.0;
+  sc.ego_start_speed = 10.0;
+  sc.target_speed = 10.0;
+  sc.duration_sec = opts.safety_duration_sec;
+
+  IdmParams fast_idm;
+  fast_idm.desired_speed = 14.0;
+  NpcVehicle cutter(/*id=*/1, /*s=*/sc.ego_start_s - 20.0, /*lateral=*/3.5,
+                    /*speed=*/14.0, fast_idm);
+  // Cut in once 8 m ahead of the ego; slow to the ego's speed while merging,
+  // which is what makes the margin shrink dangerously.
+  cutter.add_event({NpcEvent::Trigger::kAtEgoGap, 8.0,
+                    NpcEvent::Action::kLaneChange, /*param=*/0.0,
+                    /*duration=*/1.8});
+  cutter.add_event({NpcEvent::Trigger::kAtEgoGap, 8.0,
+                    NpcEvent::Action::kSetSpeed, /*param=*/8.5});
+  sc.npcs.push_back(cutter);
+  return sc;
+}
+
+Scenario front_accident(const ScenarioOptions& opts) {
+  // Ego follows NPC1; NPC2 merges from the left lane into NPC1 and the two
+  // collide and stop abruptly in the ego's path (paper Fig 4 right).
+  Scenario sc;
+  sc.id = ScenarioId::kFrontAccident;
+  sc.map = straight_road(700.0);
+  sc.ego_start_s = 10.0;
+  sc.ego_start_speed = 10.0;
+  sc.target_speed = 10.0;
+  sc.duration_sec = opts.safety_duration_sec;
+
+  IdmParams lead_idm;
+  lead_idm.desired_speed = 10.0;
+  NpcVehicle lead(/*id=*/1, /*s=*/sc.ego_start_s + 25.0, /*lateral=*/0.0,
+                  /*speed=*/10.0, lead_idm);
+  sc.npcs.push_back(lead);
+
+  IdmParams merger_idm;
+  merger_idm.desired_speed = 12.0;
+  // Starts 3 m behind NPC1 in the left lane, slightly faster; merges at t = 4
+  // when it is barely ahead, clipping NPC1 -> world collision response.
+  NpcVehicle merger(/*id=*/2, /*s=*/sc.ego_start_s + 22.0, /*lateral=*/3.5,
+                    /*speed=*/12.0, merger_idm);
+  merger.add_event({NpcEvent::Trigger::kAtTime, 4.0,
+                    NpcEvent::Action::kLaneChange, /*param=*/0.0,
+                    /*duration=*/1.5});
+  sc.npcs.push_back(merger);
+  return sc;
+}
+
+/// Seeded background traffic ahead of the ego: vehicles in the ego lane and
+/// the adjacent lane, spaced 30-55 m, speeds jittered around the limit.
+void add_background_traffic(Scenario& sc, std::uint64_t seed, int count,
+                            double base_speed) {
+  Rng rng(seed);
+  double s = sc.ego_start_s + 30.0;
+  for (int i = 0; i < count; ++i) {
+    s += rng.uniform(30.0, 55.0);
+    if (s > sc.map.route().length() - 50.0) break;
+    const double lateral = rng.bernoulli(0.4) ? 3.5 : 0.0;
+    IdmParams idm;
+    idm.desired_speed = base_speed * rng.uniform(0.85, 1.1);
+    idm.headway = rng.uniform(1.1, 1.6);
+    NpcVehicle npc(/*id=*/10 + i, s, lateral,
+                   /*speed=*/idm.desired_speed * 0.9, idm);
+    // Some vehicles periodically slow down and speed back up, so the ego
+    // experiences ordinary car-following decelerations during training (the
+    // detector must learn fault-free divergence under braking, §III-D).
+    if (rng.bernoulli(0.4)) {
+      const double t_slow = rng.uniform(8.0, 30.0);
+      npc.add_event({NpcEvent::Trigger::kAtTime, t_slow,
+                     NpcEvent::Action::kSetSpeed, idm.desired_speed * 0.45});
+      npc.add_event({NpcEvent::Trigger::kAtTime, t_slow + rng.uniform(6.0, 12.0),
+                     NpcEvent::Action::kSetSpeed, idm.desired_speed});
+    } else if (rng.bernoulli(0.35)) {
+      // Occasional firm braking pulses: ordinary daily driving (a pet runs
+      // out, a pothole) that exposes the detector to fault-free divergence
+      // under hard deceleration without staging an emergency (the paper's
+      // training routes contain no emergencies or accidents).
+      npc.add_event({NpcEvent::Trigger::kAtTime, rng.uniform(10.0, 40.0),
+                     NpcEvent::Action::kBrakePulse, /*param=*/4.5,
+                     /*duration=*/rng.uniform(1.5, 2.5)});
+    }
+    sc.npcs.push_back(npc);
+  }
+}
+
+Scenario long_route(ScenarioId id, std::uint64_t seed,
+                    const ScenarioOptions& opts) {
+  Scenario sc;
+  sc.id = id;
+  sc.duration_sec = opts.long_route_duration_sec;
+  sc.ego_start_s = 5.0;
+
+  if (id == ScenarioId::kLongRoute02) {
+    // Urban grid (Town01-like): short blocks, 90-degree turns, lights.
+    Polyline route = RouteBuilder()
+                         .straight(120.0)
+                         .turn(M_PI / 2, 18.0)
+                         .straight(90.0)
+                         .turn(-M_PI / 2, 18.0)
+                         .straight(140.0)
+                         .turn(-M_PI / 2, 18.0)
+                         .straight(90.0)
+                         .turn(M_PI / 2, 18.0)
+                         .straight(160.0)
+                         .turn(M_PI / 2, 18.0)
+                         .straight(120.0)
+                         .build();
+    sc.map = RoadMap(std::move(route), 3.5, 1, 0);
+    sc.map.add_traffic_light({100.0, 9.0, 2.0, 7.0, 3.0});
+    sc.map.add_traffic_light({330.0, 9.0, 2.0, 7.0, 11.0});
+    sc.map.add_traffic_light({560.0, 9.0, 2.0, 7.0, 6.0});
+    sc.map.add_speed_limit({0.0, 1e9, 9.0});
+    sc.target_speed = 9.0;
+    sc.ego_start_speed = 7.0;
+    add_background_traffic(sc, seed, 8, 8.0);
+  } else if (id == ScenarioId::kLongRoute15) {
+    // Mixed urban (Town03-like): medium blocks, mixed-angle turns.
+    Polyline route = RouteBuilder()
+                         .straight(180.0)
+                         .turn(M_PI / 4, 40.0)
+                         .straight(150.0)
+                         .turn(-M_PI / 2, 22.0)
+                         .straight(200.0)
+                         .turn(-M_PI / 4, 40.0)
+                         .straight(180.0)
+                         .turn(M_PI / 2, 22.0)
+                         .straight(220.0)
+                         .build();
+    sc.map = RoadMap(std::move(route), 3.5, 1, 0);
+    sc.map.add_traffic_light({170.0, 10.0, 2.0, 8.0, 5.0});
+    sc.map.add_traffic_light({540.0, 10.0, 2.0, 8.0, 13.0});
+    sc.map.add_speed_limit({0.0, 1e9, 12.0});
+    sc.target_speed = 12.0;
+    sc.ego_start_speed = 9.0;
+    add_background_traffic(sc, seed, 7, 10.5);
+  } else {
+    // Highway (Town06-like): long straights, sweeping curves, no lights.
+    Polyline route = RouteBuilder()
+                         .straight(400.0)
+                         .turn(M_PI / 12, 300.0)
+                         .straight(350.0)
+                         .turn(-M_PI / 12, 300.0)
+                         .straight(450.0)
+                         .turn(M_PI / 10, 250.0)
+                         .straight(400.0)
+                         .build();
+    sc.map = RoadMap(std::move(route), 3.5, 1, 0);
+    sc.map.add_speed_limit({0.0, 1e9, 17.0});
+    sc.target_speed = 17.0;
+    sc.ego_start_speed = 13.0;
+    add_background_traffic(sc, seed, 6, 15.5);
+  }
+  return sc;
+}
+
+}  // namespace
+
+Scenario make_scenario(ScenarioId id, std::uint64_t traffic_seed,
+                       const ScenarioOptions& opts) {
+  switch (id) {
+    case ScenarioId::kLeadSlowdown: return lead_slowdown(opts);
+    case ScenarioId::kGhostCutIn: return ghost_cut_in(opts);
+    case ScenarioId::kFrontAccident: return front_accident(opts);
+    default: return long_route(id, traffic_seed, opts);
+  }
+}
+
+}  // namespace dav

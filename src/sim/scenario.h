@@ -1,0 +1,47 @@
+// Driving scenario definitions (paper §IV-C).
+//
+// Safety-critical test scenarios (30-60 s): LeadSlowdown, GhostCutIn,
+// FrontAccident — the NHTSA pre-collision typology situations used for fault
+// injection. Long training scenarios (several minutes in the paper; scaled
+// here): urban/highway routes with turns, traffic lights and seeded background
+// traffic, used to train the error detector fault-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/npc.h"
+#include "sim/road.h"
+#include "sim/types.h"
+
+namespace dav {
+
+struct Scenario {
+  ScenarioId id = ScenarioId::kLeadSlowdown;
+  RoadMap map;
+  double ego_start_s = 0.0;
+  double ego_start_speed = 0.0;
+  double target_speed = 10.0;  // route planner's cruise set-point
+  std::vector<NpcVehicle> npcs;
+  double duration_sec = 30.0;
+  VehicleSpec ego_spec;
+};
+
+/// Options that scale scenario cost (durations) without changing structure.
+struct ScenarioOptions {
+  double long_route_duration_sec = 90.0;  // paper: 10-15 min; scaled default
+  double safety_duration_sec = 30.0;
+};
+
+/// Build a scenario. `traffic_seed` fixes the pseudo-random background
+/// traffic (paper: "fixed random seed for each run"); the safety-critical
+/// scenarios are fully scripted and ignore it except for NPC speed jitter.
+Scenario make_scenario(ScenarioId id, std::uint64_t traffic_seed = 2022,
+                       const ScenarioOptions& opts = {});
+
+/// The three safety-critical (test) scenarios.
+std::vector<ScenarioId> safety_scenarios();
+/// The three long (training) scenarios.
+std::vector<ScenarioId> training_scenarios();
+
+}  // namespace dav

@@ -1,0 +1,32 @@
+#include "sim/trajectory.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dav {
+
+double max_divergence(const Trajectory& experimental,
+                      const Trajectory& baseline) {
+  const std::size_t n = std::min(experimental.size(), baseline.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, distance(experimental.at(i), baseline.at(i)));
+  }
+  return worst;
+}
+
+Trajectory mean_trajectory(const std::vector<Trajectory>& runs) {
+  Trajectory out;
+  if (runs.empty()) return out;
+  std::size_t n = std::numeric_limits<std::size_t>::max();
+  for (const auto& r : runs) n = std::min(n, r.size());
+  if (n == std::numeric_limits<std::size_t>::max()) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec2 sum;
+    for (const auto& r : runs) sum += r.at(i);
+    out.push(sum / static_cast<double>(runs.size()));
+  }
+  return out;
+}
+
+}  // namespace dav

@@ -1,0 +1,60 @@
+// Core value types shared by the simulator, the agent and the detector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/vec2.h"
+
+namespace dav {
+
+/// Actuation command, the AV software's output (paper Fig 1): throttle and
+/// brake in [0,1], steer in [-1,1] (fraction of maximum steering angle).
+struct Actuation {
+  double throttle = 0.0;
+  double brake = 0.0;
+  double steer = 0.0;
+
+  Actuation clamped() const {
+    return {clamp(throttle, 0.0, 1.0), clamp(brake, 0.0, 1.0),
+            clamp(steer, -1.0, 1.0)};
+  }
+};
+
+/// Full kinematic state of a vehicle. The detector's threshold lookup table is
+/// keyed on the tuple <v, a, omega, alpha> (paper §III-D).
+struct VehicleState {
+  Pose2 pose;
+  double v = 0.0;      // longitudinal speed, m/s (>= 0)
+  double a = 0.0;      // longitudinal acceleration, m/s^2
+  double omega = 0.0;  // yaw rate, rad/s
+  double alpha = 0.0;  // yaw acceleration, rad/s^2
+};
+
+/// Static vehicle parameters for the kinematic bicycle model.
+struct VehicleSpec {
+  double length = 4.5;          // m
+  double width = 2.0;           // m
+  double wheelbase = 2.7;       // m
+  double max_engine_accel = 3.5;   // m/s^2 at full throttle, zero speed
+  double max_brake_decel = 8.0;    // m/s^2 at full brake
+  double max_steer_angle = 0.5;    // rad, front-wheel angle at steer = 1
+  double max_speed = 30.0;         // m/s, engine force fades to 0 here
+  double drag_coeff = 0.05;        // 1/s, linear speed-proportional drag
+  double rolling_decel = 0.1;      // m/s^2, constant rolling resistance
+};
+
+/// Identifiers for the six driving scenarios (paper §IV-C).
+enum class ScenarioId : std::uint8_t {
+  kLeadSlowdown,   // safety-critical: lead vehicle emergency-brakes
+  kGhostCutIn,     // safety-critical: NPC cuts in from adjacent lane
+  kFrontAccident,  // safety-critical: two NPCs collide ahead of ego
+  kLongRoute02,    // training: urban route (Town01-like)
+  kLongRoute15,    // training: mixed urban route (Town03-like)
+  kLongRoute42,    // training: highway route (Town06-like)
+};
+
+std::string to_string(ScenarioId id);
+bool is_safety_critical(ScenarioId id);
+
+}  // namespace dav

@@ -1,0 +1,54 @@
+#include "sim/vehicle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/geometry.h"
+
+namespace dav {
+
+VehicleState step_vehicle(const VehicleState& state, const Actuation& cmd_in,
+                          const VehicleSpec& spec, double dt) {
+  const Actuation cmd = cmd_in.clamped();
+  VehicleState next = state;
+
+  // Engine force fades linearly with speed so the vehicle has a top speed.
+  const double engine_avail =
+      spec.max_engine_accel *
+      std::max(0.0, 1.0 - state.v / std::max(spec.max_speed, 1e-6));
+  double accel = cmd.throttle * engine_avail - cmd.brake * spec.max_brake_decel -
+                 spec.drag_coeff * state.v;
+  if (state.v > 0.0) accel -= spec.rolling_decel;
+
+  double v_new = state.v + accel * dt;
+  if (v_new < 0.0) {
+    // Brakes and resistance stop the vehicle; they do not reverse it.
+    v_new = 0.0;
+    accel = (v_new - state.v) / dt;
+  }
+
+  const double steer_angle = cmd.steer * spec.max_steer_angle;
+  const double v_mid = 0.5 * (state.v + v_new);
+  const double omega_new = v_mid / spec.wheelbase * std::tan(steer_angle);
+
+  next.pose.yaw = wrap_angle(state.pose.yaw + omega_new * dt);
+  const double yaw_mid = state.pose.yaw + 0.5 * omega_new * dt;
+  next.pose.pos.x = state.pose.pos.x + v_mid * std::cos(yaw_mid) * dt;
+  next.pose.pos.y = state.pose.pos.y + v_mid * std::sin(yaw_mid) * dt;
+
+  next.v = v_new;
+  next.a = accel;
+  next.alpha = (omega_new - state.omega) / dt;
+  next.omega = omega_new;
+  return next;
+}
+
+Obb vehicle_obb(const VehicleState& state, const VehicleSpec& spec) {
+  Obb box;
+  box.pose = state.pose;
+  box.half_length = spec.length * 0.5;
+  box.half_width = spec.width * 0.5;
+  return box;
+}
+
+}  // namespace dav

@@ -1,0 +1,20 @@
+// Kinematic bicycle model with simple longitudinal dynamics.
+#pragma once
+
+#include "sim/types.h"
+
+namespace dav {
+
+/// Advance `state` by `dt` seconds under `cmd`. Returns the new state with
+/// derived quantities (a, omega, alpha) filled in.
+///
+/// Longitudinal: v' = v + (throttle * engine(v) - brake * max_brake
+///                         - drag * v - rolling) * dt, floored at 0.
+/// Lateral: kinematic bicycle — yaw rate = v / L * tan(steer_angle).
+VehicleState step_vehicle(const VehicleState& state, const Actuation& cmd,
+                          const VehicleSpec& spec, double dt);
+
+/// Footprint of a vehicle as an oriented bounding box.
+struct Obb vehicle_obb(const VehicleState& state, const VehicleSpec& spec);
+
+}  // namespace dav

@@ -1,0 +1,148 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dav {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kLaneCorridor = 2.0;        // |lat diff| for same-lane logic
+constexpr double kCollisionGraceSec = 2.0;   // keep simulating briefly after a crash
+}  // namespace
+
+World::World(Scenario scenario) : scenario_(std::move(scenario)) {
+  ego_.pose.pos = scenario_.map.lane_point(scenario_.ego_start_s, 0);
+  ego_.pose.yaw = scenario_.map.heading_at(scenario_.ego_start_s);
+  ego_.v = scenario_.ego_start_speed;
+  ego_s_ = scenario_.ego_start_s;
+  prev_ego_s_ = ego_s_;
+  update_cvip();
+  traj_.push(ego_.pose.pos);
+}
+
+std::vector<World::Actor> World::actors_snapshot() const {
+  std::vector<Actor> out;
+  out.reserve(scenario_.npcs.size() + 1);
+  for (const auto& npc : scenario_.npcs) {
+    out.push_back({npc.s(), npc.lateral(), npc.speed(),
+                   npc.spec().length * 0.5});
+  }
+  out.push_back({ego_s_, ego_lat_, ego_.v, scenario_.ego_spec.length * 0.5});
+  return out;
+}
+
+void World::step_npcs(double dt) {
+  const auto actors = actors_snapshot();
+  const std::size_t n_npc = scenario_.npcs.size();
+
+  for (std::size_t i = 0; i < n_npc; ++i) {
+    auto& npc = scenario_.npcs[i];
+    // Nearest leader in this NPC's corridor, among all other actors.
+    double lead_gap = kInf;
+    double lead_speed = 0.0;
+    for (std::size_t j = 0; j < actors.size(); ++j) {
+      if (j == i) continue;
+      if (std::abs(actors[j].lateral - actors[i].lateral) > kLaneCorridor)
+        continue;
+      const double gap = actors[j].s - actors[i].s - actors[j].half_length -
+                         actors[i].half_length;
+      if (actors[j].s > actors[i].s && gap < lead_gap) {
+        lead_gap = gap;
+        lead_speed = actors[j].speed;
+      }
+    }
+    // Red or yellow lights act as a stopped virtual leader at the stop line
+    // (only when the NPC is in the route lane corridor).
+    if (std::abs(actors[i].lateral) < kLaneCorridor) {
+      if (auto light = scenario_.map.next_light_after(actors[i].s)) {
+        if (light->phase_at(time_) != TrafficLight::Phase::kGreen) {
+          const double gap = light->s - actors[i].s - actors[i].half_length;
+          if (gap >= 0.0 && gap < lead_gap) {
+            lead_gap = gap;
+            lead_speed = 0.0;
+          }
+        }
+      }
+    }
+    const double ego_gap = actors[i].s - ego_s_;
+    npc.step(time_, dt, lead_gap, lead_speed, ego_gap);
+  }
+
+  // NPC-NPC collision response: both vehicles crash out (brake hard + jink).
+  for (std::size_t i = 0; i < n_npc; ++i) {
+    for (std::size_t j = i + 1; j < n_npc; ++j) {
+      auto& a = scenario_.npcs[i];
+      auto& b = scenario_.npcs[j];
+      if (a.crashed() && b.crashed()) continue;
+      const Obb oa = vehicle_obb(a.state(scenario_.map), a.spec());
+      const Obb ob = vehicle_obb(b.state(scenario_.map), b.spec());
+      if (obb_intersect(oa, ob)) {
+        a.crash(/*decel=*/9.0, /*lateral_jink=*/0.35);
+        b.crash(/*decel=*/9.0, /*lateral_jink=*/-0.35);
+      }
+    }
+  }
+}
+
+void World::update_safety() {
+  const Obb ego_box = vehicle_obb(ego_, scenario_.ego_spec);
+  for (const auto& npc : scenario_.npcs) {
+    const Obb npc_box = vehicle_obb(npc.state(scenario_.map), npc.spec());
+    if (obb_intersect(ego_box, npc_box)) {
+      if (!flags_.collision) collision_time_ = time_;
+      flags_.collision = true;
+    }
+  }
+
+  // Red-light violation: the ego's projection crossed a stop line this step
+  // while the light was red.
+  for (const auto& light : scenario_.map.traffic_lights()) {
+    if (prev_ego_s_ < light.s && ego_s_ >= light.s &&
+        light.phase_at(time_) == TrafficLight::Phase::kRed) {
+      flags_.red_light_violation = true;
+    }
+  }
+
+  if (ego_.v > scenario_.map.speed_limit_at(ego_s_) * 1.15 + 0.5) {
+    flags_.speeding = true;
+  }
+  if (!scenario_.map.on_road(ego_.pose.pos)) {
+    flags_.off_road = true;
+  }
+}
+
+void World::update_cvip() {
+  ego_s_ = scenario_.map.route().project(ego_.pose.pos);
+  ego_lat_ = scenario_.map.route().lateral_offset(ego_.pose.pos);
+  double best = kInf;
+  for (const auto& npc : scenario_.npcs) {
+    if (std::abs(npc.lateral() - ego_lat_) > kLaneCorridor) continue;
+    const double gap = npc.s() - ego_s_ - npc.spec().length * 0.5 -
+                       scenario_.ego_spec.length * 0.5;
+    if (npc.s() > ego_s_ && gap < best) best = gap;
+  }
+  cvip_ = best;
+}
+
+void World::step(const Actuation& ego_cmd, double dt) {
+  prev_ego_s_ = ego_s_;
+  ego_ = step_vehicle(ego_, ego_cmd, scenario_.ego_spec, dt);
+  step_npcs(dt);
+  time_ += dt;
+  ++step_count_;
+  update_cvip();
+  update_safety();
+  traj_.push(ego_.pose.pos);
+}
+
+bool World::done() const {
+  if (time_ >= scenario_.duration_sec) return true;
+  if (ego_s_ >= scenario_.map.route().length() - 10.0) return true;
+  if (collision_time_ >= 0.0 && time_ - collision_time_ > kCollisionGraceSec)
+    return true;
+  return false;
+}
+
+}  // namespace dav

@@ -1,0 +1,27 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace dav {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& cols) {
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cols[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::endrow() {
+  out_ << row_.str() << '\n';
+  row_.str({});
+  row_.clear();
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace dav

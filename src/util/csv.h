@@ -1,0 +1,34 @@
+// Minimal CSV writer for exporting run traces and bench series.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dav {
+
+/// Streams rows of mixed string/number cells to a file. Throws on open failure.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void header(const std::vector<std::string>& cols);
+
+  /// Begin a row; append cells with `<<`; end with `endrow()`.
+  template <typename T>
+  CsvWriter& operator<<(const T& value) {
+    if (!row_.str().empty()) row_ << ',';
+    row_ << value;
+    return *this;
+  }
+
+  void endrow();
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::ostringstream row_;
+};
+
+}  // namespace dav

@@ -1,0 +1,190 @@
+#include "util/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dav {
+
+std::array<Vec2, 4> Obb::corners() const {
+  const Vec2 f = pose.forward() * half_length;
+  const Vec2 r = pose.forward().perp() * half_width;
+  return {pose.pos + f + r, pose.pos - f + r, pose.pos - f - r,
+          pose.pos + f - r};
+}
+
+bool Obb::contains(const Vec2& p) const {
+  const Vec2 local = pose.to_local(p);
+  return std::abs(local.x) <= half_length && std::abs(local.y) <= half_width;
+}
+
+namespace {
+
+// Project corners onto axis; return [min, max].
+std::pair<double, double> project_onto(const std::array<Vec2, 4>& corners,
+                                       const Vec2& axis) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Vec2& c : corners) {
+    const double d = c.dot(axis);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+bool obb_intersect(const Obb& a, const Obb& b) {
+  const auto ca = a.corners();
+  const auto cb = b.corners();
+  const std::array<Vec2, 4> axes = {a.pose.forward(), a.pose.forward().perp(),
+                                    b.pose.forward(), b.pose.forward().perp()};
+  for (const Vec2& axis : axes) {
+    const auto [alo, ahi] = project_onto(ca, axis);
+    const auto [blo, bhi] = project_onto(cb, axis);
+    if (ahi < blo || bhi < alo) return false;  // separating axis found
+  }
+  return true;
+}
+
+double point_segment_distance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len_sq = ab.norm_sq();
+  if (len_sq == 0.0) return distance(p, a);
+  const double t = clamp((p - a).dot(ab) / len_sq, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+double obb_distance(const Obb& a, const Obb& b) {
+  if (obb_intersect(a, b)) return 0.0;
+  const auto ca = a.corners();
+  const auto cb = b.corners();
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      best = std::min(best,
+                      point_segment_distance(ca[i], cb[j], cb[(j + 1) % 4]));
+      best = std::min(best,
+                      point_segment_distance(cb[i], ca[j], ca[(j + 1) % 4]));
+    }
+  }
+  return best;
+}
+
+bool segments_intersect(const Vec2& a1, const Vec2& a2, const Vec2& b1,
+                        const Vec2& b2) {
+  const auto orient = [](const Vec2& p, const Vec2& q, const Vec2& r) {
+    const double v = (q - p).cross(r - p);
+    if (v > 1e-12) return 1;
+    if (v < -1e-12) return -1;
+    return 0;
+  };
+  const auto on_segment = [](const Vec2& p, const Vec2& q, const Vec2& r) {
+    return std::min(p.x, r.x) - 1e-12 <= q.x && q.x <= std::max(p.x, r.x) + 1e-12 &&
+           std::min(p.y, r.y) - 1e-12 <= q.y && q.y <= std::max(p.y, r.y) + 1e-12;
+  };
+  const int o1 = orient(a1, a2, b1);
+  const int o2 = orient(a1, a2, b2);
+  const int o3 = orient(b1, b2, a1);
+  const int o4 = orient(b1, b2, a2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(a1, b1, a2)) return true;
+  if (o2 == 0 && on_segment(a1, b2, a2)) return true;
+  if (o3 == 0 && on_segment(b1, a1, b2)) return true;
+  if (o4 == 0 && on_segment(b1, a2, b2)) return true;
+  return false;
+}
+
+Polyline::Polyline(std::vector<Vec2> points) : points_(std::move(points)) {
+  cum_.reserve(points_.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) s += distance(points_[i - 1], points_[i]);
+    cum_.push_back(s);
+  }
+}
+
+void Polyline::append(const Vec2& p) {
+  if (points_.empty()) {
+    points_.push_back(p);
+    cum_.push_back(0.0);
+    return;
+  }
+  cum_.push_back(cum_.back() + distance(points_.back(), p));
+  points_.push_back(p);
+}
+
+std::size_t Polyline::segment_index(double s) const {
+  // Find i such that cum_[i] <= s <= cum_[i+1].
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), s);
+  const auto idx = static_cast<std::size_t>(it - cum_.begin());
+  if (idx == 0) return 0;
+  if (idx >= points_.size()) return points_.size() - 2;
+  return idx - 1;
+}
+
+Vec2 Polyline::point_at(double s) const {
+  if (points_.empty()) return {};
+  if (points_.size() == 1) return points_.front();
+  s = clamp(s, 0.0, length());
+  const std::size_t i = segment_index(s);
+  const double seg_len = cum_[i + 1] - cum_[i];
+  const double t = seg_len > 0.0 ? (s - cum_[i]) / seg_len : 0.0;
+  return points_[i] + (points_[i + 1] - points_[i]) * t;
+}
+
+Vec2 Polyline::tangent_at(double s) const {
+  if (points_.size() < 2) return {1.0, 0.0};
+  s = clamp(s, 0.0, length());
+  const std::size_t i = segment_index(s);
+  return (points_[i + 1] - points_[i]).normalized();
+}
+
+double Polyline::heading_at(double s) const {
+  const Vec2 t = tangent_at(s);
+  return std::atan2(t.y, t.x);
+}
+
+double Polyline::project(const Vec2& p) const {
+  if (points_.size() < 2) return 0.0;
+  double best_d = std::numeric_limits<double>::infinity();
+  double best_s = 0.0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const Vec2 a = points_[i];
+    const Vec2 b = points_[i + 1];
+    const Vec2 ab = b - a;
+    const double len_sq = ab.norm_sq();
+    const double t = len_sq > 0.0 ? clamp((p - a).dot(ab) / len_sq, 0.0, 1.0) : 0.0;
+    const Vec2 q = a + ab * t;
+    const double d = distance(p, q);
+    if (d < best_d) {
+      best_d = d;
+      best_s = cum_[i] + t * std::sqrt(len_sq);
+    }
+  }
+  return best_s;
+}
+
+double Polyline::lateral_offset(const Vec2& p) const {
+  if (points_.size() < 2) return 0.0;
+  const double s = project(p);
+  const Vec2 base = point_at(s);
+  const Vec2 tan = tangent_at(s);
+  return tan.cross(p - base);
+}
+
+double Polyline::curvature_at(double s) const {
+  if (points_.size() < 3) return 0.0;
+  // The differencing span must exceed the polyline's sampling step (~2-3 m
+  // for built routes), or both probes land on the same segment tangent.
+  const double ds = 3.0;
+  const double s0 = clamp(s - ds, 0.0, length());
+  const double s1 = clamp(s + ds, 0.0, length());
+  if (s1 - s0 < 1e-9) return 0.0;
+  const double h0 = heading_at(s0);
+  const double h1 = heading_at(s1);
+  return wrap_angle(h1 - h0) / (s1 - s0);
+}
+
+}  // namespace dav

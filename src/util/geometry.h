@@ -1,0 +1,70 @@
+// Planar geometry: oriented bounding boxes (vehicle footprints, collision
+// detection), segments, and polyline utilities (routes, trajectories).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/vec2.h"
+
+namespace dav {
+
+/// Oriented bounding box: center pose plus half extents. Vehicles are OBBs.
+struct Obb {
+  Pose2 pose;
+  double half_length = 0.0;  // along heading
+  double half_width = 0.0;   // across heading
+
+  /// The four corners, counter-clockwise, in world coordinates.
+  std::array<Vec2, 4> corners() const;
+  bool contains(const Vec2& p) const;
+};
+
+/// Separating-axis test for two OBBs.
+bool obb_intersect(const Obb& a, const Obb& b);
+
+/// Shortest distance between two OBBs' corner/edge sets (0 if intersecting).
+double obb_distance(const Obb& a, const Obb& b);
+
+/// Distance from point p to segment [a, b].
+double point_segment_distance(const Vec2& p, const Vec2& a, const Vec2& b);
+
+/// True if segments [a1,a2] and [b1,b2] intersect (including touching).
+bool segments_intersect(const Vec2& a1, const Vec2& a2, const Vec2& b1,
+                        const Vec2& b2);
+
+/// Polyline with arc-length parameterization. Routes and lane center lines are
+/// polylines; vehicles track progress along them by arc length s.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Vec2> points);
+
+  const std::vector<Vec2>& points() const { return points_; }
+  double length() const { return cum_.empty() ? 0.0 : cum_.back(); }
+  bool empty() const { return points_.size() < 2; }
+  std::size_t size() const { return points_.size(); }
+
+  /// Point at arc length s (clamped to [0, length]).
+  Vec2 point_at(double s) const;
+  /// Unit tangent at arc length s.
+  Vec2 tangent_at(double s) const;
+  /// Heading (radians) at arc length s.
+  double heading_at(double s) const;
+  /// Arc length of the closest point on the polyline to p.
+  double project(const Vec2& p) const;
+  /// Signed lateral offset of p from the polyline (+ = left of direction).
+  double lateral_offset(const Vec2& p) const;
+  /// Approximate signed curvature at arc length s (1/m).
+  double curvature_at(double s) const;
+
+  void append(const Vec2& p);
+
+ private:
+  std::size_t segment_index(double s) const;
+  std::vector<Vec2> points_;
+  std::vector<double> cum_;  // cumulative arc length, cum_[i] = length to points_[i]
+};
+
+}  // namespace dav

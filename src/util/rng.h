@@ -1,0 +1,93 @@
+// Deterministic, splittable random number generation.
+//
+// Experiments must be exactly reproducible from a campaign seed, and sub-streams
+// (per-run sensor noise, per-run fault site selection, NPC traffic) must be
+// independent so adding draws to one stream does not perturb another. We use
+// xoshiro256** seeded via splitmix64, the standard recipe.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace dav {
+
+/// splitmix64 step; used for seeding and for deriving child seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child generator. Deterministic in (this stream
+  /// position, tag); does not advance this generator's own sequence in a way
+  /// that correlates with the child.
+  Rng split(std::uint64_t tag) {
+    std::uint64_t s = (*this)() ^ (tag * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(s));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's nearly-divisionless method is overkill here; modulo bias is
+    // negligible for n << 2^64 and determinism is what matters.
+    return (*this)() % n;
+  }
+
+  /// Standard normal via Box-Muller (polar form avoided to keep draw count
+  /// deterministic: always exactly two uniforms per call).
+  double normal() {
+    const double u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1 + 1e-300));
+    return r * std::cos(2.0 * M_PI * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace dav

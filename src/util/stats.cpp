@@ -1,0 +1,148 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace dav {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+BoxStats box_stats(std::vector<double> xs) {
+  BoxStats b;
+  b.n = xs.size();
+  if (xs.empty()) return b;
+  std::sort(xs.begin(), xs.end());
+  b.min = xs.front();
+  b.max = xs.back();
+  // percentile() re-sorts, which is redundant but cheap at our sizes.
+  b.q1 = percentile(xs, 25.0);
+  b.median = percentile(xs, 50.0);
+  b.q3 = percentile(xs, 75.0);
+  return b;
+}
+
+RollingWindow::RollingWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("RollingWindow capacity must be > 0");
+}
+
+void RollingWindow::push(double x) {
+  buf_.push_back(x);
+  sum_ += x;
+  if (buf_.size() > capacity_) {
+    sum_ -= buf_.front();
+    buf_.pop_front();
+  }
+}
+
+void RollingWindow::clear() {
+  buf_.clear();
+  sum_ = 0.0;
+}
+
+double RollingWindow::mean() const {
+  return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
+}
+
+double RollingWindow::max() const {
+  if (buf_.empty()) return 0.0;
+  return *std::max_element(buf_.begin(), buf_.end());
+}
+
+CountHistogram::CountHistogram(std::size_t num_bins) : counts_(num_bins, 0) {
+  if (num_bins == 0) throw std::invalid_argument("CountHistogram needs >= 1 bin");
+}
+
+void CountHistogram::add(std::size_t bin, std::uint64_t count) {
+  counts_.at(bin) += count;
+  total_ += count;
+}
+
+std::size_t CountHistogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(total_));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target && cum > 0) return i;
+  }
+  return counts_.size() - 1;
+}
+
+void Confusion::add(bool predicted_positive, bool actually_positive) {
+  if (predicted_positive && actually_positive) {
+    ++tp;
+  } else if (predicted_positive && !actually_positive) {
+    ++fp;
+  } else if (!predicted_positive && actually_positive) {
+    ++fn;
+  } else {
+    ++tn;
+  }
+}
+
+double Confusion::precision() const {
+  const std::uint64_t denom = tp + fp;
+  return denom ? static_cast<double>(tp) / static_cast<double>(denom) : 0.0;
+}
+
+double Confusion::recall() const {
+  const std::uint64_t denom = tp + fn;
+  return denom ? static_cast<double>(tp) / static_cast<double>(denom) : 0.0;
+}
+
+double Confusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace dav

@@ -1,0 +1,104 @@
+// Statistics helpers: summary stats, percentiles, rolling windows, histograms,
+// and binary-classification accounting (precision / recall / F1, paper §III-D).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace dav {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double percentile(std::vector<double> xs, double p);
+
+/// Five-number summary used for the Fig-6 style box plots.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  std::size_t n = 0;
+};
+BoxStats box_stats(std::vector<double> xs);
+
+/// Fixed-capacity rolling window with O(1) mean/max maintenance. This is the
+/// "rw"-sized smoother of the error-detection engine (paper §III-D): the
+/// detection signal is the rolling mean of per-step actuation differences.
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t capacity);
+
+  void push(double x);
+  void clear();
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return buf_.size() == capacity_; }
+  /// Mean of the current contents; 0 when empty.
+  double mean() const;
+  /// Max of the current contents; 0 when empty.
+  double max() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+/// Integer-valued histogram over [0, num_bins). Used for the per-pixel
+/// bit-diversity distributions of paper Fig 5 (bins = bit counts).
+class CountHistogram {
+ public:
+  explicit CountHistogram(std::size_t num_bins);
+
+  void add(std::size_t bin, std::uint64_t count = 1);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t num_bins() const { return counts_.size(); }
+
+  /// Value v such that at least p% of the mass lies at bins <= v.
+  std::size_t percentile(double p) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Binary-classification confusion matrix.
+struct Confusion {
+  std::uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  void add(bool predicted_positive, bool actually_positive);
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  std::uint64_t total() const { return tp + fp + tn + fn; }
+};
+
+/// Online mean/min/max accumulator (single pass, no storage).
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dav

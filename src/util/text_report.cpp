@@ -1,0 +1,113 @@
+#include "util/text_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dav {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c];
+      out << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string render_heatmap(const std::string& title,
+                           const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& col_labels,
+                           const std::vector<std::vector<double>>& values,
+                           int precision) {
+  std::ostringstream out;
+  out << title << "\n";
+  TextTable table([&] {
+    std::vector<std::string> h{""};
+    h.insert(h.end(), col_labels.begin(), col_labels.end());
+    return h;
+  }());
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    std::vector<std::string> row;
+    row.push_back(r < row_labels.size() ? row_labels[r] : "");
+    for (double v : values[r]) row.push_back(TextTable::fmt(v, precision));
+    table.add_row(std::move(row));
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string render_box(const BoxStats& b, double lo, double hi, int width) {
+  if (hi <= lo) hi = lo + 1.0;
+  const auto col = [&](double v) {
+    const double t = (v - lo) / (hi - lo);
+    return static_cast<int>(std::round(std::clamp(t, 0.0, 1.0) * (width - 1)));
+  };
+  std::string line(static_cast<std::size_t>(width), ' ');
+  const int cmin = col(b.min), cq1 = col(b.q1), cmed = col(b.median),
+            cq3 = col(b.q3), cmax = col(b.max);
+  for (int i = cmin; i <= cmax; ++i) line[static_cast<std::size_t>(i)] = '-';
+  for (int i = cq1; i <= cq3; ++i) line[static_cast<std::size_t>(i)] = '=';
+  line[static_cast<std::size_t>(cmin)] = '|';
+  line[static_cast<std::size_t>(cmax)] = '|';
+  line[static_cast<std::size_t>(cmed)] = '#';
+  return line;
+}
+
+std::string render_cdf(const std::string& title, std::vector<double> xs,
+                       const std::string& x_label, int steps) {
+  std::ostringstream out;
+  out << title << "\n";
+  if (xs.empty()) {
+    out << "  (no samples)\n";
+    return out.str();
+  }
+  std::sort(xs.begin(), xs.end());
+  const double lo = xs.front();
+  const double hi = xs.back();
+  out << "  " << x_label << " -> cumulative count (n=" << xs.size() << ")\n";
+  for (int i = 0; i <= steps; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / steps;
+    const auto cum = static_cast<std::size_t>(
+        std::upper_bound(xs.begin(), xs.end(), x) - xs.begin());
+    const int bar =
+        static_cast<int>(std::round(40.0 * static_cast<double>(cum) /
+                                    static_cast<double>(xs.size())));
+    out << "  " << TextTable::fmt(x, 2) << "\t" << cum << "\t"
+        << std::string(static_cast<std::size_t>(bar), '*') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dav

@@ -1,0 +1,45 @@
+// Text rendering of tables, heat maps, box plots and CDFs for the bench
+// binaries, which regenerate the paper's tables/figures as terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dav {
+
+/// Fixed-width text table. Column widths are derived from content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Render with column separators and a header rule.
+  std::string render() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a numeric matrix as a text heat map (used for Fig 7a/7b): each cell
+/// prints the value; row/column labels are caller-provided.
+std::string render_heatmap(const std::string& title,
+                           const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& col_labels,
+                           const std::vector<std::vector<double>>& values,
+                           int precision = 2);
+
+/// Render a horizontal ASCII box plot line for a five-number summary, scaled
+/// to [lo, hi] over `width` characters (used for Fig 6).
+std::string render_box(const BoxStats& b, double lo, double hi, int width = 60);
+
+/// Render an empirical CDF of `xs` as "x  cum_count" rows plus a sparkline
+/// (used for Fig 8 lead-detection-time plot).
+std::string render_cdf(const std::string& title, std::vector<double> xs,
+                       const std::string& x_label, int steps = 12);
+
+}  // namespace dav

@@ -1,0 +1,88 @@
+// Basic 2-D vector and pose types used throughout the simulator and agent.
+#pragma once
+
+#include <cmath>
+
+namespace dav {
+
+/// 2-D vector of doubles. Value type; all operations are constexpr-friendly.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z component of the 3-D cross product).
+  constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+  /// Unit vector; returns (0,0) for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Perpendicular vector (rotated +90 degrees).
+  constexpr Vec2 perp() const { return {-y, x}; }
+  /// Rotate by `angle` radians counter-clockwise.
+  Vec2 rotated(double angle) const {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_angle(double a) {
+  while (a > M_PI) a -= 2.0 * M_PI;
+  while (a <= -M_PI) a += 2.0 * M_PI;
+  return a;
+}
+
+/// Rigid 2-D pose: position plus heading (radians, CCW from +x).
+struct Pose2 {
+  Vec2 pos;
+  double yaw = 0.0;
+
+  /// Transform a point from the pose's local frame to the world frame.
+  Vec2 to_world(const Vec2& local) const { return pos + local.rotated(yaw); }
+  /// Transform a world point into the pose's local frame.
+  Vec2 to_local(const Vec2& world) const { return (world - pos).rotated(-yaw); }
+  /// Unit vector in the heading direction.
+  Vec2 forward() const { return {std::cos(yaw), std::sin(yaw)}; }
+};
+
+inline double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+inline double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace dav

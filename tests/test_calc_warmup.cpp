@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agent/calc.h"
+#include "agent/warmup.h"
+
+namespace dav {
+namespace {
+
+CrashHangModel never_lethal() {
+  CrashHangModel m;
+  m.p_crash_data = m.p_hang_data = m.p_crash_mem = m.p_hang_mem = 0.0;
+  m.p_crash_ctrl = m.p_hang_ctrl = 0.0;
+  return m;
+}
+
+TEST(CpuCalc, ArithmeticCorrect) {
+  CpuEngine eng;
+  eng.configure({}, 0);
+  CpuCalc c(eng);
+  EXPECT_DOUBLE_EQ(c.add(2.0, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.sub(2.0, 3.0), -1.0);
+  EXPECT_DOUBLE_EQ(c.mul(2.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(c.div(6.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.fma(2.0, 3.0, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.min(2.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.max(2.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.abs(-4.0), 4.0);
+  EXPECT_DOUBLE_EQ(c.sqrt(9.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.sqrt(-1.0), 0.0);  // guarded
+  EXPECT_DOUBLE_EQ(c.neg(5.0), -5.0);
+  EXPECT_DOUBLE_EQ(c.clamp(5.0, 0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.select(true, 1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.select(false, 1.0, 2.0), 2.0);
+  EXPECT_TRUE(c.less(1.0, 2.0));
+  EXPECT_FALSE(c.less(2.0, 1.0));
+  EXPECT_NEAR(c.atan2(1.0, 1.0), M_PI / 4, 1e-6);
+}
+
+TEST(CpuCalc, DataOpsCarryMemoryTraffic) {
+  CpuEngine eng;
+  eng.configure({}, 0);
+  CpuCalc c(eng);
+  for (int i = 0; i < 30; ++i) c.add(1.0, 1.0);
+  // Each data op fetches an operand; every third op spills.
+  EXPECT_EQ(eng.op_count(CpuOpcode::kLoad), 30u);
+  EXPECT_EQ(eng.op_count(CpuOpcode::kStore), 10u);
+  EXPECT_EQ(eng.op_count(CpuOpcode::kAdd), 30u);
+}
+
+TEST(CpuCalc, ControlMarksCount) {
+  CpuEngine eng;
+  eng.configure({}, 0);
+  CpuCalc c(eng);
+  c.call();
+  c.loop_iter();
+  c.loop_iter();
+  c.ret();
+  EXPECT_EQ(eng.op_count(CpuOpcode::kCall), 1u);
+  EXPECT_EQ(eng.op_count(CpuOpcode::kLoopCnt), 2u);
+  EXPECT_EQ(eng.op_count(CpuOpcode::kRet), 1u);
+}
+
+TEST(GpuCalc, ArithmeticCorrect) {
+  GpuEngine eng;
+  eng.configure({}, 0);
+  GpuCalc c(eng);
+  EXPECT_FLOAT_EQ(c.add(1.0f, 2.0f), 3.0f);
+  EXPECT_FLOAT_EQ(c.fma(2.0f, 3.0f, 1.0f), 7.0f);
+  EXPECT_FLOAT_EQ(c.relu(-2.0f), 0.0f);
+  EXPECT_FLOAT_EQ(c.relu(2.0f), 2.0f);
+  EXPECT_FLOAT_EQ(c.clamp(5.0f, 0.0f, 2.0f), 2.0f);
+  EXPECT_FLOAT_EQ(c.clamp(-5.0f, 0.0f, 2.0f), 0.0f);
+  EXPECT_FLOAT_EQ(c.sqrt(16.0f), 4.0f);
+  EXPECT_FLOAT_EQ(c.select(true, 1.0f, 2.0f), 1.0f);
+}
+
+class WarmupSeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WarmupSeedSweep, GpuGainExactlyOneWhenClean) {
+  GpuEngine eng;
+  eng.configure({}, 0);
+  EXPECT_EQ(gpu_isa_warmup(eng, static_cast<float>(GetParam())), 1.0f);
+}
+
+TEST_P(WarmupSeedSweep, CpuGainExactlyOneWhenClean) {
+  CpuEngine eng;
+  eng.configure({}, 0);
+  EXPECT_EQ(cpu_isa_warmup(eng, GetParam()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmupSeedSweep,
+                         ::testing::Values(0.0, 0.31, 0.77, 1.5, 12.34,
+                                           -3.2));
+
+TEST(Warmup, SeededFaultEffectIsDataDependent) {
+  // The same permanent fault must perturb the gain differently for
+  // different live seeds (the divergence mechanism between the two agents).
+  FaultPlan plan;
+  plan.kind = FaultModelKind::kPermanent;
+  plan.domain = FaultDomain::kGpu;
+  plan.target_opcode = static_cast<int>(GpuOpcode::kRedAdd);
+  plan.bit = 27;
+  CrashHangModel silent;
+  silent.p_crash_data = silent.p_hang_data = silent.p_crash_mem = 0.0;
+  silent.p_hang_mem = silent.p_crash_ctrl = silent.p_hang_ctrl = 0.0;
+  GpuEngine a;
+  a.configure(plan, 1, silent);
+  GpuEngine b;
+  b.configure(plan, 1, silent);
+  const float ga = gpu_isa_warmup(a, 0.30f);
+  const float gb = gpu_isa_warmup(b, 0.31f);
+  EXPECT_NE(ga, 1.0f);
+  EXPECT_NE(ga, gb);
+}
+
+TEST(Warmup, CoversEveryGpuOpcode) {
+  GpuEngine eng;
+  eng.configure({}, 0);
+  gpu_isa_warmup(eng, 0.4f);
+  for (int i = 0; i < kNumGpuOpcodes; ++i) {
+    EXPECT_GT(eng.op_count(static_cast<GpuOpcode>(i)), 0u)
+        << to_string(static_cast<GpuOpcode>(i));
+  }
+}
+
+TEST(Warmup, CoversEveryCpuOpcode) {
+  CpuEngine eng;
+  eng.configure({}, 0);
+  // One warmup plus a couple of CpuCalc ops (the warmup chain itself uses
+  // the calculator-independent exec path).
+  cpu_isa_warmup(eng, 0.4);
+  for (int i = 0; i < kNumCpuOpcodes; ++i) {
+    EXPECT_GT(eng.op_count(static_cast<CpuOpcode>(i)), 0u)
+        << to_string(static_cast<CpuOpcode>(i));
+  }
+}
+
+/// Property: a permanent fault on ANY GPU opcode is activated by a single
+/// warmup pass (paper Table I: every permanent injection activates).
+class GpuWarmupActivation : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuWarmupActivation, PermanentFaultActivates) {
+  GpuEngine eng;
+  FaultPlan plan;
+  plan.kind = FaultModelKind::kPermanent;
+  plan.domain = FaultDomain::kGpu;
+  plan.target_opcode = GetParam();
+  plan.bit = 3;
+  eng.configure(plan, 1, never_lethal());
+  gpu_isa_warmup(eng, 0.4f);
+  EXPECT_TRUE(eng.fault_activated())
+      << to_string(static_cast<GpuOpcode>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, GpuWarmupActivation,
+                         ::testing::Range(0, kNumGpuOpcodes));
+
+class CpuWarmupActivation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuWarmupActivation, PermanentFaultActivates) {
+  CpuEngine eng;
+  FaultPlan plan;
+  plan.kind = FaultModelKind::kPermanent;
+  plan.domain = FaultDomain::kCpu;
+  plan.target_opcode = GetParam();
+  plan.bit = 3;
+  eng.configure(plan, 1, never_lethal());
+  cpu_isa_warmup(eng, 0.4);
+  EXPECT_TRUE(eng.fault_activated())
+      << to_string(static_cast<CpuOpcode>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, CpuWarmupActivation,
+                         ::testing::Range(0, kNumCpuOpcodes));
+
+TEST(Warmup, FaultPerturbsGain) {
+  GpuEngine eng;
+  FaultPlan plan;
+  plan.kind = FaultModelKind::kPermanent;
+  plan.domain = FaultDomain::kGpu;
+  // A high-exponent-bit fault on an opcode late in the warmup chain (after
+  // the floor/clamp stages that can legitimately mask small perturbations).
+  plan.target_opcode = static_cast<int>(GpuOpcode::kRedAdd);
+  plan.bit = 30;
+  eng.configure(plan, 1, never_lethal());
+  const float gain = gpu_isa_warmup(eng, 0.4f);
+  EXPECT_NE(gain, 1.0f);
+}
+
+}  // namespace
+}  // namespace dav

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/camera.h"
+#include "sim/scenario.h"
+
+namespace dav {
+namespace {
+
+World lsd_world() { return World(make_scenario(ScenarioId::kLeadSlowdown)); }
+
+TEST(CameraModel, FocalFromFov) {
+  CameraModel m;
+  m.width = 96;
+  m.fov_deg = 90.0;
+  EXPECT_NEAR(m.focal_px(), 48.0, 1e-9);
+  m.fov_deg = 60.0;
+  EXPECT_GT(m.focal_px(), 48.0);  // narrower fov -> longer focal
+}
+
+TEST(FrontCameraRig, ThreeCamerasLeftCenterRight) {
+  const auto rig = front_camera_rig(96, 72, 2.0);
+  ASSERT_EQ(rig.size(), 3u);
+  EXPECT_GT(rig[0].yaw_offset, 0.0);   // left camera yaws left (+)
+  EXPECT_DOUBLE_EQ(rig[1].yaw_offset, 0.0);
+  EXPECT_LT(rig[2].yaw_offset, 0.0);
+  for (const auto& m : rig) {
+    EXPECT_EQ(m.width, 96);
+    EXPECT_EQ(m.height, 72);
+  }
+}
+
+TEST(CameraRenderer, ProducesCorrectlySizedImage) {
+  World world = lsd_world();
+  CameraRenderer renderer(front_camera_rig()[1]);
+  Rng noise(1);
+  const Image img = renderer.render(world, noise);
+  EXPECT_EQ(img.width(), 96);
+  EXPECT_EQ(img.height(), 72);
+  EXPECT_EQ(img.byte_size(), 96u * 72u * 3u);
+}
+
+TEST(CameraRenderer, SkyAboveHorizonRoadBelow) {
+  World world = lsd_world();
+  CameraModel m = front_camera_rig()[1];
+  m.noise_sigma = 0.0;
+  CameraRenderer renderer(m);
+  Rng noise(1);
+  const Image img = renderer.render(world, noise);
+  const Rgb sky = img.get(48, 5);
+  EXPECT_GT(sky.b, sky.r);  // blue-ish sky
+  const Rgb road = img.get(48, 65);
+  // Road is achromatic gray.
+  EXPECT_NEAR(road.r, road.g, 6);
+  EXPECT_NEAR(road.g, road.b, 6);
+}
+
+TEST(CameraRenderer, LeadVehicleVisibleInCenter) {
+  World world = lsd_world();
+  CameraModel m = front_camera_rig()[1];
+  m.noise_sigma = 0.0;
+  CameraRenderer renderer(m);
+  Rng noise(1);
+  const Image img = renderer.render(world, noise);
+  const BBox2 box = renderer.project_npc(world, world.npcs()[0]);
+  ASSERT_TRUE(box.valid());
+  // The projected box center pixel should be blue-ish (the lead is blue).
+  const int cx = static_cast<int>(box.cx());
+  const int cy = static_cast<int>(box.cy());
+  const Rgb c = img.get(cx, cy);
+  EXPECT_GT(c.b, c.r + 20);
+}
+
+TEST(CameraRenderer, NoiseChangesPixelsDeterministically) {
+  World world = lsd_world();
+  CameraRenderer renderer(front_camera_rig()[1]);
+  Rng n1(42), n2(42), n3(43);
+  const Image a = renderer.render(world, n1);
+  const Image b = renderer.render(world, n2);
+  const Image c = renderer.render(world, n3);
+  EXPECT_EQ(a.bytes(), b.bytes());   // same seed -> identical
+  EXPECT_NE(a.bytes(), c.bytes());   // different seed -> different
+}
+
+TEST(ProjectNpc, SizeShrinksWithDistance) {
+  World world = lsd_world();
+  CameraRenderer renderer(front_camera_rig()[1]);
+  const BBox2 near_box = renderer.project_npc(world, world.npcs()[0]);
+  // Move the world forward a while: lead maintains distance; instead create a
+  // second scenario with a farther lead.
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  IdmParams idm;
+  sc.npcs.emplace_back(7, sc.ego_start_s + 60.0, 0.0, 10.0, idm);
+  World world2(std::move(sc));
+  const BBox2 far_box = renderer.project_npc(world2, world2.npcs()[1]);
+  ASSERT_TRUE(near_box.valid());
+  ASSERT_TRUE(far_box.valid());
+  EXPECT_GT(near_box.x_max - near_box.x_min, far_box.x_max - far_box.x_min);
+  // Farther object's bottom edge is closer to the horizon.
+  EXPECT_LT(far_box.y_max, near_box.y_max);
+}
+
+TEST(ProjectNpc, BehindCameraInvalid) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  IdmParams idm;
+  sc.npcs.emplace_back(9, sc.ego_start_s - 30.0, 0.0, 10.0, idm);
+  World world(std::move(sc));
+  CameraRenderer renderer(front_camera_rig()[1]);
+  EXPECT_FALSE(renderer.project_npc(world, world.npcs()[1]).valid());
+}
+
+TEST(ProjectNpc, GroundDepthMapsToRow) {
+  // v_bottom - cy == f * mount_height / depth within a pixel.
+  World world = lsd_world();
+  const CameraModel m = front_camera_rig()[1];
+  CameraRenderer renderer(m);
+  const BBox2 box = renderer.project_npc(world, world.npcs()[0]);
+  ASSERT_TRUE(box.valid());
+  const auto& npc = world.npcs()[0];
+  const double depth =
+      npc.s() - world.ego_route_s() - npc.spec().length * 0.5;
+  const double expected_row = m.height / 2.0 + m.focal_px() * m.mount_height / depth;
+  EXPECT_NEAR(box.y_max, expected_row, 1.5);
+}
+
+namespace {
+bool any_red(const Image& img, int y_begin, int y_end) {
+  for (int y = y_begin; y < y_end; ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const Rgb c = img.get(x, y);
+      if (c.r > c.g + 60 && c.r > c.b + 60) return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+TEST(CameraRenderer, RedLightHeadVisibleAtRange) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  sc.map.add_traffic_light({sc.ego_start_s + 30.0, 0.0, 0.0, 1000.0, 0.0});
+  World world(std::move(sc));
+  CameraModel m = front_camera_rig()[1];
+  m.noise_sigma = 0.0;
+  CameraRenderer renderer(m);
+  Rng noise(1);
+  const Image img = renderer.render(world, noise);
+  // The head box (mounted high) renders above the horizon at 30 m.
+  EXPECT_TRUE(any_red(img, 0, img.height() / 2));
+}
+
+TEST(CameraRenderer, RedStopLineVisibleCloseUp) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  sc.map.add_traffic_light({sc.ego_start_s + 9.0, 0.0, 0.0, 1000.0, 0.0});
+  World world(std::move(sc));
+  CameraModel m = front_camera_rig()[1];
+  m.noise_sigma = 0.0;
+  CameraRenderer renderer(m);
+  Rng noise(1);
+  const Image img = renderer.render(world, noise);
+  // The painted stop line on the ground is a close-range cue.
+  EXPECT_TRUE(any_red(img, img.height() / 2, img.height()));
+}
+
+TEST(CameraRenderer, GreenLightShowsNoRed) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  sc.map.add_traffic_light({sc.ego_start_s + 30.0, 1000.0, 1.0, 1.0, 0.0});
+  World world(std::move(sc));
+  CameraModel m = front_camera_rig()[1];
+  m.noise_sigma = 0.0;
+  CameraRenderer renderer(m);
+  Rng noise(1);
+  const Image img = renderer.render(world, noise);
+  EXPECT_FALSE(any_red(img, 0, img.height()));
+}
+
+TEST(CameraRenderer, TextureStrengthChangesGroundPixels) {
+  World world = lsd_world();
+  CameraModel m = front_camera_rig()[1];
+  m.noise_sigma = 0.0;
+  CameraRenderer plain(m);
+  CameraRenderer textured(m);
+  textured.set_texture_strength(1.0);
+  Rng n1(4), n2(4);
+  const Image a = plain.render(world, n1);
+  const Image b = textured.render(world, n2);
+  EXPECT_NE(a.bytes(), b.bytes());
+}
+
+TEST(Image, GetSetRoundTrip) {
+  Image img(4, 3);
+  img.set(2, 1, {10, 20, 30});
+  const Rgb c = img.get(2, 1);
+  EXPECT_EQ(c.r, 10);
+  EXPECT_EQ(c.g, 20);
+  EXPECT_EQ(c.b, 30);
+  EXPECT_FALSE(img.empty());
+  EXPECT_TRUE(Image().empty());
+}
+
+}  // namespace
+}  // namespace dav

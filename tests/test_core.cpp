@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/distributor.h"
+#include "core/divergence.h"
+#include "core/threshold_lut.h"
+#include "util/rng.h"
+
+namespace dav {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SensorDataDistributor
+// ---------------------------------------------------------------------------
+
+TEST(Distributor, SingleModeAlwaysAgent0) {
+  SensorDataDistributor d(AgentMode::kSingle);
+  EXPECT_EQ(d.num_agents(), 1);
+  EXPECT_EQ(d.agent_period(), 1);
+  for (int step = 0; step < 5; ++step) {
+    const auto disp = d.dispatch(step);
+    EXPECT_TRUE(disp.to_agent0);
+    EXPECT_FALSE(disp.to_agent1);
+    EXPECT_EQ(disp.acting_agent, 0);
+  }
+}
+
+TEST(Distributor, RoundRobinAlternates) {
+  SensorDataDistributor d(AgentMode::kRoundRobin);
+  EXPECT_EQ(d.num_agents(), 2);
+  EXPECT_EQ(d.agent_period(), 2);
+  for (int step = 0; step < 10; ++step) {
+    const auto disp = d.dispatch(step);
+    if (step % 2 == 0) {
+      EXPECT_TRUE(disp.to_agent0);
+      EXPECT_FALSE(disp.to_agent1);
+      EXPECT_EQ(disp.acting_agent, 0);
+    } else {
+      EXPECT_FALSE(disp.to_agent0);
+      EXPECT_TRUE(disp.to_agent1);
+      EXPECT_EQ(disp.acting_agent, 1);
+    }
+  }
+}
+
+TEST(Distributor, DuplicateSendsToBothPrimaryDrives) {
+  SensorDataDistributor d(AgentMode::kDuplicate);
+  const auto disp = d.dispatch(3);
+  EXPECT_TRUE(disp.to_agent0);
+  EXPECT_TRUE(disp.to_agent1);
+  EXPECT_EQ(disp.acting_agent, 0);
+  EXPECT_EQ(d.agent_period(), 1);
+}
+
+TEST(Distributor, ModeNames) {
+  EXPECT_EQ(to_string(AgentMode::kSingle), "single");
+  EXPECT_EQ(to_string(AgentMode::kRoundRobin), "diverseav");
+  EXPECT_EQ(to_string(AgentMode::kDuplicate), "fd");
+}
+
+// ---------------------------------------------------------------------------
+// Divergence signal
+// ---------------------------------------------------------------------------
+
+TEST(AbsDelta, PerChannelAbsolute) {
+  const ActuationDelta d =
+      abs_delta({0.5, 0.0, -0.2}, {0.2, 0.3, 0.3});
+  EXPECT_DOUBLE_EQ(d.throttle, 0.3);
+  EXPECT_DOUBLE_EQ(d.brake, 0.3);
+  EXPECT_DOUBLE_EQ(d.steer, 0.5);
+}
+
+TEST(DivergenceSignalTest, SmoothsPerChannel) {
+  DivergenceSignal sig(2);
+  sig.push({1.0, 0.0, 0.5});
+  EXPECT_FALSE(sig.full());
+  sig.push({0.0, 1.0, 0.5});
+  EXPECT_TRUE(sig.full());
+  const ActuationDelta s = sig.smoothed();
+  EXPECT_DOUBLE_EQ(s.throttle, 0.5);
+  EXPECT_DOUBLE_EQ(s.brake, 0.5);
+  EXPECT_DOUBLE_EQ(s.steer, 0.5);
+  sig.clear();
+  EXPECT_FALSE(sig.full());
+}
+
+// ---------------------------------------------------------------------------
+// Threshold LUT
+// ---------------------------------------------------------------------------
+
+VehicleState state_at(double v, double a = 0.0, double omega = 0.0,
+                      double alpha = 0.0) {
+  VehicleState s;
+  s.v = v;
+  s.a = a;
+  s.omega = omega;
+  s.alpha = alpha;
+  return s;
+}
+
+TEST(BinAxisTest, IndexClampsAndBins) {
+  BinAxis axis{0.0, 10.0, 5};
+  EXPECT_EQ(axis.index(-1.0), 0);
+  EXPECT_EQ(axis.index(0.0), 0);
+  EXPECT_EQ(axis.index(3.9), 1);
+  EXPECT_EQ(axis.index(9.99), 4);
+  EXPECT_EQ(axis.index(25.0), 4);
+}
+
+TEST(ThresholdLutTest, FloorsApplyWhenUntrained) {
+  LutConfig cfg;
+  ThresholdLut lut(cfg);
+  const ActuationDelta th = lut.thresholds(state_at(10.0));
+  EXPECT_DOUBLE_EQ(th.throttle, cfg.floor_throttle);
+  EXPECT_DOUBLE_EQ(th.brake, cfg.floor_brake);
+  EXPECT_DOUBLE_EQ(th.steer, cfg.floor_steer);
+}
+
+TEST(ThresholdLutTest, TrainedBinUsesMarginTimesMax) {
+  LutConfig cfg;
+  ThresholdLut lut(cfg);
+  lut.observe(state_at(10.0), {0.5, 0.4, 0.3});
+  lut.observe(state_at(10.0), {0.3, 0.6, 0.2});
+  const ActuationDelta th = lut.thresholds(state_at(10.0));
+  EXPECT_DOUBLE_EQ(th.throttle, cfg.margin * 0.5);
+  EXPECT_DOUBLE_EQ(th.brake, cfg.margin * 0.6);
+  EXPECT_DOUBLE_EQ(th.steer, cfg.margin * 0.3);
+  EXPECT_EQ(lut.observations(), 2u);
+}
+
+TEST(ThresholdLutTest, UnseenBinFallsBackToGlobalMax) {
+  LutConfig cfg;
+  ThresholdLut lut(cfg);
+  lut.observe(state_at(3.0), {0.5, 0.4, 0.3});
+  // Far away bin (v = 20) never trained: global fallback.
+  const ActuationDelta th = lut.thresholds(state_at(20.0));
+  EXPECT_DOUBLE_EQ(th.throttle, cfg.margin * 0.5);
+}
+
+TEST(ThresholdLutTest, SmearingCoversNeighborBins) {
+  LutConfig cfg;
+  ThresholdLut lut(cfg);
+  lut.observe(state_at(10.0, 0.0), {0.5, 0.0, 0.0});
+  // A state one accel-bin away is covered by smearing with the same max.
+  const double bin_width = (cfg.accel.hi - cfg.accel.lo) / cfg.accel.bins;
+  const ActuationDelta th = lut.thresholds(state_at(10.0, bin_width));
+  EXPECT_DOUBLE_EQ(th.throttle, cfg.margin * 0.5);
+  EXPECT_GT(lut.trained_bins(), 9u);  // 3x3 (v,a) + 3x3 steer bins
+}
+
+TEST(ThresholdLutTest, SteerIndexedByYawAxes) {
+  LutConfig cfg;
+  ThresholdLut lut(cfg);
+  lut.observe(state_at(10.0, 0.0, 0.4, 1.0), {0.0, 0.0, 0.5});
+  // Same yaw state, different speed: steer threshold still applies.
+  const ActuationDelta th = lut.thresholds(state_at(3.0, -2.0, 0.4, 1.0));
+  EXPECT_DOUBLE_EQ(th.steer, cfg.margin * 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Error detector
+// ---------------------------------------------------------------------------
+
+ThresholdLut trained_lut() {
+  ThresholdLut lut;
+  for (double v = 0.0; v < 22.0; v += 1.0) {
+    for (double a = -7.0; a < 4.0; a += 1.0) {
+      VehicleState s = state_at(v, a, 0.0, 0.0);
+      lut.observe(s, {0.1, 0.1, 0.1});
+    }
+  }
+  return lut;
+}
+
+StepObservation obs_at(double t, double v, const ActuationDelta& d) {
+  return {t, state_at(v), d};
+}
+
+TEST(Detector, NoAlarmBelowThreshold) {
+  const ThresholdLut lut = trained_lut();
+  ErrorDetector det(lut, {});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(det.observe(obs_at(i * 0.05, 10.0, {0.05, 0.05, 0.05})));
+  }
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(Detector, AlarmsOnSustainedExceedance) {
+  const ThresholdLut lut = trained_lut();
+  DetectorConfig cfg;
+  ErrorDetector det(lut, cfg);
+  bool alarmed = false;
+  for (int i = 0; i < 30 && !alarmed; ++i) {
+    alarmed = det.observe(obs_at(i * 0.05, 10.0, {0.9, 0.0, 0.0}));
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_GE(det.first_alarm_time(), 0.0);
+}
+
+TEST(Detector, DebounceSuppressesSingleBlip) {
+  const ThresholdLut lut = trained_lut();
+  DetectorConfig cfg;
+  cfg.rw = 1;
+  cfg.debounce = 3;
+  ErrorDetector det(lut, cfg);
+  det.observe(obs_at(0.0, 10.0, {0.9, 0.0, 0.0}));  // 1 exceedance
+  det.observe(obs_at(0.1, 10.0, {0.0, 0.0, 0.0}));  // streak broken
+  det.observe(obs_at(0.2, 10.0, {0.9, 0.0, 0.0}));
+  det.observe(obs_at(0.3, 10.0, {0.0, 0.0, 0.0}));
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(Detector, AlarmTimeIsStreakStart) {
+  const ThresholdLut lut = trained_lut();
+  DetectorConfig cfg;
+  cfg.rw = 1;
+  cfg.debounce = 3;
+  ErrorDetector det(lut, cfg);
+  det.observe(obs_at(0.0, 10.0, {0.0, 0.0, 0.0}));
+  det.observe(obs_at(1.0, 10.0, {0.9, 0.0, 0.0}));
+  det.observe(obs_at(2.0, 10.0, {0.9, 0.0, 0.0}));
+  det.observe(obs_at(3.0, 10.0, {0.9, 0.0, 0.0}));
+  EXPECT_TRUE(det.alarmed());
+  EXPECT_DOUBLE_EQ(det.first_alarm_time(), 1.0);
+}
+
+TEST(Detector, LowSpeedGateSkipsEvaluation) {
+  const ThresholdLut lut = trained_lut();
+  ErrorDetector det(lut, {});
+  for (int i = 0; i < 50; ++i) {
+    det.observe(obs_at(i * 0.05, 0.4, {0.9, 0.9, 0.9}));  // crawling
+  }
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(Detector, AlarmLatches) {
+  const ThresholdLut lut = trained_lut();
+  ErrorDetector det(lut, {});
+  for (int i = 0; i < 30; ++i) {
+    det.observe(obs_at(i * 0.05, 10.0, {0.9, 0.0, 0.0}));
+  }
+  ASSERT_TRUE(det.alarmed());
+  const double t = det.first_alarm_time();
+  det.observe(obs_at(99.0, 10.0, {0.0, 0.0, 0.0}));
+  EXPECT_TRUE(det.alarmed());
+  EXPECT_DOUBLE_EQ(det.first_alarm_time(), t);
+}
+
+TEST(Detector, ResetClears) {
+  const ThresholdLut lut = trained_lut();
+  ErrorDetector det(lut, {});
+  for (int i = 0; i < 30; ++i) {
+    det.observe(obs_at(i * 0.05, 10.0, {0.9, 0.0, 0.0}));
+  }
+  det.reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_LT(det.first_alarm_time(), 0.0);
+}
+
+TEST(ReplayDetector, MatchesOnlineDetector) {
+  const ThresholdLut lut = trained_lut();
+  std::vector<StepObservation> trace;
+  for (int i = 0; i < 40; ++i) {
+    const double mag = i >= 20 ? 0.9 : 0.02;
+    trace.push_back(obs_at(i * 0.05, 10.0, {mag, 0.0, 0.0}));
+  }
+  DetectorConfig cfg;
+  const ReplayResult replay = replay_detector(trace, lut, cfg);
+  ErrorDetector online(lut, cfg);
+  for (const auto& o : trace) online.observe(o);
+  EXPECT_EQ(replay.alarmed, online.alarmed());
+  EXPECT_DOUBLE_EQ(replay.alarm_time, online.first_alarm_time());
+  EXPECT_TRUE(replay.alarmed);
+}
+
+TEST(TrainLut, UsesSameSmoothingAsRuntime) {
+  std::vector<std::vector<StepObservation>> runs(1);
+  // Alternating spikes: rw=4 smooths them to 0.25 average.
+  for (int i = 0; i < 40; ++i) {
+    runs[0].push_back(obs_at(i * 0.05, 10.0,
+                             {(i % 4 == 0) ? 1.0 : 0.0, 0.0, 0.0}));
+  }
+  const ThresholdLut lut = train_lut(runs, /*rw=*/4);
+  const ActuationDelta th = lut.thresholds(state_at(10.0));
+  // Max smoothed value is 0.25 (one spike per window) -> margin * 0.25.
+  EXPECT_NEAR(th.throttle, LutConfig{}.margin * 0.25, 1e-9);
+}
+
+TEST(TrainLut, SkipsCrawlObservations) {
+  std::vector<std::vector<StepObservation>> runs(1);
+  for (int i = 0; i < 20; ++i) {
+    runs[0].push_back(obs_at(i * 0.05, 0.3, {1.0, 1.0, 1.0}));
+  }
+  const ThresholdLut lut = train_lut(runs, 3);
+  EXPECT_EQ(lut.observations(), 0u);
+}
+
+/// Property: detector never alarms on the data it was trained on.
+class SelfConsistency : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SelfConsistency, TrainedTraceDoesNotAlarm) {
+  const std::size_t rw = GetParam();
+  std::vector<std::vector<StepObservation>> runs(1);
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    runs[0].push_back(obs_at(i * 0.05, 5.0 + 5.0 * rng.uniform(),
+                             {0.3 * rng.uniform(), 0.3 * rng.uniform(),
+                              0.2 * rng.uniform()}));
+  }
+  const ThresholdLut lut = train_lut(runs, rw);
+  DetectorConfig cfg;
+  cfg.rw = rw;
+  EXPECT_FALSE(replay_detector(runs[0], lut, cfg).alarmed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SelfConsistency,
+                         ::testing::Values(1u, 3u, 5u, 10u, 20u, 40u));
+
+}  // namespace
+}  // namespace dav

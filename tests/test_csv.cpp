@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace dav {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/dav_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"t", "throttle", "name"});
+    csv << 0.05 << 0.5 << "a";
+    csv.endrow();
+    csv << 0.10 << 1 << "b";
+    csv.endrow();
+    csv.flush();
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "t,throttle,name\n0.05,0.5,a\n0.1,1,b\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablepathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(CsvWriter, EmptyRow) {
+  const std::string path = ::testing::TempDir() + "/dav_csv_empty.csv";
+  {
+    CsvWriter csv(path);
+    csv.endrow();
+  }
+  EXPECT_EQ(slurp(path), "\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dav

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "sensors/diversity.h"
+
+namespace dav {
+namespace {
+
+TEST(ImageBitDiversity, IdenticalImagesAllZeroBin) {
+  Image a(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) a.set(x, y, {100, 150, 200});
+  }
+  const CountHistogram h = image_bit_diversity(a, a);
+  EXPECT_EQ(h.total(), 64u);
+  EXPECT_EQ(h.count(0), 64u);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(ImageBitDiversity, SinglePixelSingleBit) {
+  Image a(4, 4);
+  Image b(4, 4);
+  Rgb c = b.get(0, 0);
+  c.r ^= 0x01;
+  b.set(0, 0, c);
+  const CountHistogram h = image_bit_diversity(a, b);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(0), 15u);
+}
+
+TEST(ImageBitDiversity, MaxDiversityIs24) {
+  Image a(2, 2);
+  Image b(2, 2);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) {
+      a.set(x, y, {0x00, 0x00, 0x00});
+      b.set(x, y, {0xFF, 0xFF, 0xFF});
+    }
+  }
+  const CountHistogram h = image_bit_diversity(a, b);
+  EXPECT_EQ(h.count(24), 4u);
+  EXPECT_EQ(h.percentile(90), 24u);
+}
+
+TEST(ImageBitDiversity, SizeMismatchThrows) {
+  EXPECT_THROW(image_bit_diversity(Image(2, 2), Image(3, 2)),
+               std::invalid_argument);
+}
+
+TEST(FloatBitDiversity, IdenticalAndSign) {
+  const std::vector<float> a{1.0f, 2.0f};
+  const CountHistogram same = float_bit_diversity(a, a);
+  EXPECT_EQ(same.count(0), 2u);
+  const std::vector<float> b{-1.0f, 2.0f};
+  const CountHistogram diff = float_bit_diversity(a, b);
+  EXPECT_EQ(diff.count(1), 1u);  // sign bit only
+}
+
+TEST(FloatBitDiversity, SizeMismatchThrows) {
+  EXPECT_THROW(float_bit_diversity({1.0f}, {1.0f, 2.0f}),
+               std::invalid_argument);
+}
+
+TEST(BBoxCenterShift, Euclidean) {
+  BBox2 a{0, 0, 10, 10};
+  BBox2 b{3, 4, 13, 14};
+  EXPECT_DOUBLE_EQ(bbox_center_shift(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(bbox_center_shift(a, a), 0.0);
+}
+
+TEST(Accumulate, AddsIntoSharedHistogram) {
+  CountHistogram h(25);
+  Image a(4, 4);
+  Image b(4, 4);
+  accumulate_image_bit_diversity(a, b, h);
+  accumulate_image_bit_diversity(a, b, h);
+  EXPECT_EQ(h.total(), 32u);
+}
+
+}  // namespace
+}  // namespace dav

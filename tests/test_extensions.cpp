@@ -1,0 +1,134 @@
+// Extensions beyond the paper's core evaluation: partial duplication
+// (footnote 5), threshold-LUT serialization, and their integration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/campaign.h"
+#include "campaign/metrics.h"
+#include "core/distributor.h"
+#include "core/threshold_lut.h"
+
+namespace dav {
+namespace {
+
+TEST(OverlapDistributor, ZeroRatioIsPureRoundRobin) {
+  SensorDataDistributor d(AgentMode::kRoundRobin, 0.0);
+  EXPECT_DOUBLE_EQ(d.overlap_ratio(), 0.0);
+  for (int step = 0; step < 8; ++step) {
+    const auto disp = d.dispatch(step);
+    EXPECT_NE(disp.to_agent0, disp.to_agent1);
+  }
+}
+
+TEST(OverlapDistributor, RatioControlsOverlapFrequency) {
+  SensorDataDistributor d(AgentMode::kRoundRobin, 0.25);
+  EXPECT_NEAR(d.overlap_ratio(), 0.25, 1e-12);
+  int overlaps = 0;
+  for (int step = 0; step < 100; ++step) {
+    const auto disp = d.dispatch(step);
+    overlaps += disp.to_agent0 && disp.to_agent1;
+  }
+  EXPECT_EQ(overlaps, 25);
+}
+
+TEST(OverlapDistributor, FullOverlapDuplicatesEveryFrame) {
+  SensorDataDistributor d(AgentMode::kRoundRobin, 1.0);
+  for (int step = 0; step < 6; ++step) {
+    const auto disp = d.dispatch(step);
+    EXPECT_TRUE(disp.to_agent0 && disp.to_agent1);
+    // The acting agent still alternates (fusion stays lockstep).
+    EXPECT_EQ(disp.acting_agent, step % 2);
+  }
+}
+
+TEST(OverlapDistributor, ActingAgentAlternatesOnOverlapFrames) {
+  SensorDataDistributor d(AgentMode::kRoundRobin, 0.5);
+  for (int step = 0; step < 10; ++step) {
+    EXPECT_EQ(d.dispatch(step).acting_agent, step % 2);
+  }
+}
+
+TEST(OverlapRun, RaisesComputeAndStaysSafe) {
+  CampaignScale scale;
+  scale.safety_duration_sec = 12.0;
+  CampaignManager mgr(scale, 2022);
+  RunConfig cfg =
+      mgr.base_config(ScenarioId::kLeadSlowdown, AgentMode::kRoundRobin);
+  cfg.run_seed = 5;
+  const RunResult rr = run_experiment(cfg);
+  cfg.overlap_ratio = 0.5;
+  const RunResult half = run_experiment(cfg);
+  EXPECT_FALSE(half.collision);
+  EXPECT_FALSE(half.flags.any());
+  // 50% overlap processes ~1.5x the frames of pure round-robin.
+  EXPECT_GT(static_cast<double>(half.gpu_instructions),
+            1.3 * static_cast<double>(rr.gpu_instructions));
+  EXPECT_LT(static_cast<double>(half.gpu_instructions),
+            1.7 * static_cast<double>(rr.gpu_instructions));
+}
+
+TEST(LutSerialization, RoundTripPreservesThresholds) {
+  ThresholdLut lut;
+  VehicleState s;
+  s.v = 10.0;
+  s.a = -1.0;
+  s.omega = 0.2;
+  lut.observe(s, {0.3, 0.2, 0.1});
+  s.v = 4.0;
+  lut.observe(s, {0.1, 0.5, 0.05});
+
+  std::stringstream ss;
+  lut.save(ss);
+  const ThresholdLut loaded = ThresholdLut::load(ss);
+
+  EXPECT_EQ(loaded.observations(), lut.observations());
+  EXPECT_EQ(loaded.trained_bins(), lut.trained_bins());
+  for (double v : {0.0, 4.0, 10.0, 20.0}) {
+    for (double a : {-3.0, 0.0, 2.0}) {
+      VehicleState q;
+      q.v = v;
+      q.a = a;
+      q.omega = 0.2;
+      const ActuationDelta t0 = lut.thresholds(q);
+      const ActuationDelta t1 = loaded.thresholds(q);
+      EXPECT_DOUBLE_EQ(t0.throttle, t1.throttle);
+      EXPECT_DOUBLE_EQ(t0.brake, t1.brake);
+      EXPECT_DOUBLE_EQ(t0.steer, t1.steer);
+    }
+  }
+}
+
+TEST(LutSerialization, RejectsGarbage) {
+  std::stringstream ss("not-a-lut 9");
+  EXPECT_THROW(ThresholdLut::load(ss), std::runtime_error);
+}
+
+TEST(LutSerialization, RejectsTruncated) {
+  ThresholdLut lut;
+  std::stringstream ss;
+  lut.save(ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream half(text);
+  EXPECT_THROW(ThresholdLut::load(half), std::runtime_error);
+}
+
+TEST(LutSerialization, LoadedLutDrivesDetector) {
+  ThresholdLut lut;
+  VehicleState s;
+  s.v = 10.0;
+  lut.observe(s, {0.1, 0.1, 0.1});
+  std::stringstream ss;
+  lut.save(ss);
+  const ThresholdLut loaded = ThresholdLut::load(ss);
+  ErrorDetector det(loaded, {});
+  bool alarmed = false;
+  for (int i = 0; i < 20 && !alarmed; ++i) {
+    alarmed = det.observe({i * 0.05, s, {0.9, 0.0, 0.0}});
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+}  // namespace
+}  // namespace dav

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/inertial.h"
+#include "sim/scenario.h"
+
+namespace dav {
+namespace {
+
+TEST(GpsImu, TracksStateWithBoundedNoise) {
+  VehicleState ego;
+  ego.pose.pos = {100.0, -50.0};
+  ego.pose.yaw = 0.3;
+  ego.v = 12.0;
+  ego.a = -1.0;
+  ego.omega = 0.1;
+  GpsImuModel model;
+  Rng rng(5);
+  double dx = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const GpsImuSample s = sample_gps_imu(ego, model, rng);
+    dx += s.gps_x - 100.0;
+    EXPECT_NEAR(s.gps_x, 100.0, model.gps_sigma * 6);
+    EXPECT_NEAR(s.speed, 12.0, model.speed_sigma * 6);
+    EXPECT_NEAR(s.yaw, 0.3, model.yaw_sigma * 6);
+    EXPECT_GE(s.speed, 0.0f);
+  }
+  EXPECT_NEAR(dx / 500.0, 0.0, 0.05);  // unbiased
+}
+
+TEST(GpsImu, SpeedNeverNegative) {
+  VehicleState ego;  // v = 0
+  GpsImuModel model;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(sample_gps_imu(ego, model, rng).speed, 0.0f);
+  }
+}
+
+TEST(GpsImu, AsArrayHasSixChannels) {
+  VehicleState ego;
+  GpsImuModel model;
+  Rng rng(1);
+  const auto arr = sample_gps_imu(ego, model, rng).as_array();
+  EXPECT_EQ(arr.size(), 6u);
+}
+
+TEST(Lidar, BeamCountAndRangePositive) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  LidarModel model;
+  Rng rng(3);
+  const auto ranges = sample_lidar(world, model, rng);
+  EXPECT_EQ(ranges.size(), static_cast<std::size_t>(model.beams));
+  for (float r : ranges) EXPECT_GE(r, 0.0f);
+}
+
+TEST(Lidar, ForwardBeamHitsLeadVehicle) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  LidarModel model;
+  model.range_sigma = 0.0;
+  Rng rng(3);
+  const auto ranges = sample_lidar(world, model, rng);
+  // Beam 0 points along the ego heading, straight at the lead vehicle whose
+  // rear face is 25 - 2.25 m ahead of the ego center.
+  EXPECT_NEAR(ranges[0], 25.0 - 2.25, 0.3);
+}
+
+TEST(Lidar, MissedBeamsNearMaxRangeButNoisy) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  LidarModel model;
+  Rng rng(3);
+  const auto ranges = sample_lidar(world, model, rng);
+  // Rear beam misses everything.
+  const float rear = ranges[static_cast<std::size_t>(model.beams / 2)];
+  EXPECT_NEAR(rear, model.max_range, 1.0);
+  EXPECT_NE(rear, static_cast<float>(model.max_range));  // no exact clamp
+}
+
+TEST(Lidar, SideBeamSeesAdjacentVehicle) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  IdmParams idm;
+  sc.npcs.emplace_back(1, sc.ego_start_s, 3.5, 10.0, idm);  // directly left
+  World world(std::move(sc));
+  LidarModel model;
+  model.range_sigma = 0.0;
+  Rng rng(3);
+  const auto ranges = sample_lidar(world, model, rng);
+  const auto left_beam = static_cast<std::size_t>(model.beams / 4);
+  EXPECT_NEAR(ranges[left_beam], 3.5 - 1.0, 0.3);  // lateral gap - half width
+}
+
+}  // namespace
+}  // namespace dav

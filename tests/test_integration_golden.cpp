@@ -1,0 +1,64 @@
+// Integration: golden (fault-free) runs of every scenario in every agent
+// mode must be safe — no collision, no traffic-rule violation (paper §V-B:
+// "DiverseAV did not pose any negative consequence on safety in any of the
+// evaluated driving scenarios").
+#include <gtest/gtest.h>
+
+#include "campaign/driver.h"
+
+namespace dav {
+namespace {
+
+struct Case {
+  ScenarioId scenario;
+  AgentMode mode;
+};
+
+class GoldenRunTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(GoldenRunTest, SafeAndClean) {
+  const Case c = GetParam();
+  RunConfig cfg;
+  cfg.scenario = c.scenario;
+  cfg.mode = c.mode;
+  cfg.run_seed = 1234;
+  cfg.scenario_opts.long_route_duration_sec = 45.0;
+  const RunResult r = run_experiment(cfg);
+
+  EXPECT_FALSE(r.collision) << to_string(c.scenario) << " in "
+                            << to_string(c.mode);
+  EXPECT_FALSE(r.flags.red_light_violation);
+  EXPECT_FALSE(r.flags.off_road);
+  EXPECT_FALSE(r.flags.speeding);
+  EXPECT_FALSE(r.due);
+  EXPECT_GT(r.steps, 100);
+  EXPECT_GT(r.observations.size(), 50u);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (ScenarioId s :
+       {ScenarioId::kLeadSlowdown, ScenarioId::kGhostCutIn,
+        ScenarioId::kFrontAccident, ScenarioId::kLongRoute02,
+        ScenarioId::kLongRoute15, ScenarioId::kLongRoute42}) {
+    for (AgentMode m : {AgentMode::kSingle, AgentMode::kRoundRobin,
+                        AgentMode::kDuplicate}) {
+      cases.push_back({s, m});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenariosAllModes, GoldenRunTest, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = to_string(info.param.scenario) + "_" +
+                         to_string(info.param.mode);
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dav

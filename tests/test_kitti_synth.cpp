@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "sensors/diversity.h"
+#include "sensors/kitti_synth.h"
+
+namespace dav {
+namespace {
+
+TEST(KittiSynth, SequenceShapes) {
+  KittiLikeConfig cfg;
+  cfg.num_frames = 12;
+  const KittiLikeSequence seq = generate_kitti_like(cfg);
+  EXPECT_EQ(seq.frames.size(), 12u);
+  EXPECT_EQ(seq.imu_gps.size(), 12u);
+  EXPECT_EQ(seq.lidar.size(), 12u);
+  EXPECT_FALSE(seq.tracks.empty());
+  for (const auto& track : seq.tracks) {
+    EXPECT_EQ(track.bboxes.size(), 12u);
+    EXPECT_EQ(track.ego_centers.size(), 12u);
+  }
+  EXPECT_EQ(seq.frames[0].width(), cfg.width);
+  EXPECT_EQ(seq.frames[0].height(), cfg.height);
+  EXPECT_EQ(seq.imu_gps[0].size(), 6u);
+}
+
+TEST(KittiSynth, ConsecutiveFramesDifferButModestly) {
+  KittiLikeConfig cfg;
+  cfg.num_frames = 6;
+  const KittiLikeSequence seq = generate_kitti_like(cfg);
+  const CountHistogram h =
+      image_bit_diversity(seq.frames[2], seq.frames[3]);
+  // Real-world-like: nonzero median diversity but far from 24 bits.
+  EXPECT_GE(h.percentile(50), 3u);
+  EXPECT_LE(h.percentile(50), 16u);
+}
+
+TEST(KittiSynth, DeterministicForSeed) {
+  KittiLikeConfig cfg;
+  cfg.num_frames = 4;
+  const KittiLikeSequence a = generate_kitti_like(cfg);
+  const KittiLikeSequence b = generate_kitti_like(cfg);
+  EXPECT_EQ(a.frames[3].bytes(), b.frames[3].bytes());
+  EXPECT_EQ(a.lidar[2], b.lidar[2]);
+}
+
+TEST(KittiSynth, SeedChangesData) {
+  KittiLikeConfig a_cfg;
+  a_cfg.num_frames = 4;
+  KittiLikeConfig b_cfg = a_cfg;
+  b_cfg.seed = 1234;
+  EXPECT_NE(generate_kitti_like(a_cfg).frames[3].bytes(),
+            generate_kitti_like(b_cfg).frames[3].bytes());
+}
+
+TEST(KittiSynth, EgoMovesForward) {
+  KittiLikeConfig cfg;
+  cfg.num_frames = 20;
+  const KittiLikeSequence seq = generate_kitti_like(cfg);
+  // Parked objects recede in the ego frame (their local x decreases).
+  bool any_approaching = false;
+  for (const auto& track : seq.tracks) {
+    if (track.ego_centers.front().x > track.ego_centers.back().x + 3.0) {
+      any_approaching = true;
+    }
+  }
+  EXPECT_TRUE(any_approaching);
+}
+
+}  // namespace
+}  // namespace dav

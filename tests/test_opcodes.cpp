@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fi/fault_model.h"
+#include "fi/opcodes.h"
+
+namespace dav {
+namespace {
+
+TEST(GpuOpcodes, ClassesAssigned) {
+  EXPECT_EQ(op_class(GpuOpcode::kFFma), OpClass::kData);
+  EXPECT_EQ(op_class(GpuOpcode::kLdg), OpClass::kMemory);
+  EXPECT_EQ(op_class(GpuOpcode::kStg), OpClass::kMemory);
+  EXPECT_EQ(op_class(GpuOpcode::kBra), OpClass::kControl);
+  EXPECT_EQ(op_class(GpuOpcode::kBar), OpClass::kControl);
+}
+
+TEST(CpuOpcodes, ClassesAssigned) {
+  EXPECT_EQ(op_class(CpuOpcode::kFma), OpClass::kData);
+  EXPECT_EQ(op_class(CpuOpcode::kLoad), OpClass::kMemory);
+  EXPECT_EQ(op_class(CpuOpcode::kLea), OpClass::kMemory);
+  EXPECT_EQ(op_class(CpuOpcode::kJcc), OpClass::kControl);
+  EXPECT_EQ(op_class(CpuOpcode::kRet), OpClass::kControl);
+}
+
+TEST(GpuOpcodes, NamesDefinedAndMostlyUnique) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kNumGpuOpcodes; ++i) {
+    const auto name = to_string(static_cast<GpuOpcode>(i));
+    EXPECT_NE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumGpuOpcodes));
+}
+
+TEST(CpuOpcodes, NamesDefined) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kNumCpuOpcodes; ++i) {
+    const auto name = to_string(static_cast<CpuOpcode>(i));
+    EXPECT_NE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumCpuOpcodes));
+}
+
+TEST(Opcodes, IsaSizesReasonable) {
+  // The paper's ISAs have 171 (GPU) and 131 (CPU) opcodes; ours are smaller
+  // but must cover all three architectural classes in both domains.
+  EXPECT_GE(kNumGpuOpcodes, 30);
+  EXPECT_GE(kNumCpuOpcodes, 25);
+  int gpu_mem = 0, gpu_ctrl = 0, cpu_mem = 0, cpu_ctrl = 0;
+  for (int i = 0; i < kNumGpuOpcodes; ++i) {
+    const OpClass c = op_class(static_cast<GpuOpcode>(i));
+    gpu_mem += c == OpClass::kMemory;
+    gpu_ctrl += c == OpClass::kControl;
+  }
+  for (int i = 0; i < kNumCpuOpcodes; ++i) {
+    const OpClass c = op_class(static_cast<CpuOpcode>(i));
+    cpu_mem += c == OpClass::kMemory;
+    cpu_ctrl += c == OpClass::kControl;
+  }
+  EXPECT_GT(gpu_mem, 0);
+  EXPECT_GT(gpu_ctrl, 0);
+  EXPECT_GT(cpu_mem, 0);
+  EXPECT_GT(cpu_ctrl, 0);
+  // CPU streams are memory/control heavy relative to GPU (paper §V-C).
+  EXPECT_GT(cpu_mem + cpu_ctrl, gpu_mem + gpu_ctrl);
+}
+
+TEST(FaultModelStrings, Defined) {
+  EXPECT_EQ(to_string(FaultDomain::kGpu), "GPU");
+  EXPECT_EQ(to_string(FaultDomain::kCpu), "CPU");
+  EXPECT_EQ(to_string(FaultModelKind::kTransient), "transient");
+  EXPECT_EQ(to_string(FaultModelKind::kPermanent), "permanent");
+  EXPECT_EQ(to_string(FaultOutcome::kSdc), "SDC");
+  EXPECT_EQ(to_string(FaultOutcome::kHang), "hang");
+}
+
+}  // namespace
+}  // namespace dav

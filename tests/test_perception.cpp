@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agent/perception.h"
+#include "sensors/sensor_rig.h"
+#include "sim/scenario.h"
+
+namespace dav {
+namespace {
+
+struct Harness {
+  World world;
+  SensorRig rig;
+  GpuEngine eng;
+
+  explicit Harness(Scenario sc, std::uint64_t seed = 7)
+      : world(std::move(sc)), rig(front_camera_rig(), seed) {
+    eng.configure({}, 0);
+  }
+
+  PerceptionOutput run_perception() {
+    PerceptionConfig cfg;
+    cfg.center_cam = front_camera_rig()[1];
+    Perception perception(eng, cfg);
+    // Two frames so the EMA warms up.
+    perception.process(rig.capture(world, 0).cameras);
+    return perception.process(rig.capture(world, 1).cameras);
+  }
+};
+
+/// Lead vehicle at a chosen bumper gap; perception distance should track the
+/// geometric distance to the rear face within ~20%.
+class LeadDistanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LeadDistanceSweep, ObstacleDistanceTracksGroundTruth) {
+  const double gap = GetParam();
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  IdmParams idm;
+  sc.npcs.emplace_back(1, sc.ego_start_s + gap, 0.0, 10.0, idm);
+  Harness setup(std::move(sc));
+  const PerceptionOutput p = setup.run_perception();
+  ASSERT_TRUE(p.obstacle_valid) << "gap " << gap;
+  const double rear_face = gap - 2.25;  // half vehicle length
+  EXPECT_NEAR(p.obstacle_distance, rear_face, rear_face * 0.25 + 1.5)
+      << "gap " << gap;
+}
+
+// Beyond ~40 m the 72-row camera's ground-plane resolution runs out (the
+// second-from-horizon row already spans depths 34-67 m), so the sweep stops
+// at the sensor's reliable range.
+INSTANTIATE_TEST_SUITE_P(Gaps, LeadDistanceSweep,
+                         ::testing::Values(10.0, 15.0, 20.0, 25.0, 30.0,
+                                           40.0));
+
+TEST(Perception, NoObstacleOnEmptyRoad) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  Harness setup(std::move(sc));
+  const PerceptionOutput p = setup.run_perception();
+  EXPECT_FALSE(p.obstacle_valid);
+  EXPECT_GT(p.obstacle_distance, 150.0);
+}
+
+TEST(Perception, AdjacentLaneVehicleNotInPath) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  IdmParams idm;
+  sc.npcs.emplace_back(1, sc.ego_start_s + 20.0, 3.5, 10.0, idm);
+  Harness setup(std::move(sc));
+  const PerceptionOutput p = setup.run_perception();
+  // The adjacent-lane vehicle must not read as a close in-path obstacle.
+  EXPECT_GT(p.obstacle_distance, 30.0);
+}
+
+TEST(Perception, RedLightRangedViaHead) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  const double light_s = sc.ego_start_s + 40.0;
+  sc.map.add_traffic_light({light_s, 0.0, 0.0, 10000.0, 0.0});
+  Harness setup(std::move(sc));
+  const PerceptionOutput p = setup.run_perception();
+  ASSERT_TRUE(p.obstacle_valid);
+  EXPECT_NEAR(p.obstacle_distance, 40.0, 12.0);
+}
+
+TEST(Perception, GreenLightIgnored) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  sc.map.add_traffic_light({sc.ego_start_s + 40.0, 10000.0, 1.0, 1.0, 0.0});
+  Harness setup(std::move(sc));
+  const PerceptionOutput p = setup.run_perception();
+  EXPECT_FALSE(p.obstacle_valid);
+}
+
+TEST(Perception, LaneOffsetNearZeroWhenCentered) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  Harness setup(std::move(sc));
+  const PerceptionOutput p = setup.run_perception();
+  EXPECT_NEAR(p.lane_offset, 0.0, 0.35);
+  EXPECT_NEAR(p.heading_slope, 0.0, 0.08);
+}
+
+TEST(Perception, GainIsOneFaultFree) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  Harness setup(std::move(sc));
+  EXPECT_EQ(setup.run_perception().gain, 1.0);
+}
+
+TEST(Perception, ResetClearsState) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  Harness setup(std::move(sc));
+  PerceptionConfig cfg;
+  cfg.center_cam = front_camera_rig()[1];
+  Perception perception(setup.eng, cfg);
+  const auto frame = setup.rig.capture(setup.world, 0);
+  const PerceptionOutput first = perception.process(frame.cameras);
+  perception.process(frame.cameras);
+  perception.reset();
+  const PerceptionOutput after_reset = perception.process(frame.cameras);
+  EXPECT_NEAR(after_reset.obstacle_distance, first.obstacle_distance, 1e-3);
+}
+
+TEST(Perception, StateBytesNonTrivial) {
+  GpuEngine eng;
+  eng.configure({}, 0);
+  PerceptionConfig cfg;
+  cfg.center_cam = front_camera_rig()[1];
+  Perception perception(eng, cfg);
+  EXPECT_GT(perception.state_bytes(), sizeof(Perception) / 2);
+}
+
+/// Property: lane offset estimate follows the ego's actual lateral offset.
+class LaneOffsetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaneOffsetSweep, TracksActualOffset) {
+  const double lateral = GetParam();
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  World world(std::move(sc));
+  // Teleport the ego laterally by simulating with an offset start: rebuild
+  // scenario with shifted start is complex; instead steer-free run and use
+  // project_npc-free approach: construct a custom world via scenario map and
+  // inject lateral by stepping with steer until reached is flaky — use the
+  // fact that perception measures lane center in the EGO frame. We emulate
+  // by moving the ego through World steps is unreliable; accept centered
+  // case plus sign checks at +-0.8 m via short steering bursts.
+  SensorRig rig(front_camera_rig(), 7);
+  GpuEngine eng;
+  eng.configure({}, 0);
+  PerceptionConfig cfg;
+  cfg.center_cam = front_camera_rig()[1];
+  Perception perception(eng, cfg);
+  // Steer toward the requested lateral offset with a crude P controller.
+  for (int i = 0; i < 160; ++i) {
+    const double err = lateral - world.ego_lateral();
+    const double head =
+        wrap_angle(world.map().heading_at(world.ego_route_s()) -
+                   world.ego().pose.yaw);
+    Actuation cmd;
+    cmd.throttle = 0.3;
+    cmd.steer = clamp(0.8 * err + 2.0 * head, -1.0, 1.0);
+    world.step(cmd, 0.05);
+  }
+  ASSERT_NEAR(world.ego_lateral(), lateral, 0.3);
+  perception.process(rig.capture(world, 0).cameras);
+  const PerceptionOutput p = perception.process(rig.capture(world, 1).cameras);
+  // Lane center (at lateral 0) relative to ego: -ego_lateral.
+  EXPECT_NEAR(p.lane_offset, -world.ego_lateral(), 0.45);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, LaneOffsetSweep,
+                         ::testing::Values(-0.8, -0.4, 0.0, 0.4, 0.8));
+
+}  // namespace
+}  // namespace dav

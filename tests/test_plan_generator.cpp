@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fi/plan_generator.h"
+
+namespace dav {
+namespace {
+
+TEST(PlanGenerator, TransientCountAndDomain) {
+  InjectionPlanGenerator gen(1);
+  ExecutionProfile prof;
+  prof.domain = FaultDomain::kGpu;
+  prof.total_dyn_instructions = 100000;
+  const auto plans = gen.transient_plans(prof, 50);
+  EXPECT_EQ(plans.size(), 50u);
+  for (const auto& p : plans) {
+    EXPECT_EQ(p.kind, FaultModelKind::kTransient);
+    EXPECT_EQ(p.domain, FaultDomain::kGpu);
+    EXPECT_LT(p.target_dyn_index, 100000u);
+    EXPECT_GE(p.bit, 0);
+    EXPECT_LT(p.bit, 32);
+  }
+}
+
+TEST(PlanGenerator, OversamplingPlacesSitesPastEnd) {
+  InjectionPlanGenerator gen(2);
+  ExecutionProfile prof;
+  prof.domain = FaultDomain::kCpu;
+  prof.total_dyn_instructions = 1000;
+  const auto plans = gen.transient_plans(prof, 400, /*over=*/1.5);
+  int past_end = 0;
+  for (const auto& p : plans) {
+    EXPECT_LT(p.target_dyn_index, 1500u);
+    past_end += p.target_dyn_index >= 1000;
+  }
+  // Roughly a third should land past the profiled end.
+  EXPECT_GT(past_end, 80);
+  EXPECT_LT(past_end, 200);
+}
+
+TEST(PlanGenerator, TransientSitesSpreadUniformly) {
+  InjectionPlanGenerator gen(3);
+  ExecutionProfile prof;
+  prof.domain = FaultDomain::kGpu;
+  prof.total_dyn_instructions = 1000;
+  const auto plans = gen.transient_plans(prof, 1000);
+  int low_half = 0;
+  for (const auto& p : plans) low_half += p.target_dyn_index < 500;
+  EXPECT_NEAR(low_half, 500, 60);
+}
+
+TEST(PlanGenerator, PermanentSweepsFullIsaWithRepeats) {
+  InjectionPlanGenerator gen(4);
+  const auto gpu = gen.permanent_plans(FaultDomain::kGpu, 3);
+  EXPECT_EQ(gpu.size(), static_cast<std::size_t>(kNumGpuOpcodes) * 3);
+  std::set<int> opcodes;
+  for (const auto& p : gpu) {
+    EXPECT_EQ(p.kind, FaultModelKind::kPermanent);
+    opcodes.insert(p.target_opcode);
+  }
+  EXPECT_EQ(opcodes.size(), static_cast<std::size_t>(kNumGpuOpcodes));
+
+  const auto cpu = gen.permanent_plans(FaultDomain::kCpu, 3);
+  EXPECT_EQ(cpu.size(), static_cast<std::size_t>(kNumCpuOpcodes) * 3);
+}
+
+TEST(PlanGenerator, RepeatsGetIndependentBits) {
+  InjectionPlanGenerator gen(5);
+  const auto plans = gen.permanent_plans(FaultDomain::kGpu, 3);
+  bool any_differ = false;
+  for (int op = 0; op < kNumGpuOpcodes; ++op) {
+    const auto base = static_cast<std::size_t>(op) * 3;
+    if (plans[base].bit != plans[base + 1].bit ||
+        plans[base + 1].bit != plans[base + 2].bit) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(PlanGenerator, DeterministicForSeed) {
+  InjectionPlanGenerator a(9);
+  InjectionPlanGenerator b(9);
+  ExecutionProfile prof;
+  prof.total_dyn_instructions = 5000;
+  const auto pa = a.transient_plans(prof, 10);
+  const auto pb = b.transient_plans(prof, 10);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].target_dyn_index, pb[i].target_dyn_index);
+    EXPECT_EQ(pa[i].bit, pb[i].bit);
+  }
+}
+
+TEST(PlanGenerator, NumOpcodesHelper) {
+  EXPECT_EQ(InjectionPlanGenerator::num_opcodes(FaultDomain::kGpu),
+            kNumGpuOpcodes);
+  EXPECT_EQ(InjectionPlanGenerator::num_opcodes(FaultDomain::kCpu),
+            kNumCpuOpcodes);
+}
+
+TEST(FaultPlan, MaskFromBit) {
+  FaultPlan p;
+  p.bit = 5;
+  EXPECT_EQ(p.mask(), 32u);
+  EXPECT_FALSE(p.active());
+  p.kind = FaultModelKind::kTransient;
+  EXPECT_TRUE(p.active());
+}
+
+}  // namespace
+}  // namespace dav

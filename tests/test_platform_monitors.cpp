@@ -1,0 +1,118 @@
+// Platform-level plausibility monitoring and the extended metrics:
+// output-validator DUEs (non-finite actuation), the stuck-vehicle watchdog,
+// and violation-onset lead times.
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+#include "campaign/metrics.h"
+
+namespace dav {
+namespace {
+
+CampaignScale tiny_scale() {
+  CampaignScale s;
+  s.golden_runs = 3;
+  s.training_runs_per_scenario = 1;
+  s.safety_duration_sec = 15.0;
+  s.long_route_duration_sec = 20.0;
+  return s;
+}
+
+TEST(ViolationOnset, CollisionTimeWins) {
+  Trajectory base;
+  for (int i = 0; i < 10; ++i) base.push({i * 1.0, 0.0});
+  RunResult run;
+  run.dt = 0.1;
+  for (int i = 0; i < 10; ++i) run.trajectory.push({i * 1.0, 5.0});
+  run.collision = true;
+  run.collision_time = 0.35;
+  EXPECT_DOUBLE_EQ(violation_onset_time(run, base, 2.0), 0.35);
+}
+
+TEST(ViolationOnset, FirstExceedanceIndex) {
+  Trajectory base;
+  for (int i = 0; i < 10; ++i) base.push({i * 1.0, 0.0});
+  RunResult run;
+  run.dt = 0.1;
+  for (int i = 0; i < 10; ++i) {
+    run.trajectory.push({i * 1.0, i >= 6 ? 3.0 : 0.0});
+  }
+  EXPECT_DOUBLE_EQ(violation_onset_time(run, base, 2.0), 0.6);
+}
+
+TEST(ViolationOnset, NegativeWhenNoViolation) {
+  Trajectory base;
+  base.push({0, 0});
+  RunResult run;
+  run.trajectory.push({0, 0.5});
+  EXPECT_LT(violation_onset_time(run, base, 2.0), 0.0);
+}
+
+TEST(StuckWatchdog, FiresOnUnexplainedStandstill) {
+  // A permanent fault that floods the masks makes both agents see a phantom
+  // obstacle and freeze; the platform watchdog must convert this into a DUE.
+  CampaignManager mgr(tiny_scale(), 2022);
+  RunConfig cfg =
+      mgr.base_config(ScenarioId::kGhostCutIn, AgentMode::kRoundRobin);
+  cfg.scenario_opts.safety_duration_sec = 25.0;
+  FaultPlan plan;
+  plan.kind = FaultModelKind::kPermanent;
+  plan.domain = FaultDomain::kGpu;
+  plan.target_opcode = static_cast<int>(GpuOpcode::kFScale);
+  plan.bit = 31;
+  cfg.fault = plan;
+  bool saw_stuck_due = false;
+  for (std::uint64_t seed = 1; seed <= 4 && !saw_stuck_due; ++seed) {
+    cfg.run_seed = seed;
+    const RunResult r = run_experiment(cfg);
+    // Either the manifestation model produced a crash/hang directly, or the
+    // phantom-freeze was caught by the watchdog; in all cases due must hold
+    // whenever the ego ended up parked mid-route without cause.
+    if (r.due && r.outcome == FaultOutcome::kHang) saw_stuck_due = true;
+  }
+  EXPECT_TRUE(saw_stuck_due);
+}
+
+TEST(StuckWatchdog, DoesNotFireAtRedLights) {
+  CampaignManager mgr(tiny_scale(), 2022);
+  RunConfig cfg =
+      mgr.base_config(ScenarioId::kLongRoute02, AgentMode::kSingle);
+  cfg.scenario_opts.long_route_duration_sec = 40.0;
+  cfg.run_seed = 3;
+  const RunResult r = run_experiment(cfg);
+  // Route02 contains a red-light stop longer than a watchdog period.
+  EXPECT_FALSE(r.due);
+}
+
+TEST(StuckWatchdog, CanBeDisabled) {
+  CampaignManager mgr(tiny_scale(), 2022);
+  RunConfig cfg =
+      mgr.base_config(ScenarioId::kLeadSlowdown, AgentMode::kRoundRobin);
+  cfg.stuck_watchdog_sec = 0.0;
+  cfg.run_seed = 4;
+  EXPECT_FALSE(run_experiment(cfg).due);
+}
+
+TEST(LeadTimes, ComputedAgainstOnset) {
+  ThresholdLut lut;  // floors only: any sizeable divergence alarms
+  Trajectory base;
+  for (int i = 0; i < 200; ++i) base.push({i * 0.5, 0.0});
+  RunResult run;
+  run.dt = 0.05;
+  run.fault.kind = FaultModelKind::kTransient;
+  for (int i = 0; i < 200; ++i) {
+    run.trajectory.push({i * 0.5, i >= 100 ? 5.0 : 0.0});  // onset at t=5
+  }
+  VehicleState s;
+  s.v = 10.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mag = i >= 20 ? 0.9 : 0.0;  // detectable from t=1
+    run.observations.push_back({i * 0.05, s, {mag, 0.0, 0.0}});
+  }
+  const DetectionEval ev = evaluate_detection({run}, {}, base, lut, 3, 2.0);
+  ASSERT_EQ(ev.lead_times_sec.size(), 1u);
+  EXPECT_NEAR(ev.lead_times_sec[0], 5.0 - 1.0, 0.3);
+}
+
+}  // namespace
+}  // namespace dav

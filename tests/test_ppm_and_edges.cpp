@@ -1,0 +1,121 @@
+// PPM round-trip plus edge-case coverage for paths the main suites exercise
+// only on the happy path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "campaign/campaign.h"
+#include "campaign/metrics.h"
+#include "sensors/ppm.h"
+#include "sensors/sensor_rig.h"
+
+namespace dav {
+namespace {
+
+TEST(Ppm, RoundTripPreservesPixels) {
+  Image img(7, 5);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 7; ++x) {
+      img.set(x, y, {static_cast<std::uint8_t>(x * 30),
+                     static_cast<std::uint8_t>(y * 50),
+                     static_cast<std::uint8_t>((x + y) * 10)});
+    }
+  }
+  const std::string path = ::testing::TempDir() + "/dav_roundtrip.ppm";
+  write_ppm(img, path);
+  const Image back = read_ppm(path);
+  EXPECT_EQ(back.width(), 7);
+  EXPECT_EQ(back.height(), 5);
+  EXPECT_EQ(back.bytes(), img.bytes());
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, RenderedFrameExports) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  SensorRig rig(front_camera_rig(), 7);
+  const SensorFrame frame = rig.capture(world, 0);
+  const std::string path = ::testing::TempDir() + "/dav_frame.ppm";
+  write_ppm(frame.cameras[1], path);
+  const Image back = read_ppm(path);
+  EXPECT_EQ(back.byte_size(), frame.cameras[1].byte_size());
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, BadPathsThrow) {
+  EXPECT_THROW(write_ppm(Image(2, 2), "/nonexistent_dir_xyz/x.ppm"),
+               std::runtime_error);
+  EXPECT_THROW(read_ppm("/nonexistent_dir_xyz/x.ppm"), std::runtime_error);
+}
+
+TEST(Ppm, RejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/dav_bad.ppm";
+  {
+    std::ofstream out(path);
+    out << "P3\n2 2\n255\n";
+  }
+  EXPECT_THROW(read_ppm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, RejectsTruncated) {
+  const std::string path = ::testing::TempDir() + "/dav_trunc.ppm";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P6\n4 4\n255\n";
+    out << "only-a-few-bytes";
+  }
+  EXPECT_THROW(read_ppm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign / metrics edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsEdge, EmptyCampaignSummary) {
+  const CampaignSummary s = summarize_campaign({}, Trajectory{}, 2.0);
+  EXPECT_EQ(s.total, 0);
+  EXPECT_EQ(s.active, 0);
+}
+
+TEST(MetricsEdge, EvaluateDetectionEmptyInputs) {
+  ThresholdLut lut;
+  const DetectionEval ev = evaluate_detection({}, {}, Trajectory{}, lut, 3,
+                                              2.0);
+  EXPECT_EQ(ev.confusion.total(), 0u);
+  EXPECT_EQ(ev.golden_total, 0);
+  EXPECT_TRUE(ev.lead_times_sec.empty());
+}
+
+TEST(MetricsEdge, GoldenBaselineOfNothingIsEmpty) {
+  EXPECT_TRUE(golden_baseline({}).empty());
+}
+
+TEST(DriverEdge, ZeroDurationScenarioTerminates) {
+  CampaignScale scale;
+  scale.safety_duration_sec = 0.2;
+  CampaignManager mgr(scale, 1);
+  RunConfig cfg = mgr.base_config(ScenarioId::kLeadSlowdown,
+                                  AgentMode::kSingle);
+  const RunResult r = run_experiment(cfg);
+  EXPECT_LE(r.duration, 0.3);
+  EXPECT_GE(r.steps, 1);
+}
+
+TEST(DriverEdge, TransientPlannedPastEndNotActivated) {
+  CampaignScale scale;
+  scale.safety_duration_sec = 5.0;
+  CampaignManager mgr(scale, 1);
+  RunConfig cfg = mgr.base_config(ScenarioId::kLeadSlowdown,
+                                  AgentMode::kRoundRobin);
+  cfg.fault.kind = FaultModelKind::kTransient;
+  cfg.fault.domain = FaultDomain::kGpu;
+  cfg.fault.target_dyn_index = ~0ull;  // unreachable
+  const RunResult r = run_experiment(cfg);
+  EXPECT_FALSE(r.fault_activated);
+  EXPECT_EQ(r.outcome, FaultOutcome::kNotActivated);
+}
+
+}  // namespace
+}  // namespace dav

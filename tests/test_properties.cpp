@@ -1,0 +1,158 @@
+// Cross-cutting property tests: invariants that should hold across seeds,
+// parameters and module boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agent/perception.h"
+#include "core/threshold_lut.h"
+#include "fi/engine.h"
+#include "sensors/sensor_rig.h"
+#include "sim/world.h"
+
+namespace dav {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine: transient targeting across bulk/exec boundaries.
+// ---------------------------------------------------------------------------
+
+CrashHangModel silent() {
+  CrashHangModel m;
+  m.p_crash_data = m.p_hang_data = m.p_crash_mem = m.p_hang_mem = 0.0;
+  m.p_crash_ctrl = m.p_hang_ctrl = 0.0;
+  return m;
+}
+
+class TransientBoundary : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransientBoundary, ActivatesExactlyWhenIndexIsExecuted) {
+  // Instruction stream: 5 exec, bulk(10), 5 exec  -> indices 0..19.
+  const std::uint64_t target = GetParam();
+  GpuEngine eng;
+  FaultPlan p;
+  p.kind = FaultModelKind::kTransient;
+  p.domain = FaultDomain::kGpu;
+  p.target_dyn_index = target;
+  p.bit = 1;
+  eng.configure(p, 1, silent());
+  for (int i = 0; i < 5; ++i) eng.exec(GpuOpcode::kFAdd, 1.0f);
+  eng.bulk(GpuOpcode::kLdg, 10);
+  for (int i = 0; i < 5; ++i) eng.exec(GpuOpcode::kFMul, 1.0f);
+  EXPECT_EQ(eng.fault_activated(), target < 20u) << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, TransientBoundary,
+                         ::testing::Values(0u, 4u, 5u, 14u, 15u, 19u, 20u,
+                                           100u));
+
+TEST(EngineProperty, CountsAreExact) {
+  GpuEngine eng;
+  eng.configure({}, 0);
+  for (int i = 0; i < 17; ++i) eng.exec(GpuOpcode::kFAdd, 1.0f);
+  eng.bulk(GpuOpcode::kLdg, 100);
+  eng.bulk(GpuOpcode::kLdg, 23);
+  EXPECT_EQ(eng.op_count(GpuOpcode::kFAdd), 17u);
+  EXPECT_EQ(eng.op_count(GpuOpcode::kLdg), 123u);
+  EXPECT_EQ(eng.total_dyn_instructions(), 140u);
+}
+
+// ---------------------------------------------------------------------------
+// LUT: monotonicity in margin and training data.
+// ---------------------------------------------------------------------------
+
+TEST(LutProperty, MarginMonotone) {
+  VehicleState s;
+  s.v = 10.0;
+  LutConfig lo_cfg;
+  lo_cfg.margin = 1.1;
+  LutConfig hi_cfg;
+  hi_cfg.margin = 1.6;
+  ThresholdLut lo(lo_cfg);
+  ThresholdLut hi(hi_cfg);
+  lo.observe(s, {0.4, 0.3, 0.2});
+  hi.observe(s, {0.4, 0.3, 0.2});
+  EXPECT_LT(lo.thresholds(s).throttle, hi.thresholds(s).throttle);
+  EXPECT_LT(lo.thresholds(s).steer, hi.thresholds(s).steer);
+}
+
+TEST(LutProperty, MoreTrainingNeverLowersThresholds) {
+  VehicleState s;
+  s.v = 8.0;
+  ThresholdLut lut;
+  lut.observe(s, {0.2, 0.2, 0.2});
+  const double before = lut.thresholds(s).throttle;
+  lut.observe(s, {0.1, 0.1, 0.1});  // smaller observation
+  EXPECT_DOUBLE_EQ(lut.thresholds(s).throttle, before);
+  lut.observe(s, {0.5, 0.5, 0.5});  // larger observation
+  EXPECT_GT(lut.thresholds(s).throttle, before);
+}
+
+// ---------------------------------------------------------------------------
+// Perception: estimate stability across noise seeds.
+// ---------------------------------------------------------------------------
+
+class PerceptionSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PerceptionSeedSweep, ObstacleEstimateStableAcrossNoise) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  IdmParams idm;
+  sc.npcs.emplace_back(1, sc.ego_start_s + 20.0, 0.0, 10.0, idm);
+  World world(std::move(sc));
+  SensorRig rig(front_camera_rig(), GetParam());
+  GpuEngine eng;
+  eng.configure({}, 0);
+  PerceptionConfig cfg;
+  cfg.center_cam = front_camera_rig()[1];
+  Perception perception(eng, cfg);
+  perception.process(rig.capture(world, 0).cameras);
+  const PerceptionOutput p = perception.process(rig.capture(world, 1).cameras);
+  ASSERT_TRUE(p.obstacle_valid);
+  EXPECT_NEAR(p.obstacle_distance, 17.75, 4.5);  // rear face at 20 - 2.25
+  EXPECT_EQ(p.gain, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PerceptionSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---------------------------------------------------------------------------
+// World: CVIP monotone while closing on a stopped lead.
+// ---------------------------------------------------------------------------
+
+TEST(WorldProperty, CvipDecreasesWhileClosing) {
+  Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  sc.npcs.clear();
+  IdmParams idm;
+  idm.desired_speed = 0.0;
+  sc.npcs.emplace_back(1, sc.ego_start_s + 60.0, 0.0, 0.0, idm);
+  World world(std::move(sc));
+  double prev = world.cvip();
+  for (int i = 0; i < 60; ++i) {
+    world.step({0.5, 0.0, 0.0}, 0.05);
+    EXPECT_LE(world.cvip(), prev + 1e-6);
+    prev = world.cvip();
+  }
+}
+
+TEST(WorldProperty, TrajectorySampledEveryStep) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  for (int i = 0; i < 25; ++i) world.step({0.3, 0.0, 0.0}, 0.05);
+  EXPECT_EQ(world.trajectory().size(), 26u);  // initial + 25 steps
+}
+
+// ---------------------------------------------------------------------------
+// Sensors: frame time/step bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST(SensorProperty, FrameTimeTracksWorld) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  SensorRig rig(front_camera_rig(), 7);
+  for (int i = 0; i < 5; ++i) world.step({0.2, 0.0, 0.0}, 0.05);
+  const SensorFrame frame = rig.capture(world, 5);
+  EXPECT_NEAR(frame.time, 0.25, 1e-9);
+  EXPECT_EQ(frame.step, 5);
+}
+
+}  // namespace
+}  // namespace dav

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/road.h"
+
+namespace dav {
+namespace {
+
+TEST(TrafficLight, PhaseCycle) {
+  TrafficLight light{/*s=*/0.0, /*green=*/10.0, /*yellow=*/2.0, /*red=*/8.0,
+                     /*phase=*/0.0};
+  EXPECT_EQ(light.phase_at(0.0), TrafficLight::Phase::kGreen);
+  EXPECT_EQ(light.phase_at(9.99), TrafficLight::Phase::kGreen);
+  EXPECT_EQ(light.phase_at(10.5), TrafficLight::Phase::kYellow);
+  EXPECT_EQ(light.phase_at(13.0), TrafficLight::Phase::kRed);
+  EXPECT_EQ(light.phase_at(20.0), TrafficLight::Phase::kGreen);  // wrapped
+  EXPECT_DOUBLE_EQ(light.cycle_length(), 20.0);
+}
+
+TEST(TrafficLight, PhaseOffsetAndNegativeTime) {
+  TrafficLight light{0.0, 10.0, 2.0, 8.0, /*phase=*/11.0};
+  EXPECT_EQ(light.phase_at(0.0), TrafficLight::Phase::kYellow);
+  EXPECT_NO_THROW(light.phase_at(-5.0));
+}
+
+RoadMap straight_map() {
+  return RoadMap(Polyline({{0, 0}, {200, 0}}), 3.5, 1, 0);
+}
+
+TEST(RoadMap, LanePointOffsets) {
+  const RoadMap map = straight_map();
+  EXPECT_EQ(map.lane_point(50.0, 0), Vec2(50, 0));
+  const Vec2 left = map.lane_point(50.0, 1);
+  EXPECT_NEAR(left.y, 3.5, 1e-12);
+  const Vec2 right = map.lane_point(50.0, -1);
+  EXPECT_NEAR(right.y, -3.5, 1e-12);
+}
+
+TEST(RoadMap, NextLightAfter) {
+  RoadMap map = straight_map();
+  map.add_traffic_light({80.0});
+  map.add_traffic_light({30.0});
+  auto l = map.next_light_after(10.0);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_DOUBLE_EQ(l->s, 30.0);
+  l = map.next_light_after(31.0);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_DOUBLE_EQ(l->s, 80.0);
+  EXPECT_FALSE(map.next_light_after(90.0).has_value());
+}
+
+TEST(RoadMap, SpeedLimits) {
+  RoadMap map = straight_map();
+  map.add_speed_limit({0.0, 100.0, 9.0});
+  map.add_speed_limit({100.0, 200.0, 17.0});
+  EXPECT_DOUBLE_EQ(map.speed_limit_at(50.0), 9.0);
+  EXPECT_DOUBLE_EQ(map.speed_limit_at(150.0), 17.0);
+  EXPECT_DOUBLE_EQ(map.speed_limit_at(250.0, 12.0), 12.0);  // fallback
+}
+
+TEST(RoadMap, OnRoadCorridor) {
+  const RoadMap map = straight_map();  // 1 left lane, 0 right lanes
+  EXPECT_TRUE(map.on_road({50.0, 0.0}));
+  EXPECT_TRUE(map.on_road({50.0, 4.0}));    // in left lane
+  EXPECT_FALSE(map.on_road({50.0, 6.5}));   // beyond left edge + shoulder
+  EXPECT_TRUE(map.on_road({50.0, -2.0}));   // within right shoulder
+  EXPECT_FALSE(map.on_road({50.0, -3.0}));
+}
+
+TEST(RouteBuilder, StraightLength) {
+  const Polyline r = RouteBuilder().straight(100.0).build();
+  EXPECT_NEAR(r.length(), 100.0, 1e-9);
+  EXPECT_NEAR(r.heading_at(50.0), 0.0, 1e-12);
+}
+
+TEST(RouteBuilder, TurnChangesHeadingAndArcLength) {
+  const Polyline r =
+      RouteBuilder().straight(20.0).turn(M_PI / 2, 10.0).straight(20.0).build();
+  // Quarter circle of radius 10 has length ~15.7.
+  EXPECT_NEAR(r.length(), 20.0 + M_PI / 2 * 10.0 + 20.0, 0.3);
+  EXPECT_NEAR(r.heading_at(r.length() - 1.0), M_PI / 2, 0.05);
+}
+
+TEST(RouteBuilder, RightTurnNegativeAngle) {
+  const Polyline r = RouteBuilder().straight(10.0).turn(-M_PI / 2, 10.0).build();
+  // The end tangent of a chord polyline is biased half a step angle.
+  EXPECT_NEAR(r.heading_at(r.length() - 0.5), -M_PI / 2, M_PI / 16);
+  // Right turn curves to negative y.
+  EXPECT_LT(r.point_at(r.length()).y, 0.0);
+}
+
+TEST(RouteBuilder, CurvatureSignMatchesTurn) {
+  const Polyline r =
+      RouteBuilder().straight(40.0).turn(M_PI / 2, 20.0).straight(40.0).build();
+  EXPECT_GT(r.curvature_at(40.0 + 15.0), 0.02);   // inside the left turn
+  EXPECT_NEAR(r.curvature_at(10.0), 0.0, 1e-6);   // straight before
+}
+
+class RouteBuilderProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RouteBuilderProperty, ArcRadiusApproximation) {
+  const double radius = GetParam();
+  const Polyline r = RouteBuilder().turn(M_PI / 2, radius).build();
+  // Mid-arc curvature ~ 1/radius.
+  EXPECT_NEAR(r.curvature_at(r.length() / 2), 1.0 / radius, 0.25 / radius);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RouteBuilderProperty,
+                         ::testing::Values(10.0, 18.0, 40.0, 120.0, 300.0));
+
+}  // namespace
+}  // namespace dav

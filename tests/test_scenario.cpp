@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace dav {
+namespace {
+
+TEST(ScenarioLists, SafetyAndTraining) {
+  EXPECT_EQ(safety_scenarios().size(), 3u);
+  EXPECT_EQ(training_scenarios().size(), 3u);
+  for (ScenarioId id : safety_scenarios()) EXPECT_TRUE(is_safety_critical(id));
+  for (ScenarioId id : training_scenarios()) {
+    EXPECT_FALSE(is_safety_critical(id));
+  }
+}
+
+TEST(ScenarioNames, AreDistinctAndNonEmpty) {
+  std::vector<std::string> names;
+  for (ScenarioId id :
+       {ScenarioId::kLeadSlowdown, ScenarioId::kGhostCutIn,
+        ScenarioId::kFrontAccident, ScenarioId::kLongRoute02,
+        ScenarioId::kLongRoute15, ScenarioId::kLongRoute42}) {
+    names.push_back(to_string(id));
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(LeadSlowdown, HasLeadAt25m) {
+  const Scenario sc = make_scenario(ScenarioId::kLeadSlowdown);
+  ASSERT_EQ(sc.npcs.size(), 1u);
+  EXPECT_NEAR(sc.npcs[0].s() - sc.ego_start_s, 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sc.npcs[0].lateral(), 0.0);
+}
+
+TEST(GhostCutIn, CutterStartsBehindInLeftLane) {
+  const Scenario sc = make_scenario(ScenarioId::kGhostCutIn);
+  ASSERT_EQ(sc.npcs.size(), 1u);
+  EXPECT_LT(sc.npcs[0].s(), sc.ego_start_s);
+  EXPECT_DOUBLE_EQ(sc.npcs[0].lateral(), 3.5);
+  EXPECT_GT(sc.npcs[0].speed(), sc.ego_start_speed);
+}
+
+TEST(FrontAccident, TwoNpcsLeadAndMerger) {
+  const Scenario sc = make_scenario(ScenarioId::kFrontAccident);
+  ASSERT_EQ(sc.npcs.size(), 2u);
+  EXPECT_DOUBLE_EQ(sc.npcs[0].lateral(), 0.0);   // lead in ego lane
+  EXPECT_DOUBLE_EQ(sc.npcs[1].lateral(), 3.5);   // merger in left lane
+}
+
+TEST(LongRoutes, HaveTrafficAndLimits) {
+  for (ScenarioId id : training_scenarios()) {
+    const Scenario sc = make_scenario(id);
+    EXPECT_GT(sc.npcs.size(), 3u) << to_string(id);
+    EXPECT_GT(sc.map.route().length(), 400.0) << to_string(id);
+    EXPECT_LE(sc.map.speed_limit_at(10.0), sc.target_speed + 1e-9);
+  }
+}
+
+TEST(LongRoutes, UrbanHasLightsHighwayDoesNot) {
+  EXPECT_FALSE(
+      make_scenario(ScenarioId::kLongRoute02).map.traffic_lights().empty());
+  EXPECT_FALSE(
+      make_scenario(ScenarioId::kLongRoute15).map.traffic_lights().empty());
+  EXPECT_TRUE(
+      make_scenario(ScenarioId::kLongRoute42).map.traffic_lights().empty());
+}
+
+TEST(Traffic, SeedIsDeterministic) {
+  const Scenario a = make_scenario(ScenarioId::kLongRoute02, 99);
+  const Scenario b = make_scenario(ScenarioId::kLongRoute02, 99);
+  ASSERT_EQ(a.npcs.size(), b.npcs.size());
+  for (std::size_t i = 0; i < a.npcs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.npcs[i].s(), b.npcs[i].s());
+    EXPECT_DOUBLE_EQ(a.npcs[i].lateral(), b.npcs[i].lateral());
+    EXPECT_DOUBLE_EQ(a.npcs[i].speed(), b.npcs[i].speed());
+  }
+}
+
+TEST(Traffic, DifferentSeedsDiffer) {
+  const Scenario a = make_scenario(ScenarioId::kLongRoute02, 1);
+  const Scenario b = make_scenario(ScenarioId::kLongRoute02, 2);
+  bool any_diff = a.npcs.size() != b.npcs.size();
+  for (std::size_t i = 0; !any_diff && i < a.npcs.size(); ++i) {
+    any_diff = a.npcs[i].s() != b.npcs[i].s();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ScenarioOptionsTest, DurationScaling) {
+  ScenarioOptions opts;
+  opts.safety_duration_sec = 12.0;
+  opts.long_route_duration_sec = 33.0;
+  EXPECT_DOUBLE_EQ(
+      make_scenario(ScenarioId::kLeadSlowdown, 2022, opts).duration_sec, 12.0);
+  EXPECT_DOUBLE_EQ(
+      make_scenario(ScenarioId::kLongRoute42, 2022, opts).duration_sec, 33.0);
+}
+
+TEST(SafetyScenarios, BackgroundTrafficFreeByDesign) {
+  // The three NHTSA scenarios are fully scripted; no extra traffic.
+  EXPECT_EQ(make_scenario(ScenarioId::kLeadSlowdown).npcs.size(), 1u);
+  EXPECT_EQ(make_scenario(ScenarioId::kGhostCutIn).npcs.size(), 1u);
+  EXPECT_EQ(make_scenario(ScenarioId::kFrontAccident).npcs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dav

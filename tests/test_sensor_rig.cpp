@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "sensors/sensor_rig.h"
+#include "sim/scenario.h"
+
+namespace dav {
+namespace {
+
+TEST(SensorRig, CapturesThreeCamerasAndImu) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  SensorRig rig(front_camera_rig(), 7);
+  const SensorFrame frame = rig.capture(world, 5);
+  EXPECT_EQ(frame.step, 5);
+  EXPECT_DOUBLE_EQ(frame.time, 0.0);
+  EXPECT_EQ(frame.cameras.size(), 3u);
+  EXPECT_TRUE(frame.lidar.empty());  // disabled by default
+  EXPECT_NEAR(frame.gps_imu.speed, 10.0, 1.0);
+}
+
+TEST(SensorRig, LidarEnabled) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  SensorRig rig(front_camera_rig(), 7, /*enable_lidar=*/true);
+  const SensorFrame frame = rig.capture(world, 0);
+  EXPECT_FALSE(frame.lidar.empty());
+}
+
+TEST(SensorRig, FrameBytesMatchesResolution) {
+  SensorRig rig(front_camera_rig(96, 72), 7);
+  EXPECT_EQ(rig.frame_bytes(), 3u * 96u * 72u * 3u);
+}
+
+TEST(SensorRig, NoiseSeedDeterminism) {
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  SensorRig a(front_camera_rig(), 7);
+  SensorRig b(front_camera_rig(), 7);
+  SensorRig c(front_camera_rig(), 8);
+  EXPECT_EQ(a.capture(world, 0).cameras[1].bytes(),
+            b.capture(world, 0).cameras[1].bytes());
+  EXPECT_NE(a.capture(world, 1).cameras[1].bytes(),
+            c.capture(world, 1).cameras[1].bytes());
+}
+
+}  // namespace
+}  // namespace dav

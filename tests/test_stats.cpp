@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace dav {
+namespace {
+
+TEST(Mean, BasicsAndEmpty) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stddev, SampleFormula) {
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(MinMax, Basics) {
+  EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(min_of({}), 0.0);
+}
+
+TEST(Percentile, InterpolatesAndClamps) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(BoxStats, FiveNumbers) {
+  const BoxStats b = box_stats({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_EQ(b.n, 9u);
+}
+
+TEST(RollingWindow, MeanEvictsOldest) {
+  RollingWindow w(3);
+  w.push(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_FALSE(w.full());
+  w.push(6.0);
+  w.push(9.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 6.0);
+  w.push(12.0);  // evicts 3
+  EXPECT_DOUBLE_EQ(w.mean(), 9.0);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(RollingWindow, MaxAndClear) {
+  RollingWindow w(2);
+  w.push(5.0);
+  w.push(1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+  w.push(2.0);  // evicts 5
+  EXPECT_DOUBLE_EQ(w.max(), 2.0);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(RollingWindow, ZeroCapacityThrows) {
+  EXPECT_THROW(RollingWindow(0), std::invalid_argument);
+}
+
+class RollingWindowProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RollingWindowProperty, MeanMatchesNaiveComputation) {
+  const std::size_t cap = GetParam();
+  RollingWindow w(cap);
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) {
+    const double x = (i * 37 % 11) - 5.0;
+    xs.push_back(x);
+    w.push(x);
+    const std::size_t n = std::min<std::size_t>(xs.size(), cap);
+    double s = 0.0;
+    for (std::size_t j = xs.size() - n; j < xs.size(); ++j) s += xs[j];
+    EXPECT_NEAR(w.mean(), s / static_cast<double>(n), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, RollingWindowProperty,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u, 40u));
+
+TEST(CountHistogram, AddAndPercentile) {
+  CountHistogram h(10);
+  h.add(2, 50);
+  h.add(8, 50);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.percentile(25), 2u);
+  EXPECT_EQ(h.percentile(75), 8u);
+  EXPECT_EQ(h.count(2), 50u);
+}
+
+TEST(CountHistogram, OutOfRangeThrows) {
+  CountHistogram h(4);
+  EXPECT_THROW(h.add(4), std::out_of_range);
+  EXPECT_THROW(CountHistogram(0), std::invalid_argument);
+}
+
+TEST(Confusion, PrecisionRecallF1) {
+  Confusion c;
+  for (int i = 0; i < 8; ++i) c.add(true, true);    // tp
+  for (int i = 0; i < 2; ++i) c.add(true, false);   // fp
+  for (int i = 0; i < 4; ++i) c.add(false, true);   // fn
+  for (int i = 0; i < 6; ++i) c.add(false, false);  // tn
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_NEAR(c.recall(), 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(c.f1(), 2 * 0.8 * (2.0 / 3.0) / (0.8 + 2.0 / 3.0), 1e-12);
+  EXPECT_EQ(c.total(), 20u);
+}
+
+TEST(Confusion, EmptyIsZero) {
+  Confusion c;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(Accumulator, TracksMoments) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(5.0);
+  a.add(3.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 9.0);
+}
+
+}  // namespace
+}  // namespace dav

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agent/tensor.h"
+
+namespace dav {
+namespace {
+
+GpuEngine clean_engine() {
+  GpuEngine eng;
+  eng.configure({}, 0);
+  return eng;
+}
+
+CrashHangModel never_lethal() {
+  CrashHangModel m;
+  m.p_crash_data = m.p_hang_data = m.p_crash_mem = m.p_hang_mem = 0.0;
+  m.p_crash_ctrl = m.p_hang_ctrl = 0.0;
+  return m;
+}
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t(2, 3, 4);
+  EXPECT_EQ(t.channels(), 2);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_EQ(t.width(), 4);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.byte_size(), 24u * sizeof(float));
+  t.at(1, 2, 3) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);
+}
+
+TEST(ImageToTensor, NormalizesTo01) {
+  GpuEngine eng = clean_engine();
+  Image img(4, 2);
+  img.set(0, 0, {255, 0, 128});
+  const Tensor t = image_to_tensor(eng, img);
+  EXPECT_EQ(t.channels(), 3);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.width(), 4);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0, 0), 0.0f);
+  EXPECT_NEAR(t.at(2, 0, 0), 128.0f / 255.0f, 1e-6);
+  EXPECT_GT(eng.total_dyn_instructions(), t.size());  // exec + loads/stores
+}
+
+TEST(ImageRowsToTensor, CropsRows) {
+  GpuEngine eng = clean_engine();
+  Image img(4, 6);
+  img.set(0, 3, {90, 90, 90});
+  const Tensor t = image_rows_to_tensor(eng, img, 2, 5);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_NEAR(t.at(0, 1, 0), 90.0f / 255.0f, 1e-6);
+}
+
+TEST(Conv2dPlane, IdentityKernel) {
+  GpuEngine eng = clean_engine();
+  Tensor in(1, 4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) in.at(0, y, x) = static_cast<float>(y * 4 + x);
+  }
+  std::vector<float> identity(9, 0.0f);
+  identity[4] = 1.0f;  // center tap
+  const Tensor out = conv2d_plane(eng, in, identity, 1);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_FLOAT_EQ(out.at(0, y, x), in.at(0, y, x));
+    }
+  }
+}
+
+TEST(Conv2dPlane, BoxFilterAverages) {
+  GpuEngine eng = clean_engine();
+  Tensor in(1, 3, 3);
+  in.at(0, 1, 1) = 9.0f;
+  const std::vector<float> box(9, 1.0f / 9.0f);
+  const Tensor out = conv2d_plane(eng, in, box, 1);
+  EXPECT_NEAR(out.at(0, 1, 1), 1.0f, 1e-6);
+  EXPECT_NEAR(out.at(0, 0, 0), 9.0f / 9.0f, 1e-6);  // corner sees the spike
+}
+
+TEST(AvgPool, DownsamplesByFactor) {
+  GpuEngine eng = clean_engine();
+  Tensor in(1, 4, 4);
+  for (auto& v : in.data()) v = 2.0f;
+  in.at(0, 0, 0) = 10.0f;
+  const Tensor out = avg_pool(eng, in, 2);
+  EXPECT_EQ(out.height(), 2);
+  EXPECT_EQ(out.width(), 2);
+  EXPECT_NEAR(out.at(0, 0, 0), (10.0f + 2.0f * 3) / 4.0f, 1e-6);
+  EXPECT_NEAR(out.at(0, 1, 1), 2.0f, 1e-6);
+}
+
+TEST(ReluInplace, ZeroesNegatives) {
+  GpuEngine eng = clean_engine();
+  Tensor t(1, 1, 3);
+  t.at(0, 0, 0) = -1.0f;
+  t.at(0, 0, 1) = 0.0f;
+  t.at(0, 0, 2) = 2.0f;
+  relu_inplace(eng, t);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 2), 2.0f);
+}
+
+TEST(RowSum, SumsOneRow) {
+  GpuEngine eng = clean_engine();
+  Tensor t(1, 2, 3);
+  t.at(0, 1, 0) = 1.0f;
+  t.at(0, 1, 1) = 2.0f;
+  t.at(0, 1, 2) = 3.0f;
+  EXPECT_FLOAT_EQ(row_sum(eng, t, 0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(row_sum(eng, t, 0, 0), 0.0f);
+}
+
+TEST(WindowSum, RespectsBounds) {
+  GpuEngine eng = clean_engine();
+  Tensor t(1, 3, 3);
+  for (auto& v : t.data()) v = 1.0f;
+  EXPECT_FLOAT_EQ(window_sum(eng, t, 0, 0, 2, 0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(window_sum(eng, t, 0, 1, 1, 0, 3), 0.0f);  // empty rows
+}
+
+TEST(ColCentroid, MassWeightedColumn) {
+  GpuEngine eng = clean_engine();
+  Tensor t(1, 1, 5);
+  t.at(0, 0, 1) = 1.0f;
+  t.at(0, 0, 3) = 3.0f;
+  const CentroidResult r = col_centroid(eng, t, 0, 0, 1, 0, 5);
+  EXPECT_FLOAT_EQ(r.mass, 4.0f);
+  EXPECT_NEAR(r.centroid, (1.0f + 9.0f) / 4.0f, 1e-6);
+}
+
+TEST(ColCentroid, EmptyWindowInvalid) {
+  GpuEngine eng = clean_engine();
+  Tensor t(1, 2, 2);
+  const CentroidResult r = col_centroid(eng, t, 0, 0, 2, 0, 2);
+  EXPECT_FLOAT_EQ(r.centroid, -1.0f);
+}
+
+TEST(FullyConnected, MatVecWithBiasAndRelu) {
+  GpuEngine eng = clean_engine();
+  // out0 = relu(1*1 + 2*2 + 1) = 6; out1 = relu(-10) = 0.
+  const auto out = fully_connected(eng, {1.0f, 2.0f},
+                                   {1.0f, 2.0f, 0.0f, 0.0f}, {1.0f, -10.0f});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FLOAT_EQ(out[0], 6.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(FullyConnected, NoReluKeepsNegative) {
+  GpuEngine eng = clean_engine();
+  const auto out =
+      fully_connected(eng, {1.0f}, {1.0f}, {-5.0f}, /*apply_relu=*/false);
+  EXPECT_FLOAT_EQ(out[0], -4.0f);
+}
+
+TEST(FaultPropagation, PermanentFmaccCorruptsConvOutput) {
+  GpuEngine clean = clean_engine();
+  GpuEngine faulty;
+  FaultPlan plan;
+  plan.kind = FaultModelKind::kPermanent;
+  plan.domain = FaultDomain::kGpu;
+  plan.target_opcode = static_cast<int>(GpuOpcode::kFMacc);
+  plan.bit = 22;
+  faulty.configure(plan, 1, never_lethal());
+
+  Tensor in(1, 4, 4);
+  for (std::size_t i = 0; i < in.data().size(); ++i) {
+    in.data()[i] = 0.1f * static_cast<float>(i % 7);
+  }
+  const std::vector<float> box(9, 1.0f / 9.0f);
+  const Tensor a = conv2d_plane(clean, in, box, 1);
+  const Tensor b = conv2d_plane(faulty, in, box, 1);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_GT(faulty.corruption_count(), 0u);
+}
+
+TEST(FaultPropagation, TransientHitsOneElementOnly) {
+  GpuEngine clean = clean_engine();
+  GpuEngine faulty;
+  FaultPlan plan;
+  plan.kind = FaultModelKind::kTransient;
+  plan.domain = FaultDomain::kGpu;
+  plan.bit = 30;
+  // Target an index inside the FC exec stream (the first 24 dynamic
+  // instructions are the bulk operand loads).
+  plan.target_dyn_index = 30;
+  faulty.configure(plan, 1, never_lethal());
+
+  std::vector<float> in(8, 0.5f);
+  std::vector<float> w(16, 0.25f);
+  std::vector<float> bias(2, 0.0f);
+  const auto a = fully_connected(clean, in, w, bias);
+  const auto b = fully_connected(faulty, in, w, bias);
+  int mismatches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) mismatches += a[i] != b[i];
+  EXPECT_EQ(mismatches, 1);
+}
+
+}  // namespace
+}  // namespace dav

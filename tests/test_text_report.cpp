@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/text_report.h"
+
+namespace dav {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"a", "bee"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("bee"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"x", "y", "z"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(Heatmap, ContainsLabelsAndValues) {
+  const std::string out = render_heatmap("title", {"r1", "r2"}, {"c1", "c2"},
+                                         {{0.5, 0.25}, {1.0, 0.0}});
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("r1"), std::string::npos);
+  EXPECT_NE(out.find("c2"), std::string::npos);
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+}
+
+TEST(RenderBox, MarksMedianAndExtremes) {
+  BoxStats b{0.0, 0.25, 0.5, 0.75, 1.0, 5};
+  const std::string line = render_box(b, 0.0, 1.0, 41);
+  EXPECT_EQ(line.size(), 41u);
+  EXPECT_EQ(line.front(), '|');
+  EXPECT_EQ(line.back(), '|');
+  EXPECT_EQ(line[20], '#');
+}
+
+TEST(RenderBox, DegenerateRangeDoesNotCrash) {
+  BoxStats b{1.0, 1.0, 1.0, 1.0, 1.0, 1};
+  EXPECT_NO_THROW(render_box(b, 1.0, 1.0, 20));
+}
+
+TEST(RenderCdf, CountsCumulative) {
+  const std::string out = render_cdf("cdf", {1.0, 2.0, 3.0}, "x", 2);
+  EXPECT_NE(out.find("cdf"), std::string::npos);
+  EXPECT_NE(out.find("n=3"), std::string::npos);
+}
+
+TEST(RenderCdf, EmptyInput) {
+  const std::string out = render_cdf("cdf", {}, "x");
+  EXPECT_NE(out.find("no samples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dav

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "sim/trajectory.h"
+
+namespace dav {
+namespace {
+
+Trajectory make_traj(std::initializer_list<Vec2> pts) {
+  Trajectory t;
+  for (const Vec2& p : pts) t.push(p);
+  return t;
+}
+
+TEST(MaxDivergence, PointwiseMaximum) {
+  const Trajectory a = make_traj({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = make_traj({{0, 0}, {1, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(max_divergence(a, b), 3.0);
+}
+
+TEST(MaxDivergence, CommonPrefixOnly) {
+  const Trajectory a = make_traj({{0, 0}, {1, 0}});
+  const Trajectory b = make_traj({{0, 0}, {1, 2}, {99, 99}});
+  EXPECT_DOUBLE_EQ(max_divergence(a, b), 2.0);
+}
+
+TEST(MaxDivergence, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(max_divergence({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(max_divergence(make_traj({{1, 1}}), {}), 0.0);
+}
+
+TEST(MeanTrajectory, PointwiseMean) {
+  const Trajectory a = make_traj({{0, 0}, {2, 0}});
+  const Trajectory b = make_traj({{0, 2}, {4, 2}});
+  const Trajectory m = mean_trajectory({a, b});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(0), Vec2(0, 1));
+  EXPECT_EQ(m.at(1), Vec2(3, 1));
+}
+
+TEST(MeanTrajectory, TruncatesToShortest) {
+  const Trajectory a = make_traj({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = make_traj({{0, 0}, {1, 0}});
+  EXPECT_EQ(mean_trajectory({a, b}).size(), 2u);
+}
+
+TEST(MeanTrajectory, EmptyInput) {
+  EXPECT_TRUE(mean_trajectory({}).empty());
+}
+
+TEST(MeanTrajectory, SingleRunIsIdentity) {
+  const Trajectory a = make_traj({{1, 2}, {3, 4}});
+  const Trajectory m = mean_trajectory({a});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(1), Vec2(3, 4));
+}
+
+}  // namespace
+}  // namespace dav

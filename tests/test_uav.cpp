@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "uav/uav.h"
+
+namespace dav::uav {
+namespace {
+
+TEST(UavPhysics, HoverThrustHolds) {
+  UavState s;
+  s.z = 10.0;
+  UavParams p;
+  for (int i = 0; i < 100; ++i) {
+    s = step_uav(s, {0.5, 0.0}, p, 0.0, 0.05);
+  }
+  EXPECT_NEAR(s.z, 10.0, 0.1);
+  EXPECT_NEAR(s.vz, 0.0, 0.05);
+}
+
+TEST(UavPhysics, FullThrustClimbs) {
+  UavState s;
+  s.z = 5.0;
+  UavParams p;
+  for (int i = 0; i < 40; ++i) s = step_uav(s, {1.0, 0.0}, p, 0.0, 0.05);
+  EXPECT_GT(s.z, 7.0);
+  EXPECT_GT(s.vz, 0.0);
+}
+
+TEST(UavPhysics, GroundIsFloor) {
+  UavState s;
+  s.z = 0.5;
+  UavParams p;
+  for (int i = 0; i < 100; ++i) s = step_uav(s, {0.0, 0.0}, p, 0.0, 0.05);
+  EXPECT_DOUBLE_EQ(s.z, 0.0);
+  EXPECT_GE(s.vz, 0.0);
+}
+
+TEST(UavPhysics, PitchAccelerates) {
+  UavState s;
+  UavParams p;
+  for (int i = 0; i < 100; ++i) s = step_uav(s, {0.5, 1.0}, p, 0.0, 0.05);
+  EXPECT_GT(s.vx, 3.0);
+  EXPECT_GT(s.x, 5.0);
+}
+
+TEST(UavPhysics, WindPushesDown) {
+  UavState calm;
+  calm.z = 10.0;
+  UavState windy = calm;
+  UavParams p;
+  for (int i = 0; i < 40; ++i) {
+    calm = step_uav(calm, {0.5, 0.0}, p, 0.0, 0.05);
+    windy = step_uav(windy, {0.5, 0.0}, p, 2.0, 0.05);
+  }
+  EXPECT_LT(windy.z, calm.z - 0.5);
+}
+
+TEST(UavMissionProfile, ClimbCruiseDescend) {
+  UavMission m;
+  EXPECT_NEAR(m.ref_altitude(0.0, 0.0), 0.0, 1e-9);
+  EXPECT_NEAR(m.ref_altitude(100.0, m.duration_sec * 0.5), m.cruise_alt,
+              1e-9);
+  EXPECT_LT(m.ref_altitude(m.out_distance + 50.0, m.duration_sec * 0.9),
+            m.cruise_alt);
+}
+
+TEST(WindGustModel, TriangularPulse) {
+  WindGust g;
+  EXPECT_DOUBLE_EQ(g.accel_at(g.t_start - 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.accel_at(g.t_start + g.duration + 1.0), 0.0);
+  EXPECT_NEAR(g.accel_at(g.t_start + g.duration / 2), g.peak_accel, 1e-9);
+}
+
+TEST(UavGolden, AllModesFlyTheMission) {
+  for (AgentMode mode : {AgentMode::kSingle, AgentMode::kRoundRobin,
+                         AgentMode::kDuplicate}) {
+    UavRunConfig cfg;
+    cfg.mode = mode;
+    cfg.run_seed = 7;
+    const UavRunResult r = run_uav_experiment(cfg);
+    EXPECT_FALSE(r.crashed) << to_string(mode);
+    EXPECT_FALSE(r.due) << to_string(mode);
+    EXPECT_LT(r.max_alt_error, 6.0) << to_string(mode);
+    EXPECT_GT(r.observations.size(), 100u) << to_string(mode);
+  }
+}
+
+TEST(UavGolden, RoundRobinDivergenceBounded) {
+  UavRunConfig cfg;
+  cfg.run_seed = 3;
+  const UavRunResult r = run_uav_experiment(cfg);
+  DivergenceSignal sig(3);
+  double worst = 0.0;
+  for (const auto& o : r.observations) {
+    sig.push(o.delta);
+    if (sig.full()) {
+      const auto sm = sig.smoothed();
+      worst = std::max({worst, sm.throttle, sm.steer});
+    }
+  }
+  EXPECT_LT(worst, 0.25);
+}
+
+TEST(UavFault, PermanentCpuDataFaultDiverges) {
+  UavRunConfig cfg;
+  cfg.run_seed = 5;
+  cfg.fault.kind = FaultModelKind::kPermanent;
+  cfg.fault.domain = FaultDomain::kCpu;
+  cfg.fault.target_opcode = static_cast<int>(CpuOpcode::kFma);
+  cfg.fault.bit = 22;
+  const UavRunResult r = run_uav_experiment(cfg);
+  if (!r.due) {
+    // Survived the lethality draw: either visible divergence or an altitude
+    // excursion (the behavior a detector must catch).
+    DivergenceSignal sig(3);
+    double worst = 0.0;
+    for (const auto& o : r.observations) {
+      sig.push(o.delta);
+      if (sig.full()) {
+        const auto sm = sig.smoothed();
+        worst = std::max({worst, sm.throttle, sm.steer});
+      }
+    }
+    EXPECT_TRUE(worst > 0.2 || r.max_alt_error > 6.0 || r.crashed);
+  } else {
+    SUCCEED();  // platform-detected DUE is also a valid manifestation
+  }
+}
+
+TEST(UavFault, MemoryClassFaultIsUsuallyLethal) {
+  int dues = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    UavRunConfig cfg;
+    cfg.run_seed = seed;
+    cfg.fault.kind = FaultModelKind::kPermanent;
+    cfg.fault.domain = FaultDomain::kCpu;
+    cfg.fault.target_opcode = static_cast<int>(CpuOpcode::kLoad);
+    cfg.fault.bit = 3;
+    dues += run_uav_experiment(cfg).due;
+  }
+  EXPECT_GE(dues, 4);
+}
+
+}  // namespace
+}  // namespace dav::uav

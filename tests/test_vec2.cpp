@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/vec2.h"
+
+namespace dav {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {1.0, 2.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v -= {0.5, 0.5};
+  EXPECT_EQ(v, Vec2(1.5, 2.5));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(3.0, 5.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(Vec2(1, 2).dot({3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(Vec2(1, 0).cross({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Vec2(0, 1).cross({1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(Vec2(2, 3).cross({2, 3}), 0.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ(Vec2(3, 4).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3, 4).norm_sq(), 25.0);
+  const Vec2 u = Vec2(3, 4).normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_EQ(Vec2().normalized(), Vec2());
+}
+
+TEST(Vec2, PerpIsCcw90) {
+  const Vec2 p = Vec2(1, 0).perp();
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, Rotation) {
+  const Vec2 r = Vec2(1, 0).rotated(M_PI / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  // Rotation preserves norm.
+  const Vec2 v{2.0, -3.0};
+  EXPECT_NEAR(v.rotated(0.7).norm(), v.norm(), 1e-12);
+}
+
+TEST(WrapAngle, WrapsIntoHalfOpenInterval) {
+  EXPECT_NEAR(wrap_angle(3 * M_PI), M_PI, 1e-12);
+  EXPECT_NEAR(wrap_angle(-3 * M_PI), M_PI, 1e-12);
+  EXPECT_NEAR(wrap_angle(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(wrap_angle(2 * M_PI + 0.25), 0.25, 1e-12);
+}
+
+class WrapAngleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapAngleProperty, ResultInRangeAndEquivalent) {
+  const double a = GetParam();
+  const double w = wrap_angle(a);
+  EXPECT_GT(w, -M_PI - 1e-12);
+  EXPECT_LE(w, M_PI + 1e-12);
+  EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+  EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WrapAngleProperty,
+                         ::testing::Values(-25.0, -7.3, -3.2, -0.1, 0.0, 0.1,
+                                           3.2, 7.3, 25.0, 100.0));
+
+TEST(Pose2, RoundTripWorldLocal) {
+  Pose2 pose;
+  pose.pos = {5.0, -2.0};
+  pose.yaw = 0.8;
+  const Vec2 p{3.3, 1.7};
+  const Vec2 back = pose.to_local(pose.to_world(p));
+  EXPECT_NEAR(back.x, p.x, 1e-12);
+  EXPECT_NEAR(back.y, p.y, 1e-12);
+}
+
+TEST(Pose2, ForwardMatchesYaw) {
+  Pose2 pose;
+  pose.yaw = M_PI / 3;
+  EXPECT_NEAR(pose.forward().x, 0.5, 1e-12);
+  EXPECT_NEAR(pose.forward().y, std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(ClampLerp, Basics) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.4, 0.0, 1.0), 0.4);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+}
+
+TEST(Distance, Euclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace dav

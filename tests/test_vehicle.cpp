@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/vehicle.h"
+#include "util/geometry.h"
+
+namespace dav {
+namespace {
+
+constexpr double kDt = 0.05;
+
+VehicleState cruise_state(double v) {
+  VehicleState s;
+  s.v = v;
+  return s;
+}
+
+TEST(Vehicle, FullThrottleAcceleratesFromRest) {
+  VehicleSpec spec;
+  VehicleState s = step_vehicle(cruise_state(0.0), {1.0, 0.0, 0.0}, spec, kDt);
+  EXPECT_GT(s.v, 0.0);
+  EXPECT_GT(s.a, 0.0);
+  EXPECT_GT(s.pose.pos.x, 0.0);
+  EXPECT_NEAR(s.pose.pos.y, 0.0, 1e-12);
+}
+
+TEST(Vehicle, BrakingStopsButNeverReverses) {
+  VehicleSpec spec;
+  VehicleState s = cruise_state(1.0);
+  for (int i = 0; i < 100; ++i) {
+    s = step_vehicle(s, {0.0, 1.0, 0.0}, spec, kDt);
+  }
+  EXPECT_DOUBLE_EQ(s.v, 0.0);
+  // Position settled, no reverse motion.
+  const double x = s.pose.pos.x;
+  s = step_vehicle(s, {0.0, 1.0, 0.0}, spec, kDt);
+  EXPECT_DOUBLE_EQ(s.pose.pos.x, x);
+}
+
+TEST(Vehicle, TopSpeedIsBounded) {
+  VehicleSpec spec;
+  VehicleState s = cruise_state(0.0);
+  for (int i = 0; i < 10000; ++i) {
+    s = step_vehicle(s, {1.0, 0.0, 0.0}, spec, kDt);
+  }
+  EXPECT_LE(s.v, spec.max_speed);
+  EXPECT_GT(s.v, spec.max_speed * 0.5);
+}
+
+TEST(Vehicle, DragDeceleratesCoasting) {
+  VehicleSpec spec;
+  VehicleState s = cruise_state(10.0);
+  s = step_vehicle(s, {0.0, 0.0, 0.0}, spec, kDt);
+  EXPECT_LT(s.v, 10.0);
+  EXPECT_LT(s.a, 0.0);
+}
+
+TEST(Vehicle, SteeringTurnsLeftForPositiveSteer) {
+  VehicleSpec spec;
+  VehicleState s = cruise_state(10.0);
+  for (int i = 0; i < 20; ++i) {
+    s = step_vehicle(s, {0.3, 0.0, 0.5}, spec, kDt);
+  }
+  EXPECT_GT(s.pose.yaw, 0.0);
+  EXPECT_GT(s.omega, 0.0);
+  EXPECT_GT(s.pose.pos.y, 0.0);
+}
+
+TEST(Vehicle, TurningRadiusMatchesBicycleModel) {
+  VehicleSpec spec;
+  // Constant speed, constant steer -> circle of radius L / tan(delta).
+  const double steer = 0.5;
+  const double delta = steer * spec.max_steer_angle;
+  const double expected_radius = spec.wheelbase / std::tan(delta);
+  VehicleState s = cruise_state(5.0);
+  // Maintain speed with mild throttle compensation; use small dt.
+  double max_y = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    Actuation cmd{0.0, 0.0, steer};
+    cmd.throttle = s.v < 5.0 ? 0.4 : 0.0;
+    s = step_vehicle(s, cmd, spec, 0.01);
+    max_y = std::max(max_y, s.pose.pos.y);
+  }
+  // The trajectory's max lateral excursion approximates the circle diameter.
+  EXPECT_NEAR(max_y / 2.0, expected_radius, expected_radius * 0.2);
+}
+
+TEST(Vehicle, DerivedAlphaConsistent) {
+  VehicleSpec spec;
+  VehicleState s = cruise_state(8.0);
+  const VehicleState next = step_vehicle(s, {0.0, 0.0, 0.4}, spec, kDt);
+  EXPECT_NEAR(next.alpha, (next.omega - s.omega) / kDt, 1e-9);
+}
+
+TEST(Vehicle, ClampsOutOfRangeCommands) {
+  VehicleSpec spec;
+  const VehicleState a =
+      step_vehicle(cruise_state(5.0), {5.0, -1.0, 3.0}, spec, kDt);
+  const VehicleState b =
+      step_vehicle(cruise_state(5.0), {1.0, 0.0, 1.0}, spec, kDt);
+  EXPECT_DOUBLE_EQ(a.v, b.v);
+  EXPECT_DOUBLE_EQ(a.omega, b.omega);
+}
+
+TEST(VehicleObb, MatchesSpecDimensions) {
+  VehicleSpec spec;
+  VehicleState s;
+  s.pose.pos = {3.0, 4.0};
+  const Obb box = vehicle_obb(s, spec);
+  EXPECT_DOUBLE_EQ(box.half_length, spec.length / 2);
+  EXPECT_DOUBLE_EQ(box.half_width, spec.width / 2);
+  EXPECT_EQ(box.pose.pos, Vec2(3.0, 4.0));
+}
+
+class VehicleEnergyProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(VehicleEnergyProperty, SpeedNonNegativeAndFinite) {
+  VehicleSpec spec;
+  VehicleState s = cruise_state(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const double thr = (i % 7) / 6.0;
+    const double brk = (i % 5) / 8.0;
+    const double str = ((i % 11) - 5) / 5.0;
+    s = step_vehicle(s, {thr, brk, str}, spec, kDt);
+    ASSERT_GE(s.v, 0.0);
+    ASSERT_TRUE(std::isfinite(s.pose.pos.x));
+    ASSERT_TRUE(std::isfinite(s.pose.yaw));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, VehicleEnergyProperty,
+                         ::testing::Values(0.0, 1.0, 5.0, 10.0, 20.0, 29.0));
+
+}  // namespace
+}  // namespace dav

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agent/waypoint_head.h"
+
+namespace dav {
+namespace {
+
+GpuEngine clean_engine() {
+  GpuEngine eng;
+  eng.configure({}, 0);
+  return eng;
+}
+
+PerceptionOutput clear_road() {
+  PerceptionOutput p;
+  p.obstacle_valid = false;
+  p.obstacle_distance = 200.0;
+  return p;
+}
+
+double decoded_speed(const Waypoints& wps, double wp_dt = 0.5) {
+  double sum = 0.0;
+  Vec2 prev{0, 0};
+  for (const Vec2& wp : wps.pts) {
+    sum += distance(prev, wp);
+    prev = wp;
+  }
+  return sum / 4.0 / wp_dt;
+}
+
+TEST(WaypointHead, CruiseSpeedOnClearRoad) {
+  GpuEngine eng = clean_engine();
+  const Waypoints wps = waypoint_head(eng, clear_road(), 8.0, 10.0, {});
+  EXPECT_NEAR(decoded_speed(wps), 10.0, 0.3);
+}
+
+TEST(WaypointHead, ObstacleLimitsSpeed) {
+  GpuEngine eng = clean_engine();
+  PerceptionOutput p = clear_road();
+  p.obstacle_valid = true;
+  p.obstacle_distance = 15.0;
+  WaypointHeadConfig cfg;
+  const Waypoints wps = waypoint_head(eng, p, 8.0, 10.0, cfg);
+  const double gap = 15.0 - cfg.stop_margin;
+  const double expected = std::min(gap / cfg.headway,
+                                   std::sqrt(2.0 * cfg.comfort_decel * gap));
+  EXPECT_NEAR(decoded_speed(wps), std::min(10.0, expected), 0.5);
+}
+
+TEST(WaypointHead, StopsInsideMargin) {
+  GpuEngine eng = clean_engine();
+  PerceptionOutput p = clear_road();
+  p.obstacle_valid = true;
+  p.obstacle_distance = 4.0;  // inside stop margin
+  const Waypoints wps = waypoint_head(eng, p, 3.0, 10.0, {});
+  EXPECT_LT(decoded_speed(wps), 0.5);
+}
+
+TEST(WaypointHead, LaneOffsetShiftsWaypointsLaterally) {
+  GpuEngine eng = clean_engine();
+  PerceptionOutput p = clear_road();
+  p.lane_offset = 0.8;
+  const Waypoints wps = waypoint_head(eng, p, 8.0, 10.0, {});
+  for (const Vec2& wp : wps.pts) EXPECT_NEAR(wp.y, 0.8, 1e-5);
+}
+
+TEST(WaypointHead, HeadingSlopeTiltsPath) {
+  GpuEngine eng = clean_engine();
+  PerceptionOutput p = clear_road();
+  p.heading_slope = 0.1;
+  const Waypoints wps = waypoint_head(eng, p, 8.0, 10.0, {});
+  EXPECT_GT(wps.pts[3].y, wps.pts[0].y);
+  EXPECT_NEAR(wps.pts[3].y, 0.1 * wps.pts[3].x, 1e-4);
+}
+
+TEST(WaypointHead, MonotoneForwardSpacing) {
+  GpuEngine eng = clean_engine();
+  const Waypoints wps = waypoint_head(eng, clear_road(), 8.0, 10.0, {});
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GT(wps.pts[static_cast<std::size_t>(i)].x,
+              wps.pts[static_cast<std::size_t>(i - 1)].x);
+  }
+}
+
+TEST(WaypointHead, SideWarningPreventsAcceleration) {
+  GpuEngine eng = clean_engine();
+  PerceptionOutput p = clear_road();
+  p.side_warning = true;
+  const Waypoints wps = waypoint_head(eng, p, /*v_meas=*/6.0, 10.0, {});
+  EXPECT_LE(decoded_speed(wps), 6.3);
+}
+
+class ObstacleEnvelopeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ObstacleEnvelopeSweep, SpeedMonotoneInDistance) {
+  GpuEngine eng = clean_engine();
+  PerceptionOutput near_p = clear_road();
+  near_p.obstacle_valid = true;
+  near_p.obstacle_distance = GetParam();
+  PerceptionOutput far_p = near_p;
+  far_p.obstacle_distance = GetParam() + 8.0;
+  const double v_near =
+      decoded_speed(waypoint_head(eng, near_p, 8.0, 12.0, {}));
+  const double v_far = decoded_speed(waypoint_head(eng, far_p, 8.0, 12.0, {}));
+  EXPECT_LE(v_near, v_far + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ObstacleEnvelopeSweep,
+                         ::testing::Values(6.0, 10.0, 14.0, 20.0, 30.0));
+
+}  // namespace
+}  // namespace dav

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "sim/world.h"
+
+namespace dav {
+namespace {
+
+constexpr double kDt = 0.05;
+
+Scenario simple_scenario(double lead_gap = 50.0) {
+  Scenario sc;
+  sc.id = ScenarioId::kLeadSlowdown;
+  sc.map = RoadMap(Polyline({{0, 0}, {800, 0}}), 3.5, 1, 0);
+  sc.ego_start_s = 10.0;
+  sc.ego_start_speed = 10.0;
+  sc.duration_sec = 30.0;
+  IdmParams idm;
+  idm.desired_speed = 10.0;
+  sc.npcs.emplace_back(1, 10.0 + lead_gap, 0.0, 10.0, idm);
+  return sc;
+}
+
+TEST(World, InitialStateMatchesScenario) {
+  World world(simple_scenario());
+  EXPECT_NEAR(world.ego().pose.pos.x, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(world.ego().v, 10.0);
+  EXPECT_NEAR(world.ego_route_s(), 10.0, 1e-9);
+  EXPECT_EQ(world.step_count(), 0);
+  EXPECT_EQ(world.trajectory().size(), 1u);  // initial sample
+}
+
+TEST(World, StepAdvancesTimeAndTrajectory) {
+  World world(simple_scenario());
+  world.step({0.5, 0.0, 0.0}, kDt);
+  EXPECT_NEAR(world.time(), kDt, 1e-12);
+  EXPECT_EQ(world.step_count(), 1);
+  EXPECT_EQ(world.trajectory().size(), 2u);
+}
+
+TEST(World, CvipTracksLeadGap) {
+  World world(simple_scenario(30.0));
+  // CVIP is bumper-to-bumper: 30 - half lengths (2.25 + 2.25).
+  EXPECT_NEAR(world.cvip(), 30.0 - 4.5, 0.1);
+}
+
+TEST(World, CvipInfiniteWithoutLead) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  World world(std::move(sc));
+  EXPECT_GT(world.cvip(), 1e9);
+}
+
+TEST(World, CvipIgnoresAdjacentLane) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  IdmParams idm;
+  sc.npcs.emplace_back(1, 40.0, 3.5, 10.0, idm);
+  World world(std::move(sc));
+  EXPECT_GT(world.cvip(), 1e9);
+}
+
+TEST(World, CollisionDetectedAndTimed) {
+  World world(simple_scenario(8.0));
+  // Full throttle into the lead.
+  int steps = 0;
+  while (!world.flags().collision && steps < 600) {
+    world.step({1.0, 0.0, 0.0}, kDt);
+    ++steps;
+  }
+  EXPECT_TRUE(world.flags().collision);
+  EXPECT_GE(world.first_collision_time(), 0.0);
+  // The run ends shortly after a collision.
+  int extra = 0;
+  while (!world.done() && extra < 200) {
+    world.step({0.0, 1.0, 0.0}, kDt);
+    ++extra;
+  }
+  EXPECT_TRUE(world.done());
+}
+
+TEST(World, SpeedingFlag) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  sc.map.add_speed_limit({0.0, 1e9, 5.0});
+  World world(std::move(sc));  // starts at 10 m/s > 5 * 1.15
+  world.step({1.0, 0.0, 0.0}, kDt);
+  EXPECT_TRUE(world.flags().speeding);
+}
+
+TEST(World, OffRoadFlag) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  World world(std::move(sc));
+  for (int i = 0; i < 400 && !world.flags().off_road; ++i) {
+    world.step({0.5, 0.0, -1.0}, kDt);  // hard right off the road
+  }
+  EXPECT_TRUE(world.flags().off_road);
+}
+
+TEST(World, RedLightViolation) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  // Permanently red light ahead of the ego.
+  sc.map.add_traffic_light({40.0, 0.0, 0.0, 100.0, 0.0});
+  World world(std::move(sc));
+  for (int i = 0; i < 200 && !world.flags().red_light_violation; ++i) {
+    world.step({0.8, 0.0, 0.0}, kDt);
+  }
+  EXPECT_TRUE(world.flags().red_light_violation);
+}
+
+TEST(World, GreenLightNoViolation) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  sc.map.add_traffic_light({40.0, 1000.0, 2.0, 8.0, 0.0});  // long green
+  World world(std::move(sc));
+  for (int i = 0; i < 200; ++i) world.step({0.8, 0.0, 0.0}, kDt);
+  EXPECT_FALSE(world.flags().red_light_violation);
+}
+
+TEST(World, NpcsStopAtRedLights) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  IdmParams idm;
+  idm.desired_speed = 10.0;
+  sc.npcs.emplace_back(1, 20.0, 0.0, 10.0, idm);
+  sc.map.add_traffic_light({60.0, 0.0, 0.0, 1000.0, 0.0});  // always red
+  World world(std::move(sc));
+  for (int i = 0; i < 400; ++i) world.step({0.0, 1.0, 0.0}, kDt);
+  const auto& npc = world.npcs()[0];
+  EXPECT_LT(npc.s(), 60.0);
+  EXPECT_LT(npc.speed(), 0.5);
+}
+
+TEST(World, NpcNpcCollisionCrashesBoth) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  IdmParams idm;
+  idm.desired_speed = 12.0;
+  // Two NPCs laterally merging into each other.
+  sc.npcs.emplace_back(1, 40.0, 0.0, 10.0, idm);
+  NpcVehicle merger(2, 38.0, 3.5, 12.0, idm);
+  merger.add_event({NpcEvent::Trigger::kAtTime, 0.5,
+                    NpcEvent::Action::kLaneChange, 0.0, 1.0});
+  sc.npcs.push_back(merger);
+  World world(std::move(sc));
+  for (int i = 0; i < 200; ++i) world.step({0.0, 1.0, 0.0}, kDt);
+  EXPECT_TRUE(world.npcs()[0].crashed());
+  EXPECT_TRUE(world.npcs()[1].crashed());
+}
+
+TEST(World, DoneAtDurationOrRouteEnd) {
+  Scenario sc = simple_scenario();
+  sc.npcs.clear();
+  sc.duration_sec = 0.2;
+  World world(std::move(sc));
+  EXPECT_FALSE(world.done());
+  for (int i = 0; i < 5; ++i) world.step({0.0, 0.0, 0.0}, kDt);
+  EXPECT_TRUE(world.done());
+}
+
+TEST(World, EgoLateralSignedLeftPositive) {
+  World world(simple_scenario());
+  for (int i = 0; i < 40; ++i) world.step({0.3, 0.0, 0.6}, kDt);
+  EXPECT_GT(world.ego_lateral(), 0.0);
+}
+
+}  // namespace
+}  // namespace dav
