@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_trajectory.dir/bench_fig6_trajectory.cpp.o"
+  "CMakeFiles/bench_fig6_trajectory.dir/bench_fig6_trajectory.cpp.o.d"
+  "bench_fig6_trajectory"
+  "bench_fig6_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

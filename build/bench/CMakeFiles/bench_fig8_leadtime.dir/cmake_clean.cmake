@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_leadtime.dir/bench_fig8_leadtime.cpp.o"
+  "CMakeFiles/bench_fig8_leadtime.dir/bench_fig8_leadtime.cpp.o.d"
+  "bench_fig8_leadtime"
+  "bench_fig8_leadtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_leadtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overlap_ablation.dir/bench_overlap_ablation.cpp.o"
+  "CMakeFiles/bench_overlap_ablation.dir/bench_overlap_ablation.cpp.o.d"
+  "bench_overlap_ablation"
+  "bench_overlap_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlap_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

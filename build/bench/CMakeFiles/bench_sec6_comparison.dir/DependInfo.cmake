@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec6_comparison.cpp" "bench/CMakeFiles/bench_sec6_comparison.dir/bench_sec6_comparison.cpp.o" "gcc" "bench/CMakeFiles/bench_sec6_comparison.dir/bench_sec6_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/campaign/CMakeFiles/dav_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dav_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/dav_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/dav_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/dav_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dav_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/dav_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uav_extension.dir/bench_uav_extension.cpp.o"
+  "CMakeFiles/bench_uav_extension.dir/bench_uav_extension.cpp.o.d"
+  "bench_uav_extension"
+  "bench_uav_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uav_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

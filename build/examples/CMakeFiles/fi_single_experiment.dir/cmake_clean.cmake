@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_single_experiment.dir/fi_single_experiment.cpp.o"
+  "CMakeFiles/fi_single_experiment.dir/fi_single_experiment.cpp.o.d"
+  "fi_single_experiment"
+  "fi_single_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_single_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

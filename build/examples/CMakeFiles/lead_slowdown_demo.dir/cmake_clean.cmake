@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_slowdown_demo.dir/lead_slowdown_demo.cpp.o"
+  "CMakeFiles/lead_slowdown_demo.dir/lead_slowdown_demo.cpp.o.d"
+  "lead_slowdown_demo"
+  "lead_slowdown_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_slowdown_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/agent.cpp" "src/agent/CMakeFiles/dav_agent.dir/agent.cpp.o" "gcc" "src/agent/CMakeFiles/dav_agent.dir/agent.cpp.o.d"
+  "/root/repo/src/agent/control.cpp" "src/agent/CMakeFiles/dav_agent.dir/control.cpp.o" "gcc" "src/agent/CMakeFiles/dav_agent.dir/control.cpp.o.d"
+  "/root/repo/src/agent/perception.cpp" "src/agent/CMakeFiles/dav_agent.dir/perception.cpp.o" "gcc" "src/agent/CMakeFiles/dav_agent.dir/perception.cpp.o.d"
+  "/root/repo/src/agent/tensor.cpp" "src/agent/CMakeFiles/dav_agent.dir/tensor.cpp.o" "gcc" "src/agent/CMakeFiles/dav_agent.dir/tensor.cpp.o.d"
+  "/root/repo/src/agent/warmup.cpp" "src/agent/CMakeFiles/dav_agent.dir/warmup.cpp.o" "gcc" "src/agent/CMakeFiles/dav_agent.dir/warmup.cpp.o.d"
+  "/root/repo/src/agent/waypoint_head.cpp" "src/agent/CMakeFiles/dav_agent.dir/waypoint_head.cpp.o" "gcc" "src/agent/CMakeFiles/dav_agent.dir/waypoint_head.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fi/CMakeFiles/dav_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/dav_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dav_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_agent.dir/agent.cpp.o"
+  "CMakeFiles/dav_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/dav_agent.dir/control.cpp.o"
+  "CMakeFiles/dav_agent.dir/control.cpp.o.d"
+  "CMakeFiles/dav_agent.dir/perception.cpp.o"
+  "CMakeFiles/dav_agent.dir/perception.cpp.o.d"
+  "CMakeFiles/dav_agent.dir/tensor.cpp.o"
+  "CMakeFiles/dav_agent.dir/tensor.cpp.o.d"
+  "CMakeFiles/dav_agent.dir/warmup.cpp.o"
+  "CMakeFiles/dav_agent.dir/warmup.cpp.o.d"
+  "CMakeFiles/dav_agent.dir/waypoint_head.cpp.o"
+  "CMakeFiles/dav_agent.dir/waypoint_head.cpp.o.d"
+  "libdav_agent.a"
+  "libdav_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

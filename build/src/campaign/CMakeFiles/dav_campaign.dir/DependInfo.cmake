@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/campaign/campaign.cpp" "src/campaign/CMakeFiles/dav_campaign.dir/campaign.cpp.o" "gcc" "src/campaign/CMakeFiles/dav_campaign.dir/campaign.cpp.o.d"
+  "/root/repo/src/campaign/driver.cpp" "src/campaign/CMakeFiles/dav_campaign.dir/driver.cpp.o" "gcc" "src/campaign/CMakeFiles/dav_campaign.dir/driver.cpp.o.d"
+  "/root/repo/src/campaign/metrics.cpp" "src/campaign/CMakeFiles/dav_campaign.dir/metrics.cpp.o" "gcc" "src/campaign/CMakeFiles/dav_campaign.dir/metrics.cpp.o.d"
+  "/root/repo/src/campaign/resources.cpp" "src/campaign/CMakeFiles/dav_campaign.dir/resources.cpp.o" "gcc" "src/campaign/CMakeFiles/dav_campaign.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dav_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/dav_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/dav_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/dav_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dav_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_campaign.dir/campaign.cpp.o"
+  "CMakeFiles/dav_campaign.dir/campaign.cpp.o.d"
+  "CMakeFiles/dav_campaign.dir/driver.cpp.o"
+  "CMakeFiles/dav_campaign.dir/driver.cpp.o.d"
+  "CMakeFiles/dav_campaign.dir/metrics.cpp.o"
+  "CMakeFiles/dav_campaign.dir/metrics.cpp.o.d"
+  "CMakeFiles/dav_campaign.dir/resources.cpp.o"
+  "CMakeFiles/dav_campaign.dir/resources.cpp.o.d"
+  "libdav_campaign.a"
+  "libdav_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ads_system.cpp" "src/core/CMakeFiles/dav_core.dir/ads_system.cpp.o" "gcc" "src/core/CMakeFiles/dav_core.dir/ads_system.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/dav_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/dav_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/divergence.cpp" "src/core/CMakeFiles/dav_core.dir/divergence.cpp.o" "gcc" "src/core/CMakeFiles/dav_core.dir/divergence.cpp.o.d"
+  "/root/repo/src/core/threshold_lut.cpp" "src/core/CMakeFiles/dav_core.dir/threshold_lut.cpp.o" "gcc" "src/core/CMakeFiles/dav_core.dir/threshold_lut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agent/CMakeFiles/dav_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/dav_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/dav_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dav_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_core.dir/ads_system.cpp.o"
+  "CMakeFiles/dav_core.dir/ads_system.cpp.o.d"
+  "CMakeFiles/dav_core.dir/detector.cpp.o"
+  "CMakeFiles/dav_core.dir/detector.cpp.o.d"
+  "CMakeFiles/dav_core.dir/divergence.cpp.o"
+  "CMakeFiles/dav_core.dir/divergence.cpp.o.d"
+  "CMakeFiles/dav_core.dir/threshold_lut.cpp.o"
+  "CMakeFiles/dav_core.dir/threshold_lut.cpp.o.d"
+  "libdav_core.a"
+  "libdav_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

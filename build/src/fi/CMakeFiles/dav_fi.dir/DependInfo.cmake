@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fi/fault_model.cpp" "src/fi/CMakeFiles/dav_fi.dir/fault_model.cpp.o" "gcc" "src/fi/CMakeFiles/dav_fi.dir/fault_model.cpp.o.d"
+  "/root/repo/src/fi/opcodes.cpp" "src/fi/CMakeFiles/dav_fi.dir/opcodes.cpp.o" "gcc" "src/fi/CMakeFiles/dav_fi.dir/opcodes.cpp.o.d"
+  "/root/repo/src/fi/plan_generator.cpp" "src/fi/CMakeFiles/dav_fi.dir/plan_generator.cpp.o" "gcc" "src/fi/CMakeFiles/dav_fi.dir/plan_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_fi.dir/fault_model.cpp.o"
+  "CMakeFiles/dav_fi.dir/fault_model.cpp.o.d"
+  "CMakeFiles/dav_fi.dir/opcodes.cpp.o"
+  "CMakeFiles/dav_fi.dir/opcodes.cpp.o.d"
+  "CMakeFiles/dav_fi.dir/plan_generator.cpp.o"
+  "CMakeFiles/dav_fi.dir/plan_generator.cpp.o.d"
+  "libdav_fi.a"
+  "libdav_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/camera.cpp" "src/sensors/CMakeFiles/dav_sensors.dir/camera.cpp.o" "gcc" "src/sensors/CMakeFiles/dav_sensors.dir/camera.cpp.o.d"
+  "/root/repo/src/sensors/diversity.cpp" "src/sensors/CMakeFiles/dav_sensors.dir/diversity.cpp.o" "gcc" "src/sensors/CMakeFiles/dav_sensors.dir/diversity.cpp.o.d"
+  "/root/repo/src/sensors/inertial.cpp" "src/sensors/CMakeFiles/dav_sensors.dir/inertial.cpp.o" "gcc" "src/sensors/CMakeFiles/dav_sensors.dir/inertial.cpp.o.d"
+  "/root/repo/src/sensors/kitti_synth.cpp" "src/sensors/CMakeFiles/dav_sensors.dir/kitti_synth.cpp.o" "gcc" "src/sensors/CMakeFiles/dav_sensors.dir/kitti_synth.cpp.o.d"
+  "/root/repo/src/sensors/ppm.cpp" "src/sensors/CMakeFiles/dav_sensors.dir/ppm.cpp.o" "gcc" "src/sensors/CMakeFiles/dav_sensors.dir/ppm.cpp.o.d"
+  "/root/repo/src/sensors/sensor_rig.cpp" "src/sensors/CMakeFiles/dav_sensors.dir/sensor_rig.cpp.o" "gcc" "src/sensors/CMakeFiles/dav_sensors.dir/sensor_rig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dav_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_sensors.dir/camera.cpp.o"
+  "CMakeFiles/dav_sensors.dir/camera.cpp.o.d"
+  "CMakeFiles/dav_sensors.dir/diversity.cpp.o"
+  "CMakeFiles/dav_sensors.dir/diversity.cpp.o.d"
+  "CMakeFiles/dav_sensors.dir/inertial.cpp.o"
+  "CMakeFiles/dav_sensors.dir/inertial.cpp.o.d"
+  "CMakeFiles/dav_sensors.dir/kitti_synth.cpp.o"
+  "CMakeFiles/dav_sensors.dir/kitti_synth.cpp.o.d"
+  "CMakeFiles/dav_sensors.dir/ppm.cpp.o"
+  "CMakeFiles/dav_sensors.dir/ppm.cpp.o.d"
+  "CMakeFiles/dav_sensors.dir/sensor_rig.cpp.o"
+  "CMakeFiles/dav_sensors.dir/sensor_rig.cpp.o.d"
+  "libdav_sensors.a"
+  "libdav_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

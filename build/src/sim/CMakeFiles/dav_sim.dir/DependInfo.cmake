@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/npc.cpp" "src/sim/CMakeFiles/dav_sim.dir/npc.cpp.o" "gcc" "src/sim/CMakeFiles/dav_sim.dir/npc.cpp.o.d"
+  "/root/repo/src/sim/road.cpp" "src/sim/CMakeFiles/dav_sim.dir/road.cpp.o" "gcc" "src/sim/CMakeFiles/dav_sim.dir/road.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/dav_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/dav_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/sim/CMakeFiles/dav_sim.dir/trajectory.cpp.o" "gcc" "src/sim/CMakeFiles/dav_sim.dir/trajectory.cpp.o.d"
+  "/root/repo/src/sim/vehicle.cpp" "src/sim/CMakeFiles/dav_sim.dir/vehicle.cpp.o" "gcc" "src/sim/CMakeFiles/dav_sim.dir/vehicle.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/dav_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/dav_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

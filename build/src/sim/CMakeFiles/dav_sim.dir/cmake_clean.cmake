@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_sim.dir/npc.cpp.o"
+  "CMakeFiles/dav_sim.dir/npc.cpp.o.d"
+  "CMakeFiles/dav_sim.dir/road.cpp.o"
+  "CMakeFiles/dav_sim.dir/road.cpp.o.d"
+  "CMakeFiles/dav_sim.dir/scenario.cpp.o"
+  "CMakeFiles/dav_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/dav_sim.dir/trajectory.cpp.o"
+  "CMakeFiles/dav_sim.dir/trajectory.cpp.o.d"
+  "CMakeFiles/dav_sim.dir/vehicle.cpp.o"
+  "CMakeFiles/dav_sim.dir/vehicle.cpp.o.d"
+  "CMakeFiles/dav_sim.dir/world.cpp.o"
+  "CMakeFiles/dav_sim.dir/world.cpp.o.d"
+  "libdav_sim.a"
+  "libdav_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_uav.dir/uav.cpp.o"
+  "CMakeFiles/dav_uav.dir/uav.cpp.o.d"
+  "libdav_uav.a"
+  "libdav_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dav_uav.
+# This may be replaced when dependencies are built.

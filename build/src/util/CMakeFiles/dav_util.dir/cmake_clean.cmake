@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_util.dir/csv.cpp.o"
+  "CMakeFiles/dav_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dav_util.dir/geometry.cpp.o"
+  "CMakeFiles/dav_util.dir/geometry.cpp.o.d"
+  "CMakeFiles/dav_util.dir/stats.cpp.o"
+  "CMakeFiles/dav_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dav_util.dir/text_report.cpp.o"
+  "CMakeFiles/dav_util.dir/text_report.cpp.o.d"
+  "libdav_util.a"
+  "libdav_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ads_system.cpp" "tests/CMakeFiles/dav_tests.dir/test_ads_system.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_ads_system.cpp.o.d"
+  "/root/repo/tests/test_agent.cpp" "tests/CMakeFiles/dav_tests.dir/test_agent.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_agent.cpp.o.d"
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/dav_tests.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_calc_warmup.cpp" "tests/CMakeFiles/dav_tests.dir/test_calc_warmup.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_calc_warmup.cpp.o.d"
+  "/root/repo/tests/test_camera.cpp" "tests/CMakeFiles/dav_tests.dir/test_camera.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_camera.cpp.o.d"
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/dav_tests.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_control.cpp" "tests/CMakeFiles/dav_tests.dir/test_control.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_control.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/dav_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/dav_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_divergence_mechanism.cpp" "tests/CMakeFiles/dav_tests.dir/test_divergence_mechanism.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_divergence_mechanism.cpp.o.d"
+  "/root/repo/tests/test_diversity.cpp" "tests/CMakeFiles/dav_tests.dir/test_diversity.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_diversity.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/dav_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/dav_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/dav_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_inertial.cpp" "tests/CMakeFiles/dav_tests.dir/test_inertial.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_inertial.cpp.o.d"
+  "/root/repo/tests/test_integration_golden.cpp" "tests/CMakeFiles/dav_tests.dir/test_integration_golden.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_integration_golden.cpp.o.d"
+  "/root/repo/tests/test_kitti_synth.cpp" "tests/CMakeFiles/dav_tests.dir/test_kitti_synth.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_kitti_synth.cpp.o.d"
+  "/root/repo/tests/test_npc.cpp" "tests/CMakeFiles/dav_tests.dir/test_npc.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_npc.cpp.o.d"
+  "/root/repo/tests/test_opcodes.cpp" "tests/CMakeFiles/dav_tests.dir/test_opcodes.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_opcodes.cpp.o.d"
+  "/root/repo/tests/test_perception.cpp" "tests/CMakeFiles/dav_tests.dir/test_perception.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_perception.cpp.o.d"
+  "/root/repo/tests/test_plan_generator.cpp" "tests/CMakeFiles/dav_tests.dir/test_plan_generator.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_plan_generator.cpp.o.d"
+  "/root/repo/tests/test_platform_monitors.cpp" "tests/CMakeFiles/dav_tests.dir/test_platform_monitors.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_platform_monitors.cpp.o.d"
+  "/root/repo/tests/test_ppm_and_edges.cpp" "tests/CMakeFiles/dav_tests.dir/test_ppm_and_edges.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_ppm_and_edges.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dav_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/dav_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_road.cpp" "tests/CMakeFiles/dav_tests.dir/test_road.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_road.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/dav_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_sensor_rig.cpp" "tests/CMakeFiles/dav_tests.dir/test_sensor_rig.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_sensor_rig.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/dav_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/dav_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_text_report.cpp" "tests/CMakeFiles/dav_tests.dir/test_text_report.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_text_report.cpp.o.d"
+  "/root/repo/tests/test_trajectory.cpp" "tests/CMakeFiles/dav_tests.dir/test_trajectory.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_trajectory.cpp.o.d"
+  "/root/repo/tests/test_uav.cpp" "tests/CMakeFiles/dav_tests.dir/test_uav.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_uav.cpp.o.d"
+  "/root/repo/tests/test_vec2.cpp" "tests/CMakeFiles/dav_tests.dir/test_vec2.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_vec2.cpp.o.d"
+  "/root/repo/tests/test_vehicle.cpp" "tests/CMakeFiles/dav_tests.dir/test_vehicle.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_vehicle.cpp.o.d"
+  "/root/repo/tests/test_waypoint_head.cpp" "tests/CMakeFiles/dav_tests.dir/test_waypoint_head.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_waypoint_head.cpp.o.d"
+  "/root/repo/tests/test_world.cpp" "tests/CMakeFiles/dav_tests.dir/test_world.cpp.o" "gcc" "tests/CMakeFiles/dav_tests.dir/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/campaign/CMakeFiles/dav_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dav_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/dav_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/dav_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/dav_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dav_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/dav_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
