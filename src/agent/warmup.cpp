@@ -95,7 +95,9 @@ float gpu_isa_warmup(GpuEngine& eng, float seed) {
   eng.bulk(GpuOpcode::kShflIdx, 2);
   eng.mark(GpuOpcode::kBra);
   eng.mark(GpuOpcode::kBar);
-  if (expected == 0.0f) return 1.0f;
+  // Exact zero is a sentinel for "no instructions expected", never a
+  // computed value.
+  if (expected == 0.0f) return 1.0f;  // davlint: allow(float-eq)
   return instrumented / expected;
 }
 
@@ -125,7 +127,9 @@ double cpu_isa_warmup(CpuEngine& eng, double seed) {
   eng.mark(CpuOpcode::kRet);
   eng.mark(CpuOpcode::kLoopCnt);
   eng.mark(CpuOpcode::kSwitch);
-  if (expected == 0.0) return 1.0;
+  // Exact zero is a sentinel for "no instructions expected", never a
+  // computed value.
+  if (expected == 0.0) return 1.0;  // davlint: allow(float-eq)
   return instrumented / expected;
 }
 

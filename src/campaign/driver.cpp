@@ -14,7 +14,7 @@ bool actuation_finite(const Actuation& cmd) {
          std::isfinite(cmd.steer);
 }
 
-AgentConfig make_agent_config(const RunConfig& cfg, const Scenario& scenario,
+AgentConfig make_agent_config(const Scenario& scenario,
                               const CameraModel& center_cam) {
   AgentConfig ac;
   ac.perception.center_cam = center_cam;
@@ -54,7 +54,7 @@ RunResult run_experiment(const RunConfig& cfg) {
 
   const bool duplicate = cfg.mode == AgentMode::kDuplicate;
   AdsSystem ads(cfg.mode,
-                make_agent_config(cfg, world.scenario(), rig_models[1]), gpu0,
+                make_agent_config(world.scenario(), rig_models[1]), gpu0,
                 cpu0, duplicate ? &gpu1 : nullptr,
                 duplicate ? &cpu1 : nullptr, &world.map(), cfg.overlap_ratio);
 

@@ -32,7 +32,11 @@ struct FaultPlan {
   int bit = 0;
 
   bool active() const { return kind != FaultModelKind::kNone; }
-  std::uint32_t mask() const { return 1u << bit; }
+  /// Out-of-range bit positions yield an empty mask (no corruption) instead
+  /// of an out-of-width shift, which is undefined behavior.
+  std::uint32_t mask() const {
+    return (bit >= 0 && bit < 32) ? (1u << bit) : 0u;
+  }
 };
 
 /// How corruptions of each opcode class manifest, given that a corruption

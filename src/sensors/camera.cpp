@@ -14,13 +14,13 @@ namespace {
 
 /// Point in the camera frame: x forward, y left, z up (meters).
 struct CamPoint {
-  double x, y, z;
+  double x = 0.0, y = 0.0, z = 0.0;
 };
 
 struct Projector {
-  double f, cx, cy;
+  double f = 0.0, cx = 0.0, cy = 0.0;
   Pose2 cam_pose;      // world pose of the camera (pos + yaw)
-  double mount_height;
+  double mount_height = 0.0;
 
   CamPoint to_cam(const Vec2& world, double height_above_ground) const {
     const Vec2 local = cam_pose.to_local(world);

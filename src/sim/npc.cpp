@@ -23,7 +23,9 @@ VehicleState NpcVehicle::state(const RoadMap& map) const {
   st.pose.pos = base + left * lateral_;
   st.pose.yaw = map.route().heading_at(s_);
   // During a lane change the heading tilts toward the lateral motion.
-  if (lane_change_rate_ != 0.0 && v_ > 0.5) {
+  // Rate is assigned exactly 0.0 when no lane change is active, so the
+  // exact compare is a state flag, not arithmetic.
+  if (lane_change_rate_ != 0.0 && v_ > 0.5) {  // davlint: allow(float-eq)
     st.pose.yaw = wrap_angle(st.pose.yaw + std::atan2(lane_change_rate_, v_));
   }
   st.v = v_;
@@ -99,7 +101,7 @@ void NpcVehicle::step(double t, double dt, double lead_gap, double lead_speed,
   if (lateral_ != target_lateral_) {
     const double step = lane_change_rate_ * dt;
     if (std::abs(target_lateral_ - lateral_) <= std::abs(step) ||
-        lane_change_rate_ == 0.0) {
+        lane_change_rate_ == 0.0) {  // exact-0.0 state flag, see above. davlint: allow(float-eq)
       lateral_ = target_lateral_;
       lane_change_rate_ = 0.0;
     } else {

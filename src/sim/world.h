@@ -60,10 +60,10 @@ class World {
 
  private:
   struct Actor {
-    double s;
-    double lateral;
-    double speed;
-    double half_length;
+    double s = 0.0;
+    double lateral = 0.0;
+    double speed = 0.0;
+    double half_length = 0.0;
   };
 
   void step_npcs(double dt);

@@ -22,7 +22,9 @@ UavState step_uav(const UavState& s, const UavCommand& cmd_in,
   n.vz = s.vz + az * dt;
   n.vx = s.vx + ax * dt;
   n.z = std::max(0.0, s.z + 0.5 * (s.vz + n.vz) * dt);
-  if (n.z == 0.0 && n.vz < 0.0) n.vz = 0.0;  // on the ground
+  // z is clamped to exactly 0.0 by the std::max above, so the compare is
+  // a ground-contact flag, not arithmetic.
+  if (n.z == 0.0 && n.vz < 0.0) n.vz = 0.0;  // on the ground. davlint: allow(float-eq)
   n.x = s.x + 0.5 * (s.vx + n.vx) * dt;
   return n;
 }

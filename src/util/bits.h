@@ -7,6 +7,14 @@
 
 namespace dav {
 
+/// Rotate left, well-defined for any k (including 0 and multiples of 64,
+/// where the naive `x >> (64 - k)` formulation shifts by 64 — UB).
+inline std::uint64_t rotl64(std::uint64_t x, int k) {
+  const unsigned s = static_cast<unsigned>(k) & 63u;
+  if (s == 0) return x;
+  return (x << s) | (x >> (64u - s));
+}
+
 /// Number of differing bits between two bytes.
 inline int bit_diff(std::uint8_t a, std::uint8_t b) {
   return std::popcount(static_cast<unsigned>(a ^ b));

@@ -51,7 +51,9 @@ bool obb_intersect(const Obb& a, const Obb& b) {
 double point_segment_distance(const Vec2& p, const Vec2& a, const Vec2& b) {
   const Vec2 ab = b - a;
   const double len_sq = ab.norm_sq();
-  if (len_sq == 0.0) return distance(p, a);
+  // Degenerate-segment guard: only an exactly-zero length divides by zero
+  // below, so the exact compare is correct.
+  if (len_sq == 0.0) return distance(p, a);  // davlint: allow(float-eq)
   const double t = clamp((p - a).dot(ab) / len_sq, 0.0, 1.0);
   return distance(p, a + ab * t);
 }

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/bits.h"
+
 namespace dav {
 
 /// splitmix64 step; used for seeding and for deriving child seeds.
@@ -36,14 +38,14 @@ class Rng {
   }
 
   result_type operator()() {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
     state_[3] ^= state_[1];
     state_[1] ^= state_[2];
     state_[0] ^= state_[3];
     state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
+    state_[3] = rotl64(state_[3], 45);
     return result;
   }
 
@@ -84,9 +86,6 @@ class Rng {
   bool bernoulli(double p) { return uniform() < p; }
 
  private:
-  static std::uint64_t rotl(std::uint64_t x, int k) {
-    return (x << k) | (x >> (64 - k));
-  }
   std::uint64_t state_[4];
 };
 

@@ -7,6 +7,21 @@
 namespace dav {
 namespace {
 
+TEST(Rotl64, ZeroAndFullRotationAreIdentity) {
+  // Regression: the previous formulation `x >> (64 - k)` shifted by 64 when
+  // k == 0, which is undefined behavior (caught by the UBSan hardening pass).
+  const std::uint64_t x = 0x0123456789ABCDEFULL;
+  EXPECT_EQ(rotl64(x, 0), x);
+  EXPECT_EQ(rotl64(x, 64), x);
+  EXPECT_EQ(rotl64(x, 128), x);
+}
+
+TEST(Rotl64, RotatesBits) {
+  EXPECT_EQ(rotl64(1ULL, 1), 2ULL);
+  EXPECT_EQ(rotl64(1ULL << 63, 1), 1ULL);
+  EXPECT_EQ(rotl64(0x8000000000000001ULL, 4), 0x0000000000000018ULL);
+}
+
 TEST(BitDiff, Bytes) {
   EXPECT_EQ(bit_diff(std::uint8_t{0x00}, std::uint8_t{0x00}), 0);
   EXPECT_EQ(bit_diff(std::uint8_t{0xFF}, std::uint8_t{0x00}), 8);

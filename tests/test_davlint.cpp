@@ -1,0 +1,356 @@
+// End-to-end tests for tools/davlint: every rule gets a positive-hit
+// fixture, a suppressed-hit fixture and a clean fixture, written to a temp
+// directory and scanned by the real binary (DAVLINT_BIN, injected by CMake).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef DAVLINT_BIN
+#error "DAVLINT_BIN must point at the davlint executable"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+class DavlintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("davlint_" + std::string(::testing::UnitTest::GetInstance()
+                                         ->current_test_info()
+                                         ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write_fixture(const std::string& name, const std::string& body) {
+    const fs::path p = dir_ / name;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << body;
+    return p;
+  }
+
+  LintResult run(const std::string& args) {
+    const fs::path out = dir_ / "lint_output.txt";
+    const std::string cmd =
+        std::string(DAVLINT_BIN) + " " + args + " > " + out.string() + " 2>&1";
+    const int raw = std::system(cmd.c_str());
+    LintResult r;
+    r.exit_code = WEXITSTATUS(raw);
+    std::ifstream in(out);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    r.output = ss.str();
+    return r;
+  }
+
+  LintResult run_on(const fs::path& target) { return run(target.string()); }
+
+  fs::path dir_;
+};
+
+TEST_F(DavlintTest, CleanFileExitsZero) {
+  const auto p = write_fixture("clean.cpp",
+                               "#include <cstdint>\n"
+                               "int add(int a, int b) { return a + b; }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST_F(DavlintTest, MissingPathExitsTwo) {
+  const auto r = run((dir_ / "does_not_exist").string());
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(DavlintTest, ListRulesNamesEveryRule) {
+  const auto r = run("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule : {"rand", "random-device", "wall-clock",
+                           "unordered-iter", "float-eq", "uninit-pod"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+// ---- rand ----
+
+TEST_F(DavlintTest, RandPositive) {
+  const auto p =
+      write_fixture("r.cpp", "#include <cstdlib>\nint f() { return rand(); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("r.cpp:2: [rand]"), std::string::npos) << r.output;
+}
+
+TEST_F(DavlintTest, RandSuppressed) {
+  const auto p = write_fixture(
+      "r.cpp",
+      "#include <cstdlib>\n"
+      "int f() { return rand(); }  // test fixture. davlint: allow(rand)\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(DavlintTest, RandCleanOnMemberAndSuffix) {
+  const auto p = write_fixture("r.cpp",
+                               "struct G { int rand() { return 4; } };\n"
+                               "int f(G& g) { return g.rand(); }\n"
+                               "int operand(int x) { return x; }\n"
+                               "int g2() { return operand(1); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- random-device ----
+
+TEST_F(DavlintTest, RandomDevicePositive) {
+  const auto p = write_fixture("rd.cpp",
+                               "#include <random>\n"
+                               "unsigned f() { std::random_device rd; "
+                               "return rd(); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("rd.cpp:2: [random-device]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(DavlintTest, RandomDeviceSuppressed) {
+  const auto p = write_fixture(
+      "rd.cpp",
+      "#include <random>\n"
+      "unsigned f() { std::random_device rd; return rd(); }  "
+      "// fixture. davlint: allow(random-device)\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- wall-clock ----
+
+TEST_F(DavlintTest, WallClockPositive) {
+  const auto p = write_fixture("wc.cpp",
+                               "#include <ctime>\n"
+                               "long f() { return time(nullptr); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("wc.cpp:2: [wall-clock]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(DavlintTest, WallClockSystemClockPositive) {
+  const auto p = write_fixture(
+      "wc.cpp", "#include <chrono>\n"
+                "auto f() { return std::chrono::system_clock::now(); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+}
+
+TEST_F(DavlintTest, WallClockMemberCallClean) {
+  const auto p = write_fixture("wc.cpp",
+                               "struct World { double time() const; };\n"
+                               "double f(const World& w) { return w.time(); }\n"
+                               "double g(const World* w) { return w->time(); }\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+TEST_F(DavlintTest, WallClockExemptInMetricsLayer) {
+  const auto p = write_fixture("campaign/metrics_helper.cpp",
+                               "#include <ctime>\n"
+                               "long f() { return time(nullptr); }\n");
+  // The file lives under a campaign/metrics path, so wall-clock reads are
+  // allowed (real elapsed-time reporting, paper Table 2).
+  const auto r = run_on(dir_ / "campaign");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(DavlintTest, WallClockSuppressed) {
+  const auto p = write_fixture(
+      "wc.cpp",
+      "#include <ctime>\n"
+      "long f() { return time(nullptr); }  // fixture. davlint: allow(wall-clock)\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- unordered-iter ----
+
+TEST_F(DavlintTest, UnorderedIterPositive) {
+  const auto p = write_fixture(
+      "ui.cpp",
+      "#include <unordered_map>\n"
+      "int f() {\n"
+      "  std::unordered_map<int, int> counts;\n"
+      "  int sum = 0;\n"
+      "  for (const auto& kv : counts) sum += kv.second;\n"
+      "  return sum;\n"
+      "}\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("ui.cpp:5: [unordered-iter]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(DavlintTest, UnorderedIterSuppressed) {
+  const auto p = write_fixture(
+      "ui.cpp",
+      "#include <unordered_map>\n"
+      "int f() {\n"
+      "  std::unordered_map<int, int> counts;\n"
+      "  int sum = 0;\n"
+      "  // Summation is order-independent:\n"
+      "  for (const auto& kv : counts) sum += kv.second;  // davlint: allow(unordered-iter)\n"
+      "  return sum;\n"
+      "}\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+TEST_F(DavlintTest, OrderedMapIterClean) {
+  const auto p = write_fixture("ui.cpp",
+                               "#include <map>\n"
+                               "int f() {\n"
+                               "  std::map<int, int> counts;\n"
+                               "  int sum = 0;\n"
+                               "  for (const auto& kv : counts) sum += kv.second;\n"
+                               "  return sum;\n"
+                               "}\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- float-eq ----
+
+TEST_F(DavlintTest, FloatEqPositive) {
+  const auto p = write_fixture("fe.cpp",
+                               "bool f(double x) { return x == 1.5; }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("fe.cpp:1: [float-eq]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(DavlintTest, FloatNeqLiteralOnLeftPositive) {
+  const auto p = write_fixture("fe.cpp",
+                               "bool f(float x) { return 0.0f != x; }\n");
+  EXPECT_EQ(run_on(p).exit_code, 1);
+}
+
+TEST_F(DavlintTest, FloatEqSuppressed) {
+  const auto p = write_fixture(
+      "fe.cpp",
+      "bool f(double x) { return x == 1.5; }  // sentinel. davlint: allow(float-eq)\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+TEST_F(DavlintTest, IntegerEqClean) {
+  const auto p = write_fixture("fe.cpp",
+                               "bool f(int x) { return x == 15; }\n"
+                               "bool g(double x) { return x <= 1.5; }\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- uninit-pod ----
+
+TEST_F(DavlintTest, UninitPodPositive) {
+  const auto p = write_fixture("up.h",
+                               "struct State {\n"
+                               "  double v;\n"
+                               "  int steps;\n"
+                               "};\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("up.h:2: [uninit-pod]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("up.h:3: [uninit-pod]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(DavlintTest, UninitPodSuppressed) {
+  const auto p = write_fixture(
+      "up.h",
+      "struct State {\n"
+      "  double v;  // set by ctor of owner. davlint: allow(uninit-pod)\n"
+      "};\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+TEST_F(DavlintTest, InitializedPodClean) {
+  const auto p = write_fixture("up.h",
+                               "struct State {\n"
+                               "  double v = 0.0;\n"
+                               "  int steps{0};\n"
+                               "  static int shared;\n"
+                               "  int describe() const;\n"
+                               "};\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(DavlintTest, ClassMembersExemptFromUninitPod) {
+  // Classes are assumed to initialize members in constructors; the rule
+  // targets aggregate structs whose indeterminate bytes leak into traces.
+  const auto p = write_fixture("up.h",
+                               "class Engine {\n"
+                               " public:\n"
+                               "  explicit Engine(int n);\n"
+                               " private:\n"
+                               "  int n_;\n"
+                               "};\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- CLI behaviour ----
+
+TEST_F(DavlintTest, RulesFilterRestrictsChecks) {
+  const auto p = write_fixture("multi.cpp",
+                               "#include <cstdlib>\n"
+                               "int f() { return rand(); }\n"
+                               "bool g(double x) { return x == 1.5; }\n");
+  const auto all = run_on(p);
+  EXPECT_EQ(all.exit_code, 1);
+  EXPECT_NE(all.output.find("[rand]"), std::string::npos);
+  EXPECT_NE(all.output.find("[float-eq]"), std::string::npos);
+
+  const auto only_rand = run("--rules=rand " + p.string());
+  EXPECT_EQ(only_rand.exit_code, 1);
+  EXPECT_NE(only_rand.output.find("[rand]"), std::string::npos);
+  EXPECT_EQ(only_rand.output.find("[float-eq]"), std::string::npos)
+      << only_rand.output;
+}
+
+TEST_F(DavlintTest, UnknownRuleExitsTwo) {
+  EXPECT_EQ(run("--rules=nonsense " + dir_.string()).exit_code, 2);
+}
+
+TEST_F(DavlintTest, CommentsAndStringsAreIgnored) {
+  const auto p = write_fixture(
+      "noise.cpp",
+      "// rand() in a comment is fine\n"
+      "/* so is time(nullptr) in a block\n"
+      "   spanning lines with rand() */\n"
+      "const char* kMsg = \"rand() and time(nullptr) in a string\";\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(DavlintTest, DirectoryScanAggregatesFindings) {
+  write_fixture("a/one.cpp", "#include <cstdlib>\nint f() { return rand(); }\n");
+  write_fixture("a/two.cpp", "bool g(double x) { return x == 2.5; }\n");
+  write_fixture("a/README.md", "rand() in docs is not scanned\n");
+  const auto r = run_on(dir_ / "a");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("one.cpp:2: [rand]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("two.cpp:1: [float-eq]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("2 findings"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -46,6 +46,24 @@ CrashHangModel always_hang() {
   return m;
 }
 
+TEST(FaultPlanMask, InRangeBitsSetExactlyOneBit) {
+  FaultPlan plan;
+  plan.bit = 0;
+  EXPECT_EQ(plan.mask(), 1u);
+  plan.bit = 31;
+  EXPECT_EQ(plan.mask(), 0x80000000u);
+}
+
+TEST(FaultPlanMask, OutOfRangeBitsYieldEmptyMask) {
+  // Regression: `1u << bit` with bit >= 32 (or negative) is undefined
+  // behavior; out-of-range plans must degrade to a no-op corruption mask.
+  FaultPlan plan;
+  plan.bit = 32;
+  EXPECT_EQ(plan.mask(), 0u);
+  plan.bit = -1;
+  EXPECT_EQ(plan.mask(), 0u);
+}
+
 TEST(Engine, CleanExecIsIdentityAndCounts) {
   GpuEngine eng;
   eng.configure({}, 0);

@@ -51,9 +51,9 @@ std::vector<Case> all_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     AllScenariosAllModes, GoldenRunTest, ::testing::ValuesIn(all_cases()),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      std::string name = to_string(info.param.scenario) + "_" +
-                         to_string(info.param.mode);
+    [](const ::testing::TestParamInfo<Case>& pinfo) {
+      std::string name = to_string(pinfo.param.scenario) + "_" +
+                         to_string(pinfo.param.mode);
       for (char& ch : name) {
         if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
       }
