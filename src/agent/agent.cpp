@@ -24,6 +24,34 @@ void SensorimotorAgent::reset() {
   steps_ = 0;
 }
 
+AgentSnapshot SensorimotorAgent::snapshot() const {
+  AgentSnapshot s;
+  s.perception = perception_.snapshot();
+  s.planner_progress = planner_.progress();
+  s.control = control_.snapshot();
+  s.steps = steps_;
+  return s;
+}
+
+void SensorimotorAgent::restore(const AgentSnapshot& s) {
+  perception_.restore(s.perception);
+  planner_.restore_progress(s.planner_progress);
+  control_.restore(s.control);
+  steps_ = s.steps;
+}
+
+void SensorimotorAgent::rewarm() {
+  // Seed both warmup kernels from live private state (filter contents and
+  // step parity), not constants: a permanent fault corrupting the warmup
+  // chain then produces agent-dependent garbage, exactly as in the per-frame
+  // housekeeping path.
+  const AgentSnapshot s = snapshot();
+  gpu_isa_warmup(gpu_, static_cast<float>(s.perception.obstacle_ema) +
+                           0.013f * static_cast<float>(steps_));
+  cpu_isa_warmup(cpu_, s.planner_progress + 0.173 * s.control.prev_v_tgt +
+                           0.031 * steps_);
+}
+
 Actuation SensorimotorAgent::act(const SensorFrame& frame, double dt) {
   const double v_meas = frame.gps_imu.speed;
   // Live seed for the CPU housekeeping chain (noisy measurements differ at

@@ -23,6 +23,18 @@ struct AgentConfig {
   double route_start_s = 0.0;   // initial localization along the route
 };
 
+/// Full private state of a Sensorimotor agent (perception filters, planner
+/// progress, tracker/PID state). Captured from the healthy replica and
+/// restored into a freshly constructed one during fault recovery, so the
+/// restarted agent rejoins with semantically consistent state instead of
+/// cold-start transients (which would look like divergence to the detector).
+struct AgentSnapshot {
+  PerceptionSnapshot perception;
+  double planner_progress = 0.0;
+  ControlSnapshot control;
+  int steps = 0;
+};
+
 class SensorimotorAgent {
  public:
   /// The engines are the (possibly shared) compute fabric: DiverseAV
@@ -37,6 +49,18 @@ class SensorimotorAgent {
   Actuation act(const SensorFrame& frame, double dt);
 
   void reset();
+
+  /// Capture / adopt the agent's private state (fault-recovery resync).
+  AgentSnapshot snapshot() const;
+  void restore(const AgentSnapshot& s);
+
+  /// Re-run the per-ISA warmup kernels once, seeded from live state. Called
+  /// after a fault-recovery restart: it re-establishes the housekeeping
+  /// pipeline and — crucially — gives a permanent fault an immediate chance
+  /// to re-manifest (CrashError/HangError propagate), which is how the
+  /// recovery manager distinguishes transient from permanent faults.
+  void rewarm();
+
   const std::string& name() const { return name_; }
   const PerceptionOutput& last_perception() const { return last_perception_; }
   const Waypoints& last_waypoints() const { return last_waypoints_; }

@@ -51,6 +51,28 @@ void ControlUnit::reset() {
   stopped_ = false;
 }
 
+ControlSnapshot ControlUnit::snapshot() const {
+  ControlSnapshot s;
+  s.integral = integral_;
+  s.steer_ema = steer_ema_;
+  s.throttle_ema = throttle_ema_;
+  s.brake_ema = brake_ema_;
+  s.prev_v_tgt = prev_v_tgt_;
+  s.first_step = first_step_;
+  s.stopped = stopped_;
+  return s;
+}
+
+void ControlUnit::restore(const ControlSnapshot& s) {
+  integral_ = s.integral;
+  steer_ema_ = s.steer_ema;
+  throttle_ema_ = s.throttle_ema;
+  brake_ema_ = s.brake_ema;
+  prev_v_tgt_ = s.prev_v_tgt;
+  first_step_ = s.first_step;
+  stopped_ = s.stopped;
+}
+
 Actuation ControlUnit::act(const Waypoints& wps, double v_meas, double dt,
                            double cpu_gain) {
   CpuCalc c(eng_);

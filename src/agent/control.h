@@ -26,6 +26,8 @@ class RoutePlanner {
   double plan_cruise(double v_meas, double dt);
   void reset(double s0);
   double progress() const { return s_est_; }
+  /// Resync hook: adopt the dead-reckoned progress of the healthy replica.
+  void restore_progress(double s) { s_est_ = s; }
 
  private:
   CpuEngine& eng_;
@@ -48,6 +50,18 @@ struct ControlConfig {
   double wp_dt = 0.5;          // must match WaypointHeadConfig::wp_dt
 };
 
+/// The persistent tracker/PID state of one ControlUnit — everything a
+/// restarted replica needs to resynchronize from its healthy peer.
+struct ControlSnapshot {
+  double integral = 0.0;
+  double steer_ema = 0.0;
+  double throttle_ema = 0.0;
+  double brake_ema = 0.0;
+  double prev_v_tgt = 0.0;
+  bool first_step = true;
+  bool stopped = false;
+};
+
 /// Waypoint tracker + PID: decodes target speed from waypoint spacing, runs a
 /// PI speed loop and pure-pursuit steering on the chosen waypoint.
 class ControlUnit {
@@ -57,6 +71,8 @@ class ControlUnit {
   Actuation act(const Waypoints& wps, double v_meas, double dt,
                 double cpu_gain);
   void reset();
+  ControlSnapshot snapshot() const;
+  void restore(const ControlSnapshot& s);
   std::size_t state_bytes() const { return sizeof(*this); }
 
  private:

@@ -20,6 +20,26 @@ void Perception::reset() {
   ema_init_ = false;
 }
 
+PerceptionSnapshot Perception::snapshot() const {
+  PerceptionSnapshot s;
+  s.lane_offset_ema = lane_offset_ema_;
+  s.heading_ema = heading_ema_;
+  s.obstacle_ema = obstacle_ema_;
+  for (int i = 0; i < 3; ++i) s.obstacle_hist[i] = obstacle_hist_[i];
+  s.hist_idx = hist_idx_;
+  s.ema_init = ema_init_;
+  return s;
+}
+
+void Perception::restore(const PerceptionSnapshot& s) {
+  lane_offset_ema_ = s.lane_offset_ema;
+  heading_ema_ = s.heading_ema;
+  obstacle_ema_ = s.obstacle_ema;
+  for (int i = 0; i < 3; ++i) obstacle_hist_[i] = s.obstacle_hist[i];
+  hist_idx_ = s.hist_idx;
+  ema_init_ = s.ema_init;
+}
+
 std::size_t Perception::state_bytes() const {
   return sizeof(*this) + scratch_bytes_;
 }

@@ -60,6 +60,17 @@ struct PerceptionOutput {
   std::array<float, 8> features{};
 };
 
+/// The persistent filter state of one Perception instance — everything a
+/// restarted replica needs to resynchronize from its healthy peer.
+struct PerceptionSnapshot {
+  float lane_offset_ema = 0.0f;
+  float heading_ema = 0.0f;
+  float obstacle_ema = 200.0f;
+  float obstacle_hist[3] = {200.0f, 200.0f, 200.0f};
+  int hist_idx = 0;
+  bool ema_init = false;
+};
+
 class Perception {
  public:
   Perception(GpuEngine& eng, PerceptionConfig cfg);
@@ -68,6 +79,8 @@ class Perception {
   PerceptionOutput process(const std::vector<Image>& cams);
 
   void reset();
+  PerceptionSnapshot snapshot() const;
+  void restore(const PerceptionSnapshot& s);
   /// Bytes of persistent state + scratch tensors (resource accounting).
   std::size_t state_bytes() const;
 

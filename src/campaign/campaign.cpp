@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.h"
 
@@ -24,8 +26,51 @@ CampaignScale CampaignScale::from_env() {
   return s;
 }
 
+void CampaignScale::validate() const {
+  const auto positive = [](const char* name, double v) {
+    if (v > 0.0) return;
+    throw std::invalid_argument(std::string("CampaignScale: ") + name +
+                                " must be positive, got " +
+                                std::to_string(v));
+  };
+  positive("transient_runs", transient_runs);
+  positive("permanent_repeats", permanent_repeats);
+  positive("golden_runs", golden_runs);
+  positive("training_runs_per_scenario", training_runs_per_scenario);
+  positive("safety_duration_sec", safety_duration_sec);
+  positive("long_route_duration_sec", long_route_duration_sec);
+}
+
 CampaignManager::CampaignManager(CampaignScale scale, std::uint64_t seed)
-    : scale_(scale), seed_(seed) {}
+    : scale_(scale), seed_(seed) {
+  scale_.validate();
+}
+
+RunResult CampaignManager::run_supervised(const RunConfig& cfg) {
+  try {
+    return run_experiment(cfg);
+  } catch (const std::exception& e) {
+    // Quarantine the run (offending seed + plan) and keep the sweep alive —
+    // one pathological configuration must not abort a week-long campaign.
+    quarantined_.push_back(Quarantine{cfg, e.what()});
+    RunResult r;
+    r.scenario = cfg.scenario;
+    r.mode = cfg.mode;
+    r.fault = cfg.fault;
+    r.run_seed = cfg.run_seed;
+    r.dt = cfg.dt;
+    r.outcome = FaultOutcome::kHarnessError;
+    return r;
+  }
+}
+
+std::vector<RunResult> CampaignManager::run_all(
+    const std::vector<RunConfig>& cfgs) {
+  std::vector<RunResult> out;
+  out.reserve(cfgs.size());
+  for (const RunConfig& cfg : cfgs) out.push_back(run_supervised(cfg));
+  return out;
+}
 
 std::uint64_t CampaignManager::run_seed(ScenarioId scenario, AgentMode mode,
                                         int domain_tag, int kind_tag,
@@ -55,7 +100,7 @@ std::vector<RunResult> CampaignManager::golden(ScenarioId scenario,
   for (int i = 0; i < count; ++i) {
     RunConfig cfg = base_config(scenario, mode);
     cfg.run_seed = run_seed(scenario, mode, /*domain_tag=*/9, /*kind_tag=*/0, i);
-    out.push_back(run_experiment(cfg));
+    out.push_back(run_supervised(cfg));
   }
   return out;
 }
@@ -75,10 +120,9 @@ ExecutionProfile CampaignManager::profile(ScenarioId scenario, AgentMode mode,
   return p;
 }
 
-std::vector<RunResult> CampaignManager::fi_campaign(ScenarioId scenario,
-                                                    AgentMode mode,
-                                                    FaultDomain domain,
-                                                    FaultModelKind kind) {
+std::vector<RunResult> CampaignManager::fi_campaign(
+    ScenarioId scenario, AgentMode mode, FaultDomain domain,
+    FaultModelKind kind, const MitigationSetup* mitigation) {
   const int domain_tag = domain == FaultDomain::kGpu ? 0 : 1;
   const int kind_tag = kind == FaultModelKind::kTransient ? 1 : 2;
   InjectionPlanGenerator gen(
@@ -103,7 +147,8 @@ std::vector<RunResult> CampaignManager::fi_campaign(ScenarioId scenario,
     cfg.fault = plans[i];
     cfg.run_seed = run_seed(scenario, mode, domain_tag, kind_tag,
                             static_cast<int>(i));
-    out.push_back(run_experiment(cfg));
+    if (mitigation != nullptr) mitigation->apply(cfg);
+    out.push_back(run_supervised(cfg));
   }
   return out;
 }
@@ -115,7 +160,9 @@ CampaignManager::training_observations(AgentMode mode) {
     for (int i = 0; i < scale_.training_runs_per_scenario; ++i) {
       RunConfig cfg = base_config(scenario, mode);
       cfg.run_seed = run_seed(scenario, mode, /*domain_tag=*/7, /*kind_tag=*/0, i);
-      out.push_back(run_experiment(cfg).observations);
+      RunResult r = run_supervised(cfg);
+      if (r.outcome == FaultOutcome::kHarnessError) continue;
+      out.push_back(std::move(r.observations));
     }
   }
   return out;

@@ -1,9 +1,16 @@
 // Campaign Manager (paper Fig 3): reads the experiment configuration,
 // launches the Injection Plan Generator, and drives golden runs, fault
 // injection sweeps and detector training.
+//
+// The manager is crash-proof at campaign scale ("A Case for Bayesian Fault
+// Injection" stresses harness robustness): a run that throws anything other
+// than the in-model CrashError/HangError — bad_alloc, a logic error from a
+// bad configuration — is quarantined as a kHarnessError outcome with its
+// offending seed and plan, and the sweep continues.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "campaign/driver.h"
@@ -26,19 +33,60 @@ struct CampaignScale {
   /// Reads DAV_SCALE (default 1.0) and multiplies the run counts.
   static CampaignScale from_env();
 
+  /// Fail fast on nonsensical sizing (throws std::invalid_argument with an
+  /// actionable message). Called by the CampaignManager constructor.
+  void validate() const;
+
   ScenarioOptions scenario_options() const {
     return {long_route_duration_sec, safety_duration_sec};
   }
 };
 
+/// Optional per-campaign overrides for the mitigation/detection fields of
+/// every generated RunConfig (the sweep structure and seeds are unchanged,
+/// so a safe-stop-only and a restart-recovery campaign are run-for-run
+/// comparable). The LUT, when set, must outlive the campaign calls.
+struct MitigationSetup {
+  MitigationPolicy policy = MitigationPolicy::kSafeStopOnly;
+  const ThresholdLut* online_lut = nullptr;
+  DetectorConfig online_detector;
+  RecoveryConfig recovery;
+
+  void apply(RunConfig& cfg) const {
+    cfg.mitigation = policy;
+    cfg.online_lut = online_lut;
+    cfg.online_detector = online_detector;
+    cfg.recovery = recovery;
+  }
+};
+
 class CampaignManager {
  public:
+  /// Throws std::invalid_argument when `scale` is nonsensical.
   CampaignManager(CampaignScale scale, std::uint64_t seed = 2022);
 
   const CampaignScale& scale() const { return scale_; }
 
   /// Base configuration for one run of `scenario` in `mode`.
   RunConfig base_config(ScenarioId scenario, AgentMode mode) const;
+
+  /// One experiment under the campaign supervisor: CrashError/HangError are
+  /// already converted to DUEs inside run_experiment; anything else that
+  /// escapes (bad_alloc, an invalid configuration) is caught, recorded as a
+  /// quarantined kHarnessError outcome, and the campaign continues.
+  RunResult run_supervised(const RunConfig& cfg);
+
+  /// Supervised batch: one result per config, in order (quarantined runs
+  /// included as kHarnessError placeholders, never dropped).
+  std::vector<RunResult> run_all(const std::vector<RunConfig>& cfgs);
+
+  /// A run the supervisor had to abort, with the offending config (seed and
+  /// fault plan included) and the exception text.
+  struct Quarantine {
+    RunConfig cfg;
+    std::string what;
+  };
+  const std::vector<Quarantine>& quarantined() const { return quarantined_; }
 
   /// Golden (fault-free) runs; run-to-run variation comes from sensor noise.
   std::vector<RunResult> golden(ScenarioId scenario, AgentMode mode,
@@ -51,9 +99,12 @@ class CampaignManager {
   /// One fault-injection campaign: `domain` x `kind` on `scenario` in `mode`.
   /// Transient campaigns sample scale().transient_runs sites uniformly over
   /// the profiled execution; permanent campaigns sweep the full ISA with
-  /// scale().permanent_repeats repeats.
+  /// scale().permanent_repeats repeats. `mitigation`, when non-null, applies
+  /// an online detector + mitigation policy to every run of the sweep.
   std::vector<RunResult> fi_campaign(ScenarioId scenario, AgentMode mode,
-                                     FaultDomain domain, FaultModelKind kind);
+                                     FaultDomain domain, FaultModelKind kind,
+                                     const MitigationSetup* mitigation =
+                                         nullptr);
 
   /// Fault-free observation traces from the three long training scenarios
   /// (input to train_lut; paper §III-D trains on long scenarios only).
@@ -66,6 +117,7 @@ class CampaignManager {
 
   CampaignScale scale_;
   std::uint64_t seed_;
+  std::vector<Quarantine> quarantined_;
 };
 
 }  // namespace dav

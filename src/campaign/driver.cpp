@@ -1,6 +1,10 @@
 #include "campaign/driver.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "sensors/sensor_rig.h"
 #include "util/rng.h"
@@ -8,11 +12,6 @@
 namespace dav {
 
 namespace {
-
-bool actuation_finite(const Actuation& cmd) {
-  return std::isfinite(cmd.throttle) && std::isfinite(cmd.brake) &&
-         std::isfinite(cmd.steer);
-}
 
 AgentConfig make_agent_config(const Scenario& scenario,
                               const CameraModel& center_cam) {
@@ -25,9 +24,85 @@ AgentConfig make_agent_config(const Scenario& scenario,
   return ac;
 }
 
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("RunConfig: " + what);
+}
+
 }  // namespace
 
+std::string to_string(MitigationPolicy p) {
+  switch (p) {
+    case MitigationPolicy::kSafeStopOnly: return "safe-stop-only";
+    case MitigationPolicy::kRestartRecovery: return "restart-recovery";
+  }
+  return "?";
+}
+
+void RunConfig::validate() const {
+  if (!(dt > 0.0) || !std::isfinite(dt)) {
+    reject("dt must be a positive finite tick length, got " +
+           std::to_string(dt));
+  }
+  if (cam_width <= 0 || cam_height <= 0) {
+    reject("camera dimensions must be positive, got " +
+           std::to_string(cam_width) + "x" + std::to_string(cam_height));
+  }
+  if (camera_noise_sigma < 0.0) {
+    reject("camera_noise_sigma must be non-negative, got " +
+           std::to_string(camera_noise_sigma));
+  }
+  if (overlap_ratio < 0.0 || overlap_ratio > 1.0) {
+    reject("overlap_ratio must lie in [0,1], got " +
+           std::to_string(overlap_ratio));
+  }
+  if (watchdog_sec < 0.0) {
+    reject("watchdog_sec must be non-negative, got " +
+           std::to_string(watchdog_sec));
+  }
+  if (scenario_opts.long_route_duration_sec <= 0.0) {
+    reject("scenario_opts.long_route_duration_sec must be positive, got " +
+           std::to_string(scenario_opts.long_route_duration_sec));
+  }
+  if (scenario_opts.safety_duration_sec <= 0.0) {
+    reject("scenario_opts.safety_duration_sec must be positive, got " +
+           std::to_string(scenario_opts.safety_duration_sec));
+  }
+  if (online_lut != nullptr) {
+    if (online_detector.rw < 1) {
+      reject("online_detector.rw must be >= 1, got " +
+             std::to_string(online_detector.rw));
+    }
+    if (online_detector.debounce < 1) {
+      reject("online_detector.debounce must be >= 1, got " +
+             std::to_string(online_detector.debounce));
+    }
+  }
+  if (mitigation == MitigationPolicy::kRestartRecovery) {
+    if (mode == AgentMode::kSingle) {
+      reject("restart-recovery needs a redundant agent; single mode has no "
+             "healthy replica to resync from (use safe-stop-only)");
+    }
+    if (recovery.probe_ticks < 1) {
+      reject("recovery.probe_ticks must be >= 1, got " +
+             std::to_string(recovery.probe_ticks));
+    }
+    if (recovery.rewarm_ticks < 1) {
+      reject("recovery.rewarm_ticks must be >= 1, got " +
+             std::to_string(recovery.rewarm_ticks));
+    }
+    if (recovery.max_recoveries < 1) {
+      reject("recovery.max_recoveries must be >= 1, got " +
+             std::to_string(recovery.max_recoveries));
+    }
+    if (recovery.recovery_window_ticks < 1) {
+      reject("recovery.recovery_window_ticks must be >= 1, got " +
+             std::to_string(recovery.recovery_window_ticks));
+    }
+  }
+}
+
 RunResult run_experiment(const RunConfig& cfg) {
+  cfg.validate();
   Scenario scenario =
       make_scenario(cfg.scenario, cfg.scenario_seed, cfg.scenario_opts);
   World world(std::move(scenario));
@@ -58,22 +133,60 @@ RunResult run_experiment(const RunConfig& cfg) {
                 cpu0, duplicate ? &gpu1 : nullptr,
                 duplicate ? &cpu1 : nullptr, &world.map(), cfg.overlap_ratio);
 
+  // Online detection + mitigation (paper §I: detection is only useful if it
+  // can invoke mitigation).
+  std::optional<ErrorDetector> online_det;
+  if (cfg.online_lut != nullptr) {
+    online_det.emplace(*cfg.online_lut, cfg.online_detector);
+  }
+  std::optional<RecoveryManager> rec;
+  if (cfg.mitigation == MitigationPolicy::kRestartRecovery) {
+    rec.emplace(ads, cfg.recovery, cfg.watchdog_sec,
+                online_det ? &*online_det : nullptr);
+  }
+
   RunResult result;
   result.scenario = cfg.scenario;
   result.mode = cfg.mode;
   result.fault = cfg.fault;
+  result.run_seed = cfg.run_seed;
+  result.scheduled_duration = world.scenario().duration_sec;
   result.sensor_frame_bytes = rig.frame_bytes();
 
   Actuation last_applied;
   bool failing_back = false;  // platform failback engaged after a DUE
   double stationary_sec = 0.0;
   int step = 0;
+  int failback_ticks = 0;
 
   const auto legitimately_stopped = [&]() {
     if (world.cvip() < 12.0) return true;  // queued behind a vehicle
     const auto light = world.map().next_light_after(world.ego_route_s());
     return light && light->s - world.ego_route_s() < 15.0 &&
            light->phase_at(world.time()) != TrafficLight::Phase::kGreen;
+  };
+
+  const auto record_due = [&](DueSource source, double t,
+                              FaultOutcome outcome) {
+    if (result.due) return;  // keep the FIRST platform detection
+    result.due = true;
+    result.due_source = source;
+    result.due_time = t;
+    result.outcome = outcome;
+  };
+
+  const auto coast_on_hang = [&]() {
+    // The agent stops responding; the vehicle coasts on the last command
+    // until the watchdog fires. The world may reach its scheduled end
+    // mid-coast, in which case the platform never got to observe the hang —
+    // clamp the stamped detection time to the actual end of the run.
+    const int coast_steps = static_cast<int>(cfg.watchdog_sec / cfg.dt);
+    for (int i = 0; i < coast_steps && !world.done(); ++i) {
+      world.step(last_applied, cfg.dt);
+    }
+    if (result.due_source == DueSource::kHangWatchdog) {
+      result.due_time = std::min(result.due_time, world.time());
+    }
   };
 
   while (!world.done()) {
@@ -83,7 +196,31 @@ RunResult run_experiment(const RunConfig& cfg) {
       // a failback "that can be invoked on error to bring the vehicle to a
       // safe state").
       applied = Actuation{0.0, 0.45, 0.0};
+      ++failback_ticks;
       if (world.ego().v < 0.05) break;
+    } else if (rec) {
+      // Closed-loop mitigation: the RecoveryManager absorbs engine errors
+      // and detector alarms, restarts the suspect agent and only falls back
+      // to the safe stop on presumed-permanent faults.
+      const SensorFrame frame = rig.capture(world, step);
+      const RecoveryManager::TickOutcome t =
+          rec->tick(frame, cfg.dt, world.ego(), world.time(), step);
+      if (t.due != DueSource::kNone) {
+        const bool is_hang = t.due == DueSource::kHangWatchdog;
+        record_due(t.due, is_hang ? world.time() + cfg.watchdog_sec
+                                  : world.time(),
+                   is_hang ? FaultOutcome::kHang : FaultOutcome::kCrash);
+      }
+      if (t.hang) coast_on_hang();
+      if (t.have_delta) {
+        result.observations.push_back(
+            StepObservation{world.time(), world.ego(), t.delta});
+      }
+      if (cfg.record_traces) {
+        result.acting_agent_trace.push_back(t.acting_agent);
+      }
+      applied = t.applied;
+      if (t.failback) failing_back = true;
     } else {
       const SensorFrame frame = rig.capture(world, step);
       try {
@@ -91,10 +228,9 @@ RunResult run_experiment(const RunConfig& cfg) {
         // Output plausibility validation (ISO 26262-style): a non-finite
         // actuation command is a platform-detected DUE — the ECU rejects it
         // and engages the failback, exactly like a crashed agent process.
-        if (!actuation_finite(sr.applied)) {
-          result.due = true;
-          result.due_time = world.time();
-          result.outcome = FaultOutcome::kCrash;
+        if (!sr.applied.finite()) {
+          record_due(DueSource::kOutputValidator, world.time(),
+                     FaultOutcome::kCrash);
           failing_back = true;
           continue;
         }
@@ -102,27 +238,29 @@ RunResult run_experiment(const RunConfig& cfg) {
         if (sr.have_delta) {
           result.observations.push_back(
               StepObservation{world.time(), world.ego(), sr.delta});
+          // Online detector path: the alarm fires in-run; under the
+          // safe-stop-only policy it invokes the failback immediately.
+          if (online_det && online_det->observe(result.observations.back())) {
+            if (!result.online_alarmed) {
+              result.online_alarmed = true;
+              result.online_alarm_time = online_det->first_alarm_time();
+            }
+            failing_back = true;
+          }
         }
         if (cfg.record_traces) {
           result.acting_agent_trace.push_back(sr.acting_agent);
         }
+        ++result.recovery.nominal_ticks;
       } catch (const CrashError&) {
-        result.due = true;
-        result.due_time = world.time();
-        result.outcome = FaultOutcome::kCrash;
+        record_due(DueSource::kEngineCrash, world.time(),
+                   FaultOutcome::kCrash);
         failing_back = true;
         applied = last_applied;
       } catch (const HangError&) {
-        // The agent stops responding; the vehicle coasts on the last command
-        // until the watchdog fires, then the failback engages.
-        result.due = true;
-        result.due_time = world.time() + cfg.watchdog_sec;
-        result.outcome = FaultOutcome::kHang;
-        const int coast_steps =
-            static_cast<int>(cfg.watchdog_sec / cfg.dt);
-        for (int i = 0; i < coast_steps && !world.done(); ++i) {
-          world.step(last_applied, cfg.dt);
-        }
+        record_due(DueSource::kHangWatchdog,
+                   world.time() + cfg.watchdog_sec, FaultOutcome::kHang);
+        coast_on_hang();
         failing_back = true;
         applied = last_applied;
       }
@@ -140,14 +278,15 @@ RunResult run_experiment(const RunConfig& cfg) {
     last_applied = applied;
     ++step;
 
-    // Stuck-vehicle watchdog (platform-level plausibility monitoring).
+    // Stuck-vehicle watchdog (platform-level plausibility monitoring). A
+    // frozen vehicle cannot be attributed to one agent, so it invokes the
+    // failback under both mitigation policies.
     if (!failing_back && cfg.stuck_watchdog_sec > 0.0) {
       if (world.ego().v < 0.3 && !legitimately_stopped()) {
         stationary_sec += cfg.dt;
         if (stationary_sec >= cfg.stuck_watchdog_sec) {
-          result.due = true;
-          result.due_time = world.time();
-          result.outcome = FaultOutcome::kHang;
+          record_due(DueSource::kStuckWatchdog, world.time(),
+                     FaultOutcome::kHang);
           failing_back = true;
         }
       } else {
@@ -164,6 +303,16 @@ RunResult run_experiment(const RunConfig& cfg) {
   result.duration = world.time();
   result.steps = world.step_count();
   result.fault_activated = gpu0.fault_activated() || cpu0.fault_activated();
+  if (rec) {
+    const int nominal_before = result.recovery.nominal_ticks;
+    result.recovery = rec->stats();
+    result.recovery.nominal_ticks += nominal_before;
+    if (result.recovery.first_detector_alarm_time >= 0.0) {
+      result.online_alarmed = true;
+      result.online_alarm_time = result.recovery.first_detector_alarm_time;
+    }
+  }
+  result.recovery.failback_ticks += failback_ticks;
   if (result.outcome != FaultOutcome::kCrash &&
       result.outcome != FaultOutcome::kHang) {
     if (!cfg.fault.active()) {

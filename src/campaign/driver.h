@@ -7,10 +7,24 @@
 
 #include "core/ads_system.h"
 #include "core/detector.h"
+#include "core/recovery.h"
 #include "fi/fault_model.h"
 #include "sim/world.h"
 
 namespace dav {
+
+/// What the platform does once a fault is detected in-run (paper §I, §VII).
+enum class MitigationPolicy : std::uint8_t {
+  /// The paper's baseline failback: any DUE (and, when the online detector
+  /// is enabled, any alarm) brings the vehicle to a safe stop.
+  kSafeStopOnly,
+  /// DiverseAV's closed loop: identify the faulty agent (arbitration probe),
+  /// restart it, run degraded single-agent mode while it re-warms, and
+  /// escalate to the safe stop only on presumed-permanent faults.
+  kRestartRecovery,
+};
+
+std::string to_string(MitigationPolicy p);
 
 struct RunConfig {
   ScenarioId scenario = ScenarioId::kLeadSlowdown;
@@ -33,6 +47,20 @@ struct RunConfig {
   /// stationary this long with no vehicle ahead and no red light — the
   /// behavioral analogue of a hung agent process. Non-positive disables it.
   double stuck_watchdog_sec = 8.0;
+
+  /// Online error detection: a trained LUT (non-null enables it) stepped
+  /// INSIDE the loop, so alarms fire in-run instead of in offline replay.
+  /// The caller owns the LUT; it must outlive run_experiment.
+  const ThresholdLut* online_lut = nullptr;
+  DetectorConfig online_detector;
+
+  /// What to do when the platform or the online detector raises an alarm.
+  MitigationPolicy mitigation = MitigationPolicy::kSafeStopOnly;
+  RecoveryConfig recovery;  // used when mitigation == kRestartRecovery
+
+  /// Fail fast on nonsensical parameters (throws std::invalid_argument with
+  /// an actionable message). Called by run_experiment.
+  void validate() const;
 };
 
 /// Everything recorded about one experimental run.
@@ -40,6 +68,7 @@ struct RunResult {
   ScenarioId scenario = ScenarioId::kLeadSlowdown;
   AgentMode mode = AgentMode::kRoundRobin;
   FaultPlan fault;
+  std::uint64_t run_seed = 0;
 
   FaultOutcome outcome = FaultOutcome::kNotActivated;
   bool fault_activated = false;
@@ -49,12 +78,23 @@ struct RunResult {
   SafetyFlags flags;
   Trajectory trajectory;
   double duration = 0.0;
+  /// The scenario's scheduled duration — the denominator of availability
+  /// (a safe-stopped run forfeits its remaining mission time).
+  double scheduled_duration = 0.0;
   double dt = 0.05;  // tick length (maps trajectory indices to time)
   int steps = 0;
 
-  /// Platform-detected DUE (crash caught / watchdog hang).
+  /// Platform-detected DUE (crash caught / watchdog hang / rejected output).
   bool due = false;
   double due_time = -1.0;
+  DueSource due_source = DueSource::kNone;
+
+  /// Online detector verdict (only when RunConfig::online_lut was set).
+  bool online_alarmed = false;
+  double online_alarm_time = -1.0;
+
+  /// Mitigation bookkeeping: restarts, MTTR timestamps, tick census.
+  MitigationStats recovery;
 
   /// The comparison stream for the error detector (always recorded; the
   /// detector itself is evaluated offline so rw/td can be swept).

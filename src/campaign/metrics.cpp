@@ -57,6 +57,7 @@ DetectionEval evaluate_detection(const std::vector<RunResult>& fi_runs,
                                  double td) {
   DetectionEval eval;
   for (const auto& run : fi_runs) {
+    if (run.outcome == FaultOutcome::kHarnessError) continue;  // quarantined
     // Hangs and crashes are platform-detected DUEs; the statistical detector
     // is evaluated on the runs that survive (the paper's platform policy
     // alarms on DUEs unconditionally, so they are neither its true nor its
@@ -85,6 +86,10 @@ CampaignSummary summarize_campaign(const std::vector<RunResult>& fi_runs,
   CampaignSummary s;
   s.total = static_cast<int>(fi_runs.size());
   for (const auto& run : fi_runs) {
+    if (run.outcome == FaultOutcome::kHarnessError) {
+      ++s.harness_errors;
+      continue;
+    }
     if (run.fault_activated || run.due) ++s.active;
     if (run.outcome == FaultOutcome::kCrash ||
         run.outcome == FaultOutcome::kHang) {
@@ -96,6 +101,53 @@ CampaignSummary summarize_campaign(const std::vector<RunResult>& fi_runs,
       ++s.traj_violations;
     }
   }
+  return s;
+}
+
+double availability_fraction(const RunResult& run) {
+  if (run.scheduled_duration <= 0.0) return 0.0;
+  const MitigationStats& m = run.recovery;
+  const double up_ticks = static_cast<double>(m.nominal_ticks) +
+                          static_cast<double>(m.probe_ticks) +
+                          static_cast<double>(m.degraded_ticks);
+  return std::min(1.0, up_ticks * run.dt / run.scheduled_duration);
+}
+
+RecoverySummary summarize_recovery(const std::vector<RunResult>& fi_runs) {
+  RecoverySummary s;
+  s.total = static_cast<int>(fi_runs.size());
+  double mttr_ticks = 0.0;
+  double mttr_sec = 0.0;
+  double avail = 0.0;
+  int counted = 0;
+  for (const auto& run : fi_runs) {
+    if (run.outcome == FaultOutcome::kHarnessError) {
+      ++s.harness_errors;
+      continue;
+    }
+    ++counted;
+    avail += availability_fraction(run);
+    if (run.due) ++s.due_runs;
+    if (run.recovery.completed > 0) ++s.recovered_runs;
+    if (run.recovery.escalated) ++s.escalated_runs;
+    double first_rejoin = -1.0;
+    for (const RecoveryEvent& ev : run.recovery.events) {
+      if (ev.rejoin_tick < 0) continue;  // open episode (escalated mid-way)
+      mttr_ticks += static_cast<double>(ev.rejoin_tick - ev.alarm_tick);
+      mttr_sec += ev.rejoin_time - ev.alarm_time;
+      ++s.recovery_episodes;
+      if (first_rejoin < 0.0) first_rejoin = ev.rejoin_time;
+    }
+    if (run.collision && first_rejoin >= 0.0 &&
+        run.collision_time >= first_rejoin) {
+      ++s.hazard_after_recovery;
+    }
+  }
+  if (s.recovery_episodes > 0) {
+    s.mean_mttr_ticks = mttr_ticks / s.recovery_episodes;
+    s.mean_mttr_sec = mttr_sec / s.recovery_episodes;
+  }
+  if (counted > 0) s.mean_availability = avail / counted;
   return s;
 }
 

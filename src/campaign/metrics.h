@@ -62,8 +62,32 @@ struct CampaignSummary {
   int hang_crash = 0;
   int accidents = 0;
   int traj_violations = 0;  // with violation but without accident
+  int harness_errors = 0;   // quarantined runs, excluded from the other rows
 };
 CampaignSummary summarize_campaign(const std::vector<RunResult>& fi_runs,
                                    const Trajectory& baseline, double td);
+
+/// Availability of one run: fraction of the scheduled mission time the
+/// vehicle spent operating under closed-loop control (nominal, arbitration
+/// probe, or degraded ticks). Safe-stop (failback) ticks and the forfeited
+/// remainder of an aborted mission count as unavailable.
+double availability_fraction(const RunResult& run);
+
+/// Mitigation metrics over one FI campaign (paper §I/§VII: detection is only
+/// useful if it can invoke mitigation). MTTR is alarm -> rejoin over
+/// completed recovery episodes.
+struct RecoverySummary {
+  int total = 0;
+  int harness_errors = 0;  // quarantined runs, excluded from the rest
+  int due_runs = 0;
+  int recovered_runs = 0;   // runs with >= 1 restart that reached rejoin
+  int escalated_runs = 0;   // presumed-permanent: ended in safe-stop failback
+  int recovery_episodes = 0;  // completed restart->rejoin episodes
+  int hazard_after_recovery = 0;  // collision at/after the first rejoin
+  double mean_mttr_ticks = 0.0;
+  double mean_mttr_sec = 0.0;
+  double mean_availability = 0.0;  // over non-quarantined runs
+};
+RecoverySummary summarize_recovery(const std::vector<RunResult>& fi_runs);
 
 }  // namespace dav

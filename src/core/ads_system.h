@@ -39,6 +39,41 @@ class AdsSystem {
   /// One synchronous tick. Propagates CrashError/HangError from the engines.
   StepResult step(const SensorFrame& frame, double world_dt);
 
+  // --- Fault-mitigation hooks (RecoveryManager) -----------------------------
+
+  /// Arbitration probe tick: both agents receive the SAME frame and both
+  /// outputs are returned, so the recovery manager can score each agent
+  /// against the fused temporal reference and identify the outlier.
+  /// Advances the tick counter; propagates CrashError/HangError.
+  struct ProbeOutputs {
+    Actuation u0;
+    Actuation u1;
+  };
+  ProbeOutputs probe_step(const SensorFrame& frame, double world_dt);
+
+  /// Degraded single-agent tick: `healthy` drives on every frame (temporal-
+  /// outlier operation); the other, freshly restarted agent also consumes the
+  /// frame to re-warm its filters but its output is discarded. Exceptions
+  /// from either agent propagate — last_executing_agent() tells whose.
+  Actuation degraded_step(int healthy, const SensorFrame& frame,
+                          double world_dt);
+
+  /// Restart agent `suspect`: clears any spent transient fault on its
+  /// engines, constructs a fresh agent, resyncs its private state from the
+  /// healthy replica and re-runs the ISA warmup (which re-manifests a
+  /// permanent fault immediately — CrashError/HangError propagate).
+  /// Requires a two-agent mode.
+  void restart_agent(int suspect);
+
+  /// The agent whose computation was in flight when the last engine
+  /// exception was thrown (the platform knows which process crashed/hung).
+  int last_executing_agent() const { return executing_; }
+
+  /// Overwrite the adjacent-output comparison reference. The recovery
+  /// manager applies a fused command during the arbitration probe; feeding it
+  /// back keeps the comparison stream continuous across the recovery window.
+  void set_comparison_reference(const Actuation& applied);
+
   void reset();
   AgentMode mode() const { return distributor_.mode(); }
   int num_agents() const { return distributor_.num_agents(); }
@@ -48,11 +83,20 @@ class AdsSystem {
   std::size_t state_bytes() const;
 
  private:
+  SensorimotorAgent& mutable_agent(int i);
+
   SensorDataDistributor distributor_;
+  AgentConfig agent_cfg_;  // kept for fault-recovery reconstruction
+  GpuEngine* gpu0_;
+  CpuEngine* cpu0_;
+  GpuEngine* gpu1_;  // null outside duplicate mode
+  CpuEngine* cpu1_;
+  const RoadMap* map_;
   std::unique_ptr<SensorimotorAgent> agent0_;
   std::unique_ptr<SensorimotorAgent> agent1_;
   std::optional<Actuation> prev_output_;  // previous comparison reference
   int step_ = 0;
+  int executing_ = 0;
 };
 
 }  // namespace dav

@@ -89,6 +89,18 @@ class Engine {
     return counts_;
   }
 
+  /// Mitigation hook: a transient fault is a one-shot particle strike — once
+  /// it has activated, the hardware is clean again, so restarting the victim
+  /// agent on the same processor is sound. Disarms an activated transient
+  /// plan; a not-yet-activated transient (strike still pending) and permanent
+  /// faults (broken silicon) stay armed, which is what forces the recovery
+  /// manager's escalation path on genuinely permanent faults.
+  void clear_transient_fault() {
+    if (plan_.kind == FaultModelKind::kTransient && activated_) {
+      armed_ = false;
+    }
+  }
+
   /// True once the planned fault has corrupted at least one instruction.
   bool fault_activated() const { return activated_; }
   std::uint64_t corruption_count() const { return corruptions_; }

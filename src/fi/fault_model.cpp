@@ -22,6 +22,18 @@ std::string to_string(FaultOutcome o) {
     case FaultOutcome::kSdc: return "SDC";
     case FaultOutcome::kCrash: return "crash";
     case FaultOutcome::kHang: return "hang";
+    case FaultOutcome::kHarnessError: return "harness-error";
+  }
+  return "?";
+}
+
+std::string to_string(DueSource s) {
+  switch (s) {
+    case DueSource::kNone: return "none";
+    case DueSource::kEngineCrash: return "engine-crash";
+    case DueSource::kHangWatchdog: return "hang-watchdog";
+    case DueSource::kOutputValidator: return "output-validator";
+    case DueSource::kStuckWatchdog: return "stuck-watchdog";
   }
   return "?";
 }

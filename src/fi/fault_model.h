@@ -88,8 +88,24 @@ enum class FaultOutcome : std::uint8_t {
   kSdc,           // activated and corrupted data silently
   kCrash,         // platform-detected crash (DUE)
   kHang,          // watchdog-detected hang (DUE)
+  kHarnessError,  // the experiment itself failed (quarantined by the
+                  // campaign supervisor; not a fault-model outcome)
 };
 
 std::string to_string(FaultOutcome o);
+
+/// Which platform monitor raised a DUE. The paper's platform policy treats
+/// all of these uniformly as alarms; the mitigation layer uses the source to
+/// pick the suspect agent (a crashed/hung process identifies its owner, a
+/// detector alarm needs an arbitration probe).
+enum class DueSource : std::uint8_t {
+  kNone,             // no DUE
+  kEngineCrash,      // CrashError from an engine (segfault/broken pipe)
+  kHangWatchdog,     // HangError converted by the response watchdog
+  kOutputValidator,  // non-finite actuation rejected by the ECU
+  kStuckWatchdog,    // vehicle stationary without cause
+};
+
+std::string to_string(DueSource s);
 
 }  // namespace dav

@@ -1,6 +1,7 @@
 // Core value types shared by the simulator, the agent and the detector.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -18,6 +19,13 @@ struct Actuation {
   Actuation clamped() const {
     return {clamp(throttle, 0.0, 1.0), clamp(brake, 0.0, 1.0),
             clamp(steer, -1.0, 1.0)};
+  }
+
+  /// Output plausibility (ISO 26262-style): the ECU rejects non-finite
+  /// commands as a platform-detected DUE.
+  bool finite() const {
+    return std::isfinite(throttle) && std::isfinite(brake) &&
+           std::isfinite(steer);
   }
 };
 

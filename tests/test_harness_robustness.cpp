@@ -1,0 +1,157 @@
+// Harness robustness: RunConfig/CampaignScale input validation and the
+// crash-proof campaign supervisor (quarantined kHarnessError runs).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "campaign/metrics.h"
+
+namespace dav {
+namespace {
+
+CampaignScale tiny_scale() {
+  CampaignScale s;
+  s.golden_runs = 3;
+  s.training_runs_per_scenario = 1;
+  s.safety_duration_sec = 15.0;
+  s.long_route_duration_sec = 20.0;
+  return s;
+}
+
+/// Expects cfg.validate() to throw std::invalid_argument whose message
+/// mentions `needle` (actionable: it names the offending parameter).
+void expect_rejected(const RunConfig& cfg, const std::string& needle) {
+  try {
+    cfg.validate();
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(RunConfigValidate, AcceptsDefaults) {
+  EXPECT_NO_THROW(RunConfig{}.validate());
+}
+
+TEST(RunConfigValidate, RejectsNonPositiveDt) {
+  RunConfig cfg;
+  cfg.dt = 0.0;
+  expect_rejected(cfg, "dt");
+  cfg.dt = -0.05;
+  expect_rejected(cfg, "dt");
+}
+
+TEST(RunConfigValidate, RejectsZeroCameraDims) {
+  RunConfig cfg;
+  cfg.cam_width = 0;
+  expect_rejected(cfg, "camera");
+  cfg = RunConfig{};
+  cfg.cam_height = -1;
+  expect_rejected(cfg, "camera");
+}
+
+TEST(RunConfigValidate, RejectsOverlapOutsideUnitInterval) {
+  RunConfig cfg;
+  cfg.overlap_ratio = -0.1;
+  expect_rejected(cfg, "overlap_ratio");
+  cfg.overlap_ratio = 1.5;
+  expect_rejected(cfg, "overlap_ratio");
+}
+
+TEST(RunConfigValidate, RejectsNegativeNoiseAndWatchdog) {
+  RunConfig cfg;
+  cfg.camera_noise_sigma = -1.0;
+  expect_rejected(cfg, "camera_noise_sigma");
+  cfg = RunConfig{};
+  cfg.watchdog_sec = -0.5;
+  expect_rejected(cfg, "watchdog_sec");
+}
+
+TEST(RunConfigValidate, RejectsNonPositiveScenarioDurations) {
+  RunConfig cfg;
+  cfg.scenario_opts.safety_duration_sec = 0.0;
+  expect_rejected(cfg, "safety_duration_sec");
+  cfg = RunConfig{};
+  cfg.scenario_opts.long_route_duration_sec = -3.0;
+  expect_rejected(cfg, "long_route_duration_sec");
+}
+
+TEST(RunConfigValidate, RejectsDegenerateDetectorAndRecovery) {
+  ThresholdLut lut;
+  RunConfig cfg;
+  cfg.online_lut = &lut;
+  cfg.online_detector.rw = 0;
+  expect_rejected(cfg, "rw");
+  cfg.online_detector.rw = 3;
+  cfg.online_detector.debounce = 0;
+  expect_rejected(cfg, "debounce");
+
+  cfg = RunConfig{};
+  cfg.mitigation = MitigationPolicy::kRestartRecovery;
+  cfg.recovery.probe_ticks = 0;
+  expect_rejected(cfg, "probe_ticks");
+  cfg.recovery.probe_ticks = 4;
+  cfg.recovery.rewarm_ticks = 0;
+  expect_rejected(cfg, "rewarm_ticks");
+  cfg.recovery.rewarm_ticks = 20;
+  cfg.recovery.max_recoveries = 0;
+  expect_rejected(cfg, "max_recoveries");
+  cfg.recovery.max_recoveries = 2;
+  cfg.recovery.recovery_window_ticks = 0;
+  expect_rejected(cfg, "recovery_window_ticks");
+}
+
+TEST(CampaignScaleValidate, RejectsNonPositiveSizing) {
+  CampaignScale s = tiny_scale();
+  s.transient_runs = 0;
+  EXPECT_THROW(CampaignManager(s, 2022), std::invalid_argument);
+  s = tiny_scale();
+  s.safety_duration_sec = -1.0;
+  EXPECT_THROW(CampaignManager(s, 2022), std::invalid_argument);
+  EXPECT_NO_THROW(CampaignManager(tiny_scale(), 2022));
+}
+
+TEST(CampaignSupervisor, QuarantinesThrowingRunAndContinues) {
+  CampaignManager mgr(tiny_scale(), 2022);
+  RunConfig good =
+      mgr.base_config(ScenarioId::kLeadSlowdown, AgentMode::kRoundRobin);
+  good.run_seed = 5;
+  RunConfig bad = good;
+  bad.dt = -1.0;  // run_experiment throws std::invalid_argument
+  bad.run_seed = 77;
+
+  const auto results = mgr.run_all({good, bad, good});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_NE(results[0].outcome, FaultOutcome::kHarnessError);
+  EXPECT_EQ(results[1].outcome, FaultOutcome::kHarnessError);
+  EXPECT_NE(results[2].outcome, FaultOutcome::kHarnessError);
+  // The quarantined record identifies the offending run (seed + message).
+  ASSERT_EQ(mgr.quarantined().size(), 1u);
+  EXPECT_EQ(mgr.quarantined()[0].cfg.run_seed, 77u);
+  EXPECT_NE(mgr.quarantined()[0].what.find("dt"), std::string::npos);
+  // The placeholder result still carries the run identity.
+  EXPECT_EQ(results[1].run_seed, 77u);
+  EXPECT_EQ(results[1].scenario, ScenarioId::kLeadSlowdown);
+}
+
+TEST(CampaignSupervisor, HarnessErrorsExcludedFromSummaries) {
+  RunResult ok;
+  ok.outcome = FaultOutcome::kSdc;
+  ok.fault_activated = true;
+  ok.trajectory.push({0.0, 0.0});
+  RunResult quarantined;
+  quarantined.outcome = FaultOutcome::kHarnessError;
+  Trajectory base;
+  base.push({0.0, 0.0});
+  const CampaignSummary s =
+      summarize_campaign({ok, quarantined}, base, /*td=*/2.0);
+  EXPECT_EQ(s.total, 2);
+  EXPECT_EQ(s.harness_errors, 1);
+  EXPECT_EQ(s.active, 1);
+}
+
+}  // namespace
+}  // namespace dav

@@ -93,6 +93,94 @@ TEST(StuckWatchdog, CanBeDisabled) {
   EXPECT_FALSE(run_experiment(cfg).due);
 }
 
+TEST(HangWatchdog, DueTimeClampedToRunEnd) {
+  // A hang stamped at t_hang + watchdog_sec can exceed the scheduled end of
+  // the run when the world finishes mid-coast; the recorded detection time
+  // must be clamped to the actual end of the run (regression: MTTR and
+  // lead-time math otherwise sees detections "after" the run).
+  CampaignManager mgr(tiny_scale(), 2022);
+  bool saw_hang = false;
+  for (std::uint64_t seed = 1; seed <= 12 && !saw_hang; ++seed) {
+    RunConfig cfg =
+        mgr.base_config(ScenarioId::kLeadSlowdown, AgentMode::kRoundRobin);
+    cfg.run_seed = seed;
+    cfg.watchdog_sec = 60.0;  // far longer than the 15 s scenario remainder
+    FaultPlan plan;
+    plan.kind = FaultModelKind::kPermanent;
+    plan.domain = FaultDomain::kGpu;
+    plan.target_opcode = static_cast<int>(GpuOpcode::kBra);  // control class
+    plan.bit = 7;
+    cfg.fault = plan;
+    const RunResult r = run_experiment(cfg);
+    if (r.due_source != DueSource::kHangWatchdog) continue;
+    saw_hang = true;
+    EXPECT_LE(r.due_time, r.duration + 1e-9);
+    EXPECT_LE(r.due_time, r.scheduled_duration + 1e-9);
+  }
+  EXPECT_TRUE(saw_hang) << "no seed in the sweep produced a watchdog hang";
+}
+
+TEST(OutputValidator, NonFiniteActuationIsDue) {
+  // A CPU data-path corruption that drives the computed command to +/-inf
+  // must be rejected by the ECU as a platform DUE (output plausibility
+  // validation), not silently applied to the vehicle.
+  CampaignManager mgr(tiny_scale(), 2022);
+  bool saw_validator_due = false;
+  for (int opcode : {static_cast<int>(CpuOpcode::kMul),
+                     static_cast<int>(CpuOpcode::kAdd),
+                     static_cast<int>(CpuOpcode::kFma),
+                     static_cast<int>(CpuOpcode::kClampOp)}) {
+    for (std::uint64_t seed = 1; seed <= 6 && !saw_validator_due; ++seed) {
+      RunConfig cfg =
+          mgr.base_config(ScenarioId::kLeadSlowdown, AgentMode::kRoundRobin);
+      cfg.run_seed = seed;
+      FaultPlan plan;
+      plan.kind = FaultModelKind::kPermanent;
+      plan.domain = FaultDomain::kCpu;
+      plan.target_opcode = opcode;
+      plan.bit = 30;  // 1.0f ^ bit30 = +inf: exponent saturates
+      cfg.fault = plan;
+      const RunResult r = run_experiment(cfg);
+      if (r.due_source == DueSource::kOutputValidator) {
+        saw_validator_due = true;
+        EXPECT_TRUE(r.due);
+        EXPECT_EQ(r.outcome, FaultOutcome::kCrash);
+      }
+    }
+    if (saw_validator_due) break;
+  }
+  EXPECT_TRUE(saw_validator_due)
+      << "no CPU bit-30 corruption reached the output validator";
+}
+
+TEST(Failback, StopsVehicleWithoutCollision) {
+  // Once a DUE engages the failback, the run must end with the vehicle
+  // brought to a stop before the scheduled end, collision-free (the paper's
+  // safe-state assumption).
+  CampaignManager mgr(tiny_scale(), 2022);
+  bool saw_failback_stop = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !saw_failback_stop; ++seed) {
+    RunConfig cfg =
+        mgr.base_config(ScenarioId::kLeadSlowdown, AgentMode::kRoundRobin);
+    cfg.run_seed = seed;
+    FaultPlan plan;
+    plan.kind = FaultModelKind::kPermanent;
+    plan.domain = FaultDomain::kGpu;
+    plan.target_opcode = static_cast<int>(GpuOpcode::kLdg);  // memory class
+    plan.bit = 12;
+    cfg.fault = plan;
+    const RunResult r = run_experiment(cfg);
+    if (!r.due || r.recovery.failback_ticks == 0) continue;
+    saw_failback_stop = true;
+    EXPECT_FALSE(r.collision);
+    // The loop breaks as soon as the ego is stopped: the run ends early.
+    EXPECT_LT(r.duration, r.scheduled_duration);
+    EXPECT_GE(r.due_time, 0.0);
+  }
+  EXPECT_TRUE(saw_failback_stop)
+      << "no seed in the sweep engaged the failback";
+}
+
 TEST(LeadTimes, ComputedAgainstOnset) {
   ThresholdLut lut;  // floors only: any sizeable divergence alarms
   Trajectory base;
