@@ -1,5 +1,10 @@
 // Shared helpers for the bench binaries that regenerate the paper's tables
 // and figures.
+//
+// Every sweep goes through CampaignManager::run_all, so all bench binaries
+// inherit the process-isolated executor: DAV_JOBS parallelizes the campaign
+// across sandboxed workers and DAV_JOURNAL makes it resumable after an
+// interruption, with bit-identical output (DESIGN.md §9).
 #pragma once
 
 #include <cstdio>

@@ -5,7 +5,10 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "campaign/serialize.h"
+#include "util/bits.h"
 #include "util/rng.h"
 
 namespace dav {
@@ -53,19 +56,38 @@ RunResult CampaignManager::run_supervised(const RunConfig& cfg) {
     // Quarantine the run (offending seed + plan) and keep the sweep alive —
     // one pathological configuration must not abort a week-long campaign.
     quarantined_.push_back(Quarantine{cfg, e.what()});
-    RunResult r;
-    r.scenario = cfg.scenario;
-    r.mode = cfg.mode;
-    r.fault = cfg.fault;
-    r.run_seed = cfg.run_seed;
-    r.dt = cfg.dt;
-    r.outcome = FaultOutcome::kHarnessError;
-    return r;
+    return harness_error_result(cfg);
   }
+}
+
+std::uint64_t CampaignManager::fingerprint() const {
+  ByteWriter w;
+  w.u64(seed_);
+  w.i32(scale_.transient_runs);
+  w.i32(scale_.permanent_repeats);
+  w.i32(scale_.golden_runs);
+  w.i32(scale_.training_runs_per_scenario);
+  w.f64(scale_.safety_duration_sec);
+  w.f64(scale_.long_route_duration_sec);
+  const std::string& b = w.bytes();
+  return fnv1a64(b.data(), b.size());
 }
 
 std::vector<RunResult> CampaignManager::run_all(
     const std::vector<RunConfig>& cfgs) {
+  ExecutorOptions opts = ExecutorOptions::from_env();
+  if (opts.enabled()) {
+    // Process-isolated path: forked sandboxed workers, wall-clock watchdog,
+    // write-ahead journal with lossless resume. Merged by config index, so
+    // the batch is bit-identical to the serial path below.
+    opts.campaign_fingerprint = fingerprint();
+    CampaignExecutor exec(opts);
+    std::vector<RunResult> out = exec.run_all(cfgs);
+    for (const RunQuarantine& q : exec.quarantined()) {
+      quarantined_.push_back(Quarantine{q.cfg, q.what});
+    }
+    return out;
+  }
   std::vector<RunResult> out;
   out.reserve(cfgs.size());
   for (const RunConfig& cfg : cfgs) out.push_back(run_supervised(cfg));
@@ -95,21 +117,28 @@ RunConfig CampaignManager::base_config(ScenarioId scenario,
 
 std::vector<RunResult> CampaignManager::golden(ScenarioId scenario,
                                                AgentMode mode, int count) {
-  std::vector<RunResult> out;
-  out.reserve(static_cast<std::size_t>(count));
+  std::vector<RunConfig> cfgs;
+  cfgs.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     RunConfig cfg = base_config(scenario, mode);
     cfg.run_seed = run_seed(scenario, mode, /*domain_tag=*/9, /*kind_tag=*/0, i);
-    out.push_back(run_supervised(cfg));
+    cfgs.push_back(cfg);
   }
-  return out;
+  return run_all(cfgs);
 }
 
 ExecutionProfile CampaignManager::profile(ScenarioId scenario, AgentMode mode,
                                           FaultDomain domain) {
   RunConfig cfg = base_config(scenario, mode);
   cfg.run_seed = run_seed(scenario, mode, /*domain_tag=*/8, /*kind_tag=*/0, 0);
-  const RunResult r = run_experiment(cfg);
+  const RunResult r = run_all({cfg}).front();
+  if (r.outcome == FaultOutcome::kHarnessError) {
+    // Transient plans are sampled over the profiled instruction span; without
+    // a profile the whole campaign is meaningless, so fail loudly instead of
+    // generating degenerate plans.
+    throw std::runtime_error("CampaignManager: profile run was quarantined; "
+                             "cannot generate transient plans");
+  }
   ExecutionProfile p;
   p.domain = domain;
   p.total_dyn_instructions = domain == FaultDomain::kGpu
@@ -140,30 +169,33 @@ std::vector<RunResult> CampaignManager::fi_campaign(
     plans = gen.permanent_plans(domain, scale_.permanent_repeats);
   }
 
-  std::vector<RunResult> out;
-  out.reserve(plans.size());
+  std::vector<RunConfig> cfgs;
+  cfgs.reserve(plans.size());
   for (std::size_t i = 0; i < plans.size(); ++i) {
     RunConfig cfg = base_config(scenario, mode);
     cfg.fault = plans[i];
     cfg.run_seed = run_seed(scenario, mode, domain_tag, kind_tag,
                             static_cast<int>(i));
     if (mitigation != nullptr) mitigation->apply(cfg);
-    out.push_back(run_supervised(cfg));
+    cfgs.push_back(cfg);
   }
-  return out;
+  return run_all(cfgs);
 }
 
 std::vector<std::vector<StepObservation>>
 CampaignManager::training_observations(AgentMode mode) {
-  std::vector<std::vector<StepObservation>> out;
+  std::vector<RunConfig> cfgs;
   for (ScenarioId scenario : training_scenarios()) {
     for (int i = 0; i < scale_.training_runs_per_scenario; ++i) {
       RunConfig cfg = base_config(scenario, mode);
       cfg.run_seed = run_seed(scenario, mode, /*domain_tag=*/7, /*kind_tag=*/0, i);
-      RunResult r = run_supervised(cfg);
-      if (r.outcome == FaultOutcome::kHarnessError) continue;
-      out.push_back(std::move(r.observations));
+      cfgs.push_back(cfg);
     }
+  }
+  std::vector<std::vector<StepObservation>> out;
+  for (RunResult& r : run_all(cfgs)) {
+    if (r.outcome == FaultOutcome::kHarnessError) continue;
+    out.push_back(std::move(r.observations));
   }
   return out;
 }

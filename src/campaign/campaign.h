@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "campaign/driver.h"
+#include "campaign/executor.h"
 #include "fi/plan_generator.h"
 
 namespace dav {
@@ -77,7 +78,11 @@ class CampaignManager {
   RunResult run_supervised(const RunConfig& cfg);
 
   /// Supervised batch: one result per config, in order (quarantined runs
-  /// included as kHarnessError placeholders, never dropped).
+  /// included as kHarnessError placeholders, never dropped). When the
+  /// environment enables the process-isolated executor (DAV_JOBS and/or
+  /// DAV_JOURNAL set — see executor.h) the batch runs in forked, sandboxed,
+  /// journaled workers; otherwise it runs serially in-process. Both paths
+  /// merge results by config index and yield bit-identical batches.
   std::vector<RunResult> run_all(const std::vector<RunConfig>& cfgs);
 
   /// A run the supervisor had to abort, with the offending config (seed and
@@ -114,6 +119,10 @@ class CampaignManager {
  private:
   std::uint64_t run_seed(ScenarioId scenario, AgentMode mode, int domain_tag,
                          int kind_tag, int index) const;
+
+  /// Digest of (campaign seed, scale): binds a journal file to this
+  /// campaign's configuration so resume never replays foreign results.
+  std::uint64_t fingerprint() const;
 
   CampaignScale scale_;
   std::uint64_t seed_;

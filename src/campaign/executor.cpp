@@ -1,0 +1,503 @@
+#include "campaign/executor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DAV_EXECUTOR_POSIX 1
+#include <csignal>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "campaign/serialize.h"
+#include "util/bits.h"
+
+namespace dav {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+// ---- wire format, worker -> supervisor ------------------------------------
+//
+// frame   = u32 payload_len | u64 fnv1a64(payload) | payload
+// payload = u8 ok | [str what, when !ok] | serialized RunResult
+//
+// A worker that dies mid-write leaves a frame that fails the length or
+// checksum test; the supervisor treats that exactly like a signal death.
+
+struct Payload {
+  bool ok = false;
+  std::string what;
+  RunResult result;
+};
+
+std::string make_payload(bool ok, const std::string& what,
+                         const RunResult& r) {
+  ByteWriter w;
+  w.u8(ok ? 1 : 0);
+  if (!ok) w.str(what);
+  w.raw(serialize_run_result(r));
+  return w.take();
+}
+
+Payload parse_payload(const std::string& bytes) {
+  ByteReader r(bytes);
+  Payload p;
+  p.ok = r.u8() != 0;
+  if (!p.ok) p.what = r.str();
+  std::string rest(bytes.data() + (bytes.size() - r.remaining()),
+                   r.remaining());
+  p.result = deserialize_run_result(rest);
+  return p;
+}
+
+std::string frame_payload(const std::string& payload) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u64(fnv1a64(payload.data(), payload.size()));
+  w.raw(payload);
+  return w.take();
+}
+
+/// Extract the payload from a complete, checksummed frame; nullopt when the
+/// buffer is torn, truncated, or corrupt.
+std::optional<std::string> unframe(const std::string& buf) {
+  if (buf.size() < 12) return std::nullopt;
+  ByteReader r(buf);
+  const std::uint32_t len = r.u32();
+  const std::uint64_t checksum = r.u64();
+  if (r.remaining() != len) return std::nullopt;
+  std::string payload = buf.substr(12);
+  if (fnv1a64(payload.data(), payload.size()) != checksum) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+}  // namespace
+
+RunResult harness_error_result(const RunConfig& cfg) {
+  RunResult r;
+  r.scenario = cfg.scenario;
+  r.mode = cfg.mode;
+  r.fault = cfg.fault;
+  r.run_seed = cfg.run_seed;
+  r.dt = cfg.dt;
+  r.outcome = FaultOutcome::kHarnessError;
+  return r;
+}
+
+ExecutorOptions ExecutorOptions::from_env() {
+  ExecutorOptions o;
+  o.jobs = env_int("DAV_JOBS", 0);
+  if (const char* j = std::getenv("DAV_JOURNAL")) o.journal_path = j;
+  o.run_timeout_sec = env_double("DAV_RUN_TIMEOUT_SEC", o.run_timeout_sec);
+  o.max_retries = env_int("DAV_RUN_RETRIES", o.max_retries);
+  o.cpu_limit_sec = env_double("DAV_RUN_CPU_SEC", o.cpu_limit_sec);
+  o.address_space_mb = static_cast<std::size_t>(
+      std::max(0, env_int("DAV_RUN_AS_MB", 0)));
+  return o;
+}
+
+void ExecutorOptions::validate() const {
+  const auto reject = [](const std::string& what) {
+    throw std::invalid_argument("ExecutorOptions: " + what);
+  };
+  if (!(run_timeout_sec > 0.0)) {
+    reject("run_timeout_sec must be positive, got " +
+           std::to_string(run_timeout_sec));
+  }
+  if (max_retries < 0) {
+    reject("max_retries must be non-negative, got " +
+           std::to_string(max_retries));
+  }
+  if (retry_backoff_sec < 0.0) {
+    reject("retry_backoff_sec must be non-negative, got " +
+           std::to_string(retry_backoff_sec));
+  }
+  if (cpu_limit_sec < 0.0) {
+    reject("cpu_limit_sec must be non-negative, got " +
+           std::to_string(cpu_limit_sec));
+  }
+}
+
+CampaignExecutor::CampaignExecutor(ExecutorOptions opts, RunFn fn)
+    : opts_(std::move(opts)),
+      fn_(fn ? std::move(fn)
+             : RunFn([](const RunConfig& c) { return run_experiment(c); })) {
+  opts_.validate();
+}
+
+std::vector<RunResult> CampaignExecutor::run_all(
+    const std::vector<RunConfig>& cfgs) {
+  quarantined_.clear();
+  stats_ = ExecutorStats{};
+
+  std::vector<RunResult> results(cfgs.size());
+  std::vector<char> done(cfgs.size(), 0);
+  std::vector<std::uint64_t> keys(cfgs.size(), 0);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    keys[i] = run_config_digest(cfgs[i]);
+  }
+
+  if (!opts_.journal_path.empty()) {
+    const JournalLoad load =
+        load_journal(opts_.journal_path, opts_.campaign_fingerprint);
+    stats_.torn_bytes_discarded = load.torn_bytes;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      const auto it = load.records.find(keys[i]);
+      if (it == load.records.end()) continue;
+      try {
+        Payload p = parse_payload(it->second);
+        results[i] = std::move(p.result);
+        done[i] = 1;
+        ++stats_.journal_hits;
+        if (!p.ok) {
+          // Replay the quarantine verdict too, so a resumed campaign reports
+          // the same quarantined() list as the uninterrupted one.
+          quarantined_.push_back(RunQuarantine{i, cfgs[i], p.what});
+          ++stats_.quarantined;
+        }
+      } catch (const std::exception&) {
+        // Undeserializable (e.g. written by an older record version):
+        // re-execute the run.
+      }
+    }
+    journal_ = JournalWriter(opts_.journal_path, opts_.campaign_fingerprint,
+                             load);
+  } else {
+    journal_ = JournalWriter();
+  }
+
+#if DAV_EXECUTOR_POSIX
+  if (opts_.force_in_process) {
+    run_in_process(cfgs, keys, results, done);
+  } else {
+    run_forked(cfgs, keys, results, done);
+  }
+#else
+  run_in_process(cfgs, keys, results, done);
+#endif
+
+  journal_.close();
+  // Workers finish in nondeterministic order; the quarantine report must not.
+  std::sort(quarantined_.begin(), quarantined_.end(),
+            [](const RunQuarantine& a, const RunQuarantine& b) {
+              return a.index < b.index;
+            });
+  return results;
+}
+
+void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
+                                      const std::vector<std::uint64_t>& keys,
+                                      std::vector<RunResult>& results,
+                                      const std::vector<char>& done) {
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (done[i] != 0) continue;
+    try {
+      RunResult r = fn_(cfgs[i]);
+      if (journal_.enabled()) {
+        journal_.append(keys[i], make_payload(true, {}, r));
+      }
+      results[i] = std::move(r);
+    } catch (const std::exception& e) {
+      // In-process exceptions are deterministic; retrying them is futile.
+      results[i] = harness_error_result(cfgs[i]);
+      quarantined_.push_back(RunQuarantine{i, cfgs[i], e.what()});
+      ++stats_.quarantined;
+      if (journal_.enabled()) {
+        journal_.append(keys[i],
+                        make_payload(false, e.what(), results[i]));
+      }
+    }
+  }
+}
+
+#if DAV_EXECUTOR_POSIX
+
+namespace {
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // supervisor gone; nothing useful left to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void apply_rlimits(const ExecutorOptions& opts) {
+  if (opts.cpu_limit_sec > 0.0) {
+    const auto sec = static_cast<rlim_t>(opts.cpu_limit_sec + 0.999);
+    // Hard limit one second past the soft one: SIGXCPU at the soft limit,
+    // guaranteed SIGKILL shortly after if the worker somehow survives it.
+    rlimit lim{sec, sec + 1};
+    ::setrlimit(RLIMIT_CPU, &lim);
+  }
+  if (opts.address_space_mb > 0) {
+    const auto bytes =
+        static_cast<rlim_t>(opts.address_space_mb) * 1024u * 1024u;
+    rlimit lim{bytes, bytes};
+    ::setrlimit(RLIMIT_AS, &lim);
+  }
+}
+
+[[noreturn]] void worker_main(int fd, const RunConfig& cfg,
+                              const CampaignExecutor::RunFn& fn,
+                              const ExecutorOptions& opts) {
+  apply_rlimits(opts);
+  std::string payload;
+  try {
+    payload = make_payload(true, {}, fn(cfg));
+  } catch (const std::exception& e) {
+    payload = make_payload(false, e.what(), harness_error_result(cfg));
+  } catch (...) {
+    payload = make_payload(false, "unknown exception",
+                           harness_error_result(cfg));
+  }
+  write_all(fd, frame_payload(payload));
+  // _exit, not exit: the worker shares the supervisor's stdio and journal
+  // buffers via fork; running atexit/flush here would emit them twice.
+  ::_exit(0);
+}
+
+int await_child(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) break;
+  }
+  return status;
+}
+
+std::string describe_death(int status) {
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = ::strsignal(sig);
+    return "worker died: signal " + std::to_string(sig) + " (" +
+           (name != nullptr ? name : "?") + ")";
+  }
+  if (WIFEXITED(status)) {
+    return "worker exited with code " + std::to_string(WEXITSTATUS(status)) +
+           " without a complete result record";
+  }
+  return "worker ended without a complete result record";
+}
+
+}  // namespace
+
+void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
+                                  const std::vector<std::uint64_t>& keys,
+                                  std::vector<RunResult>& results,
+                                  const std::vector<char>& done) {
+  struct Pending {
+    std::size_t index = 0;
+    int attempt = 0;
+    Clock::time_point eligible{};
+  };
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    std::size_t index = 0;
+    int attempt = 0;
+    std::string buf;
+    Clock::time_point deadline{};
+    bool timed_out = false;
+  };
+
+  const int jobs = std::max(1, opts_.jobs);
+  const auto timeout =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(opts_.run_timeout_sec));
+
+  std::deque<Pending> pending;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (done[i] == 0) pending.push_back(Pending{i, 0, start});
+  }
+  std::vector<Worker> workers;
+
+  const auto launch = [&](const Pending& p) {
+    int pipefd[2] = {-1, -1};
+    if (::pipe(pipefd) != 0) {
+      throw std::runtime_error(std::string("executor: pipe failed: ") +
+                               std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipefd[0]);
+      ::close(pipefd[1]);
+      throw std::runtime_error(std::string("executor: fork failed: ") +
+                               std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      worker_main(pipefd[1], cfgs[p.index], fn_, opts_);
+    }
+    ::close(pipefd[1]);
+    Worker w;
+    w.pid = pid;
+    w.fd = pipefd[0];
+    w.index = p.index;
+    w.attempt = p.attempt;
+    w.deadline = Clock::now() + timeout;
+    workers.push_back(std::move(w));
+    ++stats_.launched;
+  };
+
+  const auto requeue_or_quarantine = [&](const Worker& w,
+                                         const std::string& what) {
+    if (w.attempt < opts_.max_retries) {
+      ++stats_.retries;
+      const double backoff_sec =
+          opts_.retry_backoff_sec * static_cast<double>(1 << w.attempt);
+      pending.push_back(Pending{
+          w.index, w.attempt + 1,
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(backoff_sec))});
+      return;
+    }
+    results[w.index] = harness_error_result(cfgs[w.index]);
+    quarantined_.push_back(RunQuarantine{w.index, cfgs[w.index], what});
+    ++stats_.quarantined;
+    if (journal_.enabled()) {
+      journal_.append(keys[w.index],
+                      make_payload(false, what, results[w.index]));
+    }
+  };
+
+  const auto finalize = [&](Worker w) {
+    ::close(w.fd);
+    const int status = await_child(w.pid);
+
+    // A complete, checksummed frame wins regardless of exit status (the
+    // watchdog may race a worker that finished its write).
+    if (const auto payload = unframe(w.buf)) {
+      try {
+        Payload p = parse_payload(*payload);
+        if (p.ok) {
+          if (journal_.enabled()) journal_.append(keys[w.index], *payload);
+          results[w.index] = std::move(p.result);
+        } else {
+          requeue_or_quarantine(w, p.what);
+        }
+        return;
+      } catch (const std::exception&) {
+        // fall through to the death diagnosis
+      }
+    }
+    std::string what;
+    if (w.timed_out) {
+      what = "watchdog: no result after " +
+             std::to_string(opts_.run_timeout_sec) + " s; worker killed";
+    } else {
+      what = describe_death(status);
+      if (WIFSIGNALED(status)) ++stats_.signal_deaths;
+    }
+    requeue_or_quarantine(w, what);
+  };
+
+  while (!pending.empty() || !workers.empty()) {
+    // Launch every eligible pending run into free worker slots.
+    Clock::time_point now = Clock::now();
+    for (auto it = pending.begin();
+         it != pending.end() && static_cast<int>(workers.size()) < jobs;) {
+      if (it->eligible <= now) {
+        launch(*it);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Sleep until the next event: readable pipe, watchdog deadline, or a
+    // retry becoming eligible.
+    Clock::time_point wake = now + std::chrono::seconds(1);
+    for (const Worker& w : workers) wake = std::min(wake, w.deadline);
+    if (static_cast<int>(workers.size()) < jobs) {
+      for (const Pending& p : pending) wake = std::min(wake, p.eligible);
+    }
+    const int timeout_ms = static_cast<int>(std::max<std::int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
+               .count()));
+
+    std::vector<pollfd> fds;
+    fds.reserve(workers.size());
+    for (const Worker& w : workers) fds.push_back(pollfd{w.fd, POLLIN, 0});
+    const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
+                          static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      throw std::runtime_error(std::string("executor: poll failed: ") +
+                               std::strerror(errno));
+    }
+
+    // Drain readable pipes; an EOF means the worker is done (or dead).
+    for (std::size_t i = 0; i < workers.size();) {
+      Worker& w = workers[i];
+      const short revents = i < fds.size() ? fds[i].revents : 0;
+      if (revents == 0) {
+        ++i;
+        continue;
+      }
+      char chunk[65536];
+      const ssize_t n = ::read(w.fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        w.buf.append(chunk, static_cast<std::size_t>(n));
+        ++i;
+      } else if (n < 0 && errno == EINTR) {
+        ++i;
+      } else {
+        Worker finished = std::move(w);
+        workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(i));
+        fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
+        finalize(std::move(finished));
+      }
+    }
+
+    // Enforce the wall-clock watchdog; the kill produces an EOF picked up by
+    // the next poll round.
+    now = Clock::now();
+    for (Worker& w : workers) {
+      if (!w.timed_out && now >= w.deadline) {
+        w.timed_out = true;
+        ++stats_.timeouts;
+        ::kill(w.pid, SIGKILL);
+      }
+    }
+  }
+}
+
+#else  // !DAV_EXECUTOR_POSIX
+
+void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
+                                  const std::vector<std::uint64_t>& keys,
+                                  std::vector<RunResult>& results,
+                                  const std::vector<char>& done) {
+  run_in_process(cfgs, keys, results, done);
+}
+
+#endif
+
+}  // namespace dav

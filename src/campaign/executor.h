@@ -1,0 +1,136 @@
+// Process-isolated, journaled, resumable campaign execution.
+//
+// Injected faults produce crashes and hangs by design, and at campaign scale
+// the harness itself must survive them (AVFI and the Bayesian-FI follow-up
+// treat this as first-class infrastructure). The in-process supervisor
+// (CampaignManager::run_supervised) only quarantines C++ exceptions; this
+// executor extends that guarantee to OS-level failures. Each run executes in
+// a forked, sandboxed worker process with a wall-clock watchdog and optional
+// CPU / address-space rlimits; the worker ships its RunResult back over a
+// pipe as a versioned, checksummed record. A worker death by signal, rlimit,
+// or watchdog timeout is captured via waitpid status and quarantined as a
+// kHarnessError outcome with the offending seed and FaultPlan — the sweep
+// always completes.
+//
+// Completed runs are persisted in a write-ahead journal (journal.h), so
+// re-launching the same campaign skips finished work and an interrupted
+// sweep resumes losslessly. DAV_JOBS workers run in parallel; quarantined
+// runs get a bounded retry with exponential backoff; and results are merged
+// deterministically by plan index, so the resumed/parallel summary is
+// bit-identical to the uninterrupted serial one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/driver.h"
+#include "campaign/journal.h"
+
+namespace dav {
+
+struct ExecutorOptions {
+  /// Parallel worker processes. <= 0 means "not explicitly enabled"; the
+  /// executor itself treats it as 1.
+  int jobs = 1;
+  /// Wall-clock watchdog per run attempt; a worker still alive past this is
+  /// SIGKILLed and quarantined.
+  double run_timeout_sec = 600.0;
+  /// RLIMIT_CPU for each worker, seconds. 0 disables the limit.
+  double cpu_limit_sec = 0.0;
+  /// RLIMIT_AS for each worker, MiB. 0 disables the limit. (Leave 0 under
+  /// AddressSanitizer: ASan reserves terabytes of virtual address space.)
+  std::size_t address_space_mb = 0;
+  /// Re-execution attempts for a quarantined run before it is recorded as a
+  /// final kHarnessError.
+  int max_retries = 1;
+  /// Base delay before a retry; doubles per attempt.
+  double retry_backoff_sec = 0.25;
+  /// Write-ahead journal path; empty disables journaling.
+  std::string journal_path;
+  /// Binds the journal to one campaign configuration (see journal.h).
+  std::uint64_t campaign_fingerprint = 0;
+  /// Run every attempt in this process instead of forking (non-POSIX hosts,
+  /// or debugging): no watchdog or rlimits, but journaling still works.
+  bool force_in_process = false;
+
+  /// Reads DAV_JOBS, DAV_JOURNAL, DAV_RUN_TIMEOUT_SEC, DAV_RUN_RETRIES,
+  /// DAV_RUN_CPU_SEC and DAV_RUN_AS_MB.
+  static ExecutorOptions from_env();
+
+  /// True when the environment asked for the executor (DAV_JOBS or
+  /// DAV_JOURNAL set); CampaignManager::run_all falls back to the legacy
+  /// in-process serial supervisor otherwise.
+  bool enabled() const { return jobs > 0 || !journal_path.empty(); }
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+/// A run the executor had to give up on, with the offending config (seed and
+/// fault plan included) and a diagnosis: the child's exception text, the
+/// death signal, or the watchdog timeout.
+struct RunQuarantine {
+  std::size_t index = 0;  ///< position in the submitted config list
+  RunConfig cfg;
+  std::string what;
+};
+
+struct ExecutorStats {
+  int launched = 0;       ///< worker processes forked
+  int journal_hits = 0;   ///< runs skipped because the journal had them
+  int retries = 0;        ///< re-executions of quarantined attempts
+  int signal_deaths = 0;  ///< workers that died to a signal (not the watchdog)
+  int timeouts = 0;       ///< workers killed by the wall-clock watchdog
+  int quarantined = 0;    ///< runs recorded as final kHarnessError
+  std::uint64_t torn_bytes_discarded = 0;  ///< from the journal's torn tail
+};
+
+/// The kHarnessError placeholder for a run that could not produce a result:
+/// carries the identity (scenario, mode, fault plan, seed, dt) so summaries
+/// and quarantine reports still name the offending run.
+RunResult harness_error_result(const RunConfig& cfg);
+
+class CampaignExecutor {
+ public:
+  /// The work function, executed inside the worker process. Defaults to
+  /// run_experiment; tests substitute functions that crash, hang, or abort
+  /// to exercise the sandbox.
+  using RunFn = std::function<RunResult(const RunConfig&)>;
+
+  /// Throws std::invalid_argument when `opts` is nonsensical.
+  explicit CampaignExecutor(ExecutorOptions opts, RunFn fn = {});
+
+  /// Execute every config, in parallel, with journal resume. Returns one
+  /// result per config in submission order (quarantined runs included as
+  /// kHarnessError placeholders, never dropped). Deterministic: the result
+  /// vector is bit-identical to a serial in-process sweep of the same
+  /// configs.
+  std::vector<RunResult> run_all(const std::vector<RunConfig>& cfgs);
+
+  /// Final quarantines of the last run_all, sorted by config index.
+  const std::vector<RunQuarantine>& quarantined() const {
+    return quarantined_;
+  }
+  const ExecutorStats& stats() const { return stats_; }
+
+ private:
+  void run_in_process(const std::vector<RunConfig>& cfgs,
+                      const std::vector<std::uint64_t>& keys,
+                      std::vector<RunResult>& results,
+                      const std::vector<char>& done);
+  void run_forked(const std::vector<RunConfig>& cfgs,
+                  const std::vector<std::uint64_t>& keys,
+                  std::vector<RunResult>& results,
+                  const std::vector<char>& done);
+
+  ExecutorOptions opts_;
+  RunFn fn_;
+  JournalWriter journal_;
+  std::vector<RunQuarantine> quarantined_;
+  ExecutorStats stats_;
+};
+
+}  // namespace dav

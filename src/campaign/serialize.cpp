@@ -1,0 +1,321 @@
+#include "campaign/serialize.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/threshold_lut.h"
+#include "util/bits.h"
+
+namespace dav {
+
+namespace {
+
+[[noreturn]] void malformed(const char* what) {
+  throw std::runtime_error(std::string("run record: ") + what);
+}
+
+}  // namespace
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(double_bits(v)); }
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_ += s;
+}
+
+const char* ByteReader::need(std::size_t n) {
+  if (size_ - pos_ < n) malformed("truncated");
+  const char* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() {
+  return static_cast<std::uint8_t>(*need(1));
+}
+
+std::uint32_t ByteReader::u32() {
+  const char* p = need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const char* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::f64() { return bits_double(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (size_ - pos_ < n) malformed("truncated string");
+  const char* p = need(static_cast<std::size_t>(n));
+  return std::string(p, static_cast<std::size_t>(n));
+}
+
+namespace {
+
+void put_fault_plan(ByteWriter& w, const FaultPlan& p) {
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.u8(static_cast<std::uint8_t>(p.domain));
+  w.u64(p.target_dyn_index);
+  w.i32(p.target_opcode);
+  w.i32(p.bit);
+}
+
+FaultPlan get_fault_plan(ByteReader& r) {
+  FaultPlan p;
+  p.kind = static_cast<FaultModelKind>(r.u8());
+  p.domain = static_cast<FaultDomain>(r.u8());
+  p.target_dyn_index = r.u64();
+  p.target_opcode = r.i32();
+  p.bit = r.i32();
+  return p;
+}
+
+void put_vehicle_state(ByteWriter& w, const VehicleState& s) {
+  w.f64(s.pose.pos.x);
+  w.f64(s.pose.pos.y);
+  w.f64(s.pose.yaw);
+  w.f64(s.v);
+  w.f64(s.a);
+  w.f64(s.omega);
+  w.f64(s.alpha);
+}
+
+VehicleState get_vehicle_state(ByteReader& r) {
+  VehicleState s;
+  s.pose.pos.x = r.f64();
+  s.pose.pos.y = r.f64();
+  s.pose.yaw = r.f64();
+  s.v = r.f64();
+  s.a = r.f64();
+  s.omega = r.f64();
+  s.alpha = r.f64();
+  return s;
+}
+
+template <typename T, typename PutFn>
+void put_vec(ByteWriter& w, const std::vector<T>& v, PutFn put) {
+  w.u64(v.size());
+  for (const T& e : v) put(w, e);
+}
+
+std::uint64_t get_count(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  // An element is at least one byte; a count past the remaining bytes is
+  // corruption, caught here instead of in a giant allocation.
+  if (n > r.remaining()) malformed("implausible element count");
+  return n;
+}
+
+}  // namespace
+
+std::string serialize_run_result(const RunResult& r) {
+  ByteWriter w;
+  w.u32(kRunRecordVersion);
+  w.u8(static_cast<std::uint8_t>(r.scenario));
+  w.u8(static_cast<std::uint8_t>(r.mode));
+  put_fault_plan(w, r.fault);
+  w.u64(r.run_seed);
+  w.u8(static_cast<std::uint8_t>(r.outcome));
+  w.u8(r.fault_activated ? 1 : 0);
+  w.u8(r.collision ? 1 : 0);
+  w.f64(r.collision_time);
+  w.u8(r.flags.collision ? 1 : 0);
+  w.u8(r.flags.red_light_violation ? 1 : 0);
+  w.u8(r.flags.speeding ? 1 : 0);
+  w.u8(r.flags.off_road ? 1 : 0);
+  put_vec(w, r.trajectory.points(), [](ByteWriter& o, const Vec2& p) {
+    o.f64(p.x);
+    o.f64(p.y);
+  });
+  w.f64(r.duration);
+  w.f64(r.scheduled_duration);
+  w.f64(r.dt);
+  w.i32(r.steps);
+  w.u8(r.due ? 1 : 0);
+  w.f64(r.due_time);
+  w.u8(static_cast<std::uint8_t>(r.due_source));
+  w.u8(r.online_alarmed ? 1 : 0);
+  w.f64(r.online_alarm_time);
+  w.i32(r.recovery.attempts);
+  w.i32(r.recovery.completed);
+  w.u8(r.recovery.escalated ? 1 : 0);
+  w.f64(r.recovery.first_detector_alarm_time);
+  put_vec(w, r.recovery.events, [](ByteWriter& o, const RecoveryEvent& e) {
+    o.i32(e.suspect);
+    o.u8(static_cast<std::uint8_t>(e.trigger));
+    o.f64(e.alarm_time);
+    o.f64(e.restart_time);
+    o.f64(e.rejoin_time);
+    o.i32(e.alarm_tick);
+    o.i32(e.restart_tick);
+    o.i32(e.rejoin_tick);
+  });
+  w.i32(r.recovery.nominal_ticks);
+  w.i32(r.recovery.probe_ticks);
+  w.i32(r.recovery.degraded_ticks);
+  w.i32(r.recovery.failback_ticks);
+  put_vec(w, r.observations, [](ByteWriter& o, const StepObservation& s) {
+    o.f64(s.time);
+    put_vehicle_state(o, s.state);
+    o.f64(s.delta.throttle);
+    o.f64(s.delta.brake);
+    o.f64(s.delta.steer);
+  });
+  const auto put_f64_vec = [&w](const std::vector<double>& v) {
+    put_vec(w, v, [](ByteWriter& o, double d) { o.f64(d); });
+  };
+  put_f64_vec(r.time_trace);
+  put_f64_vec(r.throttle_trace);
+  put_f64_vec(r.brake_trace);
+  put_f64_vec(r.steer_trace);
+  put_f64_vec(r.cvip_trace);
+  put_vec(w, r.acting_agent_trace,
+          [](ByteWriter& o, int v) { o.i32(v); });
+  w.u64(r.gpu_instructions);
+  w.u64(r.cpu_instructions);
+  w.u64(r.agent_state_bytes);
+  w.u64(r.sensor_frame_bytes);
+  return w.take();
+}
+
+RunResult deserialize_run_result(const std::string& bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kRunRecordVersion) malformed("version mismatch");
+  RunResult out;
+  out.scenario = static_cast<ScenarioId>(r.u8());
+  out.mode = static_cast<AgentMode>(r.u8());
+  out.fault = get_fault_plan(r);
+  out.run_seed = r.u64();
+  out.outcome = static_cast<FaultOutcome>(r.u8());
+  out.fault_activated = r.u8() != 0;
+  out.collision = r.u8() != 0;
+  out.collision_time = r.f64();
+  out.flags.collision = r.u8() != 0;
+  out.flags.red_light_violation = r.u8() != 0;
+  out.flags.speeding = r.u8() != 0;
+  out.flags.off_road = r.u8() != 0;
+  for (std::uint64_t i = 0, n = get_count(r); i < n; ++i) {
+    const double x = r.f64();
+    const double y = r.f64();
+    out.trajectory.push({x, y});
+  }
+  out.duration = r.f64();
+  out.scheduled_duration = r.f64();
+  out.dt = r.f64();
+  out.steps = r.i32();
+  out.due = r.u8() != 0;
+  out.due_time = r.f64();
+  out.due_source = static_cast<DueSource>(r.u8());
+  out.online_alarmed = r.u8() != 0;
+  out.online_alarm_time = r.f64();
+  out.recovery.attempts = r.i32();
+  out.recovery.completed = r.i32();
+  out.recovery.escalated = r.u8() != 0;
+  out.recovery.first_detector_alarm_time = r.f64();
+  for (std::uint64_t i = 0, n = get_count(r); i < n; ++i) {
+    RecoveryEvent e;
+    e.suspect = r.i32();
+    e.trigger = static_cast<DueSource>(r.u8());
+    e.alarm_time = r.f64();
+    e.restart_time = r.f64();
+    e.rejoin_time = r.f64();
+    e.alarm_tick = r.i32();
+    e.restart_tick = r.i32();
+    e.rejoin_tick = r.i32();
+    out.recovery.events.push_back(e);
+  }
+  out.recovery.nominal_ticks = r.i32();
+  out.recovery.probe_ticks = r.i32();
+  out.recovery.degraded_ticks = r.i32();
+  out.recovery.failback_ticks = r.i32();
+  for (std::uint64_t i = 0, n = get_count(r); i < n; ++i) {
+    StepObservation s;
+    s.time = r.f64();
+    s.state = get_vehicle_state(r);
+    s.delta.throttle = r.f64();
+    s.delta.brake = r.f64();
+    s.delta.steer = r.f64();
+    out.observations.push_back(s);
+  }
+  const auto get_f64_vec = [&r]() {
+    std::vector<double> v;
+    for (std::uint64_t i = 0, n = get_count(r); i < n; ++i) v.push_back(r.f64());
+    return v;
+  };
+  out.time_trace = get_f64_vec();
+  out.throttle_trace = get_f64_vec();
+  out.brake_trace = get_f64_vec();
+  out.steer_trace = get_f64_vec();
+  out.cvip_trace = get_f64_vec();
+  for (std::uint64_t i = 0, n = get_count(r); i < n; ++i) {
+    out.acting_agent_trace.push_back(r.i32());
+  }
+  out.gpu_instructions = r.u64();
+  out.cpu_instructions = r.u64();
+  out.agent_state_bytes = r.u64();
+  out.sensor_frame_bytes = r.u64();
+  if (!r.done()) malformed("trailing bytes");
+  return out;
+}
+
+std::uint64_t run_config_digest(const RunConfig& cfg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(cfg.scenario));
+  w.u64(cfg.scenario_seed);
+  w.f64(cfg.scenario_opts.long_route_duration_sec);
+  w.f64(cfg.scenario_opts.safety_duration_sec);
+  w.u8(static_cast<std::uint8_t>(cfg.mode));
+  w.f64(cfg.overlap_ratio);
+  put_fault_plan(w, cfg.fault);
+  w.u64(cfg.run_seed);
+  w.f64(cfg.dt);
+  w.i32(cfg.cam_width);
+  w.i32(cfg.cam_height);
+  w.f64(cfg.camera_noise_sigma);
+  w.u8(cfg.record_traces ? 1 : 0);
+  w.f64(cfg.watchdog_sec);
+  w.f64(cfg.stuck_watchdog_sec);
+  w.u8(static_cast<std::uint8_t>(cfg.mitigation));
+  w.i32(cfg.recovery.probe_ticks);
+  w.i32(cfg.recovery.rewarm_ticks);
+  w.i32(cfg.recovery.max_recoveries);
+  w.i32(cfg.recovery.recovery_window_ticks);
+  w.u8(cfg.online_lut != nullptr ? 1 : 0);
+  if (cfg.online_lut != nullptr) {
+    w.u64(cfg.online_detector.rw);
+    w.f64(cfg.online_detector.min_eval_speed);
+    w.i32(cfg.online_detector.debounce);
+    // The trained table is part of the run's identity: the same sweep with a
+    // differently trained LUT produces different alarms.
+    std::ostringstream lut_text;
+    cfg.online_lut->save(lut_text);
+    w.str(lut_text.str());
+  }
+  const std::string& b = w.bytes();
+  return fnv1a64(b.data(), b.size());
+}
+
+}  // namespace dav

@@ -1,0 +1,85 @@
+// Versioned binary serialization of campaign run records.
+//
+// The multi-process executor ships every RunResult from a sandboxed worker
+// back to the supervisor over a pipe, and the write-ahead journal persists
+// the same records on disk across campaign restarts. Both need one canonical
+// encoding: explicit little-endian byte order, bit-exact doubles (IEEE-754
+// bits, never a text round-trip), and length-prefixed containers — so a
+// deserialized RunResult is bit-identical to the in-process original and the
+// resumed campaign summary matches the uninterrupted one exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "campaign/driver.h"
+
+namespace dav {
+
+/// Bumped whenever the RunResult encoding changes; a record with a different
+/// version fails to deserialize (and the executor simply re-runs it).
+inline constexpr std::uint32_t kRunRecordVersion = 1;
+
+/// Append-only little-endian byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  /// Bit-exact IEEE-754 encoding (NaNs and signed zeros round-trip).
+  void f64(double v);
+  void str(const std::string& s);
+  void raw(const std::string& bytes) { buf_ += bytes; }
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte buffer. Every accessor throws
+/// std::runtime_error on truncated input — a torn record never yields a
+/// half-filled RunResult.
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const char* need(std::size_t n);
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Complete, versioned encoding of a RunResult (every field, including
+/// observation and trace vectors).
+std::string serialize_run_result(const RunResult& r);
+
+/// Inverse of serialize_run_result. Throws std::runtime_error on a truncated
+/// buffer, trailing garbage, or a version mismatch.
+RunResult deserialize_run_result(const std::string& bytes);
+
+/// Stable 64-bit digest over every RunConfig field that determines the
+/// outcome of run_experiment (including the trained LUT contents when an
+/// online detector is attached). Two configs with equal digests produce
+/// bit-identical results, so the digest keys the journal: a completed record
+/// under the same key can be replayed instead of re-executed.
+std::uint64_t run_config_digest(const RunConfig& cfg);
+
+}  // namespace dav

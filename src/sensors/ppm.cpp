@@ -1,22 +1,39 @@
 #include "sensors/ppm.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 
 namespace dav {
 
+namespace {
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
 void write_ppm(const Image& img, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  if (!out) io_error("write_ppm: cannot open", path);
   out << "P6\n" << img.width() << ' ' << img.height() << "\n255\n";
   out.write(reinterpret_cast<const char*>(img.bytes().data()),
             static_cast<std::streamsize>(img.byte_size()));
-  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+  // Flush before the final check: a full disk or dead mount often only
+  // surfaces when buffered pixels hit the kernel, and a silent half-written
+  // frame would poison any later diff against it.
+  out.flush();
+  if (!out) io_error("write_ppm: write failed for", path);
+  out.close();
+  if (out.fail()) io_error("write_ppm: close failed for", path);
 }
 
 Image read_ppm(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+  if (!in) io_error("read_ppm: cannot open", path);
   std::string magic;
   int w = 0, h = 0, maxval = 0;
   in >> magic >> w >> h >> maxval;

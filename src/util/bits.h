@@ -71,4 +71,16 @@ inline double xor_double(double d, std::uint64_t mask) {
   return bits_double(double_bits(d) ^ mask);
 }
 
+/// FNV-1a 64-bit hash. Used for record checksums and config digests in the
+/// campaign journal; chain calls by passing the previous hash as `h`.
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t h = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace dav

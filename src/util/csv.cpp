@@ -1,27 +1,80 @@
 #include "util/csv.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace dav {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {
-  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+namespace {
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error("CsvWriter: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path)
+    : path_(path), tmp_path_(path + ".tmp"), out_(tmp_path_, std::ios::trunc) {
+  if (!out_) io_error("cannot open", tmp_path_);
+}
+
+CsvWriter::~CsvWriter() {
+  try {
+    close();
+  } catch (...) {
+    // A destructor must not throw; call close() explicitly to observe
+    // publish failures.
+  }
 }
 
 void CsvWriter::header(const std::vector<std::string>& cols) {
   for (std::size_t i = 0; i < cols.size(); ++i) {
     if (i) out_ << ',';
-    out_ << cols[i];
+    out_ << csv_escape(cols[i]);
   }
   out_ << '\n';
+  if (!out_) io_error("write failed for", tmp_path_);
 }
 
 void CsvWriter::endrow() {
   out_ << row_.str() << '\n';
   row_.str({});
   row_.clear();
+  if (!out_) io_error("write failed for", tmp_path_);
 }
 
-void CsvWriter::flush() { out_.flush(); }
+void CsvWriter::flush() {
+  out_.flush();
+  if (!out_) io_error("flush failed for", tmp_path_);
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  out_.flush();
+  if (!out_) io_error("flush failed for", tmp_path_);
+  out_.close();
+  if (out_.fail()) io_error("close failed for", tmp_path_);
+  // Atomic publish: readers see the old artifact or the complete new one.
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    io_error("cannot rename " + tmp_path_ + " to", path_);
+  }
+  closed_ = true;
+}
 
 }  // namespace dav

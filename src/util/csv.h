@@ -1,4 +1,10 @@
 // Minimal CSV writer for exporting run traces and bench series.
+//
+// Crash-safe: rows stream to `<path>.tmp`, which is atomically renamed onto
+// the final path by close() (or the destructor). A run killed mid-write —
+// routine under fault injection — leaves either the previous artifact or
+// none, never a torn one. String cells containing commas, quotes or
+// newlines are quoted and their quotes doubled (RFC 4180).
 #pragma once
 
 #include <fstream>
@@ -8,10 +14,20 @@
 
 namespace dav {
 
-/// Streams rows of mixed string/number cells to a file. Throws on open failure.
+/// RFC-4180 escape: quoted iff the cell contains a comma, quote or newline.
+std::string csv_escape(const std::string& cell);
+
+/// Streams rows of mixed string/number cells to a file. Throws on open
+/// failure; write errors surface (with the path) from endrow/flush/close.
 class CsvWriter {
  public:
   explicit CsvWriter(const std::string& path);
+  /// Closes (flush + atomic rename) if close() was not already called;
+  /// destructor errors are swallowed — call close() to observe them.
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
 
   void header(const std::vector<std::string>& cols);
 
@@ -22,13 +38,30 @@ class CsvWriter {
     row_ << value;
     return *this;
   }
+  CsvWriter& operator<<(const std::string& value) {
+    if (!row_.str().empty()) row_ << ',';
+    row_ << csv_escape(value);
+    return *this;
+  }
+  CsvWriter& operator<<(const char* value) {
+    if (!row_.str().empty()) row_ << ',';
+    row_ << csv_escape(value);
+    return *this;
+  }
 
   void endrow();
+  /// Flush buffered rows to the temp file (the final artifact still appears
+  /// only at close()).
   void flush();
+  /// Flush and atomically publish the temp file as `path`. Idempotent.
+  void close();
 
  private:
+  std::string path_;
+  std::string tmp_path_;
   std::ofstream out_;
   std::ostringstream row_;
+  bool closed_ = false;
 };
 
 }  // namespace dav

@@ -1,0 +1,391 @@
+// Process-isolated campaign executor: sandboxing, watchdog, retry, and
+// journal resume. The fork/pipe machinery is POSIX-only, matching the
+// executor itself (non-POSIX hosts fall back to the in-process path).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/executor.h"
+#include "campaign/journal.h"
+#include "campaign/serialize.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DAV_TEST_POSIX 1
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace dav {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Deterministic stand-in for run_experiment: cheap, but exercises enough of
+/// the record (traces, trajectory) that a serialization slip would show.
+RunResult stub_result(const RunConfig& cfg) {
+  RunResult r;
+  r.scenario = cfg.scenario;
+  r.mode = cfg.mode;
+  r.fault = cfg.fault;
+  r.run_seed = cfg.run_seed;
+  r.outcome = FaultOutcome::kMasked;
+  r.fault_activated = true;
+  r.duration = static_cast<double>(cfg.run_seed % 97) * 0.5;
+  r.steps = static_cast<int>(cfg.run_seed % 13);
+  r.trajectory.push({static_cast<double>(cfg.run_seed % 7), -1.5});
+  r.cvip_trace = {42.0, static_cast<double>(cfg.run_seed % 5)};
+  r.cpu_instructions = cfg.run_seed * 3;
+  return r;
+}
+
+std::vector<RunConfig> make_configs(std::size_t n) {
+  std::vector<RunConfig> cfgs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cfgs[i].run_seed = 1000 + i;
+    cfgs[i].fault.kind = FaultModelKind::kTransient;
+    cfgs[i].fault.target_dyn_index = 7000 + i;
+  }
+  return cfgs;
+}
+
+ExecutorOptions fast_options() {
+  ExecutorOptions o;
+  o.jobs = 2;
+  o.run_timeout_sec = 60.0;
+  o.max_retries = 0;
+  o.retry_backoff_sec = 0.01;
+  return o;
+}
+
+TEST(ExecutorOptions, ValidationRejectsNonsense) {
+  ExecutorOptions o;
+  o.run_timeout_sec = 0.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = ExecutorOptions{};
+  o.max_retries = -1;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = ExecutorOptions{};
+  o.retry_backoff_sec = -0.1;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+TEST(ExecutorOptions, EnabledOnlyWhenEnvAsksForIt) {
+  ExecutorOptions o;
+  o.jobs = 0;
+  EXPECT_FALSE(o.enabled());
+  o.journal_path = "/tmp/j";
+  EXPECT_TRUE(o.enabled());
+  o = ExecutorOptions{};
+  o.jobs = 4;
+  EXPECT_TRUE(o.enabled());
+}
+
+TEST(Executor, InProcessPathMatchesDirectCalls) {
+  ExecutorOptions o = fast_options();
+  o.force_in_process = true;
+  CampaignExecutor exec(o, stub_result);
+  const auto cfgs = make_configs(5);
+  const auto results = exec.run_all(cfgs);
+  ASSERT_EQ(results.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(results[i]),
+              serialize_run_result(stub_result(cfgs[i])))
+        << "index " << i;
+  }
+  EXPECT_TRUE(exec.quarantined().empty());
+}
+
+#if DAV_TEST_POSIX
+
+TEST(Executor, ParallelForkedMatchesSerial) {
+  CampaignExecutor exec(fast_options(), stub_result);
+  const auto cfgs = make_configs(9);
+  const auto results = exec.run_all(cfgs);
+  ASSERT_EQ(results.size(), cfgs.size());
+  // Workers finish in any order; the merged batch must be bit-identical to a
+  // serial sweep anyway.
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(results[i]),
+              serialize_run_result(stub_result(cfgs[i])))
+        << "index " << i;
+  }
+  EXPECT_TRUE(exec.quarantined().empty());
+  EXPECT_EQ(exec.stats().launched, 9);
+}
+
+TEST(Executor, CrashingAndAbortingRunsAreQuarantined) {
+  // Seeds 1001 / 1003 die at the OS level inside the worker. Under
+  // AddressSanitizer a SIGSEGV becomes a diagnostic + nonzero exit instead of
+  // a signal death; both read as "no complete result record" and quarantine.
+  const auto fn = [](const RunConfig& cfg) -> RunResult {
+    if (cfg.run_seed == 1001) ::raise(SIGSEGV);
+    if (cfg.run_seed == 1003) std::abort();
+    return stub_result(cfg);
+  };
+  CampaignExecutor exec(fast_options(), fn);
+  const auto cfgs = make_configs(5);
+  const auto results = exec.run_all(cfgs);
+  ASSERT_EQ(results.size(), cfgs.size());
+
+  for (const std::size_t bad : {std::size_t{1}, std::size_t{3}}) {
+    EXPECT_EQ(results[bad].outcome, FaultOutcome::kHarnessError);
+    // The placeholder still names the offending run.
+    EXPECT_EQ(results[bad].run_seed, cfgs[bad].run_seed);
+    EXPECT_EQ(results[bad].fault.target_dyn_index,
+              cfgs[bad].fault.target_dyn_index);
+  }
+  for (const std::size_t good : {std::size_t{0}, std::size_t{2},
+                                 std::size_t{4}}) {
+    EXPECT_EQ(serialize_run_result(results[good]),
+              serialize_run_result(stub_result(cfgs[good])));
+  }
+  ASSERT_EQ(exec.quarantined().size(), 2u);
+  EXPECT_EQ(exec.quarantined()[0].index, 1u);
+  EXPECT_EQ(exec.quarantined()[1].index, 3u);
+  EXPECT_EQ(exec.quarantined()[0].cfg.run_seed, 1001u);
+  EXPECT_EQ(exec.stats().quarantined, 2);
+}
+
+TEST(Executor, WatchdogKillsHangingWorker) {
+  const auto fn = [](const RunConfig& cfg) -> RunResult {
+    if (cfg.run_seed == 1001) {
+      for (;;) ::usleep(10000);  // a hung agent: never returns
+    }
+    return stub_result(cfg);
+  };
+  ExecutorOptions o = fast_options();
+  o.run_timeout_sec = 0.25;
+  CampaignExecutor exec(o, fn);
+  const auto cfgs = make_configs(3);
+  const auto results = exec.run_all(cfgs);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[1].outcome, FaultOutcome::kHarnessError);
+  EXPECT_EQ(results[1].run_seed, 1001u);
+  EXPECT_EQ(serialize_run_result(results[0]),
+            serialize_run_result(stub_result(cfgs[0])));
+  EXPECT_EQ(serialize_run_result(results[2]),
+            serialize_run_result(stub_result(cfgs[2])));
+  ASSERT_EQ(exec.quarantined().size(), 1u);
+  EXPECT_NE(exec.quarantined()[0].what.find("watchdog"), std::string::npos)
+      << exec.quarantined()[0].what;
+  EXPECT_GE(exec.stats().timeouts, 1);
+}
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DAV_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DAV_TEST_ASAN 1
+#endif
+#endif
+
+#ifndef DAV_TEST_ASAN
+TEST(Executor, AddressSpaceLimitQuarantinesRunawayAllocation) {
+  // RLIMIT_AS turns a runaway allocation into a quarantine instead of an
+  // OOM-killed campaign. (Compiled out under ASan, which needs terabytes of
+  // virtual address space for shadow memory.)
+  const auto fn = [](const RunConfig& cfg) -> RunResult {
+    if (cfg.run_seed == 1001) {
+      std::vector<std::string> hog;
+      for (;;) hog.emplace_back(64u << 20, 'x');
+    }
+    return stub_result(cfg);
+  };
+  ExecutorOptions o = fast_options();
+  o.address_space_mb = 512;
+  CampaignExecutor exec(o, fn);
+  const auto cfgs = make_configs(3);
+  const auto results = exec.run_all(cfgs);
+
+  EXPECT_EQ(results[1].outcome, FaultOutcome::kHarnessError);
+  EXPECT_EQ(results[1].run_seed, 1001u);
+  EXPECT_EQ(serialize_run_result(results[0]),
+            serialize_run_result(stub_result(cfgs[0])));
+  EXPECT_EQ(serialize_run_result(results[2]),
+            serialize_run_result(stub_result(cfgs[2])));
+  ASSERT_EQ(exec.quarantined().size(), 1u);
+}
+#endif  // DAV_TEST_ASAN
+
+TEST(Executor, RetryRecoversATransientWorkerDeath) {
+  const std::string marker = temp_path("executor_retry_marker");
+  // First attempt: leave the marker and die. Retry: marker present, succeed.
+  const auto fn = [marker](const RunConfig& cfg) -> RunResult {
+    if (cfg.run_seed == 1001) {
+      struct stat st {};
+      if (::stat(marker.c_str(), &st) != 0) {
+        std::ofstream(marker) << "attempt";
+        ::raise(SIGKILL);
+      }
+    }
+    return stub_result(cfg);
+  };
+  ExecutorOptions o = fast_options();
+  o.max_retries = 2;
+  CampaignExecutor exec(o, fn);
+  const auto cfgs = make_configs(3);
+  const auto results = exec.run_all(cfgs);
+
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(results[i]),
+              serialize_run_result(stub_result(cfgs[i])))
+        << "index " << i;
+  }
+  EXPECT_TRUE(exec.quarantined().empty());
+  EXPECT_GE(exec.stats().retries, 1);
+  std::remove(marker.c_str());
+}
+
+TEST(Executor, QuarantineVerdictSurvivesResume) {
+  const std::string journal = temp_path("executor_verdict.journal");
+  const auto fn = [](const RunConfig& cfg) -> RunResult {
+    if (cfg.run_seed == 1002) std::abort();
+    return stub_result(cfg);
+  };
+  const auto cfgs = make_configs(4);
+
+  ExecutorOptions o = fast_options();
+  o.journal_path = journal;
+  CampaignExecutor first(o, fn);
+  const auto ref = first.run_all(cfgs);
+  ASSERT_EQ(first.quarantined().size(), 1u);
+
+  // Relaunch over the same journal: everything (including the quarantine
+  // verdict) replays without re-executing a single worker.
+  CampaignExecutor second(o, fn);
+  const auto res = second.run_all(cfgs);
+  EXPECT_EQ(second.stats().launched, 0);
+  EXPECT_EQ(second.stats().journal_hits, 4);
+  ASSERT_EQ(second.quarantined().size(), 1u);
+  EXPECT_EQ(second.quarantined()[0].index, 2u);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(res[i]), serialize_run_result(ref[i]))
+        << "index " << i;
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(Executor, KillMidFlightThenResumeIsBitIdentical) {
+  const std::string journal = temp_path("executor_resume.journal");
+  const auto slow_stub = [](const RunConfig& cfg) -> RunResult {
+    ::usleep(150000);  // slow enough that a kill lands mid-campaign
+    return stub_result(cfg);
+  };
+  const auto cfgs = make_configs(6);
+
+  // Uninterrupted reference, no journal involved.
+  CampaignExecutor ref_exec(fast_options(), slow_stub);
+  const auto ref = ref_exec.run_all(cfgs);
+
+  ExecutorOptions o = fast_options();
+  o.jobs = 1;
+  o.journal_path = journal;
+
+  // Supervisor child: runs the journaled campaign until we SIGKILL it.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    CampaignExecutor exec(o, slow_stub);
+    exec.run_all(cfgs);
+    ::_exit(0);
+  }
+  // Wait until at least one full record is journaled (header is 20 bytes; a
+  // record is a few hundred), then hard-kill the supervisor.
+  bool saw_progress = false;
+  for (int i = 0; i < 400; ++i) {
+    struct stat st {};
+    if (::stat(journal.c_str(), &st) == 0 && st.st_size > 250) {
+      saw_progress = true;
+      break;
+    }
+    ::usleep(25000);
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(saw_progress) << "supervisor never journaled a record";
+
+  // Resume in this process: journaled runs replay, the rest re-execute, and
+  // the merged batch is bit-identical to the uninterrupted reference.
+  CampaignExecutor resumed(o, slow_stub);
+  const auto res = resumed.run_all(cfgs);
+  ASSERT_EQ(res.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(res[i]), serialize_run_result(ref[i]))
+        << "index " << i;
+  }
+  EXPECT_GE(resumed.stats().journal_hits, 1);
+  EXPECT_TRUE(resumed.quarantined().empty());
+  std::remove(journal.c_str());
+}
+
+TEST(Executor, RealRunsAreBitIdenticalAcrossProcessBoundary) {
+  // The default RunFn (run_experiment) shipped through fork + pipe must give
+  // byte-for-byte the results of calling it in-process: run_experiment is a
+  // pure function of RunConfig, and the wire format is bit-exact.
+  std::vector<RunConfig> cfgs(2);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cfgs[i].run_seed = 7 + i;
+    cfgs[i].scenario_opts.safety_duration_sec = 2.0;
+    cfgs[i].record_traces = true;
+  }
+  CampaignExecutor exec(fast_options());
+  const auto forked = exec.run_all(cfgs);
+  ASSERT_EQ(forked.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(forked[i]),
+              serialize_run_result(run_experiment(cfgs[i])))
+        << "index " << i;
+  }
+}
+
+TEST(CampaignManagerRouting, EnvEnabledExecutorMatchesLegacySerialPath) {
+  CampaignScale scale;
+  scale.golden_runs = 2;
+  scale.safety_duration_sec = 2.0;
+  scale.long_route_duration_sec = 4.0;
+
+  CampaignManager legacy(scale, 2022);
+  const auto ref = legacy.golden(ScenarioId::kLeadSlowdown,
+                                 AgentMode::kRoundRobin, 2);
+
+  const std::string journal = temp_path("campaign_routing.journal");
+  setenv("DAV_JOBS", "2", 1);
+  setenv("DAV_JOURNAL", journal.c_str(), 1);
+  CampaignManager routed(scale, 2022);
+  const auto res = routed.golden(ScenarioId::kLeadSlowdown,
+                                 AgentMode::kRoundRobin, 2);
+  // Second manager over the same journal: pure replay, still identical.
+  CampaignManager resumed(scale, 2022);
+  const auto res2 = resumed.golden(ScenarioId::kLeadSlowdown,
+                                   AgentMode::kRoundRobin, 2);
+  unsetenv("DAV_JOBS");
+  unsetenv("DAV_JOURNAL");
+
+  ASSERT_EQ(res.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(res[i]), serialize_run_result(ref[i]))
+        << "index " << i;
+    EXPECT_EQ(serialize_run_result(res2[i]), serialize_run_result(ref[i]))
+        << "index " << i;
+  }
+  EXPECT_TRUE(routed.quarantined().empty());
+  std::remove(journal.c_str());
+}
+
+#endif  // DAV_TEST_POSIX
+
+}  // namespace
+}  // namespace dav

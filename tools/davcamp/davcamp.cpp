@@ -1,0 +1,155 @@
+// davcamp — run one fault-injection campaign from the command line.
+//
+// The primary consumer is the CI crash/resume smoke job: launched with
+// DAV_JOBS + DAV_JOURNAL, hard-killed partway, relaunched, and its output
+// diffed against an uninterrupted reference run. The summary is therefore
+// fully deterministic (no wall-clock, no hostnames) and published with an
+// error-checked writer, so a byte-level diff is meaningful.
+//
+// Usage:
+//   davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]
+//           [--domain=gpu|cpu] [--kind=transient|permanent]
+//           [--td=<meters>] [--out=<path>]
+//
+// Environment: DAV_SCALE scales run counts; DAV_JOBS / DAV_JOURNAL /
+// DAV_RUN_TIMEOUT_SEC etc. select the process-isolated executor (see
+// DESIGN.md §9).
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/metrics.h"
+
+namespace {
+
+using namespace dav;
+
+struct Args {
+  ScenarioId scenario = ScenarioId::kLeadSlowdown;
+  AgentMode mode = AgentMode::kRoundRobin;
+  FaultDomain domain = FaultDomain::kGpu;
+  FaultModelKind kind = FaultModelKind::kTransient;
+  double td = 2.0;
+  std::string out;  // empty = stdout
+};
+
+[[noreturn]] void usage_error(const std::string& what) {
+  throw std::runtime_error(
+      "davcamp: " + what +
+      "\nusage: davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]"
+      " [--domain=gpu|cpu] [--kind=transient|permanent] [--td=<meters>]"
+      " [--out=<path>]");
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-' ||
+        eq == std::string::npos) {
+      usage_error("unrecognized argument '" + arg + "'");
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string val = arg.substr(eq + 1);
+    if (key == "scenario") {
+      if (val == "lead") a.scenario = ScenarioId::kLeadSlowdown;
+      else if (val == "cutin") a.scenario = ScenarioId::kGhostCutIn;
+      else if (val == "front") a.scenario = ScenarioId::kFrontAccident;
+      else usage_error("unknown scenario '" + val + "'");
+    } else if (key == "mode") {
+      if (val == "single") a.mode = AgentMode::kSingle;
+      else if (val == "rr") a.mode = AgentMode::kRoundRobin;
+      else if (val == "dup") a.mode = AgentMode::kDuplicate;
+      else usage_error("unknown mode '" + val + "'");
+    } else if (key == "domain") {
+      if (val == "gpu") a.domain = FaultDomain::kGpu;
+      else if (val == "cpu") a.domain = FaultDomain::kCpu;
+      else usage_error("unknown domain '" + val + "'");
+    } else if (key == "kind") {
+      if (val == "transient") a.kind = FaultModelKind::kTransient;
+      else if (val == "permanent") a.kind = FaultModelKind::kPermanent;
+      else usage_error("unknown kind '" + val + "'");
+    } else if (key == "td") {
+      char* end = nullptr;
+      a.td = std::strtod(val.c_str(), &end);
+      if (end == val.c_str() || *end != '\0' || a.td <= 0.0) {
+        usage_error("--td expects a positive number, got '" + val + "'");
+      }
+    } else if (key == "out") {
+      a.out = val;
+    } else {
+      usage_error("unrecognized option '--" + key + "'");
+    }
+  }
+  return a;
+}
+
+std::string render_summary(const Args& a, const CampaignSummary& s,
+                           const std::vector<RunResult>& runs,
+                           const std::vector<CampaignManager::Quarantine>& q) {
+  std::ostringstream out;
+  out << "davcamp campaign summary\n";
+  out << "scenario=" << to_string(a.scenario) << " mode=" << to_string(a.mode)
+      << " domain=" << to_string(a.domain) << " kind=" << to_string(a.kind)
+      << " td=" << a.td << "\n";
+  out << "total=" << s.total << " active=" << s.active
+      << " hang_crash=" << s.hang_crash << " accidents=" << s.accidents
+      << " traj_violations=" << s.traj_violations
+      << " harness_errors=" << s.harness_errors << "\n";
+  out << "per-run outcomes:\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << "  run " << i << " seed=" << runs[i].run_seed << " outcome="
+        << to_string(runs[i].outcome) << "\n";
+  }
+  out << "quarantined=" << q.size() << "\n";
+  for (const auto& e : q) {
+    out << "  seed=" << e.cfg.run_seed << " what=" << e.what << "\n";
+  }
+  return out.str();
+}
+
+void publish(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("davcamp: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("davcamp: write failed for " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse_args(argc, argv);
+    CampaignManager mgr(CampaignScale::from_env(), /*seed=*/2022);
+    const std::vector<RunResult> golden =
+        mgr.golden(a.scenario, a.mode, mgr.scale().golden_runs);
+    const Trajectory baseline = golden_baseline(golden);
+    const std::vector<RunResult> runs =
+        mgr.fi_campaign(a.scenario, a.mode, a.domain, a.kind);
+    const CampaignSummary s = summarize_campaign(runs, baseline, a.td);
+    publish(a.out, render_summary(a, s, runs, mgr.quarantined()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
