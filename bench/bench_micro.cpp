@@ -98,6 +98,9 @@ void BM_GoldenRunLeadSlowdown(benchmark::State& state) {
     cfg.scenario = ScenarioId::kLeadSlowdown;
     cfg.mode = AgentMode::kRoundRobin;
     cfg.run_seed = 5;
+    // Honors DAV_TRACE so CI can measure flight-recorder overhead: the same
+    // binary runs traced and untraced and the medians are compared.
+    cfg.trace = obs::TraceOptions::from_env();
     benchmark::DoNotOptimize(run_experiment(cfg));
   }
 }

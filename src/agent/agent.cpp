@@ -1,6 +1,7 @@
 #include "agent/agent.h"
 
 #include "agent/warmup.h"
+#include "obs/trace.h"
 
 namespace dav {
 
@@ -53,17 +54,34 @@ void SensorimotorAgent::rewarm() {
 }
 
 Actuation SensorimotorAgent::act(const SensorFrame& frame, double dt) {
+  // Obs track = agent index (derived from the name, "agent0"/"agent1"), so
+  // the two diverse agents land on separate Perfetto threads.
+  const int track = (!name_.empty() && name_.back() == '1') ? 1 : 0;
+  const obs::SpanScope act_span(obs::Stage::kAgentAct, track);
   const double v_meas = frame.gps_imu.speed;
   // Live seed for the CPU housekeeping chain (noisy measurements differ at
   // the bit level between the agents' frames).
   const double cpu_gain = cpu_isa_warmup(
       cpu_, v_meas + 0.173 * frame.gps_imu.gps_x + 0.031 * steps_);
-  const double cruise = planner_.plan_cruise(v_meas, dt);
-  last_perception_ = perception_.process(frame.cameras);
-  last_waypoints_ =
-      waypoint_head(gpu_, last_perception_, v_meas, cruise, cfg_.head);
-  const Actuation cmd =
-      control_.act(last_waypoints_, v_meas, dt, cpu_gain);
+  double cruise = 0.0;
+  {
+    const obs::SpanScope span(obs::Stage::kPlanner, track);
+    cruise = planner_.plan_cruise(v_meas, dt);
+  }
+  {
+    const obs::SpanScope span(obs::Stage::kPerception, track);
+    last_perception_ = perception_.process(frame.cameras);
+  }
+  {
+    const obs::SpanScope span(obs::Stage::kWaypointHead, track);
+    last_waypoints_ =
+        waypoint_head(gpu_, last_perception_, v_meas, cruise, cfg_.head);
+  }
+  Actuation cmd;
+  {
+    const obs::SpanScope span(obs::Stage::kControl, track);
+    cmd = control_.act(last_waypoints_, v_meas, dt, cpu_gain);
+  }
   ++steps_;
   return cmd;
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "campaign/serialize.h"
+#include "obs/export.h"
 #include "util/bits.h"
 #include "util/rng.h"
 
@@ -73,8 +75,70 @@ std::uint64_t CampaignManager::fingerprint() const {
   return fnv1a64(b.data(), b.size());
 }
 
+void CampaignManager::accumulate_executor_stats(const ExecutorStats& s) {
+  executor_used_ = true;
+  ExecutorStats& t = executor_stats_;
+  t.launched += s.launched;
+  t.journal_hits += s.journal_hits;
+  t.retries += s.retries;
+  t.signal_deaths += s.signal_deaths;
+  t.timeouts += s.timeouts;
+  t.quarantined += s.quarantined;
+  t.torn_bytes_discarded += s.torn_bytes_discarded;
+  t.jobs = std::max(t.jobs, s.jobs);
+  t.wall_sec += s.wall_sec;
+  t.journal_appends += s.journal_appends;
+  t.journal_bytes += s.journal_bytes;
+  if (t.slot_busy_sec.size() < s.slot_busy_sec.size()) {
+    t.slot_busy_sec.resize(s.slot_busy_sec.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < s.slot_busy_sec.size(); ++i) {
+    t.slot_busy_sec[i] += s.slot_busy_sec[i];
+  }
+}
+
+void CampaignManager::export_campaign_trace(const ExecutorStats& s) {
+  const obs::TraceOptions topts = obs::TraceOptions::from_env();
+  if (!topts.enabled()) return;
+  char fp[17];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(fingerprint()));
+  obs::ChromeTrace trace;
+  trace.other_data = {{"tool", "dav-campaign-telemetry"},
+                      {"fingerprint", fp},
+                      {"jobs", std::to_string(s.jobs)},
+                      {"launched", std::to_string(s.launched)},
+                      {"retries", std::to_string(s.retries)},
+                      {"journal_hits", std::to_string(s.journal_hits)}};
+  for (const WorkerSpan& w : s.spans) {
+    obs::ChromeEvent e;
+    e.name = "run " + std::to_string(w.index);
+    if (w.attempt > 0) e.name += " retry" + std::to_string(w.attempt);
+    e.cat = "worker";
+    e.ph = 'X';
+    e.pid = w.slot + 1;
+    e.tid = 0;
+    e.ts_us = w.start_sec * 1e6;
+    e.dur_us = w.dur_sec * 1e6;
+    trace.events.push_back(std::move(e));
+  }
+  obs::ensure_dir(topts.dir);
+  const std::string path = topts.dir + "/campaign_" + fp + "_batch" +
+                           std::to_string(trace_batches_++) + ".trace.json";
+  obs::write_text_file(path, obs::chrome_trace_json(trace));
+}
+
 std::vector<RunResult> CampaignManager::run_all(
     const std::vector<RunConfig>& cfgs) {
+  std::vector<RunConfig> staged = cfgs;
+  bool tracing = false;
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    if (!staged[i].trace.enabled()) continue;
+    tracing = true;
+    // One Perfetto pid per run in the batch; the run-config-digest file stem
+    // (driver.cpp default) keeps batches from colliding on disk.
+    staged[i].trace.pid = static_cast<int>(i) + 1;
+  }
   ExecutorOptions opts = ExecutorOptions::from_env();
   if (opts.enabled()) {
     // Process-isolated path: forked sandboxed workers, wall-clock watchdog,
@@ -82,15 +146,17 @@ std::vector<RunResult> CampaignManager::run_all(
     // the batch is bit-identical to the serial path below.
     opts.campaign_fingerprint = fingerprint();
     CampaignExecutor exec(opts);
-    std::vector<RunResult> out = exec.run_all(cfgs);
+    std::vector<RunResult> out = exec.run_all(staged);
     for (const RunQuarantine& q : exec.quarantined()) {
       quarantined_.push_back(Quarantine{q.cfg, q.what});
     }
+    accumulate_executor_stats(exec.stats());
+    if (tracing) export_campaign_trace(exec.stats());
     return out;
   }
   std::vector<RunResult> out;
-  out.reserve(cfgs.size());
-  for (const RunConfig& cfg : cfgs) out.push_back(run_supervised(cfg));
+  out.reserve(staged.size());
+  for (const RunConfig& cfg : staged) out.push_back(run_supervised(cfg));
   return out;
 }
 
@@ -112,6 +178,9 @@ RunConfig CampaignManager::base_config(ScenarioId scenario,
   cfg.scenario = scenario;
   cfg.mode = mode;
   cfg.scenario_opts = scale_.scenario_options();
+  // Flight recorder opt-in (DAV_TRACE): routed through RunConfig so forked
+  // executor workers inherit it. Not part of run_config_digest.
+  cfg.trace = obs::TraceOptions::from_env();
   return cfg;
 }
 

@@ -93,6 +93,17 @@ class CampaignManager {
   };
   const std::vector<Quarantine>& quarantined() const { return quarantined_; }
 
+  /// True when at least one run_all batch went through the process-isolated
+  /// executor (DAV_JOBS / DAV_JOURNAL set).
+  bool executor_used() const { return executor_used_; }
+
+  /// Executor telemetry accumulated over every executor-backed batch:
+  /// launches, retries, journal traffic, per-slot busy seconds (wall_sec and
+  /// slot_busy_sec sum across batches; spans are per-batch and exported to
+  /// the campaign trace instead of accumulated here). Wall-clock data — print
+  /// it to stderr, never into a deterministic summary.
+  const ExecutorStats& executor_stats() const { return executor_stats_; }
+
   /// Golden (fault-free) runs; run-to-run variation comes from sensor noise.
   std::vector<RunResult> golden(ScenarioId scenario, AgentMode mode,
                                 int count);
@@ -124,9 +135,18 @@ class CampaignManager {
   /// campaign's configuration so resume never replays foreign results.
   std::uint64_t fingerprint() const;
 
+  void accumulate_executor_stats(const ExecutorStats& s);
+  /// Writes the worker timeline of one executor batch as Chrome-trace JSON
+  /// ("campaign_<fingerprint>_batch<n>.trace.json", one pid per worker slot)
+  /// into the DAV_TRACE directory.
+  void export_campaign_trace(const ExecutorStats& s);
+
   CampaignScale scale_;
   std::uint64_t seed_;
   std::vector<Quarantine> quarantined_;
+  bool executor_used_ = false;
+  ExecutorStats executor_stats_;
+  int trace_batches_ = 0;  // names successive campaign trace files
 };
 
 }  // namespace dav

@@ -2,16 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "campaign/serialize.h"
+#include "obs/export.h"
 #include "sensors/sensor_rig.h"
 #include "util/rng.h"
 
 namespace dav {
 
 namespace {
+
+/// Sensor capture wrapped in its obs span (two call sites in the run loop).
+SensorFrame captured_frame(SensorRig& rig, const World& world, int step) {
+  obs::SpanScope span(obs::Stage::kSensorCapture);
+  return rig.capture(world, step);
+}
 
 AgentConfig make_agent_config(const Scenario& scenario,
                               const CameraModel& center_cam) {
@@ -103,6 +112,14 @@ void RunConfig::validate() const {
 
 RunResult run_experiment(const RunConfig& cfg) {
   cfg.validate();
+  // Flight recorder: installed for this scope only; every helper below picks
+  // it up through the process-global hook (no-op when tracing is off).
+  std::optional<obs::TraceRecorder> trace_rec;
+  std::optional<obs::ScopedRecorder> trace_scope;
+  if (cfg.trace.enabled()) {
+    trace_rec.emplace(cfg.trace.capacity);
+    trace_scope.emplace(&*trace_rec);
+  }
   Scenario scenario =
       make_scenario(cfg.scenario, cfg.scenario_seed, cfg.scenario_opts);
   World world(std::move(scenario));
@@ -158,6 +175,12 @@ RunResult run_experiment(const RunConfig& cfg) {
   double stationary_sec = 0.0;
   int step = 0;
   int failback_ticks = 0;
+  std::uint64_t traced_corruptions = 0;
+
+  const auto engage_failback = [&]() {
+    if (!failing_back) obs::instant(obs::Instant::kFailbackEngaged);
+    failing_back = true;
+  };
 
   const auto legitimately_stopped = [&]() {
     if (world.cvip() < 12.0) return true;  // queued behind a vehicle
@@ -173,6 +196,7 @@ RunResult run_experiment(const RunConfig& cfg) {
     result.due_source = source;
     result.due_time = t;
     result.outcome = outcome;
+    obs::instant(obs::Instant::kDue, static_cast<double>(source));
   };
 
   const auto coast_on_hang = [&]() {
@@ -190,6 +214,8 @@ RunResult run_experiment(const RunConfig& cfg) {
   };
 
   while (!world.done()) {
+    obs::set_tick(static_cast<std::uint32_t>(step));
+    obs::SpanScope tick_span(obs::Stage::kTick);
     Actuation applied = last_applied;
     if (failing_back) {
       // Fail-back system: bring the vehicle to a safe stop (paper §I assumes
@@ -202,7 +228,7 @@ RunResult run_experiment(const RunConfig& cfg) {
       // Closed-loop mitigation: the RecoveryManager absorbs engine errors
       // and detector alarms, restarts the suspect agent and only falls back
       // to the safe stop on presumed-permanent faults.
-      const SensorFrame frame = rig.capture(world, step);
+      const SensorFrame frame = captured_frame(rig, world, step);
       const RecoveryManager::TickOutcome t =
           rec->tick(frame, cfg.dt, world.ego(), world.time(), step);
       if (t.due != DueSource::kNone) {
@@ -220,9 +246,9 @@ RunResult run_experiment(const RunConfig& cfg) {
         result.acting_agent_trace.push_back(t.acting_agent);
       }
       applied = t.applied;
-      if (t.failback) failing_back = true;
+      if (t.failback) engage_failback();
     } else {
-      const SensorFrame frame = rig.capture(world, step);
+      const SensorFrame frame = captured_frame(rig, world, step);
       try {
         const AdsSystem::StepResult sr = ads.step(frame, cfg.dt);
         // Output plausibility validation (ISO 26262-style): a non-finite
@@ -231,7 +257,7 @@ RunResult run_experiment(const RunConfig& cfg) {
         if (!sr.applied.finite()) {
           record_due(DueSource::kOutputValidator, world.time(),
                      FaultOutcome::kCrash);
-          failing_back = true;
+          engage_failback();
           continue;
         }
         applied = sr.applied.clamped();
@@ -245,7 +271,7 @@ RunResult run_experiment(const RunConfig& cfg) {
               result.online_alarmed = true;
               result.online_alarm_time = online_det->first_alarm_time();
             }
-            failing_back = true;
+            engage_failback();
           }
         }
         if (cfg.record_traces) {
@@ -255,13 +281,13 @@ RunResult run_experiment(const RunConfig& cfg) {
       } catch (const CrashError&) {
         record_due(DueSource::kEngineCrash, world.time(),
                    FaultOutcome::kCrash);
-        failing_back = true;
+        engage_failback();
         applied = last_applied;
       } catch (const HangError&) {
         record_due(DueSource::kHangWatchdog,
                    world.time() + cfg.watchdog_sec, FaultOutcome::kHang);
         coast_on_hang();
-        failing_back = true;
+        engage_failback();
         applied = last_applied;
       }
     }
@@ -274,7 +300,20 @@ RunResult run_experiment(const RunConfig& cfg) {
       result.cvip_trace.push_back(world.cvip());
     }
 
-    world.step(applied, cfg.dt);
+    if (obs::recorder() != nullptr) {
+      obs::counter(obs::Counter::kCvip, world.cvip());
+      const std::uint64_t corruptions =
+          gpu0.corruption_count() + cpu0.corruption_count();
+      if (corruptions != traced_corruptions) {
+        traced_corruptions = corruptions;
+        obs::counter(obs::Counter::kCorruptions,
+                     static_cast<double>(corruptions));
+      }
+    }
+    {
+      obs::SpanScope world_span(obs::Stage::kWorldStep);
+      world.step(applied, cfg.dt);
+    }
     last_applied = applied;
     ++step;
 
@@ -287,7 +326,7 @@ RunResult run_experiment(const RunConfig& cfg) {
         if (stationary_sec >= cfg.stuck_watchdog_sec) {
           record_due(DueSource::kStuckWatchdog, world.time(),
                      FaultOutcome::kHang);
-          failing_back = true;
+          engage_failback();
         }
       } else {
         stationary_sec = 0.0;
@@ -330,6 +369,25 @@ RunResult run_experiment(const RunConfig& cfg) {
   result.cpu_instructions =
       cpu0.total_dyn_instructions() + cpu1.total_dyn_instructions();
   result.agent_state_bytes = ads.state_bytes();
+
+  if (cfg.trace.enabled()) {
+    trace_scope.reset();  // uninstall before the (allocating) export
+    std::string label = cfg.trace.label;
+    if (label.empty()) {
+      // Stable, collision-free default: the run-config digest.
+      char hex[17];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(run_config_digest(cfg)));
+      label = hex;
+    }
+    obs::export_run_trace(
+        cfg.trace, label, cfg.dt, *trace_rec,
+        {{"scenario", to_string(cfg.scenario)},
+         {"mode", to_string(cfg.mode)},
+         {"mitigation", to_string(cfg.mitigation)},
+         {"run_seed", std::to_string(cfg.run_seed)},
+         {"outcome", to_string(result.outcome)}});
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "core/detector.h"
 #include "core/recovery.h"
 #include "fi/fault_model.h"
+#include "obs/trace.h"
 #include "sim/world.h"
 
 namespace dav {
@@ -57,6 +58,13 @@ struct RunConfig {
   /// What to do when the platform or the online detector raises an alarm.
   MitigationPolicy mitigation = MitigationPolicy::kSafeStopOnly;
   RecoveryConfig recovery;  // used when mitigation == kRestartRecovery
+
+  /// Flight recorder (src/obs/): when enabled, run_experiment installs a
+  /// TraceRecorder for the run and exports Chrome-trace JSON + CSV at run
+  /// end. Deliberately EXCLUDED from run_config_digest — tracing never
+  /// affects the run outcome, so journaled records stay replayable whether
+  /// or not the campaign was traced.
+  obs::TraceOptions trace;
 
   /// Fail fast on nonsensical parameters (throws std::invalid_argument with
   /// an actionable message). Called by run_experiment.

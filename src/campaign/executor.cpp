@@ -27,6 +27,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+double elapsed_sec(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
 double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atof(v) : fallback;
@@ -148,10 +152,20 @@ CampaignExecutor::CampaignExecutor(ExecutorOptions opts, RunFn fn)
   opts_.validate();
 }
 
+void CampaignExecutor::journal_append(std::uint64_t key,
+                                      const std::string& payload) {
+  journal_.append(key, payload);
+  ++stats_.journal_appends;
+  stats_.journal_bytes += payload.size();
+}
+
 std::vector<RunResult> CampaignExecutor::run_all(
     const std::vector<RunConfig>& cfgs) {
   quarantined_.clear();
   stats_ = ExecutorStats{};
+  batch_start_ = Clock::now();
+  stats_.jobs = std::max(1, opts_.jobs);
+  stats_.slot_busy_sec.assign(static_cast<std::size_t>(stats_.jobs), 0.0);
 
   std::vector<RunResult> results(cfgs.size());
   std::vector<char> done(cfgs.size(), 0);
@@ -200,6 +214,7 @@ std::vector<RunResult> CampaignExecutor::run_all(
 #endif
 
   journal_.close();
+  stats_.wall_sec = elapsed_sec(batch_start_, Clock::now());
   // Workers finish in nondeterministic order; the quarantine report must not.
   std::sort(quarantined_.begin(), quarantined_.end(),
             [](const RunQuarantine& a, const RunQuarantine& b) {
@@ -214,10 +229,11 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
                                       const std::vector<char>& done) {
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
     if (done[i] != 0) continue;
+    const Clock::time_point started = Clock::now();
     try {
       RunResult r = fn_(cfgs[i]);
       if (journal_.enabled()) {
-        journal_.append(keys[i], make_payload(true, {}, r));
+        journal_append(keys[i], make_payload(true, {}, r));
       }
       results[i] = std::move(r);
     } catch (const std::exception& e) {
@@ -226,10 +242,14 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
       quarantined_.push_back(RunQuarantine{i, cfgs[i], e.what()});
       ++stats_.quarantined;
       if (journal_.enabled()) {
-        journal_.append(keys[i],
-                        make_payload(false, e.what(), results[i]));
+        journal_append(keys[i],
+                       make_payload(false, e.what(), results[i]));
       }
     }
+    const double dur = elapsed_sec(started, Clock::now());
+    stats_.slot_busy_sec[0] += dur;
+    stats_.spans.push_back(
+        WorkerSpan{i, 0, 0, elapsed_sec(batch_start_, started), dur});
   }
 }
 
@@ -322,7 +342,9 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
     int fd = -1;
     std::size_t index = 0;
     int attempt = 0;
+    int slot = 0;  // utilization accounting + Perfetto pid
     std::string buf;
+    Clock::time_point started{};
     Clock::time_point deadline{};
     bool timed_out = false;
   };
@@ -338,6 +360,17 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
     if (done[i] == 0) pending.push_back(Pending{i, 0, start});
   }
   std::vector<Worker> workers;
+  std::vector<char> slot_used(static_cast<std::size_t>(jobs), 0);
+
+  const auto claim_slot = [&]() {
+    for (std::size_t s = 0; s < slot_used.size(); ++s) {
+      if (slot_used[s] == 0) {
+        slot_used[s] = 1;
+        return static_cast<int>(s);
+      }
+    }
+    return 0;  // unreachable: launches are capped at `jobs` live workers
+  };
 
   const auto launch = [&](const Pending& p) {
     int pipefd[2] = {-1, -1};
@@ -362,7 +395,9 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
     w.fd = pipefd[0];
     w.index = p.index;
     w.attempt = p.attempt;
-    w.deadline = Clock::now() + timeout;
+    w.slot = claim_slot();
+    w.started = Clock::now();
+    w.deadline = w.started + timeout;
     workers.push_back(std::move(w));
     ++stats_.launched;
   };
@@ -383,14 +418,20 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
     quarantined_.push_back(RunQuarantine{w.index, cfgs[w.index], what});
     ++stats_.quarantined;
     if (journal_.enabled()) {
-      journal_.append(keys[w.index],
-                      make_payload(false, what, results[w.index]));
+      journal_append(keys[w.index],
+                     make_payload(false, what, results[w.index]));
     }
   };
 
   const auto finalize = [&](Worker w) {
     ::close(w.fd);
     const int status = await_child(w.pid);
+    const double dur = elapsed_sec(w.started, Clock::now());
+    stats_.slot_busy_sec[static_cast<std::size_t>(w.slot)] += dur;
+    stats_.spans.push_back(WorkerSpan{w.index, w.slot, w.attempt,
+                                      elapsed_sec(batch_start_, w.started),
+                                      dur});
+    slot_used[static_cast<std::size_t>(w.slot)] = 0;
 
     // A complete, checksummed frame wins regardless of exit status (the
     // watchdog may race a worker that finished its write).
@@ -398,7 +439,7 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
       try {
         Payload p = parse_payload(*payload);
         if (p.ok) {
-          if (journal_.enabled()) journal_.append(keys[w.index], *payload);
+          if (journal_.enabled()) journal_append(keys[w.index], *payload);
           results[w.index] = std::move(p.result);
         } else {
           requeue_or_quarantine(w, p.what);

@@ -20,6 +20,7 @@
 // bit-identical to the uninterrupted serial one.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -78,6 +79,17 @@ struct RunQuarantine {
   std::string what;
 };
 
+/// One completed worker attempt on the campaign timeline. Wall-clock,
+/// relative to run_all entry — telemetry only, never part of the
+/// deterministic summary.
+struct WorkerSpan {
+  std::size_t index = 0;  ///< position in the submitted config list
+  int slot = 0;           ///< worker slot, 0..jobs-1 (Perfetto pid = slot+1)
+  int attempt = 0;        ///< 0 = first execution, >0 = retry
+  double start_sec = 0.0;
+  double dur_sec = 0.0;
+};
+
 struct ExecutorStats {
   int launched = 0;       ///< worker processes forked
   int journal_hits = 0;   ///< runs skipped because the journal had them
@@ -86,6 +98,15 @@ struct ExecutorStats {
   int timeouts = 0;       ///< workers killed by the wall-clock watchdog
   int quarantined = 0;    ///< runs recorded as final kHarnessError
   std::uint64_t torn_bytes_discarded = 0;  ///< from the journal's torn tail
+
+  // Telemetry (wall-clock; surfaced on stderr by davcamp, exported as the
+  // campaign trace — deliberately absent from the deterministic summary).
+  int jobs = 1;                      ///< worker slots used for this batch
+  double wall_sec = 0.0;             ///< run_all wall time
+  int journal_appends = 0;           ///< records written to the journal
+  std::uint64_t journal_bytes = 0;   ///< payload bytes appended
+  std::vector<double> slot_busy_sec; ///< busy seconds per worker slot
+  std::vector<WorkerSpan> spans;     ///< completed attempts, timeline order
 };
 
 /// The kHarnessError placeholder for a run that could not produce a result:
@@ -117,6 +138,8 @@ class CampaignExecutor {
   const ExecutorStats& stats() const { return stats_; }
 
  private:
+  /// journal_.append plus telemetry accounting (appends + bytes).
+  void journal_append(std::uint64_t key, const std::string& payload);
   void run_in_process(const std::vector<RunConfig>& cfgs,
                       const std::vector<std::uint64_t>& keys,
                       std::vector<RunResult>& results,
@@ -131,6 +154,8 @@ class CampaignExecutor {
   JournalWriter journal_;
   std::vector<RunQuarantine> quarantined_;
   ExecutorStats stats_;
+  /// run_all entry instant: the zero of the WorkerSpan timeline.
+  std::chrono::steady_clock::time_point batch_start_{};
 };
 
 }  // namespace dav

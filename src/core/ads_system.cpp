@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace dav {
 
 std::string to_string(AgentMode m) {
@@ -111,6 +113,7 @@ void AdsSystem::restart_agent(int suspect) {
   slot->restore(mutable_agent(1 - suspect).snapshot());
   executing_ = suspect;
   slot->rewarm();
+  obs::instant(obs::Instant::kAgentRestart, 0.0, suspect);
 }
 
 AdsSystem::StepResult AdsSystem::step(const SensorFrame& frame,

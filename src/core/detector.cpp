@@ -1,5 +1,7 @@
 #include "core/detector.h"
 
+#include "obs/trace.h"
+
 namespace dav {
 
 ErrorDetector::ErrorDetector(const ThresholdLut& lut, DetectorConfig cfg)
@@ -14,12 +16,23 @@ void ErrorDetector::reset() {
 }
 
 bool ErrorDetector::observe(const StepObservation& obs) {
+  // (the parameter shadows namespace dav::obs, hence the dav:: prefixes)
+  const dav::obs::SpanScope span(dav::obs::Stage::kDetector);
   if (alarmed_) return true;
   if (obs.state.v < cfg_.min_eval_speed) return false;
   signal_.push(obs.delta);
   if (!signal_.full()) return false;  // warm-up: no decisions yet
   const ActuationDelta smoothed = signal_.smoothed();
   const ActuationDelta theta = lut_.thresholds(obs.state);
+  if (dav::obs::recorder() != nullptr) {
+    using dav::obs::Counter;
+    dav::obs::counter(Counter::kDivergence, smoothed.throttle, 0);
+    dav::obs::counter(Counter::kDivergence, smoothed.brake, 1);
+    dav::obs::counter(Counter::kDivergence, smoothed.steer, 2);
+    dav::obs::counter(Counter::kThreshold, theta.throttle, 0);
+    dav::obs::counter(Counter::kThreshold, theta.brake, 1);
+    dav::obs::counter(Counter::kThreshold, theta.steer, 2);
+  }
   const bool exceeded = smoothed.throttle > theta.throttle ||
                         smoothed.brake > theta.brake ||
                         smoothed.steer > theta.steer;
@@ -28,10 +41,13 @@ bool ErrorDetector::observe(const StepObservation& obs) {
     if (++streak_ >= cfg_.debounce) {
       alarmed_ = true;
       alarm_time_ = streak_start_time_;
+      dav::obs::instant(dav::obs::Instant::kDetectorAlarm, alarm_time_);
     }
   } else {
     streak_ = 0;
   }
+  dav::obs::counter(dav::obs::Counter::kAlarmStreak,
+                    static_cast<double>(streak_));
   return alarmed_;
 }
 

@@ -19,6 +19,7 @@
 
 #include "fi/fault_model.h"
 #include "fi/opcodes.h"
+#include "obs/trace.h"
 #include "util/bits.h"
 #include "util/rng.h"
 
@@ -123,8 +124,26 @@ class Engine {
       p_hang = model_.p_hang_ctrl;
     }
     const double u = rng_.uniform();
-    if (u < p_crash) throw CrashError{};
-    if (u < p_crash + p_hang) throw HangError{};
+    if (u < p_crash) {
+      obs::instant(obs::Instant::kCrashManifested,
+                   static_cast<double>(Domain));
+      throw CrashError{};
+    }
+    if (u < p_crash + p_hang) {
+      obs::instant(obs::Instant::kHangManifested,
+                   static_cast<double>(Domain));
+      throw HangError{};
+    }
+  }
+
+  /// Obs hook for the FIRST corrupted instruction only — permanent faults
+  /// corrupt every instance of an opcode, so this must not fire per event.
+  void note_activation(std::uint64_t dyn_index) {
+    if (!activated_) {
+      activated_ = true;
+      obs::instant(obs::Instant::kFaultActivated,
+                   static_cast<double>(dyn_index));
+    }
   }
 
   float corrupt(float v) {
@@ -135,13 +154,13 @@ class Engine {
   float faulty_exec(OpcodeT op, float v, std::uint64_t i) {
     if (plan_.kind == FaultModelKind::kTransient) {
       if (i != plan_.target_dyn_index) return v;
-      activated_ = true;
+      note_activation(i);
       resolve_manifestation(op_class(op));
       return corrupt(v);
     }
     // Permanent: every dynamic instance of the target opcode.
     if (index(op) != static_cast<std::size_t>(plan_.target_opcode)) return v;
-    activated_ = true;
+    note_activation(i);
     decide_permanent_outcome(op_class(op));
     return corrupt(v);
   }
@@ -150,13 +169,13 @@ class Engine {
     if (plan_.kind == FaultModelKind::kTransient) {
       if (plan_.target_dyn_index < start || plan_.target_dyn_index >= start + n)
         return;
-      activated_ = true;
+      note_activation(plan_.target_dyn_index);
       resolve_manifestation(op_class(op));
       ++corruptions_;  // survived: wrong-but-unused value, masked downstream
       return;
     }
     if (index(op) != static_cast<std::size_t>(plan_.target_opcode)) return;
-    activated_ = true;
+    note_activation(start);
     decide_permanent_outcome(op_class(op));
     corruptions_ += n;
   }

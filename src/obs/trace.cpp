@@ -1,0 +1,86 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dav::obs {
+
+namespace detail {
+TraceRecorder* g_recorder = nullptr;
+std::uint32_t g_tick = 0;
+}  // namespace detail
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kTick: return "tick";
+    case Stage::kSensorCapture: return "sensor_capture";
+    case Stage::kAgentAct: return "agent_act";
+    case Stage::kPerception: return "perception";
+    case Stage::kPlanner: return "planner";
+    case Stage::kWaypointHead: return "waypoint_head";
+    case Stage::kControl: return "control";
+    case Stage::kDetector: return "detector";
+    case Stage::kRecoveryTick: return "recovery_tick";
+    case Stage::kWorldStep: return "world_step";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kDivergence: return "divergence";
+    case Counter::kThreshold: return "threshold";
+    case Counter::kAlarmStreak: return "alarm_streak";
+    case Counter::kCorruptions: return "corruptions";
+    case Counter::kRecoveryState: return "recovery_state";
+    case Counter::kCvip: return "cvip";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(Instant i) {
+  switch (i) {
+    case Instant::kDetectorAlarm: return "detector_alarm";
+    case Instant::kDue: return "due";
+    case Instant::kFailbackEngaged: return "failback_engaged";
+    case Instant::kFaultActivated: return "fault_activated";
+    case Instant::kCrashManifested: return "crash_manifested";
+    case Instant::kHangManifested: return "hang_manifested";
+    case Instant::kRecoveryProbe: return "recovery_probe";
+    case Instant::kRecoveryRestart: return "recovery_restart";
+    case Instant::kRecoveryRejoin: return "recovery_rejoin";
+    case Instant::kRecoveryEscalated: return "recovery_escalated";
+    case Instant::kAgentRestart: return "agent_restart";
+    case Instant::kCount: break;
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  buf_.reserve(capacity_);
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buf_.size());
+  // head_ marks the oldest surviving event once the ring has wrapped.
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  }
+  return out;
+}
+
+TraceOptions TraceOptions::from_env() {
+  TraceOptions o;
+  if (const char* dir = std::getenv("DAV_TRACE")) o.dir = dir;
+  if (const char* cap = std::getenv("DAV_TRACE_CAPACITY")) {
+    const long v = std::atol(cap);
+    if (v > 0) o.capacity = static_cast<std::size_t>(v);
+  }
+  return o;
+}
+
+}  // namespace dav::obs

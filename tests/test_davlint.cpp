@@ -79,7 +79,8 @@ TEST_F(DavlintTest, ListRulesNamesEveryRule) {
   const auto r = run("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule : {"rand", "random-device", "wall-clock",
-                           "unordered-iter", "float-eq", "uninit-pod"}) {
+                           "unordered-iter", "float-eq", "uninit-pod",
+                           "obs-clock"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -180,6 +181,68 @@ TEST_F(DavlintTest, WallClockSuppressed) {
       "#include <ctime>\n"
       "long f() { return time(nullptr); }  // fixture. davlint: allow(wall-clock)\n");
   EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- obs-clock ----
+
+TEST_F(DavlintTest, ObsClockPositive) {
+  const auto p = write_fixture(
+      "oc.cpp", "#include <chrono>\n"
+                "auto f() { return std::chrono::steady_clock::now(); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("oc.cpp:2: [obs-clock]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(DavlintTest, ObsClockHighResolutionPositive) {
+  const auto p = write_fixture(
+      "oc.cpp",
+      "#include <chrono>\n"
+      "auto f() { return std::chrono::high_resolution_clock::now(); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[obs-clock]"), std::string::npos) << r.output;
+}
+
+TEST_F(DavlintTest, ObsClockExemptInObsLayer) {
+  // The flight recorder's whole job is timing spans; steady_clock inside
+  // src/obs/ needs no per-line suppression.
+  write_fixture("src/obs/span_helper.h",
+                "#include <chrono>\n"
+                "inline auto f() { return std::chrono::steady_clock::now(); }\n");
+  const auto r = run_on(dir_ / "src");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(DavlintTest, ObsClockExemptInExecutorLayer) {
+  // The process-isolated executor times real worker processes (watchdog,
+  // backoff, utilization) — monotonic clock reads are its job too.
+  write_fixture("campaign/executor_helper.cpp",
+                "#include <chrono>\n"
+                "auto f() { return std::chrono::steady_clock::now(); }\n");
+  const auto r = run_on(dir_ / "campaign");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(DavlintTest, ObsClockSuppressed) {
+  const auto p = write_fixture(
+      "oc.cpp",
+      "#include <chrono>\n"
+      "auto f() { return std::chrono::steady_clock::now(); }  "
+      "// fixture. davlint: allow(obs-clock)\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+TEST_F(DavlintTest, WallClockStillFiresInsideObsLayer) {
+  // The obs-clock carve-out is for monotonic clocks only: wall-clock reads
+  // (system_clock, time()) stay banned inside src/obs/ like anywhere else.
+  write_fixture("src/obs/wall.cpp",
+                "#include <chrono>\n"
+                "auto f() { return std::chrono::system_clock::now(); }\n");
+  const auto r = run_on(dir_ / "src");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
 }
 
 // ---- unordered-iter ----

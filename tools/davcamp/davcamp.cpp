@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -116,6 +117,37 @@ std::string render_summary(const Args& a, const CampaignSummary& s,
   return out.str();
 }
 
+/// Executor telemetry: per-worker utilization, retries, journal traffic, and
+/// a quarantine-reason histogram. Wall-clock data, so it goes to STDERR —
+/// the published summary stays byte-deterministic for the CI resume diff.
+void print_telemetry(const CampaignManager& mgr) {
+  if (!mgr.executor_used()) return;
+  const ExecutorStats& s = mgr.executor_stats();
+  std::fprintf(stderr,
+               "davcamp executor telemetry (stderr only, nondeterministic)\n"
+               "  workers=%d launched=%d retries=%d signal_deaths=%d "
+               "timeouts=%d quarantined=%d\n"
+               "  journal: hits=%d appends=%d bytes=%llu torn_bytes=%llu\n"
+               "  wall=%.2fs\n",
+               s.jobs, s.launched, s.retries, s.signal_deaths, s.timeouts,
+               s.quarantined, s.journal_hits, s.journal_appends,
+               static_cast<unsigned long long>(s.journal_bytes),
+               static_cast<unsigned long long>(s.torn_bytes_discarded),
+               s.wall_sec);
+  for (std::size_t i = 0; i < s.slot_busy_sec.size(); ++i) {
+    const double util =
+        s.wall_sec > 0.0 ? 100.0 * s.slot_busy_sec[i] / s.wall_sec : 0.0;
+    std::fprintf(stderr, "  worker %zu: busy=%.2fs utilization=%.0f%%\n", i,
+                 s.slot_busy_sec[i], util);
+  }
+  // Quarantine reasons, deduplicated into a histogram.
+  std::map<std::string, int> reasons;
+  for (const auto& q : mgr.quarantined()) ++reasons[q.what];
+  for (const auto& [what, n] : reasons) {
+    std::fprintf(stderr, "  quarantine x%d: %s\n", n, what.c_str());
+  }
+}
+
 void publish(const std::string& path, const std::string& text) {
   if (path.empty()) {
     std::fputs(text.c_str(), stdout);
@@ -147,6 +179,7 @@ int main(int argc, char** argv) {
         mgr.fi_campaign(a.scenario, a.mode, a.domain, a.kind);
     const CampaignSummary s = summarize_campaign(runs, baseline, a.td);
     publish(a.out, render_summary(a, s, runs, mgr.quarantined()));
+    print_telemetry(mgr);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());

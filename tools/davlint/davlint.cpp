@@ -61,6 +61,9 @@ const std::vector<RuleInfo> kRules = {
                  "epsilon or integer state instead"},
     {"uninit-pod", "uninitialized POD member in a struct; value-initialize "
                    "so golden traces never read indeterminate bytes"},
+    {"obs-clock", "std::chrono::steady_clock / high_resolution_clock are "
+                  "wall clocks; only src/obs/ (span durations) and the "
+                  "campaign executor/metrics/resources layer may read them"},
 };
 
 bool is_ident_char(char c) {
@@ -271,6 +274,14 @@ class FileScanner {
     // clock (it reports real elapsed time and RSS, paper Table 2).
     wall_clock_exempt_ = path_.find("campaign/metrics") != std::string::npos ||
                          path_.find("campaign/resources") != std::string::npos;
+    // obs-clock carve-outs: src/obs/ measures span durations (that is its
+    // job; the determinism contract in obs/trace.h confines wall time to
+    // dur_ns), and the executor/metrics/resources layer times real worker
+    // processes. No per-line suppressions needed in those directories.
+    obs_clock_exempt_ = path_.find("/obs/") != std::string::npos ||
+                        path_.rfind("obs/", 0) == 0 ||
+                        path_.find("campaign/executor") != std::string::npos ||
+                        wall_clock_exempt_;
     std::string raw;
     int lineno = 0;
     bool in_block = false;
@@ -295,6 +306,7 @@ class FileScanner {
     check_rand(raw, code, lineno, findings);
     check_random_device(raw, code, lineno, findings);
     check_wall_clock(raw, code, lineno, findings);
+    check_obs_clock(raw, code, lineno, findings);
     check_unordered(raw, code, lineno, findings);
     check_float_eq(raw, code, lineno, findings);
     check_uninit_pod(raw, code, lineno, findings);
@@ -337,6 +349,20 @@ class FileScanner {
         report(findings, raw, lineno, "wall-clock",
                std::string(fn) + "() reads the wall clock; simulated time "
                                  "must come from World::time()");
+        return;
+      }
+    }
+  }
+
+  void check_obs_clock(const std::string& raw, const std::string& code,
+                       int lineno, std::vector<Finding>& findings) {
+    if (obs_clock_exempt_) return;
+    for (const char* clk : {"steady_clock", "high_resolution_clock"}) {
+      if (code.find(clk) != std::string::npos) {
+        report(findings, raw, lineno, "obs-clock",
+               std::string(clk) + " is a wall clock; profiling belongs in "
+                                  "src/obs/ span durations (SpanScope), "
+                                  "never in simulation state");
         return;
       }
     }
@@ -500,6 +526,7 @@ class FileScanner {
   std::string path_;
   const std::set<std::string>& enabled_;
   bool wall_clock_exempt_ = false;
+  bool obs_clock_exempt_ = false;
   std::set<std::string> unordered_idents_;
   std::vector<int> struct_depths_;
   int depth_ = 0;

@@ -1,0 +1,164 @@
+// davtrace — inspect and convert flight-recorder traces (src/obs/).
+//
+// Subcommands:
+//   davtrace summarize <trace.json>...   span breakdown (count, total, p50/
+//                                        p95/p99 per stage), counter ranges,
+//                                        and the alarm/recovery timeline
+//   davtrace csv <trace.json> [--out=<path>]
+//                                        re-derive the tick-indexed CSV
+//                                        (same columns run_experiment writes)
+//
+// Reads the Chrome trace-event JSON emitted by export_run_trace (and the
+// campaign telemetry trace): nothing here depends on which process wrote the
+// file, so traces from forked campaign workers summarize identically.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "util/stats.h"
+
+namespace {
+
+using dav::obs::ChromeEvent;
+using dav::obs::ChromeTrace;
+
+[[noreturn]] void usage_error(const std::string& what) {
+  throw std::runtime_error(
+      "davtrace: " + what +
+      "\nusage: davtrace summarize <trace.json>...\n"
+      "       davtrace csv <trace.json> [--out=<path>]");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("davtrace: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct SpanAgg {
+  std::vector<double> dur_us;
+  double total_us = 0.0;
+};
+
+void summarize_one(const std::string& path) {
+  const ChromeTrace trace = dav::obs::parse_chrome_trace(read_file(path));
+  std::printf("=== %s ===\n", path.c_str());
+  for (const auto& [key, value] : trace.other_data) {
+    std::printf("  %s: %s\n", key.c_str(), value.c_str());
+  }
+  std::printf("  events: %zu\n", trace.events.size());
+
+  // Span breakdown per stage name.
+  std::map<std::string, SpanAgg> spans;
+  std::map<std::string, std::pair<double, double>> counter_range;
+  std::vector<const ChromeEvent*> marks;
+  double last_ts = 0.0;
+  for (const ChromeEvent& e : trace.events) {
+    last_ts = std::max(last_ts, e.ts_us);
+    if (e.ph == 'X') {
+      SpanAgg& agg = spans[e.name];
+      agg.dur_us.push_back(e.dur_us);
+      agg.total_us += e.dur_us;
+    } else if (e.ph == 'C') {
+      auto it = counter_range.find(e.name);
+      if (it == counter_range.end()) {
+        counter_range.emplace(e.name, std::make_pair(e.value, e.value));
+      } else {
+        it->second.first = std::min(it->second.first, e.value);
+        it->second.second = std::max(it->second.second, e.value);
+      }
+    } else if (e.ph == 'i') {
+      marks.push_back(&e);
+    }
+  }
+
+  if (!spans.empty()) {
+    std::printf("  %-16s %8s %12s %10s %10s %10s\n", "stage", "count",
+                "total_ms", "p50_us", "p95_us", "p99_us");
+    for (auto& [name, agg] : spans) {
+      const std::vector<double>& d = agg.dur_us;
+      std::printf("  %-16s %8zu %12.3f %10.1f %10.1f %10.1f\n", name.c_str(),
+                  d.size(), agg.total_us / 1e3, dav::percentile(d, 50.0),
+                  dav::percentile(d, 95.0), dav::percentile(d, 99.0));
+    }
+  }
+  if (!counter_range.empty()) {
+    std::printf("  counters (min..max):\n");
+    for (const auto& [name, range] : counter_range) {
+      std::printf("    %-20s %g .. %g\n", name.c_str(), range.first,
+                  range.second);
+    }
+  }
+  // Alarm / recovery timeline: semantic marks in timestamp order.
+  if (!marks.empty()) {
+    std::stable_sort(marks.begin(), marks.end(),
+                     [](const ChromeEvent* a, const ChromeEvent* b) {
+                       return a->ts_us < b->ts_us;
+                     });
+    std::printf("  timeline:\n");
+    for (const ChromeEvent* m : marks) {
+      std::printf("    t=%9.3fs tick=%-6d %-20s value=%g\n", m->ts_us / 1e6,
+                  m->tick, m->name.c_str(), m->value);
+    }
+  } else {
+    std::printf("  timeline: (no semantic marks — clean run)\n");
+  }
+  std::printf("  span of trace: %.3f s\n", last_ts / 1e6);
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) usage_error("missing subcommand");
+  const std::string cmd = argv[1];
+  std::vector<std::string> inputs;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unrecognized option '" + arg + "'");
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) usage_error("no input trace files");
+
+  if (cmd == "summarize") {
+    for (const std::string& path : inputs) summarize_one(path);
+    return 0;
+  }
+  if (cmd == "csv") {
+    if (inputs.size() != 1) usage_error("csv takes exactly one trace file");
+    const ChromeTrace trace =
+        dav::obs::parse_chrome_trace(read_file(inputs[0]));
+    const std::string csv = dav::obs::run_csv(trace.events);
+    if (out_path.empty()) {
+      std::fputs(csv.c_str(), stdout);
+    } else {
+      dav::obs::write_text_file(out_path, csv);
+    }
+    return 0;
+  }
+  usage_error("unknown subcommand '" + cmd + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
