@@ -12,13 +12,16 @@
 #include <vector>
 
 #include "campaign/campaign.h"
+#include "campaign/env_options.h"
 #include "campaign/metrics.h"
 #include "util/text_report.h"
 
 namespace dav::bench {
 
 inline CampaignManager make_manager() {
-  return CampaignManager(CampaignScale::from_env(), /*seed=*/2022);
+  // One env read (the typed façade), injected explicitly: sizing, executor
+  // routing and trace opt-in all come from the same validated snapshot.
+  return CampaignManager(EnvOptions::from_env(), /*seed=*/2022);
 }
 
 inline void print_header(const std::string& what, const std::string& paper) {

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "campaign/driver.h"
+#include "campaign/env_options.h"
 #include "core/ads_system.h"
 #include "core/detector.h"
 #include "sensors/sensor_rig.h"
@@ -100,7 +101,7 @@ void BM_GoldenRunLeadSlowdown(benchmark::State& state) {
     cfg.run_seed = 5;
     // Honors DAV_TRACE so CI can measure flight-recorder overhead: the same
     // binary runs traced and untraced and the medians are compared.
-    cfg.trace = obs::TraceOptions::from_env();
+    cfg.trace = EnvOptions::from_env().trace_options();
     benchmark::DoNotOptimize(run_experiment(cfg));
   }
 }

@@ -6,11 +6,12 @@
 #include "campaign/driver.h"
 
 int main() {
-  dav::RunConfig cfg;
-  cfg.scenario = dav::ScenarioId::kLeadSlowdown;
-  cfg.mode = dav::AgentMode::kRoundRobin;  // DiverseAV
-  cfg.run_seed = 42;
-  cfg.record_traces = true;
+  const dav::RunConfig cfg = dav::RunConfigBuilder()
+                                 .scenario(dav::ScenarioId::kLeadSlowdown)
+                                 .mode(dav::AgentMode::kRoundRobin)  // DiverseAV
+                                 .run_seed(42)
+                                 .record_traces()
+                                 .build();
 
   const dav::RunResult result = dav::run_experiment(cfg);
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "campaign/campaign.h"
+#include "campaign/env_options.h"
 #include "campaign/metrics.h"
 
 int main() {
@@ -17,7 +18,9 @@ int main() {
   scale.golden_runs = 5;
   scale.training_runs_per_scenario = 1;
   scale.long_route_duration_sec = 45.0;
-  CampaignManager mgr(scale, 2022);
+  // Custom sizing + the validated env snapshot (DAV_JOBS, DAV_JOURNAL, ...)
+  // for executor routing; CampaignManager(scale, seed) alone is env-free.
+  CampaignManager mgr(scale, EnvOptions::from_env(), 2022);
 
   std::printf("[1/3] training detector on %zu long-scenario runs...\n",
               training_scenarios().size());

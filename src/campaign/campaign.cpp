@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -16,19 +15,7 @@
 namespace dav {
 
 CampaignScale CampaignScale::from_env() {
-  CampaignScale s;
-  if (const char* env = std::getenv("DAV_SCALE")) {
-    const double k = std::atof(env);
-    if (k > 0.0) {
-      s.transient_runs = std::max(4, static_cast<int>(s.transient_runs * k));
-      s.permanent_repeats =
-          std::max(1, static_cast<int>(std::lround(s.permanent_repeats * k)));
-      s.golden_runs = std::max(3, static_cast<int>(s.golden_runs * k));
-      s.training_runs_per_scenario = std::max(
-          1, static_cast<int>(std::lround(s.training_runs_per_scenario * k)));
-    }
-  }
-  return s;
+  return EnvOptions::from_env().campaign_scale();
 }
 
 void CampaignScale::validate() const {
@@ -47,8 +34,16 @@ void CampaignScale::validate() const {
 }
 
 CampaignManager::CampaignManager(CampaignScale scale, std::uint64_t seed)
-    : scale_(scale), seed_(seed) {
+    : CampaignManager(scale, EnvOptions::defaults(), seed) {}
+
+CampaignManager::CampaignManager(const EnvOptions& env, std::uint64_t seed)
+    : CampaignManager(env.campaign_scale(), env, seed) {}
+
+CampaignManager::CampaignManager(CampaignScale scale, EnvOptions env,
+                                 std::uint64_t seed)
+    : scale_(scale), env_(std::move(env)), seed_(seed) {
   scale_.validate();
+  env_.validate();
 }
 
 RunResult CampaignManager::run_supervised(const RunConfig& cfg) {
@@ -85,6 +80,10 @@ void CampaignManager::accumulate_executor_stats(const ExecutorStats& s) {
   t.timeouts += s.timeouts;
   t.quarantined += s.quarantined;
   t.torn_bytes_discarded += s.torn_bytes_discarded;
+  t.pool_workers += s.pool_workers;
+  t.respawns += s.respawns;
+  t.warm_hits += s.warm_hits;
+  t.warm_misses += s.warm_misses;
   t.jobs = std::max(t.jobs, s.jobs);
   t.wall_sec += s.wall_sec;
   t.journal_appends += s.journal_appends;
@@ -95,10 +94,16 @@ void CampaignManager::accumulate_executor_stats(const ExecutorStats& s) {
   for (std::size_t i = 0; i < s.slot_busy_sec.size(); ++i) {
     t.slot_busy_sec[i] += s.slot_busy_sec[i];
   }
+  if (t.slot_runs_served.size() < s.slot_runs_served.size()) {
+    t.slot_runs_served.resize(s.slot_runs_served.size(), 0);
+  }
+  for (std::size_t i = 0; i < s.slot_runs_served.size(); ++i) {
+    t.slot_runs_served[i] += s.slot_runs_served[i];
+  }
 }
 
 void CampaignManager::export_campaign_trace(const ExecutorStats& s) {
-  const obs::TraceOptions topts = obs::TraceOptions::from_env();
+  const obs::TraceOptions topts = env_.trace_options();
   if (!topts.enabled()) return;
   char fp[17];
   std::snprintf(fp, sizeof(fp), "%016llx",
@@ -109,7 +114,26 @@ void CampaignManager::export_campaign_trace(const ExecutorStats& s) {
                       {"jobs", std::to_string(s.jobs)},
                       {"launched", std::to_string(s.launched)},
                       {"retries", std::to_string(s.retries)},
-                      {"journal_hits", std::to_string(s.journal_hits)}};
+                      {"journal_hits", std::to_string(s.journal_hits)},
+                      {"pool_workers", std::to_string(s.pool_workers)},
+                      {"respawns", std::to_string(s.respawns)},
+                      {"warm_hits", std::to_string(s.warm_hits)},
+                      {"warm_misses", std::to_string(s.warm_misses)}};
+  // Per-worker lifetime telemetry: one runs-served counter sample per slot
+  // at batch end (pool mode; fork-per-run leaves these zero).
+  for (std::size_t slot = 0; slot < s.slot_runs_served.size(); ++slot) {
+    if (s.slot_runs_served[slot] == 0) continue;
+    obs::ChromeEvent c;
+    c.name = "runs_served";
+    c.cat = "worker";
+    c.ph = 'C';
+    c.pid = static_cast<int>(slot) + 1;
+    c.tid = 0;
+    c.ts_us = s.wall_sec * 1e6;
+    c.value = static_cast<double>(s.slot_runs_served[slot]);
+    c.has_value = true;
+    trace.events.push_back(std::move(c));
+  }
   for (const WorkerSpan& w : s.spans) {
     obs::ChromeEvent e;
     e.name = "run " + std::to_string(w.index);
@@ -139,11 +163,12 @@ std::vector<RunResult> CampaignManager::run_all(
     // (driver.cpp default) keeps batches from colliding on disk.
     staged[i].trace.pid = static_cast<int>(i) + 1;
   }
-  ExecutorOptions opts = ExecutorOptions::from_env();
+  ExecutorOptions opts = env_.executor_options();
   if (opts.enabled()) {
-    // Process-isolated path: forked sandboxed workers, wall-clock watchdog,
-    // write-ahead journal with lossless resume. Merged by config index, so
-    // the batch is bit-identical to the serial path below.
+    // Process-isolated path: sandboxed workers (persistent pool by default),
+    // wall-clock watchdog, write-ahead journal with lossless resume. Merged
+    // by config index, so the batch is bit-identical to the serial path
+    // below.
     opts.campaign_fingerprint = fingerprint();
     CampaignExecutor exec(opts);
     std::vector<RunResult> out = exec.run_all(staged);
@@ -178,9 +203,9 @@ RunConfig CampaignManager::base_config(ScenarioId scenario,
   cfg.scenario = scenario;
   cfg.mode = mode;
   cfg.scenario_opts = scale_.scenario_options();
-  // Flight recorder opt-in (DAV_TRACE): routed through RunConfig so forked
-  // executor workers inherit it. Not part of run_config_digest.
-  cfg.trace = obs::TraceOptions::from_env();
+  // Flight recorder opt-in (injected EnvOptions): routed through RunConfig
+  // so executor workers inherit it. Not part of run_config_digest.
+  cfg.trace = env_.trace_options();
   return cfg;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "campaign/driver.h"
+#include "campaign/env_options.h"
 #include "campaign/executor.h"
 #include "fi/plan_generator.h"
 
@@ -31,7 +32,8 @@ struct CampaignScale {
   double safety_duration_sec = 30.0;
   double long_route_duration_sec = 60.0;  // paper: 10-15 min
 
-  /// Reads DAV_SCALE (default 1.0) and multiplies the run counts.
+  /// Deprecated spelling of EnvOptions::from_env().campaign_scale() — the
+  /// typed façade (env_options.h) is the only env-reading entry point.
   static CampaignScale from_env();
 
   /// Fail fast on nonsensical sizing (throws std::invalid_argument with an
@@ -63,10 +65,24 @@ struct MitigationSetup {
 
 class CampaignManager {
  public:
+  /// Environment-free: compiled-in defaults for sizing overrides, executor
+  /// routing and tracing — run_all always takes the serial in-process path.
   /// Throws std::invalid_argument when `scale` is nonsensical.
-  CampaignManager(CampaignScale scale, std::uint64_t seed = 2022);
+  explicit CampaignManager(CampaignScale scale, std::uint64_t seed = 2022);
+
+  /// Fully injectable: campaign sizing (env.campaign_scale()), executor
+  /// routing and trace opt-in all come from `env` — which the caller built
+  /// by hand (tests, benches) or read once via EnvOptions::from_env(), the
+  /// only env-reading entry point. No constructor reads the environment.
+  explicit CampaignManager(const EnvOptions& env, std::uint64_t seed = 2022);
+
+  /// Explicit sizing with injected executor/trace routing (e.g. a custom
+  /// CampaignScale that still honors DAV_JOBS/DAV_TRACE from from_env()).
+  CampaignManager(CampaignScale scale, EnvOptions env,
+                  std::uint64_t seed = 2022);
 
   const CampaignScale& scale() const { return scale_; }
+  const EnvOptions& env() const { return env_; }
 
   /// Base configuration for one run of `scenario` in `mode`.
   RunConfig base_config(ScenarioId scenario, AgentMode mode) const;
@@ -79,10 +95,11 @@ class CampaignManager {
 
   /// Supervised batch: one result per config, in order (quarantined runs
   /// included as kHarnessError placeholders, never dropped). When the
-  /// environment enables the process-isolated executor (DAV_JOBS and/or
-  /// DAV_JOURNAL set — see executor.h) the batch runs in forked, sandboxed,
-  /// journaled workers; otherwise it runs serially in-process. Both paths
-  /// merge results by config index and yield bit-identical batches.
+  /// injected EnvOptions enable the process-isolated executor (jobs > 0
+  /// and/or a journal path — see executor.h) the batch runs in sandboxed,
+  /// journaled workers (persistent pool by default); otherwise it runs
+  /// serially in-process. All paths merge results by config index and yield
+  /// bit-identical batches.
   std::vector<RunResult> run_all(const std::vector<RunConfig>& cfgs);
 
   /// A run the supervisor had to abort, with the offending config (seed and
@@ -142,6 +159,7 @@ class CampaignManager {
   void export_campaign_trace(const ExecutorStats& s);
 
   CampaignScale scale_;
+  EnvOptions env_;  ///< injected once at construction; never re-read
   std::uint64_t seed_;
   std::vector<Quarantine> quarantined_;
   bool executor_used_ = false;

@@ -1,0 +1,191 @@
+// The ONLY translation unit allowed to read the process environment
+// (davlint rule env-read). Every DAV_* knob is parsed here, strictly: a
+// malformed value is an error naming the variable, never a silent fallback.
+#include "campaign/env_options.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "campaign/campaign.h"
+
+namespace dav {
+
+namespace {
+
+[[noreturn]] void reject(const char* var, const std::string& value,
+                         const std::string& want) {
+  throw std::invalid_argument(std::string("EnvOptions: ") + var + " must be " +
+                              want + ", got \"" + value + "\"");
+}
+
+const char* get(const char* var) { return std::getenv(var); }
+
+double parse_double(const char* var, const std::string& value,
+                    const std::string& want) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !std::isfinite(v)) {
+    reject(var, value, want);
+  }
+  return v;
+}
+
+long parse_long(const char* var, const std::string& value,
+                const std::string& want) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') reject(var, value, want);
+  return v;
+}
+
+bool parse_bool(const char* var, const std::string& value) {
+  std::string s = value;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "on" || s == "yes") return true;
+  if (s == "0" || s == "false" || s == "off" || s == "no") return false;
+  reject(var, value, "a boolean (1/0, true/false, on/off, yes/no)");
+}
+
+}  // namespace
+
+EnvOptions EnvOptions::from_env() {
+  EnvOptions o;
+  if (const char* v = get("DAV_SCALE")) {
+    o.scale = parse_double("DAV_SCALE", v, "a positive number");
+    if (!(o.scale > 0.0)) reject("DAV_SCALE", v, "a positive number");
+  }
+  if (const char* v = get("DAV_JOBS")) {
+    const long n = parse_long("DAV_JOBS", v, "a non-negative integer");
+    if (n < 0) reject("DAV_JOBS", v, "a non-negative integer");
+    o.jobs = static_cast<int>(n);
+  }
+  if (const char* v = get("DAV_POOL")) o.pool = parse_bool("DAV_POOL", v);
+  if (const char* v = get("DAV_WARM_CACHE")) {
+    o.warm_cache = parse_bool("DAV_WARM_CACHE", v);
+  }
+  if (const char* v = get("DAV_JOURNAL")) o.journal_path = v;
+  if (const char* v = get("DAV_RUN_TIMEOUT_SEC")) {
+    o.run_timeout_sec =
+        parse_double("DAV_RUN_TIMEOUT_SEC", v, "a positive number of seconds");
+    if (!(o.run_timeout_sec > 0.0)) {
+      reject("DAV_RUN_TIMEOUT_SEC", v, "a positive number of seconds");
+    }
+  }
+  if (const char* v = get("DAV_RUN_RETRIES")) {
+    const long n = parse_long("DAV_RUN_RETRIES", v, "a non-negative integer");
+    if (n < 0) reject("DAV_RUN_RETRIES", v, "a non-negative integer");
+    o.run_retries = static_cast<int>(n);
+  }
+  if (const char* v = get("DAV_RUN_CPU_SEC")) {
+    o.run_cpu_sec = parse_double("DAV_RUN_CPU_SEC", v,
+                                 "a non-negative number of seconds");
+    if (o.run_cpu_sec < 0.0) {
+      reject("DAV_RUN_CPU_SEC", v, "a non-negative number of seconds");
+    }
+  }
+  if (const char* v = get("DAV_RUN_AS_MB")) {
+    const long n = parse_long("DAV_RUN_AS_MB", v, "a non-negative integer "
+                                                  "number of MiB");
+    if (n < 0) reject("DAV_RUN_AS_MB", v, "a non-negative integer number of "
+                                          "MiB");
+    o.run_as_mb = static_cast<std::size_t>(n);
+  }
+  if (const char* v = get("DAV_TRACE")) o.trace_dir = v;
+  if (const char* v = get("DAV_TRACE_CAPACITY")) {
+    const long n =
+        parse_long("DAV_TRACE_CAPACITY", v, "a positive event count");
+    if (n <= 0) reject("DAV_TRACE_CAPACITY", v, "a positive event count");
+    o.trace_capacity = static_cast<std::size_t>(n);
+  }
+  o.validate();
+  return o;
+}
+
+void EnvOptions::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("EnvOptions: " + what);
+  };
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    bad("scale must be positive and finite, got " + std::to_string(scale));
+  }
+  if (jobs < 0) bad("jobs must be non-negative, got " + std::to_string(jobs));
+  if (!(run_timeout_sec > 0.0)) {
+    bad("run_timeout_sec must be positive, got " +
+        std::to_string(run_timeout_sec));
+  }
+  if (run_retries < 0) {
+    bad("run_retries must be non-negative, got " +
+        std::to_string(run_retries));
+  }
+  if (run_cpu_sec < 0.0) {
+    bad("run_cpu_sec must be non-negative, got " +
+        std::to_string(run_cpu_sec));
+  }
+  if (trace_capacity == 0) bad("trace_capacity must be positive");
+}
+
+CampaignScale EnvOptions::campaign_scale() const {
+  CampaignScale s;
+  const double k = scale;
+  s.transient_runs = std::max(4, static_cast<int>(s.transient_runs * k));
+  s.permanent_repeats =
+      std::max(1, static_cast<int>(std::lround(s.permanent_repeats * k)));
+  s.golden_runs = std::max(3, static_cast<int>(s.golden_runs * k));
+  s.training_runs_per_scenario = std::max(
+      1, static_cast<int>(std::lround(s.training_runs_per_scenario * k)));
+  return s;
+}
+
+ExecutorOptions EnvOptions::executor_options() const {
+  ExecutorOptions o;
+  o.jobs = jobs;
+  o.pool = pool;
+  o.warm_cache = warm_cache;
+  o.journal_path = journal_path;
+  o.run_timeout_sec = run_timeout_sec;
+  o.max_retries = run_retries;
+  o.cpu_limit_sec = run_cpu_sec;
+  o.address_space_mb = run_as_mb;
+  return o;
+}
+
+obs::TraceOptions EnvOptions::trace_options() const {
+  obs::TraceOptions t;
+  t.dir = trace_dir;
+  t.capacity = trace_capacity;
+  return t;
+}
+
+const std::vector<EnvOptions::VarDoc>& EnvOptions::docs() {
+  static const std::vector<VarDoc> kDocs = {
+      {"DAV_SCALE", "1.0",
+       "campaign size multiplier (run counts scale with paper-shaped floors)"},
+      {"DAV_JOBS", "0",
+       "parallel worker processes; >0 enables the process-isolated executor"},
+      {"DAV_POOL", "1",
+       "persistent prefork worker pool; 0 falls back to fork-per-run"},
+      {"DAV_WARM_CACHE", "1",
+       "per-worker warm-state cache (scenario + initial agent snapshot)"},
+      {"DAV_JOURNAL", "(unset)",
+       "write-ahead journal path; enables lossless campaign resume"},
+      {"DAV_RUN_TIMEOUT_SEC", "600",
+       "wall-clock watchdog per run attempt; hung workers are killed"},
+      {"DAV_RUN_RETRIES", "1",
+       "retries for a quarantined run before the final harness-error verdict"},
+      {"DAV_RUN_CPU_SEC", "0",
+       "RLIMIT_CPU per worker in seconds; 0 disables"},
+      {"DAV_RUN_AS_MB", "0",
+       "RLIMIT_AS per worker in MiB; 0 disables (keep 0 under ASan)"},
+      {"DAV_TRACE", "(unset)",
+       "flight-recorder output directory; enables per-run + campaign traces"},
+      {"DAV_TRACE_CAPACITY", "65536",
+       "trace ring capacity in events (~24 B each)"},
+  };
+  return kDocs;
+}
+
+}  // namespace dav

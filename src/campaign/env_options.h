@@ -1,0 +1,92 @@
+// Typed façade over every DAV_* environment variable.
+//
+// The campaign layer grew one ad-hoc getenv per knob (scale, executor
+// routing, trace opt-in); each parsed its variable with its own lenient
+// rules, so a typo like DAV_JOBS=fuor silently ran serial. EnvOptions is the
+// single place the process environment is read: from_env() parses and
+// validates ALL DAV_* variables with actionable errors, and everything
+// downstream (CampaignScale sizing, ExecutorOptions routing, TraceOptions
+// opt-in, CampaignManager construction) consumes the struct — never the
+// environment. A davlint rule (env-read) bans std::getenv outside
+// env_options.cpp, so the façade cannot rot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/executor.h"
+#include "obs/trace.h"
+
+namespace dav {
+
+struct CampaignScale;  // campaign.h (env_options.cpp sees the full type)
+
+struct EnvOptions {
+  // --- campaign sizing (DAV_SCALE) ----------------------------------------
+  /// Multiplier on the campaign run counts; 1.0 is the paper-shaped default
+  /// structure at simulation scale.
+  double scale = 1.0;
+
+  // --- process-isolated executor (executor.h) -----------------------------
+  /// Parallel worker processes (DAV_JOBS). 0 = executor not requested.
+  int jobs = 0;
+  /// Persistent prefork worker pool (DAV_POOL); false falls back to the
+  /// fork-per-run executor.
+  bool pool = true;
+  /// Per-worker warm-state cache (DAV_WARM_CACHE); pool mode only.
+  bool warm_cache = true;
+  /// Write-ahead journal path (DAV_JOURNAL); empty disables journaling.
+  std::string journal_path;
+  /// Wall-clock watchdog per run attempt, seconds (DAV_RUN_TIMEOUT_SEC).
+  double run_timeout_sec = 600.0;
+  /// Retries for a quarantined run before the final kHarnessError
+  /// (DAV_RUN_RETRIES).
+  int run_retries = 1;
+  /// RLIMIT_CPU per worker, seconds; 0 disables (DAV_RUN_CPU_SEC).
+  double run_cpu_sec = 0.0;
+  /// RLIMIT_AS per worker, MiB; 0 disables (DAV_RUN_AS_MB).
+  std::size_t run_as_mb = 0;
+
+  // --- flight recorder (obs/trace.h) --------------------------------------
+  /// Trace output directory (DAV_TRACE); empty disables tracing.
+  std::string trace_dir;
+  /// Trace ring capacity in events (DAV_TRACE_CAPACITY).
+  std::size_t trace_capacity = 65536;
+
+  /// THE env-reading entry point: parses and validates every DAV_* variable.
+  /// Unset variables keep the defaults above. Throws std::invalid_argument
+  /// naming the variable and the offending value on malformed input.
+  static EnvOptions from_env();
+
+  /// The compiled-in defaults, untouched by the environment (what a
+  /// default-constructed EnvOptions holds; spelled out for call sites that
+  /// want to say "no environment" explicitly).
+  static EnvOptions defaults() { return EnvOptions{}; }
+
+  /// Throws std::invalid_argument on nonsensical values (also called by
+  /// from_env after parsing).
+  void validate() const;
+
+  // --- projections consumed by the subsystems -----------------------------
+  /// Campaign sizing with `scale` applied (same floors as the historic
+  /// DAV_SCALE handling, so existing campaigns reproduce exactly).
+  CampaignScale campaign_scale() const;
+  /// Executor routing: jobs/pool/cache/journal/rlimits. The caller stamps
+  /// campaign_fingerprint before use.
+  ExecutorOptions executor_options() const;
+  /// Flight-recorder opt-in for RunConfig::trace.
+  obs::TraceOptions trace_options() const;
+
+  /// One documented knob; docs() drives the README env-var table and
+  /// `davcamp --env-help`, so the docs cannot drift from the parser.
+  struct VarDoc {
+    const char* name;
+    const char* fallback;  // rendered default
+    const char* summary;
+  };
+  static const std::vector<VarDoc>& docs();
+};
+
+}  // namespace dav

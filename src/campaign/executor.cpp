@@ -18,6 +18,7 @@
 #include <unistd.h>
 #endif
 
+#include "campaign/env_options.h"
 #include "campaign/serialize.h"
 #include "util/bits.h"
 
@@ -31,20 +32,15 @@ double elapsed_sec(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
 
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atof(v) : fallback;
-}
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : fallback;
-}
-
-// ---- wire format, worker -> supervisor ------------------------------------
+// ---- wire format ----------------------------------------------------------
 //
-// frame   = u32 payload_len | u64 fnv1a64(payload) | payload
-// payload = u8 ok | [str what, when !ok] | serialized RunResult
+// Frames (serialize.h: u32 len | u64 fnv1a64 | payload) carry:
+//   result payload       = u8 ok | [str what, when !ok] | serialized RunResult
+//   pool request payload = u64 index | serialized RunConfig
+//   pool response payload = u64 index | u32 runs_served | u64 warm_hits |
+//                           u64 warm_misses | result payload
+// The response embeds the plain result payload verbatim, so the journaled
+// record is byte-compatible across pool, fork-per-run and serial modes.
 //
 // A worker that dies mid-write leaves a frame that fails the length or
 // checksum test; the supervisor treats that exactly like a signal death.
@@ -75,27 +71,14 @@ Payload parse_payload(const std::string& bytes) {
   return p;
 }
 
-std::string frame_payload(const std::string& payload) {
-  ByteWriter w;
-  w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.u64(fnv1a64(payload.data(), payload.size()));
-  w.raw(payload);
-  return w.take();
-}
-
-/// Extract the payload from a complete, checksummed frame; nullopt when the
-/// buffer is torn, truncated, or corrupt.
+/// One-shot unframe (fork-per-run pipes, where EOF delimits the frame):
+/// the buffer must hold exactly one complete, checksummed frame.
 std::optional<std::string> unframe(const std::string& buf) {
-  if (buf.size() < 12) return std::nullopt;
-  ByteReader r(buf);
-  const std::uint32_t len = r.u32();
-  const std::uint64_t checksum = r.u64();
-  if (r.remaining() != len) return std::nullopt;
-  std::string payload = buf.substr(12);
-  if (fnv1a64(payload.data(), payload.size()) != checksum) {
+  const FrameSplit fs = try_unframe(buf);
+  if (fs.status != FrameSplit::Status::kOk || fs.consumed != buf.size()) {
     return std::nullopt;
   }
-  return payload;
+  return fs.payload;
 }
 
 }  // namespace
@@ -112,15 +95,7 @@ RunResult harness_error_result(const RunConfig& cfg) {
 }
 
 ExecutorOptions ExecutorOptions::from_env() {
-  ExecutorOptions o;
-  o.jobs = env_int("DAV_JOBS", 0);
-  if (const char* j = std::getenv("DAV_JOURNAL")) o.journal_path = j;
-  o.run_timeout_sec = env_double("DAV_RUN_TIMEOUT_SEC", o.run_timeout_sec);
-  o.max_retries = env_int("DAV_RUN_RETRIES", o.max_retries);
-  o.cpu_limit_sec = env_double("DAV_RUN_CPU_SEC", o.cpu_limit_sec);
-  o.address_space_mb = static_cast<std::size_t>(
-      std::max(0, env_int("DAV_RUN_AS_MB", 0)));
-  return o;
+  return EnvOptions::from_env().executor_options();
 }
 
 void ExecutorOptions::validate() const {
@@ -146,9 +121,18 @@ void ExecutorOptions::validate() const {
 }
 
 CampaignExecutor::CampaignExecutor(ExecutorOptions opts, RunFn fn)
+    : CampaignExecutor(
+          std::move(opts),
+          fn ? WarmRunFn([f = std::move(fn)](const RunConfig& c,
+                                             WarmStateCache*) { return f(c); })
+             : WarmRunFn{}) {}
+
+CampaignExecutor::CampaignExecutor(ExecutorOptions opts, WarmRunFn fn)
     : opts_(std::move(opts)),
       fn_(fn ? std::move(fn)
-             : RunFn([](const RunConfig& c) { return run_experiment(c); })) {
+             : WarmRunFn([](const RunConfig& c, WarmStateCache* w) {
+                 return run_experiment(c, w);
+               })) {
   opts_.validate();
 }
 
@@ -166,6 +150,7 @@ std::vector<RunResult> CampaignExecutor::run_all(
   batch_start_ = Clock::now();
   stats_.jobs = std::max(1, opts_.jobs);
   stats_.slot_busy_sec.assign(static_cast<std::size_t>(stats_.jobs), 0.0);
+  stats_.slot_runs_served.assign(static_cast<std::size_t>(stats_.jobs), 0);
 
   std::vector<RunResult> results(cfgs.size());
   std::vector<char> done(cfgs.size(), 0);
@@ -206,6 +191,8 @@ std::vector<RunResult> CampaignExecutor::run_all(
 #if DAV_EXECUTOR_POSIX
   if (opts_.force_in_process) {
     run_in_process(cfgs, keys, results, done);
+  } else if (opts_.pool) {
+    run_pool(cfgs, keys, results, done);
   } else {
     run_forked(cfgs, keys, results, done);
   }
@@ -231,7 +218,7 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
     if (done[i] != 0) continue;
     const Clock::time_point started = Clock::now();
     try {
-      RunResult r = fn_(cfgs[i]);
+      RunResult r = fn_(cfgs[i], nullptr);
       if (journal_.enabled()) {
         journal_append(keys[i], make_payload(true, {}, r));
       }
@@ -286,22 +273,100 @@ void apply_rlimits(const ExecutorOptions& opts) {
 }
 
 [[noreturn]] void worker_main(int fd, const RunConfig& cfg,
-                              const CampaignExecutor::RunFn& fn,
+                              const CampaignExecutor::WarmRunFn& fn,
                               const ExecutorOptions& opts) {
   apply_rlimits(opts);
   std::string payload;
   try {
-    payload = make_payload(true, {}, fn(cfg));
+    payload = make_payload(true, {}, fn(cfg, nullptr));
   } catch (const std::exception& e) {
     payload = make_payload(false, e.what(), harness_error_result(cfg));
   } catch (...) {
     payload = make_payload(false, "unknown exception",
                            harness_error_result(cfg));
   }
-  write_all(fd, frame_payload(payload));
+  write_all(fd, frame_message(payload));
   // _exit, not exit: the worker shares the supervisor's stdio and journal
   // buffers via fork; running atexit/flush here would emit them twice.
   ::_exit(0);
+}
+
+/// Reset the soft CPU limit to (CPU used so far) + budget before each pool
+/// run, so a long-lived worker gets the same per-run CPU budget a fork-per-
+/// run worker gets from RLIMIT_CPU at birth. Only the soft limit moves (an
+/// unprivileged process cannot raise a hard limit once lowered); SIGXCPU's
+/// default action kills the worker, which the supervisor quarantines.
+void rearm_cpu_limit(const ExecutorOptions& opts) {
+  if (opts.cpu_limit_sec <= 0.0) return;
+  rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return;
+  const double used =
+      static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
+      static_cast<double>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) * 1e-6;
+  const auto soft = static_cast<rlim_t>(used + opts.cpu_limit_sec + 0.999);
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_CPU, &lim) != 0) return;
+  lim.rlim_cur = lim.rlim_max == RLIM_INFINITY
+                     ? soft
+                     : std::min<rlim_t>(soft, lim.rlim_max);
+  ::setrlimit(RLIMIT_CPU, &lim);
+}
+
+/// Long-lived pool worker: read request frames (u64 index | RunConfig) off
+/// `req_fd` until the supervisor closes it, execute each config through the
+/// worker's WarmStateCache, and ship response frames back on `resp_fd`.
+[[noreturn]] void pool_worker_main(int req_fd, int resp_fd,
+                                   const CampaignExecutor::WarmRunFn& fn,
+                                   const ExecutorOptions& opts) {
+  // Address-space limit applies for the worker's life; the CPU budget is
+  // per-run, re-armed before each request (see rearm_cpu_limit).
+  ExecutorOptions life = opts;
+  life.cpu_limit_sec = 0.0;
+  apply_rlimits(life);
+  WarmStateCache cache;
+  WarmStateCache* warm = opts.warm_cache ? &cache : nullptr;
+  std::string buf;
+  std::uint32_t served = 0;
+  for (;;) {
+    const FrameSplit fs = try_unframe(buf);
+    if (fs.status == FrameSplit::Status::kCorrupt) ::_exit(3);
+    if (fs.status == FrameSplit::Status::kNeedMore) {
+      char chunk[65536];
+      const ssize_t n = ::read(req_fd, chunk, sizeof(chunk));
+      if (n == 0) ::_exit(0);  // request pipe closed: batch complete
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::_exit(3);
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    buf.erase(0, fs.consumed);
+    ByteReader req(fs.payload);
+    const std::uint64_t index = req.u64();
+    const std::string cfg_bytes =
+        fs.payload.substr(fs.payload.size() - req.remaining());
+    rearm_cpu_limit(opts);
+    std::string result_payload;
+    try {
+      const RunConfigRecord rec = deserialize_run_config(cfg_bytes);
+      result_payload = make_payload(true, {}, fn(rec.cfg, warm));
+    } catch (const std::exception& e) {
+      result_payload =
+          make_payload(false, e.what(), harness_error_result(RunConfig{}));
+    } catch (...) {
+      result_payload = make_payload(false, "unknown exception",
+                                    harness_error_result(RunConfig{}));
+    }
+    ++served;
+    ByteWriter resp;
+    resp.u64(index);
+    resp.u32(served);
+    resp.u64(cache.hits());
+    resp.u64(cache.misses());
+    resp.raw(result_payload);
+    write_all(resp_fd, frame_message(resp.take()));
+  }
 }
 
 int await_child(pid_t pid) {
@@ -530,12 +595,334 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
   }
 }
 
+void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
+                                const std::vector<std::uint64_t>& keys,
+                                std::vector<RunResult>& results,
+                                const std::vector<char>& done) {
+  struct Pending {
+    std::size_t index = 0;
+    int attempt = 0;
+    Clock::time_point eligible{};
+  };
+  /// One persistent worker. Lives until it dies (crash/hang/rlimit) or the
+  /// batch ends; serves many runs, at most one in flight at a time.
+  struct PoolWorker {
+    pid_t pid = -1;
+    int req_fd = -1;   // supervisor -> worker: request frames
+    int resp_fd = -1;  // worker -> supervisor: response frames
+    int slot = 0;
+    bool busy = false;
+    std::size_t index = 0;  // in-flight run (when busy)
+    int attempt = 0;
+    std::string buf;  // response bytes accumulated so far
+    Clock::time_point started{};
+    Clock::time_point deadline{};
+    bool timed_out = false;
+    // Cumulative counters from the worker's latest response; folded into
+    // stats_ when the worker retires.
+    int served = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t warm_misses = 0;
+  };
+
+  const int jobs = std::max(1, opts_.jobs);
+  const auto timeout = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(opts_.run_timeout_sec));
+
+  std::deque<Pending> pending;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (done[i] == 0) pending.push_back(Pending{i, 0, start});
+  }
+  if (pending.empty()) return;
+
+  // The supervisor writes requests into worker pipes; a worker that died
+  // between dispatches would otherwise turn that write into a fatal SIGPIPE
+  // here. Ignore it for the pool's lifetime (the failed write surfaces as an
+  // EOF on the response pipe, which requeues the run).
+  struct SigpipeGuard {
+    struct sigaction prev {};
+    SigpipeGuard() {
+      struct sigaction ign {};
+      ign.sa_handler = SIG_IGN;
+      ::sigaction(SIGPIPE, &ign, &prev);
+    }
+    ~SigpipeGuard() { ::sigaction(SIGPIPE, &prev, nullptr); }
+  } sigpipe_guard;
+
+  std::vector<PoolWorker> workers;
+  std::vector<char> slot_used(static_cast<std::size_t>(jobs), 0);
+  const auto claim_slot = [&]() {
+    for (std::size_t s = 0; s < slot_used.size(); ++s) {
+      if (slot_used[s] == 0) {
+        slot_used[s] = 1;
+        return static_cast<int>(s);
+      }
+    }
+    return 0;  // unreachable: live workers are capped at `jobs`
+  };
+
+  const auto spawn = [&]() {
+    int req[2] = {-1, -1};
+    int resp[2] = {-1, -1};
+    if (::pipe(req) != 0 || ::pipe(resp) != 0) {
+      throw std::runtime_error(std::string("executor: pipe failed: ") +
+                               std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (int fd : {req[0], req[1], resp[0], resp[1]}) ::close(fd);
+      throw std::runtime_error(std::string("executor: fork failed: ") +
+                               std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::close(req[1]);
+      ::close(resp[0]);
+      pool_worker_main(req[0], resp[1], fn_, opts_);
+    }
+    ::close(req[0]);
+    ::close(resp[1]);
+    PoolWorker w;
+    w.pid = pid;
+    w.req_fd = req[1];
+    w.resp_fd = resp[0];
+    w.slot = claim_slot();
+    workers.push_back(std::move(w));
+    ++stats_.launched;
+  };
+
+  const auto requeue_or_quarantine = [&](std::size_t index, int attempt,
+                                         const std::string& what) {
+    if (attempt < opts_.max_retries) {
+      ++stats_.retries;
+      const double backoff_sec =
+          opts_.retry_backoff_sec * static_cast<double>(1 << attempt);
+      pending.push_back(Pending{
+          index, attempt + 1,
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(backoff_sec))});
+      return;
+    }
+    results[index] = harness_error_result(cfgs[index]);
+    quarantined_.push_back(RunQuarantine{index, cfgs[index], what});
+    ++stats_.quarantined;
+    if (journal_.enabled()) {
+      journal_append(keys[index], make_payload(false, what, results[index]));
+    }
+  };
+
+  const auto account_attempt = [&](const PoolWorker& w) {
+    const double dur = elapsed_sec(w.started, Clock::now());
+    stats_.slot_busy_sec[static_cast<std::size_t>(w.slot)] += dur;
+    stats_.spans.push_back(WorkerSpan{w.index, w.slot, w.attempt,
+                                      elapsed_sec(batch_start_, w.started),
+                                      dur});
+  };
+
+  /// Reap a worker (dead, corrupt, or batch-complete) and fold its counters
+  /// into stats_. A run in flight is requeued or quarantined.
+  const auto retire = [&](PoolWorker w, bool clean_shutdown) {
+    if (w.req_fd >= 0) ::close(w.req_fd);
+    ::close(w.resp_fd);
+    if (!clean_shutdown) ::kill(w.pid, SIGKILL);
+    const int status = await_child(w.pid);
+    slot_used[static_cast<std::size_t>(w.slot)] = 0;
+    stats_.slot_runs_served[static_cast<std::size_t>(w.slot)] += w.served;
+    stats_.warm_hits += w.warm_hits;
+    stats_.warm_misses += w.warm_misses;
+    if (!w.busy) return;
+    account_attempt(w);
+    std::string what;
+    if (w.timed_out) {
+      what = "watchdog: no result after " +
+             std::to_string(opts_.run_timeout_sec) + " s; worker killed";
+    } else {
+      what = describe_death(status);
+      if (WIFSIGNALED(status)) ++stats_.signal_deaths;
+    }
+    requeue_or_quarantine(w.index, w.attempt, what);
+  };
+
+  const auto dispatch = [&](PoolWorker& w, const Pending& p) {
+    ByteWriter req;
+    req.u64(p.index);
+    req.raw(serialize_run_config(cfgs[p.index]));
+    write_all(w.req_fd, frame_message(req.take()));
+    w.busy = true;
+    w.index = p.index;
+    w.attempt = p.attempt;
+    w.started = Clock::now();
+    w.deadline = w.started + timeout;
+    w.timed_out = false;
+  };
+
+  /// Handle one complete response frame. Returns false when the worker broke
+  /// protocol and must be retired.
+  const auto on_response = [&](PoolWorker& w,
+                               const std::string& payload) -> bool {
+    try {
+      ByteReader r(payload);
+      const std::uint64_t index = r.u64();
+      const int served = static_cast<int>(r.u32());
+      const std::uint64_t hits = r.u64();
+      const std::uint64_t misses = r.u64();
+      const std::string result_payload =
+          payload.substr(payload.size() - r.remaining());
+      if (!w.busy || index != w.index) return false;  // protocol violation
+      Payload p = parse_payload(result_payload);
+      w.served = served;
+      w.warm_hits = hits;
+      w.warm_misses = misses;
+      account_attempt(w);
+      w.busy = false;
+      if (p.ok) {
+        if (journal_.enabled()) journal_append(keys[index], result_payload);
+        results[index] = std::move(p.result);
+      } else {
+        requeue_or_quarantine(index, w.attempt, p.what);
+      }
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+
+  // Prefork the pool: one long-lived worker per slot, capped by the work
+  // actually pending. Later spawns are respawns after a worker death.
+  const int initial = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), pending.size()));
+  for (int i = 0; i < initial; ++i) spawn();
+  stats_.pool_workers = initial;
+
+  while (!pending.empty() ||
+         std::any_of(workers.begin(), workers.end(),
+                     [](const PoolWorker& w) { return w.busy; })) {
+    // Feed eligible pending runs to idle workers; respawn replacements for
+    // dead slots while work remains.
+    Clock::time_point now = Clock::now();
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->eligible > now) {
+        ++it;
+        continue;
+      }
+      PoolWorker* idle = nullptr;
+      for (PoolWorker& w : workers) {
+        if (!w.busy) {
+          idle = &w;
+          break;
+        }
+      }
+      if (idle == nullptr && static_cast<int>(workers.size()) < jobs) {
+        spawn();
+        ++stats_.respawns;
+        idle = &workers.back();
+      }
+      if (idle == nullptr) break;  // every worker busy
+      dispatch(*idle, *it);
+      it = pending.erase(it);
+    }
+
+    // Sleep until the next event: a readable response pipe, a watchdog
+    // deadline, or a retry becoming eligible.
+    Clock::time_point wake = now + std::chrono::seconds(1);
+    for (const PoolWorker& w : workers) {
+      if (w.busy) wake = std::min(wake, w.deadline);
+    }
+    for (const Pending& p : pending) wake = std::min(wake, p.eligible);
+    const int timeout_ms = static_cast<int>(std::max<std::int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
+               .count()));
+
+    std::vector<pollfd> fds;
+    fds.reserve(workers.size());
+    for (const PoolWorker& w : workers) {
+      fds.push_back(pollfd{w.resp_fd, POLLIN, 0});
+    }
+    const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
+                          static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      throw std::runtime_error(std::string("executor: poll failed: ") +
+                               std::strerror(errno));
+    }
+
+    // Drain readable pipes. A complete frame is a finished run; EOF or a
+    // corrupt stream is a dead worker.
+    for (std::size_t i = 0; i < workers.size();) {
+      PoolWorker& w = workers[i];
+      const short revents = i < fds.size() ? fds[i].revents : 0;
+      if (revents == 0) {
+        ++i;
+        continue;
+      }
+      bool dead = false;
+      char chunk[65536];
+      const ssize_t n = ::read(w.resp_fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        w.buf.append(chunk, static_cast<std::size_t>(n));
+        for (;;) {
+          const FrameSplit fs = try_unframe(w.buf);
+          if (fs.status == FrameSplit::Status::kNeedMore) break;
+          if (fs.status == FrameSplit::Status::kCorrupt ||
+              !on_response(w, fs.payload)) {
+            dead = true;
+            break;
+          }
+          w.buf.erase(0, fs.consumed);
+        }
+      } else if (n < 0 && errno == EINTR) {
+        // retry next round
+      } else if (n == 0) {
+        dead = true;  // EOF: the worker died (clean exits only happen after
+                      // the supervisor closes the request pipe below)
+      } else {
+        dead = true;
+      }
+      if (dead) {
+        PoolWorker finished = std::move(w);
+        workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(i));
+        fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
+        retire(std::move(finished), /*clean_shutdown=*/false);
+      } else {
+        ++i;
+      }
+    }
+
+    // Wall-clock watchdog: a worker still busy past its deadline is killed;
+    // the kill surfaces as EOF on the next poll round.
+    now = Clock::now();
+    for (PoolWorker& w : workers) {
+      if (w.busy && !w.timed_out && now >= w.deadline) {
+        w.timed_out = true;
+        ++stats_.timeouts;
+        ::kill(w.pid, SIGKILL);
+      }
+    }
+  }
+
+  // Batch complete: close the request pipes; each worker reads EOF and
+  // exits cleanly.
+  while (!workers.empty()) {
+    PoolWorker w = std::move(workers.back());
+    workers.pop_back();
+    ::close(w.req_fd);
+    w.req_fd = -1;
+    retire(std::move(w), /*clean_shutdown=*/true);
+  }
+}
+
 #else  // !DAV_EXECUTOR_POSIX
 
 void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
                                   const std::vector<std::uint64_t>& keys,
                                   std::vector<RunResult>& results,
                                   const std::vector<char>& done) {
+  run_in_process(cfgs, keys, results, done);
+}
+
+void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
+                                const std::vector<std::uint64_t>& keys,
+                                std::vector<RunResult>& results,
+                                const std::vector<char>& done) {
   run_in_process(cfgs, keys, results, done);
 }
 

@@ -12,11 +12,18 @@
 // kHarnessError outcome with the offending seed and FaultPlan — the sweep
 // always completes.
 //
+// Two isolation strategies share those guarantees. The default persistent
+// prefork POOL forks `jobs` long-lived workers once per batch and streams
+// RunConfigs to them as checksummed request frames (serialize.h); a worker
+// is recycled only when it dies, and each worker keeps a WarmStateCache so
+// sweep runs sharing a scenario/mode skip redundant setup replay. The legacy
+// FORK-PER-RUN path (pool = false) forks a fresh process per attempt.
+//
 // Completed runs are persisted in a write-ahead journal (journal.h), so
 // re-launching the same campaign skips finished work and an interrupted
 // sweep resumes losslessly. DAV_JOBS workers run in parallel; quarantined
 // runs get a bounded retry with exponential backoff; and results are merged
-// deterministically by plan index, so the resumed/parallel summary is
+// deterministically by plan index, so the pooled/resumed/parallel summary is
 // bit-identical to the uninterrupted serial one.
 #pragma once
 
@@ -36,6 +43,17 @@ struct ExecutorOptions {
   /// Parallel worker processes. <= 0 means "not explicitly enabled"; the
   /// executor itself treats it as 1.
   int jobs = 1;
+  /// Persistent prefork worker pool: fork `jobs` long-lived workers once per
+  /// batch and stream RunConfigs to them, instead of forking one process per
+  /// run. Same isolation guarantees (a dead/hung worker is quarantined and
+  /// replaced); an order of magnitude less fork/exec overhead per run.
+  /// false selects the legacy fork-per-run path.
+  bool pool = true;
+  /// Per-worker warm-state cache (WarmStateCache, campaign/driver.h): reuse
+  /// scenario + initial-agent setup across runs that share the warm key.
+  /// Pool mode only (a fork-per-run worker dies before it could reuse
+  /// anything). Never changes results — see driver.h.
+  bool warm_cache = true;
   /// Wall-clock watchdog per run attempt; a worker still alive past this is
   /// SIGKILLed and quarantined.
   double run_timeout_sec = 600.0;
@@ -57,8 +75,8 @@ struct ExecutorOptions {
   /// or debugging): no watchdog or rlimits, but journaling still works.
   bool force_in_process = false;
 
-  /// Reads DAV_JOBS, DAV_JOURNAL, DAV_RUN_TIMEOUT_SEC, DAV_RUN_RETRIES,
-  /// DAV_RUN_CPU_SEC and DAV_RUN_AS_MB.
+  /// Deprecated spelling of EnvOptions::from_env().executor_options() — the
+  /// typed façade (env_options.h) is the only env-reading entry point.
   static ExecutorOptions from_env();
 
   /// True when the environment asked for the executor (DAV_JOBS or
@@ -99,6 +117,12 @@ struct ExecutorStats {
   int quarantined = 0;    ///< runs recorded as final kHarnessError
   std::uint64_t torn_bytes_discarded = 0;  ///< from the journal's torn tail
 
+  // Pool-mode lifecycle (zero in fork-per-run mode).
+  int pool_workers = 0;   ///< persistent workers forked at batch start
+  int respawns = 0;       ///< replacement workers forked after a death
+  std::uint64_t warm_hits = 0;    ///< warm-state cache hits, all workers
+  std::uint64_t warm_misses = 0;  ///< warm-state cache misses, all workers
+
   // Telemetry (wall-clock; surfaced on stderr by davcamp, exported as the
   // campaign trace — deliberately absent from the deterministic summary).
   int jobs = 1;                      ///< worker slots used for this batch
@@ -106,6 +130,7 @@ struct ExecutorStats {
   int journal_appends = 0;           ///< records written to the journal
   std::uint64_t journal_bytes = 0;   ///< payload bytes appended
   std::vector<double> slot_busy_sec; ///< busy seconds per worker slot
+  std::vector<int> slot_runs_served; ///< pool runs completed per worker slot
   std::vector<WorkerSpan> spans;     ///< completed attempts, timeline order
 };
 
@@ -120,9 +145,14 @@ class CampaignExecutor {
   /// run_experiment; tests substitute functions that crash, hang, or abort
   /// to exercise the sandbox.
   using RunFn = std::function<RunResult(const RunConfig&)>;
+  /// Cache-aware work function for pool workers: the second argument is the
+  /// worker's WarmStateCache (nullptr when caching is off or the path cannot
+  /// reuse state). MUST return the same result with and without the cache.
+  using WarmRunFn = std::function<RunResult(const RunConfig&, WarmStateCache*)>;
 
   /// Throws std::invalid_argument when `opts` is nonsensical.
   explicit CampaignExecutor(ExecutorOptions opts, RunFn fn = {});
+  CampaignExecutor(ExecutorOptions opts, WarmRunFn fn);
 
   /// Execute every config, in parallel, with journal resume. Returns one
   /// result per config in submission order (quarantined runs included as
@@ -148,9 +178,15 @@ class CampaignExecutor {
                   const std::vector<std::uint64_t>& keys,
                   std::vector<RunResult>& results,
                   const std::vector<char>& done);
+  /// Persistent prefork pool: workers forked once per batch, requests
+  /// streamed over pipes, dead workers respawned.
+  void run_pool(const std::vector<RunConfig>& cfgs,
+                const std::vector<std::uint64_t>& keys,
+                std::vector<RunResult>& results,
+                const std::vector<char>& done);
 
   ExecutorOptions opts_;
-  RunFn fn_;
+  WarmRunFn fn_;
   JournalWriter journal_;
   std::vector<RunQuarantine> quarantined_;
   ExecutorStats stats_;

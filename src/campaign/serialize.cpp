@@ -1,5 +1,6 @@
 #include "campaign/serialize.h"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -277,6 +278,116 @@ RunResult deserialize_run_result(const std::string& bytes) {
   out.cpu_instructions = r.u64();
   out.agent_state_bytes = r.u64();
   out.sensor_frame_bytes = r.u64();
+  if (!r.done()) malformed("trailing bytes");
+  return out;
+}
+
+std::string frame_message(const std::string& payload) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u64(fnv1a64(payload.data(), payload.size()));
+  w.raw(payload);
+  return w.take();
+}
+
+FrameSplit try_unframe(const std::string& buf) {
+  FrameSplit out;
+  if (buf.size() < 12) return out;  // header not complete yet
+  ByteReader r(buf);
+  const std::uint32_t len = r.u32();
+  const std::uint64_t checksum = r.u64();
+  if (buf.size() - 12 < len) return out;  // payload not complete yet
+  std::string payload = buf.substr(12, len);
+  if (fnv1a64(payload.data(), payload.size()) != checksum) {
+    out.status = FrameSplit::Status::kCorrupt;
+    return out;
+  }
+  out.status = FrameSplit::Status::kOk;
+  out.payload = std::move(payload);
+  out.consumed = 12 + static_cast<std::size_t>(len);
+  return out;
+}
+
+std::string serialize_run_config(const RunConfig& cfg) {
+  ByteWriter w;
+  w.u32(kRunConfigVersion);
+  w.u8(static_cast<std::uint8_t>(cfg.scenario));
+  w.u64(cfg.scenario_seed);
+  w.f64(cfg.scenario_opts.long_route_duration_sec);
+  w.f64(cfg.scenario_opts.safety_duration_sec);
+  w.u8(static_cast<std::uint8_t>(cfg.mode));
+  w.f64(cfg.overlap_ratio);
+  put_fault_plan(w, cfg.fault);
+  w.u64(cfg.run_seed);
+  w.f64(cfg.dt);
+  w.i32(cfg.cam_width);
+  w.i32(cfg.cam_height);
+  w.f64(cfg.camera_noise_sigma);
+  w.u8(cfg.record_traces ? 1 : 0);
+  w.f64(cfg.watchdog_sec);
+  w.f64(cfg.stuck_watchdog_sec);
+  w.u8(static_cast<std::uint8_t>(cfg.mitigation));
+  w.i32(cfg.recovery.probe_ticks);
+  w.i32(cfg.recovery.rewarm_ticks);
+  w.i32(cfg.recovery.max_recoveries);
+  w.i32(cfg.recovery.recovery_window_ticks);
+  w.u8(cfg.online_lut != nullptr ? 1 : 0);
+  if (cfg.online_lut != nullptr) {
+    w.u64(cfg.online_detector.rw);
+    w.f64(cfg.online_detector.min_eval_speed);
+    w.i32(cfg.online_detector.debounce);
+    // max_digits10 precision makes the text round-trip bit-exact: the
+    // worker's reconstructed thresholds match the supervisor's to the last
+    // ULP, so the bit-identity invariant survives the request codec.
+    std::ostringstream lut_text;
+    lut_text.precision(std::numeric_limits<double>::max_digits10);
+    cfg.online_lut->save(lut_text);
+    w.str(lut_text.str());
+  }
+  w.str(cfg.trace.dir);
+  w.u64(cfg.trace.capacity);
+  w.i32(cfg.trace.pid);
+  w.str(cfg.trace.label);
+  return w.take();
+}
+
+RunConfigRecord deserialize_run_config(const std::string& bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kRunConfigVersion) malformed("config version mismatch");
+  RunConfigRecord out;
+  RunConfig& cfg = out.cfg;
+  cfg.scenario = static_cast<ScenarioId>(r.u8());
+  cfg.scenario_seed = r.u64();
+  cfg.scenario_opts.long_route_duration_sec = r.f64();
+  cfg.scenario_opts.safety_duration_sec = r.f64();
+  cfg.mode = static_cast<AgentMode>(r.u8());
+  cfg.overlap_ratio = r.f64();
+  cfg.fault = get_fault_plan(r);
+  cfg.run_seed = r.u64();
+  cfg.dt = r.f64();
+  cfg.cam_width = r.i32();
+  cfg.cam_height = r.i32();
+  cfg.camera_noise_sigma = r.f64();
+  cfg.record_traces = r.u8() != 0;
+  cfg.watchdog_sec = r.f64();
+  cfg.stuck_watchdog_sec = r.f64();
+  cfg.mitigation = static_cast<MitigationPolicy>(r.u8());
+  cfg.recovery.probe_ticks = r.i32();
+  cfg.recovery.rewarm_ticks = r.i32();
+  cfg.recovery.max_recoveries = r.i32();
+  cfg.recovery.recovery_window_ticks = r.i32();
+  if (r.u8() != 0) {
+    cfg.online_detector.rw = static_cast<std::size_t>(r.u64());
+    cfg.online_detector.min_eval_speed = r.f64();
+    cfg.online_detector.debounce = r.i32();
+    std::istringstream lut_text(r.str());
+    out.lut = std::make_unique<ThresholdLut>(ThresholdLut::load(lut_text));
+    cfg.online_lut = out.lut.get();
+  }
+  cfg.trace.dir = r.str();
+  cfg.trace.capacity = static_cast<std::size_t>(r.u64());
+  cfg.trace.pid = r.i32();
+  cfg.trace.label = r.str();
   if (!r.done()) malformed("trailing bytes");
   return out;
 }

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "campaign/driver.h"
@@ -20,6 +21,11 @@ namespace dav {
 /// Bumped whenever the RunResult encoding changes; a record with a different
 /// version fails to deserialize (and the executor simply re-runs it).
 inline constexpr std::uint32_t kRunRecordVersion = 1;
+
+/// Bumped whenever the RunConfig encoding changes; a worker that receives a
+/// request with a different version reports the mismatch instead of running
+/// a misdecoded config.
+inline constexpr std::uint32_t kRunConfigVersion = 1;
 
 /// Append-only little-endian byte buffer.
 class ByteWriter {
@@ -74,6 +80,55 @@ std::string serialize_run_result(const RunResult& r);
 /// Inverse of serialize_run_result. Throws std::runtime_error on a truncated
 /// buffer, trailing garbage, or a version mismatch.
 RunResult deserialize_run_result(const std::string& bytes);
+
+// --- pipe framing (executor <-> worker) ------------------------------------
+//
+// frame = u32 payload_len | u64 fnv1a64(payload) | payload
+//
+// Both directions of the executor protocol use this frame: fork-per-run
+// workers ship one result frame and exit; pool workers stream request frames
+// in and result frames out over long-lived pipes. A process that dies
+// mid-write leaves a frame that fails the length or checksum test, which the
+// supervisor treats exactly like a signal death.
+
+/// Wrap a payload in a checksummed, length-prefixed frame.
+std::string frame_message(const std::string& payload);
+
+/// Result of scanning a receive buffer for one complete frame.
+struct FrameSplit {
+  enum class Status {
+    kNeedMore,  ///< no complete frame yet; read more bytes
+    kOk,        ///< payload extracted; strip `consumed` bytes from the buffer
+    kCorrupt,   ///< length or checksum violation; the stream is unusable
+  };
+  Status status = Status::kNeedMore;
+  std::string payload;
+  std::size_t consumed = 0;
+};
+
+/// Scan the front of a streaming receive buffer for one complete frame.
+/// Unlike a one-shot pipe (EOF delimits the frame), a persistent worker pipe
+/// carries many frames back to back, so extraction is incremental.
+FrameSplit try_unframe(const std::string& buf);
+
+/// Complete, versioned encoding of a RunConfig — every outcome-determining
+/// field plus the observability routing (TraceOptions), and the trained LUT
+/// text (written at full precision, so thresholds survive bit-exactly) when
+/// an online detector is attached. This is the pool's request payload: the
+/// supervisor streams configs to long-lived workers that were forked before
+/// the configs existed.
+std::string serialize_run_config(const RunConfig& cfg);
+
+/// A decoded RunConfig plus the storage it points into: cfg.online_lut is
+/// wired to `lut` (heap-allocated, so moving the record keeps it valid).
+struct RunConfigRecord {
+  RunConfig cfg;
+  std::unique_ptr<ThresholdLut> lut;  ///< null when no online detector
+};
+
+/// Inverse of serialize_run_config. Throws std::runtime_error on truncation,
+/// trailing garbage, or a version mismatch.
+RunConfigRecord deserialize_run_config(const std::string& bytes);
 
 /// Stable 64-bit digest over every RunConfig field that determines the
 /// outcome of run_experiment (including the trained LUT contents when an

@@ -43,6 +43,13 @@ AdsSystem::AdsSystem(AgentMode mode, const AgentConfig& agent_cfg,
   }
 }
 
+void AdsSystem::adopt_initial_state(const AgentSnapshot& s) {
+  // Both agents are constructed from the same AgentConfig, so one initial
+  // snapshot is valid for either.
+  agent0_->restore(s);
+  if (agent1_) agent1_->restore(s);
+}
+
 void AdsSystem::reset() {
   agent0_->reset();
   if (agent1_) agent1_->reset();

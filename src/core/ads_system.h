@@ -69,6 +69,14 @@ class AdsSystem {
   /// exception was thrown (the platform knows which process crashed/hung).
   int last_executing_agent() const { return executing_; }
 
+  /// Warm-start entry point (executor warm-state cache, campaign/driver.h):
+  /// adopt a previously captured INITIAL agent snapshot into every agent.
+  /// Only valid before the first step, and only with a snapshot captured
+  /// from a freshly constructed AdsSystem of the same AgentConfig — then the
+  /// adopted state is field-for-field what fresh construction produces, so a
+  /// warm-started run is bit-identical to a cold one.
+  void adopt_initial_state(const AgentSnapshot& s);
+
   /// Overwrite the adjacent-output comparison reference. The recovery
   /// manager applies a fused command during the arbitration probe; feeding it
   /// back keeps the comparison stream continuous across the recovery window.

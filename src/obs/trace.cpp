@@ -1,7 +1,6 @@
 #include "obs/trace.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 namespace dav::obs {
 
@@ -71,16 +70,6 @@ std::vector<TraceEvent> TraceRecorder::drain() const {
     out.push_back(buf_[(head_ + i) % buf_.size()]);
   }
   return out;
-}
-
-TraceOptions TraceOptions::from_env() {
-  TraceOptions o;
-  if (const char* dir = std::getenv("DAV_TRACE")) o.dir = dir;
-  if (const char* cap = std::getenv("DAV_TRACE_CAPACITY")) {
-    const long v = std::atol(cap);
-    if (v > 0) o.capacity = static_cast<std::size_t>(v);
-  }
-  return o;
 }
 
 }  // namespace dav::obs

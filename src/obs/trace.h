@@ -137,8 +137,8 @@ struct TraceOptions {
 
   bool enabled() const { return !dir.empty(); }
 
-  /// Reads DAV_TRACE (directory) and DAV_TRACE_CAPACITY (events).
-  static TraceOptions from_env();
+  // Environment opt-in (DAV_TRACE / DAV_TRACE_CAPACITY) lives in
+  // dav::EnvOptions::trace_options() — the obs layer never reads env vars.
 };
 
 namespace detail {

@@ -80,7 +80,7 @@ TEST_F(DavlintTest, ListRulesNamesEveryRule) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule : {"rand", "random-device", "wall-clock",
                            "unordered-iter", "float-eq", "uninit-pod",
-                           "obs-clock"}) {
+                           "obs-clock", "env-read"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -243,6 +243,46 @@ TEST_F(DavlintTest, WallClockStillFiresInsideObsLayer) {
   const auto r = run_on(dir_ / "src");
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+}
+
+// ---- env-read ----
+
+TEST_F(DavlintTest, EnvReadPositive) {
+  const auto p = write_fixture(
+      "er.cpp",
+      "#include <cstdlib>\n"
+      "const char* f() { return std::getenv(\"DAV_JOBS\"); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("er.cpp:2: [env-read]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("EnvOptions"), std::string::npos) << r.output;
+}
+
+TEST_F(DavlintTest, EnvReadSuppressed) {
+  const auto p = write_fixture(
+      "er.cpp",
+      "#include <cstdlib>\n"
+      "const char* f() { return getenv(\"X\"); }  "
+      "// fixture. davlint: allow(env-read)\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+TEST_F(DavlintTest, EnvReadExemptInEnvOptions) {
+  // env_options.cpp is the one sanctioned env-reading TU — the facade the
+  // rule funnels everyone else through.
+  write_fixture("campaign/env_options.cpp",
+                "#include <cstdlib>\n"
+                "const char* f() { return std::getenv(\"DAV_SCALE\"); }\n");
+  const auto r = run_on(dir_ / "campaign");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(DavlintTest, EnvReadCleanOnMemberCall) {
+  const auto p = write_fixture("er.cpp",
+                               "struct E { int getenv() { return 0; } };\n"
+                               "int f(E& e) { return e.getenv(); }\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
 }
 
 // ---- unordered-iter ----

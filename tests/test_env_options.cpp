@@ -1,0 +1,251 @@
+// dav::EnvOptions — the typed façade over every DAV_* environment variable:
+// strict parsing with actionable errors, the legacy DAV_SCALE sizing math,
+// and the projections the subsystems consume (CampaignScale, ExecutorOptions,
+// TraceOptions).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/env_options.h"
+
+namespace dav {
+namespace {
+
+/// Scoped setenv: every test leaves the environment exactly as it found it,
+/// so tests cannot leak DAV_* state into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* var, const char* value) : var_(var) {
+    const char* old = std::getenv(var);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      setenv(var, value, 1);
+    } else {
+      unsetenv(var);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(var_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(var_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string var_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+/// Clears every documented DAV_* variable for the test's duration.
+class CleanEnv {
+ public:
+  CleanEnv() {
+    for (const auto& d : EnvOptions::docs()) {
+      scopes_.push_back(std::make_unique<ScopedEnv>(d.name, nullptr));
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<ScopedEnv>> scopes_;
+};
+
+TEST(EnvOptions, DefaultsWhenNothingIsSet) {
+  CleanEnv clean;
+  const EnvOptions o = EnvOptions::from_env();
+  EXPECT_DOUBLE_EQ(o.scale, 1.0);
+  EXPECT_EQ(o.jobs, 0);
+  EXPECT_TRUE(o.pool);
+  EXPECT_TRUE(o.warm_cache);
+  EXPECT_TRUE(o.journal_path.empty());
+  EXPECT_DOUBLE_EQ(o.run_timeout_sec, 600.0);
+  EXPECT_EQ(o.run_retries, 1);
+  EXPECT_DOUBLE_EQ(o.run_cpu_sec, 0.0);
+  EXPECT_EQ(o.run_as_mb, 0u);
+  EXPECT_TRUE(o.trace_dir.empty());
+  EXPECT_EQ(o.trace_capacity, 65536u);
+  EXPECT_FALSE(o.executor_options().enabled());
+}
+
+TEST(EnvOptions, ParsesEveryKnob) {
+  CleanEnv clean;
+  ScopedEnv e1("DAV_SCALE", "0.5");
+  ScopedEnv e2("DAV_JOBS", "4");
+  ScopedEnv e3("DAV_POOL", "off");
+  ScopedEnv e4("DAV_WARM_CACHE", "no");
+  ScopedEnv e5("DAV_JOURNAL", "/tmp/dav.journal");
+  ScopedEnv e6("DAV_RUN_TIMEOUT_SEC", "12.5");
+  ScopedEnv e7("DAV_RUN_RETRIES", "3");
+  ScopedEnv e8("DAV_RUN_CPU_SEC", "30");
+  ScopedEnv e9("DAV_RUN_AS_MB", "2048");
+  ScopedEnv e10("DAV_TRACE", "/tmp/traces");
+  ScopedEnv e11("DAV_TRACE_CAPACITY", "1024");
+
+  const EnvOptions o = EnvOptions::from_env();
+  EXPECT_DOUBLE_EQ(o.scale, 0.5);
+  EXPECT_EQ(o.jobs, 4);
+  EXPECT_FALSE(o.pool);
+  EXPECT_FALSE(o.warm_cache);
+  EXPECT_EQ(o.journal_path, "/tmp/dav.journal");
+  EXPECT_DOUBLE_EQ(o.run_timeout_sec, 12.5);
+  EXPECT_EQ(o.run_retries, 3);
+  EXPECT_DOUBLE_EQ(o.run_cpu_sec, 30.0);
+  EXPECT_EQ(o.run_as_mb, 2048u);
+  EXPECT_EQ(o.trace_dir, "/tmp/traces");
+  EXPECT_EQ(o.trace_capacity, 1024u);
+}
+
+TEST(EnvOptions, BooleanSpellings) {
+  CleanEnv clean;
+  for (const char* yes : {"1", "true", "TRUE", "on", "Yes"}) {
+    ScopedEnv e("DAV_POOL", yes);
+    EXPECT_TRUE(EnvOptions::from_env().pool) << yes;
+  }
+  for (const char* no : {"0", "false", "OFF", "no"}) {
+    ScopedEnv e("DAV_POOL", no);
+    EXPECT_FALSE(EnvOptions::from_env().pool) << no;
+  }
+}
+
+/// The error for a malformed variable must name the variable and echo the
+/// offending value — "actionable" means a user can fix it from the message
+/// alone.
+void expect_rejects(const char* var, const char* value) {
+  CleanEnv clean;
+  ScopedEnv e(var, value);
+  try {
+    EnvOptions::from_env();
+    FAIL() << var << "=" << value << " was accepted";
+  } catch (const std::invalid_argument& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find(var), std::string::npos) << what;
+    EXPECT_NE(what.find(value), std::string::npos) << what;
+  }
+}
+
+TEST(EnvOptions, RejectsMalformedValuesWithActionableErrors) {
+  expect_rejects("DAV_JOBS", "abc");
+  expect_rejects("DAV_JOBS", "-2");
+  expect_rejects("DAV_JOBS", "4x");
+  expect_rejects("DAV_SCALE", "0");
+  expect_rejects("DAV_SCALE", "-1.5");
+  expect_rejects("DAV_SCALE", "fast");
+  expect_rejects("DAV_RUN_TIMEOUT_SEC", "-5");
+  expect_rejects("DAV_RUN_TIMEOUT_SEC", "soon");
+  expect_rejects("DAV_POOL", "maybe");
+  expect_rejects("DAV_WARM_CACHE", "2");
+  expect_rejects("DAV_RUN_RETRIES", "-1");
+  expect_rejects("DAV_RUN_CPU_SEC", "-0.1");
+  expect_rejects("DAV_RUN_AS_MB", "lots");
+  expect_rejects("DAV_TRACE_CAPACITY", "0");
+}
+
+TEST(EnvOptions, ValidateRejectsNonsenseOnHandBuiltValues) {
+  EnvOptions o;
+  o.scale = 0.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = EnvOptions::defaults();
+  o.jobs = -1;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = EnvOptions::defaults();
+  o.trace_capacity = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(EnvOptions::defaults().validate());
+}
+
+TEST(EnvOptions, CampaignScaleReproducesLegacyMath) {
+  // Same floors and rounding as the historic DAV_SCALE handling: existing
+  // campaigns must reproduce bit-for-bit.
+  EnvOptions o;
+  o.scale = 0.5;
+  CampaignScale s = o.campaign_scale();
+  EXPECT_EQ(s.transient_runs, 20);
+  EXPECT_EQ(s.permanent_repeats, 1);
+  EXPECT_EQ(s.golden_runs, 5);
+  EXPECT_EQ(s.training_runs_per_scenario, 1);
+
+  o.scale = 0.01;  // floors bite
+  s = o.campaign_scale();
+  EXPECT_EQ(s.transient_runs, 4);
+  EXPECT_EQ(s.permanent_repeats, 1);
+  EXPECT_EQ(s.golden_runs, 3);
+  EXPECT_EQ(s.training_runs_per_scenario, 1);
+
+  o.scale = 1.0;
+  s = o.campaign_scale();
+  EXPECT_EQ(s.transient_runs, CampaignScale{}.transient_runs);
+  EXPECT_EQ(s.golden_runs, CampaignScale{}.golden_runs);
+}
+
+TEST(EnvOptions, ExecutorAndTraceProjections) {
+  EnvOptions o;
+  o.jobs = 3;
+  o.pool = false;
+  o.warm_cache = false;
+  o.journal_path = "/tmp/j";
+  o.run_timeout_sec = 42.0;
+  o.run_retries = 2;
+  o.run_cpu_sec = 9.0;
+  o.run_as_mb = 128;
+  o.trace_dir = "/tmp/t";
+  o.trace_capacity = 99;
+
+  const ExecutorOptions x = o.executor_options();
+  EXPECT_EQ(x.jobs, 3);
+  EXPECT_FALSE(x.pool);
+  EXPECT_FALSE(x.warm_cache);
+  EXPECT_EQ(x.journal_path, "/tmp/j");
+  EXPECT_DOUBLE_EQ(x.run_timeout_sec, 42.0);
+  EXPECT_EQ(x.max_retries, 2);
+  EXPECT_DOUBLE_EQ(x.cpu_limit_sec, 9.0);
+  EXPECT_EQ(x.address_space_mb, 128u);
+  EXPECT_TRUE(x.enabled());
+
+  const obs::TraceOptions t = o.trace_options();
+  EXPECT_EQ(t.dir, "/tmp/t");
+  EXPECT_EQ(t.capacity, 99u);
+}
+
+TEST(EnvOptions, DocsCoverEveryParsedVariable) {
+  // The docs table drives the README and davcamp --env-help; every variable
+  // the parser understands must appear exactly once.
+  const std::vector<const char*> expected = {
+      "DAV_SCALE",       "DAV_JOBS",          "DAV_POOL",
+      "DAV_WARM_CACHE",  "DAV_JOURNAL",       "DAV_RUN_TIMEOUT_SEC",
+      "DAV_RUN_RETRIES", "DAV_RUN_CPU_SEC",   "DAV_RUN_AS_MB",
+      "DAV_TRACE",       "DAV_TRACE_CAPACITY"};
+  const auto& docs = EnvOptions::docs();
+  ASSERT_EQ(docs.size(), expected.size());
+  for (const char* var : expected) {
+    int found = 0;
+    for (const auto& d : docs) {
+      if (std::string(d.name) == var) ++found;
+    }
+    EXPECT_EQ(found, 1) << var;
+  }
+  for (const auto& d : docs) {
+    EXPECT_NE(d.summary[0], '\0') << d.name << " has no summary";
+    EXPECT_NE(d.fallback[0], '\0') << d.name << " has no default";
+  }
+}
+
+TEST(EnvOptions, LegacyFromEnvSpellingsDelegate) {
+  CleanEnv clean;
+  ScopedEnv e("DAV_SCALE", "0.5");
+  // CampaignScale::from_env is now a thin wrapper over the façade.
+  const CampaignScale s = CampaignScale::from_env();
+  EXPECT_EQ(s.transient_runs, 20);
+  EXPECT_EQ(s.golden_runs, 5);
+}
+
+}  // namespace
+}  // namespace dav

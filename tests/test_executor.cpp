@@ -8,9 +8,12 @@
 #include <vector>
 
 #include "campaign/campaign.h"
+#include "campaign/driver.h"
+#include "campaign/env_options.h"
 #include "campaign/executor.h"
 #include "campaign/journal.h"
 #include "campaign/serialize.h"
+#include "core/threshold_lut.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DAV_TEST_POSIX 1
@@ -59,9 +62,23 @@ std::vector<RunConfig> make_configs(std::size_t n) {
   return cfgs;
 }
 
+/// PR 3's fork-per-run strategy (pool disabled): the worker-lifecycle tests
+/// below pin its per-run isolation semantics unchanged.
 ExecutorOptions fast_options() {
   ExecutorOptions o;
   o.jobs = 2;
+  o.pool = false;
+  o.run_timeout_sec = 60.0;
+  o.max_retries = 0;
+  o.retry_backoff_sec = 0.01;
+  return o;
+}
+
+/// The persistent prefork pool (the default strategy).
+ExecutorOptions pool_options(int jobs = 2) {
+  ExecutorOptions o;
+  o.jobs = jobs;
+  o.pool = true;
   o.run_timeout_sec = 60.0;
   o.max_retries = 0;
   o.retry_backoff_sec = 0.01;
@@ -351,28 +368,323 @@ TEST(Executor, RealRunsAreBitIdenticalAcrossProcessBoundary) {
   }
 }
 
-TEST(CampaignManagerRouting, EnvEnabledExecutorMatchesLegacySerialPath) {
+// ---- persistent prefork pool ----
+
+TEST(ExecutorPool, MatchesSerialAndForkPerRunByteForByte) {
+  const auto cfgs = make_configs(9);
+
+  ExecutorOptions serial = pool_options();
+  serial.force_in_process = true;
+  CampaignExecutor serial_exec(serial, stub_result);
+  const auto ref = serial_exec.run_all(cfgs);
+
+  CampaignExecutor fork_exec(fast_options(), stub_result);
+  const auto forked = fork_exec.run_all(cfgs);
+
+  CampaignExecutor pool_exec(pool_options(), stub_result);
+  const auto pooled = pool_exec.run_all(cfgs);
+
+  ASSERT_EQ(pooled.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(pooled[i]), serialize_run_result(ref[i]))
+        << "pool vs serial, index " << i;
+    EXPECT_EQ(serialize_run_result(pooled[i]), serialize_run_result(forked[i]))
+        << "pool vs fork-per-run, index " << i;
+  }
+  EXPECT_TRUE(pool_exec.quarantined().empty());
+  // Persistent workers: one spawn wave serves the whole batch.
+  EXPECT_EQ(pool_exec.stats().pool_workers, 2);
+  EXPECT_EQ(pool_exec.stats().launched, 2);
+  EXPECT_EQ(pool_exec.stats().respawns, 0);
+  int served = 0;
+  for (int s : pool_exec.stats().slot_runs_served) served += s;
+  EXPECT_EQ(served, 9);
+}
+
+TEST(ExecutorPool, WorkerRespawnsAfterCrashAndBatchCompletes) {
+  // One worker serves the whole batch (jobs=1); the crash on run 1 must not
+  // take down runs 0 and 2 — the supervisor quarantines run 1, respawns a
+  // replacement worker and finishes the batch.
+  const auto fn = [](const RunConfig& cfg) -> RunResult {
+    if (cfg.run_seed == 1001) ::raise(SIGSEGV);
+    return stub_result(cfg);
+  };
+  CampaignExecutor exec(pool_options(/*jobs=*/1), fn);
+  const auto cfgs = make_configs(3);
+  const auto results = exec.run_all(cfgs);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[1].outcome, FaultOutcome::kHarnessError);
+  EXPECT_EQ(results[1].run_seed, 1001u);
+  EXPECT_EQ(serialize_run_result(results[0]),
+            serialize_run_result(stub_result(cfgs[0])));
+  EXPECT_EQ(serialize_run_result(results[2]),
+            serialize_run_result(stub_result(cfgs[2])));
+  ASSERT_EQ(exec.quarantined().size(), 1u);
+  EXPECT_EQ(exec.quarantined()[0].index, 1u);
+  EXPECT_EQ(exec.stats().pool_workers, 1);
+  EXPECT_GE(exec.stats().respawns, 1);
+}
+
+TEST(ExecutorPool, WatchdogKillsHangingWorkerAndRespawns) {
+  const auto fn = [](const RunConfig& cfg) -> RunResult {
+    if (cfg.run_seed == 1001) {
+      for (;;) ::usleep(10000);  // a hung agent: never returns
+    }
+    return stub_result(cfg);
+  };
+  ExecutorOptions o = pool_options(/*jobs=*/1);
+  o.run_timeout_sec = 0.25;
+  CampaignExecutor exec(o, fn);
+  const auto cfgs = make_configs(3);
+  const auto results = exec.run_all(cfgs);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[1].outcome, FaultOutcome::kHarnessError);
+  EXPECT_EQ(serialize_run_result(results[0]),
+            serialize_run_result(stub_result(cfgs[0])));
+  EXPECT_EQ(serialize_run_result(results[2]),
+            serialize_run_result(stub_result(cfgs[2])));
+  ASSERT_EQ(exec.quarantined().size(), 1u);
+  EXPECT_NE(exec.quarantined()[0].what.find("watchdog"), std::string::npos)
+      << exec.quarantined()[0].what;
+  EXPECT_GE(exec.stats().timeouts, 1);
+  EXPECT_GE(exec.stats().respawns, 1);
+}
+
+TEST(ExecutorPool, RetryRecoversATransientWorkerDeath) {
+  const std::string marker = temp_path("pool_retry_marker");
+  const auto fn = [marker](const RunConfig& cfg) -> RunResult {
+    if (cfg.run_seed == 1001) {
+      struct stat st {};
+      if (::stat(marker.c_str(), &st) != 0) {
+        std::ofstream(marker) << "attempt";
+        ::raise(SIGKILL);
+      }
+    }
+    return stub_result(cfg);
+  };
+  ExecutorOptions o = pool_options();
+  o.max_retries = 2;
+  CampaignExecutor exec(o, fn);
+  const auto cfgs = make_configs(3);
+  const auto results = exec.run_all(cfgs);
+
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(results[i]),
+              serialize_run_result(stub_result(cfgs[i])))
+        << "index " << i;
+  }
+  EXPECT_TRUE(exec.quarantined().empty());
+  EXPECT_GE(exec.stats().retries, 1);
+  std::remove(marker.c_str());
+}
+
+TEST(ExecutorPool, RealRunsBitIdenticalWithFullConfigCodec) {
+  // Real run_experiment through the pool's request/response codec, with the
+  // full detector + mitigation + trace cluster riding in the request frame:
+  // byte-for-byte the serial results. Both runs share a warm key (same
+  // scenario, different run_seed), so with jobs=1 the second is a cache hit —
+  // the hit must not perturb a single byte.
+  ThresholdLut lut;
+  VehicleState s;
+  s.v = 10.0;
+  lut.observe(s, {0.1, 0.1, 0.1});
+
+  std::vector<RunConfig> cfgs(2);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cfgs[i] = RunConfigBuilder()
+                  .scenario(ScenarioId::kLeadSlowdown)
+                  .mode(AgentMode::kRoundRobin)
+                  .run_seed(7 + i)
+                  .record_traces()
+                  .online_detection(lut)
+                  .mitigation(MitigationPolicy::kRestartRecovery)
+                  .build();
+    cfgs[i].scenario_opts.safety_duration_sec = 2.0;
+  }
+
+  CampaignExecutor pool_exec(pool_options(/*jobs=*/1));
+  const auto pooled = pool_exec.run_all(cfgs);
+  ASSERT_EQ(pooled.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(pooled[i]),
+              serialize_run_result(run_experiment(cfgs[i])))
+        << "index " << i;
+  }
+  EXPECT_EQ(pool_exec.stats().warm_hits, 1u);
+  EXPECT_EQ(pool_exec.stats().warm_misses, 1u);
+}
+
+TEST(ExecutorPool, KillMidFlightThenResumeIsBitIdentical) {
+  const std::string journal = temp_path("pool_resume.journal");
+  const auto slow_stub = [](const RunConfig& cfg) -> RunResult {
+    ::usleep(150000);  // slow enough that a kill lands mid-campaign
+    return stub_result(cfg);
+  };
+  const auto cfgs = make_configs(6);
+
+  // Uninterrupted serial reference, no journal involved.
+  ExecutorOptions serial = pool_options();
+  serial.force_in_process = true;
+  CampaignExecutor ref_exec(serial, slow_stub);
+  const auto ref = ref_exec.run_all(cfgs);
+
+  ExecutorOptions o = pool_options(/*jobs=*/1);
+  o.journal_path = journal;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    CampaignExecutor exec(o, slow_stub);
+    exec.run_all(cfgs);
+    ::_exit(0);
+  }
+  bool saw_progress = false;
+  for (int i = 0; i < 400; ++i) {
+    struct stat st {};
+    if (::stat(journal.c_str(), &st) == 0 && st.st_size > 250) {
+      saw_progress = true;
+      break;
+    }
+    ::usleep(25000);
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(saw_progress) << "supervisor never journaled a record";
+
+  // Resume in pool mode: journaled runs replay, the rest re-execute in
+  // fresh pool workers, and the merged batch matches the serial reference.
+  CampaignExecutor resumed(o, slow_stub);
+  const auto res = resumed.run_all(cfgs);
+  ASSERT_EQ(res.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(serialize_run_result(res[i]), serialize_run_result(ref[i]))
+        << "index " << i;
+  }
+  EXPECT_GE(resumed.stats().journal_hits, 1);
+  EXPECT_TRUE(resumed.quarantined().empty());
+  std::remove(journal.c_str());
+}
+
+// ---- warm-state cache ----
+
+TEST(WarmStateCache, HitEqualsColdRunByteForByte) {
+  WarmStateCache cache;
+  RunConfig a = RunConfigBuilder()
+                    .scenario(ScenarioId::kLeadSlowdown)
+                    .mode(AgentMode::kRoundRobin)
+                    .run_seed(11)
+                    .record_traces()
+                    .build();
+  a.scenario_opts.safety_duration_sec = 2.0;
+  RunConfig b = a;
+  b.run_seed = 12;  // same warm key, different experiment
+
+  const RunResult cold_a = run_experiment(a);
+  const RunResult miss_a = run_experiment(a, &cache);   // populates the cache
+  const RunResult hit_b = run_experiment(b, &cache);    // warm-start
+  const RunResult cold_b = run_experiment(b);
+
+  EXPECT_EQ(serialize_run_result(miss_a), serialize_run_result(cold_a));
+  EXPECT_EQ(serialize_run_result(hit_b), serialize_run_result(cold_b));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(WarmStateCache, DigestSeparatesWarmupRelevantFields) {
+  RunConfig base;
+  base.scenario = ScenarioId::kLeadSlowdown;
+  base.mode = AgentMode::kRoundRobin;
+  base.run_seed = 1;
+
+  RunConfig same = base;
+  same.run_seed = 999;  // run seed does not shape warmup state
+  same.fault.kind = FaultModelKind::kPermanent;
+  EXPECT_EQ(WarmStateCache::warm_digest(base),
+            WarmStateCache::warm_digest(same));
+
+  RunConfig other = base;
+  other.scenario_seed = base.scenario_seed + 1;
+  EXPECT_NE(WarmStateCache::warm_digest(base),
+            WarmStateCache::warm_digest(other));
+  RunConfig other_mode = base;
+  other_mode.mode = AgentMode::kSingle;
+  EXPECT_NE(WarmStateCache::warm_digest(base),
+            WarmStateCache::warm_digest(other_mode));
+}
+
+// ---- request codec ----
+
+TEST(RunConfigCodec, RoundTripPreservesDigestAndBytes) {
+  ThresholdLut lut;
+  VehicleState s;
+  s.v = 12.5;
+  lut.observe(s, {0.25, 0.125, 1.0 / 3.0});  // 1/3: not exact in 6 digits
+
+  RunConfig cfg = RunConfigBuilder()
+                      .scenario(ScenarioId::kGhostCutIn)
+                      .mode(AgentMode::kRoundRobin)
+                      .run_seed(77)
+                      .record_traces()
+                      .online_detection(lut)
+                      .mitigation(MitigationPolicy::kRestartRecovery)
+                      .build();
+  cfg.fault.kind = FaultModelKind::kTransient;
+  cfg.fault.target_dyn_index = 4242;
+  cfg.trace.dir = "/tmp/traces";
+  cfg.trace.pid = 9;
+  cfg.trace.label = "codec";
+
+  const std::string bytes = serialize_run_config(cfg);
+  const RunConfigRecord rec = deserialize_run_config(bytes);
+  EXPECT_EQ(run_config_digest(rec.cfg), run_config_digest(cfg));
+  ASSERT_NE(rec.cfg.online_lut, nullptr);
+  EXPECT_EQ(rec.cfg.trace.label, "codec");
+  // The decoded config re-serializes to the same bytes: the LUT text format
+  // at max_digits10 precision is an exact double round-trip.
+  EXPECT_EQ(serialize_run_config(rec.cfg), bytes);
+}
+
+TEST(RunConfigCodec, FramingDetectsCorruptionAndPartialFrames) {
+  const std::string framed = frame_message("hello pool");
+  FrameSplit part = try_unframe(framed.substr(0, framed.size() - 1));
+  EXPECT_EQ(part.status, FrameSplit::Status::kNeedMore);
+  FrameSplit full = try_unframe(framed);
+  ASSERT_EQ(full.status, FrameSplit::Status::kOk);
+  EXPECT_EQ(full.payload, "hello pool");
+  EXPECT_EQ(full.consumed, framed.size());
+  std::string bad = framed;
+  bad[bad.size() - 1] ^= 0x01;
+  EXPECT_EQ(try_unframe(bad).status, FrameSplit::Status::kCorrupt);
+}
+
+// ---- campaign routing ----
+
+TEST(CampaignManagerRouting, InjectedExecutorOptionsMatchSerialPath) {
   CampaignScale scale;
   scale.golden_runs = 2;
   scale.safety_duration_sec = 2.0;
   scale.long_route_duration_sec = 4.0;
 
+  // The legacy ctor is env-free: defaults mean the serial in-process path.
   CampaignManager legacy(scale, 2022);
   const auto ref = legacy.golden(ScenarioId::kLeadSlowdown,
                                  AgentMode::kRoundRobin, 2);
 
   const std::string journal = temp_path("campaign_routing.journal");
-  setenv("DAV_JOBS", "2", 1);
-  setenv("DAV_JOURNAL", journal.c_str(), 1);
-  CampaignManager routed(scale, 2022);
+  EnvOptions env = EnvOptions::defaults();
+  env.jobs = 2;
+  env.journal_path = journal;
+  CampaignManager routed(scale, env, 2022);
   const auto res = routed.golden(ScenarioId::kLeadSlowdown,
                                  AgentMode::kRoundRobin, 2);
   // Second manager over the same journal: pure replay, still identical.
-  CampaignManager resumed(scale, 2022);
+  CampaignManager resumed(scale, env, 2022);
   const auto res2 = resumed.golden(ScenarioId::kLeadSlowdown,
                                    AgentMode::kRoundRobin, 2);
-  unsetenv("DAV_JOBS");
-  unsetenv("DAV_JOURNAL");
 
   ASSERT_EQ(res.size(), ref.size());
   for (std::size_t i = 0; i < ref.size(); ++i) {
@@ -383,6 +695,18 @@ TEST(CampaignManagerRouting, EnvEnabledExecutorMatchesLegacySerialPath) {
   }
   EXPECT_TRUE(routed.quarantined().empty());
   std::remove(journal.c_str());
+}
+
+TEST(CampaignManagerRouting, LegacyConstructorIgnoresEnvironment) {
+  // Malformed env vars must not reach the env-free overload: only
+  // EnvOptions::from_env() reads the environment, and only when asked.
+  setenv("DAV_JOBS", "not-a-number", 1);
+  CampaignScale scale;
+  scale.golden_runs = 1;
+  scale.safety_duration_sec = 1.0;
+  EXPECT_NO_THROW({ CampaignManager mgr(scale, 2022); });
+  EXPECT_THROW(EnvOptions::from_env(), std::invalid_argument);
+  unsetenv("DAV_JOBS");
 }
 
 #endif  // DAV_TEST_POSIX

@@ -9,11 +9,12 @@
 // Usage:
 //   davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]
 //           [--domain=gpu|cpu] [--kind=transient|permanent]
-//           [--td=<meters>] [--out=<path>]
+//           [--td=<meters>] [--out=<path>] [--env-help]
 //
-// Environment: DAV_SCALE scales run counts; DAV_JOBS / DAV_JOURNAL /
-// DAV_RUN_TIMEOUT_SEC etc. select the process-isolated executor (see
-// DESIGN.md §9).
+// Environment: every DAV_* variable is parsed by dav::EnvOptions (the only
+// env-reading entry point); `davcamp --env-help` prints the full table.
+// DAV_SCALE scales run counts; DAV_JOBS / DAV_JOURNAL select the
+// process-isolated executor (persistent pool by default, DESIGN.md §9/§11).
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "campaign/campaign.h"
+#include "campaign/env_options.h"
 #include "campaign/metrics.h"
 
 namespace {
@@ -39,6 +41,7 @@ struct Args {
   FaultModelKind kind = FaultModelKind::kTransient;
   double td = 2.0;
   std::string out;  // empty = stdout
+  bool env_help = false;
 };
 
 [[noreturn]] void usage_error(const std::string& what) {
@@ -46,13 +49,17 @@ struct Args {
       "davcamp: " + what +
       "\nusage: davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]"
       " [--domain=gpu|cpu] [--kind=transient|permanent] [--td=<meters>]"
-      " [--out=<path>]");
+      " [--out=<path>] [--env-help]");
 }
 
 Args parse_args(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--env-help") {
+      a.env_help = true;
+      continue;
+    }
     const std::size_t eq = arg.find('=');
     if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-' ||
         eq == std::string::npos) {
@@ -117,6 +124,16 @@ std::string render_summary(const Args& a, const CampaignSummary& s,
   return out.str();
 }
 
+/// The generated DAV_* reference (EnvOptions::docs()): the same definitions
+/// the parser uses, so this table and the README one cannot drift from the
+/// code.
+void print_env_help() {
+  std::printf("DAV_* environment variables (parsed by dav::EnvOptions):\n");
+  for (const EnvOptions::VarDoc& d : EnvOptions::docs()) {
+    std::printf("  %-22s default %-8s %s\n", d.name, d.fallback, d.summary);
+  }
+}
+
 /// Executor telemetry: per-worker utilization, retries, journal traffic, and
 /// a quarantine-reason histogram. Wall-clock data, so it goes to STDERR —
 /// the published summary stays byte-deterministic for the CI resume diff.
@@ -134,11 +151,27 @@ void print_telemetry(const CampaignManager& mgr) {
                static_cast<unsigned long long>(s.journal_bytes),
                static_cast<unsigned long long>(s.torn_bytes_discarded),
                s.wall_sec);
+  if (s.pool_workers > 0) {
+    const std::uint64_t lookups = s.warm_hits + s.warm_misses;
+    std::fprintf(stderr,
+                 "  pool: workers=%d respawns=%d warm_hits=%llu "
+                 "warm_misses=%llu hit_rate=%.0f%%\n",
+                 s.pool_workers, s.respawns,
+                 static_cast<unsigned long long>(s.warm_hits),
+                 static_cast<unsigned long long>(s.warm_misses),
+                 lookups > 0 ? 100.0 * static_cast<double>(s.warm_hits) /
+                                   static_cast<double>(lookups)
+                             : 0.0);
+  }
   for (std::size_t i = 0; i < s.slot_busy_sec.size(); ++i) {
     const double util =
         s.wall_sec > 0.0 ? 100.0 * s.slot_busy_sec[i] / s.wall_sec : 0.0;
-    std::fprintf(stderr, "  worker %zu: busy=%.2fs utilization=%.0f%%\n", i,
-                 s.slot_busy_sec[i], util);
+    const int served = i < s.slot_runs_served.size()
+                           ? s.slot_runs_served[i]
+                           : 0;
+    std::fprintf(stderr,
+                 "  worker %zu: busy=%.2fs utilization=%.0f%% served=%d\n",
+                 i, s.slot_busy_sec[i], util, served);
   }
   // Quarantine reasons, deduplicated into a histogram.
   std::map<std::string, int> reasons;
@@ -171,7 +204,11 @@ void publish(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv);
-    CampaignManager mgr(CampaignScale::from_env(), /*seed=*/2022);
+    if (a.env_help) {
+      print_env_help();
+      return 0;
+    }
+    CampaignManager mgr(EnvOptions::from_env(), /*seed=*/2022);
     const std::vector<RunResult> golden =
         mgr.golden(a.scenario, a.mode, mgr.scale().golden_runs);
     const Trajectory baseline = golden_baseline(golden);

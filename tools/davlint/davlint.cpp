@@ -64,6 +64,8 @@ const std::vector<RuleInfo> kRules = {
     {"obs-clock", "std::chrono::steady_clock / high_resolution_clock are "
                   "wall clocks; only src/obs/ (span durations) and the "
                   "campaign executor/metrics/resources layer may read them"},
+    {"env-read", "std::getenv is banned outside campaign/env_options: all "
+                 "DAV_* parsing goes through the dav::EnvOptions facade"},
 };
 
 bool is_ident_char(char c) {
@@ -282,6 +284,11 @@ class FileScanner {
                         path_.rfind("obs/", 0) == 0 ||
                         path_.find("campaign/executor") != std::string::npos ||
                         wall_clock_exempt_;
+    // The EnvOptions facade is the single sanctioned env-reading TU; every
+    // other layer takes a validated EnvOptions value instead of peeking at
+    // the process environment (hidden inputs break run reproducibility).
+    env_read_exempt_ =
+        path_.find("campaign/env_options") != std::string::npos;
     std::string raw;
     int lineno = 0;
     bool in_block = false;
@@ -310,6 +317,7 @@ class FileScanner {
     check_unordered(raw, code, lineno, findings);
     check_float_eq(raw, code, lineno, findings);
     check_uninit_pod(raw, code, lineno, findings);
+    check_env_read(raw, code, lineno, findings);
   }
 
   void check_rand(const std::string& raw, const std::string& code, int lineno,
@@ -438,6 +446,19 @@ class FileScanner {
     }
   }
 
+  void check_env_read(const std::string& raw, const std::string& code,
+                      int lineno, std::vector<Finding>& findings) {
+    if (env_read_exempt_) return;
+    for (const char* fn : {"getenv", "secure_getenv", "setenv", "putenv"}) {
+      if (has_free_call(code, fn)) {
+        report(findings, raw, lineno, "env-read",
+               std::string(fn) + "() outside campaign/env_options; route "
+                                 "configuration through dav::EnvOptions");
+        return;
+      }
+    }
+  }
+
   /// Track struct/class scopes so member declarations can be told apart from
   /// locals inside inline methods: members sit exactly one brace level inside
   /// the struct's opening brace.
@@ -527,6 +548,7 @@ class FileScanner {
   const std::set<std::string>& enabled_;
   bool wall_clock_exempt_ = false;
   bool obs_clock_exempt_ = false;
+  bool env_read_exempt_ = false;
   std::set<std::string> unordered_idents_;
   std::vector<int> struct_depths_;
   int depth_ = 0;
