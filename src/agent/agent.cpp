@@ -1,7 +1,7 @@
 #include "agent/agent.h"
 
 #include "agent/warmup.h"
-#include "obs/trace.h"
+#include "util/trace.h"
 
 namespace dav {
 

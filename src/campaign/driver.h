@@ -10,7 +10,7 @@
 #include "core/detector.h"
 #include "core/recovery.h"
 #include "fi/fault_model.h"
-#include "obs/trace.h"
+#include "util/trace.h"
 #include "sim/world.h"
 
 namespace dav {

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "campaign/executor.h"
-#include "obs/trace.h"
+#include "util/trace.h"
 
 namespace dav {
 
@@ -49,7 +49,7 @@ struct EnvOptions {
   /// RLIMIT_AS per worker, MiB; 0 disables (DAV_RUN_AS_MB).
   std::size_t run_as_mb = 0;
 
-  // --- flight recorder (obs/trace.h) --------------------------------------
+  // --- flight recorder (util/trace.h) --------------------------------------
   /// Trace output directory (DAV_TRACE); empty disables tracing.
   std::string trace_dir;
   /// Trace ring capacity in events (DAV_TRACE_CAPACITY).

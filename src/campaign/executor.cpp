@@ -256,6 +256,40 @@ void write_all(int fd, const std::string& bytes) {
   }
 }
 
+/// Death path for a forked worker: the child shares the supervisor's heap,
+/// stdio and journal buffers via fork, so everything off the happy path must
+/// stick to pre-formatted buffers and raw write(2) — no allocation, no
+/// stdio, no unwinding (enforced by davlint's fork-safety rule).
+[[noreturn]] void child_panic(const char* note, int code) {
+  std::size_t len = 0;
+  while (note[len] != '\0') ++len;
+  ::write(2, note, len);
+  ::_exit(code);
+}
+
+/// Pre-formatted SIGXCPU note: the handler may only touch the
+/// async-signal-safe allowlist, so the text is fixed at arm time.
+constexpr char kXcpuNote[] = "dav-worker: CPU budget exhausted (SIGXCPU)\n";
+
+void xcpu_death_note(int sig) {
+  ::write(2, kXcpuNote, sizeof(kXcpuNote) - 1);
+  // Die by the signal itself (restore the default action and re-raise) so
+  // the supervisor still sees WIFSIGNALED and counts a signal death.
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  ::sigaction(sig, &dfl, nullptr);
+  ::raise(sig);
+}
+
+/// Arm the SIGXCPU death note in a freshly forked worker, before the CPU
+/// rlimit can fire. Registered with sigaction, so davlint's signal-safety
+/// rule walks xcpu_death_note's call chain.
+void arm_death_note() {
+  struct sigaction sa {};
+  sa.sa_handler = xcpu_death_note;
+  ::sigaction(SIGXCPU, &sa, nullptr);
+}
+
 void apply_rlimits(const ExecutorOptions& opts) {
   if (opts.cpu_limit_sec > 0.0) {
     const auto sec = static_cast<rlim_t>(opts.cpu_limit_sec + 0.999);
@@ -275,14 +309,19 @@ void apply_rlimits(const ExecutorOptions& opts) {
 [[noreturn]] void worker_main(int fd, const RunConfig& cfg,
                               const CampaignExecutor::WarmRunFn& fn,
                               const ExecutorOptions& opts) {
+  arm_death_note();
   apply_rlimits(opts);
+  // The workload handoff below allocates freely, and may: the child is a
+  // fresh single-threaded copy of a single-threaded supervisor, so its heap
+  // is consistent. fork-safety strictness is for the death paths
+  // (child_panic / xcpu_death_note), which run after arbitrary signals.
   std::string payload;
   try {
-    payload = make_payload(true, {}, fn(cfg, nullptr));
+    payload = make_payload(true, {}, fn(cfg, nullptr));  // davlint: allow(fork-safety) sanctioned workload handoff
   } catch (const std::exception& e) {
-    payload = make_payload(false, e.what(), harness_error_result(cfg));
+    payload = make_payload(false, e.what(), harness_error_result(cfg));  // davlint: allow(fork-safety) sanctioned workload handoff
   } catch (...) {
-    payload = make_payload(false, "unknown exception",
+    payload = make_payload(false, "unknown exception",  // davlint: allow(fork-safety) sanctioned workload handoff
                            harness_error_result(cfg));
   }
   write_all(fd, frame_message(payload));
@@ -318,6 +357,7 @@ void rearm_cpu_limit(const ExecutorOptions& opts) {
 [[noreturn]] void pool_worker_main(int req_fd, int resp_fd,
                                    const CampaignExecutor::WarmRunFn& fn,
                                    const ExecutorOptions& opts) {
+  arm_death_note();
   // Address-space limit applies for the worker's life; the CPU budget is
   // per-run, re-armed before each request (see rearm_cpu_limit).
   ExecutorOptions life = opts;
@@ -327,35 +367,40 @@ void rearm_cpu_limit(const ExecutorOptions& opts) {
   WarmStateCache* warm = opts.warm_cache ? &cache : nullptr;
   std::string buf;
   std::uint32_t served = 0;
+  // As in worker_main: the request/response codec below allocates, and may —
+  // the loop body runs on a consistent heap. Death paths go through
+  // child_panic (pre-formatted note + write(2) + _exit only).
   for (;;) {
-    const FrameSplit fs = try_unframe(buf);
-    if (fs.status == FrameSplit::Status::kCorrupt) ::_exit(3);
+    const FrameSplit fs = try_unframe(buf);  // davlint: allow(fork-safety) sanctioned request codec
+    if (fs.status == FrameSplit::Status::kCorrupt) {
+      child_panic("dav-worker: corrupt request frame\n", 3);
+    }
     if (fs.status == FrameSplit::Status::kNeedMore) {
       char chunk[65536];
       const ssize_t n = ::read(req_fd, chunk, sizeof(chunk));
       if (n == 0) ::_exit(0);  // request pipe closed: batch complete
       if (n < 0) {
         if (errno == EINTR) continue;
-        ::_exit(3);
+        child_panic("dav-worker: request pipe read error\n", 3);
       }
-      buf.append(chunk, static_cast<std::size_t>(n));
+      buf.append(chunk, static_cast<std::size_t>(n));  // davlint: allow(fork-safety) sanctioned request codec
       continue;
     }
     buf.erase(0, fs.consumed);
     ByteReader req(fs.payload);
     const std::uint64_t index = req.u64();
     const std::string cfg_bytes =
-        fs.payload.substr(fs.payload.size() - req.remaining());
+        fs.payload.substr(fs.payload.size() - req.remaining());  // davlint: allow(fork-safety) sanctioned request codec
     rearm_cpu_limit(opts);
     std::string result_payload;
     try {
-      const RunConfigRecord rec = deserialize_run_config(cfg_bytes);
-      result_payload = make_payload(true, {}, fn(rec.cfg, warm));
+      const RunConfigRecord rec = deserialize_run_config(cfg_bytes);  // davlint: allow(fork-safety) sanctioned workload handoff
+      result_payload = make_payload(true, {}, fn(rec.cfg, warm));  // davlint: allow(fork-safety) sanctioned workload handoff
     } catch (const std::exception& e) {
       result_payload =
-          make_payload(false, e.what(), harness_error_result(RunConfig{}));
+          make_payload(false, e.what(), harness_error_result(RunConfig{}));  // davlint: allow(fork-safety) sanctioned workload handoff
     } catch (...) {
-      result_payload = make_payload(false, "unknown exception",
+      result_payload = make_payload(false, "unknown exception",  // davlint: allow(fork-safety) sanctioned workload handoff
                                     harness_error_result(RunConfig{}));
     }
     ++served;

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "obs/trace.h"
+#include "util/trace.h"
 
 namespace dav {
 

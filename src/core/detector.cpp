@@ -1,6 +1,6 @@
 #include "core/detector.h"
 
-#include "obs/trace.h"
+#include "util/trace.h"
 
 namespace dav {
 

@@ -1,0 +1,298 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/trace.h"
+
+namespace dav {
+
+namespace {
+
+double median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+/// Channel-wise median of the two probe outputs and the temporal reference:
+/// one corrupted stream cannot move the median far from the healthy pair.
+Actuation fuse_probe(const Actuation& u0, const Actuation& u1,
+                     const Actuation& ref) {
+  Actuation out;
+  out.throttle = median3(u0.throttle, u1.throttle, ref.throttle);
+  out.brake = median3(u0.brake, u1.brake, ref.brake);
+  out.steer = median3(u0.steer, u1.steer, ref.steer);
+  return out;
+}
+
+double channel_max_dev(const Actuation& u, const Actuation& ref) {
+  const ActuationDelta d = abs_delta(u, ref);
+  return std::max(d.throttle, std::max(d.brake, d.steer));
+}
+
+bool finite(const Actuation& u) {
+  return std::isfinite(u.throttle) && std::isfinite(u.brake) &&
+         std::isfinite(u.steer);
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(AdsSystem& ads, const RecoveryConfig& cfg,
+                                 double watchdog_sec, ErrorDetector* online)
+    : ads_(ads), cfg_(cfg), watchdog_sec_(watchdog_sec), online_(online) {}
+
+void RecoveryManager::record_state_counter() const {
+  obs::counter(obs::Counter::kRecoveryState,
+               static_cast<double>(static_cast<int>(state_)));
+}
+
+RecoveryManager::TickOutcome RecoveryManager::tick(const SensorFrame& frame,
+                                                   double dt,
+                                                   const VehicleState& ego,
+                                                   double time, int step) {
+  obs::SpanScope span(obs::Stage::kRecoveryTick);
+  record_state_counter();
+  switch (state_) {
+    case State::kNominal:
+      return nominal_tick(frame, dt, ego, time, step);
+    case State::kProbing:
+      return probe_tick(frame, dt, time, step);
+    case State::kDegraded:
+      return degraded_tick(frame, dt, ego, time, step);
+    case State::kFailback:
+      break;
+  }
+  // The driver owns the failback loop and stops calling tick(); answering a
+  // spurious call with the safe-stop command keeps the contract total.
+  TickOutcome out;
+  out.applied = Actuation{0.0, 0.45, 0.0};
+  out.failback = true;
+  return out;
+}
+
+RecoveryManager::TickOutcome RecoveryManager::nominal_tick(
+    const SensorFrame& frame, double dt, const VehicleState& ego, double time,
+    int step) {
+  TickOutcome out;
+  try {
+    const AdsSystem::StepResult sr = ads_.step(frame, dt);
+    if (!finite(sr.applied)) {
+      // Output plausibility validation: the producer is known, skip the probe.
+      out.due = DueSource::kOutputValidator;
+      start_recovery(sr.acting_agent, DueSource::kOutputValidator, time, step,
+                     time, step, out);
+      out.applied = last_applied_;
+      out.acting_agent = sr.acting_agent;
+      return out;
+    }
+    out.applied = sr.applied.clamped();
+    out.acting_agent = sr.acting_agent;
+    out.have_delta = sr.have_delta;
+    out.delta = sr.delta;
+    last_applied_ = out.applied;
+    ++stats_.nominal_ticks;
+    if (online_ != nullptr && sr.have_delta && !online_->alarmed() &&
+        online_->observe(StepObservation{time, ego, sr.delta})) {
+      if (stats_.first_detector_alarm_time < 0.0) {
+        stats_.first_detector_alarm_time = online_->first_alarm_time();
+      }
+      // A statistical alarm cannot name the culprit: arbitrate.
+      begin_probe(online_->first_alarm_time(), step, time);
+    }
+  } catch (const CrashError&) {
+    out.due = DueSource::kEngineCrash;
+    start_recovery(ads_.last_executing_agent(), DueSource::kEngineCrash, time,
+                   step, time, step, out);
+    out.applied = last_applied_;
+  } catch (const HangError&) {
+    // The platform watchdog fires watchdog_sec after the hang began; the
+    // driver coasts the world accordingly (TickOutcome::hang).
+    out.due = DueSource::kHangWatchdog;
+    out.hang = true;
+    start_recovery(ads_.last_executing_agent(), DueSource::kHangWatchdog,
+                   time + watchdog_sec_, step, time, step, out);
+    out.applied = last_applied_;
+  }
+  return out;
+}
+
+void RecoveryManager::begin_probe(double alarm_time, int alarm_tick,
+                                  double time) {
+  state_ = State::kProbing;
+  probe_left_ = cfg_.probe_ticks;
+  probe_score_[0] = 0.0;
+  probe_score_[1] = 0.0;
+  probe_alarm_time_ = alarm_time;
+  probe_alarm_tick_ = alarm_tick;
+  obs::instant(obs::Instant::kRecoveryProbe, time);
+}
+
+RecoveryManager::TickOutcome RecoveryManager::probe_tick(
+    const SensorFrame& frame, double dt, double time, int step) {
+  TickOutcome out;
+  out.acting_agent = -1;  // fused command: no single agent is driving
+  ++stats_.probe_ticks;
+  try {
+    const AdsSystem::ProbeOutputs po = ads_.probe_step(frame, dt);
+    // Score against the PRE-fusion temporal reference: the last command the
+    // vehicle actually received before this probe tick.
+    const Actuation ref = last_applied_;
+    const bool ok0 = finite(po.u0);
+    const bool ok1 = finite(po.u1);
+    if (!ok0 || !ok1) {
+      const int suspect = ok0 ? 1 : 0;
+      out.due = DueSource::kOutputValidator;
+      start_recovery(suspect, DueSource::kOutputValidator, probe_alarm_time_,
+                     probe_alarm_tick_, time, step, out);
+      out.applied = last_applied_;
+      return out;
+    }
+    probe_score_[0] += channel_max_dev(po.u0.clamped(), ref);
+    probe_score_[1] += channel_max_dev(po.u1.clamped(), ref);
+    out.applied = fuse_probe(po.u0.clamped(), po.u1.clamped(), ref);
+    last_applied_ = out.applied;
+    // Feed the fused command back so the comparison stream stays continuous
+    // across the recovery window.
+    ads_.set_comparison_reference(out.applied);
+    if (--probe_left_ <= 0) {
+      const int suspect = probe_score_[0] > probe_score_[1] ? 0 : 1;
+      start_recovery(suspect, DueSource::kNone, probe_alarm_time_,
+                     probe_alarm_tick_, time, step, out);
+    }
+  } catch (const CrashError&) {
+    out.due = DueSource::kEngineCrash;
+    start_recovery(ads_.last_executing_agent(), DueSource::kEngineCrash,
+                   probe_alarm_time_, probe_alarm_tick_, time, step, out);
+    out.applied = last_applied_;
+  } catch (const HangError&) {
+    out.due = DueSource::kHangWatchdog;
+    out.hang = true;
+    start_recovery(ads_.last_executing_agent(), DueSource::kHangWatchdog,
+                   probe_alarm_time_, probe_alarm_tick_, time, step, out);
+    out.applied = last_applied_;
+  }
+  return out;
+}
+
+bool RecoveryManager::start_recovery(int suspect, DueSource trigger,
+                                     double alarm_time, int alarm_tick,
+                                     double time, int step, TickOutcome& out) {
+  ++stats_.attempts;
+  RecoveryEvent ev;
+  ev.suspect = suspect;
+  ev.trigger = trigger;
+  ev.alarm_time = alarm_time;
+  ev.alarm_tick = alarm_tick;
+  ev.restart_time = time;
+  ev.restart_tick = step;
+  stats_.events.push_back(ev);
+  obs::instant(obs::Instant::kRecoveryRestart,
+               static_cast<double>(static_cast<int>(trigger)), suspect);
+
+  // Escalation window: this many restarts this close together is a permanent
+  // fault re-manifesting — stop the restart loop before it livelocks.
+  restart_ticks_.push_back(step);
+  const int window_start = step - cfg_.recovery_window_ticks;
+  const auto in_window = [&](int t) { return t > window_start; };
+  const int recent = static_cast<int>(
+      std::count_if(restart_ticks_.begin(), restart_ticks_.end(), in_window));
+  if (recent > cfg_.max_recoveries) {
+    escalate(out);
+    return false;
+  }
+
+  try {
+    // Clears a spent transient, reconstructs the agent, resyncs state from
+    // the healthy replica and re-runs warmup (a permanent fault re-manifests
+    // here: "replacement dies at birth").
+    ads_.restart_agent(suspect);
+  } catch (const CrashError&) {
+    if (out.due == DueSource::kNone) out.due = DueSource::kEngineCrash;
+    escalate(out);
+    return false;
+  } catch (const HangError&) {
+    if (out.due == DueSource::kNone) out.due = DueSource::kHangWatchdog;
+    out.hang = true;
+    escalate(out);
+    return false;
+  }
+
+  state_ = State::kDegraded;
+  healthy_ = 1 - suspect;
+  rewarm_left_ = cfg_.rewarm_ticks;
+  // With redundancy suspended the only cross-check left is the single-agent
+  // temporal-outlier detector; re-arm it for the degraded stream.
+  if (online_ != nullptr) online_->reset();
+  return true;
+}
+
+RecoveryManager::TickOutcome RecoveryManager::degraded_tick(
+    const SensorFrame& frame, double dt, const VehicleState& ego, double time,
+    int step) {
+  TickOutcome out;
+  out.acting_agent = healthy_;
+  ++stats_.degraded_ticks;
+  try {
+    const Actuation raw = ads_.degraded_step(healthy_, frame, dt);
+    if (!finite(raw)) {
+      // The healthy agent produced garbage: the isolation decision was wrong
+      // or the fault is common-mode.
+      out.due = DueSource::kOutputValidator;
+      escalate(out);
+      out.applied = last_applied_;
+      return out;
+    }
+    out.applied = raw.clamped();
+    // Single-agent temporal-outlier check (§VI-C): an alarm with redundancy
+    // suspended means the wrong agent was restarted — escalate.
+    const ActuationDelta temporal = abs_delta(out.applied, last_applied_);
+    last_applied_ = out.applied;
+    if (online_ != nullptr &&
+        online_->observe(StepObservation{time, ego, temporal})) {
+      escalate(out);
+      return out;
+    }
+    if (--rewarm_left_ <= 0) {
+      // Rejoin: full redundancy restored; close the episode.
+      RecoveryEvent& ev = stats_.events.back();
+      ev.rejoin_time = time;
+      ev.rejoin_tick = step;
+      ++stats_.completed;
+      state_ = State::kNominal;
+      if (online_ != nullptr) online_->reset();
+      obs::instant(obs::Instant::kRecoveryRejoin, time, healthy_);
+    }
+  } catch (const CrashError&) {
+    out.due = DueSource::kEngineCrash;
+    const int culprit = ads_.last_executing_agent();
+    if (culprit == healthy_) {
+      escalate(out);  // the driving agent died: nothing left to resync from
+    } else {
+      // The replacement died mid-rewarm (permanent fault re-manifesting):
+      // re-trigger the restart; the escalation window bounds the loop.
+      start_recovery(culprit, DueSource::kEngineCrash, time, step, time, step,
+                     out);
+    }
+    out.applied = last_applied_;
+  } catch (const HangError&) {
+    out.due = DueSource::kHangWatchdog;
+    out.hang = true;
+    const int culprit = ads_.last_executing_agent();
+    if (culprit == healthy_) {
+      escalate(out);
+    } else {
+      start_recovery(culprit, DueSource::kHangWatchdog, time + watchdog_sec_,
+                     step, time, step, out);
+    }
+    out.applied = last_applied_;
+  }
+  return out;
+}
+
+void RecoveryManager::escalate(TickOutcome& out) {
+  stats_.escalated = true;
+  state_ = State::kFailback;
+  out.failback = true;
+  obs::instant(obs::Instant::kRecoveryEscalated);
+}
+
+}  // namespace dav

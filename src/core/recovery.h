@@ -1,0 +1,151 @@
+// Closed-loop fault mitigation (paper §I, §VII; DESIGN.md §8).
+//
+// DiverseAV's detection is valuable because it can invoke mitigation: instead
+// of the paper's baseline failback (safe stop on any DUE), the RecoveryManager
+// identifies the faulty agent, restarts it with state resynced from the
+// healthy replica, drives degraded single-agent mode while it re-warms, and
+// escalates to the safe stop only on presumed-permanent faults.
+//
+// State machine (kFailback is signalled to the driver via TickOutcome, the
+// driver owns the safe-stop loop):
+//
+//   kNominal --alarm--> kProbing --suspect named--> restart --> kDegraded
+//   kNominal --crash/hang/non-finite (culprit known)--> restart --> kDegraded
+//   kDegraded --rewarm elapsed--> kNominal  (rejoin, episode closed)
+//   kDegraded --replica dies again--> restart (window-counted)
+//   any --healthy dies / degraded alarm / window exhausted--> kFailback
+//
+// Every timer is tick-counted and every decision is a function of the run
+// seed: same seed, identical recovery timeline (test_recovery.cpp pins this).
+#pragma once
+
+#include <vector>
+
+#include "core/ads_system.h"
+#include "core/detector.h"
+#include "fi/fault_model.h"
+
+namespace dav {
+
+/// Tuning for the restart-recovery loop. All counts are ticks (dt-invariant
+/// decisions); validation lives in RunConfig::validate.
+struct RecoveryConfig {
+  /// Duplicated-frame arbitration probe length after a statistical alarm
+  /// (a crash/hang/non-finite output names its culprit and skips the probe).
+  int probe_ticks = 6;
+  /// Degraded-mode ticks the restarted replica consumes live frames (output
+  /// discarded) before rejoining the comparison stream.
+  int rewarm_ticks = 40;
+  /// Restarts tolerated inside recovery_window_ticks before the fault is
+  /// presumed permanent and the safe-stop failback engages.
+  int max_recoveries = 2;
+  int recovery_window_ticks = 400;
+};
+
+/// One recovery episode: alarm -> restart -> rejoin. An escalated episode
+/// stays open (rejoin_tick == -1).
+struct RecoveryEvent {
+  int suspect = -1;
+  /// What implicated the suspect. kNone = statistical detector alarm routed
+  /// through the arbitration probe (a DUE names its culprit directly).
+  DueSource trigger = DueSource::kNone;
+  double alarm_time = -1.0;
+  double restart_time = -1.0;
+  double rejoin_time = -1.0;
+  int alarm_tick = -1;
+  int restart_tick = -1;
+  int rejoin_tick = -1;
+};
+
+/// Mitigation bookkeeping carried in RunResult (serialized; summarized by
+/// summarize_recovery into availability / MTTR, paper §VII framing).
+struct MitigationStats {
+  int attempts = 0;    // restart attempts (incl. the one that escalated)
+  int completed = 0;   // episodes that reached rejoin
+  bool escalated = false;
+  /// First in-run detector alarm (seconds), -1 when the detector stayed
+  /// quiet. The driver mirrors it into RunResult::online_alarm_time.
+  double first_detector_alarm_time = -1.0;
+  std::vector<RecoveryEvent> events;
+  /// Tick census: who controlled the vehicle, for availability accounting.
+  int nominal_ticks = 0;
+  int probe_ticks = 0;
+  int degraded_ticks = 0;
+  int failback_ticks = 0;  // filled by the driver's failback loop
+};
+
+/// Drives one AdsSystem tick under the restart-recovery policy, absorbing
+/// engine errors and detector alarms. The driver calls tick() once per world
+/// step until it reports failback == true, then owns the safe stop.
+class RecoveryManager {
+ public:
+  /// `online` may be null (no statistical detection: only DUE-triggered
+  /// recoveries run). The detector and the ADS must outlive the manager.
+  /// `watchdog_sec` stamps hang alarms at the time the platform watchdog
+  /// actually fires, matching the driver's DUE timestamps.
+  RecoveryManager(AdsSystem& ads, const RecoveryConfig& cfg,
+                  double watchdog_sec, ErrorDetector* online);
+
+  struct TickOutcome {
+    Actuation applied;       // command to drive the world with
+    int acting_agent = 0;
+    bool have_delta = false; // a comparison pair was produced this tick
+    ActuationDelta delta;
+    /// Platform DUE raised this tick (kNone when the tick was clean or the
+    /// trigger was a statistical alarm, which is not a DUE).
+    DueSource due = DueSource::kNone;
+    bool hang = false;       // the driver coasts watchdog_sec on a hang
+    bool failback = false;   // recovery gave up: engage the safe stop
+  };
+
+  /// One synchronous tick. `ego`/`time`/`step` come from the world and stamp
+  /// the recovery timeline; `dt` is the world tick length.
+  TickOutcome tick(const SensorFrame& frame, double dt,
+                   const VehicleState& ego, double time, int step);
+
+  const MitigationStats& stats() const { return stats_; }
+
+ private:
+  enum class State { kNominal, kProbing, kDegraded, kFailback };
+
+  TickOutcome nominal_tick(const SensorFrame& frame, double dt,
+                           const VehicleState& ego, double time, int step);
+  TickOutcome probe_tick(const SensorFrame& frame, double dt, double time,
+                         int step);
+  TickOutcome degraded_tick(const SensorFrame& frame, double dt,
+                            const VehicleState& ego, double time, int step);
+
+  /// Open an episode and restart `suspect`; escalates (returns false) when
+  /// the window is exhausted or the replacement dies at birth.
+  bool start_recovery(int suspect, DueSource trigger, double alarm_time,
+                      int alarm_tick, double time, int step,
+                      TickOutcome& out);
+  void begin_probe(double alarm_time, int alarm_tick, double time);
+  void escalate(TickOutcome& out);
+  void record_state_counter() const;
+
+  AdsSystem& ads_;
+  RecoveryConfig cfg_;
+  double watchdog_sec_;
+  ErrorDetector* online_;
+  MitigationStats stats_;
+
+  State state_ = State::kNominal;
+  Actuation last_applied_;
+
+  // Probe bookkeeping: accumulated channel-max deviation of each agent's
+  // output from the pre-fusion temporal reference.
+  int probe_left_ = 0;
+  double probe_score_[2] = {0.0, 0.0};
+  double probe_alarm_time_ = -1.0;
+  int probe_alarm_tick_ = -1;
+
+  // Degraded bookkeeping.
+  int rewarm_left_ = 0;
+  int healthy_ = 0;
+
+  /// Ticks at which restarts began, for the escalation window.
+  std::vector<int> restart_ticks_;
+};
+
+}  // namespace dav

@@ -19,7 +19,7 @@
 
 #include "fi/fault_model.h"
 #include "fi/opcodes.h"
-#include "obs/trace.h"
+#include "util/trace.h"
 #include "util/bits.h"
 #include "util/rng.h"
 

@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "obs/trace.h"
+#include "util/trace.h"
 
 namespace dav::obs {
 

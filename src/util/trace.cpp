@@ -1,4 +1,4 @@
-#include "obs/trace.h"
+#include "util/trace.h"
 
 #include <algorithm>
 

@@ -11,10 +11,16 @@
 //   * Every SEMANTIC field — event identity, tick index, counter value — is a
 //     deterministic function of the run seed. Events are timestamped with the
 //     simulation tick, never a wall clock.
-//   * Wall time appears ONLY in span durations (dur_ns), is read only inside
-//     this layer (std::chrono::steady_clock — src/obs/ holds the davlint
-//     obs-clock carve-out), and never feeds back into simulation state: a
-//     traced run's RunResult is bit-identical to the untraced run.
+//   * Wall time appears ONLY in span durations (dur_ns), is read only by
+//     these primitives (std::chrono::steady_clock — util/trace holds the
+//     davlint obs-clock carve-out), and never feeds back into simulation
+//     state: a traced run's RunResult is bit-identical to the untraced run.
+//
+// This header lives in src/util (layer 0) so that every layer can record
+// events without an upward include — the davlint layering rule forbids
+// core/agent/fi → obs back-edges. It still *is* the obs layer's recording
+// API (hence namespace dav::obs); the obs layer proper (src/obs) holds the
+// exporters that drain the ring into trace files.
 //   * Recording is a no-op (one pointer test) unless a recorder is installed,
 //     so the instrumented hot paths cost nothing when DAV_TRACE is unset.
 //

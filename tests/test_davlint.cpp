@@ -456,4 +456,251 @@ TEST_F(DavlintTest, DirectoryScanAggregatesFindings) {
   EXPECT_NE(r.output.find("2 findings"), std::string::npos) << r.output;
 }
 
+// ---- lexer: raw strings ----
+
+TEST_F(DavlintTest, RawStringContentIsStripped) {
+  // PR-1's per-line stripper miscounted R"(...)" and could swallow the rest
+  // of the file; the lexer must skip the raw body (including hazards inside
+  // it) and keep scanning the code after the closing delimiter.
+  const auto p = write_fixture(
+      "raw.cpp",
+      "#include <cstdlib>\n"
+      "const char* kDoc = R\"(rand() time(nullptr) \" unbalanced)\";\n"
+      "const char* kMulti = R\"delim(\n"
+      "  srand(42); \")\" still inside\n"
+      ")delim\";\n"
+      "int f() { return rand(); }\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("raw.cpp:6: [rand]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 finding"), std::string::npos) << r.output;
+}
+
+// ---- signal-safety ----
+
+TEST_F(DavlintTest, SignalSafetyWalksHandlerTwoHopsDeep) {
+  const auto p = write_fixture(
+      "sig.cpp",
+      "#include <csignal>\n"
+      "#include <cstdlib>\n"
+      "void helper2() { void* p = malloc(16); (void)p; }\n"
+      "void helper1() { helper2(); }\n"
+      "void on_term(int) { helper1(); }\n"
+      "void install() {\n"
+      "  struct sigaction sa {};\n"
+      "  sa.sa_handler = on_term;\n"
+      "  ::sigaction(SIGTERM, &sa, nullptr);\n"
+      "}\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[signal-safety]"), std::string::npos) << r.output;
+  // The violating call chain is printed hop by hop down to the malloc.
+  EXPECT_NE(r.output.find("on_term"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("helper1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("helper2"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("malloc"), std::string::npos) << r.output;
+}
+
+TEST_F(DavlintTest, SignalSafetyAllowlistedHandlerIsClean) {
+  const auto p = write_fixture(
+      "sig.cpp",
+      "#include <csignal>\n"
+      "#include <unistd.h>\n"
+      "void on_term(int sig) { ::write(2, \"bye\\n\", 4); ::raise(sig); }\n"
+      "void install() { ::signal(SIGTERM, on_term); }\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+TEST_F(DavlintTest, SignalSafetySuppressedAtCallSite) {
+  const auto p = write_fixture(
+      "sig.cpp",
+      "#include <csignal>\n"
+      "#include <cstdlib>\n"
+      "void on_term(int) { malloc(8); }  // davlint: allow(signal-safety)\n"
+      "void install() { ::signal(SIGTERM, on_term); }\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- fork-safety ----
+
+TEST_F(DavlintTest, ForkChildStdioIsFlagged) {
+  const auto p = write_fixture(
+      "fk.cpp",
+      "#include <cstdio>\n"
+      "#include <unistd.h>\n"
+      "int main() {\n"
+      "  pid_t pid = ::fork();\n"
+      "  if (pid == 0) {\n"
+      "    printf(\"child\\n\");\n"
+      "    ::_exit(0);\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("fk.cpp:6: [fork-safety]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("printf"), std::string::npos) << r.output;
+}
+
+TEST_F(DavlintTest, ForkChildWriteOnlyIsClean) {
+  const auto p = write_fixture(
+      "fk.cpp",
+      "#include <unistd.h>\n"
+      "int main() {\n"
+      "  pid_t pid = ::fork();\n"
+      "  if (pid == 0) {\n"
+      "    ::write(2, \"child\\n\", 6);\n"
+      "    ::_exit(0);\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- layering ----
+
+TEST_F(DavlintTest, LayeringBackEdgeFromCoreToCampaign) {
+  write_fixture("src/campaign/driver.h", "#pragma once\n");
+  const auto core = write_fixture("src/core/detector.cpp",
+                                  "#include \"campaign/driver.h\"\n"
+                                  "int detect() { return 0; }\n");
+  const auto r = run_on(dir_ / "src");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("detector.cpp:1: [layering]"), std::string::npos)
+      << r.output;
+  (void)core;
+}
+
+TEST_F(DavlintTest, LayeringDownwardIncludeIsClean) {
+  write_fixture("src/util/stats.h", "#pragma once\n");
+  write_fixture("src/campaign/driver.cpp",
+                "#include \"util/stats.h\"\n"
+                "int drive() { return 0; }\n");
+  EXPECT_EQ(run_on(dir_ / "src").exit_code, 0);
+}
+
+TEST_F(DavlintTest, LayeringIncludeCycleIsFlagged) {
+  write_fixture("src/core/a.h", "#pragma once\n#include \"core/b.h\"\n");
+  write_fixture("src/core/b.h", "#pragma once\n#include \"core/a.h\"\n");
+  const auto r = run_on(dir_ / "src");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("include cycle"), std::string::npos) << r.output;
+}
+
+// ---- taint ----
+
+TEST_F(DavlintTest, TaintFlowsIntoSerializeRunResult) {
+  const auto p = write_fixture(
+      "tt.cpp",
+      "#include <string>\n"
+      "struct RunResult { double score; };\n"
+      "std::string serialize_run_result(const RunResult& r);\n"
+      "std::string snapshot(double wall_sec) {\n"
+      "  RunResult r;\n"
+      "  double stamp = wall_sec * 2.0;\n"
+      "  r.score = stamp;\n"
+      "  return serialize_run_result(r);\n"
+      "}\n");
+  const auto r = run_on(p);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("tt.cpp:8: [taint]"), std::string::npos) << r.output;
+}
+
+TEST_F(DavlintTest, TaintCleanWhenSeedDerived) {
+  const auto p = write_fixture(
+      "tt.cpp",
+      "#include <string>\n"
+      "struct RunResult { double score; };\n"
+      "std::string serialize_run_result(const RunResult& r);\n"
+      "std::string snapshot(unsigned seed) {\n"
+      "  RunResult r;\n"
+      "  r.score = static_cast<double>(seed);\n"
+      "  return serialize_run_result(r);\n"
+      "}\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+// ---- baseline ----
+
+TEST_F(DavlintTest, BaselineRoundTripSilencesFindings) {
+  const auto p = write_fixture(
+      "bl.cpp", "#include <cstdlib>\nint f() { return rand(); }\n");
+  const auto base = dir_ / "davlint.baseline";
+
+  const auto wrote = run("--write-baseline=" + base.string() + " " + p.string());
+  EXPECT_EQ(wrote.exit_code, 0) << wrote.output;
+  EXPECT_NE(wrote.output.find("1 baseline entry"), std::string::npos)
+      << wrote.output;
+
+  const auto gated = run("--baseline=" + base.string() + " " + p.string());
+  EXPECT_EQ(gated.exit_code, 0) << gated.output;
+
+  // A fresh finding not in the baseline still fails the gate.
+  const auto p2 = write_fixture(
+      "bl2.cpp", "#include <cstdlib>\nint g() { return rand(); }\n");
+  const auto dirty =
+      run("--baseline=" + base.string() + " " + p.string() + " " + p2.string());
+  EXPECT_EQ(dirty.exit_code, 1);
+  EXPECT_NE(dirty.output.find("bl2.cpp:2: [rand]"), std::string::npos)
+      << dirty.output;
+  EXPECT_EQ(dirty.output.find("bl.cpp:2:"), std::string::npos) << dirty.output;
+}
+
+// ---- SARIF ----
+
+TEST_F(DavlintTest, SarifOutputContainsRuleAndLocation) {
+  const auto p = write_fixture(
+      "sa.cpp", "#include <cstdlib>\nint f() { return rand(); }\n");
+  const auto sarif = dir_ / "out.sarif";
+  const auto r = run("--sarif=" + sarif.string() + " " + p.string());
+  EXPECT_EQ(r.exit_code, 1);
+
+  std::ifstream in(sarif);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"ruleId\": \"rand\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("sa.cpp"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"startLine\": 2"), std::string::npos) << doc;
+}
+
+// ---- rules documentation ----
+
+TEST_F(DavlintTest, ReadmeRulesTableMatchesRulesMd) {
+  // Same no-drift pattern as EnvOptions::docs(): the README embeds the
+  // generated table between markers; if the registry changes, regenerate
+  // with `davlint --rules-md` and paste the block.
+  std::ifstream in(DAV_README_PATH);
+  ASSERT_TRUE(in) << DAV_README_PATH;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string readme = ss.str();
+  const std::string begin_mark = "<!-- davlint-rules:begin -->\n";
+  const std::string end_mark = "<!-- davlint-rules:end -->";
+  const std::size_t b = readme.find(begin_mark);
+  const std::size_t e = readme.find(end_mark);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(e, std::string::npos);
+  const std::string embedded =
+      readme.substr(b + begin_mark.size(), e - b - begin_mark.size());
+
+  const auto r = run("--rules-md");
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_EQ(embedded, r.output);
+}
+
+TEST_F(DavlintTest, RulesMarkdownNamesEveryRule) {
+  const auto r = run("--rules-md");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"rand", "random-device", "wall-clock", "unordered-iter", "float-eq",
+        "uninit-pod", "obs-clock", "env-read", "signal-safety", "fork-safety",
+        "layering", "taint"}) {
+    EXPECT_NE(r.output.find(std::string("`") + rule + "`"), std::string::npos)
+        << rule << "\n" << r.output;
+  }
+}
+
 }  // namespace

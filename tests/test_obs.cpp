@@ -12,7 +12,7 @@
 #include "campaign/driver.h"
 #include "campaign/serialize.h"
 #include "obs/export.h"
-#include "obs/trace.h"
+#include "util/trace.h"
 
 namespace dav {
 namespace {

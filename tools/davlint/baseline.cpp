@@ -1,0 +1,107 @@
+#include "baseline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace davlint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool path_suffix_match(const std::string& full, const std::string& suffix) {
+  if (full == suffix) return true;
+  if (full.size() <= suffix.size()) return false;
+  return full.compare(full.size() - suffix.size(), suffix.size(), suffix) ==
+             0 &&
+         full[full.size() - suffix.size() - 1] == '/';
+}
+
+std::string stripped_line(const SourceFile& src, int line) {
+  if (line < 1 || line > static_cast<int>(src.code_lines.size())) return "";
+  return trim(src.code_lines[static_cast<std::size_t>(line) - 1]);
+}
+
+}  // namespace
+
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>& out,
+                   std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot open baseline file: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const std::size_t p1 = t.find('|');
+    const std::size_t p2 = p1 == std::string::npos ? std::string::npos
+                                                   : t.find('|', p1 + 1);
+    if (p2 == std::string::npos) {
+      err += "baseline line " + std::to_string(lineno) +
+             " malformed (want rule|path|content)\n";
+      continue;
+    }
+    out.push_back({trim(t.substr(0, p1)), trim(t.substr(p1 + 1, p2 - p1 - 1)),
+                   trim(t.substr(p2 + 1))});
+  }
+  return true;
+}
+
+bool baseline_matches(const std::vector<BaselineEntry>& baseline,
+                      const Finding& f, const SourceFile& src) {
+  const std::string content = stripped_line(src, f.line);
+  for (const BaselineEntry& e : baseline) {
+    if (e.rule == f.rule && path_suffix_match(f.file, e.path) &&
+        e.content == content) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string make_baseline(const std::vector<Finding>& findings,
+                          const std::vector<const SourceFile*>& files) {
+  std::set<std::string> lines;
+  for (const Finding& f : findings) {
+    const SourceFile* src = nullptr;
+    for (const SourceFile* s : files) {
+      if (s->path == f.file) {
+        src = s;
+        break;
+      }
+    }
+    // Emit repo-relative paths when the invocation used absolute ones, so
+    // the committed baseline is machine-independent.
+    std::string path = f.file;
+    const std::size_t src_at = path.rfind("/src/");
+    const std::size_t tools_at = path.rfind("/tools/");
+    std::size_t cut = std::string::npos;
+    if (src_at != std::string::npos) cut = src_at;
+    if (tools_at != std::string::npos &&
+        (cut == std::string::npos || tools_at > cut)) {
+      cut = tools_at;
+    }
+    if (cut != std::string::npos) path = path.substr(cut + 1);
+    lines.insert(f.rule + "|" + path + "|" +
+                 (src ? stripped_line(*src, f.line) : std::string()));
+  }
+  std::ostringstream out;
+  out << "# davlint baseline: tolerated findings, one per line as\n"
+      << "#   rule|path|trimmed stripped line content\n"
+      << "# Regenerate with: davlint --write-baseline=<path> <files...>\n";
+  for (const std::string& l : lines) out << l << "\n";
+  return out.str();
+}
+
+}  // namespace davlint

@@ -1,0 +1,40 @@
+// Baseline file support: known findings checked into the repo that the
+// cross-TU gate tolerates. Format, one finding per line:
+//
+//   rule|path|trimmed stripped line content
+//
+// '#' starts a comment. Matching is by rule + path *suffix* (so the same
+// baseline works whether davlint is invoked with relative or absolute
+// paths) + the trimmed content of the stripped source line, which survives
+// line-number drift from unrelated edits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace davlint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::string content;
+};
+
+/// Parse a baseline file. Returns false (and sets err) on I/O failure;
+/// malformed lines are reported in err but do not fail the load.
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>& out,
+                   std::string& err);
+
+/// True when the finding matches some baseline entry (rule equal, entry
+/// path a path-suffix match, stripped-line content equal after trimming).
+bool baseline_matches(const std::vector<BaselineEntry>& baseline,
+                      const Finding& f, const SourceFile& src);
+
+/// Serialize findings into baseline format (sorted, deduplicated).
+std::string make_baseline(const std::vector<Finding>& findings,
+                          const std::vector<const SourceFile*>& files);
+
+}  // namespace davlint

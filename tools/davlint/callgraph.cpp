@@ -1,0 +1,19 @@
+#include "callgraph.h"
+
+namespace davlint {
+
+CallGraph::CallGraph(const std::vector<TuIndex>& tus) : tus_(tus) {
+  for (const TuIndex& tu : tus) {
+    for (const FunctionDef& def : tu.functions) {
+      by_name_[def.name].push_back(&def);
+    }
+  }
+}
+
+const std::vector<const FunctionDef*>& CallGraph::defs(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? empty_ : it->second;
+}
+
+}  // namespace davlint

@@ -1,0 +1,32 @@
+// Cross-TU call graph: all indexed function definitions keyed by simple
+// name. Resolution is name-based (no overload or qualifier analysis): a call
+// to `f` edges into every definition of `f` anywhere in the scanned set —
+// an over-approximation, which is the safe direction for the reachability
+// rules built on top.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tu_index.h"
+
+namespace davlint {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const std::vector<TuIndex>& tus);
+
+  /// Every definition of `name` across the scanned TUs (empty when the name
+  /// is external to the project).
+  const std::vector<const FunctionDef*>& defs(const std::string& name) const;
+
+  const std::vector<TuIndex>& tus() const { return tus_; }
+
+ private:
+  const std::vector<TuIndex>& tus_;
+  std::map<std::string, std::vector<const FunctionDef*>> by_name_;
+  std::vector<const FunctionDef*> empty_;
+};
+
+}  // namespace davlint

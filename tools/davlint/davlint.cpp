@@ -1,559 +1,41 @@
-// davlint — DiverseAV's determinism and portability linter.
+// davlint — project lint gate for the determinism & safety conventions the
+// campaign layer depends on (see DESIGN.md §12 and README "Static analysis").
 //
-// The rolling-window detector is trained on fault-free golden runs, and every
-// fault-injection experiment must be bit-reproducible from a campaign seed
-// (paper §IV-B).  Any hidden source of nondeterminism — wall-clock reads,
-// process-global RNGs, unordered-container iteration feeding serialized
-// output, exact floating-point equality — silently corrupts golden traces in
-// ways the detector then "detects".  This tool mechanically bans those
-// constructs from src/.
+// v2: a project-wide semantic analyzer. One lexer pass strips comments and
+// literals and produces a token stream per file; per-TU indexes record
+// function definitions, call sites, includes, fork-child regions and signal
+// handler registrations; a cross-TU call graph drives the semantic rules
+// (signal-safety, fork-safety, layering, taint) while the original eight
+// line rules run on the stripped lines.
 //
-// Usage:   davlint [--list-rules] [--rules=a,b,...] <file-or-dir>...
-// Output:  file:line: [rule] message           (one per finding)
+// Usage:   davlint [--list-rules] [--rules-md] [--rules=a,b,...]
+//                  [--baseline=FILE] [--write-baseline=FILE] [--sarif=FILE]
+//                  <file-or-dir>...
 // Exit:    0 clean, 1 findings, 2 usage or I/O error
-//
-// Per-line suppression:  // davlint: allow(<rule>)   or   allow(all)
-// Every suppression should carry a justification comment on the same line.
-//
-// This is a lexical scanner, not a compiler frontend: it strips comments and
-// string literals, then applies per-rule token heuristics.  False positives
-// are expected to be rare and are handled with allow() suppressions.
+// Silence: append "davlint: allow(<rule>)" in a comment on the same line.
 
 #include <algorithm>
-#include <cctype>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "baseline.h"
+#include "callgraph.h"
+#include "lexer.h"
+#include "line_rules.h"
+#include "rules.h"
+#include "sarif.h"
+#include "semantic_rules.h"
+#include "tu_index.h"
+
 namespace fs = std::filesystem;
+using namespace davlint;
 
 namespace {
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct RuleInfo {
-  std::string name;
-  std::string summary;
-};
-
-const std::vector<RuleInfo> kRules = {
-    {"rand", "process-global C RNG (rand/srand/rand_r) is banned; "
-             "use dav::Rng seeded from the campaign seed"},
-    {"random-device", "std::random_device is nondeterministic by design; "
-                      "seed dav::Rng from the campaign seed"},
-    {"wall-clock", "wall-clock reads (time/clock/gettimeofday/"
-                   "std::chrono::system_clock) are banned outside the "
-                   "campaign metrics/resources layer"},
-    {"unordered-iter", "iterating an unordered container has unspecified "
-                       "order; anything serialized from it is nondeterministic"},
-    {"float-eq", "exact ==/!= against a floating-point literal; use an "
-                 "epsilon or integer state instead"},
-    {"uninit-pod", "uninitialized POD member in a struct; value-initialize "
-                   "so golden traces never read indeterminate bytes"},
-    {"obs-clock", "std::chrono::steady_clock / high_resolution_clock are "
-                  "wall clocks; only src/obs/ (span durations) and the "
-                  "campaign executor/metrics/resources layer may read them"},
-    {"env-read", "std::getenv is banned outside campaign/env_options: all "
-                 "DAV_* parsing goes through the dav::EnvOptions facade"},
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Token immediately left of position `pos` (exclusive), identifier chars
-/// plus '.' and ':' so "std::chrono" and "obj.field" read as one token.
-std::string token_left_of(const std::string& s, std::size_t pos) {
-  std::size_t end = pos;
-  while (end > 0 && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
-  std::size_t begin = end;
-  while (begin > 0 && (is_ident_char(s[begin - 1]) || s[begin - 1] == '.' ||
-                       s[begin - 1] == ':')) {
-    --begin;
-  }
-  return s.substr(begin, end - begin);
-}
-
-const std::set<std::string> kDeclPrefixTokens = {
-    "void",   "auto", "int",      "double", "float",    "bool",
-    "long",   "short", "unsigned", "signed", "virtual",  "constexpr",
-    "inline", "static"};
-
-/// True if `text` contains `name(` as a free-function call: not preceded by
-/// an identifier character, '.', '>' (member access), and not a function
-/// *declaration* (preceding token is a type keyword, e.g. "double time()").
-bool has_free_call(const std::string& text, const std::string& name) {
-  std::size_t pos = 0;
-  while ((pos = text.find(name + "(", pos)) != std::string::npos) {
-    const bool at_start = pos == 0;
-    char before = at_start ? ' ' : text[pos - 1];
-    // std::time( and ::time( are still wall-clock calls; skip only member
-    // access (obj.time(), ptr->time()) and identifier suffixes (due_time().
-    if (at_start || (!is_ident_char(before) && before != '.' && before != '>')) {
-      const std::string prev = token_left_of(text, pos);
-      if (!kDeclPrefixTokens.count(prev)) return true;
-    }
-    pos += name.size();
-  }
-  return false;
-}
-
-/// Strip // and /* */ comments plus string/char literals, preserving length
-/// is unnecessary — we only need the code text per line.  `in_block` carries
-/// block-comment state across lines.
-std::string strip_noise(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
-      ++i;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.push_back(quote);
-      ++i;
-      while (i < line.size()) {
-        if (line[i] == '\\') {
-          ++i;
-        } else if (line[i] == quote) {
-          break;
-        }
-        ++i;
-      }
-      out.push_back(quote);
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// True if the raw (unstripped) line suppresses `rule` via
-/// "davlint: allow(<rule>)" or "davlint: allow(all)".
-bool is_suppressed(const std::string& raw, const std::string& rule) {
-  std::size_t pos = raw.find("davlint:");
-  while (pos != std::string::npos) {
-    std::size_t open = raw.find("allow(", pos);
-    if (open == std::string::npos) return false;
-    std::size_t close = raw.find(')', open);
-    if (close == std::string::npos) return false;
-    std::string listed = raw.substr(open + 6, close - open - 6);
-    std::stringstream ss(listed);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      item.erase(std::remove_if(item.begin(), item.end(), ::isspace),
-                 item.end());
-      if (item == rule || item == "all") return true;
-    }
-    pos = raw.find("davlint:", close);
-  }
-  return false;
-}
-
-/// Skip matched angle brackets starting at `pos` (which must point at '<').
-/// Returns the index one past the matching '>', or npos.
-std::size_t skip_template_args(const std::string& s, std::size_t pos) {
-  int depth = 0;
-  for (std::size_t i = pos; i < s.size(); ++i) {
-    if (s[i] == '<') ++depth;
-    if (s[i] == '>') {
-      --depth;
-      if (depth == 0) return i + 1;
-    }
-  }
-  return std::string::npos;
-}
-
-/// Extract the identifier being declared after a type ending at `pos`.
-std::string read_identifier(const std::string& s, std::size_t pos) {
-  while (pos < s.size() &&
-         (std::isspace(static_cast<unsigned char>(s[pos])) || s[pos] == '&' ||
-          s[pos] == '*')) {
-    ++pos;
-  }
-  std::string ident;
-  while (pos < s.size() && is_ident_char(s[pos])) ident.push_back(s[pos++]);
-  return ident;
-}
-
-bool is_float_literal(const std::string& tok) {
-  if (tok.empty()) return false;
-  std::string t = tok;
-  if (t.back() == 'f' || t.back() == 'F') t.pop_back();
-  bool saw_dot = false, saw_digit = false;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    char c = t[i];
-    if (c == '.') {
-      if (saw_dot) return false;
-      saw_dot = true;
-    } else if (std::isdigit(static_cast<unsigned char>(c))) {
-      saw_digit = true;
-    } else if ((c == 'e' || c == 'E') && saw_digit && i + 1 < t.size()) {
-      // exponent: rest must be optional sign + digits
-      std::size_t j = i + 1;
-      if (t[j] == '+' || t[j] == '-') ++j;
-      if (j >= t.size()) return false;
-      for (; j < t.size(); ++j) {
-        if (!std::isdigit(static_cast<unsigned char>(t[j]))) return false;
-      }
-      return saw_dot;
-    } else {
-      return false;
-    }
-  }
-  return saw_dot && saw_digit;
-}
-
-/// Token immediately left of position `pos` (exclusive).
-std::string token_left(const std::string& s, std::size_t pos) {
-  std::size_t end = pos;
-  while (end > 0 && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
-  std::size_t begin = end;
-  while (begin > 0 && (is_ident_char(s[begin - 1]) || s[begin - 1] == '.')) {
-    --begin;
-  }
-  return s.substr(begin, end - begin);
-}
-
-/// Token immediately right of position `pos`.
-std::string token_right(const std::string& s, std::size_t pos) {
-  std::size_t begin = pos;
-  while (begin < s.size() &&
-         (std::isspace(static_cast<unsigned char>(s[begin])) ||
-          s[begin] == '-' || s[begin] == '+')) {
-    ++begin;
-  }
-  std::size_t end = begin;
-  while (end < s.size() && (is_ident_char(s[end]) || s[end] == '.')) ++end;
-  return s.substr(begin, end - begin);
-}
-
-const std::set<std::string> kPodTypes = {
-    "int",      "unsigned", "long",     "short",    "char",     "bool",
-    "float",    "double",   "size_t",   "int8_t",   "int16_t",  "int32_t",
-    "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "uintptr_t",
-    "intptr_t", "ptrdiff_t"};
-
-bool is_pod_type_token(std::string tok) {
-  if (tok.rfind("std::", 0) == 0) tok = tok.substr(5);
-  return kPodTypes.count(tok) > 0;
-}
-
-class FileScanner {
- public:
-  FileScanner(std::string path, const std::set<std::string>& enabled)
-      : path_(std::move(path)), enabled_(enabled) {}
-
-  bool scan(std::vector<Finding>& findings) {
-    std::ifstream in(path_);
-    if (!in) {
-      std::cerr << "davlint: cannot open " << path_ << "\n";
-      return false;
-    }
-    // The campaign metrics/resources layer legitimately reads the wall
-    // clock (it reports real elapsed time and RSS, paper Table 2).
-    wall_clock_exempt_ = path_.find("campaign/metrics") != std::string::npos ||
-                         path_.find("campaign/resources") != std::string::npos;
-    // obs-clock carve-outs: src/obs/ measures span durations (that is its
-    // job; the determinism contract in obs/trace.h confines wall time to
-    // dur_ns), and the executor/metrics/resources layer times real worker
-    // processes. No per-line suppressions needed in those directories.
-    obs_clock_exempt_ = path_.find("/obs/") != std::string::npos ||
-                        path_.rfind("obs/", 0) == 0 ||
-                        path_.find("campaign/executor") != std::string::npos ||
-                        wall_clock_exempt_;
-    // The EnvOptions facade is the single sanctioned env-reading TU; every
-    // other layer takes a validated EnvOptions value instead of peeking at
-    // the process environment (hidden inputs break run reproducibility).
-    env_read_exempt_ =
-        path_.find("campaign/env_options") != std::string::npos;
-    std::string raw;
-    int lineno = 0;
-    bool in_block = false;
-    while (std::getline(in, raw)) {
-      ++lineno;
-      const std::string code = strip_noise(raw, in_block);
-      check_line(raw, code, lineno, findings);
-      update_struct_state(code);
-    }
-    return true;
-  }
-
- private:
-  void report(std::vector<Finding>& findings, const std::string& raw,
-              int lineno, const std::string& rule, const std::string& msg) {
-    if (!enabled_.count(rule) || is_suppressed(raw, rule)) return;
-    findings.push_back({path_, lineno, rule, msg});
-  }
-
-  void check_line(const std::string& raw, const std::string& code, int lineno,
-                  std::vector<Finding>& findings) {
-    check_rand(raw, code, lineno, findings);
-    check_random_device(raw, code, lineno, findings);
-    check_wall_clock(raw, code, lineno, findings);
-    check_obs_clock(raw, code, lineno, findings);
-    check_unordered(raw, code, lineno, findings);
-    check_float_eq(raw, code, lineno, findings);
-    check_uninit_pod(raw, code, lineno, findings);
-    check_env_read(raw, code, lineno, findings);
-  }
-
-  void check_rand(const std::string& raw, const std::string& code, int lineno,
-                  std::vector<Finding>& findings) {
-    for (const char* fn : {"rand", "srand", "rand_r", "drand48", "random"}) {
-      if (has_free_call(code, fn)) {
-        report(findings, raw, lineno, "rand",
-               std::string(fn) + "() uses process-global state; use dav::Rng "
-                                 "seeded from the campaign seed");
-      }
-    }
-  }
-
-  void check_random_device(const std::string& raw, const std::string& code,
-                           int lineno, std::vector<Finding>& findings) {
-    if (code.find("std::random_device") != std::string::npos ||
-        has_free_call(code, "random_device")) {
-      report(findings, raw, lineno, "random-device",
-             "std::random_device is nondeterministic; seed dav::Rng from the "
-             "campaign seed");
-    }
-  }
-
-  void check_wall_clock(const std::string& raw, const std::string& code,
-                        int lineno, std::vector<Finding>& findings) {
-    if (wall_clock_exempt_) return;
-    if (code.find("system_clock") != std::string::npos) {
-      report(findings, raw, lineno, "wall-clock",
-             "std::chrono::system_clock reads the wall clock; simulated time "
-             "must come from World::time()");
-      return;
-    }
-    for (const char* fn :
-         {"time", "clock", "gettimeofday", "clock_gettime", "localtime",
-          "gmtime", "ftime"}) {
-      if (has_free_call(code, fn)) {
-        report(findings, raw, lineno, "wall-clock",
-               std::string(fn) + "() reads the wall clock; simulated time "
-                                 "must come from World::time()");
-        return;
-      }
-    }
-  }
-
-  void check_obs_clock(const std::string& raw, const std::string& code,
-                       int lineno, std::vector<Finding>& findings) {
-    if (obs_clock_exempt_) return;
-    for (const char* clk : {"steady_clock", "high_resolution_clock"}) {
-      if (code.find(clk) != std::string::npos) {
-        report(findings, raw, lineno, "obs-clock",
-               std::string(clk) + " is a wall clock; profiling belongs in "
-                                  "src/obs/ span durations (SpanScope), "
-                                  "never in simulation state");
-        return;
-      }
-    }
-  }
-
-  void check_unordered(const std::string& raw, const std::string& code,
-                       int lineno, std::vector<Finding>& findings) {
-    // Remember identifiers declared with an unordered container type.
-    std::size_t pos = 0;
-    while (pos < code.size()) {
-      std::size_t hit = code.find("unordered_map", pos);
-      std::size_t hit2 = code.find("unordered_set", pos);
-      hit = std::min(hit, hit2);
-      if (hit == std::string::npos) break;
-      std::size_t after = hit + 13;  // both names are 13 chars
-      if (after < code.size() && code[after] == '<') {
-        std::size_t end = skip_template_args(code, after);
-        if (end != std::string::npos) {
-          std::string ident = read_identifier(code, end);
-          if (!ident.empty()) unordered_idents_.insert(ident);
-          pos = end;
-          continue;
-        }
-      }
-      pos = after;
-    }
-    // Range-for over a tracked identifier.
-    pos = 0;
-    while ((pos = code.find("for", pos)) != std::string::npos) {
-      const bool boundary_l = pos == 0 || !is_ident_char(code[pos - 1]);
-      const bool boundary_r =
-          pos + 3 >= code.size() || !is_ident_char(code[pos + 3]);
-      if (!boundary_l || !boundary_r) {
-        pos += 3;
-        continue;
-      }
-      std::size_t open = code.find('(', pos);
-      std::size_t colon = open == std::string::npos
-                              ? std::string::npos
-                              : code.find(':', open);
-      if (colon != std::string::npos && colon + 1 < code.size() &&
-          code[colon + 1] != ':' && (colon == 0 || code[colon - 1] != ':')) {
-        std::string range = read_identifier(code, colon + 1);
-        if (unordered_idents_.count(range)) {
-          report(findings, raw, lineno, "unordered-iter",
-                 "range-for over unordered container '" + range +
-                     "' has unspecified order; use a sorted container or sort "
-                     "before serializing");
-        }
-      }
-      pos += 3;
-    }
-  }
-
-  void check_float_eq(const std::string& raw, const std::string& code,
-                      int lineno, std::vector<Finding>& findings) {
-    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
-      if ((code[i] != '=' && code[i] != '!') || code[i + 1] != '=') continue;
-      // Skip ==/!= that are part of <= >= === or assignment.
-      if (i + 2 < code.size() && code[i + 2] == '=') continue;
-      if (i > 0 && (code[i - 1] == '=' || code[i - 1] == '<' ||
-                    code[i - 1] == '>' || code[i - 1] == '!')) {
-        continue;
-      }
-      const std::string lhs = token_left(code, i);
-      const std::string rhs = token_right(code, i + 2);
-      if (is_float_literal(lhs) || is_float_literal(rhs)) {
-        report(findings, raw, lineno, "float-eq",
-               "exact floating-point comparison against literal; use an "
-               "epsilon tolerance or integer state");
-        i += 1;
-      }
-    }
-  }
-
-  void check_env_read(const std::string& raw, const std::string& code,
-                      int lineno, std::vector<Finding>& findings) {
-    if (env_read_exempt_) return;
-    for (const char* fn : {"getenv", "secure_getenv", "setenv", "putenv"}) {
-      if (has_free_call(code, fn)) {
-        report(findings, raw, lineno, "env-read",
-               std::string(fn) + "() outside campaign/env_options; route "
-                                 "configuration through dav::EnvOptions");
-        return;
-      }
-    }
-  }
-
-  /// Track struct/class scopes so member declarations can be told apart from
-  /// locals inside inline methods: members sit exactly one brace level inside
-  /// the struct's opening brace.
-  void update_struct_state(const std::string& code) {
-    for (std::size_t i = 0; i < code.size(); ++i) {
-      // Only `struct` scopes count: the uninit-pod rule targets aggregates;
-      // a `class` is assumed to initialize members in its constructors, and
-      // `enum class` must not open a member scope at all.
-      const char* kw = "struct";
-      const std::size_t n = 6;
-      if (code.compare(i, n, kw) == 0 &&
-          (i == 0 || !is_ident_char(code[i - 1])) &&
-          (i + n >= code.size() || !is_ident_char(code[i + n])) &&
-          token_left_of(code, i) != "enum") {
-        // Declaration only counts if this statement opens a brace before a
-        // ';' (forward declarations don't).
-        std::size_t brace = code.find('{', i);
-        std::size_t semi = code.find(';', i);
-        if (brace != std::string::npos &&
-            (semi == std::string::npos || brace < semi)) {
-          pending_struct_ = true;
-        }
-      }
-      if (code[i] == '{') {
-        ++depth_;
-        if (pending_struct_) {
-          struct_depths_.push_back(depth_);
-          pending_struct_ = false;
-        }
-      } else if (code[i] == '}') {
-        if (!struct_depths_.empty() && struct_depths_.back() == depth_) {
-          struct_depths_.pop_back();
-        }
-        --depth_;
-      }
-    }
-  }
-
-  void check_uninit_pod(const std::string& raw, const std::string& code,
-                        int lineno, std::vector<Finding>& findings) {
-    if (struct_depths_.empty() || struct_depths_.back() != depth_) return;
-    // Member lines look like "  int foo;" — a POD type token, an identifier,
-    // then ';', with no initializer, parens (functions) or "static".
-    std::size_t i = 0;
-    while (i < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[i]))) {
-      ++i;
-    }
-    std::size_t type_end = i;
-    while (type_end < code.size() &&
-           (is_ident_char(code[type_end]) || code[type_end] == ':')) {
-      ++type_end;
-    }
-    std::string type_tok = code.substr(i, type_end - i);
-    // "unsigned int" / "long long" style two-token types.
-    if ((type_tok == "unsigned" || type_tok == "long" ||
-         type_tok == "signed" || type_tok == "short") &&
-        type_end < code.size()) {
-      std::string second = read_identifier(code, type_end);
-      if (is_pod_type_token(second)) {
-        type_end = code.find(second, type_end) + second.size();
-      }
-    }
-    if (!is_pod_type_token(type_tok)) return;
-    std::string ident = read_identifier(code, type_end);
-    if (ident.empty()) return;
-    std::size_t rest_pos = code.find(ident, type_end) + ident.size();
-    std::string rest = code.substr(rest_pos);
-    if (rest.find('=') != std::string::npos ||
-        rest.find('{') != std::string::npos) {
-      return;  // has an initializer
-    }
-    if (rest.find(';') == std::string::npos) return;  // not a declaration
-    // Parens anywhere mean a function declaration or a continuation of a
-    // multi-line parameter list, never a plain member.
-    if (code.find('(') != std::string::npos ||
-        code.find(')') != std::string::npos) {
-      return;
-    }
-    if (code.find("static") != std::string::npos) return;
-    report(findings, raw, lineno, "uninit-pod",
-           "POD member '" + ident + "' has no initializer; golden traces must "
-           "never read indeterminate bytes");
-  }
-
-  std::string path_;
-  const std::set<std::string>& enabled_;
-  bool wall_clock_exempt_ = false;
-  bool obs_clock_exempt_ = false;
-  bool env_read_exempt_ = false;
-  std::set<std::string> unordered_idents_;
-  std::vector<int> struct_depths_;
-  int depth_ = 0;
-  bool pending_struct_ = false;
-};
 
 bool has_cxx_extension(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -561,19 +43,33 @@ bool has_cxx_extension(const fs::path& p) {
          ext == ".hpp";
 }
 
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::set<std::string> enabled;
-  for (const auto& r : kRules) enabled.insert(r.name);
+  for (const auto& r : rules()) enabled.insert(r.name);
   std::vector<std::string> inputs;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--list-rules") {
-      for (const auto& r : kRules) {
+      for (const auto& r : rules()) {
         std::cout << r.name << ": " << r.summary << "\n";
       }
+      return 0;
+    }
+    if (arg == "--rules-md") {
+      std::cout << rules_markdown();
       return 0;
     }
     if (arg.rfind("--rules=", 0) == 0) {
@@ -581,14 +77,24 @@ int main(int argc, char** argv) {
       std::stringstream ss(arg.substr(8));
       std::string item;
       while (std::getline(ss, item, ',')) {
-        bool known = false;
-        for (const auto& r : kRules) known = known || r.name == item;
-        if (!known) {
+        if (!is_known_rule(item)) {
           std::cerr << "davlint: unknown rule '" << item << "'\n";
           return 2;
         }
         enabled.insert(item);
       }
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      continue;
+    }
+    if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+      continue;
+    }
+    if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
       continue;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -598,33 +104,109 @@ int main(int argc, char** argv) {
     inputs.push_back(arg);
   }
   if (inputs.empty()) {
-    std::cerr << "usage: davlint [--list-rules] [--rules=a,b] <file-or-dir>...\n";
+    std::cerr << "usage: davlint [--list-rules] [--rules-md] [--rules=a,b] "
+                 "[--baseline=FILE] [--write-baseline=FILE] [--sarif=FILE] "
+                 "<file-or-dir>...\n";
     return 2;
   }
 
-  std::vector<std::string> files;
+  std::vector<std::string> paths;
   for (const auto& input : inputs) {
     fs::path p(input);
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(p)) {
         if (entry.is_regular_file() && has_cxx_extension(entry.path())) {
-          files.push_back(entry.path().string());
+          paths.push_back(entry.path().string());
         }
       }
     } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p.string());
+      paths.push_back(p.string());
     } else {
       std::cerr << "davlint: no such file or directory: " << input << "\n";
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  // Lex everything up front: the line rules reuse the stripped lines, the
+  // semantic rules the token streams.
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    SourceFile f;
+    if (!lex_file(p, f)) {
+      std::cerr << "davlint: cannot read " << p << "\n";
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
 
   std::vector<Finding> findings;
-  for (const auto& f : files) {
-    FileScanner scanner(f, enabled);
-    if (!scanner.scan(findings)) return 2;
+  for (const SourceFile& f : files) run_line_rules(f, enabled, findings);
+
+  std::vector<TuIndex> tus;
+  tus.reserve(files.size());
+  for (const SourceFile& f : files) tus.push_back(index_tu(f));
+  CallGraph graph(tus);
+  run_semantic_rules(tus, graph, enabled, findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+
+  if (!write_baseline_path.empty()) {
+    std::vector<const SourceFile*> file_ptrs;
+    for (const SourceFile& f : files) file_ptrs.push_back(&f);
+    if (!write_text_file(write_baseline_path,
+                         make_baseline(findings, file_ptrs))) {
+      std::cerr << "davlint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    std::cout << "davlint: wrote " << findings.size() << " baseline entr"
+              << (findings.size() == 1 ? "y" : "ies") << " to "
+              << write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::vector<BaselineEntry> baseline;
+    std::string err;
+    if (!load_baseline(baseline_path, baseline, err)) {
+      std::cerr << "davlint: " << err << "\n";
+      return 2;
+    }
+    if (!err.empty()) std::cerr << "davlint: " << err;
+    std::vector<Finding> kept;
+    for (const Finding& f : findings) {
+      const SourceFile* src = nullptr;
+      for (const SourceFile& s : files) {
+        if (s.path == f.file) {
+          src = &s;
+          break;
+        }
+      }
+      if (src != nullptr && baseline_matches(baseline, f, *src)) continue;
+      kept.push_back(f);
+    }
+    findings.swap(kept);
+  }
+
+  if (!sarif_path.empty() && !write_text_file(sarif_path, to_sarif(findings))) {
+    std::cerr << "davlint: cannot write " << sarif_path << "\n";
+    return 2;
   }
 
   for (const auto& f : findings) {

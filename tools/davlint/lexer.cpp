@@ -1,0 +1,218 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace davlint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+namespace {
+
+/// Splits verbatim lines ('\n' separated; a trailing partial line counts).
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      if (!cur.empty() && cur.back() == '\r') cur.pop_back();
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// Whole-file strip pass. Operating on the full buffer (not line by line) is
+/// what lets raw strings and block comments span lines without miscounting —
+/// the PR-1 scanner stripped per line and treated the interior of
+/// R"(...)" as code.
+std::vector<std::string> strip(const std::string& content,
+                               std::size_t n_lines) {
+  std::vector<std::string> code(n_lines);
+  std::string cur;
+  std::size_t line = 0;
+  const auto flush_line = [&]() {
+    if (line < n_lines) code[line] = cur;
+    cur.clear();
+    ++line;
+  };
+
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_close;  // ")delim\"" that terminates the raw literal
+
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (st == St::kLineComment) st = St::kCode;
+      // An unterminated plain literal does not continue past the newline
+      // (matches the old per-line behaviour; real code never hits this).
+      if (st == St::kString || st == St::kChar) st = St::kCode;
+      flush_line();
+      continue;
+    }
+    switch (st) {
+      case St::kLineComment:
+        break;
+      case St::kBlockComment:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          st = St::kCode;
+          ++i;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          cur.push_back('"');
+          st = St::kCode;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          cur.push_back('\'');
+          st = St::kCode;
+        }
+        break;
+      case St::kRaw:
+        if (c == ')' && content.compare(i, raw_close.size(), raw_close) == 0) {
+          cur.push_back('"');
+          i += raw_close.size() - 1;
+          st = St::kCode;
+        }
+        break;
+      case St::kCode:
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          st = St::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          st = St::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string; the R (and any encoding prefix) has
+          // already been emitted as code, which is harmless.
+          if (!cur.empty() && cur.back() == 'R') {
+            std::size_t j = i + 1;
+            std::string delim;
+            while (j < n && content[j] != '(' && content[j] != '\n' &&
+                   delim.size() <= 16) {
+              delim.push_back(content[j++]);
+            }
+            if (j < n && content[j] == '(') {
+              raw_close = ")" + delim + "\"";
+              cur.push_back('"');
+              i = j;  // resume after '('
+              st = St::kRaw;
+              break;
+            }
+          }
+          cur.push_back('"');
+          st = St::kString;
+        } else if (c == '\'') {
+          // Skip digit separators (1'000'000): a quote directly between
+          // alphanumerics inside a number is not a char literal.
+          const bool sep =
+              !cur.empty() &&
+              std::isdigit(static_cast<unsigned char>(cur.back())) &&
+              i + 1 < n &&
+              std::isalnum(static_cast<unsigned char>(content[i + 1]));
+          if (sep) break;
+          cur.push_back('\'');
+          st = St::kChar;
+        } else {
+          cur.push_back(c);
+        }
+        break;
+    }
+  }
+  flush_line();
+  return code;
+}
+
+void tokenize(SourceFile& f) {
+  for (std::size_t li = 0; li < f.code_lines.size(); ++li) {
+    const std::string& s = f.code_lines[li];
+    const int line = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.line = line;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i;
+        while (j < s.size() && is_ident_char(s[j])) ++j;
+        t.kind = Token::Kind::kIdent;
+        t.text = s.substr(i, j - i);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && i + 1 < s.size() &&
+                  std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+        std::size_t j = i;
+        while (j < s.size() &&
+               (is_ident_char(s[j]) || s[j] == '.' ||
+                ((s[j] == '+' || s[j] == '-') && j > i &&
+                 (s[j - 1] == 'e' || s[j - 1] == 'E')))) {
+          ++j;
+        }
+        t.kind = Token::Kind::kNumber;
+        t.text = s.substr(i, j - i);
+        i = j;
+      } else if (c == '"') {
+        t.kind = Token::Kind::kString;
+        i += (i + 1 < s.size() && s[i + 1] == '"') ? 2 : 1;
+      } else if (c == '\'') {
+        t.kind = Token::Kind::kChar;
+        i += (i + 1 < s.size() && s[i + 1] == '\'') ? 2 : 1;
+      } else {
+        t.kind = Token::Kind::kPunct;
+        if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+          t.text = "::";
+          i += 2;
+        } else if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+          t.text = "->";
+          i += 2;
+        } else {
+          t.text = std::string(1, c);
+          ++i;
+        }
+      }
+      f.tokens.push_back(std::move(t));
+    }
+  }
+}
+
+}  // namespace
+
+SourceFile lex_buffer(std::string path, const std::string& content) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.raw_lines = split_lines(content);
+  f.code_lines = strip(content, f.raw_lines.size());
+  tokenize(f);
+  return f;
+}
+
+bool lex_file(const std::string& path, SourceFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = lex_buffer(path, ss.str());
+  return true;
+}
+
+}  // namespace davlint

@@ -1,0 +1,39 @@
+// davlint lexer: one pass over a whole file strips comments, string/char
+// literals (including multi-line raw strings — R"delim(...)delim") and
+// produces (a) per-line stripped code for the line rules and (b) a token
+// stream with line provenance for the TU index / call-graph passes.
+//
+// This is a lexical approximation of C++, not a compiler frontend; the rule
+// passes built on it are heuristics with allow() escape hatches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace davlint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind = Kind::kPunct;
+  /// Identifier/number text, punctuation ("::" and "->" are fused, every
+  /// other punctuator is a single char), or "" for stripped literals.
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw_lines;   // verbatim; suppressions live here
+  std::vector<std::string> code_lines;  // stripped; literals reduced to ""/''
+  std::vector<Token> tokens;            // lexed from the stripped code
+};
+
+/// Strip + tokenize an in-memory buffer (the path only labels findings).
+SourceFile lex_buffer(std::string path, const std::string& content);
+
+/// Load, strip and tokenize one file. Returns false when unreadable.
+bool lex_file(const std::string& path, SourceFile& out);
+
+bool is_ident_char(char c);
+
+}  // namespace davlint

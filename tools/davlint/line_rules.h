@@ -1,0 +1,20 @@
+// The eight PR-1 per-line rules (rand, random-device, wall-clock,
+// unordered-iter, float-eq, uninit-pod, obs-clock, env-read), running on the
+// stripped code lines the lexer produces. Behaviour is unchanged from the
+// line-regex davlint; only the stripping underneath got real (raw strings,
+// cross-line block comments).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace davlint {
+
+void run_line_rules(const SourceFile& f, const std::set<std::string>& enabled,
+                    std::vector<Finding>& findings);
+
+}  // namespace davlint

@@ -1,0 +1,37 @@
+// Rule registry + finding/suppression plumbing shared by the line rules and
+// the cross-TU semantic rules.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace davlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// Every rule, in the order they are listed and documented. The first eight
+/// are the PR-1 line rules; the last four are the cross-TU semantic rules.
+const std::vector<RuleInfo>& rules();
+
+bool is_known_rule(const std::string& name);
+
+/// True if the raw (unstripped) line suppresses `rule` via
+/// "davlint: allow(<rule>)" or "davlint: allow(all)".
+bool is_suppressed(const std::string& raw, const std::string& rule);
+
+/// The markdown rule-reference table (README.md embeds this verbatim between
+/// the davlint-rules markers, same pattern as EnvOptions::docs()).
+std::string rules_markdown();
+
+}  // namespace davlint

@@ -1,0 +1,69 @@
+#include "sarif.h"
+
+#include <sstream>
+
+namespace davlint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"davlint\",\n"
+      << "      \"informationUri\": \"tools/davlint\",\n"
+      << "      \"rules\": [\n";
+  const auto& reg = rules();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    out << "        {\"id\": \"" << json_escape(reg[i].name)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(reg[i].summary) << "\"}}"
+        << (i + 1 < reg.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }},\n"
+      << "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "      {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"warning\", \"message\": {\"text\": \""
+        << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": {"
+        << "\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n"
+      << "  }]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace davlint

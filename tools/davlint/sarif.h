@@ -1,0 +1,15 @@
+// Minimal SARIF 2.1.0 emitter so CI can upload davlint findings as a code
+// scanning artifact. One run, one tool.driver with the full rule registry,
+// one result per finding with ruleId / message / physicalLocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace davlint {
+
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace davlint

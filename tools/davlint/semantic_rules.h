@@ -1,0 +1,31 @@
+// Cross-TU semantic rules built on the TU index and call graph:
+//
+//   signal-safety — functions reachable from a signal()/sigaction()-
+//       registered handler may only call an async-signal-safe allowlist;
+//       violations print the call chain hop by hop.
+//   fork-safety  — the lexical child branch after fork() (worker bootstrap
+//       and death paths) is held to the same allowlist; sanctioned workload
+//       handoffs are cut with a justified same-line allow().
+//   layering     — quoted includes must respect the module DAG
+//       util -> {core,sim,sensors,agent,fi,uav} -> obs -> campaign -> tools;
+//       include cycles are rejected.
+//   taint        — values derived from wall-clock/trace sources must not
+//       flow (per-TU assignment/call dataflow) into serialize_run_result,
+//       run_config_digest or journal writes.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "rules.h"
+#include "tu_index.h"
+
+namespace davlint {
+
+void run_semantic_rules(const std::vector<TuIndex>& tus, const CallGraph& graph,
+                        const std::set<std::string>& enabled,
+                        std::vector<Finding>& findings);
+
+}  // namespace davlint

@@ -1,0 +1,379 @@
+#include "tu_index.h"
+
+#include <algorithm>
+#include <set>
+
+namespace davlint {
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",    "for",    "while",  "switch",        "catch",
+      "sizeof", "alignof", "decltype", "static_assert", "noexcept",
+      "new",   "delete", "return", "else",          "do",
+      "case",  "throw",  "goto"};
+  return kw;
+}
+
+/// Keywords that may directly precede a call expression — an identifier
+/// before `name(` otherwise reads as a declaration ("ByteReader req(...)").
+const std::set<std::string>& call_prefix_keywords() {
+  static const std::set<std::string> kw = {"return",    "else", "do",
+                                           "case",      "throw", "goto",
+                                           "co_return", "co_await"};
+  return kw;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+
+/// Index one past the token matching the opener at `i`, or `n` when
+/// unbalanced.
+std::size_t skip_matched(const std::vector<Token>& T, std::size_t i,
+                         const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < T.size(); ++j) {
+    if (is_punct(T[j], open)) ++depth;
+    if (is_punct(T[j], close)) {
+      if (--depth == 0) return j + 1;
+    }
+  }
+  return T.size();
+}
+
+struct OpenFn {
+  FunctionDef def;
+  int open_depth = 0;
+  std::vector<std::size_t> new_toks;
+  std::vector<std::size_t> throw_toks;
+};
+
+/// Try to recognise a function definition whose name token is at `i`
+/// (name '(' params ')' [cv/ref/noexcept/trailing-return/ctor-init] '{').
+/// Returns the index of the body '{' or 0 when this is not a definition.
+std::size_t match_definition(const std::vector<Token>& T, std::size_t i) {
+  if (T[i].kind != Token::Kind::kIdent || control_keywords().count(T[i].text))
+    return 0;
+  if (i + 1 >= T.size() || !is_punct(T[i + 1], "(")) return 0;
+  if (i > 0 && (is_punct(T[i - 1], ".") || is_punct(T[i - 1], "->"))) return 0;
+  std::size_t k = skip_matched(T, i + 1, "(", ")");
+  if (k >= T.size()) return 0;
+
+  for (int guard = 0; guard < 64 && k < T.size(); ++guard) {
+    const Token& t = T[k];
+    if (is_punct(t, "{")) return k;
+    if (is_punct(t, ";") || is_punct(t, "=") || is_punct(t, ",") ||
+        is_punct(t, ")") || is_punct(t, "}")) {
+      return 0;
+    }
+    if (is_punct(t, ":")) {
+      // Constructor init list: ident ('|'{' args ')'|'}' [, ...] then body.
+      ++k;
+      for (int g2 = 0; g2 < 64 && k < T.size(); ++g2) {
+        while (k < T.size() && (T[k].kind == Token::Kind::kIdent ||
+                                is_punct(T[k], "::"))) {
+          ++k;
+        }
+        if (k < T.size() && is_punct(T[k], "<"))
+          k = skip_matched(T, k, "<", ">");
+        if (k >= T.size()) return 0;
+        if (is_punct(T[k], "("))
+          k = skip_matched(T, k, "(", ")");
+        else if (is_punct(T[k], "{"))
+          k = skip_matched(T, k, "{", "}");
+        else
+          return 0;
+        if (k < T.size() && is_punct(T[k], ",")) {
+          ++k;
+          continue;
+        }
+        return (k < T.size() && is_punct(T[k], "{")) ? k : 0;
+      }
+      return 0;
+    }
+    if (is_punct(t, "(")) {
+      k = skip_matched(T, k, "(", ")");  // noexcept(...), attribute args
+      continue;
+    }
+    if (is_punct(t, "<")) {
+      k = skip_matched(T, k, "<", ">");  // trailing-return template args
+      continue;
+    }
+    // cv/ref qualifiers, noexcept, override/final, trailing return type.
+    if (t.kind == Token::Kind::kIdent || is_punct(t, "&") ||
+        is_punct(t, "*") || is_punct(t, "->") || is_punct(t, "::") ||
+        is_punct(t, "[") || is_punct(t, "]") || is_punct(t, ">")) {
+      ++k;
+      continue;
+    }
+    return 0;
+  }
+  return 0;
+}
+
+/// Token ranges lexically inside an `if (pid == 0)` / `if (!pid)` /
+/// `if (fork() == 0)` child branch, where pid was assigned from fork().
+std::vector<std::pair<std::size_t, std::size_t>> fork_child_regions(
+    const std::vector<Token>& T, std::size_t begin, std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  std::set<std::string> fork_vars;
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (!is_ident(T[i], "fork") || !is_punct(T[i + 1], "(")) continue;
+    std::size_t lhs = i;
+    if (lhs > begin && is_punct(T[lhs - 1], "::")) --lhs;
+    if (lhs > begin + 1 && is_punct(T[lhs - 1], "=") &&
+        T[lhs - 2].kind == Token::Kind::kIdent) {
+      fork_vars.insert(T[lhs - 2].text);
+    }
+  }
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (!is_ident(T[i], "if") || !is_punct(T[i + 1], "(")) continue;
+    const std::size_t close = skip_matched(T, i + 1, "(", ")");
+    if (close > end) continue;
+    // Condition tokens [i+2, close-1).
+    std::vector<const Token*> c;
+    for (std::size_t j = i + 2; j + 1 < close; ++j) c.push_back(&T[j]);
+    const auto is_zero = [](const Token* t) {
+      return t->kind == Token::Kind::kNumber && t->text == "0";
+    };
+    const auto is_fork_var = [&](const Token* t) {
+      return t->kind == Token::Kind::kIdent && fork_vars.count(t->text) > 0;
+    };
+    bool child = false;
+    if (c.size() == 4 && is_fork_var(c[0]) && is_punct(*c[1], "=") &&
+        is_punct(*c[2], "=") && is_zero(c[3])) {
+      child = true;  // if (pid == 0)
+    } else if (c.size() == 4 && is_zero(c[0]) && is_punct(*c[1], "=") &&
+               is_punct(*c[2], "=") && is_fork_var(c[3])) {
+      child = true;  // if (0 == pid)
+    } else if (c.size() == 2 && is_punct(*c[0], "!") && is_fork_var(c[1])) {
+      child = true;  // if (!pid)
+    } else if (c.size() >= 6 && is_ident(*c[0], "fork")) {
+      // if (fork() == 0) — with or without leading ::, ending in == 0.
+      if (is_punct(*c[c.size() - 3], "=") && is_punct(*c[c.size() - 2], "=") &&
+          is_zero(c[c.size() - 1])) {
+        child = true;
+      }
+    } else if (c.size() >= 6 && is_punct(*c[0], "::") &&
+               is_ident(*c[1], "fork") && is_punct(*c[c.size() - 3], "=") &&
+               is_punct(*c[c.size() - 2], "=") && is_zero(c[c.size() - 1])) {
+      child = true;
+    }
+    if (!child) continue;
+    if (close < end && is_punct(T[close], "{")) {
+      regions.emplace_back(close + 1, skip_matched(T, close, "{", "}") - 1);
+    } else {
+      std::size_t stop = close;
+      while (stop < end && !is_punct(T[stop], ";")) ++stop;
+      regions.emplace_back(close, stop);
+    }
+  }
+  return regions;
+}
+
+/// Record registrations of signal handlers in a body: signal(SIG, h) and
+/// sa.sa_handler = h / sa.sa_sigaction = h.
+void scan_handler_registrations(const std::vector<Token>& T, std::size_t begin,
+                                std::size_t end, FunctionDef& def) {
+  const auto is_disposition_constant = [](const std::string& s) {
+    return s == "SIG_IGN" || s == "SIG_DFL" || s == "nullptr" || s == "NULL";
+  };
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (is_ident(T[i], "signal") && is_punct(T[i + 1], "(")) {
+      const std::size_t close = skip_matched(T, i + 1, "(", ")");
+      // Second top-level argument.
+      int depth = 0;
+      std::size_t arg2 = 0;
+      for (std::size_t j = i + 1; j + 1 < close; ++j) {
+        if (is_punct(T[j], "(")) ++depth;
+        if (is_punct(T[j], ")")) --depth;
+        if (depth == 1 && is_punct(T[j], ",")) {
+          arg2 = j + 1;
+          break;
+        }
+      }
+      if (arg2 != 0) {
+        if (arg2 < close && is_punct(T[arg2], "&")) ++arg2;
+        if (arg2 < close && T[arg2].kind == Token::Kind::kIdent &&
+            !is_disposition_constant(T[arg2].text)) {
+          def.handlers_registered.emplace_back(T[arg2].text, T[arg2].line);
+        }
+      }
+    }
+    if ((is_ident(T[i], "sa_handler") || is_ident(T[i], "sa_sigaction")) &&
+        i + 2 < end && is_punct(T[i + 1], "=") && !is_punct(T[i + 2], "=")) {
+      std::size_t h = i + 2;
+      if (is_punct(T[h], "&")) ++h;
+      if (h < end && T[h].kind == Token::Kind::kIdent &&
+          !is_disposition_constant(T[h].text)) {
+        def.handlers_registered.emplace_back(T[h].text, T[h].line);
+      }
+    }
+  }
+}
+
+void finalize(const std::vector<Token>& T, OpenFn& open) {
+  FunctionDef& def = open.def;
+  const auto regions = fork_child_regions(T, def.tok_begin, def.tok_end);
+  const auto in_child = [&](std::size_t tok) {
+    return std::any_of(regions.begin(), regions.end(), [&](const auto& r) {
+      return tok >= r.first && tok < r.second;
+    });
+  };
+  for (CallSite& c : def.calls) c.in_fork_child = in_child(c.tok);
+  for (std::size_t t : open.new_toks) {
+    (in_child(t) ? def.fork_child_new_lines : def.new_lines)
+        .push_back(T[t].line);
+  }
+  for (std::size_t t : open.throw_toks) {
+    (in_child(t) ? def.fork_child_throw_lines : def.throw_lines)
+        .push_back(T[t].line);
+  }
+  scan_handler_registrations(T, def.tok_begin, def.tok_end, def);
+}
+
+}  // namespace
+
+TuIndex index_tu(const SourceFile& f) {
+  TuIndex tu;
+  tu.file = &f;
+
+  // Quoted includes, from the raw text (the stripped code has no strings).
+  for (std::size_t li = 0; li < f.raw_lines.size(); ++li) {
+    const std::string& raw = f.raw_lines[li];
+    std::size_t h = raw.find_first_not_of(" \t");
+    if (h == std::string::npos || raw[h] != '#') continue;
+    std::size_t inc = raw.find("include", h);
+    if (inc == std::string::npos) continue;
+    std::size_t q1 = raw.find('"', inc);
+    if (q1 == std::string::npos) continue;
+    std::size_t q2 = raw.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    tu.includes.push_back(
+        {raw.substr(q1 + 1, q2 - q1 - 1), static_cast<int>(li) + 1});
+  }
+
+  const std::vector<Token>& T = f.tokens;
+  int depth = 0;
+  std::vector<OpenFn> stack;
+
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    const Token& t = T[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!stack.empty() && stack.back().open_depth == depth) {
+        stack.back().def.tok_end = i;
+        finalize(T, stack.back());
+        tu.functions.push_back(std::move(stack.back().def));
+        stack.pop_back();
+      }
+      --depth;
+      continue;
+    }
+
+    if (stack.empty()) {
+      // File/class scope: look for function definitions.
+      const std::size_t body = match_definition(T, i);
+      if (body != 0) {
+        OpenFn open;
+        open.def.name = t.text;
+        open.def.file = &f;
+        open.def.line = t.line;
+        open.def.tok_begin = body + 1;
+        open.open_depth = depth + 1;
+        stack.push_back(std::move(open));
+        // Skip ahead to the body '{'; the loop's '{' branch bumps depth.
+        i = body - 1;
+      }
+      continue;
+    }
+
+    OpenFn& top = stack.back();
+
+    // Named lambda: `name = [...](...)... {` opens a nested function so the
+    // executor's launch/spawn child branches index under their own names.
+    if (is_punct(t, "=") && i + 1 < T.size() && is_punct(T[i + 1], "[") &&
+        i > 0 && T[i - 1].kind == Token::Kind::kIdent) {
+      std::size_t k = skip_matched(T, i + 1, "[", "]");
+      if (k < T.size() && is_punct(T[k], "("))
+        k = skip_matched(T, k, "(", ")");
+      for (int guard = 0; guard < 16 && k < T.size(); ++guard) {
+        if (is_punct(T[k], "{")) break;
+        if (T[k].kind == Token::Kind::kIdent || is_punct(T[k], "->") ||
+            is_punct(T[k], "::") || is_punct(T[k], "&") ||
+            is_punct(T[k], "*") || is_punct(T[k], "<") ||
+            is_punct(T[k], ">")) {
+          ++k;
+          continue;
+        }
+        k = T.size();
+      }
+      if (k < T.size() && is_punct(T[k], "{")) {
+        OpenFn open;
+        open.def.name = T[i - 1].text;
+        open.def.file = &f;
+        open.def.line = T[i - 1].line;
+        open.def.tok_begin = k + 1;
+        open.open_depth = depth + 1;
+        stack.push_back(std::move(open));
+        i = k - 1;
+        continue;
+      }
+    }
+
+    if (is_ident(t, "new")) {
+      top.new_toks.push_back(i);
+      continue;
+    }
+    if (is_ident(t, "throw")) {
+      top.throw_toks.push_back(i);
+      continue;
+    }
+
+    // Call site: ident '(' that is neither a control keyword nor a
+    // declaration ("ByteReader req(...)": preceding identifier, or a
+    // preceding '>' closing a template type).
+    if (t.kind == Token::Kind::kIdent && i + 1 < T.size() &&
+        is_punct(T[i + 1], "(") && !control_keywords().count(t.text)) {
+      CallSite cs;
+      cs.callee = t.text;
+      cs.line = t.line;
+      cs.tok = i;
+      if (i > 0) {
+        const Token& p = T[i - 1];
+        if (is_punct(p, ".") || is_punct(p, "->")) {
+          cs.member = true;
+          if (i > 1 && T[i - 2].kind == Token::Kind::kIdent)
+            cs.object = T[i - 2].text;
+        } else if (is_punct(p, "::")) {
+          // `::write(...)` is the libc symbol; `std::move(...)` carries its
+          // namespace so the safety walk can treat std specially.
+          if (i > 1 && T[i - 2].kind == Token::Kind::kIdent) {
+            cs.qualifier = T[i - 2].text;
+          } else {
+            cs.global_scope = true;
+          }
+        } else if (p.kind == Token::Kind::kIdent &&
+                   !call_prefix_keywords().count(p.text)) {
+          continue;  // declaration
+        } else if (is_punct(p, ">")) {
+          continue;  // templated declaration
+        }
+      }
+      top.def.calls.push_back(std::move(cs));
+    }
+  }
+
+  return tu;
+}
+
+}  // namespace davlint

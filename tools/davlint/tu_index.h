@@ -1,0 +1,57 @@
+// Per-TU structural index built on the token stream: quoted includes,
+// function definitions (free functions, methods, and named lambdas), the
+// call sites inside each body, and two context annotations the semantic
+// rules need — "this call happens in a fork() child branch" and "this body
+// registers X as a signal handler".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace davlint {
+
+struct Include {
+  std::string target;  // the quoted path, verbatim
+  int line = 0;
+};
+
+struct CallSite {
+  std::string callee;  // simple name (last :: component)
+  int line = 0;
+  std::size_t tok = 0;     // index of the callee token in SourceFile::tokens
+  bool member = false;     // obj.callee(...) / obj->callee(...)
+  std::string object;      // token left of '.'/'->' when member
+  bool global_scope = false;   // ::callee(...) — always the libc/syscall
+  std::string qualifier;       // ns::callee(...) — "std", "dav", a class, ...
+  bool in_fork_child = false;  // lexically inside an `if (pid == 0)` branch
+};
+
+struct FunctionDef {
+  std::string name;
+  const SourceFile* file = nullptr;
+  int line = 0;                 // definition line
+  std::size_t tok_begin = 0;    // body token range [tok_begin, tok_end)
+  std::size_t tok_end = 0;
+  std::vector<CallSite> calls;
+  std::vector<int> new_lines;          // `new` expressions in the body
+  std::vector<int> throw_lines;        // `throw` expressions in the body
+  std::vector<int> fork_child_new_lines;
+  std::vector<int> fork_child_throw_lines;
+  /// Handler idents registered in this body via signal(SIG, h) or
+  /// sa.sa_handler/sa_sigaction = h (SIG_IGN/SIG_DFL excluded), with the
+  /// registration line.
+  std::vector<std::pair<std::string, int>> handlers_registered;
+};
+
+struct TuIndex {
+  const SourceFile* file = nullptr;
+  std::vector<Include> includes;
+  std::vector<FunctionDef> functions;
+};
+
+TuIndex index_tu(const SourceFile& f);
+
+}  // namespace davlint
