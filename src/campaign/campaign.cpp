@@ -84,6 +84,10 @@ void CampaignManager::accumulate_executor_stats(const ExecutorStats& s) {
   t.respawns += s.respawns;
   t.warm_hits += s.warm_hits;
   t.warm_misses += s.warm_misses;
+  t.remote_endpoints = std::max(t.remote_endpoints, s.remote_endpoints);
+  t.reconnects += s.reconnects;
+  t.redispatches += s.redispatches;
+  t.duplicate_discards += s.duplicate_discards;
   t.jobs = std::max(t.jobs, s.jobs);
   t.wall_sec += s.wall_sec;
   t.journal_appends += s.journal_appends;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "campaign/campaign.h"
+#include "campaign/transport.h"
 
 namespace dav {
 
@@ -94,6 +95,43 @@ EnvOptions EnvOptions::from_env() {
                                           "MiB");
     o.run_as_mb = static_cast<std::size_t>(n);
   }
+  // An empty value disables distribution, mirroring DAV_JOURNAL's empty =
+  // off (so `DAV_WORKERS= davcamp serve` works under a coordinator's env).
+  if (const char* v = get("DAV_WORKERS"); v != nullptr && *v != '\0') {
+    try {
+      o.workers = split_worker_list(v);
+      for (const std::string& spec : o.workers) parse_endpoint(spec);
+    } catch (const std::exception& e) {
+      reject("DAV_WORKERS", v,
+             std::string("a comma-separated list of host:port or unix:/path "
+                         "endpoints (") +
+                 e.what() + ")");
+    }
+  }
+  if (const char* v = get("DAV_SERVE"); v != nullptr && *v != '\0') {
+    try {
+      parse_endpoint(v);
+    } catch (const std::exception& e) {
+      reject("DAV_SERVE", v,
+             std::string("a host:port or unix:/path listen address (") +
+                 e.what() + ")");
+    }
+    o.serve = v;
+  }
+  if (const char* v = get("DAV_HEARTBEAT_SEC")) {
+    o.heartbeat_sec =
+        parse_double("DAV_HEARTBEAT_SEC", v, "a positive number of seconds");
+    if (!(o.heartbeat_sec > 0.0)) {
+      reject("DAV_HEARTBEAT_SEC", v, "a positive number of seconds");
+    }
+  }
+  if (const char* v = get("DAV_STRAGGLER_SEC")) {
+    o.straggler_sec = parse_double("DAV_STRAGGLER_SEC", v,
+                                   "a non-negative number of seconds");
+    if (o.straggler_sec < 0.0) {
+      reject("DAV_STRAGGLER_SEC", v, "a non-negative number of seconds");
+    }
+  }
   if (const char* v = get("DAV_TRACE")) o.trace_dir = v;
   if (const char* v = get("DAV_TRACE_CAPACITY")) {
     const long n =
@@ -125,6 +163,28 @@ void EnvOptions::validate() const {
     bad("run_cpu_sec must be non-negative, got " +
         std::to_string(run_cpu_sec));
   }
+  for (const std::string& spec : workers) {
+    try {
+      parse_endpoint(spec);
+    } catch (const std::exception& e) {
+      bad(std::string("workers entry is not an endpoint: ") + e.what());
+    }
+  }
+  if (!serve.empty()) {
+    try {
+      parse_endpoint(serve);
+    } catch (const std::exception& e) {
+      bad(std::string("serve is not a listen address: ") + e.what());
+    }
+  }
+  if (!(heartbeat_sec > 0.0)) {
+    bad("heartbeat_sec must be positive, got " +
+        std::to_string(heartbeat_sec));
+  }
+  if (straggler_sec < 0.0) {
+    bad("straggler_sec must be non-negative, got " +
+        std::to_string(straggler_sec));
+  }
   if (trace_capacity == 0) bad("trace_capacity must be positive");
 }
 
@@ -150,6 +210,9 @@ ExecutorOptions EnvOptions::executor_options() const {
   o.max_retries = run_retries;
   o.cpu_limit_sec = run_cpu_sec;
   o.address_space_mb = run_as_mb;
+  o.workers = workers;
+  o.heartbeat_sec = heartbeat_sec;
+  o.straggler_sec = straggler_sec;
   return o;
 }
 
@@ -180,6 +243,18 @@ const std::vector<EnvOptions::VarDoc>& EnvOptions::docs() {
        "RLIMIT_CPU per worker in seconds; 0 disables"},
       {"DAV_RUN_AS_MB", "0",
        "RLIMIT_AS per worker in MiB; 0 disables (keep 0 under ASan)"},
+      {"DAV_WORKERS", "(unset)",
+       "comma-separated worker endpoints (host:port or unix:/path); enables "
+       "the distributed coordinator"},
+      {"DAV_SERVE", "(unset)",
+       "listen address for `davcamp serve`; runs this process as a worker "
+       "daemon"},
+      {"DAV_HEARTBEAT_SEC", "5",
+       "distributed liveness: daemon idle-beacon cadence; endpoints silent "
+       "for ~3x are declared dead"},
+      {"DAV_STRAGGLER_SEC", "0",
+       "re-dispatch a remote run still in flight after this long; first "
+       "result wins, duplicates are discarded; 0 disables"},
       {"DAV_TRACE", "(unset)",
        "flight-recorder output directory; enables per-run + campaign traces"},
       {"DAV_TRACE_CAPACITY", "65536",

@@ -49,6 +49,23 @@ struct EnvOptions {
   /// RLIMIT_AS per worker, MiB; 0 disables (DAV_RUN_AS_MB).
   std::size_t run_as_mb = 0;
 
+  // --- distributed campaign service (transport.h) --------------------------
+  /// Remote worker endpoints (DAV_WORKERS, comma-separated "host:port" or
+  /// "unix:/path"). Non-empty routes the campaign through the distributed
+  /// coordinator.
+  std::vector<std::string> workers;
+  /// Worker-daemon listen address (DAV_SERVE); empty means "not a daemon".
+  /// Consumed by `davcamp serve`, ignored by campaign runs.
+  std::string serve;
+  /// Distributed heartbeat cadence, seconds (DAV_HEARTBEAT_SEC): daemons
+  /// beacon when idle this long; the coordinator declares an endpoint dead
+  /// after ~3x of silence.
+  double heartbeat_sec = 5.0;
+  /// Straggler deadline, seconds (DAV_STRAGGLER_SEC): a remote run in flight
+  /// longer than this is re-dispatched to another endpoint; first result
+  /// wins. 0 disables re-dispatch.
+  double straggler_sec = 0.0;
+
   // --- flight recorder (util/trace.h) --------------------------------------
   /// Trace output directory (DAV_TRACE); empty disables tracing.
   std::string trace_dir;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
@@ -20,6 +23,7 @@
 
 #include "campaign/env_options.h"
 #include "campaign/serialize.h"
+#include "campaign/transport.h"
 #include "util/bits.h"
 
 namespace dav {
@@ -35,41 +39,16 @@ double elapsed_sec(Clock::time_point from, Clock::time_point to) {
 // ---- wire format ----------------------------------------------------------
 //
 // Frames (serialize.h: u32 len | u64 fnv1a64 | payload) carry:
-//   result payload       = u8 ok | [str what, when !ok] | serialized RunResult
+//   result payload (serialize.h: u8 ok | [str what] | serialized RunResult)
 //   pool request payload = u64 index | serialized RunConfig
 //   pool response payload = u64 index | u32 runs_served | u64 warm_hits |
 //                           u64 warm_misses | result payload
 // The response embeds the plain result payload verbatim, so the journaled
-// record is byte-compatible across pool, fork-per-run and serial modes.
+// record is byte-compatible across pool, fork-per-run, distributed and
+// serial modes.
 //
 // A worker that dies mid-write leaves a frame that fails the length or
 // checksum test; the supervisor treats that exactly like a signal death.
-
-struct Payload {
-  bool ok = false;
-  std::string what;
-  RunResult result;
-};
-
-std::string make_payload(bool ok, const std::string& what,
-                         const RunResult& r) {
-  ByteWriter w;
-  w.u8(ok ? 1 : 0);
-  if (!ok) w.str(what);
-  w.raw(serialize_run_result(r));
-  return w.take();
-}
-
-Payload parse_payload(const std::string& bytes) {
-  ByteReader r(bytes);
-  Payload p;
-  p.ok = r.u8() != 0;
-  if (!p.ok) p.what = r.str();
-  std::string rest(bytes.data() + (bytes.size() - r.remaining()),
-                   r.remaining());
-  p.result = deserialize_run_result(rest);
-  return p;
-}
 
 /// One-shot unframe (fork-per-run pipes, where EOF delimits the frame):
 /// the buffer must hold exactly one complete, checksummed frame.
@@ -117,6 +96,21 @@ void ExecutorOptions::validate() const {
   if (cpu_limit_sec < 0.0) {
     reject("cpu_limit_sec must be non-negative, got " +
            std::to_string(cpu_limit_sec));
+  }
+  if (!(heartbeat_sec > 0.0)) {
+    reject("heartbeat_sec must be positive, got " +
+           std::to_string(heartbeat_sec));
+  }
+  if (straggler_sec < 0.0) {
+    reject("straggler_sec must be non-negative, got " +
+           std::to_string(straggler_sec));
+  }
+  for (const std::string& spec : workers) {
+    try {
+      parse_endpoint(spec);
+    } catch (const std::invalid_argument& e) {
+      reject(std::string("workers entry is not an endpoint: ") + e.what());
+    }
   }
 }
 
@@ -167,7 +161,7 @@ std::vector<RunResult> CampaignExecutor::run_all(
       const auto it = load.records.find(keys[i]);
       if (it == load.records.end()) continue;
       try {
-        Payload p = parse_payload(it->second);
+        ResultPayload p = parse_result_payload(it->second);
         results[i] = std::move(p.result);
         done[i] = 1;
         ++stats_.journal_hits;
@@ -191,6 +185,8 @@ std::vector<RunResult> CampaignExecutor::run_all(
 #if DAV_EXECUTOR_POSIX
   if (opts_.force_in_process) {
     run_in_process(cfgs, keys, results, done);
+  } else if (!opts_.workers.empty()) {
+    run_distributed(cfgs, keys, results, done);
   } else if (opts_.pool) {
     run_pool(cfgs, keys, results, done);
   } else {
@@ -220,7 +216,7 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
     try {
       RunResult r = fn_(cfgs[i], nullptr);
       if (journal_.enabled()) {
-        journal_append(keys[i], make_payload(true, {}, r));
+        journal_append(keys[i], make_result_payload(true, {}, r));
       }
       results[i] = std::move(r);
     } catch (const std::exception& e) {
@@ -230,7 +226,7 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
       ++stats_.quarantined;
       if (journal_.enabled()) {
         journal_append(keys[i],
-                       make_payload(false, e.what(), results[i]));
+                       make_result_payload(false, e.what(), results[i]));
       }
     }
     const double dur = elapsed_sec(started, Clock::now());
@@ -317,11 +313,11 @@ void apply_rlimits(const ExecutorOptions& opts) {
   // (child_panic / xcpu_death_note), which run after arbitrary signals.
   std::string payload;
   try {
-    payload = make_payload(true, {}, fn(cfg, nullptr));  // davlint: allow(fork-safety) sanctioned workload handoff
+    payload = make_result_payload(true, {}, fn(cfg, nullptr));  // davlint: allow(fork-safety) sanctioned workload handoff
   } catch (const std::exception& e) {
-    payload = make_payload(false, e.what(), harness_error_result(cfg));  // davlint: allow(fork-safety) sanctioned workload handoff
+    payload = make_result_payload(false, e.what(), harness_error_result(cfg));  // davlint: allow(fork-safety) sanctioned workload handoff
   } catch (...) {
-    payload = make_payload(false, "unknown exception",  // davlint: allow(fork-safety) sanctioned workload handoff
+    payload = make_result_payload(false, "unknown exception",  // davlint: allow(fork-safety) sanctioned workload handoff
                            harness_error_result(cfg));
   }
   write_all(fd, frame_message(payload));
@@ -395,12 +391,12 @@ void rearm_cpu_limit(const ExecutorOptions& opts) {
     std::string result_payload;
     try {
       const RunConfigRecord rec = deserialize_run_config(cfg_bytes);  // davlint: allow(fork-safety) sanctioned workload handoff
-      result_payload = make_payload(true, {}, fn(rec.cfg, warm));  // davlint: allow(fork-safety) sanctioned workload handoff
+      result_payload = make_result_payload(true, {}, fn(rec.cfg, warm));  // davlint: allow(fork-safety) sanctioned workload handoff
     } catch (const std::exception& e) {
       result_payload =
-          make_payload(false, e.what(), harness_error_result(RunConfig{}));  // davlint: allow(fork-safety) sanctioned workload handoff
+          make_result_payload(false, e.what(), harness_error_result(RunConfig{}));  // davlint: allow(fork-safety) sanctioned workload handoff
     } catch (...) {
-      result_payload = make_payload(false, "unknown exception",  // davlint: allow(fork-safety) sanctioned workload handoff
+      result_payload = make_result_payload(false, "unknown exception",  // davlint: allow(fork-safety) sanctioned workload handoff
                                     harness_error_result(RunConfig{}));
     }
     ++served;
@@ -435,6 +431,20 @@ std::string describe_death(int status) {
   }
   return "worker ended without a complete result record";
 }
+
+/// A supervisor writes into worker pipes (and the distributed coordinator
+/// into sockets); a peer that died between dispatches would otherwise turn
+/// that write into a fatal SIGPIPE. Ignore it for the guard's lifetime — the
+/// failed write surfaces as an EOF on the read side, which requeues the run.
+struct SigpipeGuard {
+  struct sigaction prev {};
+  SigpipeGuard() {
+    struct sigaction ign {};
+    ign.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ign, &prev);
+  }
+  ~SigpipeGuard() { ::sigaction(SIGPIPE, &prev, nullptr); }
+};
 
 }  // namespace
 
@@ -516,8 +526,11 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
                                          const std::string& what) {
     if (w.attempt < opts_.max_retries) {
       ++stats_.retries;
+      // Capped exponent + per-run jitter (transport.h): the raw attempt
+      // count used to feed `1 << attempt`, which is UB past 30 retries, and
+      // unjittered retries synchronize across a fleet.
       const double backoff_sec =
-          opts_.retry_backoff_sec * static_cast<double>(1 << w.attempt);
+          backoff_delay_sec(opts_.retry_backoff_sec, w.attempt, keys[w.index]);
       pending.push_back(Pending{
           w.index, w.attempt + 1,
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -529,7 +542,7 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
     ++stats_.quarantined;
     if (journal_.enabled()) {
       journal_append(keys[w.index],
-                     make_payload(false, what, results[w.index]));
+                     make_result_payload(false, what, results[w.index]));
     }
   };
 
@@ -547,7 +560,7 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
     // watchdog may race a worker that finished its write).
     if (const auto payload = unframe(w.buf)) {
       try {
-        Payload p = parse_payload(*payload);
+        ResultPayload p = parse_result_payload(*payload);
         if (p.ok) {
           if (journal_.enabled()) journal_append(keys[w.index], *payload);
           results[w.index] = std::move(p.result);
@@ -640,17 +653,11 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
   }
 }
 
-void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
-                                const std::vector<std::uint64_t>& keys,
-                                std::vector<RunResult>& results,
-                                const std::vector<char>& done) {
-  struct Pending {
-    std::size_t index = 0;
-    int attempt = 0;
-    Clock::time_point eligible{};
-  };
-  /// One persistent worker. Lives until it dies (crash/hang/rlimit) or the
-  /// batch ends; serves many runs, at most one in flight at a time.
+// ---- PoolSupervisor -------------------------------------------------------
+
+/// One persistent worker. Lives until it dies (crash/hang/rlimit) or the
+/// batch ends; serves many runs, at most one in flight at a time.
+struct PoolSupervisor::Impl {
   struct PoolWorker {
     pid_t pid = -1;
     int req_fd = -1;   // supervisor -> worker: request frames
@@ -663,41 +670,48 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
     Clock::time_point started{};
     Clock::time_point deadline{};
     bool timed_out = false;
-    // Cumulative counters from the worker's latest response; folded into
-    // stats_ when the worker retires.
+    // Cumulative counters from the worker's latest response; folded into the
+    // telemetry when the worker retires.
     int served = 0;
     std::uint64_t warm_hits = 0;
     std::uint64_t warm_misses = 0;
   };
 
-  const int jobs = std::max(1, opts_.jobs);
-  const auto timeout = std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(opts_.run_timeout_sec));
-
-  std::deque<Pending> pending;
-  const auto start = Clock::now();
-  for (std::size_t i = 0; i < cfgs.size(); ++i) {
-    if (done[i] == 0) pending.push_back(Pending{i, 0, start});
-  }
-  if (pending.empty()) return;
-
-  // The supervisor writes requests into worker pipes; a worker that died
-  // between dispatches would otherwise turn that write into a fatal SIGPIPE
-  // here. Ignore it for the pool's lifetime (the failed write surfaces as an
-  // EOF on the response pipe, which requeues the run).
-  struct SigpipeGuard {
-    struct sigaction prev {};
-    SigpipeGuard() {
-      struct sigaction ign {};
-      ign.sa_handler = SIG_IGN;
-      ::sigaction(SIGPIPE, &ign, &prev);
-    }
-    ~SigpipeGuard() { ::sigaction(SIGPIPE, &prev, nullptr); }
-  } sigpipe_guard;
-
+  ExecutorOptions opts;
+  CampaignExecutor::WarmRunFn fn;
+  Clock::time_point epoch;
+  Clock::duration timeout{};
+  int jobs = 1;
+  int deaths = 0;
   std::vector<PoolWorker> workers;
-  std::vector<char> slot_used(static_cast<std::size_t>(jobs), 0);
-  const auto claim_slot = [&]() {
+  std::vector<char> slot_used;
+  Telemetry tele;
+  SigpipeGuard sigpipe_guard;
+
+  Impl(const ExecutorOptions& o, CampaignExecutor::WarmRunFn f,
+       Clock::time_point ep)
+      : opts(o), fn(std::move(f)), epoch(ep) {
+    opts.validate();
+    jobs = std::max(1, opts.jobs);
+    timeout = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(opts.run_timeout_sec));
+    slot_used.assign(static_cast<std::size_t>(jobs), 0);
+    tele.slot_busy_sec.assign(static_cast<std::size_t>(jobs), 0.0);
+    tele.slot_runs_served.assign(static_cast<std::size_t>(jobs), 0);
+  }
+
+  ~Impl() {
+    // Hard teardown (daemon connection drop, exception unwind): in-flight
+    // runs are dropped; the caller is responsible for requeueing them.
+    for (PoolWorker& w : workers) {
+      if (w.req_fd >= 0) ::close(w.req_fd);
+      ::close(w.resp_fd);
+      ::kill(w.pid, SIGKILL);
+      await_child(w.pid);
+    }
+  }
+
+  int claim_slot() {
     for (std::size_t s = 0; s < slot_used.size(); ++s) {
       if (slot_used[s] == 0) {
         slot_used[s] = 1;
@@ -705,9 +719,24 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
       }
     }
     return 0;  // unreachable: live workers are capped at `jobs`
-  };
+  }
 
-  const auto spawn = [&]() {
+  int busy_count() const {
+    int c = 0;
+    for (const PoolWorker& w : workers) {
+      if (w.busy) ++c;
+    }
+    return c;
+  }
+
+  bool can_dispatch() const {
+    for (const PoolWorker& w : workers) {
+      if (!w.busy) return true;
+    }
+    return static_cast<int>(workers.size()) < jobs;
+  }
+
+  void spawn() {
     int req[2] = {-1, -1};
     int resp[2] = {-1, -1};
     if (::pipe(req) != 0 || ::pipe(resp) != 0) {
@@ -723,7 +752,7 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
     if (pid == 0) {
       ::close(req[1]);
       ::close(resp[0]);
-      pool_worker_main(req[0], resp[1], fn_, opts_);
+      pool_worker_main(req[0], resp[1], fn, opts);
     }
     ::close(req[0]);
     ::close(resp[1]);
@@ -733,161 +762,145 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
     w.resp_fd = resp[0];
     w.slot = claim_slot();
     workers.push_back(std::move(w));
-    ++stats_.launched;
-  };
-
-  const auto requeue_or_quarantine = [&](std::size_t index, int attempt,
-                                         const std::string& what) {
-    if (attempt < opts_.max_retries) {
-      ++stats_.retries;
-      const double backoff_sec =
-          opts_.retry_backoff_sec * static_cast<double>(1 << attempt);
-      pending.push_back(Pending{
-          index, attempt + 1,
-          Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double>(backoff_sec))});
-      return;
-    }
-    results[index] = harness_error_result(cfgs[index]);
-    quarantined_.push_back(RunQuarantine{index, cfgs[index], what});
-    ++stats_.quarantined;
-    if (journal_.enabled()) {
-      journal_append(keys[index], make_payload(false, what, results[index]));
-    }
-  };
-
-  const auto account_attempt = [&](const PoolWorker& w) {
-    const double dur = elapsed_sec(w.started, Clock::now());
-    stats_.slot_busy_sec[static_cast<std::size_t>(w.slot)] += dur;
-    stats_.spans.push_back(WorkerSpan{w.index, w.slot, w.attempt,
-                                      elapsed_sec(batch_start_, w.started),
-                                      dur});
-  };
-
-  /// Reap a worker (dead, corrupt, or batch-complete) and fold its counters
-  /// into stats_. A run in flight is requeued or quarantined.
-  const auto retire = [&](PoolWorker w, bool clean_shutdown) {
-    if (w.req_fd >= 0) ::close(w.req_fd);
-    ::close(w.resp_fd);
-    if (!clean_shutdown) ::kill(w.pid, SIGKILL);
-    const int status = await_child(w.pid);
-    slot_used[static_cast<std::size_t>(w.slot)] = 0;
-    stats_.slot_runs_served[static_cast<std::size_t>(w.slot)] += w.served;
-    stats_.warm_hits += w.warm_hits;
-    stats_.warm_misses += w.warm_misses;
-    if (!w.busy) return;
-    account_attempt(w);
-    std::string what;
-    if (w.timed_out) {
-      what = "watchdog: no result after " +
-             std::to_string(opts_.run_timeout_sec) + " s; worker killed";
+    ++tele.launched;
+    // First-wave spawns are the pool; spawns after any death are respawns
+    // (same accounting the pre-extraction executor reported).
+    if (deaths == 0) {
+      ++tele.pool_workers;
     } else {
-      what = describe_death(status);
-      if (WIFSIGNALED(status)) ++stats_.signal_deaths;
+      ++tele.respawns;
     }
-    requeue_or_quarantine(w.index, w.attempt, what);
-  };
+  }
 
-  const auto dispatch = [&](PoolWorker& w, const Pending& p) {
+  void dispatch(std::size_t index, int attempt, const RunConfig& cfg) {
+    PoolWorker* idle = nullptr;
+    for (PoolWorker& w : workers) {
+      if (!w.busy) {
+        idle = &w;
+        break;
+      }
+    }
+    if (idle == nullptr) {
+      if (static_cast<int>(workers.size()) >= jobs) {
+        throw std::logic_error("PoolSupervisor: dispatch without capacity");
+      }
+      spawn();
+      idle = &workers.back();
+    }
     ByteWriter req;
-    req.u64(p.index);
-    req.raw(serialize_run_config(cfgs[p.index]));
-    write_all(w.req_fd, frame_message(req.take()));
-    w.busy = true;
-    w.index = p.index;
-    w.attempt = p.attempt;
-    w.started = Clock::now();
-    w.deadline = w.started + timeout;
-    w.timed_out = false;
-  };
+    req.u64(index);
+    req.raw(serialize_run_config(cfg));
+    write_all(idle->req_fd, frame_message(req.take()));
+    idle->busy = true;
+    idle->index = index;
+    idle->attempt = attempt;
+    idle->started = Clock::now();
+    idle->deadline = idle->started + timeout;
+    idle->timed_out = false;
+  }
 
   /// Handle one complete response frame. Returns false when the worker broke
   /// protocol and must be retired.
-  const auto on_response = [&](PoolWorker& w,
-                               const std::string& payload) -> bool {
+  bool on_response(PoolWorker& w, const std::string& payload,
+                   std::vector<Completion>& out) {
     try {
       ByteReader r(payload);
       const std::uint64_t index = r.u64();
       const int served = static_cast<int>(r.u32());
       const std::uint64_t hits = r.u64();
       const std::uint64_t misses = r.u64();
-      const std::string result_payload =
+      std::string result_payload =
           payload.substr(payload.size() - r.remaining());
       if (!w.busy || index != w.index) return false;  // protocol violation
-      Payload p = parse_payload(result_payload);
       w.served = served;
       w.warm_hits = hits;
       w.warm_misses = misses;
-      account_attempt(w);
+      const double dur = elapsed_sec(w.started, Clock::now());
+      tele.slot_busy_sec[static_cast<std::size_t>(w.slot)] += dur;
+      Completion c;
+      c.index = w.index;
+      c.attempt = w.attempt;
+      c.slot = w.slot;
+      c.ok = true;
+      c.result_payload = std::move(result_payload);
+      c.start_sec = elapsed_sec(epoch, w.started);
+      c.dur_sec = dur;
+      out.push_back(std::move(c));
       w.busy = false;
-      if (p.ok) {
-        if (journal_.enabled()) journal_append(keys[index], result_payload);
-        results[index] = std::move(p.result);
-      } else {
-        requeue_or_quarantine(index, w.attempt, p.what);
-      }
       return true;
     } catch (const std::exception&) {
       return false;
     }
-  };
+  }
 
-  // Prefork the pool: one long-lived worker per slot, capped by the work
-  // actually pending. Later spawns are respawns after a worker death.
-  const int initial = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(jobs), pending.size()));
-  for (int i = 0; i < initial; ++i) spawn();
-  stats_.pool_workers = initial;
-
-  while (!pending.empty() ||
-         std::any_of(workers.begin(), workers.end(),
-                     [](const PoolWorker& w) { return w.busy; })) {
-    // Feed eligible pending runs to idle workers; respawn replacements for
-    // dead slots while work remains.
-    Clock::time_point now = Clock::now();
-    for (auto it = pending.begin(); it != pending.end();) {
-      if (it->eligible > now) {
-        ++it;
-        continue;
-      }
-      PoolWorker* idle = nullptr;
-      for (PoolWorker& w : workers) {
-        if (!w.busy) {
-          idle = &w;
-          break;
-        }
-      }
-      if (idle == nullptr && static_cast<int>(workers.size()) < jobs) {
-        spawn();
-        ++stats_.respawns;
-        idle = &workers.back();
-      }
-      if (idle == nullptr) break;  // every worker busy
-      dispatch(*idle, *it);
-      it = pending.erase(it);
+  /// Reap a worker (dead, corrupt, or batch-complete) and fold its counters
+  /// into the telemetry. A run in flight becomes a failed Completion (or is
+  /// dropped when `out` is null, on shutdown/teardown).
+  void retire(PoolWorker w, bool clean_shutdown,
+              std::vector<Completion>* out) {
+    if (w.req_fd >= 0) ::close(w.req_fd);
+    ::close(w.resp_fd);
+    if (!clean_shutdown) {
+      ::kill(w.pid, SIGKILL);
+      ++deaths;
     }
+    const int status = await_child(w.pid);
+    slot_used[static_cast<std::size_t>(w.slot)] = 0;
+    tele.slot_runs_served[static_cast<std::size_t>(w.slot)] += w.served;
+    tele.warm_hits += w.warm_hits;
+    tele.warm_misses += w.warm_misses;
+    if (!w.busy) return;
+    const double dur = elapsed_sec(w.started, Clock::now());
+    tele.slot_busy_sec[static_cast<std::size_t>(w.slot)] += dur;
+    std::string what;
+    if (w.timed_out) {
+      what = "watchdog: no result after " +
+             std::to_string(opts.run_timeout_sec) + " s; worker killed";
+    } else {
+      what = describe_death(status);
+      if (WIFSIGNALED(status)) ++tele.signal_deaths;
+    }
+    if (out != nullptr) {
+      Completion c;
+      c.index = w.index;
+      c.attempt = w.attempt;
+      c.slot = w.slot;
+      c.ok = false;
+      c.what = std::move(what);
+      c.start_sec = elapsed_sec(epoch, w.started);
+      c.dur_sec = dur;
+      out->push_back(std::move(c));
+    }
+  }
 
-    // Sleep until the next event: a readable response pipe, a watchdog
-    // deadline, or a retry becoming eligible.
-    Clock::time_point wake = now + std::chrono::seconds(1);
+  void pump(int max_wait_ms, std::vector<Completion>& out, int extra_fd,
+            bool* extra_readable) {
+    if (extra_readable != nullptr) *extra_readable = false;
+    Clock::time_point now = Clock::now();
+    Clock::time_point wake =
+        now + std::chrono::milliseconds(std::max(1, max_wait_ms));
     for (const PoolWorker& w : workers) {
       if (w.busy) wake = std::min(wake, w.deadline);
     }
-    for (const Pending& p : pending) wake = std::min(wake, p.eligible);
     const int timeout_ms = static_cast<int>(std::max<std::int64_t>(
-        1, std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
+        0, std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
                .count()));
 
     std::vector<pollfd> fds;
-    fds.reserve(workers.size());
+    fds.reserve(workers.size() + 1);
     for (const PoolWorker& w : workers) {
       fds.push_back(pollfd{w.resp_fd, POLLIN, 0});
     }
+    if (extra_fd >= 0) fds.push_back(pollfd{extra_fd, POLLIN, 0});
     const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
                           static_cast<nfds_t>(fds.size()), timeout_ms);
     if (rc < 0 && errno != EINTR) {
       throw std::runtime_error(std::string("executor: poll failed: ") +
                                std::strerror(errno));
+    }
+    if (extra_fd >= 0 && extra_readable != nullptr &&
+        fds.back().revents != 0) {
+      *extra_readable = true;
     }
 
     // Drain readable pipes. A complete frame is a finished run; EOF or a
@@ -908,7 +921,7 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
           const FrameSplit fs = try_unframe(w.buf);
           if (fs.status == FrameSplit::Status::kNeedMore) break;
           if (fs.status == FrameSplit::Status::kCorrupt ||
-              !on_response(w, fs.payload)) {
+              !on_response(w, fs.payload, out)) {
             dead = true;
             break;
           }
@@ -918,7 +931,7 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
         // retry next round
       } else if (n == 0) {
         dead = true;  // EOF: the worker died (clean exits only happen after
-                      // the supervisor closes the request pipe below)
+                      // the supervisor closes the request pipe on shutdown)
       } else {
         dead = true;
       }
@@ -926,7 +939,7 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
         PoolWorker finished = std::move(w);
         workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(i));
         fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
-        retire(std::move(finished), /*clean_shutdown=*/false);
+        retire(std::move(finished), /*clean_shutdown=*/false, &out);
       } else {
         ++i;
       }
@@ -938,20 +951,645 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
     for (PoolWorker& w : workers) {
       if (w.busy && !w.timed_out && now >= w.deadline) {
         w.timed_out = true;
-        ++stats_.timeouts;
+        ++tele.timeouts;
         ::kill(w.pid, SIGKILL);
       }
     }
   }
 
-  // Batch complete: close the request pipes; each worker reads EOF and
-  // exits cleanly.
-  while (!workers.empty()) {
-    PoolWorker w = std::move(workers.back());
-    workers.pop_back();
-    ::close(w.req_fd);
-    w.req_fd = -1;
-    retire(std::move(w), /*clean_shutdown=*/true);
+  void shutdown() {
+    // Close the request pipes; each worker reads EOF and exits cleanly.
+    while (!workers.empty()) {
+      PoolWorker w = std::move(workers.back());
+      workers.pop_back();
+      if (w.req_fd >= 0) ::close(w.req_fd);
+      w.req_fd = -1;
+      retire(std::move(w), /*clean_shutdown=*/true, nullptr);
+    }
+  }
+};
+
+PoolSupervisor::PoolSupervisor(const ExecutorOptions& opts,
+                               CampaignExecutor::WarmRunFn fn,
+                               std::chrono::steady_clock::time_point epoch)
+    : impl_(std::make_unique<Impl>(opts, std::move(fn), epoch)) {}
+
+PoolSupervisor::~PoolSupervisor() = default;
+
+int PoolSupervisor::slots() const { return impl_->jobs; }
+int PoolSupervisor::busy() const { return impl_->busy_count(); }
+bool PoolSupervisor::can_dispatch() const { return impl_->can_dispatch(); }
+
+void PoolSupervisor::dispatch(std::size_t index, int attempt,
+                              const RunConfig& cfg) {
+  impl_->dispatch(index, attempt, cfg);
+}
+
+void PoolSupervisor::pump(int max_wait_ms, std::vector<Completion>& out,
+                          int extra_fd, bool* extra_readable) {
+  impl_->pump(max_wait_ms, out, extra_fd, extra_readable);
+}
+
+void PoolSupervisor::shutdown() { impl_->shutdown(); }
+
+const PoolSupervisor::Telemetry& PoolSupervisor::telemetry() const {
+  return impl_->tele;
+}
+
+void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
+                                const std::vector<std::uint64_t>& keys,
+                                std::vector<RunResult>& results,
+                                const std::vector<char>& done) {
+  struct Pending {
+    std::size_t index = 0;
+    int attempt = 0;
+    Clock::time_point eligible{};
+  };
+
+  std::deque<Pending> pending;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (done[i] == 0) pending.push_back(Pending{i, 0, start});
+  }
+  if (pending.empty()) return;
+
+  PoolSupervisor sup(opts_, fn_, batch_start_);
+
+  const auto requeue_or_quarantine = [&](std::size_t index, int attempt,
+                                         const std::string& what) {
+    if (attempt < opts_.max_retries) {
+      ++stats_.retries;
+      // Capped exponent + per-run jitter (transport.h): the raw attempt
+      // count used to feed `1 << attempt`, which is UB past 30 retries, and
+      // unjittered retries synchronize across a fleet.
+      const double backoff_sec =
+          backoff_delay_sec(opts_.retry_backoff_sec, attempt, keys[index]);
+      pending.push_back(Pending{
+          index, attempt + 1,
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(backoff_sec))});
+      return;
+    }
+    results[index] = harness_error_result(cfgs[index]);
+    quarantined_.push_back(RunQuarantine{index, cfgs[index], what});
+    ++stats_.quarantined;
+    if (journal_.enabled()) {
+      journal_append(keys[index],
+                     make_result_payload(false, what, results[index]));
+    }
+  };
+
+  std::vector<PoolSupervisor::Completion> comps;
+  while (!pending.empty() || sup.busy() > 0) {
+    // Feed eligible pending runs to idle workers (forking replacements for
+    // dead slots while work remains).
+    const Clock::time_point now = Clock::now();
+    for (auto it = pending.begin();
+         it != pending.end() && sup.can_dispatch();) {
+      if (it->eligible <= now) {
+        sup.dispatch(it->index, it->attempt, cfgs[it->index]);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Sleep until the next event: a response frame, a watchdog deadline
+    // (pump handles both), or a retry becoming eligible.
+    Clock::time_point wake = now + std::chrono::seconds(1);
+    for (const Pending& p : pending) {
+      if (p.eligible > now) wake = std::min(wake, p.eligible);
+    }
+    const int wait_ms = static_cast<int>(std::max<std::int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
+               .count()));
+
+    comps.clear();
+    sup.pump(wait_ms, comps);
+    for (PoolSupervisor::Completion& c : comps) {
+      stats_.spans.push_back(
+          WorkerSpan{c.index, c.slot, c.attempt, c.start_sec, c.dur_sec});
+      if (!c.ok) {
+        requeue_or_quarantine(c.index, c.attempt, c.what);
+        continue;
+      }
+      try {
+        ResultPayload p = parse_result_payload(c.result_payload);
+        if (p.ok) {
+          if (journal_.enabled()) {
+            journal_append(keys[c.index], c.result_payload);
+          }
+          results[c.index] = std::move(p.result);
+        } else {
+          requeue_or_quarantine(c.index, c.attempt, p.what);
+        }
+      } catch (const std::exception& e) {
+        requeue_or_quarantine(
+            c.index, c.attempt,
+            std::string("undecodable result payload: ") + e.what());
+      }
+    }
+  }
+
+  sup.shutdown();
+  const PoolSupervisor::Telemetry& t = sup.telemetry();
+  stats_.launched += t.launched;
+  stats_.pool_workers += t.pool_workers;
+  stats_.respawns += t.respawns;
+  stats_.timeouts += t.timeouts;
+  stats_.signal_deaths += t.signal_deaths;
+  stats_.warm_hits += t.warm_hits;
+  stats_.warm_misses += t.warm_misses;
+  for (std::size_t s = 0;
+       s < t.slot_busy_sec.size() && s < stats_.slot_busy_sec.size(); ++s) {
+    stats_.slot_busy_sec[s] += t.slot_busy_sec[s];
+  }
+  for (std::size_t s = 0; s < t.slot_runs_served.size() &&
+                          s < stats_.slot_runs_served.size();
+       ++s) {
+    stats_.slot_runs_served[s] += t.slot_runs_served[s];
+  }
+}
+
+void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
+                                       const std::vector<std::uint64_t>& keys,
+                                       std::vector<RunResult>& results,
+                                       const std::vector<char>& done) {
+  struct Flight {
+    int attempt = 0;
+    Clock::time_point sent{};
+  };
+  enum class EpState { kDisconnected, kHandshake, kReady, kFailed };
+  struct Remote {
+    Endpoint ep;
+    int id = 0;
+    int fd = -1;
+    EpState state = EpState::kDisconnected;
+    std::string rbuf;
+    std::uint32_t slots = 1;
+    std::map<std::size_t, Flight> flights;
+    Clock::time_point last_rx{};
+    Clock::time_point reconnect_at{};
+    int connect_attempts = 0;  // consecutive failures since the last ack
+    int sessions = 0;          // completed handshakes
+    std::string last_error;
+  };
+  struct Pending {
+    std::size_t index = 0;
+    int attempt = 0;
+    Clock::time_point eligible{};
+  };
+
+  // Reconnect pacing: fast enough that a daemon starting moments after the
+  // coordinator is picked up promptly; bounded so an endpoint that keeps
+  // refusing is abandoned (kFailed) after ~7 s instead of stalling forever.
+  constexpr double kReconnectBaseSec = 0.05;
+  constexpr double kReconnectCapSec = 2.0;
+  constexpr int kMaxConnectAttempts = 8;
+
+  const std::size_t n = cfgs.size();
+  std::vector<Remote> remotes;
+  remotes.reserve(opts_.workers.size());
+  for (std::size_t w = 0; w < opts_.workers.size(); ++w) {
+    Remote r;
+    r.ep = parse_endpoint(opts_.workers[w]);
+    r.id = static_cast<int>(w);
+    remotes.push_back(std::move(r));
+  }
+
+  // In distributed mode the per-slot telemetry is per-endpoint.
+  stats_.remote_endpoints = static_cast<int>(remotes.size());
+  stats_.jobs = static_cast<int>(remotes.size());
+  stats_.slot_busy_sec.assign(remotes.size(), 0.0);
+  stats_.slot_runs_served.assign(remotes.size(), 0);
+
+  std::vector<char> completed(n, 0);  // resolved this batch (done[] aside)
+  std::vector<char> failed(n, 0);
+  std::vector<std::string> fail_what(n);
+  std::vector<int> extra_copies(n, 0);     // straggler re-dispatches so far
+  std::vector<int> inflight_copies(n, 0);  // live copies across endpoints
+  std::size_t remaining = 0;
+  std::deque<Pending> pending;
+  const Clock::time_point batch_enter = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done[i] == 0) {
+      pending.push_back(Pending{i, 0, batch_enter});
+      ++remaining;
+    }
+  }
+
+  // --- per-shard journals --------------------------------------------------
+  // Results are journaled per endpoint as they arrive (plus one coordinator
+  // shard for quarantine verdicts); after the batch every record is merged
+  // into the main journal in plan order, re-encoded by the bit-exact codec,
+  // so the merged file is byte-identical to a serial journaled run. Loading
+  // existing shards first resumes a distributed campaign that crashed before
+  // (or during) the merge.
+  std::vector<std::unique_ptr<JournalWriter>> shards;
+  std::vector<std::string> shard_paths;
+  const bool journaling = journal_.enabled();
+  if (journaling) {
+    const auto replay_record = [&](const std::string& payload,
+                                   std::size_t i) {
+      try {
+        ResultPayload p = parse_result_payload(payload);
+        results[i] = std::move(p.result);
+        completed[i] = 1;
+        --remaining;
+        ++stats_.journal_hits;
+        if (!p.ok) {
+          failed[i] = 1;
+          fail_what[i] = p.what;
+          quarantined_.push_back(RunQuarantine{i, cfgs[i], p.what});
+          ++stats_.quarantined;
+        }
+      } catch (const std::exception&) {
+        // Undeserializable: leave the run pending for re-execution.
+      }
+    };
+    for (std::size_t s = 0; s <= remotes.size(); ++s) {
+      const std::string tag =
+          s < remotes.size() ? std::to_string(s) : std::string("c");
+      const std::string path = opts_.journal_path + ".shard" + tag;
+      const JournalLoad load = load_journal(path, opts_.campaign_fingerprint);
+      stats_.torn_bytes_discarded += load.torn_bytes;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (done[i] != 0 || completed[i] != 0) continue;
+        const auto it = load.records.find(keys[i]);
+        if (it != load.records.end()) replay_record(it->second, i);
+      }
+      shard_paths.push_back(path);
+      shards.push_back(std::make_unique<JournalWriter>(
+          path, opts_.campaign_fingerprint, load));
+    }
+    pending.erase(
+        std::remove_if(
+            pending.begin(), pending.end(),
+            [&](const Pending& p) { return completed[p.index] != 0; }),
+        pending.end());
+  }
+  const auto shard_append = [&](std::size_t shard, std::uint64_t key,
+                                const std::string& payload) {
+    if (!journaling) return;
+    shards[shard]->append(key, payload);
+    ++stats_.journal_appends;
+    stats_.journal_bytes += payload.size();
+  };
+
+  const auto requeue_or_quarantine = [&](std::size_t index, int attempt,
+                                         const std::string& what) {
+    if (completed[index] != 0) return;
+    if (attempt < opts_.max_retries) {
+      ++stats_.retries;
+      const double backoff_sec =
+          backoff_delay_sec(opts_.retry_backoff_sec, attempt, keys[index]);
+      pending.push_back(Pending{
+          index, attempt + 1,
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(backoff_sec))});
+      return;
+    }
+    results[index] = harness_error_result(cfgs[index]);
+    quarantined_.push_back(RunQuarantine{index, cfgs[index], what});
+    ++stats_.quarantined;
+    completed[index] = 1;
+    failed[index] = 1;
+    fail_what[index] = what;
+    --remaining;
+    shard_append(remotes.size(), keys[index],
+                 make_result_payload(false, what, results[index]));
+  };
+
+  /// Tear down a connection. In-flight runs whose last live copy this was
+  /// are requeued with the next attempt number — exactly the local
+  /// dead-worker policy, ending in kHarnessError quarantine past
+  /// max_retries.
+  const auto drop_endpoint = [&](Remote& r, const std::string& why,
+                                 bool permanent) {
+    if (r.fd >= 0) {
+      ::close(r.fd);
+      r.fd = -1;
+    }
+    r.rbuf.clear();
+    for (const auto& [index, fl] : r.flights) {
+      --inflight_copies[index];
+      if (completed[index] == 0 && inflight_copies[index] == 0) {
+        requeue_or_quarantine(index, fl.attempt,
+                              "endpoint " + r.ep.spec + ": " + why);
+      }
+    }
+    r.flights.clear();
+    r.last_error = why;
+    if (permanent) {
+      r.state = EpState::kFailed;
+      return;
+    }
+    r.state = EpState::kDisconnected;
+    ++r.connect_attempts;
+    if (r.connect_attempts > kMaxConnectAttempts) {
+      r.state = EpState::kFailed;
+      return;
+    }
+    r.reconnect_at =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(backoff_delay_sec(
+                kReconnectBaseSec, r.connect_attempts,
+                fnv1a64(r.ep.spec.data(), r.ep.spec.size()),
+                kReconnectCapSec)));
+  };
+
+  /// One kRunResult frame. First completed result per plan index wins;
+  /// late copies (stragglers, re-runs after a reconnect) are discarded.
+  /// Returns false when the endpoint broke protocol.
+  const auto on_result = [&](Remote& r, std::uint64_t index64,
+                             const std::string& payload) -> bool {
+    const std::size_t index = static_cast<std::size_t>(index64);
+    if (index >= n) return false;
+    const auto fit = r.flights.find(index);
+    if (fit == r.flights.end()) {
+      // Not in flight here (e.g. a result raced the teardown bookkeeping of
+      // an earlier session). Nothing to account.
+      if (completed[index] != 0 || done[index] != 0) {
+        ++stats_.duplicate_discards;
+      }
+      return true;
+    }
+    const Flight fl = fit->second;
+    r.flights.erase(fit);
+    --inflight_copies[index];
+    const double dur = elapsed_sec(fl.sent, Clock::now());
+    stats_.slot_busy_sec[static_cast<std::size_t>(r.id)] += dur;
+    stats_.spans.push_back(WorkerSpan{index, r.id, fl.attempt,
+                                      elapsed_sec(batch_start_, fl.sent),
+                                      dur});
+    if (completed[index] != 0 || done[index] != 0) {
+      ++stats_.duplicate_discards;  // a faster copy already won
+      return true;
+    }
+    try {
+      ResultPayload p = parse_result_payload(payload);
+      if (p.ok) {
+        results[index] = std::move(p.result);
+        completed[index] = 1;
+        --remaining;
+        ++stats_.slot_runs_served[static_cast<std::size_t>(r.id)];
+        shard_append(static_cast<std::size_t>(r.id), keys[index], payload);
+      } else if (inflight_copies[index] == 0) {
+        // A workload failure is deterministic — every copy reports the same
+        // verdict — so only the last outstanding copy drives the retry.
+        requeue_or_quarantine(index, fl.attempt, p.what);
+      }
+    } catch (const std::exception&) {
+      return false;  // undecodable payload: the stream is broken
+    }
+    return true;
+  };
+
+  const auto on_readable = [&](Remote& r) {
+    char chunk[65536];
+    const ssize_t nread = ::read(r.fd, chunk, sizeof(chunk));
+    if (nread < 0) {
+      if (errno == EINTR) return;
+      drop_endpoint(r, std::string("read error: ") + std::strerror(errno),
+                    false);
+      return;
+    }
+    if (nread == 0) {
+      drop_endpoint(r, "connection closed", false);
+      return;
+    }
+    r.last_rx = Clock::now();
+    r.rbuf.append(chunk, static_cast<std::size_t>(nread));
+    for (;;) {
+      const FrameSplit fs = try_unframe(r.rbuf);
+      if (fs.status == FrameSplit::Status::kNeedMore) break;
+      if (fs.status == FrameSplit::Status::kCorrupt) {
+        drop_endpoint(r, "corrupt frame", false);
+        return;
+      }
+      r.rbuf.erase(0, fs.consumed);
+      TransportMsg msg;
+      try {
+        msg = parse_transport_msg(fs.payload);
+      } catch (const std::exception& e) {
+        drop_endpoint(r, std::string("bad message: ") + e.what(), false);
+        return;
+      }
+      switch (msg.type) {
+        case TransportMsgType::kHelloAck:
+          if (r.state != EpState::kHandshake ||
+              msg.proto_version != kTransportProtocolVersion) {
+            drop_endpoint(r, "unexpected handshake ack", false);
+            return;
+          }
+          r.state = EpState::kReady;
+          r.slots = std::max<std::uint32_t>(1, msg.slots);
+          r.connect_attempts = 0;
+          if (r.sessions > 0) ++stats_.reconnects;
+          ++r.sessions;
+          break;
+        case TransportMsgType::kHelloReject:
+          // The daemon refused this campaign (fingerprint or protocol
+          // mismatch) — reconnecting cannot help.
+          drop_endpoint(r, "rejected: " + msg.reason, true);
+          return;
+        case TransportMsgType::kHeartbeat:
+          break;  // last_rx already refreshed
+        case TransportMsgType::kRunResult:
+          if (r.state != EpState::kReady ||
+              !on_result(r, msg.index, msg.body)) {
+            drop_endpoint(r, "protocol violation", false);
+            return;
+          }
+          break;
+        default:
+          drop_endpoint(r, "unexpected message type", false);
+          return;
+      }
+    }
+  };
+
+  SigpipeGuard sigpipe_guard;
+  const double hb_window = std::max(3.0 * opts_.heartbeat_sec, 1.0);
+
+  while (remaining > 0) {
+    Clock::time_point now = Clock::now();
+
+    // (Re)connect and open the handshake.
+    for (Remote& r : remotes) {
+      if (r.state != EpState::kDisconnected || now < r.reconnect_at) continue;
+      std::string err;
+      const int fd = connect_endpoint(r.ep, &err);
+      if (fd < 0) {
+        r.last_error = err;
+        ++r.connect_attempts;
+        if (r.connect_attempts > kMaxConnectAttempts) {
+          r.state = EpState::kFailed;
+          continue;
+        }
+        r.reconnect_at =
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(backoff_delay_sec(
+                          kReconnectBaseSec, r.connect_attempts,
+                          fnv1a64(r.ep.spec.data(), r.ep.spec.size()),
+                          kReconnectCapSec)));
+        continue;
+      }
+      r.fd = fd;
+      r.state = EpState::kHandshake;
+      r.last_rx = now;
+      send_frame(fd, msg_hello(opts_.campaign_fingerprint));
+    }
+
+    // Every endpoint permanently failed with work outstanding: fail loudly
+    // instead of spinning (the journal shards preserve finished work).
+    bool any_alive = false;
+    for (const Remote& r : remotes) {
+      if (r.state != EpState::kFailed) {
+        any_alive = true;
+        break;
+      }
+    }
+    if (!any_alive) {
+      std::string detail;
+      for (const Remote& r : remotes) {
+        detail += "\n  " + r.ep.spec + ": " +
+                  (r.last_error.empty() ? "unreachable" : r.last_error);
+      }
+      throw std::runtime_error(
+          "executor: no distributed worker endpoint is usable, " +
+          std::to_string(remaining) + " runs unfinished" + detail);
+    }
+
+    // Straggler re-dispatch: a run in flight past the deadline gets one
+    // extra copy queued for another endpoint; the first result wins.
+    if (opts_.straggler_sec > 0.0) {
+      for (Remote& r : remotes) {
+        if (r.state != EpState::kReady) continue;
+        for (const auto& [index, fl] : r.flights) {
+          if (completed[index] != 0 || inflight_copies[index] != 1) continue;
+          if (elapsed_sec(fl.sent, now) < opts_.straggler_sec) continue;
+          if (extra_copies[index] >=
+              static_cast<int>(remotes.size()) - 1) {
+            continue;
+          }
+          bool queued = false;
+          for (const Pending& p : pending) {
+            if (p.index == index) {
+              queued = true;
+              break;
+            }
+          }
+          if (queued) continue;
+          pending.push_back(Pending{index, fl.attempt, now});
+          ++extra_copies[index];
+          ++stats_.redispatches;
+        }
+      }
+    }
+
+    // Work-stealing dispatch: every ready endpoint with free slots pulls
+    // from the shared queue, so fast endpoints naturally take more runs. A
+    // straggler copy never lands on an endpoint that already runs the index.
+    for (Remote& r : remotes) {
+      if (r.state != EpState::kReady) continue;
+      for (auto it = pending.begin();
+           it != pending.end() && r.flights.size() < r.slots;) {
+        if (completed[it->index] != 0) {
+          it = pending.erase(it);  // stale straggler copy
+          continue;
+        }
+        if (it->eligible > now || r.flights.count(it->index) != 0) {
+          ++it;
+          continue;
+        }
+        send_frame(r.fd, msg_run_request(
+                             it->index, serialize_run_config(cfgs[it->index])));
+        r.flights[it->index] = Flight{it->attempt, now};
+        ++inflight_copies[it->index];
+        it = pending.erase(it);
+      }
+    }
+
+    // Sleep until the next event: socket bytes, a retry or reconnect coming
+    // due, a straggler deadline, or a heartbeat-silence verdict.
+    Clock::time_point wake = now + std::chrono::seconds(1);
+    for (const Pending& p : pending) {
+      if (p.eligible > now) wake = std::min(wake, p.eligible);
+    }
+    const auto hb_duration = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(hb_window));
+    const auto straggler_duration =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(opts_.straggler_sec));
+    std::vector<pollfd> fds;
+    std::vector<Remote*> polled;
+    for (Remote& r : remotes) {
+      if (r.state == EpState::kFailed) continue;
+      if (r.state == EpState::kDisconnected) {
+        wake = std::min(wake, r.reconnect_at);
+        continue;
+      }
+      fds.push_back(pollfd{r.fd, POLLIN, 0});
+      polled.push_back(&r);
+      wake = std::min(wake, r.last_rx + hb_duration);
+      if (opts_.straggler_sec > 0.0) {
+        for (const auto& [index, fl] : r.flights) {
+          wake = std::min(wake, fl.sent + straggler_duration);
+        }
+      }
+    }
+    const int timeout_ms = static_cast<int>(std::max<std::int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
+               .count()));
+    const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
+                          static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      throw std::runtime_error(std::string("executor: poll failed: ") +
+                               std::strerror(errno));
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      if (fds[i].revents != 0) on_readable(*polled[i]);
+    }
+
+    // Declare heartbeat-silent endpoints dead (covers a hung daemon and a
+    // dropped network path — no FIN ever arrives in either case).
+    now = Clock::now();
+    for (Remote& r : remotes) {
+      if ((r.state == EpState::kReady || r.state == EpState::kHandshake) &&
+          elapsed_sec(r.last_rx, now) > hb_window) {
+        drop_endpoint(r,
+                      "no traffic for " + std::to_string(hb_window) +
+                          " s (heartbeat silence)",
+                      false);
+      }
+    }
+  }
+
+  for (Remote& r : remotes) {
+    if (r.fd >= 0) ::close(r.fd);
+    r.fd = -1;
+  }
+
+  if (journaling) {
+    // Deterministic merge: append every record this batch produced to the
+    // main journal in plan order. The payload encoder is bit-exact, so the
+    // merged journal is byte-identical to one written by a serial run; a
+    // crash mid-merge leaves a plan-order prefix the next attempt's main
+    // load skips over, and the shards still hold everything unmerged.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i] != 0) continue;
+      journal_append(keys[i],
+                     failed[i] != 0
+                         ? make_result_payload(false, fail_what[i], results[i])
+                         : make_result_payload(true, {}, results[i]));
+    }
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      shards[s]->close();
+      std::remove(shard_paths[s].c_str());
+    }
+    fsync_parent_dir(opts_.journal_path);
   }
 }
 
@@ -969,6 +1607,44 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
                                 std::vector<RunResult>& results,
                                 const std::vector<char>& done) {
   run_in_process(cfgs, keys, results, done);
+}
+
+void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
+                                       const std::vector<std::uint64_t>& keys,
+                                       std::vector<RunResult>& results,
+                                       const std::vector<char>& done) {
+  run_in_process(cfgs, keys, results, done);
+}
+
+struct PoolSupervisor::Impl {
+  Telemetry tele;
+};
+
+PoolSupervisor::PoolSupervisor(const ExecutorOptions&,
+                               CampaignExecutor::WarmRunFn,
+                               std::chrono::steady_clock::time_point) {
+  throw std::runtime_error("executor: PoolSupervisor requires a POSIX host");
+}
+
+PoolSupervisor::~PoolSupervisor() = default;
+
+int PoolSupervisor::slots() const { return 0; }
+int PoolSupervisor::busy() const { return 0; }
+bool PoolSupervisor::can_dispatch() const { return false; }
+
+void PoolSupervisor::dispatch(std::size_t, int, const RunConfig&) {
+  throw std::runtime_error("executor: PoolSupervisor requires a POSIX host");
+}
+
+void PoolSupervisor::pump(int, std::vector<Completion>&, int, bool*) {
+  throw std::runtime_error("executor: PoolSupervisor requires a POSIX host");
+}
+
+void PoolSupervisor::shutdown() {}
+
+const PoolSupervisor::Telemetry& PoolSupervisor::telemetry() const {
+  static const Telemetry kEmpty;
+  return kEmpty;
 }
 
 #endif

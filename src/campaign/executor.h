@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,15 +75,29 @@ struct ExecutorOptions {
   /// Run every attempt in this process instead of forking (non-POSIX hosts,
   /// or debugging): no watchdog or rlimits, but journaling still works.
   bool force_in_process = false;
+  /// Remote worker endpoints ("host:port" or "unix:/path", see transport.h).
+  /// Non-empty selects the distributed coordinator: the plan is sharded
+  /// across the endpoints with work-stealing, per-shard journals, straggler
+  /// re-dispatch and reconnect. Empty keeps execution on this host.
+  std::vector<std::string> workers;
+  /// Distributed liveness: a daemon beacons when idle for this long, and the
+  /// coordinator declares an endpoint dead after ~3x of silence. Seconds.
+  double heartbeat_sec = 5.0;
+  /// Straggler deadline: a remote run still in flight after this long is
+  /// re-dispatched to another endpoint; the first completed result wins and
+  /// duplicates are discarded by plan index. 0 disables re-dispatch.
+  double straggler_sec = 0.0;
 
   /// Deprecated spelling of EnvOptions::from_env().executor_options() — the
   /// typed façade (env_options.h) is the only env-reading entry point.
   static ExecutorOptions from_env();
 
-  /// True when the environment asked for the executor (DAV_JOBS or
-  /// DAV_JOURNAL set); CampaignManager::run_all falls back to the legacy
+  /// True when the environment asked for the executor (DAV_JOBS, DAV_JOURNAL
+  /// or DAV_WORKERS set); CampaignManager::run_all falls back to the legacy
   /// in-process serial supervisor otherwise.
-  bool enabled() const { return jobs > 0 || !journal_path.empty(); }
+  bool enabled() const {
+    return jobs > 0 || !journal_path.empty() || !workers.empty();
+  }
 
   /// Throws std::invalid_argument on nonsensical values.
   void validate() const;
@@ -122,6 +137,13 @@ struct ExecutorStats {
   int respawns = 0;       ///< replacement workers forked after a death
   std::uint64_t warm_hits = 0;    ///< warm-state cache hits, all workers
   std::uint64_t warm_misses = 0;  ///< warm-state cache misses, all workers
+
+  // Distributed-coordinator lifecycle (zero otherwise). In distributed mode
+  // the per-slot vectors below are per-endpoint instead of per-process.
+  int remote_endpoints = 0;    ///< worker endpoints this batch dispatched to
+  int reconnects = 0;          ///< re-handshakes after a connection drop
+  int redispatches = 0;        ///< straggler copies sent to another endpoint
+  int duplicate_discards = 0;  ///< redundant results dropped by plan index
 
   // Telemetry (wall-clock; surfaced on stderr by davcamp, exported as the
   // campaign trace — deliberately absent from the deterministic summary).
@@ -184,6 +206,14 @@ class CampaignExecutor {
                 const std::vector<std::uint64_t>& keys,
                 std::vector<RunResult>& results,
                 const std::vector<char>& done);
+  /// Distributed coordinator: shard the plan across the socket endpoints in
+  /// opts_.workers with work-stealing, per-shard journals merged by plan
+  /// index, straggler re-dispatch, reconnect with backoff, and dead-endpoint
+  /// requeue through the same retry/quarantine policy as the local paths.
+  void run_distributed(const std::vector<RunConfig>& cfgs,
+                       const std::vector<std::uint64_t>& keys,
+                       std::vector<RunResult>& results,
+                       const std::vector<char>& done);
 
   ExecutorOptions opts_;
   WarmRunFn fn_;
@@ -192,6 +222,79 @@ class CampaignExecutor {
   ExecutorStats stats_;
   /// run_all entry instant: the zero of the WorkerSpan timeline.
   std::chrono::steady_clock::time_point batch_start_{};
+};
+
+/// Event-driven supervisor over the persistent prefork worker pool,
+/// extracted from the executor so the socket worker daemon (transport.h)
+/// hosts the same machinery: lazily forked long-lived workers, checksummed
+/// request/response framing, per-run CPU-budget re-arm, a wall-clock
+/// watchdog, death diagnosis and respawn accounting. Policy stays with the
+/// caller: retries, backoff, journaling and result merging all consume the
+/// Completion records this class emits. POSIX only — constructing one on a
+/// non-POSIX host throws.
+class PoolSupervisor {
+ public:
+  /// One finished dispatch. `ok` means a complete, checksummed response
+  /// frame arrived; `result_payload` then holds the embedded result payload
+  /// (parse_result_payload — which may itself carry a workload failure).
+  /// !ok is a worker death — crash, watchdog timeout, corrupt stream — with
+  /// the diagnosis in `what`.
+  struct Completion {
+    std::size_t index = 0;
+    int attempt = 0;
+    int slot = 0;
+    bool ok = false;
+    std::string what;
+    std::string result_payload;
+    double start_sec = 0.0;  ///< relative to the epoch; telemetry only
+    double dur_sec = 0.0;
+  };
+  /// Lifecycle + warm-cache counters, folded into ExecutorStats by callers.
+  struct Telemetry {
+    int launched = 0;
+    int pool_workers = 0;  ///< first-wave spawns (before any worker death)
+    int respawns = 0;      ///< replacement spawns (after a death)
+    int timeouts = 0;
+    int signal_deaths = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t warm_misses = 0;
+    std::vector<double> slot_busy_sec;
+    std::vector<int> slot_runs_served;
+  };
+
+  /// `epoch` anchors Completion::start_sec (run_all entry, or daemon session
+  /// start). Validates `opts`.
+  PoolSupervisor(const ExecutorOptions& opts, CampaignExecutor::WarmRunFn fn,
+                 std::chrono::steady_clock::time_point epoch);
+  /// SIGKILLs and reaps any still-live workers; in-flight runs are dropped
+  /// (the daemon relies on this when its coordinator disconnects — the
+  /// coordinator requeues them).
+  ~PoolSupervisor();
+  PoolSupervisor(const PoolSupervisor&) = delete;
+  PoolSupervisor& operator=(const PoolSupervisor&) = delete;
+
+  int slots() const;  ///< max concurrent workers (max(1, opts.jobs))
+  int busy() const;   ///< dispatches currently in flight
+  /// An idle live worker exists, or a replacement can still be forked.
+  bool can_dispatch() const;
+  /// Send one run to an idle worker (forking one if needed). Only valid when
+  /// can_dispatch(); `attempt` is echoed back on the Completion.
+  void dispatch(std::size_t index, int attempt, const RunConfig& cfg);
+  /// Pump the event loop once: wait up to `max_wait_ms` for response bytes,
+  /// drain complete frames, enforce watchdog deadlines, reap deaths, and
+  /// append finished dispatches to `out`. When `extra_fd` >= 0 it joins the
+  /// poll set and *extra_readable reports whether it has data (or EOF)
+  /// pending — the daemon multiplexes its coordinator socket this way.
+  void pump(int max_wait_ms, std::vector<Completion>& out, int extra_fd = -1,
+            bool* extra_readable = nullptr);
+  /// Clean shutdown: close request pipes (workers read EOF and exit), reap.
+  /// Call with busy() == 0; any dispatch still in flight is dropped.
+  void shutdown();
+  const Telemetry& telemetry() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace dav

@@ -9,6 +9,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DAV_JOURNAL_POSIX 1
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -90,6 +91,20 @@ void truncate_file(const std::string& path, std::uint64_t size) {
 
 }  // namespace
 
+void fsync_parent_dir(const std::string& path) {
+#if DAV_JOURNAL_POSIX
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);  // best effort: some filesystems reject directory fsync
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
 JournalLoad load_journal(const std::string& path, std::uint64_t fingerprint) {
   JournalLoad load;
   std::ifstream in(path, std::ios::binary);
@@ -166,6 +181,12 @@ JournalWriter::JournalWriter(const std::string& path,
         std::fflush(file_) != 0) {
       io_error("cannot write header to", path);
     }
+#if DAV_JOURNAL_POSIX
+    if (::fsync(::fileno(file_)) != 0) io_error("cannot fsync", path);
+#endif
+    // Persist the directory entry too: fsync of the file alone leaves a
+    // freshly created journal unreachable after power loss.
+    fsync_parent_dir(path);
   }
 }
 

@@ -392,6 +392,26 @@ RunConfigRecord deserialize_run_config(const std::string& bytes) {
   return out;
 }
 
+std::string make_result_payload(bool ok, const std::string& what,
+                                const RunResult& r) {
+  ByteWriter w;
+  w.u8(ok ? 1 : 0);
+  if (!ok) w.str(what);
+  w.raw(serialize_run_result(r));
+  return w.take();
+}
+
+ResultPayload parse_result_payload(const std::string& bytes) {
+  ByteReader r(bytes);
+  ResultPayload p;
+  p.ok = r.u8() != 0;
+  if (!p.ok) p.what = r.str();
+  std::string rest(bytes.data() + (bytes.size() - r.remaining()),
+                   r.remaining());
+  p.result = deserialize_run_result(rest);
+  return p;
+}
+
 std::uint64_t run_config_digest(const RunConfig& cfg) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(cfg.scenario));

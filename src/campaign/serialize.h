@@ -81,6 +81,31 @@ std::string serialize_run_result(const RunResult& r);
 /// buffer, trailing garbage, or a version mismatch.
 RunResult deserialize_run_result(const std::string& bytes);
 
+// --- result payload (worker verdict + RunResult) ---------------------------
+//
+// result payload = u8 ok | [str what, when !ok] | serialized RunResult
+//
+// The unit every executor strategy journals and every worker ships: ok=1
+// wraps a completed RunResult, ok=0 wraps the quarantine diagnosis plus the
+// kHarnessError placeholder. Pool responses and the socket transport embed
+// this payload verbatim, so a journal record is byte-compatible across
+// serial, fork-per-run, pool and distributed modes.
+
+struct ResultPayload {
+  bool ok = false;
+  std::string what;  ///< quarantine diagnosis, when !ok
+  RunResult result;
+};
+
+/// Encode a worker verdict. Bit-exact: two calls with equal inputs produce
+/// identical bytes (the distributed journal merge relies on this).
+std::string make_result_payload(bool ok, const std::string& what,
+                                const RunResult& r);
+
+/// Inverse of make_result_payload. Throws std::runtime_error on truncated or
+/// version-mismatched bytes.
+ResultPayload parse_result_payload(const std::string& bytes);
+
 // --- pipe framing (executor <-> worker) ------------------------------------
 //
 // frame = u32 payload_len | u64 fnv1a64(payload) | payload

@@ -1,0 +1,141 @@
+// Socket transport for distributed campaign execution.
+//
+// The executor already ships RunConfig/RunResult records between processes as
+// checksummed length-prefixed frames over pipes (serialize.h). This layer
+// lifts the exact same framing and payload codecs onto stream sockets — TCP
+// ("host:port") or Unix-domain ("unix:/path") — so a campaign can span
+// worker daemons. Because the frame and payload bytes are unchanged, a
+// journal record produced by a remote worker is byte-identical to one
+// produced by the in-process, fork-per-run, or pool strategy, and resume
+// works across all of them.
+//
+// Protocol (every message is one frame_message()-wrapped payload):
+//   coordinator -> worker : kHello(version, campaign fingerprint)
+//   worker -> coordinator : kHelloAck(version, slots) | kHelloReject(reason)
+//   coordinator -> worker : kRunRequest(plan index, serialized RunConfig)*
+//   worker -> coordinator : kRunResult(plan index, result payload)*
+//                           kHeartbeat (idle-timer liveness)
+// A worker pins the campaign fingerprint of its first coordinator (or the
+// one given up front) and rejects mismatched campaigns — the same binding
+// the journal header enforces on disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/executor.h"
+
+namespace dav {
+
+/// Bumped whenever the message set or a message layout changes; a daemon
+/// rejects a coordinator speaking a different version instead of misdecoding
+/// its requests.
+inline constexpr std::uint32_t kTransportProtocolVersion = 1;
+
+enum class TransportMsgType : std::uint8_t {
+  kHello = 1,       ///< coordinator handshake: protocol version + fingerprint
+  kHelloAck = 2,    ///< worker accepts: protocol version + worker slots
+  kHelloReject = 3, ///< worker refuses: human-readable reason
+  kRunRequest = 4,  ///< plan index + serialized RunConfig
+  kRunResult = 5,   ///< plan index + result payload (serialize.h)
+  kHeartbeat = 6,   ///< idle-timer liveness beacon, no body
+};
+
+/// A decoded transport message; only the fields for its type are meaningful.
+struct TransportMsg {
+  TransportMsgType type = TransportMsgType::kHeartbeat;
+  std::uint32_t proto_version = 0;  ///< kHello / kHelloAck
+  std::uint64_t fingerprint = 0;    ///< kHello
+  std::uint32_t slots = 0;          ///< kHelloAck
+  std::string reason;               ///< kHelloReject
+  std::uint64_t index = 0;          ///< kRunRequest / kRunResult
+  std::string body;                 ///< config bytes / result payload
+};
+
+// Message encoders; wrap the returned payload in frame_message() to put it
+// on the wire.
+std::string msg_hello(std::uint64_t fingerprint);
+std::string msg_hello_ack(std::uint32_t slots);
+std::string msg_hello_reject(const std::string& reason);
+std::string msg_run_request(std::uint64_t index, const std::string& cfg_bytes);
+std::string msg_run_result(std::uint64_t index,
+                           const std::string& result_payload);
+std::string msg_heartbeat();
+
+/// Decode one unframed transport payload. Throws std::runtime_error on an
+/// unknown type or truncated body — callers treat that like a corrupt frame
+/// (the peer is broken; drop the connection).
+TransportMsg parse_transport_msg(const std::string& payload);
+
+/// A parsed worker address: "host:port" (TCP) or "unix:/path" (Unix-domain).
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;  ///< kTcp
+  int port = 0;      ///< kTcp, 1..65535
+  std::string path;  ///< kUnix
+  std::string spec;  ///< the original text, for diagnostics
+};
+
+/// Parse "host:port" or "unix:/path". Throws std::invalid_argument naming
+/// the offending spec.
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Split a DAV_WORKERS-style comma list into trimmed, non-empty specs.
+/// Throws std::invalid_argument on an empty list entry.
+std::vector<std::string> split_worker_list(const std::string& csv);
+
+/// Capped exponential backoff with deterministic seeded jitter:
+/// base * 2^min(attempt,16), capped at cap_sec, scaled by a jitter factor in
+/// [0.75, 1.25) derived from fnv1a64(salt, attempt). Pure — the same
+/// (base, attempt, salt) always yields the same delay — so retry schedules
+/// are replayable, yet fleets of retries keyed by different salts (run
+/// digest, endpoint name) never synchronize into thundering herds.
+double backoff_delay_sec(double base_sec, int attempt, std::uint64_t salt,
+                         double cap_sec = 60.0);
+
+// --- POSIX socket helpers --------------------------------------------------
+// All return -1 and fill *err on failure; on non-POSIX hosts they fail with
+// "sockets unsupported". Connects are blocking (loopback/LAN latency).
+
+/// Create a listening socket on `ep` (SO_REUSEADDR for TCP; a pre-existing
+/// Unix-socket file is unlinked first).
+int listen_endpoint(const Endpoint& ep, std::string* err);
+
+/// Connect a stream socket to `ep`.
+int connect_endpoint(const Endpoint& ep, std::string* err);
+
+/// frame_message(payload) + write the whole frame. Returns false once the
+/// peer is gone (callers learn the details from the next read's EOF).
+bool send_frame(int fd, const std::string& payload);
+
+/// Worker daemon configuration (davcamp serve).
+struct ServeOptions {
+  /// Listen address, "host:port" or "unix:/path".
+  std::string listen_spec;
+  /// Send a kHeartbeat whenever nothing else was written for this long;
+  /// <= 0 disables the beacon.
+  double heartbeat_sec = 5.0;
+  /// Campaign fingerprint to enforce up front; 0 pins whatever the first
+  /// coordinator presents.
+  std::uint64_t expected_fingerprint = 0;
+  /// Exit after serving this many coordinator sessions; <= 0 serves until
+  /// SIGINT/SIGTERM.
+  int max_sessions = 0;
+};
+
+/// Run a worker daemon: accept one coordinator at a time, handshake on the
+/// campaign fingerprint, execute requests through a PoolSupervisor (the
+/// PR-5 prefork pool: fork-isolated workers, watchdog, warm-state cache),
+/// and stream result frames back. A worker death is reported as a
+/// kHarnessError result payload — the coordinator applies the same
+/// retry/quarantine policy it uses for local deaths. When the coordinator
+/// disconnects, in-flight pool workers are torn down and the daemon returns
+/// to accepting (so a restarted coordinator can resume). Returns 0 on a
+/// clean stop (signal or max_sessions); throws std::runtime_error when the
+/// listen address is unusable. `fn` defaults to run_experiment.
+int serve_campaign(const ServeOptions& sopts, const ExecutorOptions& eopts,
+                   CampaignExecutor::WarmRunFn fn = {});
+
+}  // namespace dav

@@ -558,6 +558,43 @@ TEST_F(DavlintTest, ForkChildWriteOnlyIsClean) {
   EXPECT_EQ(run_on(p).exit_code, 0);
 }
 
+TEST_F(DavlintTest, ForkChildSocketSyscallsAreClean) {
+  // The transport daemon forks protocol workers that speak over sockets;
+  // the raw socket syscalls are async-signal-safe and must stay allowlisted.
+  const auto p = write_fixture(
+      "fk.cpp",
+      "#include <sys/socket.h>\n"
+      "#include <unistd.h>\n"
+      "int main() {\n"
+      "  pid_t pid = ::fork();\n"
+      "  if (pid == 0) {\n"
+      "    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+      "    ::connect(fd, nullptr, 0);\n"
+      "    ::send(fd, \"x\", 1, 0);\n"
+      "    char c;\n"
+      "    ::recv(fd, &c, 1, 0);\n"
+      "    ::shutdown(fd, SHUT_RDWR);\n"
+      "    ::close(fd);\n"
+      "    ::_exit(0);\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
+TEST_F(DavlintTest, SignalHandlerSocketShutdownIsClean) {
+  // A handler that nudges a peer by closing a socket uses only
+  // async-signal-safe syscalls.
+  const auto p = write_fixture(
+      "sig.cpp",
+      "#include <csignal>\n"
+      "#include <sys/socket.h>\n"
+      "int g_fd;\n"
+      "void on_term(int) { ::shutdown(g_fd, SHUT_RDWR); }\n"
+      "void install() { ::signal(SIGTERM, on_term); }\n");
+  EXPECT_EQ(run_on(p).exit_code, 0);
+}
+
 // ---- layering ----
 
 TEST_F(DavlintTest, LayeringBackEdgeFromCoreToCampaign) {

@@ -73,6 +73,10 @@ TEST(EnvOptions, DefaultsWhenNothingIsSet) {
   EXPECT_EQ(o.run_as_mb, 0u);
   EXPECT_TRUE(o.trace_dir.empty());
   EXPECT_EQ(o.trace_capacity, 65536u);
+  EXPECT_TRUE(o.workers.empty());
+  EXPECT_TRUE(o.serve.empty());
+  EXPECT_DOUBLE_EQ(o.heartbeat_sec, 5.0);
+  EXPECT_DOUBLE_EQ(o.straggler_sec, 0.0);
   EXPECT_FALSE(o.executor_options().enabled());
 }
 
@@ -89,6 +93,9 @@ TEST(EnvOptions, ParsesEveryKnob) {
   ScopedEnv e9("DAV_RUN_AS_MB", "2048");
   ScopedEnv e10("DAV_TRACE", "/tmp/traces");
   ScopedEnv e11("DAV_TRACE_CAPACITY", "1024");
+  ScopedEnv e12("DAV_WORKERS", "host:9000, unix:/tmp/w.sock");
+  ScopedEnv e13("DAV_HEARTBEAT_SEC", "0.5");
+  ScopedEnv e14("DAV_STRAGGLER_SEC", "30");
 
   const EnvOptions o = EnvOptions::from_env();
   EXPECT_DOUBLE_EQ(o.scale, 0.5);
@@ -102,6 +109,17 @@ TEST(EnvOptions, ParsesEveryKnob) {
   EXPECT_EQ(o.run_as_mb, 2048u);
   EXPECT_EQ(o.trace_dir, "/tmp/traces");
   EXPECT_EQ(o.trace_capacity, 1024u);
+  ASSERT_EQ(o.workers.size(), 2u);
+  EXPECT_EQ(o.workers[0], "host:9000");
+  EXPECT_EQ(o.workers[1], "unix:/tmp/w.sock");
+  EXPECT_DOUBLE_EQ(o.heartbeat_sec, 0.5);
+  EXPECT_DOUBLE_EQ(o.straggler_sec, 30.0);
+}
+
+TEST(EnvOptions, ServeAddressParses) {
+  CleanEnv clean;
+  ScopedEnv e("DAV_SERVE", "unix:/tmp/daemon.sock");
+  EXPECT_EQ(EnvOptions::from_env().serve, "unix:/tmp/daemon.sock");
 }
 
 TEST(EnvOptions, BooleanSpellings) {
@@ -147,6 +165,15 @@ TEST(EnvOptions, RejectsMalformedValuesWithActionableErrors) {
   expect_rejects("DAV_RUN_CPU_SEC", "-0.1");
   expect_rejects("DAV_RUN_AS_MB", "lots");
   expect_rejects("DAV_TRACE_CAPACITY", "0");
+  expect_rejects("DAV_WORKERS", "nohost");
+  expect_rejects("DAV_WORKERS", "a:1,,b:2");
+  expect_rejects("DAV_WORKERS", "host:0");
+  expect_rejects("DAV_SERVE", "not-an-endpoint");
+  expect_rejects("DAV_HEARTBEAT_SEC", "0");
+  expect_rejects("DAV_HEARTBEAT_SEC", "-1");
+  expect_rejects("DAV_HEARTBEAT_SEC", "often");
+  expect_rejects("DAV_STRAGGLER_SEC", "-2");
+  expect_rejects("DAV_STRAGGLER_SEC", "late");
 }
 
 TEST(EnvOptions, ValidateRejectsNonsenseOnHandBuiltValues) {
@@ -158,6 +185,15 @@ TEST(EnvOptions, ValidateRejectsNonsenseOnHandBuiltValues) {
   EXPECT_THROW(o.validate(), std::invalid_argument);
   o = EnvOptions::defaults();
   o.trace_capacity = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = EnvOptions::defaults();
+  o.workers = {"not an endpoint"};
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = EnvOptions::defaults();
+  o.heartbeat_sec = 0.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = EnvOptions::defaults();
+  o.straggler_sec = -1.0;
   EXPECT_THROW(o.validate(), std::invalid_argument);
   EXPECT_NO_THROW(EnvOptions::defaults().validate());
 }
@@ -198,6 +234,9 @@ TEST(EnvOptions, ExecutorAndTraceProjections) {
   o.run_as_mb = 128;
   o.trace_dir = "/tmp/t";
   o.trace_capacity = 99;
+  o.workers = {"unix:/tmp/w.sock"};
+  o.heartbeat_sec = 0.25;
+  o.straggler_sec = 15.0;
 
   const ExecutorOptions x = o.executor_options();
   EXPECT_EQ(x.jobs, 3);
@@ -208,6 +247,10 @@ TEST(EnvOptions, ExecutorAndTraceProjections) {
   EXPECT_EQ(x.max_retries, 2);
   EXPECT_DOUBLE_EQ(x.cpu_limit_sec, 9.0);
   EXPECT_EQ(x.address_space_mb, 128u);
+  ASSERT_EQ(x.workers.size(), 1u);
+  EXPECT_EQ(x.workers[0], "unix:/tmp/w.sock");
+  EXPECT_DOUBLE_EQ(x.heartbeat_sec, 0.25);
+  EXPECT_DOUBLE_EQ(x.straggler_sec, 15.0);
   EXPECT_TRUE(x.enabled());
 
   const obs::TraceOptions t = o.trace_options();
@@ -222,7 +265,8 @@ TEST(EnvOptions, DocsCoverEveryParsedVariable) {
       "DAV_SCALE",       "DAV_JOBS",          "DAV_POOL",
       "DAV_WARM_CACHE",  "DAV_JOURNAL",       "DAV_RUN_TIMEOUT_SEC",
       "DAV_RUN_RETRIES", "DAV_RUN_CPU_SEC",   "DAV_RUN_AS_MB",
-      "DAV_TRACE",       "DAV_TRACE_CAPACITY"};
+      "DAV_TRACE",       "DAV_TRACE_CAPACITY", "DAV_WORKERS",
+      "DAV_SERVE",       "DAV_HEARTBEAT_SEC", "DAV_STRAGGLER_SEC"};
   const auto& docs = EnvOptions::docs();
   ASSERT_EQ(docs.size(), expected.size());
   for (const char* var : expected) {

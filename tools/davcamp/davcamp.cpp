@@ -9,12 +9,16 @@
 // Usage:
 //   davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]
 //           [--domain=gpu|cpu] [--kind=transient|permanent]
-//           [--td=<meters>] [--out=<path>] [--env-help]
+//           [--td=<meters>] [--out=<path>] [--workers=EP,...] [--env-help]
+//   davcamp serve [--listen=host:port|unix:/path]
 //
 // Environment: every DAV_* variable is parsed by dav::EnvOptions (the only
 // env-reading entry point); `davcamp --env-help` prints the full table.
 // DAV_SCALE scales run counts; DAV_JOBS / DAV_JOURNAL select the
 // process-isolated executor (persistent pool by default, DESIGN.md §9/§11).
+// DAV_WORKERS / --workers route the campaign through the distributed
+// coordinator, and `davcamp serve` (listen address from --listen or
+// DAV_SERVE) runs this process as a worker daemon (DESIGN.md §13).
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +33,7 @@
 #include "campaign/campaign.h"
 #include "campaign/env_options.h"
 #include "campaign/metrics.h"
+#include "campaign/transport.h"
 
 namespace {
 
@@ -40,8 +45,11 @@ struct Args {
   FaultDomain domain = FaultDomain::kGpu;
   FaultModelKind kind = FaultModelKind::kTransient;
   double td = 2.0;
-  std::string out;  // empty = stdout
+  std::string out;      // empty = stdout
+  std::string workers;  // --workers override of DAV_WORKERS
   bool env_help = false;
+  bool serve = false;    // `davcamp serve`: run as a worker daemon
+  std::string listen;    // --listen override of DAV_SERVE
 };
 
 [[noreturn]] void usage_error(const std::string& what) {
@@ -49,13 +57,18 @@ struct Args {
       "davcamp: " + what +
       "\nusage: davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]"
       " [--domain=gpu|cpu] [--kind=transient|permanent] [--td=<meters>]"
-      " [--out=<path>] [--env-help]");
+      " [--out=<path>] [--workers=EP,...] [--env-help]"
+      "\n       davcamp serve [--listen=host:port|unix:/path]");
 }
 
 Args parse_args(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "serve" && i == 1) {
+      a.serve = true;
+      continue;
+    }
     if (arg == "--env-help") {
       a.env_help = true;
       continue;
@@ -93,6 +106,10 @@ Args parse_args(int argc, char** argv) {
       }
     } else if (key == "out") {
       a.out = val;
+    } else if (key == "workers") {
+      a.workers = val;
+    } else if (key == "listen") {
+      a.listen = val;
     } else {
       usage_error("unrecognized option '--" + key + "'");
     }
@@ -151,6 +168,13 @@ void print_telemetry(const CampaignManager& mgr) {
                static_cast<unsigned long long>(s.journal_bytes),
                static_cast<unsigned long long>(s.torn_bytes_discarded),
                s.wall_sec);
+  if (s.remote_endpoints > 0) {
+    std::fprintf(stderr,
+                 "  distributed: endpoints=%d reconnects=%d redispatches=%d "
+                 "duplicate_discards=%d\n",
+                 s.remote_endpoints, s.reconnects, s.redispatches,
+                 s.duplicate_discards);
+  }
   if (s.pool_workers > 0) {
     const std::uint64_t lookups = s.warm_hits + s.warm_misses;
     std::fprintf(stderr,
@@ -208,7 +232,21 @@ int main(int argc, char** argv) {
       print_env_help();
       return 0;
     }
-    CampaignManager mgr(EnvOptions::from_env(), /*seed=*/2022);
+    EnvOptions env = EnvOptions::from_env();
+    if (a.serve) {
+      ServeOptions sopts;
+      sopts.listen_spec = a.listen.empty() ? env.serve : a.listen;
+      if (sopts.listen_spec.empty()) {
+        usage_error("serve needs a listen address (--listen or DAV_SERVE)");
+      }
+      sopts.heartbeat_sec = env.heartbeat_sec;
+      return serve_campaign(sopts, env.executor_options());
+    }
+    if (!a.workers.empty()) {
+      env.workers = split_worker_list(a.workers);
+      env.validate();
+    }
+    CampaignManager mgr(env, /*seed=*/2022);
     const std::vector<RunResult> golden =
         mgr.golden(a.scenario, a.mode, mgr.scale().golden_runs);
     const Trajectory baseline = golden_baseline(golden);

@@ -27,6 +27,11 @@ const std::set<std::string>& sigsafe_allowlist() {
       "execl",    "execle",   "execlp",      "fork",       "unlink",
       "fsync",    "fdatasync", "ftruncate",  "lseek",      "chdir",
       "umask",
+      // sockets (async-signal-safe per POSIX; used by the fork-safety walk
+      // over the transport/daemon TUs)
+      "socket",   "socketpair", "bind",      "listen",     "accept",
+      "accept4",  "connect",  "send",        "recv",       "sendto",
+      "recvfrom", "shutdown", "setsockopt",  "getsockopt", "getsockname",
       // pure / no-global-state helpers
       "memcpy",   "memmove",  "memset",      "memcmp",     "strlen",
       "strcmp",   "strncmp",  "strcpy",      "strncpy",    "stpcpy",
