@@ -1,9 +1,32 @@
 #include "agent/agent.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "agent/warmup.h"
 #include "util/trace.h"
 
 namespace dav {
+namespace {
+
+/// Minimum valid return inside the forward corridor (beam 0 is ego-forward,
+/// beam i sits at i * 360/n degrees). Dropout zeros and ~max_range misses
+/// are excluded; 200 m (perception's "nothing seen") when no beam qualifies.
+double lidar_forward_min(const std::vector<float>& ranges, double half_deg) {
+  const int n = static_cast<int>(ranges.size());
+  if (n == 0) return 200.0;
+  const double step_deg = 360.0 / n;
+  double best = 200.0;
+  for (int i = 0; i < n; ++i) {
+    const double deg = (i <= n / 2) ? i * step_deg : (i - n) * step_deg;
+    if (std::abs(deg) > half_deg) continue;
+    const double r = ranges[static_cast<std::size_t>(i)];
+    if (r > 0.3 && r < 76.0 && r < best) best = r;
+  }
+  return best;
+}
+
+}  // namespace
 
 SensorimotorAgent::SensorimotorAgent(std::string name, AgentConfig cfg,
                                      GpuEngine& gpu, CpuEngine& cpu,
@@ -14,7 +37,8 @@ SensorimotorAgent::SensorimotorAgent(std::string name, AgentConfig cfg,
       cpu_(cpu),
       perception_(gpu, cfg.perception),
       planner_(cpu, map, cfg.mission_speed, cfg.route_start_s),
-      control_(cpu, cfg.control) {}
+      control_(cpu, cfg.control),
+      health_(cfg.fusion.health) {}
 
 void SensorimotorAgent::reset() {
   perception_.reset();
@@ -23,6 +47,8 @@ void SensorimotorAgent::reset() {
   last_perception_ = {};
   last_waypoints_ = {};
   steps_ = 0;
+  health_ = SensorHealthMonitor(cfg_.fusion.health);
+  v_held_ = 0.0;
 }
 
 AgentSnapshot SensorimotorAgent::snapshot() const {
@@ -31,6 +57,8 @@ AgentSnapshot SensorimotorAgent::snapshot() const {
   s.planner_progress = planner_.progress();
   s.control = control_.snapshot();
   s.steps = steps_;
+  s.sensor_health = health_.snapshot();
+  s.v_held = v_held_;
   return s;
 }
 
@@ -39,6 +67,8 @@ void SensorimotorAgent::restore(const AgentSnapshot& s) {
   planner_.restore_progress(s.planner_progress);
   control_.restore(s.control);
   steps_ = s.steps;
+  health_.restore(s.sensor_health);
+  v_held_ = s.v_held;
 }
 
 void SensorimotorAgent::rewarm() {
@@ -54,6 +84,7 @@ void SensorimotorAgent::rewarm() {
 }
 
 Actuation SensorimotorAgent::act(const SensorFrame& frame, double dt) {
+  if (cfg_.fusion.enabled) return act_fused(frame, dt);
   // Obs track = agent index (derived from the name, "agent0"/"agent1"), so
   // the two diverse agents land on separate Perfetto threads.
   const int track = (!name_.empty() && name_.back() == '1') ? 1 : 0;
@@ -70,7 +101,7 @@ Actuation SensorimotorAgent::act(const SensorFrame& frame, double dt) {
   }
   {
     const obs::SpanScope span(obs::Stage::kPerception, track);
-    last_perception_ = perception_.process(frame.cameras);
+    last_perception_ = perception_.process(frame.cameras, frame.step);
   }
   {
     const obs::SpanScope span(obs::Stage::kWaypointHead, track);
@@ -86,8 +117,84 @@ Actuation SensorimotorAgent::act(const SensorFrame& frame, double dt) {
   return cmd;
 }
 
+Actuation SensorimotorAgent::act_fused(const SensorFrame& frame, double dt) {
+  const int track = (!name_.empty() && name_.back() == '1') ? 1 : 0;
+  const obs::SpanScope act_span(obs::Stage::kAgentAct, track);
+  health_.observe(frame);
+
+  // GPS: blend toward the held estimate as the channel degrades; a dropped
+  // receiver contributes nothing and the agent dead-reckons on v_held_.
+  const double w_gps = health_.weight(SensorChannel::kGps);
+  const double v_meas =
+      w_gps * frame.gps_imu.speed + (1.0 - w_gps) * v_held_;
+  const double gps_x = w_gps > 0.0 ? frame.gps_imu.gps_x : 0.0;
+  const double cpu_gain =
+      cpu_isa_warmup(cpu_, v_meas + 0.173 * gps_x + 0.031 * steps_);
+  double cruise = 0.0;
+  {
+    const obs::SpanScope span(obs::Stage::kPlanner, track);
+    cruise = planner_.plan_cruise(v_meas, dt);
+  }
+  {
+    const obs::SpanScope span(obs::Stage::kPerception, track);
+    last_perception_ = perception_.process(frame.cameras, frame.step);
+  }
+
+  // Conservative ranging fusion: the nearest estimate from any channel the
+  // monitor still trusts wins (under-estimating distance costs speed;
+  // over-estimating costs the crash).
+  const double w_cam = health_.weight(SensorChannel::kCamCenter);
+  const double w_lidar =
+      frame.lidar.empty() ? 0.0 : health_.weight(SensorChannel::kLidar);
+  double fused = (w_cam > 0.0 && last_perception_.obstacle_valid)
+                     ? last_perception_.obstacle_distance
+                     : 200.0;
+  if (w_cam <= 0.0) {
+    // Blind camera: neutral lane geometry (drive straight in-lane) beats
+    // steering on hallucinated markings.
+    last_perception_.lane_offset = 0.0;
+    last_perception_.heading_slope = 0.0;
+  }
+  if (w_lidar > 0.0) {
+    fused = std::min(
+        fused,
+        lidar_forward_min(frame.lidar, cfg_.fusion.lidar_corridor_half_deg));
+  }
+  last_perception_.obstacle_distance = fused;
+  last_perception_.obstacle_valid = fused < 150.0;
+  if (health_.ranging_lost()) {
+    cruise = std::min(cruise, cfg_.fusion.min_cruise_mps);
+  }
+
+  {
+    const obs::SpanScope span(obs::Stage::kWaypointHead, track);
+    last_waypoints_ =
+        waypoint_head(gpu_, last_perception_, v_meas, cruise, cfg_.head);
+  }
+  Actuation cmd;
+  {
+    const obs::SpanScope span(obs::Stage::kControl, track);
+    cmd = control_.act(last_waypoints_, v_meas, dt, cpu_gain);
+  }
+  v_held_ = v_meas;
+  ++steps_;
+  return cmd;
+}
+
 std::size_t SensorimotorAgent::state_bytes() const {
-  return sizeof(*this) + perception_.state_bytes();
+  // The perception injection hook is non-owning wiring, not checkpointable
+  // state; it is excluded here (the copy inside the perception_ member) and
+  // in Perception::state_bytes (the one its own sizeof sees).
+  std::size_t bytes = sizeof(*this) + perception_.state_bytes() -
+                      sizeof(SensorFaultInjector*);
+  if (!cfg_.fusion.enabled) {
+    // Fusion-off agents report their pre-fusion checkpoint footprint: the
+    // health monitor, the held-speed bridge, and the fusion config block are
+    // dead weight unless fusion is on, and plan-free RunResults are pinned
+    // byte-identical to the pre-fusion build (test_sensor_fault.cpp).
+    bytes -= sizeof(FusionConfig) + sizeof(health_) + sizeof(v_held_);
+  }
+  return bytes;
 }
 
 }  // namespace dav

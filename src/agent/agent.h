@@ -11,14 +11,33 @@
 #include "agent/control.h"
 #include "agent/perception.h"
 #include "agent/waypoint_head.h"
+#include "sensors/sensor_health.h"
 #include "sensors/sensor_rig.h"
 
 namespace dav {
+
+/// Fail-degraded multi-sensor fusion (DESIGN.md §14.2). Off by default: the
+/// classic Sensorimotor agent trusts every sensor unconditionally and its
+/// byte-exact behavior is pinned by golden tests. When enabled, the agent
+/// runs a SensorHealthMonitor over its input frames, down-weights implausible
+/// channels, covers a lost camera with the LiDAR forward corridor, holds the
+/// last plausible speed through a GPS outage, and limps at min_cruise_mps
+/// when every ranging source is gone.
+struct FusionConfig {
+  bool enabled = false;
+  SensorHealthConfig health;
+  /// Half-angle of the forward LiDAR corridor that substitutes for camera
+  /// ranging (beam 0 is ego-forward).
+  double lidar_corridor_half_deg = 6.0;
+  /// Cruise ceiling once no sensor can bound the obstacle distance.
+  double min_cruise_mps = 2.0;
+};
 
 struct AgentConfig {
   PerceptionConfig perception;
   WaypointHeadConfig head;
   ControlConfig control;
+  FusionConfig fusion;
   double mission_speed = 10.0;  // route cruise set-point
   double route_start_s = 0.0;   // initial localization along the route
 };
@@ -33,6 +52,9 @@ struct AgentSnapshot {
   double planner_progress = 0.0;
   ControlSnapshot control;
   int steps = 0;
+  // Fusion-mode state (inert when fusion is disabled).
+  SensorHealthSnapshot sensor_health;
+  double v_held = 0.0;
 };
 
 class SensorimotorAgent {
@@ -54,6 +76,15 @@ class SensorimotorAgent {
   AgentSnapshot snapshot() const;
   void restore(const AgentSnapshot& s);
 
+  /// Route tensor bit-flip injection into this agent's perception state
+  /// (SensorFaultModel::kTensorBitFlip). Non-owning; nullptr detaches.
+  void attach_sensor_fault_injector(SensorFaultInjector* injector) {
+    perception_.attach_fault_injector(injector);
+  }
+
+  /// Live per-channel health, meaningful only when fusion is enabled.
+  const SensorHealthMonitor& sensor_health() const { return health_; }
+
   /// Re-run the per-ISA warmup kernels once, seeded from live state. Called
   /// after a fault-recovery restart: it re-establishes the housekeeping
   /// pipeline and — crucially — gives a permanent fault an immediate chance
@@ -71,6 +102,8 @@ class SensorimotorAgent {
   std::size_t state_bytes() const;
 
  private:
+  Actuation act_fused(const SensorFrame& frame, double dt);
+
   std::string name_;
   AgentConfig cfg_;
   GpuEngine& gpu_;
@@ -81,6 +114,10 @@ class SensorimotorAgent {
   PerceptionOutput last_perception_;
   Waypoints last_waypoints_;
   int steps_ = 0;
+  // Fusion mode only: per-channel plausibility and the held speed estimate
+  // that bridges GPS outages.
+  SensorHealthMonitor health_;
+  double v_held_ = 0.0;
 };
 
 }  // namespace dav

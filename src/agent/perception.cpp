@@ -41,7 +41,8 @@ void Perception::restore(const PerceptionSnapshot& s) {
 }
 
 std::size_t Perception::state_bytes() const {
-  return sizeof(*this) + scratch_bytes_;
+  // injector_ is a non-owning hook, not checkpointable state.
+  return sizeof(*this) - sizeof(injector_) + scratch_bytes_;
 }
 
 Perception::Masks Perception::build_masks(const Image& img, float gain) {
@@ -114,7 +115,22 @@ Perception::Masks Perception::build_masks(const Image& img, float gain) {
   return m;
 }
 
-PerceptionOutput Perception::process(const std::vector<Image>& cams) {
+PerceptionOutput Perception::process(const std::vector<Image>& cams,
+                                     int tick) {
+  // Layer 3: the persistent EMA filters — corrupt BEFORE this frame reads
+  // them, so the flip propagates through the temporal smoothing exactly like
+  // a register fault landing between frames.
+  if (injector_ != nullptr && tick >= 0) {
+    float state[6] = {lane_offset_ema_, heading_ema_,    obstacle_ema_,
+                      obstacle_hist_[0], obstacle_hist_[1], obstacle_hist_[2]};
+    injector_->corrupt_tensor(3, tick, state, 6);
+    lane_offset_ema_ = state[0];
+    heading_ema_ = state[1];
+    obstacle_ema_ = state[2];
+    obstacle_hist_[0] = state[3];
+    obstacle_hist_[1] = state[4];
+    obstacle_hist_[2] = state[5];
+  }
   const Image& center = cams.size() > 1 ? cams[1] : cams.front();
   // Live, bit-diverse seed for the housekeeping chain: raw pixels plus the
   // private filter state (see warmup.h for why this must not be constant).
@@ -126,6 +142,13 @@ PerceptionOutput Perception::process(const std::vector<Image>& cams) {
   PerceptionOutput out;
   out.gain = gain;
   Masks m = build_masks(center, gain);
+  if (injector_ != nullptr && tick >= 0) {
+    // Layers 0/1: mask tensors between the CNN stages and their consumers.
+    injector_->corrupt_tensor(0, tick, m.vehicle.data().data(),
+                              m.vehicle.data().size());
+    injector_->corrupt_tensor(1, tick, m.vehicle_smooth.data().data(),
+                              m.vehicle_smooth.data().size());
+  }
   const int th = m.vehicle.height();
   const int w = m.vehicle.width();
   const auto f = static_cast<float>(cfg_.center_cam.focal_px());
@@ -333,6 +356,11 @@ PerceptionOutput Perception::process(const std::vector<Image>& cams) {
         window_sum(eng_, m.vehicle, 0, 0, th / 2, c0, c1);
     out.features[static_cast<std::size_t>(4 + i)] =
         window_sum(eng_, m.white, 0, th / 2, th, c0, c1);
+  }
+  if (injector_ != nullptr && tick >= 0) {
+    // Layer 2: the FC-refinement feature vector feeding the waypoint head.
+    injector_->corrupt_tensor(2, tick, out.features.data(),
+                              out.features.size());
   }
 
   // --- Temporal smoothing (persistent private state). ------------------------

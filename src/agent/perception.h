@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "agent/tensor.h"
+#include "fi/sensor_fault.h"
 #include "sensors/camera.h"
 
 namespace dav {
@@ -76,7 +77,16 @@ class Perception {
   Perception(GpuEngine& eng, PerceptionConfig cfg);
 
   /// `cams` must be {left, center, right} as produced by front_camera_rig.
-  PerceptionOutput process(const std::vector<Image>& cams);
+  /// `tick` is the world step, used only to window spatiotemporal bit-flip
+  /// injection; -1 (the default) disables injection for this call.
+  PerceptionOutput process(const std::vector<Image>& cams, int tick = -1);
+
+  /// Spatiotemporal bit-flip target hook (SensorFaultModel::kTensorBitFlip).
+  /// Non-owning; nullptr detaches. Injection layers: 0 = raw vehicle mask,
+  /// 1 = CNN-smoothed mask, 2 = patch-sum features, 3 = persistent EMA state.
+  void attach_fault_injector(SensorFaultInjector* injector) {
+    injector_ = injector;
+  }
 
   void reset();
   PerceptionSnapshot snapshot() const;
@@ -96,6 +106,7 @@ class Perception {
 
   GpuEngine& eng_;
   PerceptionConfig cfg_;
+  SensorFaultInjector* injector_ = nullptr;
   // Persistent (private, fault-corruptible) state.
   float lane_offset_ema_ = 0.0f;
   float heading_ema_ = 0.0f;

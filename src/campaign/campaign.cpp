@@ -280,6 +280,42 @@ std::vector<RunResult> CampaignManager::fi_campaign(
   return run_all(cfgs);
 }
 
+std::vector<RunResult> CampaignManager::sensor_fi_campaign(
+    ScenarioId scenario, AgentMode mode,
+    const std::vector<SensorFaultModel>& models, int runs_per_model,
+    int onset_tick, int duration_ticks, const MitigationSetup* mitigation) {
+  // Domain tag 2: distinct from the register campaigns (0/1) and the
+  // golden/profile/training reservations (9/8/7), so sensor sweeps never
+  // collide with register sweeps on run seeds.
+  const int domain_tag = 2;
+  const int kind_tag = 3;
+  if (runs_per_model <= 0) {
+    // Spread the transient budget across the swept models (at least one run
+    // each) instead of multiplying campaign cost by the model count.
+    const int n = std::max<int>(1, static_cast<int>(models.size()));
+    runs_per_model = std::max(1, scale_.transient_runs / n);
+  }
+  InjectionPlanGenerator gen(
+      run_seed(scenario, mode, domain_tag, kind_tag, /*index=*/-1));
+  const std::vector<SensorFaultPlan> plans =
+      gen.sensor_plans(models, runs_per_model, onset_tick, duration_ticks);
+
+  FusionConfig fusion;
+  fusion.enabled = true;
+  std::vector<RunConfig> cfgs;
+  cfgs.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    RunConfig cfg = base_config(scenario, mode);
+    cfg.sensor_fault = plans[i];
+    cfg.fusion = fusion;
+    cfg.run_seed = run_seed(scenario, mode, domain_tag, kind_tag,
+                            static_cast<int>(i));
+    if (mitigation != nullptr) mitigation->apply(cfg);
+    cfgs.push_back(cfg);
+  }
+  return run_all(cfgs);
+}
+
 std::vector<std::vector<StepObservation>>
 CampaignManager::training_observations(AgentMode mode) {
   std::vector<RunConfig> cfgs;

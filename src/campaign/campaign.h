@@ -139,6 +139,19 @@ class CampaignManager {
                                      const MitigationSetup* mitigation =
                                          nullptr);
 
+  /// One sensor-path fault-injection campaign: `runs_per_model` runs of each
+  /// model in `models` on `scenario` in `mode`, fusion enabled (the sweep
+  /// exercises the fail-degraded path; LiDAR capture rides along). Sweep size
+  /// derives from scale().transient_runs when `runs_per_model` <= 0 —
+  /// deliberately NOT a new CampaignScale field, so existing campaign
+  /// fingerprints (journal binding) are unchanged. `mitigation`, when
+  /// non-null, applies an online detector + mitigation policy to every run.
+  std::vector<RunResult> sensor_fi_campaign(
+      ScenarioId scenario, AgentMode mode,
+      const std::vector<SensorFaultModel>& models, int runs_per_model = 0,
+      int onset_tick = 40, int duration_ticks = 80,
+      const MitigationSetup* mitigation = nullptr);
+
   /// Fault-free observation traces from the three long training scenarios
   /// (input to train_lut; paper §III-D trains on long scenarios only).
   std::vector<std::vector<StepObservation>> training_observations(

@@ -24,13 +24,15 @@ SensorFrame captured_frame(SensorRig& rig, const World& world, int step) {
 }
 
 AgentConfig make_agent_config(const Scenario& scenario,
-                              const CameraModel& center_cam) {
+                              const CameraModel& center_cam,
+                              const FusionConfig& fusion) {
   AgentConfig ac;
   ac.perception.center_cam = center_cam;
   ac.mission_speed = scenario.target_speed;
   ac.route_start_s = scenario.ego_start_s;
   ac.control.wheelbase = scenario.ego_spec.wheelbase;
   ac.control.max_steer_angle = scenario.ego_spec.max_steer_angle;
+  ac.fusion = fusion;
   return ac;
 }
 
@@ -109,6 +111,91 @@ void RunConfig::validate() const {
              std::to_string(recovery.recovery_window_ticks));
     }
   }
+  if (sensor_fault.model != SensorFaultModel::kNone) {
+    if (sensor_fault.duration_ticks <= 0) {
+      reject("sensor_fault.duration_ticks must be positive for model " +
+             to_string(sensor_fault.model) + ", got " +
+             std::to_string(sensor_fault.duration_ticks));
+    }
+    if (sensor_fault.onset_tick < 0) {
+      reject("sensor_fault.onset_tick must be non-negative, got " +
+             std::to_string(sensor_fault.onset_tick));
+    }
+    const auto safety = safety_scenarios();
+    const bool is_safety =
+        std::find(safety.begin(), safety.end(), scenario) != safety.end();
+    const double sched_sec = is_safety
+                                 ? scenario_opts.safety_duration_sec
+                                 : scenario_opts.long_route_duration_sec;
+    const int sched_ticks = static_cast<int>(sched_sec / dt);
+    if (sensor_fault.onset_tick >= sched_ticks) {
+      reject("sensor_fault.onset_tick " +
+             std::to_string(sensor_fault.onset_tick) +
+             " is past the scheduled run length (" +
+             std::to_string(sched_ticks) + " ticks at dt " +
+             std::to_string(dt) + "); the fault would never fire");
+    }
+    if (sensor_fault.kind() == SensorKind::kCamera) {
+      if (sensor_fault.sensor_index < 0 || sensor_fault.sensor_index >= 3) {
+        reject("sensor_fault.sensor_index must name a rig camera in [0,3) "
+               "for model " + to_string(sensor_fault.model) + ", got " +
+               std::to_string(sensor_fault.sensor_index));
+      }
+    } else if (sensor_fault.sensor_index != 0) {
+      reject("sensor_fault.sensor_index must be 0 for model " +
+             to_string(sensor_fault.model) + " (single instance), got " +
+             std::to_string(sensor_fault.sensor_index));
+    }
+    if (sensor_fault.magnitude < 0.0 || sensor_fault.magnitude > 1.0 ||
+        !std::isfinite(sensor_fault.magnitude)) {
+      reject("sensor_fault.magnitude must lie in [0,1], got " +
+             std::to_string(sensor_fault.magnitude));
+    }
+    if (sensor_fault.model == SensorFaultModel::kTensorBitFlip) {
+      if (sensor_fault.bit < 0 || sensor_fault.bit >= 32) {
+        reject("sensor_fault.bit must lie in [0,32) for fp32 state, got " +
+               std::to_string(sensor_fault.bit));
+      }
+      if (sensor_fault.layer < 0 || sensor_fault.layer >= 4) {
+        reject("sensor_fault.layer must name a perception stage in [0,4), "
+               "got " + std::to_string(sensor_fault.layer));
+      }
+    }
+    if (sensor_fault.kind() == SensorKind::kLidar && !fusion.enabled) {
+      reject("model " + to_string(sensor_fault.model) +
+             " targets the LiDAR, which is only captured when "
+             "fusion.enabled is set");
+    }
+  }
+  if (fusion.enabled) {
+    if (fusion.health.degrade_after < 1) {
+      reject("fusion.health.degrade_after must be >= 1, got " +
+             std::to_string(fusion.health.degrade_after));
+    }
+    if (fusion.health.drop_after < fusion.health.degrade_after) {
+      reject("fusion.health.drop_after must be >= degrade_after (" +
+             std::to_string(fusion.health.degrade_after) + "), got " +
+             std::to_string(fusion.health.drop_after));
+    }
+    if (fusion.health.rejoin_after < 1) {
+      reject("fusion.health.rejoin_after must be >= 1, got " +
+             std::to_string(fusion.health.rejoin_after));
+    }
+    if (fusion.health.degraded_weight < 0.0 ||
+        fusion.health.degraded_weight > 1.0) {
+      reject("fusion.health.degraded_weight must lie in [0,1], got " +
+             std::to_string(fusion.health.degraded_weight));
+    }
+    if (fusion.min_cruise_mps < 0.0) {
+      reject("fusion.min_cruise_mps must be non-negative, got " +
+             std::to_string(fusion.min_cruise_mps));
+    }
+    if (!(fusion.lidar_corridor_half_deg > 0.0) ||
+        fusion.lidar_corridor_half_deg > 180.0) {
+      reject("fusion.lidar_corridor_half_deg must lie in (0,180], got " +
+             std::to_string(fusion.lidar_corridor_half_deg));
+    }
+  }
 }
 
 std::uint64_t WarmStateCache::warm_digest(const RunConfig& cfg) {
@@ -121,6 +208,9 @@ std::uint64_t WarmStateCache::warm_digest(const RunConfig& cfg) {
   w.i32(cfg.cam_width);
   w.i32(cfg.cam_height);
   w.f64(cfg.camera_noise_sigma);
+  // Fusion changes the constructed agent (health monitor config) — a fused
+  // and an unfused run must not share a warm slot. In-memory key only.
+  w.u8(cfg.fusion.enabled ? 1 : 0);
   const std::string& b = w.bytes();
   return fnv1a64(b.data(), b.size());
 }
@@ -172,7 +262,19 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
   const auto rig_models =
       front_camera_rig(cfg.cam_width, cfg.cam_height, cfg.camera_noise_sigma);
   Rng seeder(cfg.run_seed);
-  SensorRig rig(rig_models, seeder.split(1)());
+  // LiDAR is captured only under fusion: the plain pipeline ignores it, and
+  // leaving it off keeps plan-free runs byte-identical to the pre-sensor
+  // stack (the lidar noise stream is split(3) — independent either way).
+  SensorRig rig(rig_models, seeder.split(1)(), cfg.fusion.enabled);
+
+  // Sensor-path injection: one injector serves the rig (camera/LiDAR/GPS at
+  // capture, upstream of BOTH agents — common-mode by construction) and the
+  // primary agent's perception (tensor bit flips, agent 0 only).
+  std::optional<SensorFaultInjector> sensor_inj;
+  if (cfg.sensor_fault.active()) {
+    sensor_inj.emplace(cfg.sensor_fault);
+    rig.attach_fault_injector(&*sensor_inj);
+  }
 
   // Engine set 0 is the (potentially faulty) primary processor pair; the FD
   // baseline adds a clean dedicated set for the replica.
@@ -191,9 +293,10 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
 
   const bool duplicate = cfg.mode == AgentMode::kDuplicate;
   AdsSystem ads(cfg.mode,
-                make_agent_config(world.scenario(), rig_models[1]), gpu0,
-                cpu0, duplicate ? &gpu1 : nullptr,
+                make_agent_config(world.scenario(), rig_models[1], cfg.fusion),
+                gpu0, cpu0, duplicate ? &gpu1 : nullptr,
                 duplicate ? &cpu1 : nullptr, &world.map(), cfg.overlap_ratio);
+  if (sensor_inj) ads.attach_sensor_fault_injector(&*sensor_inj);
 
   // Second half of the warm cache: the initial (pre-first-frame) agent
   // snapshot. On a hit every agent adopts the cached snapshot — which is
@@ -217,12 +320,17 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
   if (cfg.mitigation == MitigationPolicy::kRestartRecovery) {
     rec.emplace(ads, cfg.recovery, cfg.watchdog_sec,
                 online_det ? &*online_det : nullptr);
+    // The platform sensor monitor rides along with fusion: known-degraded
+    // channels re-attribute detector alarms to the sensor instead of
+    // burning restart attempts on healthy compute.
+    if (cfg.fusion.enabled) rec->enable_sensor_monitor(cfg.fusion.health);
   }
 
   RunResult result;
   result.scenario = cfg.scenario;
   result.mode = cfg.mode;
   result.fault = cfg.fault;
+  result.sensor_fault = cfg.sensor_fault;
   result.run_seed = cfg.run_seed;
   result.scheduled_duration = world.scenario().duration_sec;
   result.sensor_frame_bytes = rig.frame_bytes();
@@ -398,7 +506,9 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
   result.trajectory = world.trajectory();
   result.duration = world.time();
   result.steps = world.step_count();
-  result.fault_activated = gpu0.fault_activated() || cpu0.fault_activated();
+  result.sensor_corruptions = sensor_inj ? sensor_inj->corruptions() : 0;
+  result.fault_activated = gpu0.fault_activated() || cpu0.fault_activated() ||
+                           result.sensor_corruptions > 0;
   if (rec) {
     const int nominal_before = result.recovery.nominal_ticks;
     result.recovery = rec->stats();
@@ -411,11 +521,13 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
   result.recovery.failback_ticks += failback_ticks;
   if (result.outcome != FaultOutcome::kCrash &&
       result.outcome != FaultOutcome::kHang) {
-    if (!cfg.fault.active()) {
+    const bool any_fault = cfg.fault.active() || cfg.sensor_fault.active();
+    if (!any_fault) {
       result.outcome = FaultOutcome::kMasked;  // golden run: nothing injected
     } else if (!result.fault_activated) {
       result.outcome = FaultOutcome::kNotActivated;
-    } else if (gpu0.corruption_count() + cpu0.corruption_count() > 0) {
+    } else if (gpu0.corruption_count() + cpu0.corruption_count() +
+                   result.sensor_corruptions > 0) {
       result.outcome = FaultOutcome::kSdc;
     } else {
       result.outcome = FaultOutcome::kMasked;

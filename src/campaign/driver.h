@@ -10,6 +10,7 @@
 #include "core/detector.h"
 #include "core/recovery.h"
 #include "fi/fault_model.h"
+#include "fi/sensor_fault.h"
 #include "util/trace.h"
 #include "sim/world.h"
 
@@ -35,6 +36,13 @@ struct RunConfig {
   AgentMode mode = AgentMode::kRoundRobin;
   double overlap_ratio = 0.0;     // partial duplication (paper footnote 5)
   FaultPlan fault;                // kind == kNone for golden runs
+  /// Sensor-path injection (fi/sensor_fault.h), orthogonal to the register
+  /// plan above: a campaign can sweep either surface or both. Inactive plans
+  /// leave the run byte-identical to pre-sensor-fault behavior (pinned).
+  SensorFaultPlan sensor_fault;
+  /// Fail-degraded fusion (agent/agent.h). Enabling it also turns on LiDAR
+  /// capture — the covering channel fusion degrades onto.
+  FusionConfig fusion;
   std::uint64_t run_seed = 1;     // per-run nondeterminism (sensor noise,
                                   // fault-manifestation draws)
   double dt = 0.05;               // 20 Hz synchronous tick (the paper runs
@@ -97,6 +105,14 @@ class RunConfigBuilder {
     return *this;
   }
   RunConfigBuilder& fault(const FaultPlan& v) { cfg_.fault = v; return *this; }
+  RunConfigBuilder& sensor_fault(const SensorFaultPlan& v) {
+    cfg_.sensor_fault = v;
+    return *this;
+  }
+  RunConfigBuilder& fusion(const FusionConfig& v) {
+    cfg_.fusion = v;
+    return *this;
+  }
   RunConfigBuilder& run_seed(std::uint64_t v) {
     cfg_.run_seed = v;
     return *this;
@@ -142,6 +158,10 @@ struct RunResult {
   ScenarioId scenario = ScenarioId::kLeadSlowdown;
   AgentMode mode = AgentMode::kRoundRobin;
   FaultPlan fault;
+  /// The sensor-path plan this run executed (inactive for register-only and
+  /// golden runs) and how many elements it actually corrupted.
+  SensorFaultPlan sensor_fault;
+  std::uint64_t sensor_corruptions = 0;
   std::uint64_t run_seed = 0;
 
   FaultOutcome outcome = FaultOutcome::kNotActivated;

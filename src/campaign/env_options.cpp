@@ -132,6 +132,42 @@ EnvOptions EnvOptions::from_env() {
       reject("DAV_STRAGGLER_SEC", v, "a non-negative number of seconds");
     }
   }
+  if (const char* v = get("DAV_SENSOR_FAULTS"); v != nullptr && *v != '\0') {
+    std::string list = v;
+    if (list == "all") {
+      o.sensor_faults = all_sensor_fault_models();
+    } else {
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string name = list.substr(pos, comma - pos);
+        const SensorFaultModel m = parse_sensor_fault_model(name);
+        if (m == SensorFaultModel::kNone) {
+          std::string names = "\"all\"";
+          for (const SensorFaultModel known : all_sensor_fault_models()) {
+            names += ", " + to_string(known);
+          }
+          reject("DAV_SENSOR_FAULTS", v,
+                 "a comma-separated list of sensor fault models (unknown "
+                 "\"" + name + "\"; known: " + names + ")");
+        }
+        o.sensor_faults.push_back(m);
+        pos = comma + 1;
+      }
+    }
+  }
+  if (const char* v = get("DAV_SENSOR_ONSET_TICK")) {
+    const long n =
+        parse_long("DAV_SENSOR_ONSET_TICK", v, "a non-negative tick index");
+    if (n < 0) reject("DAV_SENSOR_ONSET_TICK", v, "a non-negative tick index");
+    o.sensor_onset_tick = static_cast<int>(n);
+  }
+  if (const char* v = get("DAV_SENSOR_DURATION_TICKS")) {
+    const long n =
+        parse_long("DAV_SENSOR_DURATION_TICKS", v, "a positive tick count");
+    if (n <= 0) reject("DAV_SENSOR_DURATION_TICKS", v, "a positive tick count");
+    o.sensor_duration_ticks = static_cast<int>(n);
+  }
   if (const char* v = get("DAV_TRACE")) o.trace_dir = v;
   if (const char* v = get("DAV_TRACE_CAPACITY")) {
     const long n =
@@ -184,6 +220,19 @@ void EnvOptions::validate() const {
   if (straggler_sec < 0.0) {
     bad("straggler_sec must be non-negative, got " +
         std::to_string(straggler_sec));
+  }
+  for (const SensorFaultModel m : sensor_faults) {
+    if (m == SensorFaultModel::kNone) {
+      bad("sensor_faults must name injectable models (kNone is not one)");
+    }
+  }
+  if (sensor_onset_tick < 0) {
+    bad("sensor_onset_tick must be non-negative, got " +
+        std::to_string(sensor_onset_tick));
+  }
+  if (sensor_duration_ticks <= 0) {
+    bad("sensor_duration_ticks must be positive, got " +
+        std::to_string(sensor_duration_ticks));
   }
   if (trace_capacity == 0) bad("trace_capacity must be positive");
 }
@@ -255,6 +304,13 @@ const std::vector<EnvOptions::VarDoc>& EnvOptions::docs() {
       {"DAV_STRAGGLER_SEC", "0",
        "re-dispatch a remote run still in flight after this long; first "
        "result wins, duplicates are discarded; 0 disables"},
+      {"DAV_SENSOR_FAULTS", "(unset)",
+       "sensor models swept by `davcamp --faults=sensor`: comma-separated "
+       "canonical names (camera-blackout, gps-drift, ...) or \"all\""},
+      {"DAV_SENSOR_ONSET_TICK", "40",
+       "tick the swept sensor faults switch on"},
+      {"DAV_SENSOR_DURATION_TICKS", "80",
+       "ticks the swept sensor faults stay active"},
       {"DAV_TRACE", "(unset)",
        "flight-recorder output directory; enables per-run + campaign traces"},
       {"DAV_TRACE_CAPACITY", "65536",

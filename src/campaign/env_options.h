@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "campaign/executor.h"
+#include "fi/sensor_fault.h"
 #include "util/trace.h"
 
 namespace dav {
@@ -65,6 +66,15 @@ struct EnvOptions {
   /// longer than this is re-dispatched to another endpoint; first result
   /// wins. 0 disables re-dispatch.
   double straggler_sec = 0.0;
+
+  // --- sensor-path fault injection (fi/sensor_fault.h) ---------------------
+  /// Models swept by `davcamp --faults=sensor` (DAV_SENSOR_FAULTS: comma-
+  /// separated canonical names, or "all"). Empty selects every model.
+  std::vector<SensorFaultModel> sensor_faults;
+  /// Tick the swept sensor faults switch on (DAV_SENSOR_ONSET_TICK).
+  int sensor_onset_tick = 40;
+  /// How many ticks the swept faults stay active (DAV_SENSOR_DURATION_TICKS).
+  int sensor_duration_ticks = 80;
 
   // --- flight recorder (util/trace.h) --------------------------------------
   /// Trace output directory (DAV_TRACE); empty disables tracing.

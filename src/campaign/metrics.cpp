@@ -107,9 +107,12 @@ CampaignSummary summarize_campaign(const std::vector<RunResult>& fi_runs,
 double availability_fraction(const RunResult& run) {
   if (run.scheduled_duration <= 0.0) return 0.0;
   const MitigationStats& m = run.recovery;
+  // kSensorDegraded counts as up: full compute redundancy, still driving on
+  // fused (degraded) sensing — the availability win over whole-agent restart.
   const double up_ticks = static_cast<double>(m.nominal_ticks) +
                           static_cast<double>(m.probe_ticks) +
-                          static_cast<double>(m.degraded_ticks);
+                          static_cast<double>(m.degraded_ticks) +
+                          static_cast<double>(m.sensor_degraded_ticks);
   return std::min(1.0, up_ticks * run.dt / run.scheduled_duration);
 }
 
@@ -118,6 +121,7 @@ RecoverySummary summarize_recovery(const std::vector<RunResult>& fi_runs) {
   s.total = static_cast<int>(fi_runs.size());
   double mttr_ticks = 0.0;
   double mttr_sec = 0.0;
+  double sensor_mttr_sec = 0.0;
   double avail = 0.0;
   int counted = 0;
   for (const auto& run : fi_runs) {
@@ -142,10 +146,31 @@ RecoverySummary summarize_recovery(const std::vector<RunResult>& fi_runs) {
         run.collision_time >= first_rejoin) {
       ++s.hazard_after_recovery;
     }
+    if (run.recovery.sensor_degraded_ticks > 0 ||
+        !run.recovery.sensor_events.empty()) {
+      ++s.sensor_degraded_runs;
+    }
+    double first_onset = -1.0;
+    for (const SensorDegradeEvent& ev : run.recovery.sensor_events) {
+      ++s.sensor_episodes;
+      if (first_onset < 0.0 || ev.onset_time < first_onset) {
+        first_onset = ev.onset_time;
+      }
+      if (ev.rejoin_tick < 0) continue;  // open at end of run
+      sensor_mttr_sec += ev.rejoin_time - ev.onset_time;
+      ++s.sensor_rejoins;
+    }
+    if (run.collision && first_onset >= 0.0 &&
+        run.collision_time >= first_onset) {
+      ++s.hazard_after_sensor_degrade;
+    }
   }
   if (s.recovery_episodes > 0) {
     s.mean_mttr_ticks = mttr_ticks / s.recovery_episodes;
     s.mean_mttr_sec = mttr_sec / s.recovery_episodes;
+  }
+  if (s.sensor_rejoins > 0) {
+    s.mean_sensor_mttr_sec = sensor_mttr_sec / s.sensor_rejoins;
   }
   if (counted > 0) s.mean_availability = avail / counted;
   return s;

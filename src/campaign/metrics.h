@@ -87,6 +87,15 @@ struct RecoverySummary {
   double mean_mttr_ticks = 0.0;
   double mean_mttr_sec = 0.0;
   double mean_availability = 0.0;  // over non-quarantined runs
+  /// Sensor-path mitigation (fusion + platform monitor): runs that spent at
+  /// least one tick in kSensorDegraded, per-channel degradation episodes,
+  /// how many of those episodes rejoined, and mean sensor MTTR
+  /// (onset -> rejoin) over the rejoined episodes.
+  int sensor_degraded_runs = 0;
+  int sensor_episodes = 0;
+  int sensor_rejoins = 0;
+  int hazard_after_sensor_degrade = 0;  // collision at/after the first onset
+  double mean_sensor_mttr_sec = 0.0;
 };
 RecoverySummary summarize_recovery(const std::vector<RunResult>& fi_runs);
 

@@ -94,6 +94,84 @@ FaultPlan get_fault_plan(ByteReader& r) {
   return p;
 }
 
+// --- Sensor extension (trailing, optional) ---------------------------------
+// The sensor-fault / fusion fields ride in a trailing section that is written
+// ONLY when active. A plan-free, fusion-free config or result serializes to
+// the exact pre-extension byte stream (pinned by test_sensor_fault), so
+// existing journals and digests are untouched; readers probe `!r.done()`
+// before the trailing-bytes check, so both generations parse.
+
+void put_sensor_plan(ByteWriter& w, const SensorFaultPlan& p) {
+  w.u8(static_cast<std::uint8_t>(p.model));
+  w.i32(p.sensor_index);
+  w.i32(p.onset_tick);
+  w.i32(p.duration_ticks);
+  w.u64(p.seed);
+  w.f64(p.magnitude);
+  w.i32(p.layer);
+  w.i32(p.bit);
+}
+
+SensorFaultPlan get_sensor_plan(ByteReader& r) {
+  SensorFaultPlan p;
+  p.model = static_cast<SensorFaultModel>(r.u8());
+  p.sensor_index = r.i32();
+  p.onset_tick = r.i32();
+  p.duration_ticks = r.i32();
+  p.seed = r.u64();
+  p.magnitude = r.f64();
+  p.layer = r.i32();
+  p.bit = r.i32();
+  return p;
+}
+
+/// Everything a worker needs to reproduce the fused agent + monitor exactly.
+void put_fusion_config(ByteWriter& w, const FusionConfig& f) {
+  w.i32(f.health.degrade_after);
+  w.i32(f.health.drop_after);
+  w.i32(f.health.rejoin_after);
+  w.f64(f.health.degraded_weight);
+  w.f64(f.health.cam_min_mean);
+  w.f64(f.health.cam_extreme_frac);
+  w.f64(f.health.gps_jump_m);
+  w.f64(f.health.gps_velocity_mismatch_mps);
+  w.i32(f.health.gps_window_ticks);
+  w.f64(f.health.lidar_invalid_frac);
+  w.f64(f.health.lidar_ghost_range_m);
+  w.f64(f.health.lidar_ghost_frac);
+  w.f64(f.lidar_corridor_half_deg);
+  w.f64(f.min_cruise_mps);
+}
+
+FusionConfig get_fusion_config(ByteReader& r) {
+  FusionConfig f;
+  f.health.degrade_after = r.i32();
+  f.health.drop_after = r.i32();
+  f.health.rejoin_after = r.i32();
+  f.health.degraded_weight = r.f64();
+  f.health.cam_min_mean = r.f64();
+  f.health.cam_extreme_frac = r.f64();
+  f.health.gps_jump_m = r.f64();
+  f.health.gps_velocity_mismatch_mps = r.f64();
+  f.health.gps_window_ticks = r.i32();
+  f.health.lidar_invalid_frac = r.f64();
+  f.health.lidar_ghost_range_m = r.f64();
+  f.health.lidar_ghost_frac = r.f64();
+  f.lidar_corridor_half_deg = r.f64();
+  f.min_cruise_mps = r.f64();
+  return f;
+}
+
+bool config_has_sensor_extension(const RunConfig& cfg) {
+  return cfg.sensor_fault.active() || cfg.fusion.enabled;
+}
+
+void put_config_sensor_extension(ByteWriter& w, const RunConfig& cfg) {
+  w.u8(cfg.fusion.enabled ? 1 : 0);
+  put_sensor_plan(w, cfg.sensor_fault);
+  put_fusion_config(w, cfg.fusion);
+}
+
 void put_vehicle_state(ByteWriter& w, const VehicleState& s) {
   w.f64(s.pose.pos.x);
   w.f64(s.pose.pos.y);
@@ -199,6 +277,23 @@ std::string serialize_run_result(const RunResult& r) {
   w.u64(r.cpu_instructions);
   w.u64(r.agent_state_bytes);
   w.u64(r.sensor_frame_bytes);
+  if (r.sensor_fault.active() || r.sensor_corruptions != 0 ||
+      r.recovery.sensor_degraded_ticks != 0 ||
+      !r.recovery.sensor_events.empty()) {
+    put_sensor_plan(w, r.sensor_fault);
+    w.u64(r.sensor_corruptions);
+    w.i32(r.recovery.sensor_degraded_ticks);
+    put_vec(w, r.recovery.sensor_events,
+            [](ByteWriter& o, const SensorDegradeEvent& e) {
+              o.i32(e.channel);
+              o.i32(e.onset_tick);
+              o.f64(e.onset_time);
+              o.i32(e.rejoin_tick);
+              o.f64(e.rejoin_time);
+              o.u8(e.dropped ? 1 : 0);
+              o.u8(e.escalated ? 1 : 0);
+            });
+  }
   return w.take();
 }
 
@@ -278,6 +373,22 @@ RunResult deserialize_run_result(const std::string& bytes) {
   out.cpu_instructions = r.u64();
   out.agent_state_bytes = r.u64();
   out.sensor_frame_bytes = r.u64();
+  if (!r.done()) {  // sensor extension (absent in pre-extension records)
+    out.sensor_fault = get_sensor_plan(r);
+    out.sensor_corruptions = r.u64();
+    out.recovery.sensor_degraded_ticks = r.i32();
+    for (std::uint64_t i = 0, n = get_count(r); i < n; ++i) {
+      SensorDegradeEvent e;
+      e.channel = r.i32();
+      e.onset_tick = r.i32();
+      e.onset_time = r.f64();
+      e.rejoin_tick = r.i32();
+      e.rejoin_time = r.f64();
+      e.dropped = r.u8() != 0;
+      e.escalated = r.u8() != 0;
+      out.recovery.sensor_events.push_back(e);
+    }
+  }
   if (!r.done()) malformed("trailing bytes");
   return out;
 }
@@ -348,6 +459,7 @@ std::string serialize_run_config(const RunConfig& cfg) {
   w.u64(cfg.trace.capacity);
   w.i32(cfg.trace.pid);
   w.str(cfg.trace.label);
+  if (config_has_sensor_extension(cfg)) put_config_sensor_extension(w, cfg);
   return w.take();
 }
 
@@ -388,6 +500,14 @@ RunConfigRecord deserialize_run_config(const std::string& bytes) {
   cfg.trace.capacity = static_cast<std::size_t>(r.u64());
   cfg.trace.pid = r.i32();
   cfg.trace.label = r.str();
+  if (!r.done()) {  // sensor extension (absent in pre-extension records)
+    cfg.fusion.enabled = r.u8() != 0;
+    cfg.sensor_fault = get_sensor_plan(r);
+    const FusionConfig wire = get_fusion_config(r);
+    const bool enabled = cfg.fusion.enabled;
+    cfg.fusion = wire;
+    cfg.fusion.enabled = enabled;
+  }
   if (!r.done()) malformed("trailing bytes");
   return out;
 }
@@ -445,6 +565,10 @@ std::uint64_t run_config_digest(const RunConfig& cfg) {
     cfg.online_lut->save(lut_text);
     w.str(lut_text.str());
   }
+  // Same only-when-active discipline as serialize_run_config: plan-free,
+  // fusion-free configs keep their pre-extension digest (journals, warm
+  // caches and resume keyed on it stay valid).
+  if (config_has_sensor_extension(cfg)) put_config_sensor_extension(w, cfg);
   const std::string& b = w.bytes();
   return fnv1a64(b.data(), b.size());
 }

@@ -43,6 +43,11 @@ AdsSystem::AdsSystem(AgentMode mode, const AgentConfig& agent_cfg,
   }
 }
 
+void AdsSystem::attach_sensor_fault_injector(SensorFaultInjector* injector) {
+  sensor_injector_ = injector;
+  agent0_->attach_sensor_fault_injector(injector);
+}
+
 void AdsSystem::adopt_initial_state(const AgentSnapshot& s) {
   // Both agents are constructed from the same AgentConfig, so one initial
   // snapshot is valid for either.
@@ -118,6 +123,7 @@ void AdsSystem::restart_agent(int suspect) {
   const std::string name = slot->name();
   slot = std::make_unique<SensorimotorAgent>(name, agent_cfg_, gpu, cpu, map_);
   slot->restore(mutable_agent(1 - suspect).snapshot());
+  if (suspect == 0) slot->attach_sensor_fault_injector(sensor_injector_);
   executing_ = suspect;
   slot->rewarm();
   obs::instant(obs::Instant::kAgentRestart, 0.0, suspect);

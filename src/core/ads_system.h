@@ -69,6 +69,12 @@ class AdsSystem {
   /// exception was thrown (the platform knows which process crashed/hung).
   int last_executing_agent() const { return executing_; }
 
+  /// Route spatiotemporal tensor bit-flips (SensorFaultModel::kTensorBitFlip)
+  /// into the PRIMARY agent's perception. Non-owning; nullptr detaches.
+  /// Survives restart_agent: a restart swaps compute state, but a sensor-path
+  /// fault lives upstream of the agent and re-attaches to the replacement.
+  void attach_sensor_fault_injector(SensorFaultInjector* injector);
+
   /// Warm-start entry point (executor warm-state cache, campaign/driver.h):
   /// adopt a previously captured INITIAL agent snapshot into every agent.
   /// Only valid before the first step, and only with a snapshot captured
@@ -103,6 +109,7 @@ class AdsSystem {
   std::unique_ptr<SensorimotorAgent> agent0_;
   std::unique_ptr<SensorimotorAgent> agent1_;
   std::optional<Actuation> prev_output_;  // previous comparison reference
+  SensorFaultInjector* sensor_injector_ = nullptr;
   int step_ = 0;
   int executing_ = 0;
 };

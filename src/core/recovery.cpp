@@ -38,7 +38,66 @@ bool finite(const Actuation& u) {
 
 RecoveryManager::RecoveryManager(AdsSystem& ads, const RecoveryConfig& cfg,
                                  double watchdog_sec, ErrorDetector* online)
-    : ads_(ads), cfg_(cfg), watchdog_sec_(watchdog_sec), online_(online) {}
+    : ads_(ads), cfg_(cfg), watchdog_sec_(watchdog_sec), online_(online) {
+  open_sensor_event_.fill(-1);
+}
+
+void RecoveryManager::enable_sensor_monitor(const SensorHealthConfig& cfg) {
+  sensor_monitor_.emplace(cfg);
+}
+
+bool RecoveryManager::observe_sensors(const SensorFrame& frame, double time,
+                                      int step) {
+  if (!sensor_monitor_) return false;
+  sensor_monitor_->observe(frame);
+  for (int c = 0; c < kSensorChannelCount; ++c) {
+    const SensorStatus st =
+        sensor_monitor_->status(static_cast<SensorChannel>(c));
+    int& open = open_sensor_event_[static_cast<std::size_t>(c)];
+    if (open < 0) {
+      if (st != SensorStatus::kHealthy) {
+        SensorDegradeEvent ev;
+        ev.channel = c;
+        ev.onset_tick = step;
+        ev.onset_time = time;
+        ev.dropped = st == SensorStatus::kDropped;
+        open = static_cast<int>(stats_.sensor_events.size());
+        stats_.sensor_events.push_back(ev);
+        obs::instant(obs::Instant::kSensorDegraded, time, c);
+      }
+      continue;
+    }
+    SensorDegradeEvent& ev =
+        stats_.sensor_events[static_cast<std::size_t>(open)];
+    if (st == SensorStatus::kDropped) ev.dropped = true;
+    if (st == SensorStatus::kHealthy) {
+      ev.rejoin_tick = step;
+      ev.rejoin_time = time;
+      open = -1;
+      obs::instant(obs::Instant::kSensorRejoin, time, c);
+    }
+  }
+  // Sensor degradation occupies kNominal's slot only: an in-flight compute
+  // recovery (probe / restart / rewarm) takes precedence and the monitor
+  // keeps tracking episodes underneath it.
+  const bool unhealthy = sensor_monitor_->any_unhealthy();
+  if (state_ == State::kNominal && unhealthy) {
+    state_ = State::kSensorDegraded;
+  } else if (state_ == State::kSensorDegraded && !unhealthy) {
+    state_ = State::kNominal;
+  }
+  if (sensor_monitor_->ranging_lost() && state_ != State::kFailback) {
+    // No channel left that can bound the obstacle distance: limping on
+    // fusion is no longer safe, stop the vehicle.
+    for (int idx : open_sensor_event_) {
+      if (idx >= 0) {
+        stats_.sensor_events[static_cast<std::size_t>(idx)].escalated = true;
+      }
+    }
+    return true;
+  }
+  return false;
+}
 
 void RecoveryManager::record_state_counter() const {
   obs::counter(obs::Counter::kRecoveryState,
@@ -51,8 +110,15 @@ RecoveryManager::TickOutcome RecoveryManager::tick(const SensorFrame& frame,
                                                    double time, int step) {
   obs::SpanScope span(obs::Stage::kRecoveryTick);
   record_state_counter();
+  if (observe_sensors(frame, time, step)) {
+    TickOutcome out;
+    escalate(out);
+    out.applied = last_applied_;
+    return out;
+  }
   switch (state_) {
     case State::kNominal:
+    case State::kSensorDegraded:
       return nominal_tick(frame, dt, ego, time, step);
     case State::kProbing:
       return probe_tick(frame, dt, time, step);
@@ -89,14 +155,28 @@ RecoveryManager::TickOutcome RecoveryManager::nominal_tick(
     out.have_delta = sr.have_delta;
     out.delta = sr.delta;
     last_applied_ = out.applied;
-    ++stats_.nominal_ticks;
+    const bool sensor_mode = state_ == State::kSensorDegraded;
+    if (sensor_mode) {
+      ++stats_.sensor_degraded_ticks;
+    } else {
+      ++stats_.nominal_ticks;
+    }
     if (online_ != nullptr && sr.have_delta && !online_->alarmed() &&
         online_->observe(StepObservation{time, ego, sr.delta})) {
       if (stats_.first_detector_alarm_time < 0.0) {
         stats_.first_detector_alarm_time = online_->first_alarm_time();
       }
-      // A statistical alarm cannot name the culprit: arbitrate.
-      begin_probe(online_->first_alarm_time(), step, time);
+      if (sensor_mode) {
+        // Common-mode input: both agents ate the same corrupted frames, so
+        // the alarm is explained by the known-degraded sensor. Restarting
+        // compute cannot fix a sensor — re-arm the detector and let fusion
+        // keep driving. This no-restart attribution is the availability win
+        // over whole-agent recovery (bench_sensor_fusion).
+        online_->reset();
+      } else {
+        // A statistical alarm cannot name the culprit: arbitrate.
+        begin_probe(online_->first_alarm_time(), step, time);
+      }
     }
   } catch (const CrashError&) {
     out.due = DueSource::kEngineCrash;

@@ -15,15 +15,25 @@
 //   kDegraded --replica dies again--> restart (window-counted)
 //   any --healthy dies / degraded alarm / window exhausted--> kFailback
 //
+// With the sensor monitor armed (enable_sensor_monitor), a fifth state rides
+// the ladder in kNominal's slot:
+//
+//   kNominal <--channel (un)healthy--> kSensorDegraded  (fusion drives on)
+//   kSensorDegraded --detector alarm--> attributed to the sensor (no probe)
+//   kSensorDegraded --ranging lost--> kFailback
+//
 // Every timer is tick-counted and every decision is a function of the run
 // seed: same seed, identical recovery timeline (test_recovery.cpp pins this).
 #pragma once
 
+#include <array>
+#include <optional>
 #include <vector>
 
 #include "core/ads_system.h"
 #include "core/detector.h"
 #include "fi/fault_model.h"
+#include "sensors/sensor_health.h"
 
 namespace dav {
 
@@ -57,6 +67,20 @@ struct RecoveryEvent {
   int rejoin_tick = -1;
 };
 
+/// One per-sensor degradation episode (kSensorDegraded residency): the
+/// platform monitor saw a channel leave kHealthy, fusion drove around it,
+/// and — if the sensor came back — the channel rejoined. Per-sensor MTTR
+/// and availability in summarize_recovery come from these.
+struct SensorDegradeEvent {
+  int channel = -1;        // SensorChannel index
+  int onset_tick = -1;
+  double onset_time = -1.0;
+  int rejoin_tick = -1;    // -1: still open at end of run
+  double rejoin_time = -1.0;
+  bool dropped = false;    // the ladder reached kDropped during the episode
+  bool escalated = false;  // episode ended in a ranging-lost failback
+};
+
 /// Mitigation bookkeeping carried in RunResult (serialized; summarized by
 /// summarize_recovery into availability / MTTR, paper §VII framing).
 struct MitigationStats {
@@ -72,6 +96,11 @@ struct MitigationStats {
   int probe_ticks = 0;
   int degraded_ticks = 0;
   int failback_ticks = 0;  // filled by the driver's failback loop
+  /// Ticks spent in kSensorDegraded: full redundancy, degraded sensing.
+  /// The vehicle is still driving on fused perception, so these count as
+  /// available in availability_fraction.
+  int sensor_degraded_ticks = 0;
+  std::vector<SensorDegradeEvent> sensor_events;
 };
 
 /// Drives one AdsSystem tick under the restart-recovery policy, absorbing
@@ -85,6 +114,13 @@ class RecoveryManager {
   /// actually fires, matching the driver's DUE timestamps.
   RecoveryManager(AdsSystem& ads, const RecoveryConfig& cfg,
                   double watchdog_sec, ErrorDetector* online);
+
+  /// Arm the platform-level sensor monitor (kSensorDegraded residency).
+  /// Sensor faults are common-mode — both agents eat the same corrupted
+  /// frames — so detector alarms raised while a channel is known-degraded
+  /// are attributed to the sensor and do NOT trigger the restart ladder
+  /// (restarting compute cannot fix a sensor). Call before the first tick.
+  void enable_sensor_monitor(const SensorHealthConfig& cfg);
 
   struct TickOutcome {
     Actuation applied;       // command to drive the world with
@@ -106,7 +142,8 @@ class RecoveryManager {
   const MitigationStats& stats() const { return stats_; }
 
  private:
-  enum class State { kNominal, kProbing, kDegraded, kFailback };
+  enum class State { kNominal, kProbing, kDegraded, kFailback,
+                     kSensorDegraded };
 
   TickOutcome nominal_tick(const SensorFrame& frame, double dt,
                            const VehicleState& ego, double time, int step);
@@ -114,6 +151,11 @@ class RecoveryManager {
                          int step);
   TickOutcome degraded_tick(const SensorFrame& frame, double dt,
                             const VehicleState& ego, double time, int step);
+
+  /// Feed the monitor, maintain per-channel episodes, and move between
+  /// kNominal and kSensorDegraded. Returns true when ranging is lost and the
+  /// caller must escalate.
+  bool observe_sensors(const SensorFrame& frame, double time, int step);
 
   /// Open an episode and restart `suspect`; escalates (returns false) when
   /// the window is exhausted or the replacement dies at birth.
@@ -146,6 +188,12 @@ class RecoveryManager {
 
   /// Ticks at which restarts began, for the escalation window.
   std::vector<int> restart_ticks_;
+
+  // Platform-level sensor health (present only after enable_sensor_monitor).
+  std::optional<SensorHealthMonitor> sensor_monitor_;
+  /// Index into stats_.sensor_events of each channel's open episode, -1 when
+  /// the channel is healthy.
+  std::array<int, kSensorChannelCount> open_sensor_event_;
 };
 
 }  // namespace dav

@@ -43,4 +43,37 @@ std::vector<FaultPlan> InjectionPlanGenerator::permanent_plans(
   return plans;
 }
 
+std::vector<SensorFaultPlan> InjectionPlanGenerator::sensor_plans(
+    const std::vector<SensorFaultModel>& models, int runs_per_model,
+    int onset_tick, int duration_ticks) const {
+  Rng rng(seed_ ^ 0x5E450FA17ULL);
+  std::vector<SensorFaultPlan> plans;
+  plans.reserve(models.size() * static_cast<std::size_t>(runs_per_model));
+  for (const SensorFaultModel m : models) {
+    if (m == SensorFaultModel::kNone) continue;
+    for (int i = 0; i < runs_per_model; ++i) {
+      SensorFaultPlan p;
+      p.model = m;
+      p.onset_tick = onset_tick;
+      p.duration_ticks = duration_ticks;
+      p.seed = rng();
+      // Meaningful intensities only: magnitude 0 makes several models
+      // near-no-ops (empty patch, zero dropout), which wastes sweep runs.
+      p.magnitude = 0.25 + 0.75 * rng.uniform();
+      if (sensor_kind(m) == SensorKind::kCamera) p.sensor_index = i % 3;
+      if (m == SensorFaultModel::kTensorBitFlip) {
+        p.layer = static_cast<int>(rng.uniform_index(4));
+        // Bias toward the exponent bits (23..30): mantissa flips in bounded
+        // perception state rarely move the output, mirroring how register
+        // campaigns see most low-bit flips masked.
+        p.bit = static_cast<int>(rng.bernoulli(0.5)
+                                     ? 23 + rng.uniform_index(8)
+                                     : rng.uniform_index(32));
+      }
+      plans.push_back(p);
+    }
+  }
+  return plans;
+}
+
 }  // namespace dav

@@ -10,6 +10,7 @@
 
 #include "fi/fault_model.h"
 #include "fi/opcodes.h"
+#include "fi/sensor_fault.h"
 
 namespace dav {
 
@@ -35,6 +36,14 @@ class InjectionPlanGenerator {
   /// with independently drawn bit positions (paper: 171 GPU opcodes x 3, 131
   /// CPU opcodes x 3).
   std::vector<FaultPlan> permanent_plans(FaultDomain domain, int repeats) const;
+
+  /// Sensor-path sweeps: `runs_per_model` plans per model sharing one onset /
+  /// duration window, with per-plan corruption seed and magnitude drawn from
+  /// the generator seed. Camera plans cycle the rig index 0..2; tensor plans
+  /// draw (layer, bit) so the sweep covers the spatiotemporal targeting space.
+  std::vector<SensorFaultPlan> sensor_plans(
+      const std::vector<SensorFaultModel>& models, int runs_per_model,
+      int onset_tick, int duration_ticks) const;
 
   static int num_opcodes(FaultDomain domain) {
     return domain == FaultDomain::kGpu ? kNumGpuOpcodes : kNumCpuOpcodes;

@@ -1,0 +1,232 @@
+#include "fi/sensor_fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/bits.h"
+
+namespace dav {
+
+SensorKind sensor_kind(SensorFaultModel m) {
+  switch (m) {
+    case SensorFaultModel::kNone:
+      return SensorKind::kNone;
+    case SensorFaultModel::kCameraOcclusion:
+    case SensorFaultModel::kCameraSaltPepper:
+    case SensorFaultModel::kCameraFrozen:
+    case SensorFaultModel::kCameraBlackout:
+      return SensorKind::kCamera;
+    case SensorFaultModel::kLidarDropout:
+    case SensorFaultModel::kLidarGhost:
+      return SensorKind::kLidar;
+    case SensorFaultModel::kGpsDrift:
+    case SensorFaultModel::kGpsLoss:
+      return SensorKind::kGps;
+    case SensorFaultModel::kTensorBitFlip:
+      return SensorKind::kTensor;
+  }
+  return SensorKind::kNone;
+}
+
+std::string to_string(SensorKind k) {
+  switch (k) {
+    case SensorKind::kNone: return "none";
+    case SensorKind::kCamera: return "camera";
+    case SensorKind::kLidar: return "lidar";
+    case SensorKind::kGps: return "gps";
+    case SensorKind::kTensor: return "tensor";
+  }
+  return "?";
+}
+
+std::string to_string(SensorFaultModel m) {
+  switch (m) {
+    case SensorFaultModel::kNone: return "none";
+    case SensorFaultModel::kCameraOcclusion: return "camera-occlusion";
+    case SensorFaultModel::kCameraSaltPepper: return "camera-salt-pepper";
+    case SensorFaultModel::kCameraFrozen: return "camera-frozen";
+    case SensorFaultModel::kCameraBlackout: return "camera-blackout";
+    case SensorFaultModel::kLidarDropout: return "lidar-dropout";
+    case SensorFaultModel::kLidarGhost: return "lidar-ghost";
+    case SensorFaultModel::kGpsDrift: return "gps-drift";
+    case SensorFaultModel::kGpsLoss: return "gps-loss";
+    case SensorFaultModel::kTensorBitFlip: return "tensor-bitflip";
+  }
+  return "?";
+}
+
+SensorFaultModel parse_sensor_fault_model(const std::string& name) {
+  for (SensorFaultModel m : all_sensor_fault_models()) {
+    if (name == to_string(m)) return m;
+  }
+  return SensorFaultModel::kNone;
+}
+
+const std::vector<SensorFaultModel>& all_sensor_fault_models() {
+  static const std::vector<SensorFaultModel> kAll = {
+      SensorFaultModel::kCameraOcclusion,
+      SensorFaultModel::kCameraSaltPepper,
+      SensorFaultModel::kCameraFrozen,
+      SensorFaultModel::kCameraBlackout,
+      SensorFaultModel::kLidarDropout,
+      SensorFaultModel::kLidarGhost,
+      SensorFaultModel::kGpsDrift,
+      SensorFaultModel::kGpsLoss,
+      SensorFaultModel::kTensorBitFlip,
+  };
+  return kAll;
+}
+
+SensorFaultInjector::SensorFaultInjector(const SensorFaultPlan& plan)
+    : plan_(plan) {
+  // Lifetime-constant draws (patch geometry, drift direction) come from a
+  // dedicated stream so they never interact with the per-tick streams.
+  Rng setup(Rng(plan_.seed).split(0x5e7));
+  if (plan_.model == SensorFaultModel::kGpsDrift) {
+    const double dir = setup.uniform(0.0, 2.0 * M_PI);
+    drift_cos_ = std::cos(dir);
+    drift_sin_ = std::sin(dir);
+  }
+}
+
+Rng SensorFaultInjector::tick_rng(int tick) const {
+  return Rng(plan_.seed).split(static_cast<std::uint64_t>(tick) + 1);
+}
+
+void SensorFaultInjector::corrupt_camera(int camera_index, int tick,
+                                         std::uint8_t* rgb, int width,
+                                         int height) {
+  if (plan_.kind() != SensorKind::kCamera ||
+      camera_index != plan_.sensor_index) {
+    return;
+  }
+  const std::size_t bytes =
+      static_cast<std::size_t>(width) * height * 3;
+  if (plan_.model == SensorFaultModel::kCameraFrozen && tick < plan_.onset_tick) {
+    // Keep the freshest pre-onset frame; a fault with onset 0 freezes an
+    // all-zero buffer (the sensor never produced a frame), like a blackout.
+    frozen_.assign(rgb, rgb + bytes);
+    return;
+  }
+  if (!plan_.covers(tick)) return;
+  const double mag = std::clamp(plan_.magnitude, 0.0, 1.0);
+  switch (plan_.model) {
+    case SensorFaultModel::kCameraBlackout:
+      std::memset(rgb, 0, bytes);
+      corruptions_ += bytes / 3;
+      break;
+    case SensorFaultModel::kCameraFrozen: {
+      if (frozen_.size() != bytes) frozen_.assign(bytes, 0);
+      std::memcpy(rgb, frozen_.data(), bytes);
+      corruptions_ += bytes / 3;
+      break;
+    }
+    case SensorFaultModel::kCameraOcclusion: {
+      if (!patch_drawn_) {
+        // Patch geometry is a pure function of (seed, first corrupted frame
+        // size): drawn lazily because the injector has no frame dims before.
+        Rng geom(Rng(plan_.seed).split(0x0cc));
+        const double frac = 0.35 + 0.45 * mag;  // side length fraction
+        patch_w_ = std::max(1, static_cast<int>(width * frac));
+        patch_h_ = std::max(1, static_cast<int>(height * frac));
+        patch_x_ = static_cast<int>(
+            geom.uniform_index(static_cast<std::uint64_t>(
+                std::max(1, width - patch_w_ + 1))));
+        patch_y_ = static_cast<int>(
+            geom.uniform_index(static_cast<std::uint64_t>(
+                std::max(1, height - patch_h_ + 1))));
+        patch_drawn_ = true;
+      }
+      for (int y = patch_y_; y < std::min(height, patch_y_ + patch_h_); ++y) {
+        for (int x = patch_x_; x < std::min(width, patch_x_ + patch_w_); ++x) {
+          std::uint8_t* px = rgb + (static_cast<std::size_t>(y) * width + x) * 3;
+          px[0] = px[1] = px[2] = 0;
+          ++corruptions_;
+        }
+      }
+      break;
+    }
+    case SensorFaultModel::kCameraSaltPepper: {
+      Rng rng = tick_rng(tick);
+      const double density = 0.08 + 0.42 * mag;
+      const int pixels = width * height;
+      for (int i = 0; i < pixels; ++i) {
+        if (!rng.bernoulli(density)) continue;
+        const std::uint8_t v = rng.bernoulli(0.5) ? 255 : 0;
+        std::uint8_t* px = rgb + static_cast<std::size_t>(i) * 3;
+        px[0] = px[1] = px[2] = v;
+        ++corruptions_;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void SensorFaultInjector::corrupt_lidar(int tick, std::vector<float>& ranges) {
+  if (plan_.kind() != SensorKind::kLidar || !plan_.covers(tick) ||
+      ranges.empty()) {
+    return;
+  }
+  Rng rng = tick_rng(tick);
+  const double mag = std::clamp(plan_.magnitude, 0.0, 1.0);
+  const std::uint64_t n = ranges.size();
+  if (plan_.model == SensorFaultModel::kLidarDropout) {
+    const double frac = 0.25 + 0.6 * mag;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!rng.bernoulli(frac)) continue;
+      ranges[static_cast<std::size_t>(i)] = 0.0f;  // no return
+      ++corruptions_;
+    }
+  } else {  // kLidarGhost
+    const int ghosts =
+        std::max(1, static_cast<int>(static_cast<double>(n) * 0.3 * mag));
+    for (int g = 0; g < ghosts; ++g) {
+      const std::size_t beam =
+          static_cast<std::size_t>(rng.uniform_index(n));
+      ranges[beam] = static_cast<float>(rng.uniform(0.4, 1.8));
+      ++corruptions_;
+    }
+  }
+}
+
+void SensorFaultInjector::corrupt_gps(int tick, float* fields, int count) {
+  if (plan_.kind() != SensorKind::kGps || !plan_.covers(tick) || count < 3) {
+    return;
+  }
+  if (plan_.model == SensorFaultModel::kGpsLoss) {
+    for (int i = 0; i < count; ++i) fields[i] = 0.0f;
+    corruptions_ += static_cast<std::uint64_t>(count);
+    return;
+  }
+  // kGpsDrift: position walks away along a seeded direction while the speed
+  // field ramps incoherently — a plausibility monitor catches the
+  // position/speed inconsistency once the ramp clears its threshold, so
+  // detection latency scales with the drift rate.
+  const double mag = std::clamp(plan_.magnitude, 0.0, 1.0);
+  const int since = tick - plan_.onset_tick + 1;
+  const double offset_m = 0.12 * mag * since;
+  fields[0] += static_cast<float>(offset_m * drift_cos_);  // gps_x
+  fields[1] += static_cast<float>(offset_m * drift_sin_);  // gps_y
+  fields[2] += static_cast<float>(0.05 * mag * since);     // speed ramp
+  corruptions_ += 3;
+}
+
+void SensorFaultInjector::corrupt_tensor(int layer, int tick, float* data,
+                                         std::size_t count) {
+  if (plan_.model != SensorFaultModel::kTensorBitFlip ||
+      layer != plan_.layer || !plan_.covers(tick) || count == 0) {
+    return;
+  }
+  Rng rng = tick_rng(tick);
+  const std::size_t idx =
+      static_cast<std::size_t>(rng.uniform_index(count));
+  const std::uint32_t mask =
+      (plan_.bit >= 0 && plan_.bit < 32) ? (1u << plan_.bit) : 0u;
+  data[idx] = bits_float(float_bits(data[idx]) ^ mask);
+  ++corruptions_;
+}
+
+}  // namespace dav

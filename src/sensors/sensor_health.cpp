@@ -1,0 +1,237 @@
+#include "sensors/sensor_health.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dav {
+namespace {
+
+// ~16x18 grid per camera: dense enough for photometric statistics, cheap
+// enough to run every tick on every channel.
+constexpr int kSampleCols = 16;
+constexpr int kSampleRows = 18;
+
+}  // namespace
+
+std::string to_string(SensorChannel c) {
+  switch (c) {
+    case SensorChannel::kCamLeft: return "cam-left";
+    case SensorChannel::kCamCenter: return "cam-center";
+    case SensorChannel::kCamRight: return "cam-right";
+    case SensorChannel::kLidar: return "lidar";
+    case SensorChannel::kGps: return "gps";
+  }
+  return "?";
+}
+
+std::string to_string(SensorStatus s) {
+  switch (s) {
+    case SensorStatus::kHealthy: return "healthy";
+    case SensorStatus::kDegraded: return "degraded";
+    case SensorStatus::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+SensorHealthMonitor::SensorHealthMonitor(const SensorHealthConfig& cfg)
+    : cfg_(cfg) {
+  status_.fill(SensorStatus::kHealthy);
+  bad_streak_.fill(0);
+  good_streak_.fill(0);
+}
+
+double SensorHealthMonitor::weight(SensorChannel c) const {
+  switch (status(c)) {
+    case SensorStatus::kHealthy: return 1.0;
+    case SensorStatus::kDegraded: return cfg_.degraded_weight;
+    case SensorStatus::kDropped: return 0.0;
+  }
+  return 1.0;
+}
+
+bool SensorHealthMonitor::any_unhealthy() const {
+  for (SensorStatus s : status_) {
+    if (s != SensorStatus::kHealthy) return true;
+  }
+  return false;
+}
+
+bool SensorHealthMonitor::ranging_lost() const {
+  const bool cam_gone =
+      status(SensorChannel::kCamCenter) == SensorStatus::kDropped;
+  const bool lidar_gone =
+      !lidar_seen_ || status(SensorChannel::kLidar) == SensorStatus::kDropped;
+  return cam_gone && lidar_gone;
+}
+
+void SensorHealthMonitor::observe(const SensorFrame& frame) {
+  for (int i = 0; i < 3 && i < static_cast<int>(frame.cameras.size()); ++i) {
+    step_ladder(i, camera_plausible(i, frame.cameras[i]));
+  }
+  // An absent LiDAR (capture disabled) is not a fault: leave the channel
+  // healthy so ranging_lost() keys off the absence flag downstream.
+  if (!frame.lidar.empty()) {
+    lidar_seen_ = true;
+    step_ladder(static_cast<int>(SensorChannel::kLidar),
+                lidar_plausible(frame.lidar));
+  }
+  step_ladder(static_cast<int>(SensorChannel::kGps),
+              gps_plausible(frame.gps_imu, frame.time));
+}
+
+void SensorHealthMonitor::step_ladder(int channel, bool plausible) {
+  if (plausible) {
+    bad_streak_[channel] = 0;
+    if (status_[channel] != SensorStatus::kHealthy &&
+        ++good_streak_[channel] >= cfg_.rejoin_after) {
+      status_[channel] = SensorStatus::kHealthy;
+      good_streak_[channel] = 0;
+    }
+    return;
+  }
+  good_streak_[channel] = 0;
+  ++bad_streak_[channel];
+  if (bad_streak_[channel] >= cfg_.drop_after) {
+    status_[channel] = SensorStatus::kDropped;
+  } else if (bad_streak_[channel] >= cfg_.degrade_after &&
+             status_[channel] == SensorStatus::kHealthy) {
+    status_[channel] = SensorStatus::kDegraded;
+  }
+}
+
+bool SensorHealthMonitor::camera_plausible(int index, const Image& img) {
+  if (img.empty()) return true;
+  const int w = img.width(), h = img.height();
+  const int sx = std::max(1, w / kSampleCols);
+  const int sy = std::max(1, h / kSampleRows);
+
+  std::vector<std::uint8_t> sample;
+  sample.reserve(static_cast<std::size_t>(kSampleCols) * kSampleRows * 3);
+  std::uint64_t sum = 0;
+  int extremes = 0, count = 0;
+  for (int y = 0; y < h; y += sy) {
+    for (int x = 0; x < w; x += sx) {
+      const Rgb px = img.get(x, y);
+      sample.push_back(px.r);
+      sample.push_back(px.g);
+      sample.push_back(px.b);
+      sum += static_cast<std::uint64_t>(px.r) + px.g + px.b;
+      if (px.r == px.g && px.g == px.b && (px.r == 0 || px.r == 255)) {
+        ++extremes;
+      }
+      ++count;
+    }
+  }
+  if (count == 0) return true;
+
+  const double mean = static_cast<double>(sum) / (3.0 * count);
+  const double extreme_frac = static_cast<double>(extremes) / count;
+  // Photometric noise makes byte-identical consecutive samples impossible on
+  // a live sensor; equality means a stuck buffer (or a dead all-zero one).
+  const bool frozen =
+      !prev_sample_[index].empty() && prev_sample_[index] == sample;
+  prev_sample_[index] = std::move(sample);
+
+  if (frozen) return false;
+  if (mean < cfg_.cam_min_mean) return false;
+  if (extreme_frac > cfg_.cam_extreme_frac) return false;
+  return true;
+}
+
+bool SensorHealthMonitor::gps_plausible(const GpsImuSample& s, double time) {
+  const std::array<float, 6> f = s.as_array();
+  for (float v : f) {
+    if (!std::isfinite(v)) return false;
+  }
+  // A receiver that lost its fix reports the all-zero null sample; sensor
+  // noise makes an exact zero across every field unreachable otherwise.
+  bool all_zero = true;
+  for (float v : f) {
+    if (std::fpclassify(v) != FP_ZERO) all_zero = false;
+  }
+  if (all_zero) return false;
+
+  if (!gps_primed_) {
+    gps_primed_ = true;
+    prev_gps_ = s;
+    prev_time_ = time;
+    gps_window_.clear();
+    gps_window_.push_back({s.gps_x, s.gps_y, 0.0, 0.0, time});
+    exp_x_ = exp_y_ = 0.0;
+    return true;
+  }
+
+  const double dt = time - prev_time_;
+  const double dx = static_cast<double>(s.gps_x) - prev_gps_.gps_x;
+  const double dy = static_cast<double>(s.gps_y) - prev_gps_.gps_y;
+  const double jump = std::sqrt(dx * dx + dy * dy);
+
+  // Dead-reckon with the PREVIOUS sample's speed/heading: the integral of
+  // what the IMU claimed the vehicle was doing over this tick.
+  exp_x_ += prev_gps_.speed * std::cos(prev_gps_.yaw) * dt;
+  exp_y_ += prev_gps_.speed * std::sin(prev_gps_.yaw) * dt;
+  prev_gps_ = s;
+  prev_time_ = time;
+  gps_window_.push_back({s.gps_x, s.gps_y, exp_x_, exp_y_, time});
+  if (static_cast<int>(gps_window_.size()) > cfg_.gps_window_ticks + 1) {
+    gps_window_.erase(gps_window_.begin());
+  }
+
+  if (jump > cfg_.gps_jump_m) return false;
+
+  // Windowed mismatch: (GPS displacement) - (dead-reckoned displacement)
+  // over the full window, as a velocity. Positional noise averages out over
+  // the baseline; coherent drift does not.
+  if (static_cast<int>(gps_window_.size()) > cfg_.gps_window_ticks) {
+    const GpsPoint& a = gps_window_.front();
+    const GpsPoint& b = gps_window_.back();
+    const double span = b.t - a.t;
+    if (span > 1e-9) {
+      const double mx = (b.gx - a.gx) - (b.ex - a.ex);
+      const double my = (b.gy - a.gy) - (b.ey - a.ey);
+      const double mismatch = std::sqrt(mx * mx + my * my) / span;
+      if (mismatch > cfg_.gps_velocity_mismatch_mps) return false;
+    }
+  }
+  return true;
+}
+
+bool SensorHealthMonitor::lidar_plausible(const std::vector<float>& ranges) {
+  int invalid = 0, ghosts = 0;
+  for (float r : ranges) {
+    if (!std::isfinite(r) || r <= 0.0f) {
+      ++invalid;
+    } else if (r < cfg_.lidar_ghost_range_m) {
+      ++ghosts;
+    }
+  }
+  const double n = static_cast<double>(ranges.size());
+  if (invalid / n > cfg_.lidar_invalid_frac) return false;
+  if (ghosts / n > cfg_.lidar_ghost_frac) return false;
+  return true;
+}
+
+SensorHealthSnapshot SensorHealthMonitor::snapshot() const {
+  SensorHealthSnapshot snap;
+  for (int i = 0; i < kSensorChannelCount; ++i) {
+    snap.status[i] = static_cast<std::uint8_t>(status_[i]);
+    snap.bad_streak[i] = bad_streak_[i];
+    snap.good_streak[i] = good_streak_[i];
+  }
+  return snap;
+}
+
+void SensorHealthMonitor::restore(const SensorHealthSnapshot& snap) {
+  for (int i = 0; i < kSensorChannelCount; ++i) {
+    status_[i] = static_cast<SensorStatus>(snap.status[i]);
+    bad_streak_[i] = snap.bad_streak[i];
+    good_streak_[i] = snap.good_streak[i];
+  }
+  // Transient check state re-primes over the next few observations.
+  for (auto& p : prev_sample_) p.clear();
+  gps_window_.clear();
+  gps_primed_ = false;
+  exp_x_ = exp_y_ = 0.0;
+}
+
+}  // namespace dav

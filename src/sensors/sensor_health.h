@@ -1,0 +1,138 @@
+// Per-sensor plausibility monitoring (DESIGN.md §14.2).
+//
+// Sensor-path faults (fi/sensor_fault.h) are common-mode: both temporal
+// agents consume the same corrupted frames, so the divergence detector never
+// fires. The monitor closes that gap with cheap physical-plausibility checks
+// per channel — camera photometric statistics and frame deltas, GPS
+// dead-reckoning innovation, LiDAR return density — and turns sustained
+// violations into a Healthy -> Degraded -> Dropped ladder that fusion
+// weights and core/recovery.h consume. Everything here is plain deterministic
+// arithmetic on the frame contents: no randomness, no instrumented engines,
+// so enabling the monitor never perturbs the simulation byte stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sensors/sensor_rig.h"
+
+namespace dav {
+
+/// Monitored input channels. Camera channels alias rig camera indices.
+enum class SensorChannel : std::uint8_t {
+  kCamLeft = 0,
+  kCamCenter = 1,
+  kCamRight = 2,
+  kLidar = 3,
+  kGps = 4,
+};
+inline constexpr int kSensorChannelCount = 5;
+
+std::string to_string(SensorChannel c);
+
+enum class SensorStatus : std::uint8_t { kHealthy, kDegraded, kDropped };
+
+std::string to_string(SensorStatus s);
+
+/// Thresholds for the plausibility checks and the degradation ladder.
+/// Defaults are calibrated against clean runs of every safety scenario: no
+/// channel may leave kHealthy without an injected fault (pinned by test).
+struct SensorHealthConfig {
+  // Ladder: consecutive implausible ticks before degrading / dropping, and
+  // consecutive plausible ticks before a degraded or dropped channel rejoins.
+  int degrade_after = 2;
+  int drop_after = 6;
+  int rejoin_after = 10;
+  /// Fusion weight of a kDegraded channel (kHealthy = 1, kDropped = 0).
+  double degraded_weight = 0.3;
+
+  // Camera: mean sampled intensity below this reads as a dead sensor;
+  // a larger fraction of saturated gray pixels (r==g==b at 0 or 255) than
+  // this reads as impulse noise or an opaque patch; a byte-identical sampled
+  // frame is impossible under photometric noise and reads as a stuck buffer.
+  double cam_min_mean = 8.0;
+  double cam_extreme_frac = 0.10;
+
+  // GPS: per-tick position jumps beyond this are implausible at any speed
+  // the sim reaches; the windowed GPS-displacement vs IMU dead-reckoning
+  // velocity mismatch catches slow coherent drift that jump checks miss.
+  double gps_jump_m = 2.5;
+  double gps_velocity_mismatch_mps = 1.0;
+  int gps_window_ticks = 20;
+
+  // LiDAR: clean beams never return <= 0 (a miss reads ~max_range), and
+  // sub-2 m returns are confined to imminent-collision geometry.
+  double lidar_invalid_frac = 0.15;
+  double lidar_ghost_range_m = 2.0;
+  double lidar_ghost_frac = 0.08;
+};
+
+/// Ladder counters and statuses; transient check state (previous frames, the
+/// dead-reckoning window) is deliberately excluded and re-primes after
+/// restore, trading a few blind ticks for a small deterministic snapshot.
+struct SensorHealthSnapshot {
+  std::array<std::uint8_t, kSensorChannelCount> status{};
+  std::array<int, kSensorChannelCount> bad_streak{};
+  std::array<int, kSensorChannelCount> good_streak{};
+};
+
+/// Watches successive SensorFrames and maintains a status per channel.
+class SensorHealthMonitor {
+ public:
+  explicit SensorHealthMonitor(const SensorHealthConfig& cfg = {});
+
+  /// Run all plausibility checks for one tick and advance the ladder.
+  void observe(const SensorFrame& frame);
+
+  SensorStatus status(SensorChannel c) const {
+    return status_[static_cast<int>(c)];
+  }
+  /// Fusion weight: 1 healthy, cfg.degraded_weight degraded, 0 dropped.
+  double weight(SensorChannel c) const;
+  bool any_unhealthy() const;
+  /// True once the ego has lost every forward-ranging source (center camera
+  /// dropped and LiDAR dropped or absent): nothing can bound obstacle
+  /// distance, so recovery must escalate to a safe stop.
+  bool ranging_lost() const;
+
+  SensorHealthSnapshot snapshot() const;
+  void restore(const SensorHealthSnapshot& snap);
+
+  const SensorHealthConfig& config() const { return cfg_; }
+
+ private:
+  void step_ladder(int channel, bool plausible);
+  bool camera_plausible(int index, const Image& img);
+  bool gps_plausible(const GpsImuSample& s, double time);
+  bool lidar_plausible(const std::vector<float>& ranges);
+
+  SensorHealthConfig cfg_;
+  std::array<SensorStatus, kSensorChannelCount> status_{};
+  std::array<int, kSensorChannelCount> bad_streak_{};
+  std::array<int, kSensorChannelCount> good_streak_{};
+
+  // Camera state: the previous sampled grid per camera (frozen detection).
+  std::array<std::vector<std::uint8_t>, 3> prev_sample_;
+
+  // GPS dead-reckoning window: ring buffer of (gps position, integrated
+  // expected displacement, time) so the velocity-mismatch check compares a
+  // full window baseline instead of noise-dominated per-tick deltas.
+  struct GpsPoint {
+    double gx = 0, gy = 0;  // reported GPS position
+    double ex = 0, ey = 0;  // cumulative dead-reckoned displacement
+    double t = 0;
+  };
+  std::vector<GpsPoint> gps_window_;
+  double exp_x_ = 0, exp_y_ = 0;  // dead-reckoning accumulators
+  bool gps_primed_ = false;
+  GpsImuSample prev_gps_;
+  double prev_time_ = 0;
+
+  // Whether this run ever produced LiDAR returns (absence is a rig config
+  // choice, not a fault, but it does mean LiDAR can't cover for a camera).
+  bool lidar_seen_ = false;
+};
+
+}  // namespace dav

@@ -24,6 +24,23 @@ SensorFrame SensorRig::capture(const World& world, int step) {
   if (enable_lidar_) {
     frame.lidar = sample_lidar(world, lidar_model_, lidar_noise_);
   }
+  if (injector_ != nullptr) {
+    for (std::size_t i = 0; i < frame.cameras.size(); ++i) {
+      Image& img = frame.cameras[i];
+      injector_->corrupt_camera(static_cast<int>(i), step, img.bytes().data(),
+                                img.width(), img.height());
+    }
+    std::array<float, 6> fields = frame.gps_imu.as_array();
+    injector_->corrupt_gps(step, fields.data(),
+                           static_cast<int>(fields.size()));
+    frame.gps_imu.gps_x = fields[0];
+    frame.gps_imu.gps_y = fields[1];
+    frame.gps_imu.speed = fields[2];
+    frame.gps_imu.accel_long = fields[3];
+    frame.gps_imu.yaw = fields[4];
+    frame.gps_imu.yaw_rate = fields[5];
+    injector_->corrupt_lidar(step, frame.lidar);
+  }
   return frame;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fi/sensor_fault.h"
 #include "sensors/camera.h"
 #include "sensors/inertial.h"
 
@@ -29,6 +30,14 @@ class SensorRig {
 
   SensorFrame capture(const World& world, int step);
 
+  /// Corrupt frames at the capture seam — where real sensor faults enter,
+  /// upstream of every consumer. Non-owning; nullptr detaches. The injector
+  /// draws from its own plan-seeded streams, so attaching one never perturbs
+  /// the rig's noise sequences.
+  void attach_fault_injector(SensorFaultInjector* injector) {
+    injector_ = injector;
+  }
+
   const std::vector<CameraRenderer>& renderers() const { return renderers_; }
   /// Total bytes of one frame's camera payload (resource accounting).
   std::size_t frame_bytes() const;
@@ -41,6 +50,7 @@ class SensorRig {
   GpsImuModel imu_model_;
   LidarModel lidar_model_;
   bool enable_lidar_;
+  SensorFaultInjector* injector_ = nullptr;
 };
 
 }  // namespace dav

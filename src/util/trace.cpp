@@ -52,6 +52,8 @@ const char* to_string(Instant i) {
     case Instant::kRecoveryRejoin: return "recovery_rejoin";
     case Instant::kRecoveryEscalated: return "recovery_escalated";
     case Instant::kAgentRestart: return "agent_restart";
+    case Instant::kSensorDegraded: return "sensor_degraded";
+    case Instant::kSensorRejoin: return "sensor_rejoin";
     case Instant::kCount: break;
   }
   return "?";

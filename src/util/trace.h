@@ -58,7 +58,8 @@ enum class Counter : std::uint8_t {
   kThreshold,      // LUT threshold for the current state, per channel
   kAlarmStreak,    // consecutive exceedances toward the debounce gate
   kCorruptions,    // cumulative corrupted instructions (gpu0 + cpu0)
-  kRecoveryState,  // 0 nominal, 1 probing, 2 degraded, 3 failback
+  kRecoveryState,  // 0 nominal, 1 probing, 2 degraded, 3 failback,
+                   // 4 sensor-degraded
   kCvip,           // closest vehicle in path, meters
   kCount
 };
@@ -77,6 +78,8 @@ enum class Instant : std::uint8_t {
   kRecoveryRejoin,     // rewarm complete, full redundancy restored
   kRecoveryEscalated,  // presumed-permanent: recovery gave up
   kAgentRestart,       // fresh agent constructed + resynced (track = suspect)
+  kSensorDegraded,     // a sensor channel left kHealthy (track = channel)
+  kSensorRejoin,       // a degraded sensor channel rejoined (track = channel)
   kCount
 };
 const char* to_string(Instant i);

@@ -617,6 +617,29 @@ TEST_F(DavlintTest, LayeringDownwardIncludeIsClean) {
   EXPECT_EQ(run_on(dir_ / "src").exit_code, 0);
 }
 
+TEST_F(DavlintTest, LayeringSensorFaultCannotIncludeUpward) {
+  // fi sits below sensors/agent/core: the sensor-fault subsystem must stay
+  // includable from the capture seam without dragging higher layers in.
+  write_fixture("src/sensors/sensor_rig.h", "#pragma once\n");
+  const auto fi = write_fixture("src/fi/sensor_fault.h",
+                                "#pragma once\n"
+                                "#include \"sensors/sensor_rig.h\"\n");
+  const auto r = run_on(dir_ / "src");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("sensor_fault.h:2: [layering]"), std::string::npos)
+      << r.output;
+  (void)fi;
+}
+
+TEST_F(DavlintTest, LayeringSensorsMayIncludeFi) {
+  // The downward edge the rig's injection hook depends on.
+  write_fixture("src/fi/sensor_fault.h", "#pragma once\n");
+  write_fixture("src/sensors/sensor_rig.cpp",
+                "#include \"fi/sensor_fault.h\"\n"
+                "int capture() { return 0; }\n");
+  EXPECT_EQ(run_on(dir_ / "src").exit_code, 0);
+}
+
 TEST_F(DavlintTest, LayeringIncludeCycleIsFlagged) {
   write_fixture("src/core/a.h", "#pragma once\n#include \"core/b.h\"\n");
   write_fixture("src/core/b.h", "#pragma once\n#include \"core/a.h\"\n");

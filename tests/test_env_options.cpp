@@ -258,6 +258,46 @@ TEST(EnvOptions, ExecutorAndTraceProjections) {
   EXPECT_EQ(t.capacity, 99u);
 }
 
+TEST(EnvOptions, ParsesSensorFaultKnobs) {
+  CleanEnv clean;
+  ScopedEnv faults("DAV_SENSOR_FAULTS", "camera-blackout,lidar-dropout");
+  ScopedEnv onset("DAV_SENSOR_ONSET_TICK", "55");
+  ScopedEnv dur("DAV_SENSOR_DURATION_TICKS", "200");
+  const EnvOptions env = EnvOptions::from_env();
+  ASSERT_EQ(env.sensor_faults.size(), 2u);
+  EXPECT_EQ(env.sensor_faults[0], SensorFaultModel::kCameraBlackout);
+  EXPECT_EQ(env.sensor_faults[1], SensorFaultModel::kLidarDropout);
+  EXPECT_EQ(env.sensor_onset_tick, 55);
+  EXPECT_EQ(env.sensor_duration_ticks, 200);
+}
+
+TEST(EnvOptions, SensorFaultsAllSelectsEveryModel) {
+  CleanEnv clean;
+  ScopedEnv faults("DAV_SENSOR_FAULTS", "all");
+  const EnvOptions env = EnvOptions::from_env();
+  EXPECT_EQ(env.sensor_faults.size(), all_sensor_fault_models().size());
+}
+
+TEST(EnvOptions, RejectsMalformedSensorKnobs) {
+  CleanEnv clean;
+  {
+    ScopedEnv faults("DAV_SENSOR_FAULTS", "camera-blackout,bogus");
+    EXPECT_THROW(EnvOptions::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv faults("DAV_SENSOR_FAULTS", "camera-blackout,");
+    EXPECT_THROW(EnvOptions::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv onset("DAV_SENSOR_ONSET_TICK", "-3");
+    EXPECT_THROW(EnvOptions::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv dur("DAV_SENSOR_DURATION_TICKS", "0");
+    EXPECT_THROW(EnvOptions::from_env(), std::invalid_argument);
+  }
+}
+
 TEST(EnvOptions, DocsCoverEveryParsedVariable) {
   // The docs table drives the README and davcamp --env-help; every variable
   // the parser understands must appear exactly once.
@@ -266,7 +306,9 @@ TEST(EnvOptions, DocsCoverEveryParsedVariable) {
       "DAV_WARM_CACHE",  "DAV_JOURNAL",       "DAV_RUN_TIMEOUT_SEC",
       "DAV_RUN_RETRIES", "DAV_RUN_CPU_SEC",   "DAV_RUN_AS_MB",
       "DAV_TRACE",       "DAV_TRACE_CAPACITY", "DAV_WORKERS",
-      "DAV_SERVE",       "DAV_HEARTBEAT_SEC", "DAV_STRAGGLER_SEC"};
+      "DAV_SERVE",       "DAV_HEARTBEAT_SEC", "DAV_STRAGGLER_SEC",
+      "DAV_SENSOR_FAULTS", "DAV_SENSOR_ONSET_TICK",
+      "DAV_SENSOR_DURATION_TICKS"};
   const auto& docs = EnvOptions::docs();
   ASSERT_EQ(docs.size(), expected.size());
   for (const char* var : expected) {

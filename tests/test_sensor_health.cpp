@@ -1,0 +1,201 @@
+// SensorHealthMonitor: per-channel plausibility checks and the
+// Healthy -> Degraded -> Dropped -> rejoin ladder (DESIGN.md §14.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sensors/sensor_health.h"
+#include "sensors/sensor_rig.h"
+
+namespace dav {
+namespace {
+
+constexpr int kW = 64;
+constexpr int kH = 48;
+
+// A plausible "live" camera frame: mid-gray with per-step texture so no two
+// consecutive sampled grids are byte-identical and no pixel is saturated.
+Image live_image(int step) {
+  Image img(kW, kH);
+  for (int y = 0; y < kH; ++y) {
+    for (int x = 0; x < kW; ++x) {
+      const auto v = static_cast<std::uint8_t>(
+          40 + (x * 7 + y * 13 + step * 29) % 120);
+      img.set(x, y, Rgb{v, static_cast<std::uint8_t>(v + 3),
+                        static_cast<std::uint8_t>(v + 6)});
+    }
+  }
+  return img;
+}
+
+SensorFrame live_frame(int step, bool with_lidar = true) {
+  SensorFrame f;
+  f.step = step;
+  f.time = step * 0.05;
+  f.cameras = {live_image(step), live_image(step + 1000),
+               live_image(step + 2000)};
+  // Stationary vehicle with honest jitter-free GPS: zero-speed dead
+  // reckoning matches a fixed position exactly.
+  f.gps_imu.gps_x = 5.0f;
+  f.gps_imu.gps_y = -3.0f;
+  f.gps_imu.speed = 0.0f;
+  f.gps_imu.yaw = 0.1f;
+  if (with_lidar) f.lidar.assign(72, 30.0f);
+  return f;
+}
+
+TEST(SensorHealthMonitor, CleanFramesStayHealthyOnEveryChannel) {
+  SensorHealthMonitor mon;
+  for (int step = 0; step < 60; ++step) mon.observe(live_frame(step));
+  EXPECT_FALSE(mon.any_unhealthy());
+  for (int c = 0; c < kSensorChannelCount; ++c) {
+    EXPECT_EQ(mon.status(static_cast<SensorChannel>(c)),
+              SensorStatus::kHealthy);
+    EXPECT_DOUBLE_EQ(mon.weight(static_cast<SensorChannel>(c)), 1.0);
+  }
+  EXPECT_FALSE(mon.ranging_lost());
+}
+
+TEST(SensorHealthMonitor, DeadCameraWalksTheLadderAndRejoins) {
+  SensorHealthConfig cfg;
+  SensorHealthMonitor mon(cfg);
+  for (int step = 0; step < 5; ++step) mon.observe(live_frame(step));
+
+  int step = 5;
+  const auto blackout_frame = [&](int s) {
+    SensorFrame f = live_frame(s);
+    f.cameras[1] = Image(kW, kH);  // all-zero: dead sensor
+    return f;
+  };
+  for (int i = 0; i < cfg.degrade_after; ++i) mon.observe(blackout_frame(step++));
+  EXPECT_EQ(mon.status(SensorChannel::kCamCenter), SensorStatus::kDegraded);
+  EXPECT_DOUBLE_EQ(mon.weight(SensorChannel::kCamCenter), cfg.degraded_weight);
+  EXPECT_TRUE(mon.any_unhealthy());
+
+  for (int i = cfg.degrade_after; i < cfg.drop_after; ++i) {
+    mon.observe(blackout_frame(step++));
+  }
+  EXPECT_EQ(mon.status(SensorChannel::kCamCenter), SensorStatus::kDropped);
+  EXPECT_DOUBLE_EQ(mon.weight(SensorChannel::kCamCenter), 0.0);
+  // LiDAR still up: forward ranging survives the camera loss.
+  EXPECT_FALSE(mon.ranging_lost());
+
+  // Side cameras and GPS were live the whole time.
+  EXPECT_EQ(mon.status(SensorChannel::kCamLeft), SensorStatus::kHealthy);
+  EXPECT_EQ(mon.status(SensorChannel::kCamRight), SensorStatus::kHealthy);
+  EXPECT_EQ(mon.status(SensorChannel::kGps), SensorStatus::kHealthy);
+
+  // Recovery: rejoin_after consecutive plausible frames re-admit the channel.
+  for (int i = 0; i < cfg.rejoin_after - 1; ++i) mon.observe(live_frame(step++));
+  EXPECT_EQ(mon.status(SensorChannel::kCamCenter), SensorStatus::kDropped);
+  mon.observe(live_frame(step++));
+  EXPECT_EQ(mon.status(SensorChannel::kCamCenter), SensorStatus::kHealthy);
+  EXPECT_FALSE(mon.any_unhealthy());
+}
+
+TEST(SensorHealthMonitor, FrozenCameraIsImplausible) {
+  SensorHealthConfig cfg;
+  SensorHealthMonitor mon(cfg);
+  SensorFrame f = live_frame(0);
+  mon.observe(f);
+  // Re-present the identical frame: photometric noise makes a byte-identical
+  // sample impossible on a live sensor.
+  for (int i = 0; i < cfg.drop_after; ++i) {
+    SensorFrame g = live_frame(i + 1);
+    g.cameras[2] = f.cameras[2];
+    mon.observe(g);
+  }
+  EXPECT_EQ(mon.status(SensorChannel::kCamRight), SensorStatus::kDropped);
+  EXPECT_EQ(mon.status(SensorChannel::kCamCenter), SensorStatus::kHealthy);
+}
+
+TEST(SensorHealthMonitor, GpsJumpAndNullFixAreImplausible) {
+  SensorHealthConfig cfg;
+  {
+    SensorHealthMonitor mon(cfg);
+    for (int step = 0; step < 5; ++step) mon.observe(live_frame(step));
+    // A multipath-style fix bouncing 10 m every 50 ms tick: each delta is a
+    // fresh jump, so the bad streak accumulates to a drop.
+    for (int i = 0; i < cfg.drop_after; ++i) {
+      SensorFrame g = live_frame(5 + i);
+      g.gps_imu.gps_x += 10.0f * static_cast<float>(i + 1);
+      mon.observe(g);
+    }
+    EXPECT_EQ(mon.status(SensorChannel::kGps), SensorStatus::kDropped);
+  }
+  {
+    SensorHealthMonitor mon(cfg);
+    for (int step = 0; step < 5; ++step) mon.observe(live_frame(step));
+    for (int i = 0; i < cfg.degrade_after; ++i) {
+      SensorFrame f = live_frame(5 + i);
+      f.gps_imu = GpsImuSample{};  // all-zero null sample: lost fix
+      mon.observe(f);
+    }
+    EXPECT_EQ(mon.status(SensorChannel::kGps), SensorStatus::kDegraded);
+  }
+}
+
+TEST(SensorHealthMonitor, LidarDropoutDetectedAndRangingLostNeedsBoth) {
+  SensorHealthConfig cfg;
+  SensorHealthMonitor mon(cfg);
+  for (int step = 0; step < 5; ++step) mon.observe(live_frame(step));
+
+  int step = 5;
+  const auto bad_frame = [&](int s) {
+    SensorFrame f = live_frame(s);
+    f.cameras[1] = Image(kW, kH);        // center camera dead
+    std::fill(f.lidar.begin(), f.lidar.begin() + 36, 0.0f);  // 50% invalid
+    return f;
+  };
+  for (int i = 0; i < cfg.drop_after; ++i) mon.observe(bad_frame(step++));
+  EXPECT_EQ(mon.status(SensorChannel::kLidar), SensorStatus::kDropped);
+  EXPECT_EQ(mon.status(SensorChannel::kCamCenter), SensorStatus::kDropped);
+  // Camera AND LiDAR gone: nothing bounds obstacle distance any more.
+  EXPECT_TRUE(mon.ranging_lost());
+}
+
+TEST(SensorHealthMonitor, LidarAbsenceIsNotAFaultButForfeitsCoverage) {
+  SensorHealthMonitor mon;
+  for (int step = 0; step < 10; ++step) {
+    mon.observe(live_frame(step, /*with_lidar=*/false));
+  }
+  EXPECT_EQ(mon.status(SensorChannel::kLidar), SensorStatus::kHealthy);
+  EXPECT_FALSE(mon.ranging_lost());
+
+  // Without LiDAR, losing the center camera alone loses ranging.
+  SensorHealthConfig cfg;
+  int step = 10;
+  for (int i = 0; i < cfg.drop_after; ++i) {
+    SensorFrame f = live_frame(step++, /*with_lidar=*/false);
+    f.cameras[1] = Image(kW, kH);
+    mon.observe(f);
+  }
+  EXPECT_TRUE(mon.ranging_lost());
+}
+
+TEST(SensorHealthMonitor, SnapshotRestoreRoundTripsLadderState) {
+  SensorHealthConfig cfg;
+  SensorHealthMonitor mon(cfg);
+  for (int step = 0; step < 5; ++step) mon.observe(live_frame(step));
+  for (int i = 0; i < cfg.degrade_after; ++i) {
+    SensorFrame f = live_frame(5 + i);
+    f.cameras[0] = Image(kW, kH);
+    mon.observe(f);
+  }
+  ASSERT_EQ(mon.status(SensorChannel::kCamLeft), SensorStatus::kDegraded);
+
+  const SensorHealthSnapshot snap = mon.snapshot();
+  SensorHealthMonitor fresh;
+  fresh.restore(snap);
+  EXPECT_EQ(fresh.status(SensorChannel::kCamLeft), SensorStatus::kDegraded);
+  EXPECT_EQ(fresh.snapshot().bad_streak, snap.bad_streak);
+  EXPECT_EQ(fresh.snapshot().good_streak, snap.good_streak);
+  // Restored monitors re-prime their transient checks: the next live frame
+  // must not false-positive (frozen/jump detectors start blind).
+  fresh.observe(live_frame(100));
+  EXPECT_EQ(fresh.status(SensorChannel::kGps), SensorStatus::kHealthy);
+}
+
+}  // namespace
+}  // namespace dav

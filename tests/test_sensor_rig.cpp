@@ -40,5 +40,62 @@ TEST(SensorRig, NoiseSeedDeterminism) {
             c.capture(world, 1).cameras[1].bytes());
 }
 
+TEST(SensorRig, LidarStreamIndependentOfCameraAndImuNoise) {
+  // The rig draws camera, IMU and LiDAR noise from split() streams of the
+  // one noise seed. Turning LiDAR capture ON must not perturb the camera or
+  // IMU sequences — otherwise enabling fusion (which enables LiDAR) would
+  // shift every golden-run byte and break cross-config comparisons.
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  SensorRig plain(front_camera_rig(), 7);
+  SensorRig fused(front_camera_rig(), 7, /*enable_lidar=*/true);
+  for (int step = 0; step < 5; ++step) {
+    const SensorFrame a = plain.capture(world, step);
+    const SensorFrame b = fused.capture(world, step);
+    for (int cam = 0; cam < 3; ++cam) {
+      EXPECT_EQ(a.cameras[static_cast<std::size_t>(cam)].bytes(),
+                b.cameras[static_cast<std::size_t>(cam)].bytes())
+          << "camera " << cam << " diverged at step " << step;
+    }
+    EXPECT_EQ(a.gps_imu.as_array(), b.gps_imu.as_array())
+        << "gps/imu diverged at step " << step;
+    EXPECT_TRUE(a.lidar.empty());
+    EXPECT_FALSE(b.lidar.empty());
+  }
+}
+
+TEST(SensorRig, AttachedInjectorCorruptsCaptureButNotNoiseStreams) {
+  // The injector corrupts frames at the capture seam from its OWN plan-seeded
+  // streams; the rig's noise sequences must be unaffected, so the corrupted
+  // frame differs from the clean one exactly by the injected fault.
+  World world(make_scenario(ScenarioId::kLeadSlowdown));
+  SensorRig clean(front_camera_rig(), 7);
+  SensorRig faulty(front_camera_rig(), 7);
+  SensorFaultPlan plan;
+  plan.model = SensorFaultModel::kCameraBlackout;
+  plan.sensor_index = 1;
+  plan.onset_tick = 1;
+  plan.duration_ticks = 2;
+  plan.seed = 99;
+  SensorFaultInjector inj(plan);
+  faulty.attach_fault_injector(&inj);
+
+  const SensorFrame c0 = clean.capture(world, 0);
+  const SensorFrame f0 = faulty.capture(world, 0);
+  EXPECT_EQ(c0.cameras[1].bytes(), f0.cameras[1].bytes());  // pre-onset
+
+  const SensorFrame c1 = clean.capture(world, 1);
+  const SensorFrame f1 = faulty.capture(world, 1);
+  EXPECT_NE(c1.cameras[1].bytes(), f1.cameras[1].bytes());  // blacked out
+  EXPECT_EQ(c1.cameras[0].bytes(), f1.cameras[0].bytes());  // other cameras
+  EXPECT_EQ(c1.cameras[2].bytes(), f1.cameras[2].bytes());  // untouched
+  EXPECT_EQ(c1.gps_imu.as_array(), f1.gps_imu.as_array());
+
+  // Past the window the sequences re-converge: the rig's streams never saw
+  // the injector.
+  const SensorFrame c3 = clean.capture(world, 3);
+  const SensorFrame f3 = faulty.capture(world, 3);
+  EXPECT_EQ(c3.cameras[1].bytes(), f3.cameras[1].bytes());
+}
+
 }  // namespace
 }  // namespace dav

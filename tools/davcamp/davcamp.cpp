@@ -9,8 +9,15 @@
 // Usage:
 //   davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]
 //           [--domain=gpu|cpu] [--kind=transient|permanent]
+//           [--faults=register|sensor|both]
 //           [--td=<meters>] [--out=<path>] [--workers=EP,...] [--env-help]
 //   davcamp serve [--listen=host:port|unix:/path]
+//
+// --faults selects the injection surface: "register" (default) is the
+// classic compute-fault sweep and prints byte-identical output to earlier
+// davcamp versions; "sensor" sweeps the sensor-path models selected by
+// DAV_SENSOR_FAULTS (all of them when unset) with fail-degraded fusion
+// enabled; "both" appends the sensor section after the register one.
 //
 // Environment: every DAV_* variable is parsed by dav::EnvOptions (the only
 // env-reading entry point); `davcamp --env-help` prints the full table.
@@ -40,10 +47,12 @@ namespace {
 using namespace dav;
 
 struct Args {
+  enum class Faults { kRegister, kSensor, kBoth };
   ScenarioId scenario = ScenarioId::kLeadSlowdown;
   AgentMode mode = AgentMode::kRoundRobin;
   FaultDomain domain = FaultDomain::kGpu;
   FaultModelKind kind = FaultModelKind::kTransient;
+  Faults faults = Faults::kRegister;
   double td = 2.0;
   std::string out;      // empty = stdout
   std::string workers;  // --workers override of DAV_WORKERS
@@ -56,7 +65,8 @@ struct Args {
   throw std::runtime_error(
       "davcamp: " + what +
       "\nusage: davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]"
-      " [--domain=gpu|cpu] [--kind=transient|permanent] [--td=<meters>]"
+      " [--domain=gpu|cpu] [--kind=transient|permanent]"
+      " [--faults=register|sensor|both] [--td=<meters>]"
       " [--out=<path>] [--workers=EP,...] [--env-help]"
       "\n       davcamp serve [--listen=host:port|unix:/path]");
 }
@@ -98,6 +108,11 @@ Args parse_args(int argc, char** argv) {
       if (val == "transient") a.kind = FaultModelKind::kTransient;
       else if (val == "permanent") a.kind = FaultModelKind::kPermanent;
       else usage_error("unknown kind '" + val + "'");
+    } else if (key == "faults") {
+      if (val == "register") a.faults = Args::Faults::kRegister;
+      else if (val == "sensor") a.faults = Args::Faults::kSensor;
+      else if (val == "both") a.faults = Args::Faults::kBoth;
+      else usage_error("unknown --faults surface '" + val + "'");
     } else if (key == "td") {
       char* end = nullptr;
       a.td = std::strtod(val.c_str(), &end);
@@ -138,6 +153,49 @@ std::string render_summary(const Args& a, const CampaignSummary& s,
   for (const auto& e : q) {
     out << "  seed=" << e.cfg.run_seed << " what=" << e.what << "\n";
   }
+  return out.str();
+}
+
+/// The sensor-sweep section. Deterministic like render_summary: every value
+/// is a pure function of campaign seed + plans, and the doubles are printed
+/// with fixed precision so the CI determinism diff is byte-meaningful.
+std::string render_sensor_summary(
+    const Args& a, const EnvOptions& env,
+    const std::vector<SensorFaultModel>& models,
+    const std::vector<RunResult>& runs, std::size_t quarantined) {
+  std::ostringstream out;
+  out << "davcamp sensor campaign summary\n";
+  out << "scenario=" << to_string(a.scenario) << " mode=" << to_string(a.mode)
+      << " onset=" << env.sensor_onset_tick
+      << " duration=" << env.sensor_duration_ticks << " models=";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (i > 0) out << ",";
+    out << to_string(models[i]);
+  }
+  out << "\n";
+  const RecoverySummary rs = summarize_recovery(runs);
+  char fixed[160];
+  std::snprintf(fixed, sizeof(fixed),
+                "mean_sensor_mttr_sec=%.3f mean_availability=%.4f",
+                rs.mean_sensor_mttr_sec, rs.mean_availability);
+  out << "total=" << rs.total
+      << " sensor_degraded_runs=" << rs.sensor_degraded_runs
+      << " sensor_episodes=" << rs.sensor_episodes
+      << " sensor_rejoins=" << rs.sensor_rejoins
+      << " hazard_after_degrade=" << rs.hazard_after_sensor_degrade
+      << " escalated=" << rs.escalated_runs
+      << " harness_errors=" << rs.harness_errors << "\n";
+  out << fixed << "\n";
+  out << "per-run outcomes:\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << "  run " << i << " model=" << to_string(runs[i].sensor_fault.model)
+        << " seed=" << runs[i].run_seed
+        << " outcome=" << to_string(runs[i].outcome)
+        << " corruptions=" << runs[i].sensor_corruptions
+        << " degraded_ticks=" << runs[i].recovery.sensor_degraded_ticks
+        << "\n";
+  }
+  out << "quarantined=" << quarantined << "\n";
   return out.str();
 }
 
@@ -247,13 +305,35 @@ int main(int argc, char** argv) {
       env.validate();
     }
     CampaignManager mgr(env, /*seed=*/2022);
-    const std::vector<RunResult> golden =
-        mgr.golden(a.scenario, a.mode, mgr.scale().golden_runs);
-    const Trajectory baseline = golden_baseline(golden);
-    const std::vector<RunResult> runs =
-        mgr.fi_campaign(a.scenario, a.mode, a.domain, a.kind);
-    const CampaignSummary s = summarize_campaign(runs, baseline, a.td);
-    publish(a.out, render_summary(a, s, runs, mgr.quarantined()));
+    std::string text;
+    if (a.faults != Args::Faults::kSensor) {
+      const std::vector<RunResult> golden =
+          mgr.golden(a.scenario, a.mode, mgr.scale().golden_runs);
+      const Trajectory baseline = golden_baseline(golden);
+      const std::vector<RunResult> runs =
+          mgr.fi_campaign(a.scenario, a.mode, a.domain, a.kind);
+      const CampaignSummary s = summarize_campaign(runs, baseline, a.td);
+      text += render_summary(a, s, runs, mgr.quarantined());
+    }
+    if (a.faults != Args::Faults::kRegister) {
+      const std::vector<SensorFaultModel> models =
+          env.sensor_faults.empty() ? all_sensor_fault_models()
+                                    : env.sensor_faults;
+      // Restart-recovery arms the platform sensor monitor alongside fusion;
+      // single mode has no replica, so it keeps the safe-stop baseline.
+      MitigationSetup mit;
+      mit.policy = a.mode == AgentMode::kSingle
+                       ? MitigationPolicy::kSafeStopOnly
+                       : MitigationPolicy::kRestartRecovery;
+      const std::size_t quarantined_before = mgr.quarantined().size();
+      const std::vector<RunResult> runs = mgr.sensor_fi_campaign(
+          a.scenario, a.mode, models, /*runs_per_model=*/0,
+          env.sensor_onset_tick, env.sensor_duration_ticks, &mit);
+      text += render_sensor_summary(
+          a, env, models, runs,
+          mgr.quarantined().size() - quarantined_before);
+    }
+    publish(a.out, text);
     print_telemetry(mgr);
     return 0;
   } catch (const std::exception& e) {

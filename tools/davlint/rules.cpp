@@ -42,8 +42,8 @@ const std::vector<RuleInfo>& rules() {
        "and death paths) may only call the async-signal-safe allowlist; "
        "sanctioned workload handoffs carry a justified allow()"},
       {"layering",
-       "quoted includes must respect the module DAG util -> "
-       "{core,sim,sensors,agent,fi,uav} -> obs -> campaign -> tools; "
+       "quoted includes must respect the module DAG util -> {sim,fi} -> "
+       "sensors -> agent -> core -> uav -> obs -> campaign -> tools; "
        "back-edges and include cycles are rejected"},
       {"taint",
        "wall-clock/trace-derived values (steady_clock reads, elapsed_sec, "

@@ -253,11 +253,14 @@ int dir_layer(const std::string& dir) {
         dir.substr(start, (slash == std::string::npos ? dir.size() : slash) -
                               start);
     if (comp == "util") layer = 0;
-    else if (comp == "core" || comp == "sim" || comp == "sensors" ||
-             comp == "agent" || comp == "fi" || comp == "uav") layer = 1;
-    else if (comp == "obs") layer = 2;
-    else if (comp == "campaign") layer = 3;
-    else if (comp == "tools") layer = 4;
+    else if (comp == "sim" || comp == "fi") layer = 1;
+    else if (comp == "sensors") layer = 2;
+    else if (comp == "agent") layer = 3;
+    else if (comp == "core") layer = 4;
+    else if (comp == "uav") layer = 5;
+    else if (comp == "obs") layer = 6;
+    else if (comp == "campaign") layer = 7;
+    else if (comp == "tools") layer = 8;
     if (slash == std::string::npos) break;
     start = slash + 1;
   }
@@ -272,10 +275,14 @@ std::string dirname_of(const std::string& path) {
 const char* layer_name(int layer) {
   switch (layer) {
     case 0: return "util";
-    case 1: return "core/sim/sensors/agent/fi/uav";
-    case 2: return "obs";
-    case 3: return "campaign";
-    case 4: return "tools";
+    case 1: return "sim/fi";
+    case 2: return "sensors";
+    case 3: return "agent";
+    case 4: return "core";
+    case 5: return "uav";
+    case 6: return "obs";
+    case 7: return "campaign";
+    case 8: return "tools";
     default: return "?";
   }
 }
@@ -294,8 +301,9 @@ void run_layering(const std::vector<TuIndex>& tus,
           {tu.file->path, inc.line, "layering",
            "include \"" + inc.target + "\" (layer " +
                layer_name(target) + ") from a " + layer_name(mine) +
-               "-layer file is a back-edge against util -> "
-               "{core,sim,sensors,agent,fi,uav} -> obs -> campaign -> tools"});
+               "-layer file is a back-edge against util -> {sim,fi} -> "
+               "sensors -> agent -> core -> uav -> obs -> campaign -> "
+               "tools"});
     }
   }
 

@@ -7,8 +7,8 @@
 //       and death paths) is held to the same allowlist; sanctioned workload
 //       handoffs are cut with a justified same-line allow().
 //   layering     — quoted includes must respect the module DAG
-//       util -> {core,sim,sensors,agent,fi,uav} -> obs -> campaign -> tools;
-//       include cycles are rejected.
+//       util -> {sim,fi} -> sensors -> agent -> core -> uav -> obs ->
+//       campaign -> tools; include cycles are rejected.
 //   taint        — values derived from wall-clock/trace sources must not
 //       flow (per-TU assignment/call dataflow) into serialize_run_result,
 //       run_config_digest or journal writes.
