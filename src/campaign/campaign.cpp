@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -104,7 +105,67 @@ void CampaignManager::accumulate_executor_stats(const ExecutorStats& s) {
   for (std::size_t i = 0; i < s.slot_runs_served.size(); ++i) {
     t.slot_runs_served[i] += s.slot_runs_served[i];
   }
+  // Observability residue (davcamp's stderr report and the CI drop gate
+  // read the campaign-level totals; the per-batch trace files are written
+  // from the batch stats before they land here). Captures are deliberately
+  // not accumulated — they are per-batch trace inputs, not totals.
+  t.trace_dropped += s.trace_dropped;
+  t.stage_hist.merge(s.stage_hist);
+  for (const EndpointTelemetry& ep : s.endpoints) {
+    EndpointTelemetry* mine = nullptr;
+    for (EndpointTelemetry& cand : t.endpoints) {
+      if (cand.index == ep.index) {
+        mine = &cand;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      t.endpoints.push_back(ep);
+      t.endpoints.back().spans.clear();  // batch-local timeline, not a total
+      continue;
+    }
+    mine->spec = ep.spec;
+    mine->state = ep.state;
+    mine->slots = ep.slots;
+    mine->runs_done += ep.runs_done;
+    mine->reconnects += ep.reconnects;
+    mine->clock_offset_sec = ep.clock_offset_sec;
+    mine->launched += ep.launched;
+    mine->respawns += ep.respawns;
+    mine->timeouts += ep.timeouts;
+    mine->signal_deaths += ep.signal_deaths;
+    mine->warm_hits += ep.warm_hits;
+    mine->warm_misses += ep.warm_misses;
+    mine->trace_dropped += ep.trace_dropped;
+    mine->histograms.merge(ep.histograms);
+  }
 }
+
+namespace {
+
+/// Histogram summary rows for a trace's otherData: per populated stage,
+/// "hist.<stage>" = "count,p50_ns,p95_ns,p99_ns". Derived from the
+/// eviction-proof recorder histograms, so the numbers describe every span of
+/// every run in the batch even where the per-run event rings wrapped.
+void append_histogram_metadata(
+    const obs::StageHistogramSet& hist,
+    std::vector<std::pair<std::string, std::string>>& out) {
+  for (std::size_t i = 0; i < hist.stages.size(); ++i) {
+    const obs::StageHistogram& h = hist.stages[i];
+    const std::uint64_t n = h.count();
+    if (n == 0) continue;
+    char row[128];
+    std::snprintf(row, sizeof(row), "%llu,%llu,%llu,%llu",
+                  static_cast<unsigned long long>(n),
+                  static_cast<unsigned long long>(h.percentile_ns(50.0)),
+                  static_cast<unsigned long long>(h.percentile_ns(95.0)),
+                  static_cast<unsigned long long>(h.percentile_ns(99.0)));
+    out.emplace_back(
+        std::string("hist.") + to_string(static_cast<obs::Stage>(i)), row);
+  }
+}
+
+}  // namespace
 
 void CampaignManager::export_campaign_trace(const ExecutorStats& s) {
   const obs::TraceOptions topts = env_.trace_options();
@@ -122,7 +183,9 @@ void CampaignManager::export_campaign_trace(const ExecutorStats& s) {
                       {"pool_workers", std::to_string(s.pool_workers)},
                       {"respawns", std::to_string(s.respawns)},
                       {"warm_hits", std::to_string(s.warm_hits)},
-                      {"warm_misses", std::to_string(s.warm_misses)}};
+                      {"warm_misses", std::to_string(s.warm_misses)},
+                      {"trace_dropped", std::to_string(s.trace_dropped)}};
+  append_histogram_metadata(s.stage_hist, trace.other_data);
   // Per-worker lifetime telemetry: one runs-served counter sample per slot
   // at batch end (pool mode; fork-per-run leaves these zero).
   for (std::size_t slot = 0; slot < s.slot_runs_served.size(); ++slot) {
@@ -150,10 +213,72 @@ void CampaignManager::export_campaign_trace(const ExecutorStats& s) {
     e.dur_us = w.dur_sec * 1e6;
     trace.events.push_back(std::move(e));
   }
+  // Distributed fleet view: one process group per endpoint. The coordinator's
+  // own spans above already use pid = endpoint index + 1 (slot == endpoint id
+  // in distributed mode, tid 0); each daemon's pool-slot spans land in the
+  // same group on tid = slot + 1, placed on the coordinator timeline via the
+  // handshake clock offset. Pid assignment follows opts.workers order, so the
+  // merged layout is stable for a given campaign regardless of completion
+  // interleaving.
+  for (const EndpointTelemetry& et : s.endpoints) {
+    const std::string prefix = "endpoint." + std::to_string(et.index);
+    char summary[192];
+    std::snprintf(summary, sizeof(summary),
+                  "%s state=%s slots=%u runs=%llu reconnects=%d "
+                  "clock_offset_sec=%.6f",
+                  et.spec.c_str(), et.state.c_str(), et.slots,
+                  static_cast<unsigned long long>(et.runs_done), et.reconnects,
+                  et.clock_offset_sec);
+    trace.other_data.emplace_back(prefix, summary);
+    for (const WorkerSpan& w : et.spans) {
+      obs::ChromeEvent e;
+      e.name = "run " + std::to_string(w.index);
+      if (w.attempt > 0) e.name += " retry" + std::to_string(w.attempt);
+      e.cat = "endpoint";
+      e.ph = 'X';
+      e.pid = et.index + 1;
+      e.tid = w.slot + 1;
+      e.ts_us = (et.base_sec + w.start_sec) * 1e6;
+      e.dur_us = w.dur_sec * 1e6;
+      trace.events.push_back(std::move(e));
+    }
+  }
   obs::ensure_dir(topts.dir);
-  const std::string path = topts.dir + "/campaign_" + fp + "_batch" +
-                           std::to_string(trace_batches_++) + ".trace.json";
-  obs::write_text_file(path, obs::chrome_trace_json(trace));
+  const std::string stem = topts.dir + "/campaign_" + fp + "_batch" +
+                           std::to_string(trace_batches_++);
+  obs::write_text_file(stem + ".trace.json", obs::chrome_trace_json(trace));
+
+  if (!s.captures.empty()) {
+    obs::write_text_file(stem + ".runs.trace.json",
+                         campaign_runs_trace_json(s, fp));
+  }
+}
+
+std::string campaign_runs_trace_json(const ExecutorStats& s,
+                                     const std::string& fingerprint_hex) {
+  // Entirely deterministic — two identical campaigns produce byte-identical
+  // JSON (CI diffs them) — because captures carry only seed-derived data and
+  // the merge order is plan order, not arrival order.
+  std::vector<const RunTraceCapture*> sorted;
+  sorted.reserve(s.captures.size());
+  for (const RunTraceCapture& c : s.captures) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RunTraceCapture* a, const RunTraceCapture* b) {
+              return a->plan_index < b->plan_index;
+            });
+  obs::ChromeTrace runs;
+  runs.other_data = {{"tool", "dav-campaign-runs"},
+                     {"fingerprint", fingerprint_hex},
+                     {"runs_captured", std::to_string(sorted.size())},
+                     {"trace_dropped", std::to_string(s.trace_dropped)}};
+  for (const RunTraceCapture* c : sorted) {
+    const int pid = static_cast<int>(c->plan_index) + 1;
+    for (obs::ChromeEvent& e :
+         obs::to_chrome_events(c->capture.instants, c->capture.dt, pid)) {
+      runs.events.push_back(std::move(e));
+    }
+  }
+  return obs::chrome_trace_json(runs);
 }
 
 std::vector<RunResult> CampaignManager::run_all(

@@ -166,9 +166,14 @@ class CampaignManager {
   std::uint64_t fingerprint() const;
 
   void accumulate_executor_stats(const ExecutorStats& s);
-  /// Writes the worker timeline of one executor batch as Chrome-trace JSON
-  /// ("campaign_<fingerprint>_batch<n>.trace.json", one pid per worker slot)
-  /// into the DAV_TRACE directory.
+  /// Writes two Chrome-trace JSON files for one executor batch into the
+  /// DAV_TRACE directory. "campaign_<fp>_batch<n>.trace.json" is the fleet
+  /// timeline — one pid per worker slot locally, one process group per
+  /// endpoint in distributed mode (daemon pool slots on tids, clock-aligned
+  /// onto the coordinator timeline), plus per-stage histogram summaries in
+  /// otherData. "..._batch<n>.runs.trace.json" is the merged per-run semantic
+  /// trace (instant events, pid = plan index + 1, simulated time) and is
+  /// byte-identical across identical campaigns.
   void export_campaign_trace(const ExecutorStats& s);
 
   CampaignScale scale_;
@@ -179,5 +184,13 @@ class CampaignManager {
   ExecutorStats executor_stats_;
   int trace_batches_ = 0;  // names successive campaign trace files
 };
+
+/// The merged per-run semantic trace for one executor batch, as Chrome
+/// trace-event JSON: every captured run's instant events, one Perfetto pid
+/// per plan index (plan_index + 1), simulated-time timestamps. Byte-identical
+/// across identical campaigns regardless of execution strategy or completion
+/// order — the distributed-determinism tests and the CI trace gate diff it.
+std::string campaign_runs_trace_json(const ExecutorStats& s,
+                                     const std::string& fingerprint_hex);
 
 }  // namespace dav

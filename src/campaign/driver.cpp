@@ -556,6 +556,18 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
          {"mitigation", to_string(cfg.mitigation)},
          {"run_seed", std::to_string(cfg.run_seed)},
          {"outcome", to_string(result.outcome)}});
+    // Stash the deterministic residue (instants + histograms + drop count)
+    // for the campaign executor to harvest — this is how per-run telemetry
+    // reaches the merged fleet trace without touching the RunResult.
+    obs::RunCapture cap;
+    cap.valid = true;
+    cap.dropped = trace_rec->dropped();
+    cap.dt = cfg.dt;
+    cap.histograms = trace_rec->histograms();
+    for (const obs::TraceEvent& ev : trace_rec->drain()) {
+      if (ev.kind == obs::EventKind::kInstant) cap.instants.push_back(ev);
+    }
+    obs::set_last_run_capture(std::move(cap));
   }
   return result;
 }

@@ -168,6 +168,16 @@ EnvOptions EnvOptions::from_env() {
     if (n <= 0) reject("DAV_SENSOR_DURATION_TICKS", v, "a positive tick count");
     o.sensor_duration_ticks = static_cast<int>(n);
   }
+  // Mirror DAV_JOURNAL: empty = off, so a coordinator's env can be inherited
+  // with the snapshot disabled.
+  if (const char* v = get("DAV_METRICS")) o.metrics_path = v;
+  if (const char* v = get("DAV_METRICS_INTERVAL_SEC")) {
+    o.metrics_interval_sec = parse_double("DAV_METRICS_INTERVAL_SEC", v,
+                                          "a positive number of seconds");
+    if (!(o.metrics_interval_sec > 0.0)) {
+      reject("DAV_METRICS_INTERVAL_SEC", v, "a positive number of seconds");
+    }
+  }
   if (const char* v = get("DAV_TRACE")) o.trace_dir = v;
   if (const char* v = get("DAV_TRACE_CAPACITY")) {
     const long n =
@@ -221,6 +231,10 @@ void EnvOptions::validate() const {
     bad("straggler_sec must be non-negative, got " +
         std::to_string(straggler_sec));
   }
+  if (!(metrics_interval_sec > 0.0) || !std::isfinite(metrics_interval_sec)) {
+    bad("metrics_interval_sec must be positive and finite, got " +
+        std::to_string(metrics_interval_sec));
+  }
   for (const SensorFaultModel m : sensor_faults) {
     if (m == SensorFaultModel::kNone) {
       bad("sensor_faults must name injectable models (kNone is not one)");
@@ -262,6 +276,8 @@ ExecutorOptions EnvOptions::executor_options() const {
   o.workers = workers;
   o.heartbeat_sec = heartbeat_sec;
   o.straggler_sec = straggler_sec;
+  o.metrics_path = metrics_path;
+  o.metrics_interval_sec = metrics_interval_sec;
   return o;
 }
 
@@ -304,6 +320,11 @@ const std::vector<EnvOptions::VarDoc>& EnvOptions::docs() {
       {"DAV_STRAGGLER_SEC", "0",
        "re-dispatch a remote run still in flight after this long; first "
        "result wins, duplicates are discarded; 0 disables"},
+      {"DAV_METRICS", "(unset)",
+       "live metrics snapshot path: key=value campaign progress rewritten "
+       "atomically while a campaign runs"},
+      {"DAV_METRICS_INTERVAL_SEC", "2",
+       "minimum seconds between metrics snapshot rewrites"},
       {"DAV_SENSOR_FAULTS", "(unset)",
        "sensor models swept by `davcamp --faults=sensor`: comma-separated "
        "canonical names (camera-blackout, gps-drift, ...) or \"all\""},

@@ -67,6 +67,14 @@ struct EnvOptions {
   /// wins. 0 disables re-dispatch.
   double straggler_sec = 0.0;
 
+  // --- live campaign metrics (executor.h) ----------------------------------
+  /// Metrics snapshot path (DAV_METRICS, or davcamp --metrics): the executor
+  /// periodically rewrites this file with a key=value progress snapshot via
+  /// temp-file + atomic rename. Empty disables.
+  std::string metrics_path;
+  /// Minimum seconds between snapshots (DAV_METRICS_INTERVAL_SEC).
+  double metrics_interval_sec = 2.0;
+
   // --- sensor-path fault injection (fi/sensor_fault.h) ---------------------
   /// Models swept by `davcamp --faults=sensor` (DAV_SENSOR_FAULTS: comma-
   /// separated canonical names, or "all"). Empty selects every model.

@@ -24,6 +24,7 @@
 #include "campaign/env_options.h"
 #include "campaign/serialize.h"
 #include "campaign/transport.h"
+#include "obs/export.h"
 #include "util/bits.h"
 
 namespace dav {
@@ -42,10 +43,15 @@ double elapsed_sec(Clock::time_point from, Clock::time_point to) {
 //   result payload (serialize.h: u8 ok | [str what] | serialized RunResult)
 //   pool request payload = u64 index | serialized RunConfig
 //   pool response payload = u64 index | u32 runs_served | u64 warm_hits |
-//                           u64 warm_misses | result payload
+//                           u64 warm_misses | str capture_blob |
+//                           result payload
 // The response embeds the plain result payload verbatim, so the journaled
 // record is byte-compatible across pool, fork-per-run, distributed and
-// serial modes.
+// serial modes. capture_blob is an encoded RunTraceCapture (transport.h) —
+// the run's trace residue — or empty when the run was untraced; it rides
+// OUTSIDE the result payload, so journal bytes never depend on tracing.
+// (Fork-per-run workers write the bare result payload as their whole frame,
+// so that path cannot carry captures — a documented limitation.)
 //
 // A worker that dies mid-write leaves a frame that fails the length or
 // checksum test; the supervisor treats that exactly like a signal death.
@@ -105,6 +111,10 @@ void ExecutorOptions::validate() const {
     reject("straggler_sec must be non-negative, got " +
            std::to_string(straggler_sec));
   }
+  if (!(metrics_interval_sec > 0.0)) {
+    reject("metrics_interval_sec must be positive, got " +
+           std::to_string(metrics_interval_sec));
+  }
   for (const std::string& spec : workers) {
     try {
       parse_endpoint(spec);
@@ -137,10 +147,84 @@ void CampaignExecutor::journal_append(std::uint64_t key,
   stats_.journal_bytes += payload.size();
 }
 
+void CampaignExecutor::fold_capture(RunTraceCapture cap) {
+  if (!cap.capture.valid) return;
+  // First arrival wins: a straggler re-dispatch or retry of an already-folded
+  // plan index is discarded, mirroring the result dedup.
+  if (!capture_seen_.insert(cap.plan_index).second) return;
+  stats_.trace_dropped += cap.capture.dropped;
+  stats_.stage_hist.merge(cap.capture.histograms);
+  stats_.captures.push_back(std::move(cap));
+}
+
+void CampaignExecutor::write_metrics_snapshot(std::size_t total,
+                                              std::size_t done, bool force) {
+  if (opts_.metrics_path.empty()) return;
+  const Clock::time_point now = Clock::now();
+  if (!force && last_metrics_ != Clock::time_point{} &&
+      elapsed_sec(last_metrics_, now) < opts_.metrics_interval_sec) {
+    return;
+  }
+  last_metrics_ = now;
+
+  const double elapsed = elapsed_sec(batch_start_, now);
+  // Journal replays resolve instantly; the rate that predicts the ETA is the
+  // executed-run rate.
+  const std::size_t hits = static_cast<std::size_t>(
+      std::max(0, stats_.journal_hits));
+  const std::size_t executed = done > hits ? done - hits : 0;
+  const double rate = elapsed > 0.0 ? static_cast<double>(executed) / elapsed
+                                    : 0.0;
+  double eta = -1.0;
+  if (done >= total) {
+    eta = 0.0;
+  } else if (rate > 0.0) {
+    eta = static_cast<double>(total - done) / rate;
+  }
+
+  char buf[256];
+  std::string out;
+  out.reserve(1024);
+  const auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+  line("schema=dav.metrics.v1");
+  line("phase=%s", done >= total ? "done" : "running");
+  line("runs_total=%zu", total);
+  line("runs_done=%zu", done);
+  line("runs_remaining=%zu", total - std::min(done, total));
+  line("journal_hits=%d", stats_.journal_hits);
+  line("elapsed_sec=%.3f", elapsed);
+  line("runs_per_sec=%.6g", rate);
+  line("eta_sec=%.3f", eta);
+  line("retries=%d", stats_.retries);
+  line("quarantined=%d", stats_.quarantined);
+  line("timeouts=%d", stats_.timeouts);
+  line("signal_deaths=%d", stats_.signal_deaths);
+  line("trace_dropped=%llu",
+       static_cast<unsigned long long>(stats_.trace_dropped));
+  line("endpoints=%zu", stats_.endpoints.size());
+  for (const EndpointTelemetry& ep : stats_.endpoints) {
+    line("endpoint.%d.spec=%s", ep.index, ep.spec.c_str());
+    line("endpoint.%d.state=%s", ep.index, ep.state.c_str());
+    line("endpoint.%d.slots=%u", ep.index, ep.slots);
+    line("endpoint.%d.runs_done=%llu", ep.index,
+         static_cast<unsigned long long>(ep.runs_done));
+    line("endpoint.%d.reconnects=%d", ep.index, ep.reconnects);
+  }
+  // Atomic temp-file + rename (obs/export.h): a reader never sees a torn or
+  // partially-updated snapshot, only the previous or the new one.
+  obs::write_text_file(opts_.metrics_path, out);
+}
+
 std::vector<RunResult> CampaignExecutor::run_all(
     const std::vector<RunConfig>& cfgs) {
   quarantined_.clear();
   stats_ = ExecutorStats{};
+  capture_seen_.clear();
+  last_metrics_ = Clock::time_point{};
   batch_start_ = Clock::now();
   stats_.jobs = std::max(1, opts_.jobs);
   stats_.slot_busy_sec.assign(static_cast<std::size_t>(stats_.jobs), 0.0);
@@ -198,6 +282,9 @@ std::vector<RunResult> CampaignExecutor::run_all(
 
   journal_.close();
   stats_.wall_sec = elapsed_sec(batch_start_, Clock::now());
+  // Final snapshot: phase=done, complete counts. Readers polling the file
+  // see the terminal state even for campaigns shorter than the interval.
+  write_metrics_snapshot(cfgs.size(), cfgs.size(), /*force=*/true);
   // Workers finish in nondeterministic order; the quarantine report must not.
   std::sort(quarantined_.begin(), quarantined_.end(),
             [](const RunQuarantine& a, const RunQuarantine& b) {
@@ -210,6 +297,10 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
                                       const std::vector<std::uint64_t>& keys,
                                       std::vector<RunResult>& results,
                                       const std::vector<char>& done) {
+  std::size_t resolved = 0;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (done[i] != 0) ++resolved;
+  }
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
     if (done[i] != 0) continue;
     const Clock::time_point started = Clock::now();
@@ -229,10 +320,15 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
                        make_result_payload(false, e.what(), results[i]));
       }
     }
+    // Same-process runs leave their trace residue in the driver's stash.
+    fold_capture(RunTraceCapture{static_cast<std::uint64_t>(i),
+                                obs::take_last_run_capture()});
     const double dur = elapsed_sec(started, Clock::now());
     stats_.slot_busy_sec[0] += dur;
     stats_.spans.push_back(
         WorkerSpan{i, 0, 0, elapsed_sec(batch_start_, started), dur});
+    ++resolved;
+    write_metrics_snapshot(cfgs.size(), resolved, /*force=*/false);
   }
 }
 
@@ -400,11 +496,22 @@ void rearm_cpu_limit(const ExecutorOptions& opts) {
                                     harness_error_result(RunConfig{}));
     }
     ++served;
+    // Trace residue stashed by the driver (instants + histograms + drops):
+    // ships alongside — never inside — the result payload.
+    std::string capture_blob;
+    obs::RunCapture cap = obs::take_last_run_capture();  // davlint: allow(fork-safety) sanctioned response codec
+    if (cap.valid) {
+      RunTraceCapture rec;
+      rec.plan_index = index;
+      rec.capture = std::move(cap);
+      capture_blob = encode_run_capture(rec);  // davlint: allow(fork-safety) sanctioned response codec
+    }
     ByteWriter resp;
     resp.u64(index);
     resp.u32(served);
     resp.u64(cache.hits());
     resp.u64(cache.misses());
+    resp.str(capture_blob);  // davlint: allow(fork-safety) sanctioned response codec
     resp.raw(result_payload);
     write_all(resp_fd, frame_message(resp.take()));
   }
@@ -650,6 +757,12 @@ void CampaignExecutor::run_forked(const std::vector<RunConfig>& cfgs,
         ::kill(w.pid, SIGKILL);
       }
     }
+
+    // Every unresolved run sits in `pending` or `workers`; the difference is
+    // the live progress count.
+    write_metrics_snapshot(cfgs.size(),
+                           cfgs.size() - pending.size() - workers.size(),
+                           /*force=*/false);
   }
 }
 
@@ -809,6 +922,7 @@ struct PoolSupervisor::Impl {
       const int served = static_cast<int>(r.u32());
       const std::uint64_t hits = r.u64();
       const std::uint64_t misses = r.u64();
+      std::string capture_payload = r.str();
       std::string result_payload =
           payload.substr(payload.size() - r.remaining());
       if (!w.busy || index != w.index) return false;  // protocol violation
@@ -823,6 +937,7 @@ struct PoolSupervisor::Impl {
       c.slot = w.slot;
       c.ok = true;
       c.result_payload = std::move(result_payload);
+      c.capture_payload = std::move(capture_payload);
       c.start_sec = elapsed_sec(epoch, w.started);
       c.dur_sec = dur;
       out.push_back(std::move(c));
@@ -1069,6 +1184,13 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
     for (PoolSupervisor::Completion& c : comps) {
       stats_.spans.push_back(
           WorkerSpan{c.index, c.slot, c.attempt, c.start_sec, c.dur_sec});
+      if (!c.capture_payload.empty()) {
+        try {
+          fold_capture(decode_run_capture(c.capture_payload));
+        } catch (const std::exception&) {
+          // Malformed capture: observability loss only, the run still counts.
+        }
+      }
       if (!c.ok) {
         requeue_or_quarantine(c.index, c.attempt, c.what);
         continue;
@@ -1089,6 +1211,10 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
             std::string("undecodable result payload: ") + e.what());
       }
     }
+    write_metrics_snapshot(
+        cfgs.size(),
+        cfgs.size() - pending.size() - static_cast<std::size_t>(sup.busy()),
+        /*force=*/false);
   }
 
   sup.shutdown();
@@ -1162,6 +1288,33 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
   stats_.jobs = static_cast<int>(remotes.size());
   stats_.slot_busy_sec.assign(remotes.size(), 0.0);
   stats_.slot_runs_served.assign(remotes.size(), 0);
+  stats_.endpoints.clear();
+  stats_.endpoints.reserve(remotes.size());
+  for (int w = 0; w < static_cast<int>(opts_.workers.size()); ++w) {
+    EndpointTelemetry et;
+    et.spec = opts_.workers[static_cast<std::size_t>(w)];
+    et.index = w;
+    et.state = "connecting";
+    stats_.endpoints.push_back(std::move(et));
+  }
+
+  const auto steady_now_ns = []() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  };
+  const std::int64_t batch_start_ns = static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          batch_start_.time_since_epoch())
+          .count());
+  // Clock alignment (handshake timestamp exchange, see transport.h): offset =
+  // daemon steady clock minus coordinator steady clock, per endpoint. Side
+  // tables rather than Remote fields: wall-clock readings must never flow
+  // through the structs the result path touches (taint discipline — journaled
+  // state is a function of the run seed only).
+  std::vector<std::uint64_t> hello_sent_ns(remotes.size(), 0);
+  std::vector<std::int64_t> clock_offset_ns(remotes.size(), 0);
 
   std::vector<char> completed(n, 0);  // resolved this batch (done[] aside)
   std::vector<char> failed(n, 0);
@@ -1282,12 +1435,15 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
     r.last_error = why;
     if (permanent) {
       r.state = EpState::kFailed;
+      stats_.endpoints[static_cast<std::size_t>(r.id)].state = "failed";
       return;
     }
     r.state = EpState::kDisconnected;
+    stats_.endpoints[static_cast<std::size_t>(r.id)].state = "disconnected";
     ++r.connect_attempts;
     if (r.connect_attempts > kMaxConnectAttempts) {
       r.state = EpState::kFailed;
+      stats_.endpoints[static_cast<std::size_t>(r.id)].state = "failed";
       return;
     }
     r.reconnect_at =
@@ -1334,6 +1490,7 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
         completed[index] = 1;
         --remaining;
         ++stats_.slot_runs_served[static_cast<std::size_t>(r.id)];
+        ++stats_.endpoints[static_cast<std::size_t>(r.id)].runs_done;
         shard_append(static_cast<std::size_t>(r.id), keys[index], payload);
       } else if (inflight_copies[index] == 0) {
         // A workload failure is deterministic — every copy reports the same
@@ -1377,7 +1534,7 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
         return;
       }
       switch (msg.type) {
-        case TransportMsgType::kHelloAck:
+        case TransportMsgType::kHelloAck: {
           if (r.state != EpState::kHandshake ||
               msg.proto_version != kTransportProtocolVersion) {
             drop_endpoint(r, "unexpected handshake ack", false);
@@ -1388,7 +1545,24 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
           r.connect_attempts = 0;
           if (r.sessions > 0) ++stats_.reconnects;
           ++r.sessions;
+          // NTP-style midpoint estimate: the daemon read its clock (t1)
+          // roughly halfway between our send (t0) and this receive (t2).
+          const auto t2 = steady_now_ns();
+          clock_offset_ns[static_cast<std::size_t>(r.id)] =
+              static_cast<std::int64_t>(msg.clock_ns) -
+              static_cast<std::int64_t>(
+                  (hello_sent_ns[static_cast<std::size_t>(r.id)] + t2) / 2);
+          EndpointTelemetry& et =
+              stats_.endpoints[static_cast<std::size_t>(r.id)];
+          et.state = "ready";
+          et.slots = r.slots;
+          et.reconnects = r.sessions - 1;
+          et.clock_offset_sec =
+              static_cast<double>(
+                  clock_offset_ns[static_cast<std::size_t>(r.id)]) *
+              1e-9;
           break;
+        }
         case TransportMsgType::kHelloReject:
           // The daemon refused this campaign (fingerprint or protocol
           // mismatch) — reconnecting cannot help.
@@ -1396,6 +1570,45 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
           return;
         case TransportMsgType::kHeartbeat:
           break;  // last_rx already refreshed
+        case TransportMsgType::kTelemetry: {
+          if (r.state != EpState::kReady) {
+            drop_endpoint(r, "protocol violation", false);
+            return;
+          }
+          try {
+            if (telemetry_subtype(msg.body) == kTelemetryRunCapture) {
+              fold_capture(decode_telemetry_capture(msg.body));
+            } else {
+              const TelemetryAggregate agg =
+                  decode_telemetry_aggregate(msg.body);
+              EndpointTelemetry& et =
+                  stats_.endpoints[static_cast<std::size_t>(r.id)];
+              // Counters and histograms are cumulative snapshots (latest
+              // wins); spans arrive incrementally and accumulate.
+              et.launched = agg.launched;
+              et.respawns = agg.respawns;
+              et.timeouts = agg.timeouts;
+              et.signal_deaths = agg.signal_deaths;
+              et.warm_hits = agg.warm_hits;
+              et.warm_misses = agg.warm_misses;
+              et.trace_dropped = agg.trace_dropped;
+              et.histograms = agg.histograms;
+              et.base_sec =
+                  static_cast<double>(
+                      static_cast<std::int64_t>(agg.base_ns) -
+                      clock_offset_ns[static_cast<std::size_t>(r.id)] -
+                      batch_start_ns) *
+                  1e-9;
+              et.spans.insert(et.spans.end(), agg.spans.begin(),
+                              agg.spans.end());
+            }
+          } catch (const std::exception& e) {
+            drop_endpoint(r, std::string("bad telemetry: ") + e.what(),
+                          false);
+            return;
+          }
+          break;
+        }
         case TransportMsgType::kRunResult:
           if (r.state != EpState::kReady ||
               !on_result(r, msg.index, msg.body)) {
@@ -1439,7 +1652,10 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
       r.fd = fd;
       r.state = EpState::kHandshake;
       r.last_rx = now;
-      send_frame(fd, msg_hello(opts_.campaign_fingerprint));
+      stats_.endpoints[static_cast<std::size_t>(r.id)].state = "handshake";
+      hello_sent_ns[static_cast<std::size_t>(r.id)] = steady_now_ns();
+      send_frame(fd, msg_hello(opts_.campaign_fingerprint,
+                               hello_sent_ns[static_cast<std::size_t>(r.id)]));
     }
 
     // Every endpoint permanently failed with work outstanding: fail loudly
@@ -1565,6 +1781,8 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
                       false);
       }
     }
+
+    write_metrics_snapshot(n, n - remaining, /*force=*/false);
   }
 
   for (Remote& r : remotes) {

@@ -33,10 +33,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "campaign/driver.h"
 #include "campaign/journal.h"
+#include "util/trace.h"
 
 namespace dav {
 
@@ -87,6 +89,15 @@ struct ExecutorOptions {
   /// re-dispatched to another endpoint; the first completed result wins and
   /// duplicates are discarded by plan index. 0 disables re-dispatch.
   double straggler_sec = 0.0;
+  /// Live metrics snapshot path (DAV_METRICS / davcamp --metrics): the
+  /// executor periodically rewrites this file with a key=value progress
+  /// snapshot (runs done/total, runs/sec, ETA, quarantines, endpoint health)
+  /// via temp-file + atomic rename, so a reader never sees a torn snapshot.
+  /// Empty disables. Observability only — never read back, never part of the
+  /// deterministic summary.
+  std::string metrics_path;
+  /// Minimum seconds between metrics snapshots (DAV_METRICS_INTERVAL_SEC).
+  double metrics_interval_sec = 2.0;
 
   /// Deprecated spelling of EnvOptions::from_env().executor_options() — the
   /// typed façade (env_options.h) is the only env-reading entry point.
@@ -123,6 +134,45 @@ struct WorkerSpan {
   double dur_sec = 0.0;
 };
 
+/// The observability residue of one completed run (util/trace.h RunCapture)
+/// tagged with its plan index. Harvested by the in-process path from the
+/// driver's stash, shipped by pool workers inside their response frame, and
+/// forwarded by daemons as kTelemetry capture messages — one record per
+/// traced, non-replayed run, first arrival wins on re-dispatch duplicates.
+struct RunTraceCapture {
+  std::uint64_t plan_index = 0;
+  obs::RunCapture capture;
+};
+
+/// One remote endpoint's merged observability picture, accumulated by the
+/// distributed coordinator from kTelemetry aggregates. Wall-clock telemetry
+/// only; pid assignment in the fleet trace is by `index` (plan order of
+/// opts.workers), so the merged trace layout is stable for a given campaign.
+struct EndpointTelemetry {
+  std::string spec;            ///< endpoint text, for labeling
+  int index = 0;               ///< position in opts.workers (pid = index + 1)
+  std::string state;           ///< last known: connecting/ready/failed/...
+  std::uint32_t slots = 0;     ///< pool slots advertised in kHelloAck
+  std::uint64_t runs_done = 0; ///< results accepted from this endpoint
+  int reconnects = 0;
+  /// Daemon steady clock minus coordinator steady clock, from the handshake
+  /// timestamp exchange (NTP-style midpoint estimate). Seconds.
+  double clock_offset_sec = 0.0;
+  /// Daemon pool epoch mapped onto the coordinator timeline, relative to
+  /// run_all entry: add to a daemon span's start_sec to place it.
+  double base_sec = 0.0;
+  // Cumulative daemon-side pool counters (latest aggregate wins).
+  std::uint64_t launched = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t signal_deaths = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  std::uint64_t trace_dropped = 0;
+  obs::StageHistogramSet histograms;  ///< cumulative across runs served
+  std::vector<WorkerSpan> spans;      ///< daemon slot spans, daemon-relative
+};
+
 struct ExecutorStats {
   int launched = 0;       ///< worker processes forked
   int journal_hits = 0;   ///< runs skipped because the journal had them
@@ -154,6 +204,12 @@ struct ExecutorStats {
   std::vector<double> slot_busy_sec; ///< busy seconds per worker slot
   std::vector<int> slot_runs_served; ///< pool runs completed per worker slot
   std::vector<WorkerSpan> spans;     ///< completed attempts, timeline order
+
+  // Trace telemetry (only populated when runs trace, i.e. DAV_TRACE).
+  std::uint64_t trace_dropped = 0;    ///< ring evictions across all runs
+  obs::StageHistogramSet stage_hist;  ///< merged per-stage span histograms
+  std::vector<RunTraceCapture> captures;  ///< per-run residue, arrival order
+  std::vector<EndpointTelemetry> endpoints;  ///< distributed mode only
 };
 
 /// The kHarnessError placeholder for a run that could not produce a result:
@@ -192,6 +248,14 @@ class CampaignExecutor {
  private:
   /// journal_.append plus telemetry accounting (appends + bytes).
   void journal_append(std::uint64_t key, const std::string& payload);
+  /// Fold one run's trace residue into stats_ (first arrival wins per plan
+  /// index — re-dispatch duplicates and retries are discarded, mirroring the
+  /// result dedup).
+  void fold_capture(RunTraceCapture cap);
+  /// Live metrics snapshot (opts_.metrics_path, atomic rename). Rate-limited
+  /// by metrics_interval_sec unless `force` (batch end / final state).
+  /// Per-endpoint lines derive from stats_.endpoints in distributed mode.
+  void write_metrics_snapshot(std::size_t total, std::size_t done, bool force);
   void run_in_process(const std::vector<RunConfig>& cfgs,
                       const std::vector<std::uint64_t>& keys,
                       std::vector<RunResult>& results,
@@ -222,6 +286,10 @@ class CampaignExecutor {
   ExecutorStats stats_;
   /// run_all entry instant: the zero of the WorkerSpan timeline.
   std::chrono::steady_clock::time_point batch_start_{};
+  /// Plan indices whose capture was already folded (dedup).
+  std::unordered_set<std::uint64_t> capture_seen_;
+  /// Last metrics snapshot write, for interval rate limiting.
+  std::chrono::steady_clock::time_point last_metrics_{};
 };
 
 /// Event-driven supervisor over the persistent prefork worker pool,
@@ -246,6 +314,10 @@ class PoolSupervisor {
     bool ok = false;
     std::string what;
     std::string result_payload;
+    /// Encoded RunTraceCapture blob (transport.h encode_run_capture), empty
+    /// when the run was untraced. Rides the response frame OUTSIDE the
+    /// result payload, so journal bytes are unchanged by tracing.
+    std::string capture_payload;
     double start_sec = 0.0;  ///< relative to the epoch; telemetry only
     double dur_sec = 0.0;
   };

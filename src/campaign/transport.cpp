@@ -42,17 +42,19 @@ std::string with_type(TransportMsgType type, const std::string& body) {
 
 }  // namespace
 
-std::string msg_hello(std::uint64_t fingerprint) {
+std::string msg_hello(std::uint64_t fingerprint, std::uint64_t clock_ns) {
   ByteWriter w;
   w.u32(kTransportProtocolVersion);
   w.u64(fingerprint);
+  w.u64(clock_ns);
   return with_type(TransportMsgType::kHello, w.bytes());
 }
 
-std::string msg_hello_ack(std::uint32_t slots) {
+std::string msg_hello_ack(std::uint32_t slots, std::uint64_t clock_ns) {
   ByteWriter w;
   w.u32(kTransportProtocolVersion);
   w.u32(slots);
+  w.u64(clock_ns);
   return with_type(TransportMsgType::kHelloAck, w.bytes());
 }
 
@@ -90,10 +92,12 @@ TransportMsg parse_transport_msg(const std::string& payload) {
     case TransportMsgType::kHello:
       msg.proto_version = r.u32();
       msg.fingerprint = r.u64();
+      msg.clock_ns = r.u64();
       break;
     case TransportMsgType::kHelloAck:
       msg.proto_version = r.u32();
       msg.slots = r.u32();
+      msg.clock_ns = r.u64();
       break;
     case TransportMsgType::kHelloReject:
       msg.reason = r.str();
@@ -103,6 +107,9 @@ TransportMsg parse_transport_msg(const std::string& payload) {
       msg.index = r.u64();
       msg.body = payload.substr(payload.size() - r.remaining());
       return msg;  // body consumes the rest; skip the done() check below
+    case TransportMsgType::kTelemetry:
+      msg.body = payload.substr(payload.size() - r.remaining());
+      return msg;  // sub-typed body consumes the rest
     case TransportMsgType::kHeartbeat:
       break;
     default:
@@ -113,6 +120,160 @@ TransportMsg parse_transport_msg(const std::string& payload) {
     throw std::runtime_error("transport: trailing bytes after message");
   }
   return msg;
+}
+
+// ---- telemetry codec ------------------------------------------------------
+
+namespace {
+
+// Histograms go on the wire sparsely: per stage, only the non-empty buckets
+// (u8 bucket index, u64 count). A traced run touches a handful of buckets
+// per stage, so this keeps a capture blob in the low hundreds of bytes.
+void put_histograms(ByteWriter& w, const obs::StageHistogramSet& hist) {
+  for (const obs::StageHistogram& h : hist.stages) {
+    std::uint8_t nonzero = 0;
+    for (std::uint64_t b : h.buckets) {
+      if (b != 0) ++nonzero;
+    }
+    w.u8(nonzero);
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.u8(static_cast<std::uint8_t>(i));
+      w.u64(h.buckets[i]);
+    }
+  }
+}
+
+void get_histograms(ByteReader& r, obs::StageHistogramSet& hist) {
+  for (obs::StageHistogram& h : hist.stages) {
+    const std::uint8_t nonzero = r.u8();
+    for (std::uint8_t i = 0; i < nonzero; ++i) {
+      const std::uint8_t bucket = r.u8();
+      if (bucket >= h.buckets.size()) {
+        throw std::runtime_error("telemetry: histogram bucket out of range");
+      }
+      h.buckets[bucket] = r.u64();
+    }
+  }
+}
+
+}  // namespace
+
+std::uint8_t telemetry_subtype(const std::string& body) {
+  if (body.empty()) {
+    throw std::runtime_error("telemetry: empty body");
+  }
+  return static_cast<std::uint8_t>(body[0]);
+}
+
+std::string encode_run_capture(const RunTraceCapture& cap) {
+  ByteWriter w;
+  w.u64(cap.plan_index);
+  w.u64(cap.capture.dropped);
+  w.f64(cap.capture.dt);
+  put_histograms(w, cap.capture.histograms);
+  w.u32(static_cast<std::uint32_t>(cap.capture.instants.size()));
+  for (const obs::TraceEvent& ev : cap.capture.instants) {
+    w.u32(ev.tick);
+    w.u32(ev.id);
+    w.u8(static_cast<std::uint8_t>(ev.track));
+    w.f64(ev.value);
+  }
+  return w.take();
+}
+
+RunTraceCapture decode_run_capture(const std::string& blob) {
+  ByteReader r(blob);
+  RunTraceCapture cap;
+  cap.capture.valid = true;
+  cap.plan_index = r.u64();
+  cap.capture.dropped = r.u64();
+  cap.capture.dt = r.f64();
+  get_histograms(r, cap.capture.histograms);
+  const std::uint32_t n = r.u32();
+  cap.capture.instants.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    obs::TraceEvent ev;
+    ev.tick = r.u32();
+    ev.id = static_cast<std::uint16_t>(r.u32());
+    ev.kind = obs::EventKind::kInstant;
+    ev.track = static_cast<std::int8_t>(r.u8());
+    ev.value = r.f64();
+    cap.capture.instants.push_back(ev);
+  }
+  if (!r.done()) {
+    throw std::runtime_error("telemetry: trailing bytes after run capture");
+  }
+  return cap;
+}
+
+std::string msg_telemetry_capture(const std::string& capture_blob) {
+  ByteWriter w;
+  w.u8(kTelemetryRunCapture);
+  w.raw(capture_blob);
+  return with_type(TransportMsgType::kTelemetry, w.bytes());
+}
+
+std::string msg_telemetry_aggregate(const TelemetryAggregate& agg) {
+  ByteWriter w;
+  w.u8(kTelemetryAggregate);
+  w.u64(agg.base_ns);
+  w.u64(agg.launched);
+  w.u64(agg.respawns);
+  w.u64(agg.timeouts);
+  w.u64(agg.signal_deaths);
+  w.u64(agg.warm_hits);
+  w.u64(agg.warm_misses);
+  w.u64(agg.trace_dropped);
+  put_histograms(w, agg.histograms);
+  w.u32(static_cast<std::uint32_t>(agg.spans.size()));
+  for (const WorkerSpan& s : agg.spans) {
+    w.u64(static_cast<std::uint64_t>(s.index));
+    w.u32(static_cast<std::uint32_t>(s.slot));
+    w.u32(static_cast<std::uint32_t>(s.attempt));
+    w.f64(s.start_sec);
+    w.f64(s.dur_sec);
+  }
+  return with_type(TransportMsgType::kTelemetry, w.bytes());
+}
+
+TelemetryAggregate decode_telemetry_aggregate(const std::string& body) {
+  ByteReader r(body);
+  if (r.u8() != kTelemetryAggregate) {
+    throw std::runtime_error("telemetry: not an aggregate body");
+  }
+  TelemetryAggregate agg;
+  agg.base_ns = r.u64();
+  agg.launched = r.u64();
+  agg.respawns = r.u64();
+  agg.timeouts = r.u64();
+  agg.signal_deaths = r.u64();
+  agg.warm_hits = r.u64();
+  agg.warm_misses = r.u64();
+  agg.trace_dropped = r.u64();
+  get_histograms(r, agg.histograms);
+  const std::uint32_t n = r.u32();
+  agg.spans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WorkerSpan s;
+    s.index = static_cast<std::size_t>(r.u64());
+    s.slot = static_cast<int>(r.u32());
+    s.attempt = static_cast<int>(r.u32());
+    s.start_sec = r.f64();
+    s.dur_sec = r.f64();
+    agg.spans.push_back(s);
+  }
+  if (!r.done()) {
+    throw std::runtime_error("telemetry: trailing bytes after aggregate");
+  }
+  return agg;
+}
+
+RunTraceCapture decode_telemetry_capture(const std::string& body) {
+  if (telemetry_subtype(body) != kTelemetryRunCapture) {
+    throw std::runtime_error("telemetry: not a run-capture body");
+  }
+  return decode_run_capture(body.substr(1));
 }
 
 // ---- addressing -----------------------------------------------------------
@@ -375,7 +536,8 @@ struct ServeSigpipeGuard {
 void serve_session(int cfd, const ExecutorOptions& eopts,
                    const CampaignExecutor::WarmRunFn& fn,
                    double heartbeat_sec) {
-  PoolSupervisor sup(eopts, fn, Clock::now());
+  const Clock::time_point session_epoch = Clock::now();
+  PoolSupervisor sup(eopts, fn, session_epoch);
   // Configs in flight, by plan index: keeps each RunConfigRecord's LUT
   // storage alive for the pool worker round-trip, and lets a worker death be
   // reported as a kHarnessError payload for the exact config that died.
@@ -386,6 +548,36 @@ void serve_session(int cfd, const ExecutorOptions& eopts,
   const auto send = [&](const std::string& payload) {
     last_tx = Clock::now();
     return send_frame(cfd, payload);
+  };
+
+  // Telemetry accumulators. Histograms and the drop count are cumulative for
+  // the session; spans buffer up and flush incrementally with each aggregate.
+  const std::uint64_t session_base_ns =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<
+                                     std::chrono::nanoseconds>(
+                                     session_epoch.time_since_epoch())
+                                     .count());
+  obs::StageHistogramSet cum_hist;
+  std::uint64_t cum_dropped = 0;
+  std::vector<WorkerSpan> pending_spans;
+  std::uint64_t flushed_counter_sig = 0;
+  const auto make_aggregate = [&]() {
+    const PoolSupervisor::Telemetry& t = sup.telemetry();
+    TelemetryAggregate agg;
+    agg.base_ns = session_base_ns;
+    agg.launched = static_cast<std::uint64_t>(t.launched);
+    agg.respawns = static_cast<std::uint64_t>(t.respawns);
+    agg.timeouts = static_cast<std::uint64_t>(t.timeouts);
+    agg.signal_deaths = static_cast<std::uint64_t>(t.signal_deaths);
+    agg.warm_hits = t.warm_hits;
+    agg.warm_misses = t.warm_misses;
+    agg.trace_dropped = cum_dropped;
+    agg.histograms = cum_hist;
+    agg.spans = std::move(pending_spans);
+    pending_spans.clear();
+    flushed_counter_sig = agg.launched + agg.respawns + agg.timeouts +
+                          agg.signal_deaths + agg.warm_hits + agg.warm_misses;
+    return msg_telemetry_aggregate(agg);
   };
 
   for (;;) {
@@ -403,6 +595,12 @@ void serve_session(int cfd, const ExecutorOptions& eopts,
     bool socket_readable = false;
     sup.pump(/*max_wait_ms=*/200, comps, cfd, &socket_readable);
 
+    // Telemetry goes out BEFORE the results it describes: captures, then an
+    // aggregate carrying these completions' slot spans, then the results.
+    // The stream is ordered, so by the time the coordinator sees the final
+    // kRunResult of the campaign it already holds every capture and span —
+    // nothing is lost when it disconnects immediately after.
+    std::vector<std::pair<std::uint64_t, std::string>> out_results;
     for (const PoolSupervisor::Completion& c : comps) {
       const std::uint64_t index = static_cast<std::uint64_t>(c.index);
       const auto it = inflight.find(index);
@@ -412,6 +610,27 @@ void serve_session(int cfd, const ExecutorOptions& eopts,
                : make_result_payload(false, c.what,
                                      harness_error_result(it->second.cfg));
       inflight.erase(it);
+      if (!c.capture_payload.empty()) {
+        try {
+          const RunTraceCapture cap = decode_run_capture(c.capture_payload);
+          cum_dropped += cap.capture.dropped;
+          cum_hist.merge(cap.capture.histograms);
+        } catch (const std::exception&) {
+          // A malformed capture is observability loss, not a protocol error.
+        }
+        if (!send(msg_telemetry_capture(c.capture_payload))) return;
+      }
+      WorkerSpan span;
+      span.index = c.index;
+      span.slot = c.slot;
+      span.attempt = c.attempt;
+      span.start_sec = c.start_sec;
+      span.dur_sec = c.dur_sec;
+      pending_spans.push_back(span);
+      out_results.emplace_back(index, std::move(payload));
+    }
+    if (!pending_spans.empty() && !send(make_aggregate())) return;
+    for (const auto& [index, payload] : out_results) {
       if (!send(msg_run_result(index, payload))) return;
     }
 
@@ -457,10 +676,22 @@ void serve_session(int cfd, const ExecutorOptions& eopts,
     }
 
     // Idle beacon so the coordinator can tell "slow run" from "dead daemon".
+    // Telemetry piggybacks on this cadence: counter movement with no
+    // completion to carry it (respawns, warm-cache churn) flushes here.
     if (heartbeat_sec > 0.0) {
       const double idle =
           std::chrono::duration<double>(Clock::now() - last_tx).count();
-      if (idle >= heartbeat_sec && !send(msg_heartbeat())) return;
+      if (idle >= heartbeat_sec) {
+        const PoolSupervisor::Telemetry& t = sup.telemetry();
+        const std::uint64_t sig =
+            static_cast<std::uint64_t>(t.launched) +
+            static_cast<std::uint64_t>(t.respawns) +
+            static_cast<std::uint64_t>(t.timeouts) +
+            static_cast<std::uint64_t>(t.signal_deaths) + t.warm_hits +
+            t.warm_misses;
+        if (sig != flushed_counter_sig && !send(make_aggregate())) return;
+        if (!send(msg_heartbeat())) return;
+      }
     }
   }
 }
@@ -552,8 +783,15 @@ int serve_campaign(const ServeOptions& sopts, const ExecutorOptions& eopts,
         break;
       }
       if (pinned_fingerprint == 0) pinned_fingerprint = hello.fingerprint;
+      // The ack carries this daemon's steady clock so the coordinator can
+      // align our telemetry onto its own timeline (see header comment).
+      const std::uint64_t now_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Clock::now().time_since_epoch())
+              .count());
       accepted = send_frame(
-          cfd, msg_hello_ack(static_cast<std::uint32_t>(pool_opts.jobs)));
+          cfd,
+          msg_hello_ack(static_cast<std::uint32_t>(pool_opts.jobs), now_ns));
       break;
     }
 

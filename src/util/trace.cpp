@@ -1,6 +1,7 @@
 #include "util/trace.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace dav::obs {
 
@@ -8,6 +9,20 @@ namespace detail {
 TraceRecorder* g_recorder = nullptr;
 std::uint32_t g_tick = 0;
 }  // namespace detail
+
+namespace {
+RunCapture g_last_capture;
+}  // namespace
+
+void set_last_run_capture(RunCapture cap) {
+  g_last_capture = std::move(cap);
+}
+
+RunCapture take_last_run_capture() {
+  RunCapture out = std::move(g_last_capture);
+  g_last_capture = RunCapture{};
+  return out;
+}
 
 const char* to_string(Stage s) {
   switch (s) {

@@ -28,6 +28,8 @@
 // the execution model (campaign parallelism is fork-based, executor.h).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -86,6 +88,81 @@ const char* to_string(Instant i);
 
 enum class EventKind : std::uint8_t { kSpan, kCounter, kInstant };
 
+/// Fixed-bucket log2 latency histogram. POD, allocation-free, deterministic
+/// layout: bucket b holds durations whose bit width is b, i.e. the half-open
+/// range [2^(b-1), 2^b) nanoseconds (bucket 0 holds exact zeros). Nonzero
+/// u64 bit widths run 1..64, so with the zero bucket the full range takes 65
+/// buckets — add() never saturates or clamps a real duration into the wrong
+/// bucket. Unlike the event ring, histograms never evict: percentiles
+/// computed from them describe EVERY span recorded, even after the ring
+/// wrapped and dropped the oldest events.
+struct StageHistogram {
+  std::array<std::uint64_t, 65> buckets{};
+
+  void add(std::uint64_t dur_ns) {
+    ++buckets[dur_ns == 0 ? 0 : std::bit_width(dur_ns)];
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t b : buckets) n += b;
+    return n;
+  }
+
+  void merge(const StageHistogram& other) {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      buckets[i] += other.buckets[i];
+    }
+  }
+
+  /// Lower bound (ns) of the bucket containing the p-th percentile
+  /// (p in [0,100]), using the nearest-rank definition: the bucket holding
+  /// the ceil(p/100 * count)-th smallest sample. Returns 0 when empty.
+  /// For durations that are exact powers of two the estimate is exact.
+  std::uint64_t percentile_ns(double p) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * n + 0.5);
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      seen += buckets[b];
+      if (seen >= rank) {
+        return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+      }
+    }
+    return 0;
+  }
+};
+
+/// One histogram per pipeline stage. The recorder updates these inline in
+/// record(), so they ride along with the ring at zero extra allocation.
+struct StageHistogramSet {
+  std::array<StageHistogram, static_cast<std::size_t>(Stage::kCount)> stages{};
+
+  StageHistogram& at(Stage s) {
+    return stages[static_cast<std::size_t>(s)];
+  }
+  const StageHistogram& at(Stage s) const {
+    return stages[static_cast<std::size_t>(s)];
+  }
+
+  void merge(const StageHistogramSet& other) {
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      stages[i].merge(other.stages[i]);
+    }
+  }
+
+  std::uint64_t total_count() const {
+    std::uint64_t n = 0;
+    for (const StageHistogram& h : stages) n += h.count();
+    return n;
+  }
+};
+
 /// One POD trace event. 24 bytes; the ring holds these by value.
 struct TraceEvent {
   std::uint32_t tick = 0;    // simulation tick index (semantic timestamp)
@@ -105,6 +182,10 @@ class TraceRecorder {
   explicit TraceRecorder(std::size_t capacity);
 
   void record(const TraceEvent& ev) {
+    if (ev.kind == EventKind::kSpan &&
+        ev.id < static_cast<std::uint16_t>(Stage::kCount)) {
+      hist_.stages[ev.id].add(ev.dur_ns);
+    }
     if (buf_.size() < capacity_) {
       buf_.push_back(ev);
       return;
@@ -119,6 +200,10 @@ class TraceRecorder {
   /// Events overwritten by overflow (oldest-first eviction).
   std::uint64_t dropped() const { return dropped_; }
 
+  /// Per-stage latency histograms over EVERY span ever recorded — these
+  /// survive ring eviction, so percentiles stay exact after overflow.
+  const StageHistogramSet& histograms() const { return hist_; }
+
   /// Events in recording order, oldest surviving event first.
   std::vector<TraceEvent> drain() const;
 
@@ -127,6 +212,7 @@ class TraceRecorder {
   std::size_t head_ = 0;  // oldest event when the ring is full
   std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> buf_;
+  StageHistogramSet hist_;
 };
 
 /// Per-run tracing options, routed through RunConfig so forked executor
@@ -149,6 +235,29 @@ struct TraceOptions {
   // Environment opt-in (DAV_TRACE / DAV_TRACE_CAPACITY) lives in
   // dav::EnvOptions::trace_options() — the obs layer never reads env vars.
 };
+
+/// The deterministic residue of one traced run, stashed by the driver after
+/// the run finishes so the campaign executor can harvest it without holding a
+/// reference to the (stack-local) recorder. Contains ONLY semantic data —
+/// instant events (whose tick/id/track/value are functions of the run seed)
+/// and the per-stage histograms + drop count (wall-clock summaries that never
+/// feed back into results) — so shipping it over the campaign transport
+/// cannot perturb journal or summary byte-determinism.
+struct RunCapture {
+  bool valid = false;
+  std::uint64_t dropped = 0;
+  double dt = 0.0;  ///< tick length, so merged traces keep simulated time
+  StageHistogramSet histograms;
+  std::vector<TraceEvent> instants;  // EventKind::kInstant only, run order
+};
+
+/// Stash/harvest the capture of the most recently completed traced run.
+/// Process-global, single-slot: the executor consumes it immediately after
+/// each run_experiment return (one run per process is the execution model).
+void set_last_run_capture(RunCapture cap);
+/// Returns the stashed capture and clears the slot; `valid` is false when no
+/// traced run completed since the last take.
+RunCapture take_last_run_capture();
 
 namespace detail {
 // Process-global recorder + current tick. Not thread-safe by design (one run

@@ -77,6 +77,8 @@ TEST(EnvOptions, DefaultsWhenNothingIsSet) {
   EXPECT_TRUE(o.serve.empty());
   EXPECT_DOUBLE_EQ(o.heartbeat_sec, 5.0);
   EXPECT_DOUBLE_EQ(o.straggler_sec, 0.0);
+  EXPECT_TRUE(o.metrics_path.empty());
+  EXPECT_DOUBLE_EQ(o.metrics_interval_sec, 2.0);
   EXPECT_FALSE(o.executor_options().enabled());
 }
 
@@ -96,6 +98,8 @@ TEST(EnvOptions, ParsesEveryKnob) {
   ScopedEnv e12("DAV_WORKERS", "host:9000, unix:/tmp/w.sock");
   ScopedEnv e13("DAV_HEARTBEAT_SEC", "0.5");
   ScopedEnv e14("DAV_STRAGGLER_SEC", "30");
+  ScopedEnv e15("DAV_METRICS", "/tmp/dav.metrics");
+  ScopedEnv e16("DAV_METRICS_INTERVAL_SEC", "0.25");
 
   const EnvOptions o = EnvOptions::from_env();
   EXPECT_DOUBLE_EQ(o.scale, 0.5);
@@ -114,6 +118,8 @@ TEST(EnvOptions, ParsesEveryKnob) {
   EXPECT_EQ(o.workers[1], "unix:/tmp/w.sock");
   EXPECT_DOUBLE_EQ(o.heartbeat_sec, 0.5);
   EXPECT_DOUBLE_EQ(o.straggler_sec, 30.0);
+  EXPECT_EQ(o.metrics_path, "/tmp/dav.metrics");
+  EXPECT_DOUBLE_EQ(o.metrics_interval_sec, 0.25);
 }
 
 TEST(EnvOptions, ServeAddressParses) {
@@ -174,6 +180,9 @@ TEST(EnvOptions, RejectsMalformedValuesWithActionableErrors) {
   expect_rejects("DAV_HEARTBEAT_SEC", "often");
   expect_rejects("DAV_STRAGGLER_SEC", "-2");
   expect_rejects("DAV_STRAGGLER_SEC", "late");
+  expect_rejects("DAV_METRICS_INTERVAL_SEC", "0");
+  expect_rejects("DAV_METRICS_INTERVAL_SEC", "-1");
+  expect_rejects("DAV_METRICS_INTERVAL_SEC", "slow");
 }
 
 TEST(EnvOptions, ValidateRejectsNonsenseOnHandBuiltValues) {
@@ -194,6 +203,9 @@ TEST(EnvOptions, ValidateRejectsNonsenseOnHandBuiltValues) {
   EXPECT_THROW(o.validate(), std::invalid_argument);
   o = EnvOptions::defaults();
   o.straggler_sec = -1.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = EnvOptions::defaults();
+  o.metrics_interval_sec = 0.0;
   EXPECT_THROW(o.validate(), std::invalid_argument);
   EXPECT_NO_THROW(EnvOptions::defaults().validate());
 }
@@ -237,6 +249,8 @@ TEST(EnvOptions, ExecutorAndTraceProjections) {
   o.workers = {"unix:/tmp/w.sock"};
   o.heartbeat_sec = 0.25;
   o.straggler_sec = 15.0;
+  o.metrics_path = "/tmp/m.metrics";
+  o.metrics_interval_sec = 0.5;
 
   const ExecutorOptions x = o.executor_options();
   EXPECT_EQ(x.jobs, 3);
@@ -251,6 +265,8 @@ TEST(EnvOptions, ExecutorAndTraceProjections) {
   EXPECT_EQ(x.workers[0], "unix:/tmp/w.sock");
   EXPECT_DOUBLE_EQ(x.heartbeat_sec, 0.25);
   EXPECT_DOUBLE_EQ(x.straggler_sec, 15.0);
+  EXPECT_EQ(x.metrics_path, "/tmp/m.metrics");
+  EXPECT_DOUBLE_EQ(x.metrics_interval_sec, 0.5);
   EXPECT_TRUE(x.enabled());
 
   const obs::TraceOptions t = o.trace_options();
@@ -307,6 +323,7 @@ TEST(EnvOptions, DocsCoverEveryParsedVariable) {
       "DAV_RUN_RETRIES", "DAV_RUN_CPU_SEC",   "DAV_RUN_AS_MB",
       "DAV_TRACE",       "DAV_TRACE_CAPACITY", "DAV_WORKERS",
       "DAV_SERVE",       "DAV_HEARTBEAT_SEC", "DAV_STRAGGLER_SEC",
+      "DAV_METRICS",     "DAV_METRICS_INTERVAL_SEC",
       "DAV_SENSOR_FAULTS", "DAV_SENSOR_ONSET_TICK",
       "DAV_SENSOR_DURATION_TICKS"};
   const auto& docs = EnvOptions::docs();

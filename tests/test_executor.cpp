@@ -568,6 +568,89 @@ TEST(ExecutorPool, KillMidFlightThenResumeIsBitIdentical) {
   std::remove(journal.c_str());
 }
 
+// ---- live metrics snapshot ----
+
+/// Strict key=value parse: one '=' split per line, non-empty keys. A torn or
+/// truncated snapshot fails here, which is the point — the atomic
+/// temp-file + rename contract says readers only ever see complete files.
+std::vector<std::pair<std::string, std::string>> parse_metrics(
+    const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    EXPECT_NE(eq, std::string::npos) << "not key=value: " << line;
+    EXPECT_GT(eq, 0u) << "empty key: " << line;
+    kv.emplace_back(line.substr(0, eq), line.substr(eq + 1));
+  }
+  return kv;
+}
+
+std::string metrics_value(
+    const std::vector<std::pair<std::string, std::string>>& kv,
+    const std::string& key) {
+  for (const auto& [k, v] : kv) {
+    if (k == key) return v;
+  }
+  ADD_FAILURE() << "missing key " << key;
+  return {};
+}
+
+TEST(ExecutorMetrics, FinalSnapshotIsCompleteAndParseable) {
+  ExecutorOptions o = pool_options();
+  o.metrics_path = temp_path("exec_metrics.txt");
+  // Far beyond the batch runtime: only the forced final write may fire, so
+  // the file we parse is exactly the end-of-batch snapshot.
+  o.metrics_interval_sec = 3600.0;
+  CampaignExecutor exec(o, stub_result);
+  const auto cfgs = make_configs(6);
+  const auto results = exec.run_all(cfgs);
+  ASSERT_EQ(results.size(), cfgs.size());
+
+  const auto kv = parse_metrics(o.metrics_path);
+  ASSERT_FALSE(kv.empty());
+  EXPECT_EQ(kv.front().first, "schema");
+  EXPECT_EQ(kv.front().second, "dav.metrics.v1");
+  EXPECT_EQ(metrics_value(kv, "phase"), "done");
+  EXPECT_EQ(metrics_value(kv, "runs_total"), "6");
+  EXPECT_EQ(metrics_value(kv, "runs_done"), "6");
+  EXPECT_EQ(metrics_value(kv, "runs_remaining"), "0");
+  EXPECT_EQ(metrics_value(kv, "eta_sec"), "0.000");
+  EXPECT_EQ(metrics_value(kv, "quarantined"), "0");
+  // Local pool: no remote endpoints in the snapshot.
+  EXPECT_EQ(metrics_value(kv, "endpoints"), "0");
+  std::remove(o.metrics_path.c_str());
+}
+
+TEST(ExecutorMetrics, SnapshotTracksJournalReplayOnResume) {
+  // A fully-journaled batch resolves instantly from replay; the snapshot
+  // must report the hits and still land on phase=done.
+  const std::string journal = temp_path("metrics_resume.journal");
+  const auto cfgs = make_configs(4);
+  {
+    ExecutorOptions o = pool_options();
+    o.journal_path = journal;
+    o.campaign_fingerprint = 0xABCDull;
+    CampaignExecutor exec(o, stub_result);
+    (void)exec.run_all(cfgs);
+  }
+  ExecutorOptions o = pool_options();
+  o.journal_path = journal;
+  o.campaign_fingerprint = 0xABCDull;
+  o.metrics_path = temp_path("metrics_resume.txt");
+  CampaignExecutor exec(o, stub_result);
+  const auto results = exec.run_all(cfgs);
+  ASSERT_EQ(results.size(), cfgs.size());
+  const auto kv = parse_metrics(o.metrics_path);
+  EXPECT_EQ(metrics_value(kv, "phase"), "done");
+  EXPECT_EQ(metrics_value(kv, "journal_hits"), "4");
+  EXPECT_EQ(metrics_value(kv, "runs_done"), "4");
+  std::remove(journal.c_str());
+  std::remove(o.metrics_path.c_str());
+}
+
 // ---- warm-state cache ----
 
 TEST(WarmStateCache, HitEqualsColdRunByteForByte) {

@@ -90,6 +90,70 @@ TEST(TraceRecorder, OverflowKeepsNewestAndCountsDrops) {
   }
 }
 
+// ---- stage histograms ----
+
+obs::TraceEvent make_span(std::uint32_t tick, obs::Stage s,
+                          std::uint64_t dur_ns) {
+  obs::TraceEvent ev;
+  ev.tick = tick;
+  ev.id = static_cast<std::uint16_t>(s);
+  ev.kind = obs::EventKind::kSpan;
+  ev.dur_ns = dur_ns;
+  return ev;
+}
+
+TEST(StageHistogram, PercentilesExactOnPowerOfTwoDurations) {
+  // Bucket lower bounds are powers of two, so a synthetic workload made of
+  // power-of-two durations reads back its percentiles exactly.
+  obs::StageHistogram h;
+  for (int i = 0; i < 50; ++i) h.add(1024);
+  for (int i = 0; i < 45; ++i) h.add(4096);
+  for (int i = 0; i < 5; ++i) h.add(65536);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile_ns(50.0), 1024u);
+  EXPECT_EQ(h.percentile_ns(95.0), 4096u);
+  EXPECT_EQ(h.percentile_ns(99.0), 65536u);
+  EXPECT_EQ(h.percentile_ns(100.0), 65536u);
+  EXPECT_EQ(h.percentile_ns(0.0), 1024u);  // nearest-rank clamps to rank 1
+}
+
+TEST(StageHistogram, EmptyAndZeroDurationsAreWellDefined) {
+  obs::StageHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_ns(50.0), 0u);
+  h.add(0);
+  h.add(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.percentile_ns(99.0), 0u);  // bucket 0 holds exact zeros
+  h.add(~std::uint64_t{0});              // never saturates into a wrong bucket
+  EXPECT_EQ(h.percentile_ns(100.0), std::uint64_t{1} << 63);
+}
+
+TEST(StageHistogram, MergeSumsBucketwise) {
+  obs::StageHistogram a, b;
+  for (int i = 0; i < 10; ++i) a.add(256);
+  for (int i = 0; i < 10; ++i) b.add(2048);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_EQ(a.percentile_ns(50.0), 256u);
+  EXPECT_EQ(a.percentile_ns(95.0), 2048u);
+}
+
+TEST(StageHistogramSet, RecorderHistogramsSurviveRingEviction) {
+  // The ring drops old events under overflow; the histograms must keep
+  // counting every span ever recorded anyway.
+  obs::TraceRecorder rec(4);
+  for (std::uint32_t t = 0; t < 100; ++t) {
+    rec.record(make_span(t, obs::Stage::kControl, 512));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 96u);
+  const obs::StageHistogram& h = rec.histograms().at(obs::Stage::kControl);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile_ns(50.0), 512u);
+  EXPECT_EQ(rec.histograms().total_count(), 100u);
+}
+
 // ---- recorder installation + helpers ----
 
 TEST(ScopedRecorder, HelpersRecordIntoInstalledRecorder) {

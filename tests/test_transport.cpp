@@ -15,10 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.h"
 #include "campaign/executor.h"
 #include "campaign/journal.h"
 #include "campaign/serialize.h"
 #include "campaign/transport.h"
+#include "util/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DAV_TEST_POSIX 1
@@ -108,7 +110,7 @@ TEST(TransportFraming, TwoFramesInOneChunkSplitCleanly) {
 }
 
 TEST(TransportFraming, CorruptedByteIsDetected) {
-  std::string frame = frame_message(msg_hello(0x1234));
+  std::string frame = frame_message(msg_hello(0x1234, 0));
   frame[frame.size() - 3] ^= 0x40;  // flip a payload bit
   const FrameSplit fs = try_unframe(frame);
   EXPECT_EQ(fs.status, FrameSplit::Status::kCorrupt);
@@ -117,14 +119,16 @@ TEST(TransportFraming, CorruptedByteIsDetected) {
 // ---- message codec --------------------------------------------------------
 
 TEST(TransportCodec, MessagesRoundTrip) {
-  TransportMsg m = parse_transport_msg(msg_hello(0xDEADBEEFull));
+  TransportMsg m = parse_transport_msg(msg_hello(0xDEADBEEFull, 42));
   EXPECT_EQ(m.type, TransportMsgType::kHello);
   EXPECT_EQ(m.proto_version, kTransportProtocolVersion);
   EXPECT_EQ(m.fingerprint, 0xDEADBEEFull);
+  EXPECT_EQ(m.clock_ns, 42u);
 
-  m = parse_transport_msg(msg_hello_ack(4));
+  m = parse_transport_msg(msg_hello_ack(4, 43));
   EXPECT_EQ(m.type, TransportMsgType::kHelloAck);
   EXPECT_EQ(m.slots, 4u);
+  EXPECT_EQ(m.clock_ns, 43u);
 
   m = parse_transport_msg(msg_hello_reject("wrong campaign"));
   EXPECT_EQ(m.type, TransportMsgType::kHelloReject);
@@ -242,6 +246,99 @@ TEST(TransportBackoff, HugeAttemptCountsDoNotOverflow) {
   const double d = backoff_delay_sec(0.25, -5, 123, 60.0);
   EXPECT_GE(d, 0.75 * 0.25);
   EXPECT_LT(d, 1.25 * 0.25);
+}
+
+// ---- telemetry codec -------------------------------------------------------
+
+/// A deterministic trace residue keyed on the run seed — stands in for what
+/// the driver stashes after a real traced run.
+obs::RunCapture synthetic_capture(std::uint64_t seed) {
+  obs::RunCapture cap;
+  cap.valid = true;
+  cap.dropped = seed % 5;
+  cap.dt = 0.025;
+  cap.histograms.at(obs::Stage::kControl).add(std::uint64_t{1} << (10 + seed % 3));
+  cap.histograms.at(obs::Stage::kPlanner).add(4096);
+  obs::TraceEvent ev;
+  ev.tick = static_cast<std::uint32_t>(40 + seed % 7);
+  ev.id = static_cast<std::uint16_t>(obs::Instant::kDetectorAlarm);
+  ev.kind = obs::EventKind::kInstant;
+  ev.track = static_cast<std::int8_t>(seed % 3);
+  ev.value = 0.5 * static_cast<double>(seed % 11);
+  cap.instants.push_back(ev);
+  return cap;
+}
+
+TEST(TelemetryCodec, RunCaptureRoundTripsIncludingTickLength) {
+  RunTraceCapture cap;
+  cap.plan_index = 17;
+  cap.capture = synthetic_capture(9);
+  const std::string blob = encode_run_capture(cap);
+  const RunTraceCapture back = decode_run_capture(blob);
+  EXPECT_EQ(back.plan_index, 17u);
+  EXPECT_TRUE(back.capture.valid);
+  EXPECT_EQ(back.capture.dropped, cap.capture.dropped);
+  EXPECT_DOUBLE_EQ(back.capture.dt, 0.025);
+  EXPECT_EQ(back.capture.histograms.total_count(), 2u);
+  EXPECT_EQ(
+      back.capture.histograms.at(obs::Stage::kPlanner).percentile_ns(50.0),
+      4096u);
+  ASSERT_EQ(back.capture.instants.size(), 1u);
+  EXPECT_EQ(back.capture.instants[0].tick, cap.capture.instants[0].tick);
+  EXPECT_EQ(back.capture.instants[0].id, cap.capture.instants[0].id);
+  EXPECT_EQ(back.capture.instants[0].track, cap.capture.instants[0].track);
+  EXPECT_DOUBLE_EQ(back.capture.instants[0].value,
+                   cap.capture.instants[0].value);
+
+  // The kTelemetry wrapper forwards the blob verbatim under its sub-type.
+  const TransportMsg msg = parse_transport_msg(msg_telemetry_capture(blob));
+  ASSERT_EQ(msg.type, TransportMsgType::kTelemetry);
+  EXPECT_EQ(telemetry_subtype(msg.body), kTelemetryRunCapture);
+  EXPECT_EQ(decode_telemetry_capture(msg.body).plan_index, 17u);
+
+  EXPECT_THROW(decode_run_capture(blob.substr(0, blob.size() - 1)),
+               std::runtime_error);
+  EXPECT_THROW(decode_run_capture(blob + "x"), std::runtime_error);
+}
+
+TEST(TelemetryCodec, AggregateRoundTrips) {
+  TelemetryAggregate agg;
+  agg.base_ns = 123456789;
+  agg.launched = 10;
+  agg.respawns = 1;
+  agg.timeouts = 2;
+  agg.signal_deaths = 3;
+  agg.warm_hits = 4;
+  agg.warm_misses = 5;
+  agg.trace_dropped = 6;
+  agg.histograms.at(obs::Stage::kTick).add(2048);
+  WorkerSpan w;
+  w.index = 7;
+  w.slot = 1;
+  w.attempt = 2;
+  w.start_sec = 0.5;
+  w.dur_sec = 0.25;
+  agg.spans.push_back(w);
+
+  const TransportMsg msg = parse_transport_msg(msg_telemetry_aggregate(agg));
+  ASSERT_EQ(msg.type, TransportMsgType::kTelemetry);
+  EXPECT_EQ(telemetry_subtype(msg.body), kTelemetryAggregate);
+  const TelemetryAggregate back = decode_telemetry_aggregate(msg.body);
+  EXPECT_EQ(back.base_ns, 123456789u);
+  EXPECT_EQ(back.launched, 10u);
+  EXPECT_EQ(back.respawns, 1u);
+  EXPECT_EQ(back.timeouts, 2u);
+  EXPECT_EQ(back.signal_deaths, 3u);
+  EXPECT_EQ(back.warm_hits, 4u);
+  EXPECT_EQ(back.warm_misses, 5u);
+  EXPECT_EQ(back.trace_dropped, 6u);
+  EXPECT_EQ(back.histograms.at(obs::Stage::kTick).percentile_ns(50.0), 2048u);
+  ASSERT_EQ(back.spans.size(), 1u);
+  EXPECT_EQ(back.spans[0].index, 7u);
+  EXPECT_EQ(back.spans[0].slot, 1);
+  EXPECT_EQ(back.spans[0].attempt, 2);
+  EXPECT_DOUBLE_EQ(back.spans[0].start_sec, 0.5);
+  EXPECT_DOUBLE_EQ(back.spans[0].dur_sec, 0.25);
 }
 
 #if DAV_TEST_POSIX
@@ -574,7 +671,7 @@ pid_t spawn_duplicating_worker(const std::string& listen) {
       const TransportMsg msg = parse_transport_msg(fs.payload);
       if (msg.type == TransportMsgType::kHello && !acked) {
         acked = true;
-        send_frame(cfd, msg_hello_ack(1));
+        send_frame(cfd, msg_hello_ack(1, 0));
       } else if (msg.type == TransportMsgType::kRunRequest) {
         const RunConfigRecord rec = deserialize_run_config(msg.body);
         const std::string payload =
@@ -644,7 +741,7 @@ TEST(ServeDaemon, HandshakeAcksAndIdleHeartbeatsFlow) {
   std::string err;
   const int fd = connect_endpoint(parse_endpoint("unix:" + sock), &err);
   ASSERT_GE(fd, 0) << err;
-  ASSERT_TRUE(send_frame(fd, msg_hello(0x77ull)));
+  ASSERT_TRUE(send_frame(fd, msg_hello(0x77ull, 0)));
   std::string buf;
   TransportMsg msg;
   ASSERT_TRUE(read_msg(fd, buf, msg, 5000));
@@ -655,6 +752,42 @@ TEST(ServeDaemon, HandshakeAcksAndIdleHeartbeatsFlow) {
   EXPECT_EQ(msg.type, TransportMsgType::kHeartbeat);
   ::close(fd);
   stop_daemon(d);
+}
+
+TEST(Distributed, MergedRunsTraceByteIdenticalAcrossIdenticalCampaigns) {
+  // Each daemon's workload stashes a deterministic capture per run, exactly
+  // as the driver does for real traced runs; two identical 2-daemon
+  // campaigns must merge to byte-identical runs-trace JSON no matter how
+  // completions interleave across endpoints and pool slots.
+  auto traced_fn = []() -> CampaignExecutor::WarmRunFn {
+    return [](const RunConfig& c, WarmStateCache*) {
+      obs::set_last_run_capture(synthetic_capture(c.run_seed));
+      return stub_result(c);
+    };
+  };
+  auto run_once = [&](const std::string& tag) {
+    const std::string s1 = temp_path("runstrace_a" + tag + ".sock");
+    const std::string s2 = temp_path("runstrace_b" + tag + ".sock");
+    const pid_t d1 = spawn_daemon("unix:" + s1, traced_fn());
+    const pid_t d2 = spawn_daemon("unix:" + s2, traced_fn());
+    await_socket(s1);
+    await_socket(s2);
+    ExecutorOptions o;
+    o.workers = {"unix:" + s1, "unix:" + s2};
+    o.heartbeat_sec = 0.2;
+    CampaignExecutor exec(o, stub_fn());
+    const auto cfgs = make_configs(10);
+    const auto results = exec.run_all(cfgs);
+    stop_daemon(d1);
+    stop_daemon(d2);
+    EXPECT_EQ(results.size(), cfgs.size());
+    EXPECT_EQ(exec.stats().captures.size(), cfgs.size());
+    return campaign_runs_trace_json(exec.stats(), "00000000deadbeef");
+  };
+  const std::string first = run_once("1");
+  const std::string second = run_once("2");
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 #endif  // DAV_TEST_POSIX

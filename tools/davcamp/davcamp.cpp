@@ -41,6 +41,7 @@
 #include "campaign/env_options.h"
 #include "campaign/metrics.h"
 #include "campaign/transport.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -56,6 +57,7 @@ struct Args {
   double td = 2.0;
   std::string out;      // empty = stdout
   std::string workers;  // --workers override of DAV_WORKERS
+  std::string metrics;  // --metrics override of DAV_METRICS
   bool env_help = false;
   bool serve = false;    // `davcamp serve`: run as a worker daemon
   std::string listen;    // --listen override of DAV_SERVE
@@ -67,7 +69,7 @@ struct Args {
       "\nusage: davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]"
       " [--domain=gpu|cpu] [--kind=transient|permanent]"
       " [--faults=register|sensor|both] [--td=<meters>]"
-      " [--out=<path>] [--workers=EP,...] [--env-help]"
+      " [--out=<path>] [--workers=EP,...] [--metrics=<path>] [--env-help]"
       "\n       davcamp serve [--listen=host:port|unix:/path]");
 }
 
@@ -123,6 +125,8 @@ Args parse_args(int argc, char** argv) {
       a.out = val;
     } else if (key == "workers") {
       a.workers = val;
+    } else if (key == "metrics") {
+      a.metrics = val;
     } else if (key == "listen") {
       a.listen = val;
     } else {
@@ -255,6 +259,32 @@ void print_telemetry(const CampaignManager& mgr) {
                  "  worker %zu: busy=%.2fs utilization=%.0f%% served=%d\n",
                  i, s.slot_busy_sec[i], util, served);
   }
+  for (const EndpointTelemetry& et : s.endpoints) {
+    std::fprintf(stderr,
+                 "  endpoint %d (%s): state=%s slots=%u runs=%llu "
+                 "reconnects=%d clock_offset=%.3fms\n",
+                 et.index, et.spec.c_str(), et.state.c_str(), et.slots,
+                 static_cast<unsigned long long>(et.runs_done), et.reconnects,
+                 et.clock_offset_sec * 1e3);
+  }
+  // Flight-recorder health + per-stage latency (eviction-proof histograms).
+  // The drop count is load-bearing for CI: trace smoke fails when any run's
+  // ring evicted events, so published traces are always complete.
+  if (s.stage_hist.total_count() > 0 || s.trace_dropped > 0) {
+    std::fprintf(stderr, "  trace: dropped_events=%llu\n",
+                 static_cast<unsigned long long>(s.trace_dropped));
+    for (std::size_t i = 0; i < s.stage_hist.stages.size(); ++i) {
+      const obs::StageHistogram& h = s.stage_hist.stages[i];
+      if (h.count() == 0) continue;
+      std::fprintf(stderr,
+                   "  stage %-14s n=%-7llu p50=%lluns p95=%lluns p99=%lluns\n",
+                   to_string(static_cast<obs::Stage>(i)),
+                   static_cast<unsigned long long>(h.count()),
+                   static_cast<unsigned long long>(h.percentile_ns(50.0)),
+                   static_cast<unsigned long long>(h.percentile_ns(95.0)),
+                   static_cast<unsigned long long>(h.percentile_ns(99.0)));
+    }
+  }
   // Quarantine reasons, deduplicated into a histogram.
   std::map<std::string, int> reasons;
   for (const auto& q : mgr.quarantined()) ++reasons[q.what];
@@ -304,6 +334,7 @@ int main(int argc, char** argv) {
       env.workers = split_worker_list(a.workers);
       env.validate();
     }
+    if (!a.metrics.empty()) env.metrics_path = a.metrics;
     CampaignManager mgr(env, /*seed=*/2022);
     std::string text;
     if (a.faults != Args::Faults::kSensor) {
