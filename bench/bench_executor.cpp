@@ -9,7 +9,7 @@
 // and CI-assertable (--assert-min-speedup) without hour-long campaigns. The
 // kernel's output NEVER feeds the RunResult, so cold and warm runs are
 // byte-identical by construction — the same invariant the real warm cache
-// keeps (test_executor.cpp: WarmStateCache.HitEqualsColdRunByteForByte).
+// keeps (test_executor.cpp: CheckpointSetup.HitEqualsColdRunByteForByte).
 //
 // --real swaps in the actual run_experiment on short LeadSlowdown runs for
 // an informational line: there the 368 ms simulation body dwarfs every
@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/checkpoint.h"
 #include "campaign/driver.h"
 #include "campaign/env_options.h"
 #include "campaign/executor.h"
@@ -51,8 +52,8 @@ volatile double g_sink = 0.0;
 /// Paper-shaped synthetic run: warm-up replay (skipped on a cache hit) plus
 /// a short body. The result is a pure function of the RunConfig — the cache
 /// can only change WHEN work happens, never what is computed.
-RunResult synthetic_run(const RunConfig& cfg, WarmStateCache* warm) {
-  const bool warmed = warm != nullptr && warm->acquire(cfg).hit;
+RunResult synthetic_run(const RunConfig& cfg, CheckpointStore* store) {
+  const bool warmed = store != nullptr && store->acquire_setup(cfg).hit;
   if (!warmed) g_sink = spin(kWarmupIters);
   g_sink = spin(kBodyIters);
 
@@ -118,7 +119,7 @@ struct Measurement {
 };
 
 Measurement measure(const ExecutorOptions& opts,
-                    const CampaignExecutor::WarmRunFn& fn,
+                    const CampaignExecutor::CheckpointRunFn& fn,
                     const std::vector<RunConfig>& cfgs) {
   CampaignExecutor exec(opts, fn);
   const auto t0 = std::chrono::steady_clock::now();
@@ -128,7 +129,7 @@ Measurement measure(const ExecutorOptions& opts,
 
   Measurement m;
   m.runs_per_sec = sec > 0.0 ? static_cast<double>(cfgs.size()) / sec : 0.0;
-  m.warm_hits = exec.stats().warm_hits;
+  m.warm_hits = exec.stats().checkpoint_hits;
   m.result_bytes.reserve(results.size());
   for (const auto& r : results) m.result_bytes.push_back(serialize_run_result(r));
   return m;
@@ -170,9 +171,9 @@ int main(int argc, char** argv) {
 
   const auto cfgs = real ? real_batch(std::min<std::size_t>(n, 8))
                          : synthetic_batch(n);
-  const CampaignExecutor::WarmRunFn fn =
-      real ? CampaignExecutor::WarmRunFn{}  // default: run_experiment
-           : CampaignExecutor::WarmRunFn(synthetic_run);
+  const CampaignExecutor::CheckpointRunFn fn =
+      real ? CampaignExecutor::CheckpointRunFn{}  // default: run_experiment
+           : CampaignExecutor::CheckpointRunFn(synthetic_run);
 
   const Measurement fork =
       measure(strategy_options(jobs, /*pool=*/false, false), fn, cfgs);

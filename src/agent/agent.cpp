@@ -71,6 +71,18 @@ void SensorimotorAgent::restore(const AgentSnapshot& s) {
   v_held_ = s.v_held;
 }
 
+AgentCheckpoint SensorimotorAgent::capture() const {
+  return {snapshot(), health_.capture(), perception_.scratch_footprint()};
+}
+
+void SensorimotorAgent::adopt(const AgentCheckpoint& c) {
+  restore(c.snapshot);
+  // restore() re-primes the monitor's transient buffers; a byte-exact resume
+  // puts the captured ones back.
+  health_.adopt(c.health);
+  perception_.set_scratch_footprint(c.perception_scratch);
+}
+
 void SensorimotorAgent::rewarm() {
   // Seed both warmup kernels from live private state (filter contents and
   // step parity), not constants: a permanent fault corrupting the warmup

@@ -57,6 +57,19 @@ struct AgentSnapshot {
   double v_held = 0.0;
 };
 
+/// Mid-run agent state for checkpoint capture/adopt: the recovery-resync
+/// snapshot plus the fusion monitor's full check buffers (AgentSnapshot
+/// carries only the ladder and lets transients re-prime — fine for a
+/// restarted replica, not for a byte-exact resume).
+struct AgentCheckpoint {
+  AgentSnapshot snapshot;
+  SensorHealthMonitor::State health;
+  // Perception scratch-tensor footprint: pure accounting, but it feeds
+  // RunResult::agent_state_bytes, and an agent parked by recovery keeps its
+  // last value without ever rebuilding masks after a resume.
+  std::size_t perception_scratch = 0;
+};
+
 class SensorimotorAgent {
  public:
   /// The engines are the (possibly shared) compute fabric: DiverseAV
@@ -75,6 +88,10 @@ class SensorimotorAgent {
   /// Capture / adopt the agent's private state (fault-recovery resync).
   AgentSnapshot snapshot() const;
   void restore(const AgentSnapshot& s);
+
+  /// Byte-exact mid-run capture / adopt (campaign checkpoints).
+  AgentCheckpoint capture() const;
+  void adopt(const AgentCheckpoint& c);
 
   /// Route tensor bit-flip injection into this agent's perception state
   /// (SensorFaultModel::kTensorBitFlip). Non-owning; nullptr detaches.

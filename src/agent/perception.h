@@ -93,6 +93,11 @@ class Perception {
   void restore(const PerceptionSnapshot& s);
   /// Bytes of persistent state + scratch tensors (resource accounting).
   std::size_t state_bytes() const;
+  /// The scratch-tensor footprint alone, for checkpoint capture/adopt: an
+  /// agent parked by recovery never rebuilds its masks after a resume, so
+  /// the restored footprint must match what the straight-through run kept.
+  std::size_t scratch_footprint() const { return scratch_bytes_; }
+  void set_scratch_footprint(std::size_t bytes) { scratch_bytes_ = bytes; }
 
  private:
   struct Masks {

@@ -83,8 +83,9 @@ void CampaignManager::accumulate_executor_stats(const ExecutorStats& s) {
   t.torn_bytes_discarded += s.torn_bytes_discarded;
   t.pool_workers += s.pool_workers;
   t.respawns += s.respawns;
-  t.warm_hits += s.warm_hits;
-  t.warm_misses += s.warm_misses;
+  t.checkpoint_hits += s.checkpoint_hits;
+  t.checkpoint_misses += s.checkpoint_misses;
+  t.checkpoint_evictions += s.checkpoint_evictions;
   t.remote_endpoints = std::max(t.remote_endpoints, s.remote_endpoints);
   t.reconnects += s.reconnects;
   t.redispatches += s.redispatches;
@@ -134,8 +135,9 @@ void CampaignManager::accumulate_executor_stats(const ExecutorStats& s) {
     mine->respawns += ep.respawns;
     mine->timeouts += ep.timeouts;
     mine->signal_deaths += ep.signal_deaths;
-    mine->warm_hits += ep.warm_hits;
-    mine->warm_misses += ep.warm_misses;
+    mine->checkpoint_hits += ep.checkpoint_hits;
+    mine->checkpoint_misses += ep.checkpoint_misses;
+    mine->checkpoint_evictions += ep.checkpoint_evictions;
     mine->trace_dropped += ep.trace_dropped;
     mine->histograms.merge(ep.histograms);
   }
@@ -182,8 +184,11 @@ void CampaignManager::export_campaign_trace(const ExecutorStats& s) {
                       {"journal_hits", std::to_string(s.journal_hits)},
                       {"pool_workers", std::to_string(s.pool_workers)},
                       {"respawns", std::to_string(s.respawns)},
-                      {"warm_hits", std::to_string(s.warm_hits)},
-                      {"warm_misses", std::to_string(s.warm_misses)},
+                      {"checkpoint_hits", std::to_string(s.checkpoint_hits)},
+                      {"checkpoint_misses",
+                       std::to_string(s.checkpoint_misses)},
+                      {"checkpoint_evictions",
+                       std::to_string(s.checkpoint_evictions)},
                       {"trace_dropped", std::to_string(s.trace_dropped)}};
   append_histogram_metadata(s.stage_hist, trace.other_data);
   // Per-worker lifetime telemetry: one runs-served counter sample per slot

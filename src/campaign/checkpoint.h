@@ -1,0 +1,182 @@
+// Fork-point checkpoints: snapshot a run at its injection onset, share the
+// fault-free prefix across every variant of a campaign (DESIGN.md §16).
+//
+// A fault-injection sweep varies ONLY the fault plan: every variant simulates
+// the same world, the same noise streams and the same agents up to the
+// injection tick, then diverges. PR-5's warm cache memoized the tick-0 slice
+// of that prefix (scenario construction + initial agent state); RunCheckpoint
+// generalizes it to ANY tick. A pool worker simulates the prefix once,
+// captures the complete dynamic state — world actors, both agents, detector,
+// recovery FSM, every RNG stream — and restores it per variant, running only
+// the post-injection suffix.
+//
+// The contract is byte-identity, not approximation: a restored run's
+// RunResult equals the straight-through run's byte for byte (pinned across
+// serial/fork/pool/distributed by test_checkpoint / test_executor). That is
+// why checkpoints carry order-dependent float accumulators verbatim and why
+// nothing config-derived (maps, LUTs, plans, models) is ever serialized —
+// restored runs rebuild those from their own RunConfig.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/driver.h"
+#include "sensors/sensor_rig.h"
+
+namespace dav {
+
+/// Bumped whenever the RunCheckpoint encoding changes. Checkpoints live in
+/// one worker's memory and never cross a process or version boundary, but
+/// the version check turns a stale blob into a loud error, not a misparse.
+inline constexpr std::uint32_t kRunCheckpointVersion = 1;
+
+/// Complete dynamic state of run_experiment at the top of one tick — the one
+/// versioned value type behind the checkpoint API (replaces the fragmented
+/// AgentSnapshot / WarmStateCache::Entry surface). Every field a variant
+/// could observe is here; configuration is deliberately absent.
+struct RunCheckpoint {
+  // --- identity ------------------------------------------------------------
+  int tick = 0;
+  /// No DUE, no failback, no activated or corrupting fault, recovery FSM
+  /// nominal: the prefix is provably shared by every config with the same
+  /// prefix digest. Non-clean checkpoints are still stored — they resume
+  /// the EXACT same config (full-digest match), e.g. mid-recovery replay.
+  bool clean = false;
+  std::uint64_t full_digest = 0;    ///< run_config_digest of the capturing run
+  std::uint64_t prefix_digest = 0;  ///< run_config_prefix_digest at `tick`
+  /// Dynamic instruction totals of engine set 0 at capture: gates transient
+  /// variants (a strike below these totals would already have landed).
+  std::uint64_t gpu0_total = 0;
+  std::uint64_t cpu0_total = 0;
+
+  // --- subsystem state -----------------------------------------------------
+  WorldState world;
+  SensorRig::RngState rig;
+  EngineState gpu0;
+  EngineState cpu0;
+  EngineState gpu1;
+  EngineState cpu1;
+  AdsState ads;
+  bool has_injector = false;
+  SensorFaultInjector::State injector;
+  bool has_detector = false;
+  DetectorState detector;
+  bool has_recovery = false;
+  RecoveryState recovery;
+
+  // --- driver loop locals --------------------------------------------------
+  Actuation last_applied;
+  bool failing_back = false;
+  double stationary_sec = 0.0;
+  int failback_ticks = 0;
+  std::uint64_t traced_corruptions = 0;
+
+  /// The RunResult as accumulated through tick-1 (observations, traces, DUE
+  /// bookkeeping), in the canonical record encoding. A restored run swaps in
+  /// its own fault plans and keeps appending.
+  std::string partial_result;
+
+  /// Post-noise camera frames captured at tick-1 (left, center, right).
+  /// Needed for exactly one cross-variant case: a kCameraFrozen plan whose
+  /// onset IS the restore tick must freeze the last pre-onset frame, which
+  /// the variant's fresh injector never saw.
+  bool has_cameras = false;
+  std::array<std::vector<std::uint8_t>, 3> cameras;
+};
+
+/// Canonical byte encoding (ByteWriter discipline: little-endian, bit-exact
+/// floats). Two equal checkpoints serialize identically.
+std::string serialize_run_checkpoint(const RunCheckpoint& c);
+/// Inverse. Throws std::runtime_error on truncation, trailing garbage, or a
+/// version mismatch.
+RunCheckpoint deserialize_run_checkpoint(const std::string& bytes);
+
+/// Per-worker store of reusable run prefixes, two tiers:
+///
+///  - SETUP tier (tick 0): the constructed Scenario and the initial ADS
+///    state, keyed by checkpoint_setup_digest. This is PR-5's warm cache —
+///    always on when a store is supplied, byte-budget-free, and what every
+///    ordinary campaign (distinct run_seed per run) benefits from.
+///  - DEEP tier: serialized RunCheckpoints keyed by (prefix_digest, tick),
+///    populated only when cfg.checkpoint.enabled. Variants that share the
+///    run_seed and differ only in their fault plan restore the deepest
+///    eligible entry and skip the whole prefix.
+///
+/// Deep blobs are byte-bounded (set_max_deep_bytes): inserting past the
+/// budget evicts oldest-first (deterministic FIFO), counted in evictions().
+class CheckpointStore {
+ public:
+  // --- setup tier ----------------------------------------------------------
+  struct SetupEntry {
+    bool has_scenario = false;
+    Scenario scenario;
+    bool has_ads_state = false;
+    AdsState initial_ads;
+  };
+  /// A slot for one setup key: `hit` distinguishes reuse from first
+  /// population (the caller fills the entry on a miss).
+  struct SetupLease {
+    SetupEntry& entry;
+    bool hit = false;
+  };
+  /// The entry for cfg's setup key; creates an empty entry (hit == false)
+  /// the first time a key is seen.
+  SetupLease acquire_setup(const RunConfig& cfg);
+
+  // --- deep tier -----------------------------------------------------------
+  struct DeepEntry {
+    std::uint64_t prefix_digest = 0;
+    std::uint64_t full_digest = 0;
+    int tick = 0;
+    bool clean = false;
+    std::uint64_t gpu0_total = 0;
+    std::uint64_t cpu0_total = 0;
+    std::string blob;  ///< serialize_run_checkpoint
+  };
+
+  /// Deepest entry cfg may restore, or nullptr. Eligibility: an exact
+  /// full-digest match resumes any state; otherwise the entry must be clean,
+  /// cfg's prefix digest at the entry's tick must equal the entry's, and a
+  /// transient register plan must target a dynamic instruction at or past
+  /// the captured totals. Counts one deep hit or miss.
+  const DeepEntry* find_deep(const RunConfig& cfg);
+  /// Store one checkpoint; evicts oldest entries past the byte budget.
+  void insert_deep(DeepEntry e);
+
+  /// Deep-tier byte budget (default 64 MiB). Shrinking below the current
+  /// footprint evicts immediately.
+  void set_max_deep_bytes(std::size_t bytes);
+  std::size_t max_deep_bytes() const { return max_deep_bytes_; }
+  std::size_t deep_bytes() const { return deep_bytes_; }
+  std::size_t deep_count() const { return deep_.size(); }
+
+  // --- telemetry -----------------------------------------------------------
+  /// Setup-tier counters (the PR-5 warm hit/miss semantics).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return setup_.size(); }
+  std::uint64_t deep_hits() const { return deep_hits_; }
+  std::uint64_t deep_misses() const { return deep_misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void evict_to_budget();
+
+  std::map<std::uint64_t, SetupEntry> setup_;  // ordered: determinism hygiene
+  std::deque<DeepEntry> deep_;                 // FIFO for eviction
+  std::size_t deep_bytes_ = 0;
+  std::size_t max_deep_bytes_ = 64u * 1024u * 1024u;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t deep_hits_ = 0;
+  std::uint64_t deep_misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dav

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "campaign/checkpoint.h"
 #include "campaign/serialize.h"
 #include "obs/export.h"
 #include "sensors/sensor_rig.h"
@@ -198,39 +199,11 @@ void RunConfig::validate() const {
   }
 }
 
-std::uint64_t WarmStateCache::warm_digest(const RunConfig& cfg) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(cfg.scenario));
-  w.u64(cfg.scenario_seed);
-  w.f64(cfg.scenario_opts.long_route_duration_sec);
-  w.f64(cfg.scenario_opts.safety_duration_sec);
-  w.u8(static_cast<std::uint8_t>(cfg.mode));
-  w.i32(cfg.cam_width);
-  w.i32(cfg.cam_height);
-  w.f64(cfg.camera_noise_sigma);
-  // Fusion changes the constructed agent (health monitor config) — a fused
-  // and an unfused run must not share a warm slot. In-memory key only.
-  w.u8(cfg.fusion.enabled ? 1 : 0);
-  const std::string& b = w.bytes();
-  return fnv1a64(b.data(), b.size());
-}
-
-WarmStateCache::Lease WarmStateCache::acquire(const RunConfig& cfg) {
-  const std::uint64_t key = warm_digest(cfg);
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    return Lease{it->second, true};
-  }
-  ++misses_;
-  return Lease{entries_[key], false};
-}
-
 RunResult run_experiment(const RunConfig& cfg) {
   return run_experiment(cfg, nullptr);
 }
 
-RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
+RunResult run_experiment(const RunConfig& cfg, CheckpointStore* store) {
   cfg.validate();
   // Flight recorder: installed for this scope only; every helper below picks
   // it up through the process-global hook (no-op when tracing is off).
@@ -240,21 +213,36 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
     trace_rec.emplace(cfg.trace.capacity);
     trace_scope.emplace(&*trace_rec);
   }
-  // Warm-state cache: a pool worker replays a sweep that shares one
-  // scenario/mode across hundreds of runs; the Scenario and the initial
-  // agent snapshot are pure functions of the warm-key fields, so a cache hit
-  // copies them instead of rebuilding — bit-identical either way.
-  WarmStateCache::Entry* warm_entry = nullptr;
-  if (warm != nullptr) warm_entry = &warm->acquire(cfg).entry;
+  // Deep checkpoint tier: restore a stored prefix of this run if one is
+  // eligible. Mutually exclusive with tracing — a restored run would export
+  // a truncated trace, and trace is the debugging path anyway.
+  const bool deep_enabled =
+      store != nullptr && cfg.checkpoint.enabled && !cfg.trace.enabled();
+  std::uint64_t full_digest = 0;
+  std::optional<RunCheckpoint> ckpt;
+  bool ckpt_full_match = false;
+  if (deep_enabled) {
+    full_digest = run_config_digest(cfg);
+    if (const CheckpointStore::DeepEntry* e = store->find_deep(cfg)) {
+      ckpt = deserialize_run_checkpoint(e->blob);
+      ckpt_full_match = e->full_digest == full_digest;
+    }
+  }
+  // Setup tier (the PR-5 warm cache): a pool worker replays a sweep that
+  // shares one scenario/mode across hundreds of runs; the Scenario and the
+  // initial ADS state are pure functions of the setup-key fields, so a cache
+  // hit copies them instead of rebuilding — bit-identical either way.
+  CheckpointStore::SetupEntry* setup = nullptr;
+  if (store != nullptr) setup = &store->acquire_setup(cfg).entry;
   Scenario scenario;
-  if (warm_entry != nullptr && warm_entry->has_scenario) {
-    scenario = warm_entry->scenario;
+  if (setup != nullptr && setup->has_scenario) {
+    scenario = setup->scenario;
   } else {
     scenario = make_scenario(cfg.scenario, cfg.scenario_seed,
                              cfg.scenario_opts);
-    if (warm_entry != nullptr) {
-      warm_entry->scenario = scenario;
-      warm_entry->has_scenario = true;
+    if (setup != nullptr) {
+      setup->scenario = scenario;
+      setup->has_scenario = true;
     }
   }
   World world(std::move(scenario));
@@ -298,15 +286,15 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
                 duplicate ? &cpu1 : nullptr, &world.map(), cfg.overlap_ratio);
   if (sensor_inj) ads.attach_sensor_fault_injector(&*sensor_inj);
 
-  // Second half of the warm cache: the initial (pre-first-frame) agent
-  // snapshot. On a hit every agent adopts the cached snapshot — which is
-  // exactly the state fresh construction yields, so the run is unchanged.
-  if (warm_entry != nullptr) {
-    if (warm_entry->has_agent_state) {
-      ads.adopt_initial_state(warm_entry->initial_agent);
+  // Second half of the setup tier: the initial (pre-first-frame) ADS state.
+  // On a hit the system adopts the cached capture — which is exactly the
+  // state fresh construction yields, so the run is unchanged.
+  if (setup != nullptr) {
+    if (setup->has_ads_state) {
+      ads.adopt(setup->initial_ads);
     } else {
-      warm_entry->initial_agent = ads.agent(0).snapshot();
-      warm_entry->has_agent_state = true;
+      setup->initial_ads = ads.capture();
+      setup->has_ads_state = true;
     }
   }
 
@@ -341,6 +329,81 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
   int step = 0;
   int failback_ticks = 0;
   std::uint64_t traced_corruptions = 0;
+  int restored_tick = -1;
+
+  if (ckpt) {
+    // Deep restore: overwrite everything time evolved. Setup above already
+    // rebuilt all configuration (scenario, plans, LUT wiring), so only
+    // dynamic state transfers.
+    world.adopt(ckpt->world);
+    rig.set_rng_state(ckpt->rig);
+    gpu0.adopt(ckpt->gpu0);
+    cpu0.adopt(ckpt->cpu0);
+    gpu1.adopt(ckpt->gpu1);
+    cpu1.adopt(ckpt->cpu1);
+    if (!ckpt_full_match) {
+      // Cross-variant restore of a clean prefix: re-arm the engines for THIS
+      // config's plan (adopt-then-configure, see Engine::adopt). The clean
+      // state configure() clears is already default — no activation, no
+      // corruption, and the outcome RNG was never drawn, so Rng(seed) is the
+      // captured position.
+      gpu0.configure(cfg.fault, engine_seed,
+                     CrashHangModel::for_model(FaultDomain::kGpu,
+                                               cfg.fault.kind));
+      cpu0.configure(cfg.fault, engine_seed ^ 0xC0FFEE,
+                     CrashHangModel::for_model(FaultDomain::kCpu,
+                                               cfg.fault.kind));
+      gpu1.configure(none, 0);
+      cpu1.configure(none, 0);
+    }
+    if (sensor_inj) {
+      if (ckpt_full_match && ckpt->has_injector) {
+        sensor_inj->adopt(ckpt->injector);
+      } else if (cfg.sensor_fault.model == SensorFaultModel::kCameraFrozen &&
+                 cfg.sensor_fault.onset_tick == ckpt->tick &&
+                 ckpt->has_cameras) {
+        // The variant freezes at the restore tick: its fresh injector never
+        // saw the pre-onset frames, so prime the cache from the checkpoint.
+        sensor_inj->prime_frozen(ckpt->cameras[static_cast<std::size_t>(
+            cfg.sensor_fault.sensor_index)]);
+      }
+    }
+    ads.adopt(ckpt->ads);
+    if (online_det && ckpt->has_detector) online_det->adopt(ckpt->detector);
+    if (rec && ckpt->has_recovery) rec->adopt(ckpt->recovery);
+    last_applied = ckpt->last_applied;
+    failing_back = ckpt->failing_back;
+    stationary_sec = ckpt->stationary_sec;
+    failback_ticks = ckpt->failback_ticks;
+    traced_corruptions = ckpt->traced_corruptions;
+    step = ckpt->tick;
+    restored_tick = ckpt->tick;
+    // The accumulated record through tick-1, re-stamped with THIS run's
+    // plans (prefix-shared fields are identical by construction).
+    RunResult partial = deserialize_run_result(ckpt->partial_result);
+    partial.fault = cfg.fault;
+    partial.sensor_fault = cfg.sensor_fault;
+    result = std::move(partial);
+  }
+
+  // Fork-point capture target: an explicit capture_tick wins; otherwise the
+  // sensor-fault onset is the natural fork (register sweeps have no static
+  // onset tick — their sharing comes from the setup tier and the dyn-index
+  // gate on deeper entries captured by sensor variants of the same seed).
+  const int capture_target =
+      !deep_enabled ? -1
+      : cfg.checkpoint.capture_tick >= 0
+          ? cfg.checkpoint.capture_tick
+          : (cfg.sensor_fault.active() ? cfg.sensor_fault.onset_tick : -1);
+  std::array<std::vector<std::uint8_t>, 3> prev_cameras;
+  bool have_prev_cameras = false;
+  const auto stash_prev_cameras = [&](const SensorFrame& frame) {
+    if (step + 1 != capture_target || frame.cameras.size() != 3) return;
+    for (std::size_t i = 0; i < 3; ++i) {
+      prev_cameras[i] = frame.cameras[i].bytes();
+    }
+    have_prev_cameras = true;
+  };
 
   const auto engage_failback = [&]() {
     if (!failing_back) obs::instant(obs::Instant::kFailbackEngaged);
@@ -379,6 +442,68 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
   };
 
   while (!world.done()) {
+    if (capture_target >= 0 && step == capture_target &&
+        step > restored_tick) {
+      // Fork-point capture, at the top of the tick so a restored run resumes
+      // exactly here. Stored regardless of cleanliness: a non-clean
+      // checkpoint (mid-recovery, post-DUE) still resumes its own config.
+      RunCheckpoint c;
+      c.tick = step;
+      c.world = world.capture();
+      c.rig = rig.rng_state();
+      c.gpu0 = gpu0.capture();
+      c.cpu0 = cpu0.capture();
+      c.gpu1 = gpu1.capture();
+      c.cpu1 = cpu1.capture();
+      c.ads = ads.capture();
+      if (sensor_inj) {
+        c.has_injector = true;
+        c.injector = sensor_inj->capture();
+      }
+      if (online_det) {
+        c.has_detector = true;
+        c.detector = online_det->capture();
+      }
+      if (rec) {
+        c.has_recovery = true;
+        c.recovery = rec->capture();
+      }
+      c.last_applied = last_applied;
+      c.failing_back = failing_back;
+      c.stationary_sec = stationary_sec;
+      c.failback_ticks = failback_ticks;
+      c.traced_corruptions = traced_corruptions;
+      c.partial_result = serialize_run_result(result);
+      if (have_prev_cameras) {
+        c.has_cameras = true;
+        c.cameras = prev_cameras;
+      }
+      const std::uint64_t sensor_corruptions =
+          sensor_inj ? sensor_inj->corruptions() : 0;
+      c.clean = !result.due && !failing_back && !gpu0.fault_activated() &&
+                !cpu0.fault_activated() && sensor_corruptions == 0;
+      if (rec) {
+        // A restart clears transient faults and rewarms — fault-plan-coupled
+        // even when nothing activated, so only a never-recovered prefix is
+        // shareable.
+        c.clean = c.clean && c.recovery.state == 0 &&
+                  c.recovery.stats.attempts == 0;
+      }
+      if (online_det) c.clean = c.clean && !c.detector.alarmed;
+      c.gpu0_total = gpu0.total_dyn_instructions();
+      c.cpu0_total = cpu0.total_dyn_instructions();
+      c.full_digest = full_digest;
+      c.prefix_digest = run_config_prefix_digest(cfg, step);
+      CheckpointStore::DeepEntry entry;
+      entry.prefix_digest = c.prefix_digest;
+      entry.full_digest = c.full_digest;
+      entry.tick = c.tick;
+      entry.clean = c.clean;
+      entry.gpu0_total = c.gpu0_total;
+      entry.cpu0_total = c.cpu0_total;
+      entry.blob = serialize_run_checkpoint(c);
+      store->insert_deep(std::move(entry));
+    }
     obs::set_tick(static_cast<std::uint32_t>(step));
     obs::SpanScope tick_span(obs::Stage::kTick);
     Actuation applied = last_applied;
@@ -394,6 +519,7 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
       // and detector alarms, restarts the suspect agent and only falls back
       // to the safe stop on presumed-permanent faults.
       const SensorFrame frame = captured_frame(rig, world, step);
+      stash_prev_cameras(frame);
       const RecoveryManager::TickOutcome t =
           rec->tick(frame, cfg.dt, world.ego(), world.time(), step);
       if (t.due != DueSource::kNone) {
@@ -414,6 +540,7 @@ RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm) {
       if (t.failback) engage_failback();
     } else {
       const SensorFrame frame = captured_frame(rig, world, step);
+      stash_prev_cameras(frame);
       try {
         const AdsSystem::StepResult sr = ads.step(frame, cfg.dt);
         // Output plausibility validation (ISO 26262-style): a non-finite

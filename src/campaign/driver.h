@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "core/ads_system.h"
@@ -15,6 +14,16 @@
 #include "sim/world.h"
 
 namespace dav {
+
+class CheckpointStore;  // campaign/checkpoint.h
+
+/// Fork-point checkpointing knobs (DESIGN.md §16). `capture_tick` pins the
+/// fork tick explicitly; -1 derives it from the sensor-fault onset (register
+/// sweeps with no natural onset tick fall back to the tick-0 setup memo).
+struct CheckpointOptions {
+  bool enabled = false;
+  int capture_tick = -1;
+};
 
 /// What the platform does once a fault is detected in-run (paper §I, §VII).
 enum class MitigationPolicy : std::uint8_t {
@@ -74,6 +83,14 @@ struct RunConfig {
   /// affects the run outcome, so journaled records stay replayable whether
   /// or not the campaign was traced.
   obs::TraceOptions trace;
+
+  /// Fork-point checkpointing (campaign/checkpoint.h): when enabled and a
+  /// CheckpointStore is supplied, run_experiment snapshots the full run state
+  /// at the fork tick and restores a stored prefix instead of re-simulating
+  /// it. Like `trace`, EXCLUDED from run_config_digest — checkpointing never
+  /// changes a run's outcome (pinned byte-identical), so journal keys and
+  /// replay stay valid whether or not the campaign checkpointed.
+  CheckpointOptions checkpoint;
 
   /// Fail fast on nonsensical parameters (throws std::invalid_argument with
   /// an actionable message). Called by run_experiment.
@@ -139,6 +156,15 @@ class RunConfigBuilder {
   /// Flight-recorder routing (EnvOptions::trace_options or hand-built).
   RunConfigBuilder& flight_recorder(const obs::TraceOptions& v) {
     cfg_.trace = v;
+    return *this;
+  }
+  /// Fork-point checkpointing (explicit options or just on/off).
+  RunConfigBuilder& checkpoint(const CheckpointOptions& v) {
+    cfg_.checkpoint = v;
+    return *this;
+  }
+  RunConfigBuilder& checkpoint(bool enabled) {
+    cfg_.checkpoint.enabled = enabled;
     return *this;
   }
 
@@ -209,56 +235,14 @@ struct RunResult {
   std::size_t sensor_frame_bytes = 0;
 };
 
-/// Per-worker memoization of run-setup state that is a pure function of the
-/// warmup-relevant RunConfig fields: the constructed Scenario and the
-/// initial (pre-first-frame) AgentSnapshot. A transient sweep shares one
-/// scenario/mode across hundreds of runs, so a persistent pool worker pays
-/// the setup replay once and every subsequent run restores it.
-///
-/// Bit-identity guarantee (pinned by test_executor): a cache hit hands back
-/// a COPY of deterministic setup output — make_scenario(id, seed, opts) is a
-/// pure function, and AgentSnapshot restore reproduces a freshly constructed
-/// agent field for field — so a warm run's RunResult is byte-for-byte equal
-/// to the cold run's. Nothing that depends on run_seed or per-tick state is
-/// ever cached.
-class WarmStateCache {
- public:
-  struct Entry {
-    bool has_scenario = false;
-    Scenario scenario;
-    bool has_agent_state = false;
-    AgentSnapshot initial_agent;
-  };
-  /// A cache slot for one warm key: `hit` distinguishes reuse from first
-  /// population (the caller fills the entry on a miss).
-  struct Lease {
-    Entry& entry;
-    bool hit = false;
-  };
-
-  /// The entry for cfg's warm key; creates an empty entry (hit == false) the
-  /// first time a key is seen.
-  Lease acquire(const RunConfig& cfg);
-
-  /// Digest over exactly the RunConfig fields that determine scenario
-  /// construction and the initial agent state — run_seed and the fault plan
-  /// are deliberately excluded (they only matter once the run loop starts).
-  static std::uint64_t warm_digest(const RunConfig& cfg);
-
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::size_t size() const { return entries_.size(); }
-
- private:
-  std::map<std::uint64_t, Entry> entries_;  // ordered: determinism hygiene
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-};
-
 RunResult run_experiment(const RunConfig& cfg);
 
-/// run_experiment with an optional warm-state cache (nullptr = always cold).
-/// Used by pool workers; results are bit-identical either way.
-RunResult run_experiment(const RunConfig& cfg, WarmStateCache* warm);
+/// run_experiment with an optional checkpoint store (nullptr = always cold).
+/// Persistent pool workers pass their store: the tick-0 setup tier replays
+/// scenario construction and the initial ADS state; the deep tier (when
+/// cfg.checkpoint.enabled) restores a shared fault-free prefix at the fork
+/// tick and simulates only the post-injection suffix. Results are
+/// bit-identical either way (pinned by test_executor / test_checkpoint).
+RunResult run_experiment(const RunConfig& cfg, CheckpointStore* store);
 
 }  // namespace dav

@@ -68,6 +68,18 @@ EnvOptions EnvOptions::from_env() {
   if (const char* v = get("DAV_WARM_CACHE")) {
     o.warm_cache = parse_bool("DAV_WARM_CACHE", v);
   }
+  if (const char* v = get("DAV_CHECKPOINT")) {
+    o.checkpoint = parse_bool("DAV_CHECKPOINT", v);
+  }
+  if (const char* v = get("DAV_CHECKPOINT_MAX_MB")) {
+    const long n = parse_long("DAV_CHECKPOINT_MAX_MB", v,
+                              "a non-negative integer number of MiB");
+    if (n < 0) {
+      reject("DAV_CHECKPOINT_MAX_MB", v,
+             "a non-negative integer number of MiB");
+    }
+    o.checkpoint_max_mb = static_cast<std::size_t>(n);
+  }
   if (const char* v = get("DAV_JOURNAL")) o.journal_path = v;
   if (const char* v = get("DAV_RUN_TIMEOUT_SEC")) {
     o.run_timeout_sec =
@@ -268,6 +280,8 @@ ExecutorOptions EnvOptions::executor_options() const {
   o.jobs = jobs;
   o.pool = pool;
   o.warm_cache = warm_cache;
+  o.checkpoint = checkpoint;
+  o.checkpoint_max_mb = checkpoint_max_mb;
   o.journal_path = journal_path;
   o.run_timeout_sec = run_timeout_sec;
   o.max_retries = run_retries;
@@ -298,6 +312,12 @@ const std::vector<EnvOptions::VarDoc>& EnvOptions::docs() {
        "persistent prefork worker pool; 0 falls back to fork-per-run"},
       {"DAV_WARM_CACHE", "1",
        "per-worker warm-state cache (scenario + initial agent snapshot)"},
+      {"DAV_CHECKPOINT", "0",
+       "fork-point checkpoint sharing: variants that share a fault-free "
+       "prefix restore a mid-run snapshot instead of replaying it"},
+      {"DAV_CHECKPOINT_MAX_MB", "64",
+       "per-worker deep-checkpoint byte budget in MiB; oldest entries are "
+       "evicted past it"},
       {"DAV_JOURNAL", "(unset)",
        "write-ahead journal path; enables lossless campaign resume"},
       {"DAV_RUN_TIMEOUT_SEC", "600",

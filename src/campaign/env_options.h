@@ -38,6 +38,13 @@ struct EnvOptions {
   bool pool = true;
   /// Per-worker warm-state cache (DAV_WARM_CACHE); pool mode only.
   bool warm_cache = true;
+  /// Fork-point checkpoint sharing (DAV_CHECKPOINT): capture a RunCheckpoint
+  /// at each run's injection onset and restore it for fault variants sharing
+  /// the fault-free prefix. Never changes results.
+  bool checkpoint = false;
+  /// Per-worker deep-checkpoint byte budget, MiB (DAV_CHECKPOINT_MAX_MB);
+  /// oldest checkpoints are evicted past the budget.
+  std::size_t checkpoint_max_mb = 64;
   /// Write-ahead journal path (DAV_JOURNAL); empty disables journaling.
   std::string journal_path;
   /// Wall-clock watchdog per run attempt, seconds (DAV_RUN_TIMEOUT_SEC).

@@ -21,6 +21,7 @@
 #include <unistd.h>
 #endif
 
+#include "campaign/checkpoint.h"
 #include "campaign/env_options.h"
 #include "campaign/serialize.h"
 #include "campaign/transport.h"
@@ -42,8 +43,9 @@ double elapsed_sec(Clock::time_point from, Clock::time_point to) {
 // Frames (serialize.h: u32 len | u64 fnv1a64 | payload) carry:
 //   result payload (serialize.h: u8 ok | [str what] | serialized RunResult)
 //   pool request payload = u64 index | serialized RunConfig
-//   pool response payload = u64 index | u32 runs_served | u64 warm_hits |
-//                           u64 warm_misses | str capture_blob |
+//   pool response payload = u64 index | u32 runs_served |
+//                           u64 checkpoint_hits | u64 checkpoint_misses |
+//                           u64 checkpoint_evictions | str capture_blob |
 //                           result payload
 // The response embeds the plain result payload verbatim, so the journaled
 // record is byte-compatible across pool, fork-per-run, distributed and
@@ -64,6 +66,41 @@ std::optional<std::string> unframe(const std::string& buf) {
     return std::nullopt;
   }
   return fs.payload;
+}
+
+/// Worker-side CheckpointStore sized from the options. Returns null when
+/// neither tier is wanted.
+std::unique_ptr<CheckpointStore> make_store(const ExecutorOptions& opts) {
+  if (!opts.warm_cache && !opts.checkpoint) return nullptr;
+  auto store = std::make_unique<CheckpointStore>();
+  store->set_max_deep_bytes(
+      static_cast<std::size_t>(opts.checkpoint_max_mb) * 1024u * 1024u);
+  return store;
+}
+
+/// Fold the executor-level checkpoint flag into the per-run config. The
+/// CheckpointOptions are digest-excluded, so journal keys and record bytes
+/// are unchanged by this.
+RunConfig effective_config(const RunConfig& cfg, const ExecutorOptions& opts) {
+  if (!opts.checkpoint || cfg.checkpoint.enabled) return cfg;
+  RunConfig c = cfg;
+  c.checkpoint.enabled = true;
+  return c;
+}
+
+/// Prefix-affinity key for pool dispatch: the run's prefix digest at its
+/// capture target, so fault variants that share a fault-free prefix group
+/// onto one worker (the one holding the checkpoint). 0 when the run has no
+/// capture target (then affinity cannot help).
+std::uint64_t dispatch_affinity(const RunConfig& cfg,
+                                const ExecutorOptions& opts) {
+  if (!opts.checkpoint && !cfg.checkpoint.enabled) return 0;
+  const int target = cfg.checkpoint.capture_tick >= 0
+                         ? cfg.checkpoint.capture_tick
+                         : (cfg.sensor_fault.active() ? cfg.sensor_fault.onset_tick
+                                                      : -1);
+  if (target < 0) return 0;
+  return run_config_prefix_digest(cfg, target);
 }
 
 }  // namespace
@@ -127,15 +164,16 @@ void ExecutorOptions::validate() const {
 CampaignExecutor::CampaignExecutor(ExecutorOptions opts, RunFn fn)
     : CampaignExecutor(
           std::move(opts),
-          fn ? WarmRunFn([f = std::move(fn)](const RunConfig& c,
-                                             WarmStateCache*) { return f(c); })
-             : WarmRunFn{}) {}
+          fn ? CheckpointRunFn([f = std::move(fn)](
+                                   const RunConfig& c,
+                                   CheckpointStore*) { return f(c); })
+             : CheckpointRunFn{}) {}
 
-CampaignExecutor::CampaignExecutor(ExecutorOptions opts, WarmRunFn fn)
+CampaignExecutor::CampaignExecutor(ExecutorOptions opts, CheckpointRunFn fn)
     : opts_(std::move(opts)),
       fn_(fn ? std::move(fn)
-             : WarmRunFn([](const RunConfig& c, WarmStateCache* w) {
-                 return run_experiment(c, w);
+             : CheckpointRunFn([](const RunConfig& c, CheckpointStore* s) {
+                 return run_experiment(c, s);
                })) {
   opts_.validate();
 }
@@ -301,11 +339,14 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
     if (done[i] != 0) ++resolved;
   }
+  // Same-process runs share one executor-owned store (the in-process analog
+  // of a pool worker's per-process store).
+  const std::unique_ptr<CheckpointStore> store = make_store(opts_);
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
     if (done[i] != 0) continue;
     const Clock::time_point started = Clock::now();
     try {
-      RunResult r = fn_(cfgs[i], nullptr);
+      RunResult r = fn_(effective_config(cfgs[i], opts_), store.get());
       if (journal_.enabled()) {
         journal_append(keys[i], make_result_payload(true, {}, r));
       }
@@ -329,6 +370,11 @@ void CampaignExecutor::run_in_process(const std::vector<RunConfig>& cfgs,
         WorkerSpan{i, 0, 0, elapsed_sec(batch_start_, started), dur});
     ++resolved;
     write_metrics_snapshot(cfgs.size(), resolved, /*force=*/false);
+  }
+  if (store) {
+    stats_.checkpoint_hits += store->hits() + store->deep_hits();
+    stats_.checkpoint_misses += store->misses() + store->deep_misses();
+    stats_.checkpoint_evictions += store->evictions();
   }
 }
 
@@ -399,7 +445,7 @@ void apply_rlimits(const ExecutorOptions& opts) {
 }
 
 [[noreturn]] void worker_main(int fd, const RunConfig& cfg,
-                              const CampaignExecutor::WarmRunFn& fn,
+                              const CampaignExecutor::CheckpointRunFn& fn,
                               const ExecutorOptions& opts) {
   arm_death_note();
   apply_rlimits(opts);
@@ -445,9 +491,9 @@ void rearm_cpu_limit(const ExecutorOptions& opts) {
 
 /// Long-lived pool worker: read request frames (u64 index | RunConfig) off
 /// `req_fd` until the supervisor closes it, execute each config through the
-/// worker's WarmStateCache, and ship response frames back on `resp_fd`.
+/// worker's CheckpointStore, and ship response frames back on `resp_fd`.
 [[noreturn]] void pool_worker_main(int req_fd, int resp_fd,
-                                   const CampaignExecutor::WarmRunFn& fn,
+                                   const CampaignExecutor::CheckpointRunFn& fn,
                                    const ExecutorOptions& opts) {
   arm_death_note();
   // Address-space limit applies for the worker's life; the CPU budget is
@@ -455,8 +501,7 @@ void rearm_cpu_limit(const ExecutorOptions& opts) {
   ExecutorOptions life = opts;
   life.cpu_limit_sec = 0.0;
   apply_rlimits(life);
-  WarmStateCache cache;
-  WarmStateCache* warm = opts.warm_cache ? &cache : nullptr;
+  std::unique_ptr<CheckpointStore> store = make_store(opts);
   std::string buf;
   std::uint32_t served = 0;
   // As in worker_main: the request/response codec below allocates, and may —
@@ -487,7 +532,15 @@ void rearm_cpu_limit(const ExecutorOptions& opts) {
     std::string result_payload;
     try {
       const RunConfigRecord rec = deserialize_run_config(cfg_bytes);  // davlint: allow(fork-safety) sanctioned workload handoff
-      result_payload = make_result_payload(true, {}, fn(rec.cfg, warm));  // davlint: allow(fork-safety) sanctioned workload handoff
+      if (!store && rec.cfg.checkpoint.enabled) {
+        // A remote coordinator opted in per-config; honor it even when this
+        // worker's own options asked for neither tier.
+        store = std::make_unique<CheckpointStore>();  // davlint: allow(fork-safety) sanctioned workload handoff
+        store->set_max_deep_bytes(
+            static_cast<std::size_t>(opts.checkpoint_max_mb) * 1024u * 1024u);
+      }
+      result_payload = make_result_payload(  // davlint: allow(fork-safety) sanctioned workload handoff
+          true, {}, fn(effective_config(rec.cfg, opts), store.get()));  // davlint: allow(fork-safety) sanctioned workload handoff
     } catch (const std::exception& e) {
       result_payload =
           make_result_payload(false, e.what(), harness_error_result(RunConfig{}));  // davlint: allow(fork-safety) sanctioned workload handoff
@@ -509,8 +562,9 @@ void rearm_cpu_limit(const ExecutorOptions& opts) {
     ByteWriter resp;
     resp.u64(index);
     resp.u32(served);
-    resp.u64(cache.hits());
-    resp.u64(cache.misses());
+    resp.u64(store ? store->hits() + store->deep_hits() : 0);
+    resp.u64(store ? store->misses() + store->deep_misses() : 0);
+    resp.u64(store ? store->evictions() : 0);
     resp.str(capture_blob);  // davlint: allow(fork-safety) sanctioned response codec
     resp.raw(result_payload);
     write_all(resp_fd, frame_message(resp.take()));
@@ -786,12 +840,16 @@ struct PoolSupervisor::Impl {
     // Cumulative counters from the worker's latest response; folded into the
     // telemetry when the worker retires.
     int served = 0;
-    std::uint64_t warm_hits = 0;
-    std::uint64_t warm_misses = 0;
+    std::uint64_t checkpoint_hits = 0;
+    std::uint64_t checkpoint_misses = 0;
+    std::uint64_t checkpoint_evictions = 0;
+    /// Affinity key of the last dispatched run (see PoolSupervisor::dispatch).
+    std::uint64_t affinity = 0;
+    bool has_affinity = false;
   };
 
   ExecutorOptions opts;
-  CampaignExecutor::WarmRunFn fn;
+  CampaignExecutor::CheckpointRunFn fn;
   Clock::time_point epoch;
   Clock::duration timeout{};
   int jobs = 1;
@@ -799,9 +857,13 @@ struct PoolSupervisor::Impl {
   std::vector<PoolWorker> workers;
   std::vector<char> slot_used;
   Telemetry tele;
+  // Scratch for telemetry(): live workers report checkpoint counters with
+  // each response but only fold into `tele` at retirement; a long-lived pool
+  // (serve daemon) must still flush current totals with every aggregate.
+  mutable Telemetry tele_snapshot;
   SigpipeGuard sigpipe_guard;
 
-  Impl(const ExecutorOptions& o, CampaignExecutor::WarmRunFn f,
+  Impl(const ExecutorOptions& o, CampaignExecutor::CheckpointRunFn f,
        Clock::time_point ep)
       : opts(o), fn(std::move(f)), epoch(ep) {
     opts.validate();
@@ -885,14 +947,24 @@ struct PoolSupervisor::Impl {
     }
   }
 
-  void dispatch(std::size_t index, int attempt, const RunConfig& cfg) {
+  void dispatch(std::size_t index, int attempt, const RunConfig& cfg,
+                std::uint64_t affinity) {
+    // Prefer the idle worker that last ran this affinity key (it holds the
+    // prefix checkpoint); a fresh (never-dispatched) idle worker beats one
+    // warmed on a different key; spawning is the last resort.
     PoolWorker* idle = nullptr;
+    PoolWorker* fresh = nullptr;
+    PoolWorker* any = nullptr;
     for (PoolWorker& w : workers) {
-      if (!w.busy) {
+      if (w.busy) continue;
+      if (any == nullptr) any = &w;
+      if (!w.has_affinity && fresh == nullptr) fresh = &w;
+      if (affinity != 0 && w.has_affinity && w.affinity == affinity) {
         idle = &w;
         break;
       }
     }
+    if (idle == nullptr) idle = affinity != 0 && fresh != nullptr ? fresh : any;
     if (idle == nullptr) {
       if (static_cast<int>(workers.size()) >= jobs) {
         throw std::logic_error("PoolSupervisor: dispatch without capacity");
@@ -907,6 +979,8 @@ struct PoolSupervisor::Impl {
     idle->busy = true;
     idle->index = index;
     idle->attempt = attempt;
+    idle->affinity = affinity;
+    idle->has_affinity = true;
     idle->started = Clock::now();
     idle->deadline = idle->started + timeout;
     idle->timed_out = false;
@@ -922,13 +996,15 @@ struct PoolSupervisor::Impl {
       const int served = static_cast<int>(r.u32());
       const std::uint64_t hits = r.u64();
       const std::uint64_t misses = r.u64();
+      const std::uint64_t evictions = r.u64();
       std::string capture_payload = r.str();
       std::string result_payload =
           payload.substr(payload.size() - r.remaining());
       if (!w.busy || index != w.index) return false;  // protocol violation
       w.served = served;
-      w.warm_hits = hits;
-      w.warm_misses = misses;
+      w.checkpoint_hits = hits;
+      w.checkpoint_misses = misses;
+      w.checkpoint_evictions = evictions;
       const double dur = elapsed_sec(w.started, Clock::now());
       tele.slot_busy_sec[static_cast<std::size_t>(w.slot)] += dur;
       Completion c;
@@ -962,8 +1038,9 @@ struct PoolSupervisor::Impl {
     const int status = await_child(w.pid);
     slot_used[static_cast<std::size_t>(w.slot)] = 0;
     tele.slot_runs_served[static_cast<std::size_t>(w.slot)] += w.served;
-    tele.warm_hits += w.warm_hits;
-    tele.warm_misses += w.warm_misses;
+    tele.checkpoint_hits += w.checkpoint_hits;
+    tele.checkpoint_misses += w.checkpoint_misses;
+    tele.checkpoint_evictions += w.checkpoint_evictions;
     if (!w.busy) return;
     const double dur = elapsed_sec(w.started, Clock::now());
     tele.slot_busy_sec[static_cast<std::size_t>(w.slot)] += dur;
@@ -1085,7 +1162,7 @@ struct PoolSupervisor::Impl {
 };
 
 PoolSupervisor::PoolSupervisor(const ExecutorOptions& opts,
-                               CampaignExecutor::WarmRunFn fn,
+                               CampaignExecutor::CheckpointRunFn fn,
                                std::chrono::steady_clock::time_point epoch)
     : impl_(std::make_unique<Impl>(opts, std::move(fn), epoch)) {}
 
@@ -1096,8 +1173,8 @@ int PoolSupervisor::busy() const { return impl_->busy_count(); }
 bool PoolSupervisor::can_dispatch() const { return impl_->can_dispatch(); }
 
 void PoolSupervisor::dispatch(std::size_t index, int attempt,
-                              const RunConfig& cfg) {
-  impl_->dispatch(index, attempt, cfg);
+                              const RunConfig& cfg, std::uint64_t affinity) {
+  impl_->dispatch(index, attempt, cfg, affinity);
 }
 
 void PoolSupervisor::pump(int max_wait_ms, std::vector<Completion>& out,
@@ -1108,7 +1185,13 @@ void PoolSupervisor::pump(int max_wait_ms, std::vector<Completion>& out,
 void PoolSupervisor::shutdown() { impl_->shutdown(); }
 
 const PoolSupervisor::Telemetry& PoolSupervisor::telemetry() const {
-  return impl_->tele;
+  impl_->tele_snapshot = impl_->tele;
+  for (const auto& w : impl_->workers) {
+    impl_->tele_snapshot.checkpoint_hits += w.checkpoint_hits;
+    impl_->tele_snapshot.checkpoint_misses += w.checkpoint_misses;
+    impl_->tele_snapshot.checkpoint_evictions += w.checkpoint_evictions;
+  }
+  return impl_->tele_snapshot;
 }
 
 void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
@@ -1127,6 +1210,24 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
     if (done[i] == 0) pending.push_back(Pending{i, 0, start});
   }
   if (pending.empty()) return;
+
+  // Prefix-affinity grouping: order the queue so variants sharing a
+  // fault-free prefix dispatch back to back (onto the worker holding the
+  // checkpoint), with plan order as the tiebreaker. Result merging is by
+  // plan index, so the queue order never shows in the summary.
+  std::vector<std::uint64_t> affinity(cfgs.size(), 0);
+  if (opts_.checkpoint) {
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      if (done[i] == 0) affinity[i] = dispatch_affinity(cfgs[i], opts_);
+    }
+    std::stable_sort(pending.begin(), pending.end(),
+                     [&](const Pending& a, const Pending& b) {
+                       if (affinity[a.index] != affinity[b.index]) {
+                         return affinity[a.index] < affinity[b.index];
+                       }
+                       return a.index < b.index;
+                     });
+  }
 
   PoolSupervisor sup(opts_, fn_, batch_start_);
 
@@ -1162,7 +1263,8 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
     for (auto it = pending.begin();
          it != pending.end() && sup.can_dispatch();) {
       if (it->eligible <= now) {
-        sup.dispatch(it->index, it->attempt, cfgs[it->index]);
+        sup.dispatch(it->index, it->attempt, cfgs[it->index],
+                     affinity[it->index]);
         it = pending.erase(it);
       } else {
         ++it;
@@ -1224,8 +1326,9 @@ void CampaignExecutor::run_pool(const std::vector<RunConfig>& cfgs,
   stats_.respawns += t.respawns;
   stats_.timeouts += t.timeouts;
   stats_.signal_deaths += t.signal_deaths;
-  stats_.warm_hits += t.warm_hits;
-  stats_.warm_misses += t.warm_misses;
+  stats_.checkpoint_hits += t.checkpoint_hits;
+  stats_.checkpoint_misses += t.checkpoint_misses;
+  stats_.checkpoint_evictions += t.checkpoint_evictions;
   for (std::size_t s = 0;
        s < t.slot_busy_sec.size() && s < stats_.slot_busy_sec.size(); ++s) {
     stats_.slot_busy_sec[s] += t.slot_busy_sec[s];
@@ -1589,8 +1692,9 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
               et.respawns = agg.respawns;
               et.timeouts = agg.timeouts;
               et.signal_deaths = agg.signal_deaths;
-              et.warm_hits = agg.warm_hits;
-              et.warm_misses = agg.warm_misses;
+              et.checkpoint_hits = agg.checkpoint_hits;
+              et.checkpoint_misses = agg.checkpoint_misses;
+              et.checkpoint_evictions = agg.checkpoint_evictions;
               et.trace_dropped = agg.trace_dropped;
               et.histograms = agg.histograms;
               et.base_sec =
@@ -1720,8 +1824,10 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
           ++it;
           continue;
         }
-        send_frame(r.fd, msg_run_request(
-                             it->index, serialize_run_config(cfgs[it->index])));
+        send_frame(r.fd,
+                   msg_run_request(it->index,
+                                   serialize_run_config(effective_config(
+                                       cfgs[it->index], opts_))));
         r.flights[it->index] = Flight{it->attempt, now};
         ++inflight_copies[it->index];
         it = pending.erase(it);
@@ -1790,6 +1896,15 @@ void CampaignExecutor::run_distributed(const std::vector<RunConfig>& cfgs,
     r.fd = -1;
   }
 
+  // Endpoint aggregates are cumulative snapshots (latest wins); fold the
+  // final ones into the batch totals so distributed campaigns report
+  // checkpoint-store effectiveness the same way local pools do.
+  for (const EndpointTelemetry& et : stats_.endpoints) {
+    stats_.checkpoint_hits += et.checkpoint_hits;
+    stats_.checkpoint_misses += et.checkpoint_misses;
+    stats_.checkpoint_evictions += et.checkpoint_evictions;
+  }
+
   if (journaling) {
     // Deterministic merge: append every record this batch produced to the
     // main journal in plan order. The payload encoder is bit-exact, so the
@@ -1839,7 +1954,7 @@ struct PoolSupervisor::Impl {
 };
 
 PoolSupervisor::PoolSupervisor(const ExecutorOptions&,
-                               CampaignExecutor::WarmRunFn,
+                               CampaignExecutor::CheckpointRunFn,
                                std::chrono::steady_clock::time_point) {
   throw std::runtime_error("executor: PoolSupervisor requires a POSIX host");
 }
@@ -1850,7 +1965,8 @@ int PoolSupervisor::slots() const { return 0; }
 int PoolSupervisor::busy() const { return 0; }
 bool PoolSupervisor::can_dispatch() const { return false; }
 
-void PoolSupervisor::dispatch(std::size_t, int, const RunConfig&) {
+void PoolSupervisor::dispatch(std::size_t, int, const RunConfig&,
+                              std::uint64_t) {
   throw std::runtime_error("executor: PoolSupervisor requires a POSIX host");
 }
 

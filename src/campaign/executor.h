@@ -15,9 +15,12 @@
 // Two isolation strategies share those guarantees. The default persistent
 // prefork POOL forks `jobs` long-lived workers once per batch and streams
 // RunConfigs to them as checksummed request frames (serialize.h); a worker
-// is recycled only when it dies, and each worker keeps a WarmStateCache so
-// sweep runs sharing a scenario/mode skip redundant setup replay. The legacy
-// FORK-PER-RUN path (pool = false) forks a fresh process per attempt.
+// is recycled only when it dies, and each worker keeps a CheckpointStore
+// (campaign/checkpoint.h) so sweep runs sharing a scenario/mode skip
+// redundant setup replay — and, with checkpointing on, fault variants that
+// share a fault-free prefix restore a fork-point RunCheckpoint instead of
+// replaying the prefix. The legacy FORK-PER-RUN path (pool = false) forks a
+// fresh process per attempt.
 //
 // Completed runs are persisted in a write-ahead journal (journal.h), so
 // re-launching the same campaign skips finished work and an interrupted
@@ -52,11 +55,21 @@ struct ExecutorOptions {
   /// replaced); an order of magnitude less fork/exec overhead per run.
   /// false selects the legacy fork-per-run path.
   bool pool = true;
-  /// Per-worker warm-state cache (WarmStateCache, campaign/driver.h): reuse
-  /// scenario + initial-agent setup across runs that share the warm key.
+  /// Per-worker CheckpointStore setup tier (campaign/checkpoint.h): reuse
+  /// scenario + initial-agent setup across runs that share the setup key.
   /// Pool mode only (a fork-per-run worker dies before it could reuse
-  /// anything). Never changes results — see driver.h.
+  /// anything). Never changes results — see checkpoint.h.
   bool warm_cache = true;
+  /// Fork-point checkpoint sharing (DAV_CHECKPOINT / davcamp --checkpoint):
+  /// force cfg.checkpoint.enabled for every dispatched run, so pool workers
+  /// capture a RunCheckpoint at each run's injection onset and variants that
+  /// share the fault-free prefix restore it instead of replaying the prefix.
+  /// Also turns on prefix-affinity scheduling (variants of one prefix go to
+  /// the same worker). Never changes results — byte-identity is test-pinned.
+  bool checkpoint = false;
+  /// Per-worker deep-checkpoint byte budget, MiB (DAV_CHECKPOINT_MAX_MB).
+  /// Oldest entries are evicted past the budget. 0 disables the deep tier.
+  std::size_t checkpoint_max_mb = 64;
   /// Wall-clock watchdog per run attempt; a worker still alive past this is
   /// SIGKILLed and quarantined.
   double run_timeout_sec = 600.0;
@@ -166,8 +179,9 @@ struct EndpointTelemetry {
   std::uint64_t respawns = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t signal_deaths = 0;
-  std::uint64_t warm_hits = 0;
-  std::uint64_t warm_misses = 0;
+  std::uint64_t checkpoint_hits = 0;
+  std::uint64_t checkpoint_misses = 0;
+  std::uint64_t checkpoint_evictions = 0;
   std::uint64_t trace_dropped = 0;
   obs::StageHistogramSet histograms;  ///< cumulative across runs served
   std::vector<WorkerSpan> spans;      ///< daemon slot spans, daemon-relative
@@ -185,8 +199,12 @@ struct ExecutorStats {
   // Pool-mode lifecycle (zero in fork-per-run mode).
   int pool_workers = 0;   ///< persistent workers forked at batch start
   int respawns = 0;       ///< replacement workers forked after a death
-  std::uint64_t warm_hits = 0;    ///< warm-state cache hits, all workers
-  std::uint64_t warm_misses = 0;  ///< warm-state cache misses, all workers
+  /// CheckpointStore reuse counters, summed across workers: hits/misses over
+  /// both tiers (tick-0 setup + deep fork-point restores), plus deep-tier
+  /// budget evictions. In-process mode counts the executor-owned store.
+  std::uint64_t checkpoint_hits = 0;
+  std::uint64_t checkpoint_misses = 0;
+  std::uint64_t checkpoint_evictions = 0;
 
   // Distributed-coordinator lifecycle (zero otherwise). In distributed mode
   // the per-slot vectors below are per-endpoint instead of per-process.
@@ -223,14 +241,15 @@ class CampaignExecutor {
   /// run_experiment; tests substitute functions that crash, hang, or abort
   /// to exercise the sandbox.
   using RunFn = std::function<RunResult(const RunConfig&)>;
-  /// Cache-aware work function for pool workers: the second argument is the
-  /// worker's WarmStateCache (nullptr when caching is off or the path cannot
-  /// reuse state). MUST return the same result with and without the cache.
-  using WarmRunFn = std::function<RunResult(const RunConfig&, WarmStateCache*)>;
+  /// Store-aware work function for pool workers: the second argument is the
+  /// worker's CheckpointStore (nullptr when reuse is off or the path cannot
+  /// reuse state). MUST return the same result with and without the store.
+  using CheckpointRunFn =
+      std::function<RunResult(const RunConfig&, CheckpointStore*)>;
 
   /// Throws std::invalid_argument when `opts` is nonsensical.
   explicit CampaignExecutor(ExecutorOptions opts, RunFn fn = {});
-  CampaignExecutor(ExecutorOptions opts, WarmRunFn fn);
+  CampaignExecutor(ExecutorOptions opts, CheckpointRunFn fn);
 
   /// Execute every config, in parallel, with journal resume. Returns one
   /// result per config in submission order (quarantined runs included as
@@ -280,7 +299,7 @@ class CampaignExecutor {
                        const std::vector<char>& done);
 
   ExecutorOptions opts_;
-  WarmRunFn fn_;
+  CheckpointRunFn fn_;
   JournalWriter journal_;
   std::vector<RunQuarantine> quarantined_;
   ExecutorStats stats_;
@@ -321,22 +340,24 @@ class PoolSupervisor {
     double start_sec = 0.0;  ///< relative to the epoch; telemetry only
     double dur_sec = 0.0;
   };
-  /// Lifecycle + warm-cache counters, folded into ExecutorStats by callers.
+  /// Lifecycle + checkpoint counters, folded into ExecutorStats by callers.
   struct Telemetry {
     int launched = 0;
     int pool_workers = 0;  ///< first-wave spawns (before any worker death)
     int respawns = 0;      ///< replacement spawns (after a death)
     int timeouts = 0;
     int signal_deaths = 0;
-    std::uint64_t warm_hits = 0;
-    std::uint64_t warm_misses = 0;
+    std::uint64_t checkpoint_hits = 0;
+    std::uint64_t checkpoint_misses = 0;
+    std::uint64_t checkpoint_evictions = 0;
     std::vector<double> slot_busy_sec;
     std::vector<int> slot_runs_served;
   };
 
   /// `epoch` anchors Completion::start_sec (run_all entry, or daemon session
   /// start). Validates `opts`.
-  PoolSupervisor(const ExecutorOptions& opts, CampaignExecutor::WarmRunFn fn,
+  PoolSupervisor(const ExecutorOptions& opts,
+                 CampaignExecutor::CheckpointRunFn fn,
                  std::chrono::steady_clock::time_point epoch);
   /// SIGKILLs and reaps any still-live workers; in-flight runs are dropped
   /// (the daemon relies on this when its coordinator disconnects — the
@@ -350,8 +371,12 @@ class PoolSupervisor {
   /// An idle live worker exists, or a replacement can still be forked.
   bool can_dispatch() const;
   /// Send one run to an idle worker (forking one if needed). Only valid when
-  /// can_dispatch(); `attempt` is echoed back on the Completion.
-  void dispatch(std::size_t index, int attempt, const RunConfig& cfg);
+  /// can_dispatch(); `attempt` is echoed back on the Completion. `affinity`
+  /// is an opaque grouping key (the run's prefix digest under checkpointing):
+  /// an idle worker that last ran the same key is preferred, so variants of
+  /// one fault-free prefix land on the worker that holds its checkpoint.
+  void dispatch(std::size_t index, int attempt, const RunConfig& cfg,
+                std::uint64_t affinity = 0);
   /// Pump the event loop once: wait up to `max_wait_ms` for response bytes,
   /// drain complete frames, enforce watchdog deadlines, reap deaths, and
   /// append finished dispatches to `out`. When `extra_fd` >= 0 it joins the

@@ -31,6 +31,8 @@ void ByteWriter::u64(std::uint64_t v) {
 
 void ByteWriter::f64(double v) { u64(double_bits(v)); }
 
+void ByteWriter::f32(float v) { u32(float_bits(v)); }
+
 void ByteWriter::str(const std::string& s) {
   u64(s.size());
   buf_ += s;
@@ -66,6 +68,8 @@ std::uint64_t ByteReader::u64() {
 }
 
 double ByteReader::f64() { return bits_double(u64()); }
+
+float ByteReader::f32() { return bits_float(u32()); }
 
 std::string ByteReader::str() {
   const std::uint64_t n = u64();
@@ -164,6 +168,16 @@ FusionConfig get_fusion_config(ByteReader& r) {
 
 bool config_has_sensor_extension(const RunConfig& cfg) {
   return cfg.sensor_fault.active() || cfg.fusion.enabled;
+}
+
+// Second trailing section (checkpoint routing). Trailing sections carry no
+// tags — readers probe `!r.done()` in order — so a config that needs the
+// checkpoint section must also FORCE-write the sensor section in front of
+// it, or the reader would misparse checkpoint bytes as a sensor plan. A
+// default CheckpointOptions writes nothing, keeping checkpoint-off configs
+// byte-identical to the PR-9 encoding.
+bool config_has_checkpoint_extension(const RunConfig& cfg) {
+  return cfg.checkpoint.enabled || cfg.checkpoint.capture_tick >= 0;
 }
 
 void put_config_sensor_extension(ByteWriter& w, const RunConfig& cfg) {
@@ -459,7 +473,14 @@ std::string serialize_run_config(const RunConfig& cfg) {
   w.u64(cfg.trace.capacity);
   w.i32(cfg.trace.pid);
   w.str(cfg.trace.label);
-  if (config_has_sensor_extension(cfg)) put_config_sensor_extension(w, cfg);
+  const bool ckpt_ext = config_has_checkpoint_extension(cfg);
+  if (config_has_sensor_extension(cfg) || ckpt_ext) {
+    put_config_sensor_extension(w, cfg);
+  }
+  if (ckpt_ext) {
+    w.u8(cfg.checkpoint.enabled ? 1 : 0);
+    w.i32(cfg.checkpoint.capture_tick);
+  }
   return w.take();
 }
 
@@ -507,6 +528,10 @@ RunConfigRecord deserialize_run_config(const std::string& bytes) {
     const bool enabled = cfg.fusion.enabled;
     cfg.fusion = wire;
     cfg.fusion.enabled = enabled;
+  }
+  if (!r.done()) {  // checkpoint extension (absent unless checkpointing)
+    cfg.checkpoint.enabled = r.u8() != 0;
+    cfg.checkpoint.capture_tick = r.i32();
   }
   if (!r.done()) malformed("trailing bytes");
   return out;
@@ -567,8 +592,79 @@ std::uint64_t run_config_digest(const RunConfig& cfg) {
   }
   // Same only-when-active discipline as serialize_run_config: plan-free,
   // fusion-free configs keep their pre-extension digest (journals, warm
-  // caches and resume keyed on it stay valid).
+  // caches and resume keyed on it stay valid). CheckpointOptions are
+  // excluded entirely, like TraceOptions: neither changes the run outcome.
   if (config_has_sensor_extension(cfg)) put_config_sensor_extension(w, cfg);
+  const std::string& b = w.bytes();
+  return fnv1a64(b.data(), b.size());
+}
+
+std::uint64_t checkpoint_setup_digest(const RunConfig& cfg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(cfg.scenario));
+  w.u64(cfg.scenario_seed);
+  w.f64(cfg.scenario_opts.long_route_duration_sec);
+  w.f64(cfg.scenario_opts.safety_duration_sec);
+  w.u8(static_cast<std::uint8_t>(cfg.mode));
+  w.i32(cfg.cam_width);
+  w.i32(cfg.cam_height);
+  w.f64(cfg.camera_noise_sigma);
+  // Fusion changes the constructed agent (health monitor config) — a fused
+  // and an unfused run must not share a setup slot.
+  w.u8(cfg.fusion.enabled ? 1 : 0);
+  const std::string& b = w.bytes();
+  return fnv1a64(b.data(), b.size());
+}
+
+std::uint64_t run_config_prefix_digest(const RunConfig& cfg, int tick) {
+  ByteWriter w;
+  w.u64(0x6461762d70667831ULL);  // domain separation: "dav-pfx1"
+  w.i32(tick);
+  w.u8(static_cast<std::uint8_t>(cfg.scenario));
+  w.u64(cfg.scenario_seed);
+  w.f64(cfg.scenario_opts.long_route_duration_sec);
+  w.f64(cfg.scenario_opts.safety_duration_sec);
+  w.u8(static_cast<std::uint8_t>(cfg.mode));
+  w.f64(cfg.overlap_ratio);
+  // Register fault plan: a permanent fault can fire from the first opcode
+  // instance, so it is part of the prefix the moment any instruction has
+  // run. A transient fault is a single strike at one dynamic instruction
+  // index — the store gates eligibility on the captured instruction totals,
+  // so the plan stays OUT of the digest and sweep variants share a prefix.
+  const bool fault_in_prefix =
+      cfg.fault.kind == FaultModelKind::kPermanent && tick > 0;
+  w.u8(fault_in_prefix ? 1 : 0);
+  if (fault_in_prefix) put_fault_plan(w, cfg.fault);
+  w.u64(cfg.run_seed);
+  w.f64(cfg.dt);
+  w.i32(cfg.cam_width);
+  w.i32(cfg.cam_height);
+  w.f64(cfg.camera_noise_sigma);
+  w.u8(cfg.record_traces ? 1 : 0);
+  w.f64(cfg.watchdog_sec);
+  w.f64(cfg.stuck_watchdog_sec);
+  w.u8(static_cast<std::uint8_t>(cfg.mitigation));
+  w.i32(cfg.recovery.probe_ticks);
+  w.i32(cfg.recovery.rewarm_ticks);
+  w.i32(cfg.recovery.max_recoveries);
+  w.i32(cfg.recovery.recovery_window_ticks);
+  w.u8(cfg.online_lut != nullptr ? 1 : 0);
+  if (cfg.online_lut != nullptr) {
+    w.u64(cfg.online_detector.rw);
+    w.f64(cfg.online_detector.min_eval_speed);
+    w.i32(cfg.online_detector.debounce);
+    std::ostringstream lut_text;
+    cfg.online_lut->save(lut_text);
+    w.str(lut_text.str());
+  }
+  // Sensor plan: invisible until its onset tick has actually been stepped
+  // through; the fusion wiring shapes the agent from tick 0 when enabled.
+  const bool sensor_in_prefix =
+      cfg.sensor_fault.active() && cfg.sensor_fault.onset_tick < tick;
+  w.u8(sensor_in_prefix ? 1 : 0);
+  if (sensor_in_prefix) put_sensor_plan(w, cfg.sensor_fault);
+  w.u8(cfg.fusion.enabled ? 1 : 0);
+  if (cfg.fusion.enabled) put_fusion_config(w, cfg.fusion);
   const std::string& b = w.bytes();
   return fnv1a64(b.data(), b.size());
 }

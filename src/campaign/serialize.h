@@ -36,6 +36,7 @@ class ByteWriter {
   void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
   /// Bit-exact IEEE-754 encoding (NaNs and signed zeros round-trip).
   void f64(double v);
+  void f32(float v);
   void str(const std::string& s);
   void raw(const std::string& bytes) { buf_ += bytes; }
 
@@ -60,6 +61,7 @@ class ByteReader {
   std::uint64_t u64();
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
   double f64();
+  float f32();
   std::string str();
 
   std::size_t remaining() const { return size_ - pos_; }
@@ -161,5 +163,27 @@ RunConfigRecord deserialize_run_config(const std::string& bytes);
 /// bit-identical results, so the digest keys the journal: a completed record
 /// under the same key can be replayed instead of re-executed.
 std::uint64_t run_config_digest(const RunConfig& cfg);
+
+/// Digest over exactly the RunConfig fields that determine scenario
+/// construction and the initial (pre-first-frame) ADS state — run_seed and
+/// both fault plans are deliberately excluded (they only matter once the run
+/// loop starts). Keys the CheckpointStore's tick-0 setup tier (the PR-5 warm
+/// cache). In-memory key only: never persisted, free to evolve.
+std::uint64_t checkpoint_setup_digest(const RunConfig& cfg);
+
+/// Digest over every RunConfig field that can influence the run BEFORE
+/// `tick`. Two configs with equal prefix digests at tick T evolve
+/// bit-identically through the first T steps, so a clean checkpoint captured
+/// at T under one config can seed any sibling that shares the digest.
+///
+/// Fault handling (the whole point — variants of one sweep share a prefix):
+///  - sensor plan: included only once its onset precedes `tick`;
+///  - permanent register plan: included whenever tick > 0 (a permanent fault
+///    can corrupt any instruction from the first step);
+///  - transient register plan: NEVER included — whether the strike landed
+///    before `tick` depends on the dynamic instruction count, which the
+///    CheckpointStore gates per entry (target_dyn_index >= captured totals).
+/// Domain-separated from run_config_digest; in-memory key only.
+std::uint64_t run_config_prefix_digest(const RunConfig& cfg, int tick);
 
 }  // namespace dav

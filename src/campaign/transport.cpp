@@ -222,8 +222,9 @@ std::string msg_telemetry_aggregate(const TelemetryAggregate& agg) {
   w.u64(agg.respawns);
   w.u64(agg.timeouts);
   w.u64(agg.signal_deaths);
-  w.u64(agg.warm_hits);
-  w.u64(agg.warm_misses);
+  w.u64(agg.checkpoint_hits);
+  w.u64(agg.checkpoint_misses);
+  w.u64(agg.checkpoint_evictions);
   w.u64(agg.trace_dropped);
   put_histograms(w, agg.histograms);
   w.u32(static_cast<std::uint32_t>(agg.spans.size()));
@@ -248,8 +249,9 @@ TelemetryAggregate decode_telemetry_aggregate(const std::string& body) {
   agg.respawns = r.u64();
   agg.timeouts = r.u64();
   agg.signal_deaths = r.u64();
-  agg.warm_hits = r.u64();
-  agg.warm_misses = r.u64();
+  agg.checkpoint_hits = r.u64();
+  agg.checkpoint_misses = r.u64();
+  agg.checkpoint_evictions = r.u64();
   agg.trace_dropped = r.u64();
   get_histograms(r, agg.histograms);
   const std::uint32_t n = r.u32();
@@ -528,13 +530,13 @@ struct ServeSigpipeGuard {
 };
 
 /// Serve one coordinator session on `cfd`. Requests are fed to a fresh
-/// PoolSupervisor (fork-isolated pool workers, watchdog, warm cache); each
-/// completion streams back as a kRunResult frame. Returns when the
-/// coordinator disconnects, breaks protocol, or the stop flag rises — the
-/// supervisor teardown kills whatever was still in flight, and the
-/// coordinator's dead-endpoint path requeues those runs elsewhere.
+/// PoolSupervisor (fork-isolated pool workers, watchdog, per-worker
+/// CheckpointStore); each completion streams back as a kRunResult frame.
+/// Returns when the coordinator disconnects, breaks protocol, or the stop
+/// flag rises — the supervisor teardown kills whatever was still in flight,
+/// and the coordinator's dead-endpoint path requeues those runs elsewhere.
 void serve_session(int cfd, const ExecutorOptions& eopts,
-                   const CampaignExecutor::WarmRunFn& fn,
+                   const CampaignExecutor::CheckpointRunFn& fn,
                    double heartbeat_sec) {
   const Clock::time_point session_epoch = Clock::now();
   PoolSupervisor sup(eopts, fn, session_epoch);
@@ -569,14 +571,16 @@ void serve_session(int cfd, const ExecutorOptions& eopts,
     agg.respawns = static_cast<std::uint64_t>(t.respawns);
     agg.timeouts = static_cast<std::uint64_t>(t.timeouts);
     agg.signal_deaths = static_cast<std::uint64_t>(t.signal_deaths);
-    agg.warm_hits = t.warm_hits;
-    agg.warm_misses = t.warm_misses;
+    agg.checkpoint_hits = t.checkpoint_hits;
+    agg.checkpoint_misses = t.checkpoint_misses;
+    agg.checkpoint_evictions = t.checkpoint_evictions;
     agg.trace_dropped = cum_dropped;
     agg.histograms = cum_hist;
     agg.spans = std::move(pending_spans);
     pending_spans.clear();
     flushed_counter_sig = agg.launched + agg.respawns + agg.timeouts +
-                          agg.signal_deaths + agg.warm_hits + agg.warm_misses;
+                          agg.signal_deaths + agg.checkpoint_hits +
+                          agg.checkpoint_misses + agg.checkpoint_evictions;
     return msg_telemetry_aggregate(agg);
   };
 
@@ -677,7 +681,7 @@ void serve_session(int cfd, const ExecutorOptions& eopts,
 
     // Idle beacon so the coordinator can tell "slow run" from "dead daemon".
     // Telemetry piggybacks on this cadence: counter movement with no
-    // completion to carry it (respawns, warm-cache churn) flushes here.
+    // completion to carry it (respawns, checkpoint-store churn) flushes here.
     if (heartbeat_sec > 0.0) {
       const double idle =
           std::chrono::duration<double>(Clock::now() - last_tx).count();
@@ -687,8 +691,8 @@ void serve_session(int cfd, const ExecutorOptions& eopts,
             static_cast<std::uint64_t>(t.launched) +
             static_cast<std::uint64_t>(t.respawns) +
             static_cast<std::uint64_t>(t.timeouts) +
-            static_cast<std::uint64_t>(t.signal_deaths) + t.warm_hits +
-            t.warm_misses;
+            static_cast<std::uint64_t>(t.signal_deaths) + t.checkpoint_hits +
+            t.checkpoint_misses + t.checkpoint_evictions;
         if (sig != flushed_counter_sig && !send(make_aggregate())) return;
         if (!send(msg_heartbeat())) return;
       }
@@ -699,7 +703,7 @@ void serve_session(int cfd, const ExecutorOptions& eopts,
 }  // namespace
 
 int serve_campaign(const ServeOptions& sopts, const ExecutorOptions& eopts,
-                   CampaignExecutor::WarmRunFn fn) {
+                   CampaignExecutor::CheckpointRunFn fn) {
   const Endpoint ep = parse_endpoint(sopts.listen_spec);
   std::string err;
   const int lfd = listen_endpoint(ep, &err);
@@ -708,8 +712,8 @@ int serve_campaign(const ServeOptions& sopts, const ExecutorOptions& eopts,
   }
 
   if (!fn) {
-    fn = [](const RunConfig& c, WarmStateCache* w) {
-      return run_experiment(c, w);
+    fn = [](const RunConfig& c, CheckpointStore* s) {
+      return run_experiment(c, s);
     };
   }
   // The daemon runs configs through the pool; campaign plumbing (journal,
@@ -833,7 +837,7 @@ int connect_endpoint(const Endpoint&, std::string* err) {
 bool send_frame(int, const std::string&) { return false; }
 
 int serve_campaign(const ServeOptions&, const ExecutorOptions&,
-                   CampaignExecutor::WarmRunFn) {
+                   CampaignExecutor::CheckpointRunFn) {
   throw std::runtime_error("serve: sockets unsupported on this platform");
 }
 

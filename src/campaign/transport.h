@@ -43,7 +43,7 @@ namespace dav {
 /// Bumped whenever the message set or a message layout changes; a daemon
 /// rejects a coordinator speaking a different version instead of misdecoding
 /// its requests.
-inline constexpr std::uint32_t kTransportProtocolVersion = 2;
+inline constexpr std::uint32_t kTransportProtocolVersion = 3;
 
 enum class TransportMsgType : std::uint8_t {
   kHello = 1,       ///< coordinator handshake: version + fingerprint + clock
@@ -104,8 +104,9 @@ struct TelemetryAggregate {
   std::uint64_t respawns = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t signal_deaths = 0;
-  std::uint64_t warm_hits = 0;
-  std::uint64_t warm_misses = 0;
+  std::uint64_t checkpoint_hits = 0;
+  std::uint64_t checkpoint_misses = 0;
+  std::uint64_t checkpoint_evictions = 0;
   std::uint64_t trace_dropped = 0;   ///< total ring drops across runs served
   obs::StageHistogramSet histograms; ///< cumulative across runs served
   std::vector<WorkerSpan> spans;     ///< start_sec relative to base_ns
@@ -188,15 +189,16 @@ struct ServeOptions {
 
 /// Run a worker daemon: accept one coordinator at a time, handshake on the
 /// campaign fingerprint, execute requests through a PoolSupervisor (the
-/// PR-5 prefork pool: fork-isolated workers, watchdog, warm-state cache),
-/// and stream result frames back. A worker death is reported as a
-/// kHarnessError result payload — the coordinator applies the same
-/// retry/quarantine policy it uses for local deaths. When the coordinator
-/// disconnects, in-flight pool workers are torn down and the daemon returns
-/// to accepting (so a restarted coordinator can resume). Returns 0 on a
-/// clean stop (signal or max_sessions); throws std::runtime_error when the
-/// listen address is unusable. `fn` defaults to run_experiment.
+/// PR-5 prefork pool: fork-isolated workers, watchdog, per-worker
+/// CheckpointStore), and stream result frames back. A worker death is
+/// reported as a kHarnessError result payload — the coordinator applies the
+/// same retry/quarantine policy it uses for local deaths. When the
+/// coordinator disconnects, in-flight pool workers are torn down and the
+/// daemon returns to accepting (so a restarted coordinator can resume).
+/// Returns 0 on a clean stop (signal or max_sessions); throws
+/// std::runtime_error when the listen address is unusable. `fn` defaults to
+/// run_experiment.
 int serve_campaign(const ServeOptions& sopts, const ExecutorOptions& eopts,
-                   CampaignExecutor::WarmRunFn fn = {});
+                   CampaignExecutor::CheckpointRunFn fn = {});
 
 }  // namespace dav

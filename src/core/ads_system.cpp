@@ -48,11 +48,37 @@ void AdsSystem::attach_sensor_fault_injector(SensorFaultInjector* injector) {
   agent0_->attach_sensor_fault_injector(injector);
 }
 
-void AdsSystem::adopt_initial_state(const AgentSnapshot& s) {
-  // Both agents are constructed from the same AgentConfig, so one initial
-  // snapshot is valid for either.
-  agent0_->restore(s);
-  if (agent1_) agent1_->restore(s);
+AdsState AdsSystem::capture() const {
+  AdsState s;
+  s.agent0 = agent0_->capture();
+  if (agent1_) {
+    s.has_agent1 = true;
+    s.agent1 = agent1_->capture();
+  }
+  if (prev_output_) {
+    s.has_prev_output = true;
+    s.prev_output = *prev_output_;
+  }
+  s.step = step_;
+  s.executing = executing_;
+  return s;
+}
+
+void AdsSystem::adopt(const AdsState& s) {
+  if (s.has_agent1 != (agent1_ != nullptr)) {
+    throw std::invalid_argument(
+        "AdsSystem::adopt: agent count mismatch (checkpoint from a "
+        "different mode?)");
+  }
+  agent0_->adopt(s.agent0);
+  if (agent1_) agent1_->adopt(s.agent1);
+  if (s.has_prev_output) {
+    prev_output_ = s.prev_output;
+  } else {
+    prev_output_.reset();
+  }
+  step_ = s.step;
+  executing_ = s.executing;
 }
 
 void AdsSystem::reset() {

@@ -21,6 +21,24 @@
 
 namespace dav {
 
+/// Full dynamic ADS state for checkpoint capture/adopt: both agents'
+/// checkpoints, the comparison reference, and the tick counter. Engines are
+/// owned by the driver and checkpointed separately (fi/engine.h
+/// EngineState); construction wiring (mode, engines, map) is excluded.
+///
+/// A state captured from a freshly constructed AdsSystem is field-for-field
+/// what fresh construction produces, so adopting it before the first step
+/// reproduces the PR-5 warm-start path (the tick-0 special case) exactly.
+struct AdsState {
+  AgentCheckpoint agent0;
+  bool has_agent1 = false;
+  AgentCheckpoint agent1;
+  bool has_prev_output = false;
+  Actuation prev_output;
+  int step = 0;
+  int executing = 0;
+};
+
 class AdsSystem {
  public:
   /// `gpu1`/`cpu1` must be non-null iff mode == kDuplicate. `overlap_ratio`
@@ -75,13 +93,12 @@ class AdsSystem {
   /// fault lives upstream of the agent and re-attaches to the replacement.
   void attach_sensor_fault_injector(SensorFaultInjector* injector);
 
-  /// Warm-start entry point (executor warm-state cache, campaign/driver.h):
-  /// adopt a previously captured INITIAL agent snapshot into every agent.
-  /// Only valid before the first step, and only with a snapshot captured
-  /// from a freshly constructed AdsSystem of the same AgentConfig — then the
-  /// adopted state is field-for-field what fresh construction produces, so a
-  /// warm-started run is bit-identical to a cold one.
-  void adopt_initial_state(const AgentSnapshot& s);
+  /// Symmetric checkpoint capture/adopt (campaign/checkpoint.h). adopt()
+  /// requires an AdsSystem constructed with the same mode and AgentConfig as
+  /// the one that captured the state; it overwrites every field time
+  /// evolved, so a restored system continues bit-identically.
+  AdsState capture() const;
+  void adopt(const AdsState& s);
 
   /// Overwrite the adjacent-output comparison reference. The recovery
   /// manager applies a fused command during the arbitration probe; feeding it

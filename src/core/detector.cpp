@@ -15,6 +15,19 @@ void ErrorDetector::reset() {
   streak_start_time_ = -1.0;
 }
 
+DetectorState ErrorDetector::capture() const {
+  return {signal_.capture(), alarmed_, alarm_time_, streak_,
+          streak_start_time_};
+}
+
+void ErrorDetector::adopt(const DetectorState& s) {
+  signal_.adopt(s.signal);
+  alarmed_ = s.alarmed;
+  alarm_time_ = s.alarm_time;
+  streak_ = s.streak;
+  streak_start_time_ = s.streak_start_time;
+}
+
 bool ErrorDetector::observe(const StepObservation& obs) {
   // (the parameter shadows namespace dav::obs, hence the dav:: prefixes)
   const dav::obs::SpanScope span(dav::obs::Stage::kDetector);

@@ -28,6 +28,18 @@ struct DetectorConfig {
   int debounce = 3;
 };
 
+/// Full dynamic detector state for checkpoint capture/adopt. The LUT and
+/// config are construction-time inputs and deliberately excluded: a restored
+/// detector is built from the same RunConfig and adopts only what time
+/// evolved.
+struct DetectorState {
+  DivergenceState signal;
+  bool alarmed = false;
+  double alarm_time = -1.0;
+  int streak = 0;
+  double streak_start_time = -1.0;
+};
+
 class ErrorDetector {
  public:
   ErrorDetector(const ThresholdLut& lut, DetectorConfig cfg);
@@ -39,6 +51,9 @@ class ErrorDetector {
   bool alarmed() const { return alarmed_; }
   double first_alarm_time() const { return alarm_time_; }
   void reset();
+
+  DetectorState capture() const;
+  void adopt(const DetectorState& s);
 
  private:
   const ThresholdLut& lut_;

@@ -28,4 +28,16 @@ ActuationDelta DivergenceSignal::smoothed() const {
   return {throttle_.mean(), brake_.mean(), steer_.mean()};
 }
 
+DivergenceState DivergenceSignal::capture() const {
+  return {{throttle_.values(), throttle_.running_sum()},
+          {brake_.values(), brake_.running_sum()},
+          {steer_.values(), steer_.running_sum()}};
+}
+
+void DivergenceSignal::adopt(const DivergenceState& s) {
+  throttle_.restore(s.throttle.values, s.throttle.running_sum);
+  brake_.restore(s.brake.values, s.brake.running_sum);
+  steer_.restore(s.steer.values, s.steer.running_sum);
+}
+
 }  // namespace dav

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "sim/types.h"
 #include "util/stats.h"
@@ -31,6 +32,20 @@ struct StepObservation {
   ActuationDelta delta;
 };
 
+/// Rolling-window contents of one channel, as captured for a checkpoint.
+/// The running sum is carried verbatim (float addition is order-dependent).
+struct WindowState {
+  std::vector<double> values;
+  double running_sum = 0.0;
+};
+
+/// All three channel windows of a DivergenceSignal.
+struct DivergenceState {
+  WindowState throttle;
+  WindowState brake;
+  WindowState steer;
+};
+
 /// Three synchronized rolling windows, one per actuation channel.
 class DivergenceSignal {
  public:
@@ -42,6 +57,9 @@ class DivergenceSignal {
 
   /// Rolling means per channel.
   ActuationDelta smoothed() const;
+
+  DivergenceState capture() const;
+  void adopt(const DivergenceState& s);
 
  private:
   RollingWindow throttle_;

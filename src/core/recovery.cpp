@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/trace.h"
 
@@ -373,6 +374,45 @@ void RecoveryManager::escalate(TickOutcome& out) {
   state_ = State::kFailback;
   out.failback = true;
   obs::instant(obs::Instant::kRecoveryEscalated);
+}
+
+RecoveryState RecoveryManager::capture() const {
+  RecoveryState s;
+  s.state = static_cast<int>(state_);
+  s.last_applied = last_applied_;
+  s.probe_left = probe_left_;
+  s.probe_score0 = probe_score_[0];
+  s.probe_score1 = probe_score_[1];
+  s.probe_alarm_time = probe_alarm_time_;
+  s.probe_alarm_tick = probe_alarm_tick_;
+  s.rewarm_left = rewarm_left_;
+  s.healthy = healthy_;
+  s.restart_ticks = restart_ticks_;
+  s.stats = stats_;
+  s.has_sensor_monitor = sensor_monitor_.has_value();
+  if (sensor_monitor_) s.sensor_monitor = sensor_monitor_->capture();
+  s.open_sensor_event = open_sensor_event_;
+  return s;
+}
+
+void RecoveryManager::adopt(const RecoveryState& s) {
+  if (s.has_sensor_monitor != sensor_monitor_.has_value()) {
+    throw std::invalid_argument(
+        "RecoveryManager::adopt: sensor monitor arming mismatch");
+  }
+  state_ = static_cast<State>(s.state);
+  last_applied_ = s.last_applied;
+  probe_left_ = s.probe_left;
+  probe_score_[0] = s.probe_score0;
+  probe_score_[1] = s.probe_score1;
+  probe_alarm_time_ = s.probe_alarm_time;
+  probe_alarm_tick_ = s.probe_alarm_tick;
+  rewarm_left_ = s.rewarm_left;
+  healthy_ = s.healthy;
+  restart_ticks_ = s.restart_ticks;
+  stats_ = s.stats;
+  if (sensor_monitor_) sensor_monitor_->adopt(s.sensor_monitor);
+  open_sensor_event_ = s.open_sensor_event;
 }
 
 }  // namespace dav

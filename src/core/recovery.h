@@ -103,6 +103,28 @@ struct MitigationStats {
   std::vector<SensorDegradeEvent> sensor_events;
 };
 
+/// Full dynamic recovery state for checkpoint capture/adopt: the FSM
+/// position, probe/degraded bookkeeping, restart window, mitigation stats,
+/// and — when the sensor monitor is armed — its complete check state.
+/// Construction inputs (ads ref, config, watchdog, detector pointer) are
+/// excluded; a restored manager is rebuilt from the same RunConfig.
+struct RecoveryState {
+  int state = 0;  // RecoveryManager::State as int
+  Actuation last_applied;
+  int probe_left = 0;
+  double probe_score0 = 0.0;
+  double probe_score1 = 0.0;
+  double probe_alarm_time = -1.0;
+  int probe_alarm_tick = -1;
+  int rewarm_left = 0;
+  int healthy = 0;
+  std::vector<int> restart_ticks;
+  MitigationStats stats;
+  bool has_sensor_monitor = false;
+  SensorHealthMonitor::State sensor_monitor;
+  std::array<int, kSensorChannelCount> open_sensor_event{};
+};
+
 /// Drives one AdsSystem tick under the restart-recovery policy, absorbing
 /// engine errors and detector alarms. The driver calls tick() once per world
 /// step until it reports failback == true, then owns the safe stop.
@@ -140,6 +162,12 @@ class RecoveryManager {
                    const VehicleState& ego, double time, int step);
 
   const MitigationStats& stats() const { return stats_; }
+
+  RecoveryState capture() const;
+  /// Restore dynamic state. Requires the monitor arming to match the
+  /// captured run (enable_sensor_monitor must already have been called iff
+  /// the checkpoint carries monitor state).
+  void adopt(const RecoveryState& s);
 
  private:
   enum class State { kNominal, kProbing, kDegraded, kFailback,

@@ -16,6 +16,8 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
+#include <vector>
 
 #include "fi/fault_model.h"
 #include "fi/opcodes.h"
@@ -24,6 +26,23 @@
 #include "util/rng.h"
 
 namespace dav {
+
+/// Dynamic engine state for checkpoint capture/adopt, shared across engine
+/// instantiations (opcode counts flatten to a vector). The plan and
+/// crash/hang model are configure()-time inputs and stay with the restored
+/// run's own configuration; everything the instruction stream evolved —
+/// counts, totals, the outcome RNG position, and activation bookkeeping —
+/// transfers exactly.
+struct EngineState {
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  std::array<std::uint64_t, 4> rng{};
+  bool armed = false;
+  bool activated = false;
+  std::uint64_t corruptions = 0;
+  bool permanent_outcome_decided = false;
+  bool permanent_lethal = false;
+};
 
 template <typename OpcodeT, FaultDomain Domain>
 class Engine {
@@ -106,6 +125,39 @@ class Engine {
   bool fault_activated() const { return activated_; }
   std::uint64_t corruption_count() const { return corruptions_; }
   const FaultPlan& plan() const { return plan_; }
+
+  EngineState capture() const {
+    EngineState st;
+    st.counts.assign(counts_.begin(), counts_.end());
+    st.total = total_;
+    st.rng = rng_.state();
+    st.armed = armed_;
+    st.activated = activated_;
+    st.corruptions = corruptions_;
+    st.permanent_outcome_decided = permanent_outcome_decided_;
+    st.permanent_lethal = permanent_lethal_;
+    return st;
+  }
+
+  /// Restore dynamic state; plan_/model_ keep whatever configure() set.
+  /// Ordering rule for restores: adopt-then-configure when re-targeting a
+  /// clean checkpoint at a different fault variant (configure re-arms for the
+  /// new plan; the clean state it clears is already default), and
+  /// configure-then-adopt when resuming the exact same run (adopt overwrites
+  /// with the mid-run arming/RNG position, e.g. a cleared transient).
+  void adopt(const EngineState& st) {
+    if (st.counts.size() != counts_.size()) {
+      throw std::invalid_argument("Engine::adopt: opcode count mismatch");
+    }
+    for (std::size_t k = 0; k < counts_.size(); ++k) counts_[k] = st.counts[k];
+    total_ = st.total;
+    rng_.set_state(st.rng);
+    armed_ = st.armed;
+    activated_ = st.activated;
+    corruptions_ = st.corruptions;
+    permanent_outcome_decided_ = st.permanent_outcome_decided;
+    permanent_lethal_ = st.permanent_lethal;
+  }
 
  private:
   static constexpr std::size_t index(OpcodeT op) {

@@ -234,4 +234,30 @@ void SensorHealthMonitor::restore(const SensorHealthSnapshot& snap) {
   exp_x_ = exp_y_ = 0.0;
 }
 
+SensorHealthMonitor::State SensorHealthMonitor::capture() const {
+  State st;
+  st.ladder = snapshot();
+  st.prev_sample = prev_sample_;
+  st.gps_window = gps_window_;
+  st.exp_x = exp_x_;
+  st.exp_y = exp_y_;
+  st.gps_primed = gps_primed_;
+  st.prev_gps = prev_gps_;
+  st.prev_time = prev_time_;
+  st.lidar_seen = lidar_seen_;
+  return st;
+}
+
+void SensorHealthMonitor::adopt(const State& st) {
+  restore(st.ladder);
+  prev_sample_ = st.prev_sample;
+  gps_window_ = st.gps_window;
+  exp_x_ = st.exp_x;
+  exp_y_ = st.exp_y;
+  gps_primed_ = st.gps_primed;
+  prev_gps_ = st.prev_gps;
+  prev_time_ = st.prev_time;
+  lidar_seen_ = st.lidar_seen;
+}
+
 }  // namespace dav

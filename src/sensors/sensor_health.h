@@ -100,6 +100,31 @@ class SensorHealthMonitor {
   SensorHealthSnapshot snapshot() const;
   void restore(const SensorHealthSnapshot& snap);
 
+  /// GPS dead-reckoning window entry (public so checkpoints can carry it).
+  struct GpsPoint {
+    double gx = 0, gy = 0;  // reported GPS position
+    double ex = 0, ey = 0;  // cumulative dead-reckoned displacement
+    double t = 0;
+  };
+
+  /// Complete monitor state for mid-run checkpoints. Unlike
+  /// SensorHealthSnapshot (which drops transient buffers and re-primes over
+  /// a few blind ticks), this carries every check buffer so a restored
+  /// monitor is byte-equivalent to one that observed the whole prefix.
+  struct State {
+    SensorHealthSnapshot ladder;
+    std::array<std::vector<std::uint8_t>, 3> prev_sample;
+    std::vector<GpsPoint> gps_window;
+    double exp_x = 0, exp_y = 0;
+    bool gps_primed = false;
+    GpsImuSample prev_gps;
+    double prev_time = 0;
+    bool lidar_seen = false;
+  };
+
+  State capture() const;
+  void adopt(const State& st);
+
   const SensorHealthConfig& config() const { return cfg_; }
 
  private:
@@ -119,11 +144,6 @@ class SensorHealthMonitor {
   // GPS dead-reckoning window: ring buffer of (gps position, integrated
   // expected displacement, time) so the velocity-mismatch check compares a
   // full window baseline instead of noise-dominated per-tick deltas.
-  struct GpsPoint {
-    double gx = 0, gy = 0;  // reported GPS position
-    double ex = 0, ey = 0;  // cumulative dead-reckoned displacement
-    double t = 0;
-  };
   std::vector<GpsPoint> gps_window_;
   double exp_x_ = 0, exp_y_ = 0;  // dead-reckoning accumulators
   bool gps_primed_ = false;

@@ -2,12 +2,14 @@
 // "all sensor data posted at 40 Hz" in synchronous mode).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "fi/sensor_fault.h"
 #include "sensors/camera.h"
 #include "sensors/inertial.h"
+#include "util/rng.h"
 
 namespace dav {
 
@@ -41,6 +43,23 @@ class SensorRig {
   const std::vector<CameraRenderer>& renderers() const { return renderers_; }
   /// Total bytes of one frame's camera payload (resource accounting).
   std::size_t frame_bytes() const;
+
+  /// The rig's only mutable state is its three noise streams; checkpoints
+  /// carry their exact positions so a restored rig continues the same noise
+  /// sequence instead of re-seeding from the start.
+  struct RngState {
+    std::array<std::uint64_t, 4> camera{};
+    std::array<std::uint64_t, 4> imu{};
+    std::array<std::uint64_t, 4> lidar{};
+  };
+  RngState rng_state() const {
+    return {camera_noise_.state(), imu_noise_.state(), lidar_noise_.state()};
+  }
+  void set_rng_state(const RngState& st) {
+    camera_noise_.set_state(st.camera);
+    imu_noise_.set_state(st.imu);
+    lidar_noise_.set_state(st.lidar);
+  }
 
  private:
   std::vector<CameraRenderer> renderers_;

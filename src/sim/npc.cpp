@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace dav {
 
@@ -117,6 +118,46 @@ void NpcVehicle::crash(double decel, double lateral_jink) {
   brake_decel_ = decel;
   target_lateral_ = lateral_ + lateral_jink;
   lane_change_rate_ = lateral_jink / 0.5;  // jink over half a second
+}
+
+NpcState NpcVehicle::capture() const {
+  NpcState st;
+  st.s = s_;
+  st.lateral = lateral_;
+  st.target_lateral = target_lateral_;
+  st.lane_change_rate = lane_change_rate_;
+  st.v = v_;
+  st.desired_speed = idm_.desired_speed;
+  st.braking_override = braking_override_;
+  st.brake_decel = brake_decel_;
+  st.brake_until = brake_until_;
+  st.crashed = crashed_;
+  st.events_fired.reserve(events_.size());
+  for (const NpcEvent& ev : events_) {
+    st.events_fired.push_back(ev.fired ? 1 : 0);
+  }
+  return st;
+}
+
+void NpcVehicle::adopt(const NpcState& st) {
+  if (st.events_fired.size() != events_.size()) {
+    throw std::invalid_argument(
+        "NpcVehicle::adopt: event count mismatch (checkpoint from a "
+        "different scenario?)");
+  }
+  s_ = st.s;
+  lateral_ = st.lateral;
+  target_lateral_ = st.target_lateral;
+  lane_change_rate_ = st.lane_change_rate;
+  v_ = st.v;
+  idm_.desired_speed = st.desired_speed;
+  braking_override_ = st.braking_override;
+  brake_decel_ = st.brake_decel;
+  brake_until_ = st.brake_until;
+  crashed_ = st.crashed;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    events_[i].fired = st.events_fired[i] != 0;
+  }
 }
 
 }  // namespace dav

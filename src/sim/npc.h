@@ -42,6 +42,25 @@ struct NpcEvent {
   bool fired = false;
 };
 
+/// Dynamic NPC controller state for checkpoint capture/adopt. Construction
+/// inputs (id, spec, event scripts, non-mutated IDM params) are excluded; a
+/// restored NPC is rebuilt from the scenario and adopts only what evolved:
+/// kinematics, the one IDM field kSetSpeed mutates, the brake override, and
+/// which scripted events have already fired.
+struct NpcState {
+  double s = 0.0;
+  double lateral = 0.0;
+  double target_lateral = 0.0;
+  double lane_change_rate = 0.0;
+  double v = 0.0;
+  double desired_speed = 0.0;
+  bool braking_override = false;
+  double brake_decel = 0.0;
+  double brake_until = -1.0;
+  bool crashed = false;
+  std::vector<std::uint8_t> events_fired;
+};
+
 /// An NPC vehicle. NPCs move along the shared route polyline at a lateral
 /// offset (meters, + = left of route direction); they are world actors, not
 /// agent-controlled, so a point-following model suffices.
@@ -71,6 +90,9 @@ class NpcVehicle {
 
   /// Mark as crashed: the vehicle brakes out at `decel` and jinks laterally.
   void crash(double decel = 9.0, double lateral_jink = 0.4);
+
+  NpcState capture() const;
+  void adopt(const NpcState& st);
 
  private:
   double idm_accel(double lead_gap, double lead_speed) const;

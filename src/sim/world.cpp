@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace dav {
 
@@ -143,6 +144,44 @@ bool World::done() const {
   if (collision_time_ >= 0.0 && time_ - collision_time_ > kCollisionGraceSec)
     return true;
   return false;
+}
+
+WorldState World::capture() const {
+  WorldState st;
+  st.ego = ego_;
+  st.ego_s = ego_s_;
+  st.ego_lat = ego_lat_;
+  st.time = time_;
+  st.step_count = step_count_;
+  st.cvip = cvip_;
+  st.flags = flags_;
+  st.trajectory = traj_.points();
+  st.collision_time = collision_time_;
+  st.prev_ego_s = prev_ego_s_;
+  st.npcs.reserve(scenario_.npcs.size());
+  for (const NpcVehicle& npc : scenario_.npcs) st.npcs.push_back(npc.capture());
+  return st;
+}
+
+void World::adopt(const WorldState& st) {
+  if (st.npcs.size() != scenario_.npcs.size()) {
+    throw std::invalid_argument(
+        "World::adopt: NPC count mismatch (checkpoint from a different "
+        "scenario?)");
+  }
+  ego_ = st.ego;
+  ego_s_ = st.ego_s;
+  ego_lat_ = st.ego_lat;
+  time_ = st.time;
+  step_count_ = st.step_count;
+  cvip_ = st.cvip;
+  flags_ = st.flags;
+  traj_.assign(st.trajectory);
+  collision_time_ = st.collision_time;
+  prev_ego_s_ = st.prev_ego_s;
+  for (std::size_t i = 0; i < scenario_.npcs.size(); ++i) {
+    scenario_.npcs[i].adopt(st.npcs[i]);
+  }
 }
 
 }  // namespace dav

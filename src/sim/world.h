@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "sim/npc.h"
 #include "sim/scenario.h"
 #include "sim/trajectory.h"
 #include "sim/vehicle.h"
@@ -21,6 +22,25 @@ struct SafetyFlags {
   bool any() const {
     return collision || red_light_violation || speeding || off_road;
   }
+};
+
+/// Full dynamic world state for checkpoint capture/adopt: ego kinematics,
+/// per-NPC controller state, safety ground truth, and the recorded
+/// trajectory so far. The static scenario (map, specs, event scripts) is
+/// excluded — a restored World is rebuilt from the same Scenario and adopts
+/// only what time evolved.
+struct WorldState {
+  VehicleState ego;
+  double ego_s = 0.0;
+  double ego_lat = 0.0;
+  double time = 0.0;
+  int step_count = 0;
+  double cvip = 0.0;
+  SafetyFlags flags;
+  std::vector<Vec2> trajectory;
+  double collision_time = -1.0;
+  double prev_ego_s = 0.0;
+  std::vector<NpcState> npcs;
 };
 
 class World {
@@ -57,6 +77,9 @@ class World {
   /// True once the scenario duration has elapsed, the route is finished, or
   /// a grace period after an ego collision has passed.
   bool done() const;
+
+  WorldState capture() const;
+  void adopt(const WorldState& st);
 
  private:
   struct Actor {

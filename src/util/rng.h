@@ -6,7 +6,9 @@
 // xoshiro256** seeded via splitmix64, the standard recipe.
 #pragma once
 
+#include <array>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -84,6 +86,17 @@ class Rng {
   double normal(double mean, double stddev) { return mean + stddev * normal(); }
 
   bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exact stream position, for checkpoint capture. Restoring via
+  /// `set_state` resumes the sequence mid-stream, unlike re-seeding which
+  /// restarts it from the beginning.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   std::uint64_t state_[4];

@@ -76,6 +76,15 @@ void RollingWindow::clear() {
   sum_ = 0.0;
 }
 
+void RollingWindow::restore(const std::vector<double>& xs,
+                            double running_sum) {
+  if (xs.size() > capacity_) {
+    throw std::invalid_argument("RollingWindow restore exceeds capacity");
+  }
+  buf_.assign(xs.begin(), xs.end());
+  sum_ = running_sum;
+}
+
 double RollingWindow::mean() const {
   return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
 }

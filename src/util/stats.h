@@ -48,6 +48,15 @@ class RollingWindow {
   /// Max of the current contents; 0 when empty.
   double max() const;
 
+  /// Contents oldest-first, for checkpoint capture.
+  std::vector<double> values() const { return {buf_.begin(), buf_.end()}; }
+  /// Running sum as maintained by push(); exposed (rather than recomputed
+  /// from values()) because float addition is order-dependent and a restored
+  /// window must produce bit-identical means.
+  double running_sum() const { return sum_; }
+  /// Restore contents + running sum captured by values()/running_sum().
+  void restore(const std::vector<double>& xs, double running_sum);
+
  private:
   std::size_t capacity_;
   std::deque<double> buf_;

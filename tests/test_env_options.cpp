@@ -66,6 +66,8 @@ TEST(EnvOptions, DefaultsWhenNothingIsSet) {
   EXPECT_EQ(o.jobs, 0);
   EXPECT_TRUE(o.pool);
   EXPECT_TRUE(o.warm_cache);
+  EXPECT_FALSE(o.checkpoint);
+  EXPECT_EQ(o.checkpoint_max_mb, 64u);
   EXPECT_TRUE(o.journal_path.empty());
   EXPECT_DOUBLE_EQ(o.run_timeout_sec, 600.0);
   EXPECT_EQ(o.run_retries, 1);
@@ -167,6 +169,11 @@ TEST(EnvOptions, RejectsMalformedValuesWithActionableErrors) {
   expect_rejects("DAV_RUN_TIMEOUT_SEC", "soon");
   expect_rejects("DAV_POOL", "maybe");
   expect_rejects("DAV_WARM_CACHE", "2");
+  expect_rejects("DAV_CHECKPOINT", "maybe");
+  expect_rejects("DAV_CHECKPOINT", "2");
+  expect_rejects("DAV_CHECKPOINT_MAX_MB", "-1");
+  expect_rejects("DAV_CHECKPOINT_MAX_MB", "lots");
+  expect_rejects("DAV_CHECKPOINT_MAX_MB", "64mb");
   expect_rejects("DAV_RUN_RETRIES", "-1");
   expect_rejects("DAV_RUN_CPU_SEC", "-0.1");
   expect_rejects("DAV_RUN_AS_MB", "lots");
@@ -274,6 +281,19 @@ TEST(EnvOptions, ExecutorAndTraceProjections) {
   EXPECT_EQ(t.capacity, 99u);
 }
 
+TEST(EnvOptions, ParsesCheckpointKnobsIntoExecutorOptions) {
+  CleanEnv clean;
+  ScopedEnv e1("DAV_CHECKPOINT", "1");
+  ScopedEnv e2("DAV_CHECKPOINT_MAX_MB", "128");
+  ScopedEnv e3("DAV_JOBS", "2");
+  const EnvOptions o = EnvOptions::from_env();
+  EXPECT_TRUE(o.checkpoint);
+  EXPECT_EQ(o.checkpoint_max_mb, 128u);
+  const ExecutorOptions eo = o.executor_options();
+  EXPECT_TRUE(eo.checkpoint);
+  EXPECT_EQ(eo.checkpoint_max_mb, 128u);
+}
+
 TEST(EnvOptions, ParsesSensorFaultKnobs) {
   CleanEnv clean;
   ScopedEnv faults("DAV_SENSOR_FAULTS", "camera-blackout,lidar-dropout");
@@ -319,7 +339,8 @@ TEST(EnvOptions, DocsCoverEveryParsedVariable) {
   // the parser understands must appear exactly once.
   const std::vector<const char*> expected = {
       "DAV_SCALE",       "DAV_JOBS",          "DAV_POOL",
-      "DAV_WARM_CACHE",  "DAV_JOURNAL",       "DAV_RUN_TIMEOUT_SEC",
+      "DAV_WARM_CACHE",  "DAV_CHECKPOINT",    "DAV_CHECKPOINT_MAX_MB",
+      "DAV_JOURNAL",     "DAV_RUN_TIMEOUT_SEC",
       "DAV_RUN_RETRIES", "DAV_RUN_CPU_SEC",   "DAV_RUN_AS_MB",
       "DAV_TRACE",       "DAV_TRACE_CAPACITY", "DAV_WORKERS",
       "DAV_SERVE",       "DAV_HEARTBEAT_SEC", "DAV_STRAGGLER_SEC",

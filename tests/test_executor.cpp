@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
 #include "campaign/driver.h"
 #include "campaign/env_options.h"
 #include "campaign/executor.h"
@@ -512,8 +513,8 @@ TEST(ExecutorPool, RealRunsBitIdenticalWithFullConfigCodec) {
               serialize_run_result(run_experiment(cfgs[i])))
         << "index " << i;
   }
-  EXPECT_EQ(pool_exec.stats().warm_hits, 1u);
-  EXPECT_EQ(pool_exec.stats().warm_misses, 1u);
+  EXPECT_EQ(pool_exec.stats().checkpoint_hits, 1u);
+  EXPECT_EQ(pool_exec.stats().checkpoint_misses, 1u);
 }
 
 TEST(ExecutorPool, KillMidFlightThenResumeIsBitIdentical) {
@@ -651,10 +652,10 @@ TEST(ExecutorMetrics, SnapshotTracksJournalReplayOnResume) {
   std::remove(o.metrics_path.c_str());
 }
 
-// ---- warm-state cache ----
+// ---- checkpoint store: setup tier (the old warm-state cache) ----
 
-TEST(WarmStateCache, HitEqualsColdRunByteForByte) {
-  WarmStateCache cache;
+TEST(CheckpointSetup, HitEqualsColdRunByteForByte) {
+  CheckpointStore store;
   RunConfig a = RunConfigBuilder()
                     .scenario(ScenarioId::kLeadSlowdown)
                     .mode(AgentMode::kRoundRobin)
@@ -663,21 +664,21 @@ TEST(WarmStateCache, HitEqualsColdRunByteForByte) {
                     .build();
   a.scenario_opts.safety_duration_sec = 2.0;
   RunConfig b = a;
-  b.run_seed = 12;  // same warm key, different experiment
+  b.run_seed = 12;  // same setup key, different experiment
 
   const RunResult cold_a = run_experiment(a);
-  const RunResult miss_a = run_experiment(a, &cache);   // populates the cache
-  const RunResult hit_b = run_experiment(b, &cache);    // warm-start
+  const RunResult miss_a = run_experiment(a, &store);   // populates the store
+  const RunResult hit_b = run_experiment(b, &store);    // warm-start
   const RunResult cold_b = run_experiment(b);
 
   EXPECT_EQ(serialize_run_result(miss_a), serialize_run_result(cold_a));
   EXPECT_EQ(serialize_run_result(hit_b), serialize_run_result(cold_b));
-  EXPECT_EQ(cache.hits(), 1u);
-  EXPECT_EQ(cache.misses(), 1u);
-  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_EQ(store.size(), 1u);
 }
 
-TEST(WarmStateCache, DigestSeparatesWarmupRelevantFields) {
+TEST(CheckpointSetup, DigestSeparatesWarmupRelevantFields) {
   RunConfig base;
   base.scenario = ScenarioId::kLeadSlowdown;
   base.mode = AgentMode::kRoundRobin;
@@ -686,17 +687,15 @@ TEST(WarmStateCache, DigestSeparatesWarmupRelevantFields) {
   RunConfig same = base;
   same.run_seed = 999;  // run seed does not shape warmup state
   same.fault.kind = FaultModelKind::kPermanent;
-  EXPECT_EQ(WarmStateCache::warm_digest(base),
-            WarmStateCache::warm_digest(same));
+  EXPECT_EQ(checkpoint_setup_digest(base), checkpoint_setup_digest(same));
 
   RunConfig other = base;
   other.scenario_seed = base.scenario_seed + 1;
-  EXPECT_NE(WarmStateCache::warm_digest(base),
-            WarmStateCache::warm_digest(other));
+  EXPECT_NE(checkpoint_setup_digest(base), checkpoint_setup_digest(other));
   RunConfig other_mode = base;
   other_mode.mode = AgentMode::kSingle;
-  EXPECT_NE(WarmStateCache::warm_digest(base),
-            WarmStateCache::warm_digest(other_mode));
+  EXPECT_NE(checkpoint_setup_digest(base),
+            checkpoint_setup_digest(other_mode));
 }
 
 // ---- request codec ----

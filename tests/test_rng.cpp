@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.h"
@@ -98,6 +100,30 @@ TEST(Rng, SplitIsDeterministic) {
   Rng ca = a.split(5);
   Rng cb = b.split(5);
   for (int i = 0; i < 32; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, StateRoundTripResumesMidStream) {
+  // set_state must land EXACTLY where state() was taken: a checkpointed run
+  // resumes every RNG stream mid-sequence, so the continuation has to match
+  // the uninterrupted draw-for-draw (ints, doubles, and normals, which keep
+  // no cached spare in this generator).
+  Rng rng(2022);
+  for (int i = 0; i < 37; ++i) rng();
+  const std::array<std::uint64_t, 4> snap = rng.state();
+  std::vector<std::uint64_t> expected_ints;
+  std::vector<double> expected_doubles;
+  for (int i = 0; i < 16; ++i) expected_ints.push_back(rng());
+  for (int i = 0; i < 16; ++i) expected_doubles.push_back(rng.uniform());
+  const double expected_normal = rng.normal();
+
+  Rng resumed(999);  // different seed: state transfer must fully overwrite
+  resumed.set_state(snap);
+  EXPECT_EQ(resumed.state(), snap);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(resumed(), expected_ints[i]);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(resumed.uniform(), expected_doubles[i]);
+  }
+  EXPECT_EQ(resumed.normal(), expected_normal);
 }
 
 TEST(Splitmix64, AdvancesState) {

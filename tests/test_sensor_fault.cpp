@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
 #include "campaign/driver.h"
 #include "campaign/metrics.h"
 #include "campaign/serialize.h"
@@ -582,12 +583,13 @@ TEST(SensorFaultRun, SameSeedAndPlanIsByteIdenticalAcrossSerialAndPool) {
   const std::string serial_b = serialize_run_result(run_experiment(cfg));
   EXPECT_EQ(serial_a, serial_b);
 
-  // Warm-cached path (what pool workers replay) must also be identical.
-  WarmStateCache warm;
+  // Store-backed path (what pool workers replay) must also be identical.
+  CheckpointStore store;
   const std::string warm_cold =
-      serialize_run_result(run_experiment(cfg, &warm));
-  const std::string warm_hot = serialize_run_result(run_experiment(cfg, &warm));
-  EXPECT_EQ(warm.hits(), 1u);
+      serialize_run_result(run_experiment(cfg, &store));
+  const std::string warm_hot =
+      serialize_run_result(run_experiment(cfg, &store));
+  EXPECT_EQ(store.hits(), 1u);
   EXPECT_EQ(serial_a, warm_cold);
   EXPECT_EQ(serial_a, warm_hot);
 

@@ -308,8 +308,9 @@ TEST(TelemetryCodec, AggregateRoundTrips) {
   agg.respawns = 1;
   agg.timeouts = 2;
   agg.signal_deaths = 3;
-  agg.warm_hits = 4;
-  agg.warm_misses = 5;
+  agg.checkpoint_hits = 4;
+  agg.checkpoint_misses = 5;
+  agg.checkpoint_evictions = 9;
   agg.trace_dropped = 6;
   agg.histograms.at(obs::Stage::kTick).add(2048);
   WorkerSpan w;
@@ -329,8 +330,9 @@ TEST(TelemetryCodec, AggregateRoundTrips) {
   EXPECT_EQ(back.respawns, 1u);
   EXPECT_EQ(back.timeouts, 2u);
   EXPECT_EQ(back.signal_deaths, 3u);
-  EXPECT_EQ(back.warm_hits, 4u);
-  EXPECT_EQ(back.warm_misses, 5u);
+  EXPECT_EQ(back.checkpoint_hits, 4u);
+  EXPECT_EQ(back.checkpoint_misses, 5u);
+  EXPECT_EQ(back.checkpoint_evictions, 9u);
   EXPECT_EQ(back.trace_dropped, 6u);
   EXPECT_EQ(back.histograms.at(obs::Stage::kTick).percentile_ns(50.0), 2048u);
   ASSERT_EQ(back.spans.size(), 1u);
@@ -347,7 +349,8 @@ TEST(TelemetryCodec, AggregateRoundTrips) {
 
 /// Fork a worker daemon serving `listen` with the given work function.
 /// Killed (or SIGTERMed) and reaped by the caller.
-pid_t spawn_daemon(const std::string& listen, CampaignExecutor::WarmRunFn fn,
+pid_t spawn_daemon(const std::string& listen,
+                   CampaignExecutor::CheckpointRunFn fn,
                    int jobs = 2, std::uint64_t expected_fingerprint = 0,
                    double heartbeat_sec = 0.2) {
   const pid_t pid = ::fork();
@@ -381,12 +384,12 @@ void await_socket(const std::string& path) {
   }
 }
 
-CampaignExecutor::WarmRunFn stub_fn() {
-  return [](const RunConfig& c, WarmStateCache*) { return stub_result(c); };
+CampaignExecutor::CheckpointRunFn stub_fn() {
+  return [](const RunConfig& c, CheckpointStore*) { return stub_result(c); };
 }
 
-CampaignExecutor::WarmRunFn sleepy_stub_fn(int millis) {
-  return [millis](const RunConfig& c, WarmStateCache*) {
+CampaignExecutor::CheckpointRunFn sleepy_stub_fn(int millis) {
+  return [millis](const RunConfig& c, CheckpointStore*) {
     std::this_thread::sleep_for(std::chrono::milliseconds(millis));
     return stub_result(c);
   };
@@ -759,8 +762,8 @@ TEST(Distributed, MergedRunsTraceByteIdenticalAcrossIdenticalCampaigns) {
   // as the driver does for real traced runs; two identical 2-daemon
   // campaigns must merge to byte-identical runs-trace JSON no matter how
   // completions interleave across endpoints and pool slots.
-  auto traced_fn = []() -> CampaignExecutor::WarmRunFn {
-    return [](const RunConfig& c, WarmStateCache*) {
+  auto traced_fn = []() -> CampaignExecutor::CheckpointRunFn {
+    return [](const RunConfig& c, CheckpointStore*) {
       obs::set_last_run_capture(synthetic_capture(c.run_seed));
       return stub_result(c);
     };

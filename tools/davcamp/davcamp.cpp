@@ -10,7 +10,8 @@
 //   davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]
 //           [--domain=gpu|cpu] [--kind=transient|permanent]
 //           [--faults=register|sensor|both]
-//           [--td=<meters>] [--out=<path>] [--workers=EP,...] [--env-help]
+//           [--td=<meters>] [--out=<path>] [--workers=EP,...] [--checkpoint]
+//           [--env-help]
 //   davcamp serve [--listen=host:port|unix:/path]
 //
 // --faults selects the injection surface: "register" (default) is the
@@ -58,6 +59,7 @@ struct Args {
   std::string out;      // empty = stdout
   std::string workers;  // --workers override of DAV_WORKERS
   std::string metrics;  // --metrics override of DAV_METRICS
+  bool checkpoint = false;  // --checkpoint: fork-point prefix sharing
   bool env_help = false;
   bool serve = false;    // `davcamp serve`: run as a worker daemon
   std::string listen;    // --listen override of DAV_SERVE
@@ -69,7 +71,8 @@ struct Args {
       "\nusage: davcamp [--scenario=lead|cutin|front] [--mode=single|rr|dup]"
       " [--domain=gpu|cpu] [--kind=transient|permanent]"
       " [--faults=register|sensor|both] [--td=<meters>]"
-      " [--out=<path>] [--workers=EP,...] [--metrics=<path>] [--env-help]"
+      " [--out=<path>] [--workers=EP,...] [--metrics=<path>] [--checkpoint]"
+      " [--env-help]"
       "\n       davcamp serve [--listen=host:port|unix:/path]");
 }
 
@@ -83,6 +86,10 @@ Args parse_args(int argc, char** argv) {
     }
     if (arg == "--env-help") {
       a.env_help = true;
+      continue;
+    }
+    if (arg == "--checkpoint") {
+      a.checkpoint = true;
       continue;
     }
     const std::size_t eq = arg.find('=');
@@ -238,16 +245,18 @@ void print_telemetry(const CampaignManager& mgr) {
                  s.duplicate_discards);
   }
   if (s.pool_workers > 0) {
-    const std::uint64_t lookups = s.warm_hits + s.warm_misses;
-    std::fprintf(stderr,
-                 "  pool: workers=%d respawns=%d warm_hits=%llu "
-                 "warm_misses=%llu hit_rate=%.0f%%\n",
-                 s.pool_workers, s.respawns,
-                 static_cast<unsigned long long>(s.warm_hits),
-                 static_cast<unsigned long long>(s.warm_misses),
-                 lookups > 0 ? 100.0 * static_cast<double>(s.warm_hits) /
-                                   static_cast<double>(lookups)
-                             : 0.0);
+    const std::uint64_t lookups = s.checkpoint_hits + s.checkpoint_misses;
+    std::fprintf(
+        stderr,
+        "  pool: workers=%d respawns=%d checkpoint_hits=%llu "
+        "checkpoint_misses=%llu checkpoint_evictions=%llu hit_rate=%.0f%%\n",
+        s.pool_workers, s.respawns,
+        static_cast<unsigned long long>(s.checkpoint_hits),
+        static_cast<unsigned long long>(s.checkpoint_misses),
+        static_cast<unsigned long long>(s.checkpoint_evictions),
+        lookups > 0 ? 100.0 * static_cast<double>(s.checkpoint_hits) /
+                          static_cast<double>(lookups)
+                    : 0.0);
   }
   for (std::size_t i = 0; i < s.slot_busy_sec.size(); ++i) {
     const double util =
@@ -335,6 +344,7 @@ int main(int argc, char** argv) {
       env.validate();
     }
     if (!a.metrics.empty()) env.metrics_path = a.metrics;
+    if (a.checkpoint) env.checkpoint = true;
     CampaignManager mgr(env, /*seed=*/2022);
     std::string text;
     if (a.faults != Args::Faults::kSensor) {
